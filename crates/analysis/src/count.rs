@@ -1,0 +1,331 @@
+//! The exhaustive (`COUNT`) and heuristic (`COUNTH`) outcome counters.
+
+use std::time::{Duration, Instant};
+
+use perple_convert::{HeuristicOutcome, PerpetualOutcome};
+
+/// Result of one counting pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountResult {
+    /// Occurrences per outcome of interest (paper's `counts` array).
+    pub counts: Vec<u64>,
+    /// Frames examined: `N^{T_L}` for the exhaustive counter (unless
+    /// capped), `N` for the heuristic counter.
+    pub frames_examined: u64,
+    /// Individual `p_out` evaluations performed (else-if chains stop at the
+    /// first match). Used as the counting component of model-time.
+    pub evals: u64,
+    /// Wall-clock time of the counting pass.
+    pub wall: Duration,
+    /// True if a frame cap truncated the exhaustive scan.
+    pub truncated: bool,
+}
+
+impl CountResult {
+    /// Total occurrences across all outcomes of interest.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// The exhaustive outcome counter `COUNT` (Algorithm 1).
+///
+/// Examines every frame — each tuple of one iteration per load-performing
+/// thread — and counts **at most one** outcome per frame (the paper's
+/// else-if chain: outcomes earlier in `outcomes` take precedence).
+///
+/// `frame_cap` optionally bounds the number of frames scanned
+/// (lexicographic prefix) so `T_L = 3` tests stay tractable at large `N`;
+/// [`CountResult::truncated`] reports whether the cap hit.
+///
+/// # Panics
+///
+/// Panics if `bufs` does not contain one buffer per load-performing thread
+/// of the converted outcomes, or buffers are shorter than `n` iterations.
+pub fn count_exhaustive(
+    outcomes: &[PerpetualOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+    frame_cap: Option<u64>,
+) -> CountResult {
+    let start = Instant::now();
+    let tl = bufs.len();
+    let mut counts = vec![0u64; outcomes.len()];
+    let mut frames: u64 = 0;
+    let mut evals: u64 = 0;
+    let mut truncated = false;
+
+    if n > 0 && !outcomes.is_empty() {
+        let mut frame = vec![0u64; tl];
+        'scan: loop {
+            if let Some(cap) = frame_cap {
+                if frames >= cap {
+                    truncated = true;
+                    break 'scan;
+                }
+            }
+            frames += 1;
+            for (o, outcome) in outcomes.iter().enumerate() {
+                evals += 1;
+                if outcome.eval_frame(&frame, bufs, n) {
+                    counts[o] += 1;
+                    break; // else-if: at most one outcome per frame
+                }
+            }
+            // Odometer over the frame tuple.
+            let mut pos = tl;
+            loop {
+                if pos == 0 {
+                    break 'scan;
+                }
+                pos -= 1;
+                frame[pos] += 1;
+                if frame[pos] < n {
+                    break;
+                }
+                frame[pos] = 0;
+            }
+        }
+    }
+
+    CountResult { counts, frames_examined: frames, evals, wall: start.elapsed(), truncated }
+}
+
+/// The linear heuristic outcome counter `COUNTH` (Algorithm 2).
+///
+/// Scans one pivot iteration per step, deriving the partner frame from
+/// loaded values; else-if semantics as in the exhaustive counter.
+pub fn count_heuristic(
+    outcomes: &[HeuristicOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+) -> CountResult {
+    let start = Instant::now();
+    let mut counts = vec![0u64; outcomes.len()];
+    let mut evals: u64 = 0;
+    for i in 0..n {
+        for (o, h) in outcomes.iter().enumerate() {
+            evals += 1;
+            if h.eval(i, bufs, n) {
+                counts[o] += 1;
+                break;
+            }
+        }
+    }
+    CountResult {
+        counts,
+        frames_examined: n,
+        evals,
+        wall: start.elapsed(),
+        truncated: false,
+    }
+}
+
+/// Per-outcome heuristic counting **without** the else-if chain: every
+/// outcome's `p_out_h` is evaluated at every pivot iteration independently.
+///
+/// Figure 13 of the paper uses this form ("PerpLE heuristic samples 1k
+/// frames *per outcome*"), which is why PerpLE's total occurrence count can
+/// exceed `N` while litmus7's total always equals the iteration count.
+pub fn count_heuristic_each(
+    outcomes: &[HeuristicOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+) -> CountResult {
+    let start = Instant::now();
+    let mut counts = vec![0u64; outcomes.len()];
+    let mut evals: u64 = 0;
+    for (o, h) in outcomes.iter().enumerate() {
+        for i in 0..n {
+            evals += 1;
+            if h.eval(i, bufs, n) {
+                counts[o] += 1;
+            }
+        }
+    }
+    CountResult {
+        counts,
+        frames_examined: n * outcomes.len() as u64,
+        evals,
+        wall: start.elapsed(),
+        truncated: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perple_convert::Conversion;
+    use perple_model::suite;
+
+    struct SbFixture {
+        conv: Conversion,
+        all: Vec<(PerpetualOutcome, HeuristicOutcome)>,
+    }
+
+    fn sb_fixture() -> SbFixture {
+        let t = suite::sb();
+        let conv = Conversion::convert(&t).unwrap();
+        let all = conv.all_outcomes(&t).unwrap();
+        SbFixture { conv, all }
+    }
+
+    /// Lockstep buffers: iteration n of each thread read the other's store
+    /// of the same iteration (value n+1): pure "11" outcomes.
+    fn lockstep_bufs(n: usize) -> (Vec<u64>, Vec<u64>) {
+        ((1..=n as u64).collect(), (1..=n as u64).collect())
+    }
+
+    #[test]
+    fn exhaustive_scans_n_squared_frames() {
+        let f = sb_fixture();
+        let (b0, b1) = lockstep_bufs(10);
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let r = count_exhaustive(
+            std::slice::from_ref(&f.conv.target_exhaustive),
+            &bufs,
+            10,
+            None,
+        );
+        assert_eq!(r.frames_examined, 100);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn frame_cap_truncates() {
+        let f = sb_fixture();
+        let (b0, b1) = lockstep_bufs(10);
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let r = count_exhaustive(
+            std::slice::from_ref(&f.conv.target_exhaustive),
+            &bufs,
+            10,
+            Some(30),
+        );
+        assert_eq!(r.frames_examined, 30);
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn else_if_counts_at_most_one_outcome_per_frame() {
+        let f = sb_fixture();
+        let outcomes: Vec<PerpetualOutcome> =
+            f.all.iter().map(|(o, _)| o.clone()).collect();
+        let (b0, b1) = lockstep_bufs(20);
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let r = count_exhaustive(&outcomes, &bufs, 20, None);
+        assert!(r.total() <= r.frames_examined);
+        // Lockstep reads: every same-index frame is outcome 11; many
+        // off-diagonal frames also classify.
+        assert!(r.total() > 0);
+    }
+
+    #[test]
+    fn heuristic_is_linear_and_subset_of_exhaustive() {
+        let f = sb_fixture();
+        let exh: Vec<PerpetualOutcome> = f.all.iter().map(|(o, _)| o.clone()).collect();
+        let heu: Vec<HeuristicOutcome> = f.all.iter().map(|(_, h)| h.clone()).collect();
+        // Interleaved synthetic buffers with plenty of variety.
+        let n = 64u64;
+        let b0: Vec<u64> = (0..n).map(|i| (i * 5 + 2) % (n + 1)).collect();
+        let b1: Vec<u64> = (0..n).map(|i| (i * 3) % (n + 1)).collect();
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let re = count_exhaustive(&exh, &bufs, n, None);
+        let rh = count_heuristic(&heu, &bufs, n);
+        assert_eq!(rh.frames_examined, n);
+        assert_eq!(re.frames_examined, n * n);
+        for (h, e) in rh.counts.iter().zip(&re.counts) {
+            // Each heuristic hit corresponds to a real frame, and the
+            // heuristic examines at most N frames per outcome.
+            assert!(*h <= *e + n, "heuristic {h} vs exhaustive {e}");
+        }
+        assert!(rh.total() <= n);
+    }
+
+    #[test]
+    fn lockstep_buffers_never_count_the_weak_outcome() {
+        // In a lockstep run (each thread reads the partner's same-iteration
+        // store), the frame (n, n+1) realizes outcome 01 — loaded value is
+        // "older" than the n+1 store but read-from iteration n — so the
+        // else-if chain (00,01,10,11) classifies most pivots as 01 and the
+        // final pivot (no n+1 frame) as 11. Crucially, the store-buffering
+        // outcome 00 never fires.
+        let f = sb_fixture();
+        let heu: Vec<HeuristicOutcome> = f.all.iter().map(|(_, h)| h.clone()).collect();
+        let (b0, b1) = lockstep_bufs(50);
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let r = count_heuristic(&heu, &bufs, 50);
+        assert_eq!(r.counts[0], 0, "no store buffering in lockstep reads");
+        assert_eq!(r.counts[1], 49);
+        assert_eq!(r.counts[3], 1);
+        assert_eq!(r.total(), 50);
+    }
+
+    #[test]
+    fn independent_counting_exceeds_chained_totals() {
+        let f = sb_fixture();
+        let heu: Vec<HeuristicOutcome> = f.all.iter().map(|(_, h)| h.clone()).collect();
+        let (b0, b1) = lockstep_bufs(50);
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let chained = count_heuristic(&heu, &bufs, 50);
+        let each = count_heuristic_each(&heu, &bufs, 50);
+        // Without the else-if chain, outcomes 01 and 11 both count their
+        // own frames: the total exceeds the chained total.
+        assert!(each.total() >= chained.total());
+        assert_eq!(each.frames_examined, 200);
+        for (e, c) in each.counts.iter().zip(&chained.counts) {
+            assert!(e >= c);
+        }
+    }
+
+    #[test]
+    fn weak_buffers_count_target() {
+        // Buffers where both threads always read one-iteration-stale
+        // values: every frame (n, n) exhibits store buffering.
+        let f = sb_fixture();
+        let n = 30u64;
+        let b0: Vec<u64> = (0..n).collect(); // reads value n (iter n-1) at iteration n
+        let b1: Vec<u64> = (0..n).collect();
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let rh = count_heuristic(
+            std::slice::from_ref(&f.conv.target_heuristic),
+            &bufs,
+            n,
+        );
+        assert_eq!(rh.counts[0], n, "every iteration is a target hit");
+        let re = count_exhaustive(
+            std::slice::from_ref(&f.conv.target_exhaustive),
+            &bufs,
+            n,
+            None,
+        );
+        assert!(re.counts[0] >= n, "exhaustive finds at least the diagonal");
+    }
+
+    #[test]
+    fn zero_iterations_and_empty_outcomes() {
+        let f = sb_fixture();
+        let bufs: Vec<&[u64]> = vec![&[], &[]];
+        let r = count_exhaustive(std::slice::from_ref(&f.conv.target_exhaustive), &bufs, 0, None);
+        assert_eq!(r.total(), 0);
+        assert_eq!(r.frames_examined, 0);
+        let r2 = count_exhaustive(&[], &bufs, 5, None);
+        assert_eq!(r2.frames_examined, 0);
+        let rh = count_heuristic(&[], &bufs, 0);
+        assert_eq!(rh.total(), 0);
+    }
+
+    #[test]
+    fn evals_respect_else_if_short_circuit() {
+        let f = sb_fixture();
+        let heu: Vec<HeuristicOutcome> = f.all.iter().map(|(_, h)| h.clone()).collect();
+        let (b0, b1) = lockstep_bufs(10);
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let r = count_heuristic(&heu, &bufs, 10);
+        // Lockstep: outcome 01 (second in the chain) matches for the first
+        // nine pivots (2 evals each); the last pivot falls through to
+        // outcome 11 (4 evals).
+        assert_eq!(r.evals, 9 * 2 + 4);
+        assert!(r.wall >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,50 @@
+//! # perple-analysis
+//!
+//! Post-run analysis of perpetual litmus tests:
+//!
+//! * [`count`] — the **exhaustive outcome counter** `COUNT` (Algorithm 1,
+//!   all `N^{T_L}` frames, else-if semantics) and the **linear heuristic
+//!   counter** `COUNTH` (Algorithm 2);
+//! * [`skew`] — thread-skew measurement from loaded sequence values
+//!   (§VI-B5, Figure 12);
+//! * [`variety`] — per-outcome occurrence tables (Figure 13);
+//! * [`metrics`] — target-outcome detection rates and relative improvements
+//!   (Figure 11), model-time accounting;
+//! * [`modelmine`] — inference of the machine's program-order relaxations
+//!   from observed targets (the §II-B1 "formulating a formal description"
+//!   use case);
+//! * [`stats`] — histograms, probability densities, geometric means.
+//!
+//! # Example
+//!
+//! ```
+//! use perple_analysis::count;
+//! use perple_convert::Conversion;
+//! use perple_model::suite;
+//!
+//! let sb = suite::sb();
+//! let conv = Conversion::convert(&sb)?;
+//! // Hand-made buffers for a 3-iteration run.
+//! let b0: Vec<u64> = vec![0, 1, 3];
+//! let b1: Vec<u64> = vec![0, 1, 3];
+//! let bufs: Vec<&[u64]> = vec![&b0, &b1];
+//! let exhaustive = count::count_exhaustive(
+//!     std::slice::from_ref(&conv.target_exhaustive), &bufs, 3, None);
+//! let heuristic = count::count_heuristic(
+//!     std::slice::from_ref(&conv.target_heuristic), &bufs, 3);
+//! // The heuristic examines one frame per iteration, the exhaustive all 9.
+//! assert_eq!(exhaustive.frames_examined, 9);
+//! assert_eq!(heuristic.frames_examined, 3);
+//! assert!(heuristic.counts[0] <= exhaustive.counts[0]);
+//! # Ok::<(), perple_convert::ConvertError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod count;
+pub mod metrics;
+pub mod modelmine;
+pub mod skew;
+pub mod stats;
+pub mod variety;

@@ -1,0 +1,197 @@
+//! Memory-model inference from observed outcomes.
+//!
+//! §II-B1 of the paper notes that for models "not yet formally specified",
+//! empirical outcome statistics "can aid attempts at formulating a formal
+//! description". This module does the inference step: given which
+//! relaxation-revealing targets a machine exhibited, it reports the set of
+//! program-order relaxations the machine performs — the vocabulary formal
+//! models are built from.
+//!
+//! | relaxation | revealing idiom | x86-TSO | PSO |
+//! |---|---|---|---|
+//! | store→load | sb (both stale reads) | yes | yes |
+//! | store→store | mp (flag without data) | no | yes |
+//! | load→load | mp observed with reader reordering | no | no |
+//! | load→store | lb (both loads see future stores) | no | no |
+//! | non-multi-copy-atomic stores | iriw (readers disagree) | no | no |
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A program-order (or atomicity) relaxation a machine may perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Relaxation {
+    /// Loads pass earlier stores (store buffering): revealed by `sb`.
+    StoreLoad,
+    /// Stores reorder with each other: revealed by `mp`.
+    StoreStore,
+    /// Loads reorder with each other: revealed by `iwp2x`-style idioms;
+    /// approximated here by `mp+staleld`'s reader-side requirement.
+    LoadLoad,
+    /// Stores pass earlier loads: revealed by `lb`.
+    LoadStore,
+    /// Stores become visible to different observers at different times:
+    /// revealed by `iriw`.
+    NonAtomicStores,
+}
+
+impl Relaxation {
+    /// The suite test whose target outcome reveals this relaxation.
+    pub fn revealing_test(self) -> &'static str {
+        match self {
+            Relaxation::StoreLoad => "sb",
+            Relaxation::StoreStore => "mp",
+            Relaxation::LoadLoad => "mp+staleld",
+            Relaxation::LoadStore => "lb",
+            Relaxation::NonAtomicStores => "iriw",
+        }
+    }
+
+    /// All relaxations, in display order.
+    pub const ALL: [Relaxation; 5] = [
+        Relaxation::StoreLoad,
+        Relaxation::StoreStore,
+        Relaxation::LoadLoad,
+        Relaxation::LoadStore,
+        Relaxation::NonAtomicStores,
+    ];
+}
+
+impl fmt::Display for Relaxation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relaxation::StoreLoad => write!(f, "store->load (store buffering)"),
+            Relaxation::StoreStore => write!(f, "store->store"),
+            Relaxation::LoadLoad => write!(f, "load->load"),
+            Relaxation::LoadStore => write!(f, "load->store"),
+            Relaxation::NonAtomicStores => write!(f, "non-multi-copy-atomic stores"),
+        }
+    }
+}
+
+/// An inferred model: which relaxations were observed, with evidence
+/// counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InferredModel {
+    observed: BTreeMap<Relaxation, u64>,
+}
+
+impl InferredModel {
+    /// Builds the inference from `(revealing test name, target occurrence
+    /// count)` pairs, as produced by running the suite on the machine under
+    /// test.
+    pub fn from_observations<'a, I>(observations: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, u64)>,
+    {
+        let mut observed = BTreeMap::new();
+        for (name, count) in observations {
+            for r in Relaxation::ALL {
+                if r.revealing_test() == name && count > 0 {
+                    *observed.entry(r).or_insert(0) += count;
+                }
+            }
+        }
+        Self { observed }
+    }
+
+    /// True if the relaxation was observed at least once.
+    pub fn relaxes(&self, r: Relaxation) -> bool {
+        self.observed.contains_key(&r)
+    }
+
+    /// Observed occurrence count for a relaxation.
+    pub fn evidence(&self, r: Relaxation) -> u64 {
+        self.observed.get(&r).copied().unwrap_or(0)
+    }
+
+    /// Names the closest textbook model consistent with the observations.
+    ///
+    /// The hierarchy tested: SC (nothing relaxed) ⊂ TSO (store→load) ⊂
+    /// PSO (+ store→store); anything further is reported as "weaker than
+    /// PSO".
+    pub fn closest_model(&self) -> &'static str {
+        let sl = self.relaxes(Relaxation::StoreLoad);
+        let ss = self.relaxes(Relaxation::StoreStore);
+        let other = self.relaxes(Relaxation::LoadLoad)
+            || self.relaxes(Relaxation::LoadStore)
+            || self.relaxes(Relaxation::NonAtomicStores);
+        match (sl, ss, other) {
+            (_, _, true) => "weaker than PSO",
+            (_, true, false) => "PSO",
+            (true, false, false) => "TSO",
+            (false, false, false) => "SC (no relaxation observed)",
+        }
+    }
+
+    /// Renders the inference report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "inferred program-order relaxations:");
+        for r in Relaxation::ALL {
+            let _ = writeln!(
+                s,
+                "  {:<38} {:>9}  (via {})",
+                r.to_string(),
+                if self.relaxes(r) {
+                    format!("{} hits", self.evidence(r))
+                } else {
+                    "not seen".to_owned()
+                },
+                r.revealing_test()
+            );
+        }
+        let _ = writeln!(s, "closest textbook model: {}", self.closest_model());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tso_observations_infer_tso() {
+        let m = InferredModel::from_observations([("sb", 120), ("mp", 0), ("lb", 0)]);
+        assert!(m.relaxes(Relaxation::StoreLoad));
+        assert!(!m.relaxes(Relaxation::StoreStore));
+        assert_eq!(m.closest_model(), "TSO");
+        assert_eq!(m.evidence(Relaxation::StoreLoad), 120);
+    }
+
+    #[test]
+    fn pso_observations_infer_pso() {
+        let m = InferredModel::from_observations([("sb", 10), ("mp", 5)]);
+        assert_eq!(m.closest_model(), "PSO");
+    }
+
+    #[test]
+    fn silent_machines_infer_sc() {
+        let m = InferredModel::from_observations([("sb", 0), ("mp", 0)]);
+        assert_eq!(m.closest_model(), "SC (no relaxation observed)");
+    }
+
+    #[test]
+    fn exotic_relaxations_are_weaker_than_pso() {
+        let m = InferredModel::from_observations([("sb", 1), ("iriw", 2)]);
+        assert_eq!(m.closest_model(), "weaker than PSO");
+        assert!(m.relaxes(Relaxation::NonAtomicStores));
+    }
+
+    #[test]
+    fn unknown_tests_are_ignored() {
+        let m = InferredModel::from_observations([("not-a-test", 99)]);
+        assert_eq!(m, InferredModel::default());
+    }
+
+    #[test]
+    fn render_lists_every_relaxation() {
+        let m = InferredModel::from_observations([("sb", 3)]);
+        let text = m.render();
+        for r in Relaxation::ALL {
+            assert!(text.contains(r.revealing_test()), "{r}");
+        }
+        assert!(text.contains("TSO"));
+    }
+}

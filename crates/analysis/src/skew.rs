@@ -1,0 +1,171 @@
+//! Thread-skew measurement (§VI-B5).
+//!
+//! Because each stored value is a unique sequence term, a value loaded by
+//! thread `t` in its iteration `n` identifies the iteration `m` of the
+//! storing thread `s` that produced it. The difference `n - m` is the
+//! *thread skew* between `t` and `s` around that moment — positive when the
+//! reader runs ahead of the writer.
+
+use perple_model::{LitmusTest, ThreadId};
+use perple_convert::KMap;
+
+use crate::stats::Histogram;
+
+/// One skew observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkewSample {
+    /// The loading thread.
+    pub reader: ThreadId,
+    /// The thread whose store was observed.
+    pub writer: ThreadId,
+    /// `n - m`: reader iteration minus writer iteration.
+    pub skew: i64,
+}
+
+/// Extracts all skew samples from a perpetual run.
+///
+/// `bufs` holds the load-performing threads' result buffers in frame order
+/// (the same layout the counters use). Loads of the initial value (0) and
+/// loads forwarded from the reader's own stores are skipped — only
+/// cross-thread observations measure skew.
+pub fn skew_samples(
+    test: &LitmusTest,
+    kmap: &KMap,
+    bufs: &[&[u64]],
+) -> Vec<SkewSample> {
+    let load_threads = test.load_threads();
+    let reads = test.reads_per_thread();
+    let slots = test.load_slots();
+    let mut samples = Vec::new();
+
+    for (frame_pos, &reader) in load_threads.iter().enumerate() {
+        let r_t = reads[reader.index()];
+        if r_t == 0 {
+            continue;
+        }
+        let buf = bufs[frame_pos];
+        let n_iters = buf.len() / r_t;
+        let thread_slots: Vec<_> = slots.iter().filter(|s| s.thread == reader).collect();
+        for n in 0..n_iters {
+            for slot in &thread_slots {
+                let val = buf[r_t * n + slot.slot];
+                if val == 0 {
+                    continue;
+                }
+                // Attribute the value to a sequence of the loaded location.
+                for asg in kmap.assignments_for(slot.loc) {
+                    if let Some(m) = KMap::decode(asg.k, asg.a, val) {
+                        if asg.thread != reader {
+                            samples.push(SkewSample {
+                                reader,
+                                writer: asg.thread,
+                                skew: n as i64 - m as i64,
+                            });
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    samples
+}
+
+/// Collapses skew samples into a histogram (the PDF of Figure 12).
+pub fn skew_histogram(samples: &[SkewSample]) -> Histogram {
+    samples.iter().map(|s| s.skew).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perple_model::suite;
+    use perple_convert::Conversion;
+
+    #[test]
+    fn lockstep_run_has_skew_near_zero() {
+        let t = suite::sb();
+        let conv = Conversion::convert(&t).unwrap();
+        // Iteration n of each thread reads the partner's value n (stored in
+        // partner iteration n-1): skew +1 everywhere (after warmup).
+        let b0: Vec<u64> = (0..100u64).collect();
+        let b1: Vec<u64> = (0..100u64).collect();
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let samples = skew_samples(&t, &conv.kmap, &bufs);
+        // Iteration 0 reads 0 (initial) → skipped; 99 samples per thread.
+        assert_eq!(samples.len(), 198);
+        assert!(samples.iter().all(|s| s.skew == 1));
+        assert!(samples.iter().all(|s| s.reader != s.writer));
+    }
+
+    #[test]
+    fn skewed_run_reports_large_offsets() {
+        let t = suite::sb();
+        let conv = Conversion::convert(&t).unwrap();
+        // Thread 0 at iteration n reads values from partner iteration
+        // n - 50 (thread 0 runs 50 iterations ahead).
+        let n = 100u64;
+        let b0: Vec<u64> = (0..n).map(|i| i.saturating_sub(50)).collect();
+        let b1: Vec<u64> = (0..n).map(|i| (i + 50).min(n)).collect();
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let samples = skew_samples(&t, &conv.kmap, &bufs);
+        let h = skew_histogram(&samples);
+        assert!(h.max().unwrap() >= 50);
+        assert!(h.min().unwrap() <= -49);
+    }
+
+    #[test]
+    fn initial_values_are_skipped() {
+        let t = suite::sb();
+        let conv = Conversion::convert(&t).unwrap();
+        let b0: Vec<u64> = vec![0, 0, 0];
+        let b1: Vec<u64> = vec![0, 0, 0];
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        assert!(skew_samples(&t, &conv.kmap, &bufs).is_empty());
+    }
+
+    #[test]
+    fn own_thread_reads_are_not_skew() {
+        // amd3's first load reads the own store (forwarding): skew samples
+        // must only come from the cross-thread loads.
+        let t = suite::amd3();
+        let conv = Conversion::convert(&t).unwrap();
+        // r_t = 2 per thread: [own-read, cross-read] per iteration.
+        // own reads: value n+1 (own iteration n); cross reads: value n.
+        let n = 10u64;
+        let mut b0 = Vec::new();
+        let mut b1 = Vec::new();
+        for i in 0..n {
+            b0.push(i + 1); // EAX: own x (iteration i)
+            b0.push(i); // EBX: partner y (iteration i-1)
+            b1.push(i + 1);
+            b1.push(i);
+        }
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let samples = skew_samples(&t, &conv.kmap, &bufs);
+        assert!(samples.iter().all(|s| s.reader != s.writer));
+        // Cross reads: iteration 0 read 0 (skipped), others skew 1.
+        assert_eq!(samples.len(), 2 * (n as usize - 1));
+        assert!(samples.iter().all(|s| s.skew == 1));
+    }
+
+    #[test]
+    fn multi_writer_location_attributes_by_residue() {
+        let t = suite::n5();
+        let conv = Conversion::convert(&t).unwrap();
+        // Thread 0 reads even values (thread 1's sequence 2m+2).
+        let b0: Vec<u64> = vec![2, 4, 6]; // iterations 0,1,2 of thread 1
+        let b1: Vec<u64> = vec![1, 1, 3];
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let samples = skew_samples(&t, &conv.kmap, &bufs);
+        let from_t0: Vec<_> = samples
+            .iter()
+            .filter(|s| s.reader == ThreadId(0))
+            .collect();
+        assert_eq!(from_t0.len(), 3);
+        assert_eq!(from_t0[0].skew, 0); // n=0 read iteration 0
+        assert_eq!(from_t0[1].skew, 0);
+        assert_eq!(from_t0[2].skew, 0);
+        assert!(from_t0.iter().all(|s| s.writer == ThreadId(1)));
+    }
+}

@@ -1,0 +1,223 @@
+//! Small statistics helpers: histograms, densities, geometric means.
+
+use std::collections::BTreeMap;
+
+/// An integer-valued histogram (exact bins).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    bins: BTreeMap<i64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a histogram from samples.
+    pub fn from_samples<I: IntoIterator<Item = i64>>(samples: I) -> Self {
+        let mut h = Self::new();
+        for s in samples {
+            h.add(s);
+        }
+        h
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: i64) {
+        *self.bins.entry(v).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total sample count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in one bin.
+    pub fn count(&self, v: i64) -> u64 {
+        self.bins.get(&v).copied().unwrap_or(0)
+    }
+
+    /// `(value, count)` pairs in value order.
+    pub fn bins(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.bins.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Probability density: `(value, fraction)` pairs (empty if no
+    /// samples). Used for the thread-skew PDF of Figure 12.
+    pub fn pdf(&self) -> Vec<(i64, f64)> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        self.bins
+            .iter()
+            .map(|(&v, &c)| (v, c as f64 / self.total as f64))
+            .collect()
+    }
+
+    /// Probability density re-bucketed into `width`-wide bins, keyed by the
+    /// bucket's lower edge. Keeps Figure 12 readable at 100k samples.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn pdf_bucketed(&self, width: u64) -> Vec<(i64, f64)> {
+        assert!(width > 0, "bucket width must be positive");
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let w = width as i64;
+        let mut buckets: BTreeMap<i64, u64> = BTreeMap::new();
+        for (&v, &c) in &self.bins {
+            let lower = v.div_euclid(w) * w;
+            *buckets.entry(lower).or_insert(0) += c;
+        }
+        buckets
+            .into_iter()
+            .map(|(v, c)| (v, c as f64 / self.total as f64))
+            .collect()
+    }
+
+    /// Smallest sample value, if any.
+    pub fn min(&self) -> Option<i64> {
+        self.bins.keys().next().copied()
+    }
+
+    /// Largest sample value, if any.
+    pub fn max(&self) -> Option<i64> {
+        self.bins.keys().next_back().copied()
+    }
+
+    /// Arithmetic mean of the samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let sum: i128 = self.bins.iter().map(|(&v, &c)| v as i128 * c as i128).sum();
+        Some(sum as f64 / self.total as f64)
+    }
+
+    /// Population standard deviation (`None` when empty).
+    pub fn stddev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var: f64 = self
+            .bins
+            .iter()
+            .map(|(&v, &c)| (v as f64 - mean).powi(2) * c as f64)
+            .sum::<f64>()
+            / self.total as f64;
+        Some(var.sqrt())
+    }
+
+    /// Fraction of samples with `|value| <= radius` — how concentrated the
+    /// skew distribution is around zero.
+    pub fn mass_within(&self, radius: i64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let inside: u64 = self
+            .bins
+            .range(-radius..=radius)
+            .map(|(_, &c)| c)
+            .sum();
+        inside as f64 / self.total as f64
+    }
+}
+
+impl FromIterator<i64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = i64>>(iter: I) -> Self {
+        Self::from_samples(iter)
+    }
+}
+
+/// Geometric mean of strictly positive values; `None` when empty or any
+/// value is non-positive. The paper reports speedups as geometric averages.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean; `None` when empty. Figure 11 averages relative
+/// improvements arithmetically.
+pub fn arithmetic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_bounds() {
+        let h = Histogram::from_samples([1, 1, -2, 5, 5, 5]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(5), 3);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.min(), Some(-2));
+        assert_eq!(h.max(), Some(5));
+        assert_eq!(h.bins().count(), 3);
+    }
+
+    #[test]
+    fn pdf_sums_to_one() {
+        let h: Histogram = [0, 0, 1, -1, 2].into_iter().collect();
+        let sum: f64 = h.pdf().iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(Histogram::new().pdf().is_empty());
+    }
+
+    #[test]
+    fn bucketed_pdf_groups_values() {
+        let h = Histogram::from_samples([0, 1, 9, 10, 11, -1]);
+        let pdf = h.pdf_bucketed(10);
+        // Buckets: [-10,0): {-1}, [0,10): {0,1,9}, [10,20): {10,11}.
+        assert_eq!(pdf.len(), 3);
+        assert_eq!(pdf[0].0, -10);
+        assert!((pdf[1].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_width_panics() {
+        let _ = Histogram::new().pdf_bucketed(0);
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        let h = Histogram::from_samples([2, 4, 4, 4, 5, 5, 7, 9]);
+        assert_eq!(h.mean(), Some(5.0));
+        assert_eq!(h.stddev(), Some(2.0));
+        assert_eq!(Histogram::new().mean(), None);
+        assert_eq!(Histogram::new().stddev(), None);
+    }
+
+    #[test]
+    fn mass_within_radius() {
+        let h = Histogram::from_samples([-3, -1, 0, 1, 2, 8]);
+        assert!((h.mass_within(1) - 0.5).abs() < 1e-12);
+        assert!((h.mass_within(10) - 1.0).abs() < 1e-12);
+        assert_eq!(Histogram::new().mass_within(5), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        let g = geometric_mean(&[1.0, 100.0]).unwrap();
+        assert!((g - 10.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn arithmetic_mean_basics() {
+        assert_eq!(arithmetic_mean(&[1.0, 3.0]), Some(2.0));
+        assert_eq!(arithmetic_mean(&[]), None);
+    }
+}

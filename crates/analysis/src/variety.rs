@@ -1,0 +1,125 @@
+//! Outcome-variety tables (Figure 13): how many distinct outcomes a tool
+//! observes and how often each occurs.
+
+use std::fmt;
+
+/// Occurrence counts per outcome label for one tool/test combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarietyTable {
+    labels: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl VarietyTable {
+    /// Builds a table from parallel label/count lists.
+    ///
+    /// # Panics
+    /// Panics if the lists have different lengths.
+    pub fn new(labels: Vec<String>, counts: Vec<u64>) -> Self {
+        assert_eq!(labels.len(), counts.len(), "labels and counts must align");
+        Self { labels, counts }
+    }
+
+    /// The outcome labels, in canonical order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The occurrence counts, aligned with [`VarietyTable::labels`].
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count for one label, if present.
+    pub fn count(&self, label: &str) -> Option<u64> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| self.counts[i])
+    }
+
+    /// Number of distinct outcomes observed at least once — the paper's
+    /// outcome-variety measure.
+    pub fn distinct_observed(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Total occurrences across outcomes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Labels observed at least once.
+    pub fn observed_labels(&self) -> Vec<&str> {
+        self.labels
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, &c)| c > 0)
+            .map(|(l, _)| l.as_str())
+            .collect()
+    }
+
+    /// True if this table observes every outcome the other does (and
+    /// possibly more) — PerpLE's variety claim over litmus7.
+    pub fn covers(&self, other: &VarietyTable) -> bool {
+        other
+            .observed_labels()
+            .iter()
+            .all(|l| self.count(l).unwrap_or(0) > 0)
+    }
+}
+
+impl fmt::Display for VarietyTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (l, c) in self.labels.iter().zip(&self.counts) {
+            writeln!(f, "{l:>8} {c:>12}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(counts: &[u64]) -> VarietyTable {
+        VarietyTable::new(
+            vec!["00".into(), "01".into(), "10".into(), "11".into()],
+            counts.to_vec(),
+        )
+    }
+
+    #[test]
+    fn observed_and_total() {
+        let t = table(&[5, 0, 3, 100]);
+        assert_eq!(t.distinct_observed(), 3);
+        assert_eq!(t.total(), 108);
+        assert_eq!(t.count("00"), Some(5));
+        assert_eq!(t.count("zz"), None);
+        assert_eq!(t.observed_labels(), vec!["00", "10", "11"]);
+        assert_eq!(t.labels().len(), 4);
+    }
+
+    #[test]
+    fn coverage_comparison() {
+        let perple = table(&[5, 2, 3, 100]);
+        let litmus = table(&[0, 0, 1, 50]);
+        assert!(perple.covers(&litmus));
+        assert!(!litmus.covers(&perple));
+        assert!(perple.covers(&perple));
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = VarietyTable::new(vec!["a".into()], vec![1, 2]);
+    }
+
+    #[test]
+    fn display_lists_rows() {
+        let t = table(&[1, 2, 3, 4]);
+        let s = t.to_string();
+        assert!(s.contains("00"));
+        assert!(s.contains('4'));
+    }
+}

@@ -1,0 +1,13 @@
+//! Runs the design-choice ablations: heuristic pivot selection, drain
+//! latency, scheduler noise.
+
+fn main() {
+    let cfg = perple_bench::config_from_args(10_000);
+    let pivots = perple::experiments::ablation::pivot_ablation(&cfg);
+    let drains = perple::experiments::ablation::drain_sweep(&cfg);
+    let scheds = perple::experiments::ablation::scheduler_sweep(&cfg);
+    print!(
+        "{}",
+        perple::experiments::ablation::render(&pivots, &drains, &scheds, &cfg)
+    );
+}

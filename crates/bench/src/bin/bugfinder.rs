@@ -1,0 +1,13 @@
+//! Bug hunt: run the suite against a machine that claims x86-TSO but
+//! drains store buffers out of order (PSO-like fault injection).
+
+fn main() {
+    let cfg = perple_bench::config_from_args(10_000);
+    let reports = perple::experiments::bugfinder::bugfinder(&cfg);
+    print!("{}", perple::experiments::bugfinder::render(&reports, &cfg));
+    let wrong = reports.iter().filter(|r| !r.perple_correct()).count();
+    if wrong > 0 {
+        println!("{wrong} incorrect verdicts");
+        std::process::exit(1);
+    }
+}

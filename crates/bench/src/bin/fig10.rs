@@ -1,0 +1,7 @@
+//! Regenerates Figure 10: runtime speedups over litmus7 user mode.
+
+fn main() {
+    let cfg = perple_bench::config_from_args(10_000);
+    let rows = perple::experiments::fig10::fig10(&cfg);
+    print!("{}", perple::experiments::fig10::render(&rows, &cfg));
+}

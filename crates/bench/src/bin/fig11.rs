@@ -1,0 +1,16 @@
+//! Regenerates Figure 11: relative detection-rate improvement across
+//! iteration counts. The paper sweeps 100..100M; the default here sweeps
+//! 100..1M to stay laptop-friendly (pass --iterations to raise the top).
+
+fn main() {
+    let cfg = perple_bench::config_from_args(1_000_000);
+    let mut counts = vec![100u64, 1_000, 10_000, 100_000];
+    let mut top = 1_000_000u64;
+    while top <= cfg.iterations {
+        counts.push(top);
+        top *= 10;
+    }
+    counts.retain(|&c| c <= cfg.iterations.max(100_000));
+    let points = perple::experiments::fig11::fig11(&counts, &cfg);
+    print!("{}", perple::experiments::fig11::render(&points));
+}

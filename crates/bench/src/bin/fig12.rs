@@ -1,0 +1,8 @@
+//! Regenerates Figure 12: thread-skew PDF of the perpetual sb test
+//! (default 100k iterations, as in the paper).
+
+fn main() {
+    let cfg = perple_bench::config_from_args(100_000);
+    let data = perple::experiments::fig12::fig12(&cfg);
+    print!("{}", perple::experiments::fig12::render(&data));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 13: outcome variety for sb, lb and podwr001
+//! (default 1k iterations, as in the paper).
+
+fn main() {
+    let cfg = perple_bench::config_from_args(1_000);
+    let entries = perple::experiments::fig13::fig13(&cfg);
+    print!("{}", perple::experiments::fig13::render(&entries, &cfg));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 9: target-outcome occurrences across tools.
+//! Default 10k iterations as in the paper; override with --iterations.
+
+fn main() {
+    let cfg = perple_bench::config_from_args(10_000);
+    let rows = perple::experiments::fig9::fig9(&cfg);
+    print!("{}", perple::experiments::fig9::render(&rows, &cfg));
+    let violations = perple::experiments::fig9::shape_violations(&rows);
+    if violations.is_empty() {
+        println!("shape check: OK (no false positives; all allowed targets exposed)");
+    } else {
+        println!("shape check: VIOLATIONS {violations:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Generates the critical-cycle family of a given length (default 4, the
+//! classic two-thread tests) and prints each test with its SC/TSO
+//! classification and convertibility — the diy-style generation workflow
+//! PerpLE's Converter extends (§VIII).
+//!
+//! With `--run N`, additionally executes every convertible generated test
+//! for `N` perpetual iterations and validates observations against the
+//! classification: TSO-forbidden targets must stay silent, TSO-allowed
+//! targets should appear. A self-validating generation campaign.
+
+use perple::{classify, count_heuristic, Conversion, PerpleRunner, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut len = 4usize;
+    let mut run_iters: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--run" => {
+                run_iters = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(2_000),
+                );
+            }
+            other => {
+                if let Ok(l) = other.parse() {
+                    len = l;
+                } else {
+                    eprintln!("usage: generate [cycle-len] [--run N]");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    let family = perple_model::generate::generate_family(len);
+    println!("{} tests from cycles of length {len}\n", family.len());
+    let mut targets = 0;
+    let mut violations = 0;
+    for test in &family {
+        let c = classify(test);
+        let conv = Conversion::convert(test).ok();
+        if c.is_target() {
+            targets += 1;
+        }
+        let mut note = String::new();
+        if let (Some(n), Some(conv)) = (run_iters, conv.as_ref()) {
+            let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0x6E2));
+            let run = runner.run(&conv.perpetual, n);
+            let bufs = run.bufs();
+            let hits =
+                count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n)
+                    .counts[0];
+            note = format!(" hits={hits}");
+            if !c.tso_allowed && hits > 0 {
+                violations += 1;
+                note.push_str(" FALSE-POSITIVE");
+            }
+        }
+        println!(
+            "{:<44} T={} sc={:<5} tso={:<5} convertible={}{note}",
+            test.name(),
+            test.thread_count(),
+            c.sc_allowed,
+            c.tso_allowed,
+            conv.is_some(),
+        );
+    }
+    println!("\n{targets} TSO-only (store-buffering-revealing) targets");
+    if run_iters.is_some() {
+        println!("{violations} false positives across the campaign");
+        if violations > 0 {
+            std::process::exit(1);
+        }
+    }
+}

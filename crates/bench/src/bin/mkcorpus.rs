@@ -1,0 +1,4 @@
+fn main() {
+    let n = perple_model::suite::write_corpus(std::path::Path::new("corpus")).unwrap();
+    println!("{n} files written to corpus/");
+}

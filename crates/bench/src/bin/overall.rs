@@ -1,0 +1,8 @@
+//! Regenerates the §VII-G overall-impact numbers on the 88-test suite
+//! (default 10k iterations, as in the paper).
+
+fn main() {
+    let cfg = perple_bench::config_from_args(10_000);
+    let impact = perple::experiments::overall::overall(&cfg);
+    print!("{}", perple::experiments::overall::render(&impact, &cfg));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table II: suite classification under SC and x86-TSO.
+
+fn main() {
+    let rows = perple::experiments::table2::table2();
+    print!("{}", perple::experiments::table2::render(&rows));
+}

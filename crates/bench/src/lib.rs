@@ -1,0 +1,86 @@
+//! # perple-bench
+//!
+//! Benchmark harness for the PerpLE reproduction: one binary per paper
+//! table/figure (`table2`, `fig9`, `fig10`, `fig11`, `fig12`, `fig13`,
+//! `overall`) plus Criterion micro-benchmarks for the counters, the
+//! simulator, conversion, and the baseline synchronization modes.
+//!
+//! Every binary accepts `--iterations N` and `--seed S` overrides, e.g.:
+//!
+//! ```text
+//! cargo run --release -p perple-bench --bin fig9 -- --iterations 10000
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use perple::experiments::ExperimentConfig;
+
+/// Parses `--iterations N` and `--seed S` from the command line on top of
+/// the given defaults. Unknown arguments are rejected with a usage message.
+///
+/// # Panics
+/// Exits the process with a usage message on malformed arguments.
+pub fn config_from_args(default_iterations: u64) -> ExperimentConfig {
+    parse_args(std::env::args().skip(1), default_iterations)
+        .unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            eprintln!("usage: <bin> [--iterations N] [--seed S]");
+            std::process::exit(2);
+        })
+}
+
+fn parse_args<I: Iterator<Item = String>>(
+    mut args: I,
+    default_iterations: u64,
+) -> Result<ExperimentConfig, String> {
+    let mut cfg = ExperimentConfig::default().with_iterations(default_iterations);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iterations" | "-n" => {
+                let v = args.next().ok_or("missing value for --iterations")?;
+                cfg.iterations = v
+                    .parse()
+                    .map_err(|_| format!("bad iteration count {v:?}"))?;
+            }
+            "--seed" | "-s" => {
+                let v = args.next().ok_or("missing value for --seed")?;
+                cfg.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str], n: u64) -> Result<ExperimentConfig, String> {
+        parse_args(args.iter().map(|s| s.to_string()), n)
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cfg = parse(&[], 500).unwrap();
+        assert_eq!(cfg.iterations, 500);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let cfg = parse(&["--iterations", "123", "--seed", "7"], 500).unwrap();
+        assert_eq!(cfg.iterations, 123);
+        assert_eq!(cfg.seed, 7);
+        let cfg = parse(&["-n", "9"], 500).unwrap();
+        assert_eq!(cfg.iterations, 9);
+    }
+
+    #[test]
+    fn bad_args_are_rejected() {
+        assert!(parse(&["--iterations"], 1).is_err());
+        assert!(parse(&["--iterations", "x"], 1).is_err());
+        assert!(parse(&["--wat"], 1).is_err());
+        assert!(parse(&["--seed", "-1"], 1).is_err());
+    }
+}

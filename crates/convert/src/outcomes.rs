@@ -1,0 +1,661 @@
+//! Perpetual outcomes: conversion steps 1–4 of §IV-A.
+//!
+//! An original outcome's register conditions become inequality conditions
+//! over *frames* (tuples of one iteration index per load-performing thread):
+//!
+//! * `reg = v` with `v > 0` — the load read-from (rf) the unique store of
+//!   `v`, so in perpetual form the loaded value must be a term of that
+//!   store's sequence **at or after** the writer's frame iteration:
+//!   `val ≡ a (mod k) && (val-a)/k >= idx_writer`.
+//! * `reg = 0` — the load happened from-read-before (fr) every store to the
+//!   location, so the loaded value must be **older** than each frame store:
+//!   `val < k * idx_writer + a` for every storing instruction.
+//!
+//! Writers in load-performing threads use the frame's index directly;
+//! writers in store-only threads (e.g. `mp`'s producer) have no frame slot
+//! and are treated **existentially**: the frame matches if *some* iteration
+//! of the store-only thread satisfies all its constraints, solved per frame
+//! by interval intersection in O(1).
+
+use std::collections::BTreeMap;
+
+use perple_model::{LitmusTest, LoadSlot, Outcome, RegId, ThreadId};
+
+use crate::kmap::KMap;
+use crate::perpetual::PerpetualTest;
+use crate::ConvertError;
+
+/// Reference to an iteration index: a frame slot (load-performing thread)
+/// or an existential variable (store-only thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdxRef {
+    /// Index of a load-performing thread within the frame tuple.
+    Frame(usize),
+    /// Index into the outcome's existential-variable list.
+    Exist(usize),
+}
+
+/// Where a condition's loaded value lives: `buf[frame_pos][r_t * n + slot]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadRef {
+    /// Frame position of the loading thread.
+    pub frame_pos: usize,
+    /// `r_t` of the loading thread.
+    pub reads_per_iter: usize,
+    /// Load ordinal within the iteration.
+    pub slot: usize,
+}
+
+impl LoadRef {
+    /// Reads the load's value for iteration `n` out of the thread's buffer.
+    #[inline]
+    pub fn value(&self, bufs: &[&[u64]], n: u64) -> u64 {
+        bufs[self.frame_pos][self.reads_per_iter * n as usize + self.slot]
+    }
+}
+
+/// One store's sequence parameters plus the index of the iteration it is
+/// evaluated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreTerm {
+    /// Sequence stride.
+    pub k: u64,
+    /// Sequence offset.
+    pub a: u64,
+    /// Writer's iteration index.
+    pub writer: IdxRef,
+}
+
+/// One converted condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerpCond {
+    /// Read-from: `val ≡ a (mod k) && (val - a)/k >= idx(writer)`.
+    Rf {
+        /// The loaded value's location in the buffers.
+        load: LoadRef,
+        /// The store term read from.
+        term: StoreTerm,
+    },
+    /// From-read: `val < k*idx + a` for every store to the location.
+    Fr {
+        /// The loaded value's location in the buffers.
+        load: LoadRef,
+        /// Every store instruction to the loaded location.
+        terms: Vec<StoreTerm>,
+    },
+    /// Write serialization between two frame stores:
+    /// `k_l*idx_l + a_l < k_r*idx_r + a_r`. Produced when a load reads past
+    /// its own thread's program-order-earlier store (the own store must be
+    /// ws-before the observed writer). `left` always references a
+    /// load-performing (frame) thread.
+    Ws {
+        /// The ws-earlier store (own store of the reading thread).
+        left: StoreTerm,
+        /// The ws-later store (the observed writer).
+        right: StoreTerm,
+    },
+}
+
+impl PerpCond {
+    /// The load the condition constrains (`None` for pure ws conditions).
+    pub fn load(&self) -> Option<LoadRef> {
+        match self {
+            PerpCond::Rf { load, .. } | PerpCond::Fr { load, .. } => Some(*load),
+            PerpCond::Ws { .. } => None,
+        }
+    }
+}
+
+/// A perpetual outcome: the conjunction of converted conditions, evaluable
+/// on any frame (the `p_out` functions of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerpetualOutcome {
+    label: String,
+    conds: Vec<PerpCond>,
+    exist_threads: Vec<ThreadId>,
+    /// True if step 1's happens-before analysis already proves the outcome
+    /// impossible (cyclic even within one thread): a load cannot read the
+    /// initial value past an own earlier store (forwarding), nor read an
+    /// own store that is program-order-later. Such outcomes evaluate to
+    /// false on every frame.
+    infeasible: bool,
+}
+
+impl PerpetualOutcome {
+    /// Converts an original outcome (or partial condition) given as
+    /// `(thread, reg, value)` atoms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError`] if an atom references a register no load
+    /// writes, or a positive value no store produces.
+    pub fn convert(
+        test: &LitmusTest,
+        perp: &PerpetualTest,
+        kmap: &KMap,
+        atoms: &[(ThreadId, RegId, u32)],
+        label: String,
+    ) -> Result<Self, ConvertError> {
+        let slots = test.load_slots();
+        let reads = test.reads_per_thread();
+        let mut exist_threads: Vec<ThreadId> = Vec::new();
+        let exist_of = |t: ThreadId, exist_threads: &mut Vec<ThreadId>| -> usize {
+            if let Some(i) = exist_threads.iter().position(|&s| s == t) {
+                i
+            } else {
+                exist_threads.push(t);
+                exist_threads.len() - 1
+            }
+        };
+        let mut conds = Vec::new();
+        let mut infeasible = false;
+        // Positive-valued reads, remembered for coherence (CoRR) edges:
+        // (thread, load slot ordinal, location, writer instruction, load
+        // ref, writer term).
+        let mut corr_reads: Vec<(
+            ThreadId,
+            usize,
+            perple_model::LocId,
+            perple_model::InstrRef,
+            LoadRef,
+            StoreTerm,
+        )> = Vec::new();
+        for &(thread, reg, value) in atoms {
+            let slot = last_load_of(&slots, thread, reg).ok_or(
+                ConvertError::UnloadedRegister { thread: thread.index(), reg: reg.index() },
+            )?;
+            let load = LoadRef {
+                frame_pos: perp
+                    .frame_position(thread)
+                    .expect("condition thread performs loads"),
+                reads_per_iter: reads[thread.index()],
+                slot: slot.slot,
+            };
+            let idx_for = |t: ThreadId, exist_threads: &mut Vec<ThreadId>| match perp
+                .frame_position(t)
+            {
+                Some(p) => IdxRef::Frame(p),
+                None => IdxRef::Exist(exist_of(t, exist_threads)),
+            };
+            if value > 0 {
+                let asg = kmap.assignment(slot.loc, value).ok_or_else(|| {
+                    ConvertError::NoWriterForValue {
+                        loc: test.location_name(slot.loc).to_owned(),
+                        value,
+                    }
+                })?;
+                // Reading an own store that has not happened yet (po-later,
+                // or the same locked instruction's own store) is impossible.
+                if asg.thread == thread && asg.instr.index >= slot.instr_index {
+                    infeasible = true;
+                }
+                let writer = idx_for(asg.thread, &mut exist_threads);
+                let term = StoreTerm { k: asg.k, a: asg.a, writer };
+                corr_reads.push((thread, slot.slot, slot.loc, asg.instr, load, term));
+                conds.push(PerpCond::Rf { load, term });
+                // Reading another instruction's value across an own store to
+                // the same location implies write-serialization facts
+                // (step 1's ws/fr edges): a program-order-earlier own store
+                // is ws-before the observed writer; a program-order-later
+                // own store overwrites the observed value (fr). Without
+                // these, single-location tests like n5 would convert to
+                // satisfiable conditions despite being TSO-forbidden.
+                for (own_ref, own_val) in test.stores_to(slot.loc) {
+                    if own_ref.thread != thread || own_ref == asg.instr {
+                        continue;
+                    }
+                    let own = kmap
+                        .assignment(slot.loc, own_val)
+                        .expect("kmap covers every store");
+                    let own_term = StoreTerm {
+                        k: own.k,
+                        a: own.a,
+                        writer: IdxRef::Frame(load.frame_pos),
+                    };
+                    if own_ref.index < slot.instr_index {
+                        conds.push(PerpCond::Ws { left: own_term, right: term });
+                    } else {
+                        conds.push(PerpCond::Fr { load, terms: vec![own_term] });
+                    }
+                }
+            } else {
+                // Store forwarding makes the initial value unreadable once
+                // an own earlier store targeted the same location.
+                if test.stores_to(slot.loc).iter().any(|(r, _)| {
+                    r.thread == thread && r.index < slot.instr_index
+                }) {
+                    infeasible = true;
+                }
+                let terms = kmap
+                    .assignments_for(slot.loc)
+                    .into_iter()
+                    .map(|asg| StoreTerm {
+                        k: asg.k,
+                        a: asg.a,
+                        writer: idx_for(asg.thread, &mut exist_threads),
+                    })
+                    .collect();
+                conds.push(PerpCond::Fr { load, terms });
+            }
+        }
+        // Coherence (CoRR) fr edges (paper §IV-A, step 1): two program-order
+        // reads of the same location within one thread observe ws-ordered
+        // stores, so the earlier read is fr-before the later read's writer.
+        // Without these edges, write-serialization disagreements (co-iriw)
+        // would convert to vacuously satisfiable conditions.
+        for (i, a) in corr_reads.iter().enumerate() {
+            for b in &corr_reads[i + 1..] {
+                if a.0 != b.0 || a.2 != b.2 || a.3 == b.3 || a.1 == b.1 {
+                    continue;
+                }
+                let (early, late) = if a.1 < b.1 { (a, b) } else { (b, a) };
+                conds.push(PerpCond::Fr { load: early.4, terms: vec![late.5] });
+            }
+        }
+        Ok(Self { label, conds, exist_threads, infeasible })
+    }
+
+    /// Converts the test's own (target) condition.
+    ///
+    /// # Errors
+    /// See [`PerpetualOutcome::convert`]; additionally fails on
+    /// memory-inspecting conditions via the caller's conversion pipeline.
+    pub fn convert_target(
+        test: &LitmusTest,
+        perp: &PerpetualTest,
+        kmap: &KMap,
+    ) -> Result<Self, ConvertError> {
+        if test.target().inspects_memory() {
+            return Err(ConvertError::MemoryCondition);
+        }
+        let atoms: Vec<_> = test.target().reg_atoms().collect();
+        Self::convert(test, perp, kmap, &atoms, "target".to_owned())
+    }
+
+    /// Converts a complete register [`Outcome`].
+    ///
+    /// # Errors
+    /// See [`PerpetualOutcome::convert`].
+    pub fn convert_outcome(
+        test: &LitmusTest,
+        perp: &PerpetualTest,
+        kmap: &KMap,
+        outcome: &Outcome,
+    ) -> Result<Self, ConvertError> {
+        let atoms: Vec<_> = outcome.iter().collect();
+        Self::convert(test, perp, kmap, &atoms, outcome.label())
+    }
+
+    /// Display label (original outcome label or `"target"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The converted conditions.
+    pub fn conds(&self) -> &[PerpCond] {
+        &self.conds
+    }
+
+    /// True if the outcome is impossible by construction (see the field
+    /// documentation); `eval_frame` is then constantly false.
+    pub fn is_infeasible(&self) -> bool {
+        self.infeasible
+    }
+
+    /// Store-only threads referenced existentially, in variable order.
+    pub fn exist_threads(&self) -> &[ThreadId] {
+        &self.exist_threads
+    }
+
+    /// Evaluates the outcome on one frame (`p_out` of the paper).
+    ///
+    /// `frame` holds one iteration index per load-performing thread (frame
+    /// order); `bufs` the corresponding result buffers; `n_iters` the run
+    /// length `N`, bounding existential writer iterations.
+    pub fn eval_frame(&self, frame: &[u64], bufs: &[&[u64]], n_iters: u64) -> bool {
+        debug_assert!(!frame.is_empty());
+        if n_iters == 0 || self.infeasible {
+            return false;
+        }
+        // Existential interval per variable: [lo, hi] over 0..N-1.
+        let mut lo = vec![0u64; self.exist_threads.len()];
+        let mut hi = vec![n_iters - 1; self.exist_threads.len()];
+
+        for cond in &self.conds {
+            if let PerpCond::Ws { left, right } = cond {
+                let IdxRef::Frame(lp) = left.writer else {
+                    unreachable!("ws left side is a frame store")
+                };
+                let lval = left.k * frame[lp] + left.a;
+                match right.writer {
+                    IdxRef::Frame(p) => {
+                        if lval >= right.k * frame[p] + right.a {
+                            return false;
+                        }
+                    }
+                    IdxRef::Exist(e) => {
+                        lo[e] = lo[e].max(fr_lower_bound(right.k, right.a, lval));
+                    }
+                }
+                continue;
+            }
+            let load = cond.load().expect("rf/fr conditions carry a load");
+            let val = load.value(bufs, frame[load.frame_pos]);
+            match cond {
+                PerpCond::Rf { term, .. } => {
+                    let m = match KMap::decode(term.k, term.a, val) {
+                        Some(m) => m,
+                        None => return false,
+                    };
+                    match term.writer {
+                        IdxRef::Frame(p) => {
+                            if m < frame[p] {
+                                return false;
+                            }
+                        }
+                        IdxRef::Exist(e) => hi[e] = hi[e].min(m),
+                    }
+                }
+                PerpCond::Fr { terms, .. } => {
+                    for term in terms {
+                        // val < k*idx + a  ⇔  idx > (val - a)/k.
+                        let min_idx = fr_lower_bound(term.k, term.a, val);
+                        match term.writer {
+                            IdxRef::Frame(p) => {
+                                if frame[p] < min_idx {
+                                    return false;
+                                }
+                            }
+                            IdxRef::Exist(e) => lo[e] = lo[e].max(min_idx),
+                        }
+                    }
+                }
+                PerpCond::Ws { .. } => unreachable!("handled above"),
+            }
+        }
+        lo.iter().zip(&hi).all(|(l, h)| l <= h)
+    }
+}
+
+/// Smallest `idx` with `val < k*idx + a` (the fr feasibility bound).
+#[inline]
+pub(crate) fn fr_lower_bound(k: u64, a: u64, val: u64) -> u64 {
+    if val < a {
+        0
+    } else {
+        (val - a) / k + 1
+    }
+}
+
+/// The last load of thread `t` targeting register `r` (its final value).
+pub(crate) fn last_load_of(slots: &[LoadSlot], t: ThreadId, r: RegId) -> Option<LoadSlot> {
+    slots
+        .iter()
+        .filter(|s| s.thread == t && s.reg == r)
+        .last()
+        .copied()
+}
+
+/// Converts every possible outcome of a test (outcome-variety analysis,
+/// Figure 13), in canonical label order.
+///
+/// # Errors
+/// Propagates conversion errors from [`PerpetualOutcome::convert_outcome`].
+pub fn convert_all_outcomes(
+    test: &LitmusTest,
+    perp: &PerpetualTest,
+    kmap: &KMap,
+) -> Result<Vec<PerpetualOutcome>, ConvertError> {
+    let mut out = Vec::new();
+    let mut seen = BTreeMap::new();
+    for o in test.possible_outcomes() {
+        // Skip outcomes a locked RMW makes structurally impossible: a
+        // register fed only by an XCHG cannot observe the XCHG's own value.
+        if !xchg_feasible(test, &o) {
+            continue;
+        }
+        let po = PerpetualOutcome::convert_outcome(test, perp, kmap, &o)?;
+        seen.insert(o.label(), ());
+        out.push(po);
+    }
+    debug_assert_eq!(seen.len(), out.len());
+    Ok(out)
+}
+
+/// False if the outcome requires an XCHG to read its own stored value.
+fn xchg_feasible(test: &LitmusTest, outcome: &Outcome) -> bool {
+    for (t, instrs) in test.threads().iter().enumerate() {
+        for instr in instrs {
+            if let perple_model::Instr::Xchg { reg, value, .. } = instr {
+                if outcome.get(ThreadId(t as u8), *reg) == Some(*value) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perple_model::suite;
+
+    struct Fixture {
+        test: perple_model::LitmusTest,
+        perp: PerpetualTest,
+        kmap: KMap,
+    }
+
+    fn fixture(test: perple_model::LitmusTest) -> Fixture {
+        let kmap = KMap::compute(&test).unwrap();
+        let perp = PerpetualTest::convert(&test).unwrap();
+        Fixture { test, perp, kmap }
+    }
+
+    fn sb_outcomes(f: &Fixture) -> Vec<PerpetualOutcome> {
+        convert_all_outcomes(&f.test, &f.perp, &f.kmap).unwrap()
+    }
+
+    /// Figure 6 golden check: the four sb perpetual outcomes evaluated on
+    /// hand-built buffers.
+    #[test]
+    fn sb_matches_figure_6() {
+        let f = fixture(suite::sb());
+        let outcomes = sb_outcomes(&f);
+        assert_eq!(outcomes.len(), 4);
+        let labels: Vec<&str> = outcomes.iter().map(|o| o.label()).collect();
+        assert_eq!(labels, vec!["00", "01", "10", "11"]);
+
+        // Construct buffers for N=3 where iteration pairs realize known
+        // relationships. buf0[n] is the y-value thread 0 loaded in its
+        // iteration n; buf1[m] the x-value thread 1 loaded.
+        // Frame (n=1, m=1) with buf0[1]=1, buf1[1]=1:
+        //   p_out_0: buf0[1] <= 1 && buf1[1] <= 1  → true  (00)
+        //   p_out_3: buf0[1] >= 2 && buf1[1] >= 2  → false (11)
+        let b0: Vec<u64> = vec![0, 1, 3];
+        let b1: Vec<u64> = vec![0, 1, 3];
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let n = 3;
+        assert!(outcomes[0].eval_frame(&[1, 1], &bufs, n)); // 00
+        assert!(!outcomes[3].eval_frame(&[1, 1], &bufs, n)); // 11
+        // Frame (2, 2): buf0[2]=3 >= m+1=3 and buf1[2]=3 >= n+1=3 → 11.
+        assert!(outcomes[3].eval_frame(&[2, 2], &bufs, n));
+        assert!(!outcomes[0].eval_frame(&[2, 2], &bufs, n));
+        // Frame (0, 0): both read 0 → 00.
+        assert!(outcomes[0].eval_frame(&[0, 0], &bufs, n));
+        // Asymmetric frame (2, 0): buf0[2]=3 >= 0+1 (rf from m=0's store or
+        // later) and buf1[0]=0 <= 2 → outcome 10.
+        assert!(outcomes[2].eval_frame(&[2, 0], &bufs, n));
+        assert!(!outcomes[1].eval_frame(&[2, 0], &bufs, n));
+    }
+
+    #[test]
+    fn target_conversion_of_sb_is_the_00_outcome() {
+        let f = fixture(suite::sb());
+        let target = PerpetualOutcome::convert_target(&f.test, &f.perp, &f.kmap).unwrap();
+        assert_eq!(target.conds().len(), 2);
+        assert!(target.exist_threads().is_empty());
+        assert!(target
+            .conds()
+            .iter()
+            .all(|c| matches!(c, PerpCond::Fr { .. })));
+    }
+
+    #[test]
+    fn mp_uses_an_existential_writer_index() {
+        // mp's producer performs no loads: both conditions reference its
+        // iteration existentially, and both conditions must agree on it.
+        let f = fixture(suite::mp());
+        let target = PerpetualOutcome::convert_target(&f.test, &f.perp, &f.kmap).unwrap();
+        assert_eq!(target.exist_threads(), &[ThreadId(0)]);
+        assert_eq!(target.conds().len(), 2);
+
+        // Thread 1 bufs: [EAX(y), EBX(x)] per iteration (r_t = 2).
+        // Iteration 0: read y=5 (producer iteration 4) and x=3 (producer
+        // iteration 2 < 4): the mp violation would need x-read < y-iter:
+        // rf y: m <= 4; fr x: val(3) < m + 1 → m >= 3. Interval [3,4]
+        // non-empty → target matches (store buffering of the producer
+        // would be required on hardware; here we only test the algebra).
+        let b1: Vec<u64> = vec![5, 3];
+        let bufs: Vec<&[u64]> = vec![&b1];
+        assert!(target.eval_frame(&[0], &bufs, 10));
+
+        // Reading y=5 and x=5 means x is NOT older than the y-iteration:
+        // fr x needs m >= 5 but rf y needs m <= 4 → empty interval.
+        let b2: Vec<u64> = vec![5, 5];
+        let bufs2: Vec<&[u64]> = vec![&b2];
+        assert!(!target.eval_frame(&[0], &bufs2, 10));
+    }
+
+    #[test]
+    fn existential_bounded_by_run_length() {
+        let f = fixture(suite::mp());
+        let target = PerpetualOutcome::convert_target(&f.test, &f.perp, &f.kmap).unwrap();
+        // fr x demands producer iteration >= 7, but the run only has 5
+        // iterations → infeasible.
+        let b: Vec<u64> = vec![8, 7];
+        let bufs: Vec<&[u64]> = vec![&b];
+        assert!(!target.eval_frame(&[0], &bufs, 5));
+        assert!(target.eval_frame(&[0], &bufs, 10));
+    }
+
+    #[test]
+    fn rf_requires_matching_residue() {
+        // n5: x has k=2; thread 0 stores 2n+1, thread 1 stores 2n+2.
+        // Thread 0's condition EAX=2 means rf from thread 1's sequence:
+        // even values only.
+        // Single condition of n5: thread 0 reads 2 (thread 1's sequence,
+        // even values).
+        let f = fixture(suite::n5());
+        let cond = PerpetualOutcome::convert(
+            &f.test,
+            &f.perp,
+            &f.kmap,
+            &[(ThreadId(0), perple_model::RegId(0), 2)],
+            "partial".into(),
+        )
+        .unwrap();
+        let b0: Vec<u64> = vec![0, 4]; // iteration 1 reads 4: even, thread 1's iter 1 ✓
+        let b1: Vec<u64> = vec![0, 3];
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        assert!(cond.eval_frame(&[1, 1], &bufs, 10));
+        // Wrong residue: thread 0 loading an odd value cannot be rf from
+        // thread 1.
+        let b0bad: Vec<u64> = vec![0, 3];
+        let bufsbad: Vec<&[u64]> = vec![&b0bad, &b1];
+        assert!(!cond.eval_frame(&[1, 1], &bufsbad, 10));
+
+        // The full n5 target is write-serialization-contradictory: no frame
+        // and no buffer contents can satisfy it (the ws edges of step 1).
+        let target = PerpetualOutcome::convert_target(&f.test, &f.perp, &f.kmap).unwrap();
+        for n0 in 0..3u64 {
+            for n1 in 0..3u64 {
+                let c0: Vec<u64> = vec![2, 4, 6];
+                let c1: Vec<u64> = vec![1, 3, 5];
+                let cufs: Vec<&[u64]> = vec![&c0, &c1];
+                assert!(
+                    !target.eval_frame(&[n0, n1], &cufs, 3),
+                    "n5 target matched frame ({n0},{n1})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rf_from_frame_writer_requires_at_or_after() {
+        let f = fixture(suite::sb());
+        let outcomes = sb_outcomes(&f);
+        // Outcome "01": buf1[m] must be >= n+1 (rf at-or-after n).
+        let b0: Vec<u64> = vec![0, 0];
+        let b1: Vec<u64> = vec![1, 2];
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        // frame (n=1, m=0): buf1[0]=1 < n+1=2 → rf violated.
+        assert!(!outcomes[1].eval_frame(&[1, 0], &bufs, 2));
+        // frame (n=0, m=1): buf1[1]=2 >= 1 ✓ and buf0[0]=0 <= 1 ✓.
+        assert!(outcomes[1].eval_frame(&[0, 1], &bufs, 2));
+    }
+
+    #[test]
+    fn condition_on_unloaded_register_errors() {
+        let f = fixture(suite::sb());
+        let err = PerpetualOutcome::convert(
+            &f.test,
+            &f.perp,
+            &f.kmap,
+            &[(ThreadId(0), RegId(5), 0)],
+            "bad".into(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConvertError::UnloadedRegister { .. }));
+    }
+
+    #[test]
+    fn unknown_value_errors() {
+        let f = fixture(suite::sb());
+        let err = PerpetualOutcome::convert(
+            &f.test,
+            &f.perp,
+            &f.kmap,
+            &[(ThreadId(0), RegId(0), 9)],
+            "bad".into(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ConvertError::NoWriterForValue { loc: "y".into(), value: 9 }
+        );
+    }
+
+    #[test]
+    fn convert_all_outcomes_skips_xchg_self_reads() {
+        let f = fixture(suite::amd10());
+        let outcomes = convert_all_outcomes(&f.test, &f.perp, &f.kmap).unwrap();
+        // 4 registers with 2 values each = 16 raw outcomes; the two XCHG
+        // registers can only read 0 → 4 remain.
+        assert_eq!(outcomes.len(), 4);
+    }
+
+    #[test]
+    fn whole_convertible_suite_converts_targets_and_outcome_spaces() {
+        for t in suite::convertible() {
+            let f = fixture(t);
+            let target =
+                PerpetualOutcome::convert_target(&f.test, &f.perp, &f.kmap)
+                    .unwrap_or_else(|e| panic!("{}: {e}", f.test.name()));
+            assert!(!target.conds().is_empty(), "{}", f.test.name());
+            let all = convert_all_outcomes(&f.test, &f.perp, &f.kmap)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.test.name()));
+            assert!(!all.is_empty(), "{}", f.test.name());
+        }
+    }
+
+    #[test]
+    fn fr_lower_bound_math() {
+        assert_eq!(fr_lower_bound(1, 1, 0), 0); // 0 < m+1 for all m>=0
+        assert_eq!(fr_lower_bound(1, 1, 1), 1); // 1 < m+1 → m>=1
+        assert_eq!(fr_lower_bound(1, 1, 5), 5);
+        assert_eq!(fr_lower_bound(2, 1, 5), 3); // 5 < 2m+1 → m>=3
+        assert_eq!(fr_lower_bound(2, 2, 5), 2); // 5 < 2m+2 → m>=2
+    }
+}

@@ -1,0 +1,403 @@
+//! State-space exploration of the operational SC/TSO machines.
+
+use std::collections::{BTreeSet, HashSet};
+
+use perple_model::{Instr, LitmusTest, Outcome, RegId, ThreadId};
+
+/// The memory model driving the exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryModel {
+    /// Sequential consistency: stores apply to memory immediately.
+    Sc,
+    /// x86-TSO: per-thread FIFO store buffers with forwarding; `MFENCE` and
+    /// locked instructions require an empty buffer.
+    Tso,
+    /// Partial store order: like TSO but buffered stores to *different*
+    /// locations may drain out of order (per-location FIFO only). Strictly
+    /// weaker than TSO — a deliberately non-conformant machine used to
+    /// demonstrate bug hunting (store-store reordering breaks `mp`).
+    Pso,
+}
+
+impl std::fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryModel::Sc => write!(f, "SC"),
+            MemoryModel::Tso => write!(f, "TSO"),
+            MemoryModel::Pso => write!(f, "PSO"),
+        }
+    }
+}
+
+/// One machine configuration during exploration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    pc: Vec<u8>,
+    /// Per-thread FIFO store buffer, oldest first. Always empty under SC.
+    buffers: Vec<Vec<(u8, u32)>>,
+    mem: Vec<u32>,
+    regs: Vec<Vec<u32>>,
+}
+
+impl State {
+    fn initial(test: &LitmusTest) -> Self {
+        State {
+            pc: vec![0; test.thread_count()],
+            buffers: vec![Vec::new(); test.thread_count()],
+            mem: test.init_values().to_vec(),
+            regs: test
+                .threads()
+                .iter()
+                .enumerate()
+                .map(|(t, _)| {
+                    let nregs = test
+                        .thread(ThreadId(t as u8))
+                        .iter()
+                        .filter_map(|i| i.load_target())
+                        .map(|(r, _)| r.index() + 1)
+                        .max()
+                        .unwrap_or(0);
+                    vec![0; nregs]
+                })
+                .collect(),
+        }
+    }
+
+    fn is_final(&self, test: &LitmusTest) -> bool {
+        self.pc
+            .iter()
+            .enumerate()
+            .all(|(t, &pc)| pc as usize == test.thread(ThreadId(t as u8)).len())
+            && self.buffers.iter().all(Vec::is_empty)
+    }
+
+    /// Value a load of `loc` observes for thread `t`: newest buffered store
+    /// to `loc` (forwarding) or memory.
+    fn read(&self, t: usize, loc: usize) -> u32 {
+        self.buffers[t]
+            .iter()
+            .rev()
+            .find(|&&(l, _)| l as usize == loc)
+            .map(|&(_, v)| v)
+            .unwrap_or(self.mem[loc])
+    }
+}
+
+/// The set of executions (register valuation plus final memory) reachable
+/// for one test under one memory model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionSet {
+    model: MemoryModel,
+    executions: BTreeSet<(Outcome, Vec<u32>)>,
+    states_explored: usize,
+}
+
+impl ExecutionSet {
+    /// The model the set was enumerated under.
+    pub fn model(&self) -> MemoryModel {
+        self.model
+    }
+
+    /// All `(registers, final memory)` executions.
+    pub fn executions(&self) -> impl Iterator<Item = &(Outcome, Vec<u32>)> {
+        self.executions.iter()
+    }
+
+    /// Number of distinct final executions.
+    pub fn len(&self) -> usize {
+        self.executions.len()
+    }
+
+    /// True if no execution terminates (cannot happen for well-formed
+    /// litmus tests).
+    pub fn is_empty(&self) -> bool {
+        self.executions.is_empty()
+    }
+
+    /// Number of machine states visited during enumeration.
+    pub fn states_explored(&self) -> usize {
+        self.states_explored
+    }
+
+    /// The distinct register valuations, ignoring final memory.
+    pub fn register_outcomes(&self) -> BTreeSet<Outcome> {
+        self.executions.iter().map(|(o, _)| o.clone()).collect()
+    }
+
+    /// True if some execution satisfies the test's condition.
+    pub fn condition_reachable(&self, test: &LitmusTest) -> bool {
+        self.executions
+            .iter()
+            .any(|(o, mem)| test.target().matches(o, mem))
+    }
+}
+
+/// Exhaustively enumerates all executions of `test` under `model`.
+///
+/// The search memoizes machine states; litmus-scale tests (≤ 4 threads,
+/// ≤ 6 instructions each) finish in well under a millisecond.
+pub fn enumerate(test: &LitmusTest, model: MemoryModel) -> ExecutionSet {
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut stack = vec![State::initial(test)];
+    let mut executions = BTreeSet::new();
+    let load_regs: Vec<(ThreadId, RegId)> = test
+        .load_slots()
+        .iter()
+        .map(|s| (s.thread, s.reg))
+        .collect();
+
+    while let Some(state) = stack.pop() {
+        if !visited.insert(state.clone()) {
+            continue;
+        }
+        if state.is_final(test) {
+            let mut outcome = Outcome::new();
+            for &(t, r) in &load_regs {
+                outcome.set(t, r, state.regs[t.index()][r.index()]);
+            }
+            executions.insert((outcome, state.mem.clone()));
+            continue;
+        }
+        for next in successors(test, &state, model) {
+            if !visited.contains(&next) {
+                stack.push(next);
+            }
+        }
+    }
+
+    ExecutionSet { model, executions, states_explored: visited.len() }
+}
+
+fn successors(test: &LitmusTest, state: &State, model: MemoryModel) -> Vec<State> {
+    let mut out = Vec::new();
+    for t in 0..test.thread_count() {
+        let instrs = test.thread(ThreadId(t as u8));
+        // Drain buffered stores (buffers stay empty under SC). TSO drains
+        // strictly in FIFO order; PSO may drain the oldest entry of *any*
+        // location (per-location FIFO only).
+        match model {
+            MemoryModel::Sc => {}
+            MemoryModel::Tso => {
+                if let Some(&(loc, v)) = state.buffers[t].first() {
+                    let mut s = state.clone();
+                    s.buffers[t].remove(0);
+                    s.mem[loc as usize] = v;
+                    out.push(s);
+                }
+            }
+            MemoryModel::Pso => {
+                let mut seen_locs = Vec::new();
+                for (i, &(loc, v)) in state.buffers[t].iter().enumerate() {
+                    if seen_locs.contains(&loc) {
+                        continue; // only the oldest entry per location
+                    }
+                    seen_locs.push(loc);
+                    let mut s = state.clone();
+                    s.buffers[t].remove(i);
+                    s.mem[loc as usize] = v;
+                    out.push(s);
+                }
+            }
+        }
+        let pc = state.pc[t] as usize;
+        if pc >= instrs.len() {
+            continue;
+        }
+        match instrs[pc] {
+            Instr::Store { loc, value } => {
+                let mut s = state.clone();
+                s.pc[t] += 1;
+                match model {
+                    MemoryModel::Sc => s.mem[loc.index()] = value,
+                    MemoryModel::Tso | MemoryModel::Pso => {
+                        s.buffers[t].push((loc.0, value))
+                    }
+                }
+                out.push(s);
+            }
+            Instr::Load { reg, loc } => {
+                let mut s = state.clone();
+                s.pc[t] += 1;
+                s.regs[t][reg.index()] = state.read(t, loc.index());
+                out.push(s);
+            }
+            Instr::Mfence => {
+                if state.buffers[t].is_empty() {
+                    let mut s = state.clone();
+                    s.pc[t] += 1;
+                    out.push(s);
+                }
+            }
+            Instr::Xchg { reg, loc, value } => {
+                if state.buffers[t].is_empty() {
+                    let mut s = state.clone();
+                    s.pc[t] += 1;
+                    s.regs[t][reg.index()] = state.mem[loc.index()];
+                    s.mem[loc.index()] = value;
+                    out.push(s);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perple_model::suite;
+    use perple_model::TestBuilder;
+
+    #[test]
+    fn sb_under_sc_has_three_outcomes() {
+        let sb = suite::sb();
+        let sc = enumerate(&sb, MemoryModel::Sc);
+        let labels: Vec<String> = sc
+            .register_outcomes()
+            .iter()
+            .map(|o| o.label())
+            .collect();
+        assert_eq!(labels, vec!["01", "10", "11"]);
+    }
+
+    #[test]
+    fn sb_under_tso_has_all_four_outcomes() {
+        let sb = suite::sb();
+        let tso = enumerate(&sb, MemoryModel::Tso);
+        let labels: Vec<String> = tso
+            .register_outcomes()
+            .iter()
+            .map(|o| o.label())
+            .collect();
+        assert_eq!(labels, vec!["00", "01", "10", "11"]);
+    }
+
+    #[test]
+    fn fenced_sb_loses_the_weak_outcome() {
+        let amd5 = suite::amd5();
+        let tso = enumerate(&amd5, MemoryModel::Tso);
+        assert!(!tso
+            .register_outcomes()
+            .iter()
+            .any(|o| o.label() == "00"));
+    }
+
+    #[test]
+    fn forwarding_reads_own_buffered_store() {
+        // P0: x=1; EAX=x — under TSO the load must forward 1 even while the
+        // store sits in the buffer; EAX=0 is unreachable.
+        let mut b = TestBuilder::new("fwd");
+        b.thread().store("x", 1).load("EAX", "x");
+        b.reg_cond(0, "EAX", 0);
+        let t = b.build().unwrap();
+        let tso = enumerate(&t, MemoryModel::Tso);
+        assert_eq!(tso.register_outcomes().len(), 1);
+        assert!(!tso.condition_reachable(&t));
+    }
+
+    #[test]
+    fn xchg_reads_memory_not_buffer() {
+        // The locked exchange waits for the buffer to drain; it always reads
+        // the pre-exchange memory value.
+        let mut b = TestBuilder::new("x");
+        b.thread().store("y", 5).xchg("EAX", "x", 1);
+        b.reg_cond(0, "EAX", 0);
+        let t = b.build().unwrap();
+        let tso = enumerate(&t, MemoryModel::Tso);
+        assert!(tso.condition_reachable(&t));
+        // Final memory must contain both stores.
+        for (_, mem) in tso.executions() {
+            assert_eq!(mem, &vec![5, 1]);
+        }
+    }
+
+    #[test]
+    fn final_memory_reflects_write_serialization() {
+        let mut b = TestBuilder::new("co");
+        b.thread().store("x", 1);
+        b.thread().store("x", 2);
+        b.mem_cond("x", 1);
+        let t = b.build().unwrap();
+        let tso = enumerate(&t, MemoryModel::Tso);
+        let finals: BTreeSet<Vec<u32>> =
+            tso.executions().map(|(_, m)| m.clone()).collect();
+        assert_eq!(finals, BTreeSet::from([vec![1], vec![2]]));
+        assert!(tso.condition_reachable(&t));
+    }
+
+    #[test]
+    fn buffers_drain_before_termination() {
+        // A store-only test must leave its value in memory.
+        let mut b = TestBuilder::new("drain");
+        b.thread().store("x", 1);
+        b.mem_cond("x", 1);
+        let t = b.build().unwrap();
+        let tso = enumerate(&t, MemoryModel::Tso);
+        assert_eq!(tso.len(), 1);
+        assert!(tso.condition_reachable(&t));
+    }
+
+    #[test]
+    fn state_counts_are_reported() {
+        let sb = suite::sb();
+        let tso = enumerate(&sb, MemoryModel::Tso);
+        assert!(tso.states_explored() > 10);
+        assert!(!tso.is_empty());
+        assert_eq!(tso.model(), MemoryModel::Tso);
+        assert_eq!(MemoryModel::Tso.to_string(), "TSO");
+        assert_eq!(MemoryModel::Sc.to_string(), "SC");
+    }
+
+    #[test]
+    fn pso_allows_store_store_reordering() {
+        // mp's target needs the producer's stores to reorder: forbidden
+        // under TSO, allowed under PSO.
+        let mp = suite::mp();
+        let tso = enumerate(&mp, MemoryModel::Tso);
+        let pso = enumerate(&mp, MemoryModel::Pso);
+        assert!(!tso.condition_reachable(&mp));
+        assert!(pso.condition_reachable(&mp));
+    }
+
+    #[test]
+    fn pso_is_a_superset_of_tso() {
+        for test in suite::convertible() {
+            let tso = enumerate(&test, MemoryModel::Tso);
+            let pso = enumerate(&test, MemoryModel::Pso);
+            assert!(
+                tso.register_outcomes().is_subset(&pso.register_outcomes()),
+                "{}",
+                test.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pso_preserves_load_store_order_and_per_location_coherence() {
+        // lb (load->store) stays forbidden, and so does single-location
+        // reordering (per-location FIFO).
+        let lb = suite::lb();
+        assert!(!enumerate(&lb, MemoryModel::Pso).condition_reachable(&lb));
+        let co = suite::co_iriw();
+        assert!(!enumerate(&co, MemoryModel::Pso).condition_reachable(&co));
+    }
+
+    #[test]
+    fn fences_still_restore_order_under_pso() {
+        let safe022 = suite::safe022(); // mp with a producer-side fence
+        assert!(!enumerate(&safe022, MemoryModel::Pso).condition_reachable(&safe022));
+        assert_eq!(MemoryModel::Pso.to_string(), "PSO");
+    }
+
+    #[test]
+    fn iriw_outcome_counts() {
+        // iriw has 4 loads; TSO forbids the disagreeing outcome but allows
+        // most others. SC allows strictly fewer.
+        let t = suite::iriw();
+        let sc = enumerate(&t, MemoryModel::Sc);
+        let tso = enumerate(&t, MemoryModel::Tso);
+        assert!(sc.register_outcomes().len() <= tso.register_outcomes().len());
+        assert!(!tso.condition_reachable(&t));
+        assert!(!sc.condition_reachable(&t));
+    }
+}

@@ -1,0 +1,147 @@
+//! # perple-enumerate
+//!
+//! Exhaustive operational enumeration of litmus-test executions under
+//! **sequential consistency (SC)** and **x86-TSO**, playing the role the
+//! `herd` memory-model simulator plays in the PerpLE paper: classifying each
+//! test's target outcome as *allowed* or *forbidden* (Table II).
+//!
+//! The TSO machine is the operational x86-TSO model of Owens, Sarkar and
+//! Sewell: each hardware thread owns a FIFO store buffer; stores enter the
+//! buffer, drain to shared memory in order at nondeterministic times, loads
+//! forward from the newest buffered store to the same address, `MFENCE` and
+//! locked instructions wait for an empty buffer. SC is the same machine with
+//! stores applied directly to memory.
+//!
+//! Enumeration is a depth-first search over all interleavings of
+//! instruction execution and buffer drains, memoizing visited machine states
+//! so the search is exact and terminates quickly for litmus-scale programs.
+//!
+//! # Example
+//!
+//! ```
+//! use perple_enumerate::{classify, MemoryModel, enumerate};
+//! use perple_model::suite;
+//!
+//! let sb = suite::sb();
+//! let c = classify(&sb);
+//! // The sb target (both loads 0) needs store buffering:
+//! assert!(c.tso_allowed && !c.sc_allowed);
+//!
+//! // TSO executions strictly include the SC ones.
+//! let sc = enumerate(&sb, MemoryModel::Sc);
+//! let tso = enumerate(&sb, MemoryModel::Tso);
+//! assert!(sc.register_outcomes().is_subset(&tso.register_outcomes()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod axiomatic;
+mod explore;
+
+pub use explore::{enumerate, ExecutionSet, MemoryModel};
+
+use perple_model::LitmusTest;
+
+/// Whether each memory model can realize a test's condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classification {
+    /// The condition is reachable under sequential consistency.
+    pub sc_allowed: bool,
+    /// The condition is reachable under x86-TSO.
+    pub tso_allowed: bool,
+}
+
+impl Classification {
+    /// True if the condition distinguishes TSO from SC: reachable only with
+    /// store buffering. Such conditions are the paper's *target outcomes*.
+    pub fn is_target(&self) -> bool {
+        self.tso_allowed && !self.sc_allowed
+    }
+}
+
+/// Classifies the test's own condition under SC and x86-TSO.
+pub fn classify(test: &LitmusTest) -> Classification {
+    let sc = enumerate(test, MemoryModel::Sc);
+    let tso = enumerate(test, MemoryModel::Tso);
+    Classification {
+        sc_allowed: sc.condition_reachable(test),
+        tso_allowed: tso.condition_reachable(test),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perple_model::suite;
+
+    #[test]
+    fn table_ii_split_matches_enumeration() {
+        // The central cross-check: our reconstruction of Table II must agree
+        // with the operational x86-TSO model on every allowed/forbidden bit.
+        for (test, entry) in suite::convertible().iter().zip(suite::TABLE_II) {
+            let c = classify(test);
+            assert_eq!(
+                c.tso_allowed, entry.allowed,
+                "{}: expected tso_allowed={}",
+                entry.name, entry.allowed
+            );
+        }
+    }
+
+    #[test]
+    fn allowed_targets_are_true_targets() {
+        // Allowed targets must be TSO-only (store-buffering-revealing).
+        for test in suite::allowed_targets() {
+            let c = classify(&test);
+            assert!(c.is_target(), "{} target should be TSO-only", test.name());
+        }
+    }
+
+    #[test]
+    fn sc_outcomes_subset_of_tso_for_whole_suite() {
+        for test in suite::convertible() {
+            let sc = enumerate(&test, MemoryModel::Sc);
+            let tso = enumerate(&test, MemoryModel::Tso);
+            assert!(
+                sc.register_outcomes().is_subset(&tso.register_outcomes()),
+                "{}",
+                test.name()
+            );
+        }
+    }
+
+    #[test]
+    fn hb_acyclicity_agrees_with_operational_sc() {
+        // The axiomatic SC check (happens-before acyclicity over all write
+        // serializations) must agree with the operational SC enumerator on
+        // every complete register outcome of every convertible test.
+        for test in suite::convertible() {
+            let sc = enumerate(&test, MemoryModel::Sc);
+            let reachable = sc.register_outcomes();
+            for outcome in test.possible_outcomes() {
+                let axiomatic = match perple_model::hb::is_sc_consistent(&test, &outcome) {
+                    Ok(b) => b,
+                    // A value no store produces is unreachable operationally.
+                    Err(perple_model::hb::HbError::NoWriter { .. }) => {
+                        assert!(
+                            !reachable.contains(&outcome),
+                            "{}: unattributable outcome {outcome} was reached",
+                            test.name()
+                        );
+                        continue;
+                    }
+                    // Ambiguous/reloaded registers: the axiomatic check
+                    // abstains; nothing to compare.
+                    Err(_) => continue,
+                };
+                assert_eq!(
+                    axiomatic,
+                    reachable.contains(&outcome),
+                    "{}: axiomatic/operational SC disagree on {outcome}",
+                    test.name()
+                );
+            }
+        }
+    }
+}

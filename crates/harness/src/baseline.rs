@@ -1,0 +1,419 @@
+//! litmus7-style iterative baseline on the simulated substrate (§VI-A).
+//!
+//! Classic litmus testing runs the original test `N` times. All modes
+//! except `none` synchronize the threads before every iteration; the modes
+//! differ in **cost** (cycles burned per barrier) and **alignment quality**
+//! (how tightly the threads' iteration start times cluster), which is what
+//! drives the paper's runtime (Figure 10) and outcome-variety (Figures 9
+//! and 13) differences:
+//!
+//! | mode      | mechanism                      | cost | jitter |
+//! |-----------|--------------------------------|------|--------|
+//! | user      | polling (spin) barrier         | med  | medium |
+//! | userfence | polling barrier + fences       | med  | medium |
+//! | pthread   | pthread barrier (futex wakeup) | high | large  |
+//! | timebase  | deadline on the TSC timebase   | med  | tiny   |
+//! | none      | no synchronization             | none | drift  |
+//!
+//! The cost/jitter constants are calibration parameters chosen to reproduce
+//! the paper's *ordering* of the modes, not measurements of any particular
+//! machine; see DESIGN.md (substitutions).
+//!
+//! In `none` mode, litmus7 still compares same-index iterations, laid out
+//! in per-iteration memory cells; threads free-run and drift apart, so
+//! same-index interaction decays — the contrast PerpLE's frames exploit.
+
+use std::collections::BTreeMap;
+
+use perple_model::{Instr, LitmusTest, Outcome};
+use perple_sim::{Addr, Machine, SimConfig, SimOp, ThreadSpec, ValExpr, XorShiftStar};
+
+/// litmus7 thread-synchronization modes (§VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncMode {
+    /// Default polling synchronization.
+    User,
+    /// Polling plus fences to accelerate write propagation.
+    UserFence,
+    /// pthread-barrier based.
+    Pthread,
+    /// Timebase-counter deadline (not available on all architectures).
+    Timebase,
+    /// No per-iteration synchronization (but same-index comparison only).
+    NoSync,
+}
+
+impl SyncMode {
+    /// All five modes, in the paper's presentation order.
+    pub const ALL: [SyncMode; 5] = [
+        SyncMode::User,
+        SyncMode::UserFence,
+        SyncMode::Pthread,
+        SyncMode::Timebase,
+        SyncMode::NoSync,
+    ];
+
+    /// Barrier cost in cycles charged per iteration (the amortized
+    /// synchronization overhead litmus7 pays per test iteration). The
+    /// constants are calibrated so the runtime ratios of Figure 10
+    /// reproduce the paper's geometric means; the thread-*alignment*
+    /// quality of each mode is a separate knob ([`SyncMode::jitter`]),
+    /// modeled as spread inside the barrier window rather than as extra
+    /// runtime.
+    pub fn barrier_cost(self) -> u64 {
+        match self {
+            SyncMode::User => 40,
+            SyncMode::UserFence => 40,
+            SyncMode::Pthread => 800,
+            SyncMode::Timebase => 85,
+            SyncMode::NoSync => 0,
+        }
+    }
+
+    /// Start-time jitter bound (cycles) between threads within an
+    /// iteration. Polling barriers release threads spread over a window
+    /// (the releasing store propagates at different times), pthread wakeups
+    /// are scheduler-ordered, and the timebase deadline aligns almost
+    /// perfectly — which is why `timebase` exposes weak outcomes litmus7's
+    /// other modes need orders of magnitude more iterations to see.
+    pub fn jitter(self) -> u64 {
+        match self {
+            SyncMode::User => 2_000,
+            SyncMode::UserFence => 2_200,
+            SyncMode::Pthread => 8_000,
+            SyncMode::Timebase => 6,
+            SyncMode::NoSync => 0, // drift handled by free-running threads
+        }
+    }
+
+    /// Per-iteration harness overhead outside the barrier (cycles): loop
+    /// bookkeeping plus, in `none` mode, the cold per-iteration memory
+    /// cells litmus7 allocates (a fresh cache line per iteration).
+    pub fn iteration_overhead(self) -> u64 {
+        match self {
+            SyncMode::NoSync => 8,
+            _ => 0, // folded into barrier_cost for the synchronized modes
+        }
+    }
+
+    /// litmus7's flag name for the mode.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SyncMode::User => "user",
+            SyncMode::UserFence => "userfence",
+            SyncMode::Pthread => "pthread",
+            SyncMode::Timebase => "timebase",
+            SyncMode::NoSync => "none",
+        }
+    }
+}
+
+impl std::fmt::Display for SyncMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Result of one baseline run of `n` iterations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineRun {
+    /// Occurrences per outcome label (one outcome per iteration, so counts
+    /// sum to `n`).
+    pub outcome_counts: BTreeMap<String, u64>,
+    /// How often the test's own condition (target outcome) matched.
+    pub target_count: u64,
+    /// Total execution cycles including synchronization cost.
+    pub exec_cycles: u64,
+    /// Iterations run.
+    pub iterations: u64,
+}
+
+impl BaselineRun {
+    /// Number of distinct outcomes observed.
+    pub fn distinct_observed(&self) -> usize {
+        self.outcome_counts.len()
+    }
+}
+
+/// Iterative litmus runner in a given synchronization mode.
+#[derive(Debug, Clone)]
+pub struct BaselineRunner {
+    config: SimConfig,
+    mode: SyncMode,
+    machine: Machine,
+    jitter_rng: XorShiftStar,
+}
+
+impl BaselineRunner {
+    /// Creates a runner for one mode.
+    pub fn new(config: SimConfig, mode: SyncMode) -> Self {
+        let machine = Machine::new(config.clone());
+        let jitter_rng = XorShiftStar::new(config.seed ^ 0xBA55_BA11);
+        Self { config, mode, machine, jitter_rng }
+    }
+
+    /// The runner's synchronization mode.
+    pub fn mode(&self) -> SyncMode {
+        self.mode
+    }
+
+    /// Runs `n` iterations of the original (non-perpetual) test and tallies
+    /// outcomes per iteration, litmus7-style.
+    pub fn run(&mut self, test: &LitmusTest, n: u64) -> BaselineRun {
+        match self.mode {
+            SyncMode::NoSync => self.run_unsynchronized(test, n),
+            _ => self.run_synchronized(test, n),
+        }
+    }
+
+    fn run_synchronized(&mut self, test: &LitmusTest, n: u64) -> BaselineRun {
+        let nthreads = test.thread_count();
+        let nlocs = test.location_count();
+        let mut outcome_counts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut target_count = 0u64;
+        let mut exec_cycles = 0u64;
+
+        let bodies: Vec<Vec<SimOp>> = (0..nthreads)
+            .map(|t| iteration_body(test, t, 0))
+            .collect();
+
+        for _ in 0..n {
+            // Per-iteration barrier: charge its cost and draw fresh
+            // start-time jitter for each thread. The jitter spreads thread
+            // starts *within* the barrier window (it shapes alignment, not
+            // runtime), so only the post-release span counts as cycles.
+            exec_cycles += self.mode.barrier_cost();
+            let mut max_delay = 0u64;
+            let specs: Vec<ThreadSpec> = bodies
+                .iter()
+                .map(|body| {
+                    let delay = self.jitter_rng.below(self.mode.jitter() + 1);
+                    max_delay = max_delay.max(delay);
+                    ThreadSpec::new(body.clone(), 1).with_start_delay(delay)
+                })
+                .collect();
+            let init: Vec<u64> = test.init_values().iter().map(|&v| v as u64).collect();
+            let out = self.machine.run_with_init(&specs, &init);
+            exec_cycles += out.cycles.saturating_sub(max_delay);
+
+            let outcome = outcome_from_bufs(test, &out.bufs, 0);
+            let mem: Vec<u32> = out.final_mem[..nlocs].iter().map(|&v| v as u32).collect();
+            if test.target().matches(&outcome, &mem) {
+                target_count += 1;
+            }
+            *outcome_counts.entry(outcome.label()).or_insert(0) += 1;
+        }
+
+        BaselineRun { outcome_counts, target_count, exec_cycles, iterations: n }
+    }
+
+    fn run_unsynchronized(&mut self, test: &LitmusTest, n: u64) -> BaselineRun {
+        // litmus7 `none`: every iteration owns a row of memory cells;
+        // threads free-run across all iterations, comparison stays
+        // same-index.
+        let nthreads = test.thread_count();
+        let nlocs = test.location_count() as u32;
+        let bodies: Vec<Vec<SimOp>> = (0..nthreads)
+            .map(|t| iteration_body(test, t, nlocs))
+            .collect();
+        let specs: Vec<ThreadSpec> = bodies
+            .into_iter()
+            .map(|body| ThreadSpec::new(body, n))
+            .collect();
+        let cells = nlocs as usize * n as usize;
+        let mut init = vec![0u64; cells];
+        for (i, cell) in init.iter_mut().enumerate() {
+            *cell = test.init_values()[i % nlocs as usize] as u64;
+        }
+        let out = self.machine.run_with_init(&specs, &init);
+
+        let mut outcome_counts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut target_count = 0u64;
+        for i in 0..n {
+            let outcome = outcome_from_bufs(test, &out.bufs, i);
+            let row = &out.final_mem[(i as usize * nlocs as usize)..][..nlocs as usize];
+            let mem: Vec<u32> = row.iter().map(|&v| v as u32).collect();
+            if test.target().matches(&outcome, &mem) {
+                target_count += 1;
+            }
+            *outcome_counts.entry(outcome.label()).or_insert(0) += 1;
+        }
+        let _ = &self.config;
+        BaselineRun {
+            outcome_counts,
+            target_count,
+            exec_cycles: out.cycles + n * self.mode.iteration_overhead(),
+            iterations: n,
+        }
+    }
+}
+
+/// One iteration's ops for thread `t`. With `stride > 0`, location `l` of
+/// iteration `n` lives at cell `n * stride + l` (litmus7's cell arrays).
+fn iteration_body(test: &LitmusTest, t: usize, stride: u32) -> Vec<SimOp> {
+    let addr = |loc: perple_model::LocId| Addr::strided(loc.index() as u32, stride);
+    let mut body = Vec::new();
+    for instr in &test.threads()[t] {
+        match *instr {
+            Instr::Store { loc, value } => body.push(SimOp::Store {
+                addr: addr(loc),
+                expr: ValExpr::Const(value as u64),
+            }),
+            Instr::Load { reg, loc } => {
+                body.push(SimOp::Load { reg: reg.0, addr: addr(loc) });
+                body.push(SimOp::Record { reg: reg.0 });
+            }
+            Instr::Mfence => body.push(SimOp::Mfence),
+            Instr::Xchg { reg, loc, value } => {
+                body.push(SimOp::Xchg {
+                    reg: reg.0,
+                    addr: addr(loc),
+                    expr: ValExpr::Const(value as u64),
+                });
+                body.push(SimOp::Record { reg: reg.0 });
+            }
+        }
+    }
+    body
+}
+
+/// Reconstructs the iteration-`i` register outcome from recorded buffers.
+fn outcome_from_bufs(test: &LitmusTest, bufs: &[Vec<u64>], i: u64) -> Outcome {
+    let reads = test.reads_per_thread();
+    let mut outcome = Outcome::new();
+    for slot in test.load_slots() {
+        let t = slot.thread.index();
+        let v = bufs[t][reads[t] * i as usize + slot.slot];
+        outcome.set(slot.thread, slot.reg, v as u32);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perple_model::suite;
+
+    fn run(name: &str, mode: SyncMode, n: u64, seed: u64) -> BaselineRun {
+        let t = suite::by_name(name).unwrap();
+        let mut r = BaselineRunner::new(SimConfig::default().with_seed(seed), mode);
+        r.run(&t, n)
+    }
+
+    #[test]
+    fn every_iteration_yields_one_outcome() {
+        for mode in SyncMode::ALL {
+            let r = run("sb", mode, 200, 5);
+            let total: u64 = r.outcome_counts.values().sum();
+            assert_eq!(total, 200, "{mode}");
+            assert_eq!(r.iterations, 200);
+        }
+    }
+
+    #[test]
+    fn barrier_cost_shows_up_in_cycles() {
+        let user = run("sb", SyncMode::User, 100, 6);
+        let pthread = run("sb", SyncMode::Pthread, 100, 6);
+        let none = run("sb", SyncMode::NoSync, 100, 6);
+        assert!(pthread.exec_cycles > user.exec_cycles, "pthread must be slowest");
+        assert!(none.exec_cycles < user.exec_cycles, "none must be cheapest");
+        assert!(user.exec_cycles >= 100 * SyncMode::User.barrier_cost());
+        assert!(
+            user.exec_cycles < 100 * (SyncMode::User.barrier_cost() + SyncMode::User.jitter()),
+            "jitter must not be charged as runtime"
+        );
+    }
+
+    #[test]
+    fn timebase_finds_the_weak_outcome_fastest() {
+        // Tightly aligned starts maximize store-buffer overlap.
+        let tb = run("sb", SyncMode::Timebase, 2_000, 7);
+        assert!(
+            tb.target_count > 0,
+            "timebase should expose sb's weak outcome at 2k iterations"
+        );
+        let user = run("sb", SyncMode::User, 2_000, 7);
+        assert!(tb.target_count >= user.target_count);
+    }
+
+    #[test]
+    fn forbidden_targets_never_fire() {
+        for name in ["amd5", "mp", "lb", "amd10"] {
+            for mode in SyncMode::ALL {
+                let r = run(name, mode, 500, 8);
+                assert_eq!(r.target_count, 0, "{name} under {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_outcome_dominates_in_pthread_mode() {
+        // Poor alignment means one thread usually finishes first: sb reads
+        // are then 01/10 mostly.
+        let r = run("sb", SyncMode::Pthread, 1_000, 9);
+        let weak = r.outcome_counts.get("00").copied().unwrap_or(0);
+        assert!(weak * 10 < 1_000, "weak outcomes should be rare in pthread mode");
+    }
+
+    #[test]
+    fn non_convertible_tests_run_with_memory_conditions() {
+        // 2+2w's condition inspects final memory; the baseline evaluates it.
+        let r = run("2+2w", SyncMode::User, 300, 10);
+        let total: u64 = r.outcome_counts.values().sum();
+        assert_eq!(total, 300);
+        // Both final-memory patterns occur across iterations (ws races).
+        assert!(r.distinct_observed() >= 1);
+    }
+
+    #[test]
+    fn nosync_mode_runs_whole_suite() {
+        for t in suite::convertible() {
+            let mut r = BaselineRunner::new(
+                SimConfig::default().with_seed(11),
+                SyncMode::NoSync,
+            );
+            let out = r.run(&t, 100);
+            let total: u64 = out.outcome_counts.values().sum();
+            assert_eq!(total, 100, "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn non_convertible_suite_runs_under_user_and_nosync() {
+        // §VII-G keeps the 54 non-convertible tests on the baseline; every
+        // one must run in both the cheapest and the default mode.
+        for t in suite::non_convertible() {
+            for mode in [SyncMode::User, SyncMode::NoSync] {
+                let mut r =
+                    BaselineRunner::new(SimConfig::default().with_seed(13), mode);
+                let out = r.run(&t, 50);
+                let total: u64 = out.outcome_counts.values().sum();
+                assert_eq!(total, 50, "{} under {mode}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn memory_conditions_are_evaluated_per_iteration() {
+        // co-2w's condition is purely on final memory; under ws races both
+        // final values occur, so the target fires a nontrivial fraction of
+        // iterations in a tightly synchronized mode.
+        let t = suite::by_name("co-2w").unwrap();
+        let mut r = BaselineRunner::new(
+            SimConfig::default().with_seed(21),
+            SyncMode::Timebase,
+        );
+        let out = r.run(&t, 400);
+        assert!(out.target_count > 0, "ws race never resolved to [x]=1");
+        assert!(out.target_count < 400, "ws race always resolved to [x]=1");
+    }
+
+    #[test]
+    fn mode_metadata() {
+        assert_eq!(SyncMode::User.to_string(), "user");
+        assert_eq!(SyncMode::NoSync.as_str(), "none");
+        assert_eq!(SyncMode::ALL.len(), 5);
+        assert_eq!(SyncMode::NoSync.barrier_cost(), 0);
+        assert!(SyncMode::Pthread.jitter() > SyncMode::Timebase.jitter());
+    }
+}

@@ -1,0 +1,37 @@
+//! # perple-harness
+//!
+//! Execution harnesses for memory-consistency testing:
+//!
+//! * [`perpetual`] — the PerpLE **Harness** (paper §V-B): runs a converted
+//!   perpetual litmus test for `N` iterations with a single launch
+//!   synchronization, collecting each load-performing thread's `buf` array
+//!   for the outcome counters.
+//! * [`baseline`] — a reimplementation of **litmus7**'s iterative approach
+//!   with all five synchronization modes (`user`, `userfence`, `pthread`,
+//!   `timebase`, `none`) on the simulated TSO substrate, including
+//!   per-iteration barrier cost accounting (§VI-A).
+//! * [`native`] — the same perpetual harness on **real hardware threads**
+//!   (x86 atomics), for machines where genuine TSO behaviour is observable.
+//!
+//! # Example
+//!
+//! ```
+//! use perple_convert::Conversion;
+//! use perple_harness::perpetual::PerpleRunner;
+//! use perple_model::suite;
+//! use perple_sim::SimConfig;
+//!
+//! let sb = suite::sb();
+//! let conv = Conversion::convert(&sb)?;
+//! let mut runner = PerpleRunner::new(SimConfig::default().with_seed(7));
+//! let run = runner.run(&conv.perpetual, 1_000);
+//! assert_eq!(run.frame_bufs.len(), 2);
+//! assert_eq!(run.frame_bufs[0].len(), 1_000);
+//! # Ok::<(), perple_convert::ConvertError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod native;
+pub mod perpetual;

@@ -1,0 +1,109 @@
+//! Error type shared by model construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while building or parsing a litmus test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The test has no threads.
+    NoThreads,
+    /// More threads than the model supports (255).
+    TooManyThreads(usize),
+    /// A thread exceeds the supported instruction count (255).
+    ThreadTooLong {
+        /// The offending thread.
+        thread: usize,
+        /// The thread's instruction count.
+        len: usize,
+    },
+    /// A store of value zero: zero is reserved for the initial state.
+    ZeroStore {
+        /// Thread containing the offending store.
+        thread: usize,
+        /// Program-order index of the offending store.
+        index: usize,
+    },
+    /// A condition references a register that no load defines.
+    UnknownRegister {
+        /// Thread named by the condition.
+        thread: usize,
+        /// Register name that could not be resolved.
+        reg: String,
+    },
+    /// A condition references an unknown thread.
+    UnknownThread(usize),
+    /// A condition references an unknown location.
+    UnknownLocation(String),
+    /// The test condition is empty.
+    EmptyCondition,
+    /// Parse error with a line number and message.
+    Parse {
+        /// One-based line number where parsing failed.
+        line: usize,
+        /// Human-readable description of the failure.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoThreads => write!(f, "litmus test has no threads"),
+            ModelError::TooManyThreads(n) => {
+                write!(f, "litmus test has {n} threads, at most 255 supported")
+            }
+            ModelError::ThreadTooLong { thread, len } => {
+                write!(f, "thread P{thread} has {len} instructions, at most 255 supported")
+            }
+            ModelError::ZeroStore { thread, index } => {
+                write!(
+                    f,
+                    "store of value 0 at P{thread} instruction {index}; zero is reserved for the initial state"
+                )
+            }
+            ModelError::UnknownRegister { thread, reg } => {
+                write!(f, "condition references unknown register {thread}:{reg}")
+            }
+            ModelError::UnknownThread(t) => {
+                write!(f, "condition references unknown thread P{t}")
+            }
+            ModelError::UnknownLocation(l) => {
+                write!(f, "condition references unknown location [{l}]")
+            }
+            ModelError::EmptyCondition => write!(f, "test condition is empty"),
+            ModelError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_without_period() {
+        let msgs = [
+            ModelError::NoThreads.to_string(),
+            ModelError::TooManyThreads(300).to_string(),
+            ModelError::ZeroStore { thread: 0, index: 1 }.to_string(),
+            ModelError::EmptyCondition.to_string(),
+            ModelError::Parse {
+                line: 3,
+                msg: "bad token".into(),
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'), "{m}");
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::NoThreads);
+        assert_eq!(e.to_string(), "litmus test has no threads");
+    }
+}

@@ -1,0 +1,494 @@
+//! diy-style litmus-test generation from critical cycles.
+//!
+//! The diy suite (§VIII of the paper) synthesizes litmus tests from
+//! *critical cycles*: sequences of relaxation edges whose cycle is, by
+//! construction, unreachable under sequential consistency. A test's events
+//! are laid out by walking the cycle — program-order edges extend the
+//! current thread, external communication edges start a new one — and the
+//! test's condition pins exactly the communication edges, so observing the
+//! condition means the hardware realized the cycle.
+//!
+//! Edge vocabulary (the `diy` names):
+//!
+//! * `PodXY` — program order to a *different* location, from an X access to
+//!   a Y access (X, Y ∈ {R, W});
+//! * `Rfe` — external read-from: a load in the next thread reads this
+//!   thread's store;
+//! * `Fre` — external from-read: a load whose value is overwritten by the
+//!   next thread's store;
+//! * `Wse` — external write serialization: the next thread's store
+//!   overwrites this thread's store (pins *final memory*, which makes the
+//!   generated test non-convertible — exactly the class PerpLE's Converter
+//!   rejects, §V-C).
+//!
+//! The classic tests are one-liners:
+//!
+//! ```
+//! use perple_model::generate::{from_cycle, CycleEdge::*, Dir::*};
+//!
+//! let sb = from_cycle("gen-sb", &[Pod(W, R), Fre, Pod(W, R), Fre])?;
+//! assert_eq!(sb.thread_count(), 2);
+//! // The generated condition is the store-buffering target.
+//! assert_eq!(sb.target().atoms().len(), 2);
+//! # Ok::<(), perple_model::generate::GenError>(())
+//! ```
+
+use std::fmt;
+
+use crate::cond::Quantifier;
+use crate::test::{LitmusTest, TestBuilder};
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// A load.
+    R,
+    /// A store.
+    W,
+}
+
+/// One edge of a critical cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleEdge {
+    /// Program order to a different location, with explicit endpoint
+    /// directions.
+    Pod(Dir, Dir),
+    /// External read-from (W → R, next thread).
+    Rfe,
+    /// External from-read (R → W, next thread).
+    Fre,
+    /// External write serialization (W → W, next thread).
+    Wse,
+}
+
+impl CycleEdge {
+    /// Direction required of the edge's source event.
+    pub fn src_dir(self) -> Dir {
+        match self {
+            CycleEdge::Pod(s, _) => s,
+            CycleEdge::Rfe | CycleEdge::Wse => Dir::W,
+            CycleEdge::Fre => Dir::R,
+        }
+    }
+
+    /// Direction required of the edge's destination event.
+    pub fn dst_dir(self) -> Dir {
+        match self {
+            CycleEdge::Pod(_, d) => d,
+            CycleEdge::Rfe => Dir::R,
+            CycleEdge::Fre | CycleEdge::Wse => Dir::W,
+        }
+    }
+
+    /// True if the edge crosses threads.
+    pub fn is_external(self) -> bool {
+        !matches!(self, CycleEdge::Pod(..))
+    }
+}
+
+impl fmt::Display for CycleEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CycleEdge::Pod(s, d) => write!(f, "Pod{s:?}{d:?}"),
+            CycleEdge::Rfe => write!(f, "Rfe"),
+            CycleEdge::Fre => write!(f, "Fre"),
+            CycleEdge::Wse => write!(f, "Wse"),
+        }
+    }
+}
+
+/// Errors rejecting a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// The cycle has fewer than two edges.
+    TooShort,
+    /// Adjacent edges disagree on the direction of their shared event.
+    DirectionMismatch {
+        /// Index of the earlier edge.
+        edge: usize,
+    },
+    /// The cycle never crosses threads (no external edge), so it describes
+    /// a single-thread program, not a litmus test.
+    NoExternalEdge,
+    /// The final edge must be external: the walk starts a new thread at
+    /// every external edge and must return to thread 0's first event.
+    LastEdgeNotExternal,
+    /// The cycle needs no program-order edge to be a *critical* cycle but
+    /// must touch at least one location; this cycle has zero events.
+    NoLocations,
+    /// Exactly one program-order (location-changing) edge: a single
+    /// location change can never return the walk to its starting location,
+    /// so the cycle cannot be laid out.
+    UnclosableLocations,
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::TooShort => write!(f, "cycle needs at least two edges"),
+            GenError::DirectionMismatch { edge } => {
+                write!(f, "edges {edge} and {} disagree on the shared event's direction", edge + 1)
+            }
+            GenError::NoExternalEdge => write!(f, "cycle never crosses threads"),
+            GenError::LastEdgeNotExternal => {
+                write!(f, "the final edge must be external to close the cycle")
+            }
+            GenError::NoLocations => write!(f, "cycle touches no location"),
+            GenError::UnclosableLocations => {
+                write!(f, "a single location-changing edge cannot close the cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// One laid-out event of the walk.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    thread: usize,
+    loc: usize,
+    dir: Dir,
+    /// Store value (0 for loads until assigned).
+    value: u32,
+    /// Register ordinal within the thread (loads only).
+    reg: usize,
+}
+
+/// Generates a litmus test from a critical cycle.
+///
+/// # Errors
+///
+/// Returns [`GenError`] for structurally invalid cycles (see its variants).
+pub fn from_cycle(name: &str, cycle: &[CycleEdge]) -> Result<LitmusTest, GenError> {
+    if cycle.len() < 2 {
+        return Err(GenError::TooShort);
+    }
+    // Direction consistency around the cycle.
+    for (i, e) in cycle.iter().enumerate() {
+        let next = cycle[(i + 1) % cycle.len()];
+        if e.dst_dir() != next.src_dir() {
+            return Err(GenError::DirectionMismatch { edge: i });
+        }
+    }
+    if !cycle.iter().any(|e| e.is_external()) {
+        return Err(GenError::NoExternalEdge);
+    }
+    if !cycle.last().expect("non-empty").is_external() {
+        return Err(GenError::LastEdgeNotExternal);
+    }
+
+    // Lay out events. Event i is the source of edge i. Locations change on
+    // Pod edges and cycle through loc 0..P-1 so the final Pod returns to
+    // loc 0; with no Pod edge everything shares loc 0.
+    let pod_count = cycle.iter().filter(|e| !e.is_external()).count();
+    if pod_count == 1 {
+        return Err(GenError::UnclosableLocations);
+    }
+    let nlocs = pod_count.max(1);
+    let mut events: Vec<Event> = Vec::with_capacity(cycle.len());
+    let mut thread = 0usize;
+    let mut loc = 0usize;
+    let mut pods_seen = 0usize;
+    let mut regs_per_thread = vec![0usize; cycle.len()];
+    for e in cycle.iter() {
+        let dir = e.src_dir();
+        let reg = if dir == Dir::R {
+            regs_per_thread[thread] += 1;
+            regs_per_thread[thread] - 1
+        } else {
+            0
+        };
+        events.push(Event { thread, loc, dir, value: 0, reg });
+        if e.is_external() {
+            thread += 1;
+        } else {
+            pods_seen += 1;
+            loc = pods_seen % nlocs;
+        }
+    }
+    if events.is_empty() {
+        return Err(GenError::NoLocations);
+    }
+    let nthreads = thread; // last external edge wrapped to thread 0
+
+    // Assign store values per location in event order (distinct values).
+    let mut next_value = vec![0u32; nlocs];
+    for ev in events.iter_mut() {
+        if ev.dir == Dir::W {
+            next_value[ev.loc] += 1;
+            ev.value = next_value[ev.loc];
+        }
+    }
+
+    // Emit the program.
+    let mut b = TestBuilder::new(name);
+    b.doc(format!(
+        "generated from cycle {}",
+        cycle.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" ")
+    ));
+    let loc_name = |l: usize| format!("v{l}");
+    let reg_name = |r: usize| format!("R{r}");
+    for t in 0..nthreads {
+        let mut tb = b.thread();
+        for ev in events.iter().filter(|ev| ev.thread == t) {
+            match ev.dir {
+                Dir::W => {
+                    tb.store(&loc_name(ev.loc), ev.value);
+                }
+                Dir::R => {
+                    tb.load(&reg_name(ev.reg), &loc_name(ev.loc));
+                }
+            }
+        }
+    }
+
+    // Derive the condition from the communication edges. Per-location store
+    // lists in event order approximate the ws chains the cycle implies.
+    let stores_of = |l: usize| -> Vec<&Event> {
+        events.iter().filter(|e| e.dir == Dir::W && e.loc == l).collect()
+    };
+    b.quantifier(Quantifier::Exists);
+    for (i, e) in cycle.iter().enumerate() {
+        let src = &events[i];
+        let dst = &events[(i + 1) % events.len()];
+        match e {
+            CycleEdge::Rfe => {
+                // dst (a load) reads src's value.
+                b.reg_cond(dst.thread, reg_name(dst.reg), src.value);
+            }
+            CycleEdge::Fre => {
+                // src (a load) reads the value ws-before dst's store.
+                let stores = stores_of(src.loc);
+                let pos = stores
+                    .iter()
+                    .position(|s| s.value == dst.value)
+                    .expect("dst store present");
+                let before = if pos == 0 { 0 } else { stores[pos - 1].value };
+                b.reg_cond(src.thread, reg_name(src.reg), before);
+            }
+            CycleEdge::Wse => {
+                // dst's store overwrites src's: the chain's last store is
+                // the final value; pinning dst's value asserts this edge.
+                b.mem_cond(loc_name(src.loc), dst.value);
+            }
+            CycleEdge::Pod(..) => {}
+        }
+    }
+
+    b.build().map_err(|e| {
+        // Structural validation above should prevent builder failures.
+        unreachable!("generated cycle produced an invalid test: {e}")
+    })
+}
+
+/// Enumerates every valid cycle of exactly `len` edges over the vocabulary
+/// and generates the corresponding tests (deduplicated by rotation).
+/// Cycle length 4 reproduces the classic two-thread family (sb, lb, mp,
+/// s, r, 2+2w, ...).
+pub fn generate_family(len: usize) -> Vec<LitmusTest> {
+    let vocab = [
+        CycleEdge::Pod(Dir::R, Dir::R),
+        CycleEdge::Pod(Dir::R, Dir::W),
+        CycleEdge::Pod(Dir::W, Dir::R),
+        CycleEdge::Pod(Dir::W, Dir::W),
+        CycleEdge::Rfe,
+        CycleEdge::Fre,
+        CycleEdge::Wse,
+    ];
+    let mut seen_rotations: std::collections::HashSet<Vec<CycleEdge>> =
+        std::collections::HashSet::new();
+    let mut tests = Vec::new();
+    let mut cycle = vec![vocab[0]; len];
+
+    fn rec(
+        vocab: &[CycleEdge],
+        cycle: &mut Vec<CycleEdge>,
+        pos: usize,
+        seen: &mut std::collections::HashSet<Vec<CycleEdge>>,
+        tests: &mut Vec<LitmusTest>,
+    ) {
+        let len = cycle.len();
+        if pos == len {
+            // Canonical rotation for dedup.
+            let canonical = (0..len)
+                .map(|r| {
+                    let mut rot = cycle[r..].to_vec();
+                    rot.extend_from_slice(&cycle[..r]);
+                    rot
+                })
+                .min_by_key(|c| format!("{c:?}"))
+                .expect("non-empty cycle");
+            if !seen.insert(canonical) {
+                return;
+            }
+            let name = format!(
+                "dyn-{}",
+                cycle.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("-")
+            );
+            if let Ok(t) = from_cycle(&name, cycle) {
+                tests.push(t);
+            }
+            return;
+        }
+        for &e in vocab {
+            cycle[pos] = e;
+            // Prune on direction mismatch with the previous edge.
+            if pos > 0 && cycle[pos - 1].dst_dir() != e.src_dir() {
+                continue;
+            }
+            rec(vocab, cycle, pos + 1, seen, tests);
+        }
+    }
+    rec(&vocab, &mut cycle, 0, &mut seen_rotations, &mut tests);
+    tests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hb;
+    use CycleEdge::*;
+    use Dir::*;
+
+    #[test]
+    fn sb_cycle_reproduces_store_buffering_shape() {
+        let t = from_cycle("gen-sb", &[Pod(W, R), Fre, Pod(W, R), Fre]).unwrap();
+        assert_eq!(t.thread_count(), 2);
+        assert_eq!(t.location_count(), 2);
+        assert_eq!(t.load_thread_count(), 2);
+        // Condition: both loads read 0.
+        let target = t.target_outcome().unwrap();
+        assert_eq!(target.label(), "00");
+    }
+
+    #[test]
+    fn mp_cycle_reproduces_message_passing() {
+        let t = from_cycle("gen-mp", &[Pod(W, W), Rfe, Pod(R, R), Fre]).unwrap();
+        assert_eq!(t.thread_count(), 2);
+        assert_eq!(t.reads_per_thread(), vec![0, 2]);
+        // Condition: flag read (1), data stale (0).
+        let atoms = t.target().atoms().len();
+        assert_eq!(atoms, 2);
+    }
+
+    #[test]
+    fn lb_cycle_reproduces_load_buffering() {
+        let t = from_cycle("gen-lb", &[Pod(R, W), Rfe, Pod(R, W), Rfe]).unwrap();
+        assert_eq!(t.thread_count(), 2);
+        assert_eq!(t.target_outcome().unwrap().label(), "11");
+    }
+
+    #[test]
+    fn wse_cycles_generate_non_convertible_tests() {
+        // 2+2w: PodWW Wse PodWW Wse.
+        let t = from_cycle("gen-2+2w", &[Pod(W, W), Wse, Pod(W, W), Wse]).unwrap();
+        assert!(t.target().inspects_memory());
+        assert_eq!(t.thread_count(), 2);
+    }
+
+    #[test]
+    fn iriw_shape_from_six_edge_cycle() {
+        let t = from_cycle(
+            "gen-iriw",
+            &[Rfe, Pod(R, R), Fre, Rfe, Pod(R, R), Fre],
+        )
+        .unwrap();
+        assert_eq!(t.thread_count(), 4);
+        assert_eq!(t.load_thread_count(), 2);
+    }
+
+    #[test]
+    fn generated_conditions_are_sc_forbidden() {
+        // The defining property of a critical cycle: no completion of the
+        // generated condition is SC-consistent.
+        for cycle in [
+            vec![Pod(W, R), Fre, Pod(W, R), Fre],
+            vec![Pod(R, W), Rfe, Pod(R, W), Rfe],
+            vec![Pod(W, W), Rfe, Pod(R, R), Fre],
+            vec![Rfe, Pod(R, R), Fre, Rfe, Pod(R, R), Fre],
+            vec![Pod(W, W), Rfe, Pod(R, W), Rfe, Pod(R, R), Fre],
+        ] {
+            let t = from_cycle("gen", &cycle).unwrap();
+            if t.target().inspects_memory() {
+                continue; // hb check needs register-complete outcomes
+            }
+            for o in t.outcomes_matching_condition() {
+                assert!(
+                    !hb::is_sc_consistent(&t, &o).unwrap(),
+                    "cycle {cycle:?}: completion {o} is SC-consistent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_cycles_are_rejected() {
+        assert_eq!(from_cycle("x", &[Rfe]).unwrap_err(), GenError::TooShort);
+        // Rfe ends at R, Wse starts at W.
+        assert_eq!(
+            from_cycle("x", &[Rfe, Wse]).unwrap_err(),
+            GenError::DirectionMismatch { edge: 0 }
+        );
+        assert_eq!(
+            from_cycle("x", &[Pod(W, R), Pod(R, W)]).unwrap_err(),
+            GenError::NoExternalEdge
+        );
+        assert_eq!(
+            from_cycle("x", &[Fre, Pod(W, R)]).unwrap_err(),
+            GenError::LastEdgeNotExternal
+        );
+    }
+
+    #[test]
+    fn family_of_length_four_contains_the_classics() {
+        let family = generate_family(4);
+        assert!(family.len() > 10, "only {} cycles generated", family.len());
+        // All generated tests build, and the family contains convertible
+        // and non-convertible members.
+        let convertible = family
+            .iter()
+            .filter(|t| !t.target().inspects_memory())
+            .count();
+        assert!(convertible > 0);
+        assert!(convertible < family.len());
+        // Classic shapes are present: sb's double PodWR/Fre cycle.
+        assert!(family.iter().any(|t| {
+            t.thread_count() == 2
+                && t.reads_per_thread() == vec![1, 1]
+                && t.target_outcome().map(|o| o.label()) == Some("00".into())
+        }));
+    }
+
+    #[test]
+    fn family_members_have_unique_names() {
+        let family = generate_family(4);
+        let mut names: Vec<&str> = family.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn single_pod_cycles_are_rejected() {
+        assert_eq!(
+            from_cycle("x", &[Pod(R, W), Rfe, Fre, Rfe]).unwrap_err(),
+            GenError::UnclosableLocations
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            GenError::TooShort,
+            GenError::DirectionMismatch { edge: 0 },
+            GenError::NoExternalEdge,
+            GenError::LastEdgeNotExternal,
+            GenError::NoLocations,
+            GenError::UnclosableLocations,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Strongly-typed identifiers used throughout the model.
+
+use std::fmt;
+
+/// Identifier of a shared memory location within a [`crate::LitmusTest`].
+///
+/// Indexes the test's location table; display uses the symbolic name only
+/// when formatted through the owning test (see
+/// [`crate::LitmusTest::location_name`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct LocId(pub u8);
+
+impl LocId {
+    /// Returns the raw index into the test's location table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loc{}", self.0)
+    }
+}
+
+/// Identifier of a test thread (`P0`, `P1`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// Returns the raw thread index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of a per-thread register.
+///
+/// Register *names* (`EAX`, `EBX`, ...) are interned per thread by the owning
+/// test; `RegId` is the index into that table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct RegId(pub u8);
+
+impl RegId {
+    /// Returns the raw index into the thread's register table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Reference to a specific instruction within a test: thread plus
+/// program-order index, the `(i_tn)` notation of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct InstrRef {
+    /// Thread the instruction belongs to.
+    pub thread: ThreadId,
+    /// Zero-based program-order index within the thread.
+    pub index: u8,
+}
+
+impl InstrRef {
+    /// Creates an instruction reference from raw indices.
+    pub fn new(thread: u8, index: u8) -> Self {
+        Self {
+            thread: ThreadId(thread),
+            index,
+        }
+    }
+}
+
+impl fmt::Display for InstrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}{}", self.thread.0, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LocId(2).to_string(), "loc2");
+        assert_eq!(ThreadId(1).to_string(), "P1");
+        assert_eq!(RegId(0).to_string(), "r0");
+        assert_eq!(InstrRef::new(0, 1).to_string(), "i01");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(LocId(0) < LocId(1));
+        assert!(ThreadId(0) < ThreadId(2));
+        assert!(InstrRef::new(0, 1) < InstrRef::new(1, 0));
+    }
+
+    #[test]
+    fn index_accessors() {
+        assert_eq!(LocId(3).index(), 3);
+        assert_eq!(ThreadId(2).index(), 2);
+        assert_eq!(RegId(1).index(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Instruction set of the abstract x86 litmus machine.
+
+use crate::ids::{LocId, RegId};
+
+/// A single abstract x86 instruction of a litmus-test thread.
+///
+/// The instruction set mirrors what litmus7 tests for x86-TSO actually use:
+/// plain stores and loads (`MOV`), the store-ordering fence (`MFENCE`), and a
+/// locked read-modify-write (`XCHG`), which on x86 both drains the store
+/// buffer and executes atomically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Instr {
+    /// `MOV [loc], $value` — store an immediate to shared memory.
+    Store {
+        /// Destination shared-memory location.
+        loc: LocId,
+        /// Immediate value stored (must be positive; 0 is the initial state).
+        value: u32,
+    },
+    /// `MOV reg, [loc]` — load from shared memory into a register.
+    Load {
+        /// Destination register.
+        reg: RegId,
+        /// Source shared-memory location.
+        loc: LocId,
+    },
+    /// `MFENCE` — drains the store buffer before later memory operations.
+    Mfence,
+    /// `XCHG [loc], $value -> reg` — atomically store `value` and load the
+    /// previous content of `loc` into `reg`. Implicitly locked on x86, so it
+    /// also acts as a full fence.
+    Xchg {
+        /// Register receiving the previous value of `loc`.
+        reg: RegId,
+        /// Location exchanged.
+        loc: LocId,
+        /// Immediate value stored (must be positive).
+        value: u32,
+    },
+}
+
+impl Instr {
+    /// Returns the location this instruction stores to, if any.
+    pub fn store_target(&self) -> Option<(LocId, u32)> {
+        match *self {
+            Instr::Store { loc, value } | Instr::Xchg { loc, value, .. } => Some((loc, value)),
+            _ => None,
+        }
+    }
+
+    /// Returns the `(register, location)` pair this instruction loads, if any.
+    pub fn load_target(&self) -> Option<(RegId, LocId)> {
+        match *self {
+            Instr::Load { reg, loc } | Instr::Xchg { reg, loc, .. } => Some((reg, loc)),
+            _ => None,
+        }
+    }
+
+    /// True if the instruction accesses shared memory.
+    pub fn is_memory_op(&self) -> bool {
+        !matches!(self, Instr::Mfence)
+    }
+
+    /// True if the instruction orders the store buffer (fence semantics).
+    pub fn is_fence(&self) -> bool {
+        matches!(self, Instr::Mfence | Instr::Xchg { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_target_of_store_and_xchg() {
+        let s = Instr::Store { loc: LocId(0), value: 1 };
+        let x = Instr::Xchg { reg: RegId(0), loc: LocId(1), value: 2 };
+        assert_eq!(s.store_target(), Some((LocId(0), 1)));
+        assert_eq!(x.store_target(), Some((LocId(1), 2)));
+        assert_eq!(Instr::Mfence.store_target(), None);
+        assert_eq!(Instr::Load { reg: RegId(0), loc: LocId(0) }.store_target(), None);
+    }
+
+    #[test]
+    fn load_target_of_load_and_xchg() {
+        let l = Instr::Load { reg: RegId(1), loc: LocId(0) };
+        let x = Instr::Xchg { reg: RegId(0), loc: LocId(1), value: 2 };
+        assert_eq!(l.load_target(), Some((RegId(1), LocId(0))));
+        assert_eq!(x.load_target(), Some((RegId(0), LocId(1))));
+        assert_eq!(Instr::Mfence.load_target(), None);
+    }
+
+    #[test]
+    fn fence_and_memory_classification() {
+        assert!(Instr::Mfence.is_fence());
+        assert!(!Instr::Mfence.is_memory_op());
+        let x = Instr::Xchg { reg: RegId(0), loc: LocId(0), value: 1 };
+        assert!(x.is_fence());
+        assert!(x.is_memory_op());
+        let s = Instr::Store { loc: LocId(0), value: 1 };
+        assert!(!s.is_fence());
+        assert!(s.is_memory_op());
+    }
+}

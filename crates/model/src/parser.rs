@@ -1,0 +1,503 @@
+//! Parser for the litmus7 text format (x86 subset).
+//!
+//! The accepted grammar covers the instruction set used by the x86-TSO test
+//! family:
+//!
+//! ```text
+//! X86 sb
+//! "store buffering"
+//! { x=0; y=0; }
+//!  P0          | P1          ;
+//!  MOV [x],$1  | MOV [y],$1  ;
+//!  MOV EAX,[y] | MOV EAX,[x] ;
+//! exists (0:EAX=0 /\ 1:EAX=0)
+//! ```
+//!
+//! Supported instructions: `MOV [loc],$v` (store), `MOV REG,[loc]` (load),
+//! `MFENCE`, and the extension `XCHG [loc],$v -> REG` (locked exchange that
+//! stores `v` and loads the previous value into `REG`). Conditions are
+//! conjunctions of `t:REG=v` and `[loc]=v` atoms under `exists` or
+//! `~exists`.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//! X86 sb
+//! { x=0; y=0; }
+//!  P0          | P1          ;
+//!  MOV [x],$1  | MOV [y],$1  ;
+//!  MOV EAX,[y] | MOV EAX,[x] ;
+//! exists (0:EAX=0 /\ 1:EAX=0)
+//! "#;
+//! let test = perple_model::parser::parse(src)?;
+//! assert_eq!(test.name(), "sb");
+//! assert_eq!(test.thread_count(), 2);
+//! # Ok::<(), perple_model::ModelError>(())
+//! ```
+
+use crate::error::ModelError;
+use crate::cond::Quantifier;
+use crate::test::{LitmusTest, TestBuilder};
+
+/// Parses a litmus test from its litmus7 text representation.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Parse`] (with a line number) on malformed input and
+/// propagates structural errors from [`TestBuilder::build`].
+pub fn parse(input: &str) -> Result<LitmusTest, ModelError> {
+    let mut lines = input
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    // Header: "X86 <name>".
+    let (lineno, header) = lines
+        .next()
+        .ok_or_else(|| perr(0, "empty input"))?;
+    let mut parts = header.split_whitespace();
+    let arch = parts.next().unwrap_or_default();
+    if !arch.eq_ignore_ascii_case("x86") {
+        return Err(perr(lineno, format!("expected architecture X86, found {arch:?}")));
+    }
+    let name = parts
+        .next()
+        .ok_or_else(|| perr(lineno, "missing test name after architecture"))?
+        .to_owned();
+
+    let mut builder = TestBuilder::new(name);
+
+    // Optional doc string(s): quoted lines before the init block.
+    let mut pending: Option<(usize, &str)> = None;
+    for (n, l) in lines.by_ref() {
+        if l.starts_with('"') {
+            let doc = l.trim_matches('"').to_owned();
+            builder.doc(doc);
+        } else {
+            pending = Some((n, l));
+            break;
+        }
+    }
+
+    // Init block: "{ x=0; y=0; }" — possibly spread over lines.
+    let (n, l) = pending.ok_or_else(|| perr(lineno, "missing init block"))?;
+    let mut init_src = String::new();
+    let mut rest_after_init: Option<(usize, String)> = None;
+    if !l.starts_with('{') {
+        return Err(perr(n, "expected init block starting with '{'"));
+    }
+    let mut cur = (n, l.to_owned());
+    loop {
+        let (cn, cl) = &cur;
+        if let Some(close) = cl.find('}') {
+            init_src.push_str(&cl[..close]);
+            let tail = cl[close + 1..].trim();
+            if !tail.is_empty() {
+                rest_after_init = Some((*cn, tail.to_owned()));
+            }
+            break;
+        }
+        init_src.push_str(cl);
+        init_src.push(' ');
+        match lines.next() {
+            Some((nn, nl)) => cur = (nn, nl.to_owned()),
+            None => return Err(perr(*cn, "unterminated init block")),
+        }
+    }
+    let init_entries: Vec<(String, u32)> = parse_init(&init_src, n)?;
+
+    // Program table rows.
+    let mut rows: Vec<(usize, String)> = Vec::new();
+    let mut cond_line: Option<(usize, String)> = None;
+    let feed = |n: usize, l: String, rows: &mut Vec<(usize, String)>| -> Option<(usize, String)> {
+        let lower = l.to_ascii_lowercase();
+        if lower.starts_with("exists") || lower.starts_with("~exists") || lower.starts_with("forall") {
+            Some((n, l))
+        } else {
+            rows.push((n, l));
+            None
+        }
+    };
+    if let Some((rn, rl)) = rest_after_init {
+        cond_line = feed(rn, rl, &mut rows);
+    }
+    if cond_line.is_none() {
+        for (n, l) in lines {
+            if let Some(c) = feed(n, l.to_owned(), &mut rows) {
+                cond_line = Some(c);
+                break;
+            }
+        }
+    }
+    if rows.is_empty() {
+        return Err(perr(n, "missing program table"));
+    }
+
+    // Split rows into per-thread columns.
+    let split_row = |l: &str| -> Vec<String> {
+        l.trim_end_matches(';')
+            .split('|')
+            .map(|c| c.trim().to_owned())
+            .collect()
+    };
+    let (hn, header_row) = &rows[0];
+    let headers = split_row(header_row);
+    let nthreads = headers.len();
+    for (i, h) in headers.iter().enumerate() {
+        let expected = format!("P{i}");
+        if !h.eq_ignore_ascii_case(&expected) {
+            return Err(perr(*hn, format!("expected thread header {expected}, found {h:?}")));
+        }
+    }
+    let mut columns: Vec<Vec<(usize, String)>> = vec![Vec::new(); nthreads];
+    for (rn, row) in rows.iter().skip(1) {
+        let cells = split_row(row);
+        if cells.len() != nthreads {
+            return Err(perr(
+                *rn,
+                format!("row has {} columns, expected {nthreads}", cells.len()),
+            ));
+        }
+        for (t, cell) in cells.into_iter().enumerate() {
+            if !cell.is_empty() {
+                columns[t].push((*rn, cell));
+            }
+        }
+    }
+
+    for column in &columns {
+        let mut tb = builder.thread();
+        for (rn, cell) in column {
+            parse_instr(&mut tb, cell, *rn)?;
+        }
+    }
+
+    // Init overrides (after locations are interned by the program; unknown
+    // init locations are interned here so `{ z=3; }` with an unused z still
+    // builds, matching litmus7).
+    for (loc, v) in init_entries {
+        if v != 0 {
+            builder.init(loc, v);
+        }
+    }
+
+    // Condition.
+    let (cn, cond) = cond_line.ok_or_else(|| perr(n, "missing condition line"))?;
+    parse_condition(&mut builder, &cond, cn)?;
+
+    builder.build()
+}
+
+fn perr(line: usize, msg: impl Into<String>) -> ModelError {
+    ModelError::Parse { line, msg: msg.into() }
+}
+
+fn parse_init(src: &str, line: usize) -> Result<Vec<(String, u32)>, ModelError> {
+    let mut out = Vec::new();
+    for entry in src.trim_start_matches('{').split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (loc, val) = entry
+            .split_once('=')
+            .ok_or_else(|| perr(line, format!("malformed init entry {entry:?}")))?;
+        let loc = loc.trim().trim_start_matches('[').trim_end_matches(']').to_owned();
+        if loc.contains(':') {
+            return Err(perr(line, "register initialization is not supported"));
+        }
+        let val: u32 = val
+            .trim()
+            .parse()
+            .map_err(|_| perr(line, format!("malformed init value in {entry:?}")))?;
+        out.push((loc, val));
+    }
+    Ok(out)
+}
+
+fn parse_instr(
+    tb: &mut crate::test::ThreadBuilder<'_>,
+    cell: &str,
+    line: usize,
+) -> Result<(), ModelError> {
+    let upper = cell.to_ascii_uppercase();
+    if upper == "MFENCE" {
+        tb.mfence();
+        return Ok(());
+    }
+    if let Some(rest) = strip_mnemonic(&upper, cell, "MOV") {
+        let (dst, src) = rest
+            .split_once(',')
+            .ok_or_else(|| perr(line, format!("malformed MOV {cell:?}")))?;
+        let dst = dst.trim();
+        let src = src.trim();
+        return if dst.starts_with('[') {
+            let loc = brackets(dst, line)?;
+            let value = immediate(src, line)?;
+            tb.store(&loc, value);
+            Ok(())
+        } else if src.starts_with('[') {
+            let loc = brackets(src, line)?;
+            tb.load(dst, &loc);
+            Ok(())
+        } else {
+            Err(perr(line, format!("unsupported MOV form {cell:?}")))
+        };
+    }
+    if let Some(rest) = strip_mnemonic(&upper, cell, "XCHG") {
+        // XCHG [loc],$v -> REG
+        let (mem_part, reg) = rest
+            .split_once("->")
+            .ok_or_else(|| perr(line, format!("malformed XCHG (expected '->') {cell:?}")))?;
+        let (dst, val) = mem_part
+            .split_once(',')
+            .ok_or_else(|| perr(line, format!("malformed XCHG {cell:?}")))?;
+        let loc = brackets(dst.trim(), line)?;
+        let value = immediate(val.trim(), line)?;
+        tb.xchg(reg.trim(), &loc, value);
+        return Ok(());
+    }
+    Err(perr(line, format!("unknown instruction {cell:?}")))
+}
+
+/// If `upper` starts with the mnemonic, returns the remainder of the
+/// original-case `cell` after it.
+fn strip_mnemonic<'a>(upper: &str, cell: &'a str, mnemonic: &str) -> Option<&'a str> {
+    if upper.starts_with(mnemonic)
+        && cell[mnemonic.len()..].starts_with(|c: char| c.is_whitespace())
+    {
+        Some(cell[mnemonic.len()..].trim_start())
+    } else {
+        None
+    }
+}
+
+fn brackets(s: &str, line: usize) -> Result<String, ModelError> {
+    if s.starts_with('[') && s.ends_with(']') && s.len() > 2 {
+        Ok(s[1..s.len() - 1].trim().to_owned())
+    } else {
+        Err(perr(line, format!("expected bracketed location, found {s:?}")))
+    }
+}
+
+fn immediate(s: &str, line: usize) -> Result<u32, ModelError> {
+    let digits = s.strip_prefix('$').unwrap_or(s);
+    digits
+        .parse()
+        .map_err(|_| perr(line, format!("expected immediate, found {s:?}")))
+}
+
+fn parse_condition(
+    builder: &mut TestBuilder,
+    cond: &str,
+    line: usize,
+) -> Result<(), ModelError> {
+    let cond = cond.trim();
+    let (quant, rest) = if let Some(r) = cond.strip_prefix("~exists") {
+        (Quantifier::NotExists, r)
+    } else if let Some(r) = cond.strip_prefix("exists") {
+        (Quantifier::Exists, r)
+    } else {
+        return Err(perr(line, format!("unsupported condition quantifier in {cond:?}")));
+    };
+    builder.quantifier(quant);
+    let body = rest.trim();
+    let body = body
+        .strip_prefix('(')
+        .and_then(|b| b.strip_suffix(')'))
+        .ok_or_else(|| perr(line, "condition body must be parenthesized"))?;
+    for atom in body.split("/\\") {
+        let atom = atom.trim();
+        if atom.is_empty() {
+            continue;
+        }
+        let (lhs, rhs) = atom
+            .split_once('=')
+            .ok_or_else(|| perr(line, format!("malformed condition atom {atom:?}")))?;
+        let lhs = lhs.trim();
+        let value: u32 = rhs
+            .trim()
+            .parse()
+            .map_err(|_| perr(line, format!("malformed condition value in {atom:?}")))?;
+        if lhs.starts_with('[') {
+            let loc = brackets(lhs, line)?;
+            builder.mem_cond(loc, value);
+        } else {
+            let (t, reg) = lhs
+                .split_once(':')
+                .ok_or_else(|| perr(line, format!("malformed register atom {atom:?}")))?;
+            let t = t.trim().trim_start_matches(['P', 'p']);
+            let thread: usize = t
+                .parse()
+                .map_err(|_| perr(line, format!("malformed thread index in {atom:?}")))?;
+            builder.reg_cond(thread, reg.trim(), value);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LocId, RegId, ThreadId};
+    use crate::instr::Instr;
+
+    const SB: &str = r#"
+X86 sb
+"store buffering"
+{ x=0; y=0; }
+ P0          | P1          ;
+ MOV [x],$1  | MOV [y],$1  ;
+ MOV EAX,[y] | MOV EAX,[x] ;
+exists (0:EAX=0 /\ 1:EAX=0)
+"#;
+
+    #[test]
+    fn parses_sb() {
+        let t = parse(SB).unwrap();
+        assert_eq!(t.name(), "sb");
+        assert_eq!(t.doc(), "store buffering");
+        assert_eq!(t.thread_count(), 2);
+        assert_eq!(
+            t.thread(ThreadId(0)),
+            &[
+                Instr::Store { loc: LocId(0), value: 1 },
+                Instr::Load { reg: RegId(0), loc: LocId(1) }
+            ]
+        );
+        assert_eq!(t.target().atoms().len(), 2);
+        assert_eq!(t.target_outcome().unwrap().label(), "00");
+    }
+
+    #[test]
+    fn parses_mfence_and_three_threads() {
+        let src = r#"
+X86 podwr001
+{ x=0; y=0; z=0; }
+ P0          | P1          | P2          ;
+ MOV [x],$1  | MOV [y],$1  | MOV [z],$1  ;
+ MFENCE      |             |             ;
+ MOV EAX,[y] | MOV EAX,[z] | MOV EAX,[x] ;
+exists (0:EAX=0 /\ 1:EAX=0 /\ 2:EAX=0)
+"#;
+        let t = parse(src).unwrap();
+        assert_eq!(t.thread_count(), 3);
+        assert_eq!(t.thread(ThreadId(0)).len(), 3);
+        assert_eq!(t.thread(ThreadId(1)).len(), 2); // blank cell skipped
+        assert_eq!(t.thread(ThreadId(0))[1], Instr::Mfence);
+    }
+
+    #[test]
+    fn parses_xchg_extension() {
+        let src = r#"
+X86 amd10ish
+{ x=0; }
+ P0                  | P1          ;
+ XCHG [x],$1 -> EAX  | MOV EBX,[x] ;
+exists (1:EBX=1 /\ 0:EAX=0)
+"#;
+        let t = parse(src).unwrap();
+        assert_eq!(
+            t.thread(ThreadId(0))[0],
+            Instr::Xchg { reg: RegId(0), loc: LocId(0), value: 1 }
+        );
+    }
+
+    #[test]
+    fn parses_not_exists_and_mem_atom() {
+        let src = r#"
+X86 co
+{ x=0; }
+ P0         | P1         ;
+ MOV [x],$1 | MOV [x],$2 ;
+~exists ([x]=1)
+"#;
+        let t = parse(src).unwrap();
+        assert_eq!(t.target().quantifier(), Quantifier::NotExists);
+        assert!(t.target().inspects_memory());
+    }
+
+    #[test]
+    fn parses_nonzero_init() {
+        let src = r#"
+X86 iv
+{ x=5; }
+ P0          ;
+ MOV EAX,[x] ;
+exists (0:EAX=5)
+"#;
+        let t = parse(src).unwrap();
+        assert_eq!(t.init(LocId(0)), 5);
+    }
+
+    #[test]
+    fn rejects_wrong_arch() {
+        let src = "PPC t\n{ }\n P0 ;\n MOV EAX,[x] ;\nexists (0:EAX=0)";
+        assert!(matches!(parse(src), Err(ModelError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_header_and_rows() {
+        let bad_rows = r#"
+X86 t
+{ x=0; }
+ P0          | P1          ;
+ MOV [x],$1  ;
+exists (0:EAX=0)
+"#;
+        let err = parse(bad_rows).unwrap_err();
+        assert!(err.to_string().contains("columns"), "{err}");
+
+        let bad_thread_header = r#"
+X86 t
+{ x=0; }
+ P1          ;
+ MOV [x],$1  ;
+exists (0:EAX=0)
+"#;
+        assert!(parse(bad_thread_header).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_instruction_and_register_init() {
+        let src = r#"
+X86 t
+{ x=0; }
+ P0        ;
+ NOP       ;
+exists (0:EAX=0)
+"#;
+        assert!(parse(src).unwrap_err().to_string().contains("unknown instruction"));
+
+        let src2 = r#"
+X86 t
+{ 0:EAX=1; }
+ P0          ;
+ MOV EAX,[x] ;
+exists (0:EAX=0)
+"#;
+        assert!(parse(src2).unwrap_err().to_string().contains("register initialization"));
+    }
+
+    #[test]
+    fn rejects_missing_condition() {
+        let src = "X86 t\n{ x=0; }\n P0 ;\n MOV EAX,[x] ;\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn multiline_init_block() {
+        let src = "X86 t\n{ x=0;\n y=0; }\n P0 | P1 ;\n MOV EAX,[x] | MOV EAX,[y] ;\nexists (0:EAX=0 /\\ 1:EAX=0)";
+        let t = parse(src).unwrap();
+        assert_eq!(t.thread_count(), 2);
+    }
+
+    #[test]
+    fn condition_after_init_on_same_line_is_rejected_gracefully() {
+        // Condition on the init line means no program table.
+        let src = "X86 t\n{ x=0; } exists (0:EAX=0)\n";
+        assert!(parse(src).is_err());
+    }
+}

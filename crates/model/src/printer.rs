@@ -1,0 +1,168 @@
+//! Printer producing the canonical litmus7 text form of a test.
+//!
+//! [`print()`] and [`crate::parser::parse`] round-trip: parsing the printed
+//! form reproduces the original test.
+
+use std::fmt::Write as _;
+
+use crate::cond::{CondAtom, Quantifier};
+use crate::ids::ThreadId;
+use crate::instr::Instr;
+use crate::test::LitmusTest;
+
+/// Renders a test in litmus7 format.
+///
+/// ```
+/// let sb = perple_model::suite::sb();
+/// let text = perple_model::printer::print(&sb);
+/// let reparsed = perple_model::parser::parse(&text)?;
+/// assert_eq!(sb, reparsed);
+/// # Ok::<(), perple_model::ModelError>(())
+/// ```
+pub fn print(test: &LitmusTest) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "X86 {}", test.name());
+    if !test.doc().is_empty() {
+        let _ = writeln!(out, "\"{}\"", test.doc());
+    }
+
+    // Init block.
+    let mut init = String::new();
+    for (i, name) in test.locations().iter().enumerate() {
+        let _ = write!(init, "{name}={}; ", test.init_values()[i]);
+    }
+    let _ = writeln!(out, "{{ {}}}", init);
+
+    // Program table.
+    let nthreads = test.thread_count();
+    let mut columns: Vec<Vec<String>> = Vec::with_capacity(nthreads);
+    for (t, instrs) in test.threads().iter().enumerate() {
+        let mut col = vec![format!("P{t}")];
+        for instr in instrs {
+            col.push(render_instr(test, ThreadId(t as u8), instr));
+        }
+        columns.push(col);
+    }
+    let height = columns.iter().map(Vec::len).max().unwrap_or(0);
+    for col in &mut columns {
+        col.resize(height, String::new());
+    }
+    let widths: Vec<usize> = columns
+        .iter()
+        .map(|col| col.iter().map(String::len).max().unwrap_or(0))
+        .collect();
+    for row in 0..height {
+        let mut line = String::new();
+        for (t, col) in columns.iter().enumerate() {
+            if t > 0 {
+                line.push_str(" | ");
+            }
+            let _ = write!(line, " {:<width$}", col[row], width = widths[t]);
+        }
+        line.push_str(" ;");
+        let _ = writeln!(out, "{line}");
+    }
+
+    // Condition.
+    let quant = match test.target().quantifier() {
+        Quantifier::Exists => "exists",
+        Quantifier::NotExists => "~exists",
+    };
+    let atoms: Vec<String> = test
+        .target()
+        .atoms()
+        .iter()
+        .map(|a| match *a {
+            CondAtom::RegEq { thread, reg, value } => {
+                format!("{}:{}={}", thread.0, test.reg_name(thread, reg), value)
+            }
+            CondAtom::MemEq { loc, value } => {
+                format!("[{}]={}", test.location_name(loc), value)
+            }
+        })
+        .collect();
+    let _ = writeln!(out, "{quant} ({})", atoms.join(" /\\ "));
+    out
+}
+
+fn render_instr(test: &LitmusTest, thread: ThreadId, instr: &Instr) -> String {
+    match *instr {
+        Instr::Store { loc, value } => {
+            format!("MOV [{}],${}", test.location_name(loc), value)
+        }
+        Instr::Load { reg, loc } => {
+            format!("MOV {},[{}]", test.reg_name(thread, reg), test.location_name(loc))
+        }
+        Instr::Mfence => "MFENCE".to_owned(),
+        Instr::Xchg { reg, loc, value } => format!(
+            "XCHG [{}],${} -> {}",
+            test.location_name(loc),
+            value,
+            test.reg_name(thread, reg)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::test::TestBuilder;
+
+    fn roundtrip(t: &LitmusTest) {
+        let text = print(t);
+        let back = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(t, &back, "round-trip mismatch for {}:\n{text}", t.name());
+    }
+
+    #[test]
+    fn sb_roundtrip() {
+        let mut b = TestBuilder::new("sb");
+        b.doc("store buffering");
+        b.thread().store("x", 1).load("EAX", "y");
+        b.thread().store("y", 1).load("EAX", "x");
+        b.reg_cond(0, "EAX", 0).reg_cond(1, "EAX", 0);
+        roundtrip(&b.build().unwrap());
+    }
+
+    #[test]
+    fn uneven_threads_roundtrip() {
+        let mut b = TestBuilder::new("mp");
+        b.thread().store("x", 1).store("y", 1);
+        b.thread().load("EAX", "y").mfence().load("EBX", "x");
+        b.reg_cond(1, "EAX", 1).reg_cond(1, "EBX", 0);
+        roundtrip(&b.build().unwrap());
+    }
+
+    #[test]
+    fn xchg_and_mem_cond_roundtrip() {
+        let mut b = TestBuilder::new("xt");
+        b.quantifier(Quantifier::NotExists);
+        b.thread().xchg("EAX", "x", 1);
+        b.thread().store("x", 2);
+        b.reg_cond(0, "EAX", 2).mem_cond("x", 1);
+        roundtrip(&b.build().unwrap());
+    }
+
+    #[test]
+    fn nonzero_init_roundtrip() {
+        let mut b = TestBuilder::new("iv");
+        b.thread().load("EAX", "x");
+        b.init("x", 3);
+        b.reg_cond(0, "EAX", 3);
+        roundtrip(&b.build().unwrap());
+    }
+
+    #[test]
+    fn printed_form_contains_expected_tokens() {
+        let mut b = TestBuilder::new("sb");
+        b.thread().store("x", 1).load("EAX", "y");
+        b.thread().store("y", 1).load("EAX", "x");
+        b.reg_cond(0, "EAX", 0).reg_cond(1, "EAX", 0);
+        let text = print(&b.build().unwrap());
+        assert!(text.contains("X86 sb"));
+        assert!(text.contains("MOV [x],$1"));
+        assert!(text.contains("MOV EAX,[y]"));
+        assert!(text.contains("exists (0:EAX=0 /\\ 1:EAX=0)"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Convertible tests whose target outcome is **allowed** by x86-TSO
+//! (upper group of Table II). Each target outcome is observable only through
+//! store buffering: it is TSO-reachable but SC-unreachable.
+
+use crate::test::{LitmusTest, TestBuilder};
+
+fn build(b: &TestBuilder) -> LitmusTest {
+    b.build().expect("suite test must be well-formed")
+}
+
+/// `sb` — store buffering (Figure 2 of the paper). Both threads store then
+/// load the other location; both loads reading 0 requires store buffers.
+pub fn sb() -> LitmusTest {
+    let mut b = TestBuilder::new("sb");
+    b.doc("store buffering: both loads read 0 only with store buffers");
+    b.thread().store("x", 1).load("EAX", "y");
+    b.thread().store("y", 1).load("EAX", "x");
+    b.reg_cond(0, "EAX", 0).reg_cond(1, "EAX", 0);
+    build(&b)
+}
+
+/// `podwr000` — the two-thread program-order W→R cycle; structurally the sb
+/// shape over locations `a`/`b` (diy cycle `PodWR Fre PodWR Fre`).
+pub fn podwr000() -> LitmusTest {
+    let mut b = TestBuilder::new("podwr000");
+    b.doc("two-thread PodWR/Fre cycle (sb shape over a,b)");
+    b.thread().store("a", 1).load("EAX", "b");
+    b.thread().store("b", 1).load("EAX", "a");
+    b.reg_cond(0, "EAX", 0).reg_cond(1, "EAX", 0);
+    build(&b)
+}
+
+/// `podwr001` — the three-thread extension of sb (Figure 2 of the paper).
+pub fn podwr001() -> LitmusTest {
+    let mut b = TestBuilder::new("podwr001");
+    b.doc("three-thread PodWR cycle: all three loads read 0");
+    b.thread().store("x", 1).load("EAX", "y");
+    b.thread().store("y", 1).load("EAX", "z");
+    b.thread().store("z", 1).load("EAX", "x");
+    b.reg_cond(0, "EAX", 0).reg_cond(1, "EAX", 0).reg_cond(2, "EAX", 0);
+    build(&b)
+}
+
+/// `amd3` — intra-processor forwarding (AMD manual example): each thread
+/// reads its own store early out of the store buffer while the cross-thread
+/// load still sees 0.
+pub fn amd3() -> LitmusTest {
+    let mut b = TestBuilder::new("amd3");
+    b.doc("store-buffer forwarding: own store visible early, other store late");
+    b.thread().store("x", 1).load("EAX", "x").load("EBX", "y");
+    b.thread().store("y", 1).load("EAX", "y").load("EBX", "x");
+    b.reg_cond(0, "EAX", 1)
+        .reg_cond(0, "EBX", 0)
+        .reg_cond(1, "EAX", 1)
+        .reg_cond(1, "EBX", 0);
+    build(&b)
+}
+
+/// `iwp23b` — one-sided forwarding variant of amd3 (Intel White Paper
+/// example 2.3.b shape).
+pub fn iwp23b() -> LitmusTest {
+    let mut b = TestBuilder::new("iwp23b");
+    b.doc("one-sided store-buffer forwarding");
+    b.thread().store("x", 1).load("EAX", "x").load("EBX", "y");
+    b.thread().store("y", 1).load("EAX", "x");
+    b.reg_cond(0, "EAX", 1)
+        .reg_cond(0, "EBX", 0)
+        .reg_cond(1, "EAX", 0);
+    build(&b)
+}
+
+/// `iwp24` — forwarding test conditioned only on the cross-thread loads
+/// (Intel White Paper example 2.4 shape): the partial target is still
+/// SC-unreachable under every completion.
+pub fn iwp24() -> LitmusTest {
+    let mut b = TestBuilder::new("iwp24");
+    b.doc("forwarding test with partial condition on cross loads");
+    b.thread().store("x", 1).load("EAX", "x").load("EBX", "y");
+    b.thread().store("y", 1).load("EAX", "y").load("EBX", "x");
+    b.reg_cond(0, "EBX", 0).reg_cond(1, "EBX", 0);
+    build(&b)
+}
+
+/// `n1` — three-thread forwarding test (x86-TSO paper shape): P0 forwards
+/// its own store while P2 observes P1's store but not P0's.
+pub fn n1() -> LitmusTest {
+    let mut b = TestBuilder::new("n1");
+    b.doc("three-thread forwarding: P0's store stays buffered past P2's reads");
+    b.thread().store("x", 1).load("EAX", "x").load("EBX", "y");
+    b.thread().store("y", 1);
+    b.thread().load("EAX", "y").load("EBX", "x");
+    b.reg_cond(0, "EAX", 1)
+        .reg_cond(0, "EBX", 0)
+        .reg_cond(2, "EAX", 1)
+        .reg_cond(2, "EBX", 0);
+    build(&b)
+}
+
+/// `rfi009` — read-from-internal with a repeated cross load: the second read
+/// of `x` observes the drain of the other thread's buffer.
+pub fn rfi009() -> LitmusTest {
+    let mut b = TestBuilder::new("rfi009");
+    b.doc("forwarding plus repeated cross load observing the drain");
+    b.thread().store("x", 1).load("EAX", "x").load("EBX", "y");
+    b.thread()
+        .store("y", 1)
+        .load("EAX", "y")
+        .load("EBX", "x")
+        .load("ECX", "x");
+    b.reg_cond(0, "EAX", 1)
+        .reg_cond(0, "EBX", 0)
+        .reg_cond(1, "EAX", 1)
+        .reg_cond(1, "EBX", 0)
+        .reg_cond(1, "ECX", 1);
+    build(&b)
+}
+
+/// `rfi013` — double read of the remote location: first read misses the
+/// buffered remote store, second read sees it, while the local store is
+/// still invisible remotely.
+pub fn rfi013() -> LitmusTest {
+    let mut b = TestBuilder::new("rfi013");
+    b.doc("remote store drains between two reads while local store stays buffered");
+    b.thread().store("x", 1).load("EAX", "y").load("EBX", "y");
+    b.thread().store("y", 1).load("EAX", "x");
+    b.reg_cond(0, "EAX", 0)
+        .reg_cond(0, "EBX", 1)
+        .reg_cond(1, "EAX", 0);
+    build(&b)
+}
+
+/// `rfi015` — three-thread forwarding over a two-writer location: P1
+/// forwards its own `x=2` while P2 sees neither store to `x`.
+pub fn rfi015() -> LitmusTest {
+    let mut b = TestBuilder::new("rfi015");
+    b.doc("forwarding on a location with two writers (k_x = 2)");
+    b.thread().store("x", 1);
+    b.thread().store("x", 2).load("EAX", "x").load("EBX", "y");
+    b.thread().store("y", 1).load("EAX", "x");
+    b.reg_cond(1, "EAX", 2)
+        .reg_cond(1, "EBX", 0)
+        .reg_cond(2, "EAX", 0);
+    build(&b)
+}
+
+/// `rfi017` — double forwarding reads before the cross load.
+pub fn rfi017() -> LitmusTest {
+    let mut b = TestBuilder::new("rfi017");
+    b.doc("two forwarded reads of the own store, then the sb cross reads");
+    b.thread()
+        .store("x", 1)
+        .load("EAX", "x")
+        .load("EBX", "x")
+        .load("ECX", "y");
+    b.thread().store("y", 1).load("EAX", "x");
+    b.reg_cond(0, "EAX", 1)
+        .reg_cond(0, "EBX", 1)
+        .reg_cond(0, "ECX", 0)
+        .reg_cond(1, "EAX", 0);
+    build(&b)
+}
+
+/// `rwc-unfenced` — read-write causality without a fence: allowed on x86
+/// because P2's store may sit in its buffer across its own load.
+pub fn rwc_unfenced() -> LitmusTest {
+    let mut b = TestBuilder::new("rwc-unfenced");
+    b.doc("read-write causality, no fence: allowed under TSO");
+    b.thread().store("x", 1);
+    b.thread().load("EAX", "x").load("EBX", "y");
+    b.thread().store("y", 1).load("EAX", "x");
+    b.reg_cond(1, "EAX", 1)
+        .reg_cond(1, "EBX", 0)
+        .reg_cond(2, "EAX", 0);
+    build(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_allowed_test_builds_with_declared_name() {
+        let tests: Vec<LitmusTest> = vec![
+            sb(),
+            podwr000(),
+            podwr001(),
+            amd3(),
+            iwp23b(),
+            iwp24(),
+            n1(),
+            rfi009(),
+            rfi013(),
+            rfi015(),
+            rfi017(),
+            rwc_unfenced(),
+        ];
+        for t in &tests {
+            assert!(!t.name().is_empty());
+            assert!(!t.doc().is_empty(), "{} needs a doc string", t.name());
+            assert!(t.target_outcome().is_some(), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn rfi015_has_two_writers_to_x() {
+        let t = rfi015();
+        let x = t.location_id("x").unwrap();
+        assert_eq!(t.distinct_store_values(x).len(), 2);
+    }
+
+    #[test]
+    fn sb_and_podwr000_are_isomorphic_but_distinct() {
+        let a = sb();
+        let b = podwr000();
+        assert_ne!(a, b);
+        assert_eq!(a.thread_count(), b.thread_count());
+        assert_eq!(a.load_slots().len(), b.load_slots().len());
+    }
+}

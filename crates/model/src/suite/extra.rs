@@ -1,0 +1,532 @@
+//! The non-convertible complement of the 88-test x86-TSO suite.
+//!
+//! These 54 tests have conditions that inspect **final shared memory**
+//! (`[x] = v` atoms), which perpetual litmus tests cannot express: shared
+//! locations are mutated continuously until the whole run ends (paper §V-C).
+//! They are exactly the tests PerpLE's Converter must *reject* and which the
+//! overall-impact experiment (§VII-G) keeps running under the litmus7
+//! baseline.
+//!
+//! The families mirror the diy-generated coherence/write-serialization
+//! shapes (`2+2w`, `co-2w`, `S`, `R`, ...). Within each family, variants
+//! differ in fence (or locked-instruction) placement, as in the original
+//! suite.
+
+use crate::test::{LitmusTest, TestBuilder};
+
+/// Fence-placement mask for two-site variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FenceMask {
+    None,
+    First,
+    Second,
+    Both,
+}
+
+const MASKS: [FenceMask; 4] = [FenceMask::None, FenceMask::First, FenceMask::Second, FenceMask::Both];
+
+impl FenceMask {
+    fn first(self) -> bool {
+        matches!(self, FenceMask::First | FenceMask::Both)
+    }
+    fn second(self) -> bool {
+        matches!(self, FenceMask::Second | FenceMask::Both)
+    }
+    fn suffix(self) -> &'static str {
+        match self {
+            FenceMask::None => "",
+            FenceMask::First => "+mfence+po",
+            FenceMask::Second => "+po+mfence",
+            FenceMask::Both => "+mfences",
+        }
+    }
+}
+
+fn build(b: &TestBuilder) -> LitmusTest {
+    b.build().expect("generated suite test must be well-formed")
+}
+
+/// `2+2w` family: two threads storing to two locations in opposite order;
+/// the condition asks whether both first stores survive.
+fn family_2p2w() -> Vec<LitmusTest> {
+    MASKS
+        .iter()
+        .map(|&m| {
+            let mut b = TestBuilder::new(format!("2+2w{}", m.suffix()));
+            b.doc("write serialization of two cross-ordered store pairs");
+            {
+                let mut t = b.thread();
+                t.store("x", 1);
+                if m.first() {
+                    t.mfence();
+                }
+                t.store("y", 2);
+            }
+            {
+                let mut t = b.thread();
+                t.store("y", 1);
+                if m.second() {
+                    t.mfence();
+                }
+                t.store("x", 2);
+            }
+            b.mem_cond("x", 1).mem_cond("y", 1);
+            build(&b)
+        })
+        .collect()
+}
+
+/// `co-2w` family: two writers to one location; variants replace plain
+/// stores by locked exchanges.
+fn family_co2w() -> Vec<LitmusTest> {
+    let variants: [(&str, bool, bool); 4] = [
+        ("co-2w", false, false),
+        ("co-2w+xchg+po", true, false),
+        ("co-2w+po+xchg", false, true),
+        ("co-2w+xchgs", true, true),
+    ];
+    variants
+        .iter()
+        .map(|&(name, x0, x1)| {
+            let mut b = TestBuilder::new(name);
+            b.doc("final value of a location with two writers");
+            {
+                let mut t = b.thread();
+                if x0 {
+                    t.xchg("EAX", "x", 1);
+                } else {
+                    t.store("x", 1);
+                }
+            }
+            {
+                let mut t = b.thread();
+                if x1 {
+                    t.xchg("EAX", "x", 2);
+                } else {
+                    t.store("x", 2);
+                }
+            }
+            b.mem_cond("x", 1);
+            build(&b)
+        })
+        .collect()
+}
+
+/// `S` family: store/store vs load/store shape with a final-memory atom.
+fn family_s() -> Vec<LitmusTest> {
+    MASKS
+        .iter()
+        .map(|&m| {
+            let mut b = TestBuilder::new(format!("s{}", m.suffix()));
+            b.doc("S shape: observed flag with surviving first store");
+            {
+                let mut t = b.thread();
+                t.store("x", 2);
+                if m.first() {
+                    t.mfence();
+                }
+                t.store("y", 1);
+            }
+            {
+                let mut t = b.thread();
+                t.load("EAX", "y");
+                if m.second() {
+                    t.mfence();
+                }
+                t.store("x", 1);
+            }
+            b.reg_cond(1, "EAX", 1).mem_cond("x", 2);
+            build(&b)
+        })
+        .collect()
+}
+
+/// `R` family: store/store vs store/load shape with a final-memory atom.
+fn family_r() -> Vec<LitmusTest> {
+    MASKS
+        .iter()
+        .map(|&m| {
+            let mut b = TestBuilder::new(format!("r{}", m.suffix()));
+            b.doc("R shape: surviving second store with a stale read");
+            {
+                let mut t = b.thread();
+                t.store("x", 1);
+                if m.first() {
+                    t.mfence();
+                }
+                t.store("y", 1);
+            }
+            {
+                let mut t = b.thread();
+                t.store("y", 2);
+                if m.second() {
+                    t.mfence();
+                }
+                t.load("EAX", "x");
+            }
+            b.reg_cond(1, "EAX", 0).mem_cond("y", 2);
+            build(&b)
+        })
+        .collect()
+}
+
+/// `co-mp` family: one thread writes a location twice; a reader observes
+/// both writes against the final value.
+fn family_comp() -> Vec<LitmusTest> {
+    MASKS
+        .iter()
+        .map(|&m| {
+            let mut b = TestBuilder::new(format!("co-mp{}", m.suffix()));
+            b.doc("coherence of a twice-written location against its final value");
+            {
+                let mut t = b.thread();
+                t.store("x", 1);
+                if m.first() {
+                    t.mfence();
+                }
+                t.store("x", 2);
+            }
+            {
+                let mut t = b.thread();
+                t.load("EAX", "x");
+                if m.second() {
+                    t.mfence();
+                }
+                t.load("EBX", "x");
+            }
+            b.reg_cond(1, "EAX", 2).reg_cond(1, "EBX", 1).mem_cond("x", 2);
+            build(&b)
+        })
+        .collect()
+}
+
+/// `co-sb` family: the sb shape augmented with final-memory atoms.
+fn family_cosb() -> Vec<LitmusTest> {
+    MASKS
+        .iter()
+        .map(|&m| {
+            let mut b = TestBuilder::new(format!("co-sb{}", m.suffix()));
+            b.doc("sb with final-memory observation");
+            {
+                let mut t = b.thread();
+                t.store("x", 1);
+                if m.first() {
+                    t.mfence();
+                }
+                t.load("EAX", "y");
+            }
+            {
+                let mut t = b.thread();
+                t.store("y", 1);
+                if m.second() {
+                    t.mfence();
+                }
+                t.load("EAX", "x");
+            }
+            b.reg_cond(0, "EAX", 0)
+                .reg_cond(1, "EAX", 0)
+                .mem_cond("x", 1)
+                .mem_cond("y", 1);
+            build(&b)
+        })
+        .collect()
+}
+
+/// `3w` family: three writers to one location; variants ask for each
+/// surviving value plus a fully locked variant.
+fn family_3w() -> Vec<LitmusTest> {
+    let mut out = Vec::new();
+    for final_v in 1..=3u32 {
+        let mut b = TestBuilder::new(format!("3w+final{final_v}"));
+        b.doc("final value among three independent writers");
+        b.thread().store("x", 1);
+        b.thread().store("x", 2);
+        b.thread().store("x", 3);
+        b.mem_cond("x", final_v);
+        out.push(build(&b));
+    }
+    let mut b = TestBuilder::new("3w+xchgs");
+    b.doc("final value among three locked writers");
+    b.thread().xchg("EAX", "x", 1);
+    b.thread().xchg("EAX", "x", 2);
+    b.thread().xchg("EAX", "x", 3);
+    b.mem_cond("x", 1);
+    out.push(build(&b));
+    out
+}
+
+/// `mp+final` family: message passing with a final-memory atom.
+fn family_mpfinal() -> Vec<LitmusTest> {
+    MASKS
+        .iter()
+        .map(|&m| {
+            let mut b = TestBuilder::new(format!("mp+final{}", m.suffix()));
+            b.doc("message passing checked against final memory");
+            {
+                let mut t = b.thread();
+                t.store("x", 1);
+                if m.first() {
+                    t.mfence();
+                }
+                t.store("y", 1);
+            }
+            {
+                let mut t = b.thread();
+                t.load("EAX", "y");
+                if m.second() {
+                    t.mfence();
+                }
+                t.load("EBX", "x");
+            }
+            b.reg_cond(1, "EAX", 1)
+                .reg_cond(1, "EBX", 0)
+                .mem_cond("y", 1);
+            build(&b)
+        })
+        .collect()
+}
+
+/// `3+3w` family: a three-thread ring of cross-ordered store pairs.
+fn family_w3chain() -> Vec<LitmusTest> {
+    let variants: [(&str, [bool; 3]); 4] = [
+        ("3+3w", [false, false, false]),
+        ("3+3w+mfence+po+po", [true, false, false]),
+        ("3+3w+mfence+mfence+po", [true, true, false]),
+        ("3+3w+mfences", [true, true, true]),
+    ];
+    variants
+        .iter()
+        .map(|&(name, fences)| {
+            let mut b = TestBuilder::new(name);
+            b.doc("three-thread ring of cross-ordered store pairs");
+            let ring = [("x", "y"), ("y", "z"), ("z", "x")];
+            for (i, &(a, c)) in ring.iter().enumerate() {
+                let mut t = b.thread();
+                t.store(a, 1);
+                if fences[i] {
+                    t.mfence();
+                }
+                t.store(c, 2);
+            }
+            b.mem_cond("x", 1).mem_cond("y", 1).mem_cond("z", 1);
+            build(&b)
+        })
+        .collect()
+}
+
+/// `co-lb` family: load-then-store threads over one location, observing each
+/// other's stores, plus a final-memory atom.
+fn family_colb() -> Vec<LitmusTest> {
+    let finals = [1u32, 2];
+    let mut out = Vec::new();
+    for &f in &finals {
+        for (suffix, fenced) in [("", false), ("+mfences", true)] {
+            let mut b = TestBuilder::new(format!("co-lb+final{f}{suffix}"));
+            b.doc("cross-observed load-store pairs over one location");
+            {
+                let mut t = b.thread();
+                t.load("EAX", "x");
+                if fenced {
+                    t.mfence();
+                }
+                t.store("x", 1);
+            }
+            {
+                let mut t = b.thread();
+                t.load("EAX", "x");
+                if fenced {
+                    t.mfence();
+                }
+                t.store("x", 2);
+            }
+            b.reg_cond(0, "EAX", 2).reg_cond(1, "EAX", 1).mem_cond("x", f);
+            out.push(build(&b));
+        }
+    }
+    out
+}
+
+/// `co-rr` family: single writer, reader observing new-then-stale values,
+/// against final memory.
+fn family_corr() -> Vec<LitmusTest> {
+    MASKS
+        .iter()
+        .map(|&m| {
+            let mut b = TestBuilder::new(format!("co-rr{}", m.suffix()));
+            b.doc("stale re-read of a once-written location");
+            {
+                let mut t = b.thread();
+                if m.first() {
+                    t.mfence();
+                }
+                t.store("x", 1);
+            }
+            {
+                let mut t = b.thread();
+                t.load("EAX", "x");
+                if m.second() {
+                    t.mfence();
+                }
+                t.load("EBX", "x");
+            }
+            b.reg_cond(1, "EAX", 1).reg_cond(1, "EBX", 0).mem_cond("x", 1);
+            build(&b)
+        })
+        .collect()
+}
+
+/// `sb+final` family: sb conditioned on one load plus final memory.
+fn family_sbfinal() -> Vec<LitmusTest> {
+    MASKS
+        .iter()
+        .map(|&m| {
+            let mut b = TestBuilder::new(format!("sb+final{}", m.suffix()));
+            b.doc("one-sided sb observation with final memory");
+            {
+                let mut t = b.thread();
+                t.store("x", 1);
+                if m.first() {
+                    t.mfence();
+                }
+                t.load("EAX", "y");
+            }
+            {
+                let mut t = b.thread();
+                t.store("y", 1);
+                if m.second() {
+                    t.mfence();
+                }
+                t.load("EAX", "x");
+            }
+            b.reg_cond(0, "EAX", 0).mem_cond("x", 1).mem_cond("y", 1);
+            build(&b)
+        })
+        .collect()
+}
+
+/// `iriw+final` family: iriw with a final-memory atom and fence variants on
+/// the readers.
+fn family_iriwfinal() -> Vec<LitmusTest> {
+    MASKS
+        .iter()
+        .map(|&m| {
+            let mut b = TestBuilder::new(format!("iriw+final{}", m.suffix()));
+            b.doc("iriw observed against final memory");
+            b.thread().store("x", 1);
+            b.thread().store("y", 1);
+            {
+                let mut t = b.thread();
+                t.load("EAX", "x");
+                if m.first() {
+                    t.mfence();
+                }
+                t.load("EBX", "y");
+            }
+            {
+                let mut t = b.thread();
+                t.load("EAX", "y");
+                if m.second() {
+                    t.mfence();
+                }
+                t.load("EBX", "x");
+            }
+            b.reg_cond(2, "EAX", 1)
+                .reg_cond(2, "EBX", 0)
+                .reg_cond(3, "EAX", 1)
+                .reg_cond(3, "EBX", 0)
+                .mem_cond("x", 1);
+            build(&b)
+        })
+        .collect()
+}
+
+/// `wrc+final` family: write-read causality against final memory.
+fn family_wrcfinal() -> Vec<LitmusTest> {
+    [("wrc+final", false), ("wrc+final+mfence", true)]
+        .iter()
+        .map(|&(name, fenced)| {
+            let mut b = TestBuilder::new(name);
+            b.doc("write-read causality observed against final memory");
+            b.thread().store("x", 1);
+            {
+                let mut t = b.thread();
+                t.load("EAX", "x");
+                if fenced {
+                    t.mfence();
+                }
+                t.store("y", 1);
+            }
+            b.thread().load("EAX", "y").load("EBX", "x");
+            b.reg_cond(1, "EAX", 1)
+                .reg_cond(2, "EAX", 1)
+                .reg_cond(2, "EBX", 0)
+                .mem_cond("y", 1);
+            build(&b)
+        })
+        .collect()
+}
+
+/// All 54 non-convertible tests of the full suite.
+pub fn non_convertible() -> Vec<LitmusTest> {
+    let mut out = Vec::new();
+    out.extend(family_2p2w());
+    out.extend(family_co2w());
+    out.extend(family_s());
+    out.extend(family_r());
+    out.extend(family_comp());
+    out.extend(family_cosb());
+    out.extend(family_3w());
+    out.extend(family_mpfinal());
+    out.extend(family_w3chain());
+    out.extend(family_colb());
+    out.extend(family_corr());
+    out.extend(family_sbfinal());
+    out.extend(family_iriwfinal());
+    out.extend(family_wrcfinal());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_four_tests_all_non_convertible() {
+        let tests = non_convertible();
+        assert_eq!(tests.len(), 54);
+        for t in &tests {
+            assert!(
+                t.target().inspects_memory(),
+                "{} should be non-convertible",
+                t.name()
+            );
+            assert!(t.target_outcome().is_none(), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let tests = non_convertible();
+        let mut names: Vec<&str> = tests.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn fence_variants_differ_structurally() {
+        let f = family_2p2w();
+        assert_eq!(f.len(), 4);
+        assert_ne!(f[0].threads(), f[3].threads());
+        assert_eq!(f[0].thread_count(), 2);
+    }
+
+    #[test]
+    fn all_tests_build_and_print() {
+        for t in non_convertible() {
+            let text = crate::printer::print(&t);
+            assert!(text.contains(t.name()), "{}", t.name());
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! `perple` — command-line front end to the Perpetual Litmus Engine.
+//!
+//! ```text
+//! perple classify <test-name | file.litmus>   SC/TSO/PSO classification
+//! perple convert  <test-name | file.litmus>   emit perpetual asm + counters
+//! perple run      <test-name> [-n N] [--seed S] [--weak]
+//! perple audit    [-n N]                      whole-suite consistency audit
+//! perple trace    <test-name> [-n N]          event log of a short run
+//! perple infer    [-n N] [--weak]             infer the machine's relaxations
+//! perple list                                 list the built-in suite
+//! ```
+
+use std::process::ExitCode;
+
+use perple::{classify, enumerate, Conversion, MemoryModel, Perple, SimConfig};
+use perple_model::{parser, suite, LitmusTest};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("infer") => cmd_infer(&args[1..]),
+        Some("list") => cmd_list(),
+        _ => {
+            eprintln!(
+                "usage: perple <classify|convert|run|audit|list> [args]\n\
+                 \n\
+                 classify <test|file>        classification under SC/TSO/PSO\n\
+                 convert  <test|file>        emit perpetual artifacts\n\
+                 run      <test> [-n N] [--seed S] [--weak]\n\
+                 audit    [-n N]             run the Table II suite\n\
+                 trace    <test> [-n N]      event log of a short run\n\
+                 infer    [-n N] [--weak]    infer the machine's relaxations\n\
+                 list                        list built-in tests"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Loads a test by suite name or from a litmus7-format file.
+fn load_test(spec: &str) -> Result<LitmusTest, String> {
+    if let Some(t) = suite::by_name(spec) {
+        return Ok(t);
+    }
+    let src = std::fs::read_to_string(spec)
+        .map_err(|e| format!("{spec} is neither a suite test nor a readable file: {e}"))?;
+    parser::parse(&src).map_err(|e| e.to_string())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("classify needs a test name or file")?;
+    let test = load_test(spec)?;
+    println!("{test}");
+    let c = classify(&test);
+    let pso = enumerate(&test, MemoryModel::Pso).condition_reachable(&test);
+    println!("condition reachable under SC:  {}", c.sc_allowed);
+    println!("condition reachable under TSO: {}", c.tso_allowed);
+    println!("condition reachable under PSO: {pso}");
+    if c.is_target() {
+        println!("=> a target outcome: distinguishes TSO from SC (store buffering)");
+    }
+    println!(
+        "convertible to a perpetual test: {}",
+        perple_convert::is_convertible(&test)
+    );
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("convert needs a test name or file")?;
+    let test = load_test(spec)?;
+    let conv = Conversion::convert(&test).map_err(|e| e.to_string())?;
+    for (t, asm) in perple_convert::codegen::emit_thread_asm(&conv.perpetual)
+        .iter()
+        .enumerate()
+    {
+        println!("==== thread {t} ====\n{asm}");
+    }
+    println!("==== params ====\n{}", perple_convert::codegen::emit_params(&conv.perpetual));
+    println!(
+        "==== COUNT.c ====\n{}",
+        perple_convert::codegen::emit_count_c(
+            &conv.perpetual,
+            std::slice::from_ref(&conv.target_exhaustive)
+        )
+    );
+    println!(
+        "==== COUNTH.c ====\n{}",
+        perple_convert::codegen::emit_counth_c(
+            &conv.perpetual,
+            std::slice::from_ref(&conv.target_heuristic)
+        )
+    );
+    Ok(())
+}
+
+fn parse_flags(args: &[String]) -> Result<(u64, u64, bool), String> {
+    let mut n = 10_000u64;
+    let mut seed = 0xCAFE_u64;
+    let mut weak = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-n" | "--iterations" => {
+                n = it
+                    .next()
+                    .ok_or("missing value for -n")?
+                    .parse()
+                    .map_err(|e| format!("bad iteration count: {e}"))?;
+            }
+            "--seed" | "-s" => {
+                seed = it
+                    .next()
+                    .ok_or("missing value for --seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--weak" => weak = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((n, seed, weak))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("run needs a test name or file")?;
+    let test = load_test(spec)?;
+    let (n, seed, weak) = parse_flags(&args[1..])?;
+    let config = SimConfig::default()
+        .with_seed(seed)
+        .with_weak_store_order(weak);
+    let mut engine = Perple::with_config(&test, config).map_err(|e| e.to_string())?;
+    let (run, count) = engine.run_heuristic_only(n);
+    println!(
+        "{}: {} iterations in {} simulated cycles{}",
+        test.name(),
+        n,
+        run.exec_cycles,
+        if weak { " (weak-store-order machine)" } else { "" }
+    );
+    println!("target outcome occurrences (heuristic counter): {}", count.counts[0]);
+    let c = classify(&test);
+    if !c.tso_allowed && count.counts[0] > 0 {
+        println!("!! TSO-forbidden target observed: the machine violates x86-TSO");
+    }
+    Ok(())
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let (n, seed, weak) = parse_flags(args)?;
+    let config = SimConfig::default()
+        .with_seed(seed)
+        .with_weak_store_order(weak);
+    let mut violations = 0;
+    for test in suite::convertible() {
+        let mut engine =
+            Perple::with_config(&test, config.clone()).map_err(|e| e.to_string())?;
+        let (_, count) = engine.run_heuristic_only(n);
+        let c = classify(&test);
+        let status = match (c.tso_allowed, count.counts[0] > 0) {
+            (false, true) => {
+                violations += 1;
+                "VIOLATION"
+            }
+            (false, false) => "clean",
+            (true, true) => "observed",
+            (true, false) => "quiet",
+        };
+        println!("{:<16} {:>10} {:>12}", test.name(), count.counts[0], status);
+    }
+    println!("{violations} consistency violations");
+    if violations > 0 {
+        return Err("the machine under test violates x86-TSO".into());
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("trace needs a test name or file")?;
+    let test = load_test(spec)?;
+    let (n, seed, weak) = parse_flags(&args[1..])?;
+    let n = n.min(50); // event logs of long runs are unreadable
+    let conv = Conversion::convert(&test).map_err(|e| e.to_string())?;
+    let specs = perple_harness::perpetual::thread_specs(&conv.perpetual, n);
+    let mut machine = perple_sim::Machine::new(
+        SimConfig::default().with_seed(seed).with_weak_store_order(weak),
+    );
+    let mut trace = perple_sim::Trace::with_capacity(10_000);
+    let out = machine.run_traced(&specs, test.location_count(), &mut trace);
+    print!("{}", trace.render());
+    println!("-- {} cycles, {} drains --", out.cycles, out.drains);
+    Ok(())
+}
+
+fn cmd_infer(args: &[String]) -> Result<(), String> {
+    let (n, seed, weak) = parse_flags(args)?;
+    let config = SimConfig::default()
+        .with_seed(seed)
+        .with_weak_store_order(weak);
+    let mut observations = Vec::new();
+    for r in perple::modelmine::Relaxation::ALL {
+        let name = r.revealing_test();
+        let test = suite::by_name(name).ok_or("suite test missing")?;
+        let mut engine =
+            Perple::with_config(&test, config.clone()).map_err(|e| e.to_string())?;
+        let (_, count) = engine.run_heuristic_only(n);
+        observations.push((name, count.counts[0]));
+    }
+    let model = perple::modelmine::InferredModel::from_observations(
+        observations.iter().map(|&(n, c)| (n, c)),
+    );
+    print!("{}", model.render());
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    for (test, entry) in suite::convertible().iter().zip(suite::TABLE_II) {
+        println!(
+            "{:<16} [{},{}] target {} under x86-TSO",
+            test.name(),
+            entry.threads,
+            entry.load_threads,
+            if entry.allowed { "allowed" } else { "forbidden" }
+        );
+    }
+    println!("-- plus {} non-convertible tests (run `perple classify <name>`)",
+        suite::non_convertible().len());
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! Bug hunting on a non-conformant implementation (extension experiment).
+//!
+//! The whole point of empirical consistency testing is catching
+//! implementations that violate their published model (§I). This experiment
+//! injects a real weakness — out-of-order store-buffer drains, i.e. a
+//! PSO-like machine that claims to be x86-TSO — and checks that:
+//!
+//! 1. PerpLE flags **exactly** the tests whose TSO-forbidden target is
+//!    PSO-allowed (no false negatives, no false positives), and
+//! 2. it does so at iteration counts where litmus7 `user` mode is still
+//!    mostly blind.
+
+use std::fmt::Write as _;
+
+use perple_analysis::count::count_heuristic;
+use perple_enumerate::{enumerate, MemoryModel};
+use perple_harness::baseline::{BaselineRunner, SyncMode};
+use perple_harness::perpetual::PerpleRunner;
+use perple_model::suite;
+use perple_sim::SimConfig;
+
+use super::ExperimentConfig;
+use crate::Conversion;
+
+/// Verdict for one test on the faulty machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BugReport {
+    /// Test name.
+    pub name: String,
+    /// The target is forbidden under (claimed) x86-TSO.
+    pub tso_forbidden: bool,
+    /// The target is reachable on the (actual) PSO machine — i.e. this test
+    /// *should* expose the bug.
+    pub pso_allowed: bool,
+    /// PerpLE-heuristic occurrences on the faulty machine.
+    pub perple_hits: u64,
+    /// litmus7 `user` occurrences on the faulty machine.
+    pub user_hits: u64,
+    /// litmus7 `timebase` occurrences on the faulty machine.
+    pub timebase_hits: u64,
+}
+
+impl BugReport {
+    /// True if PerpLE's verdict is correct: hits iff the bug is exposable
+    /// through this test.
+    pub fn perple_correct(&self) -> bool {
+        let should_fire = self.tso_forbidden && self.pso_allowed;
+        if should_fire {
+            self.perple_hits > 0
+        } else if self.tso_forbidden {
+            self.perple_hits == 0
+        } else {
+            true // allowed targets may fire freely
+        }
+    }
+}
+
+/// Runs the whole convertible suite against the faulty (PSO) machine.
+pub fn bugfinder(cfg: &ExperimentConfig) -> Vec<BugReport> {
+    let faulty = SimConfig::default()
+        .with_seed(cfg.seed ^ 0xB06)
+        .with_weak_store_order(true);
+    suite::convertible()
+        .iter()
+        .zip(suite::TABLE_II)
+        .map(|(test, entry)| {
+            let pso_allowed = enumerate(test, MemoryModel::Pso).condition_reachable(test);
+            let conv = Conversion::convert(test).expect("suite test converts");
+
+            let mut runner = PerpleRunner::new(faulty.clone());
+            let run = runner.run(&conv.perpetual, cfg.iterations);
+            let bufs = run.bufs();
+            let perple_hits = count_heuristic(
+                std::slice::from_ref(&conv.target_heuristic),
+                &bufs,
+                cfg.iterations,
+            )
+            .counts[0];
+
+            let mut user = BaselineRunner::new(faulty.clone(), SyncMode::User);
+            let user_hits = user.run(test, cfg.iterations).target_count;
+            let mut tb = BaselineRunner::new(faulty.clone(), SyncMode::Timebase);
+            let timebase_hits = tb.run(test, cfg.iterations).target_count;
+
+            BugReport {
+                name: test.name().to_owned(),
+                tso_forbidden: !entry.allowed,
+                pso_allowed,
+                perple_hits,
+                user_hits,
+                timebase_hits,
+            }
+        })
+        .collect()
+}
+
+/// Renders the bug-hunt report.
+pub fn render(reports: &[BugReport], cfg: &ExperimentConfig) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Bug hunt: machine claims x86-TSO but drains store buffers out of order ({} iterations)",
+        cfg.iterations
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>10} {:>10} {:>12} {:>10} {:>10}  verdict",
+        "test", "tso-forb.", "pso-allow", "perple-heur", "user", "timebase"
+    );
+    for r in reports {
+        let verdict = match (r.tso_forbidden, r.pso_allowed, r.perple_hits > 0) {
+            (true, true, true) => "BUG EXPOSED",
+            (true, true, false) => "missed!",
+            (true, false, false) => "clean (unexposable here)",
+            (true, false, true) => "FALSE POSITIVE",
+            (false, _, _) => "allowed target",
+        };
+        let _ = writeln!(
+            s,
+            "{:<16} {:>10} {:>10} {:>12} {:>10} {:>10}  {verdict}",
+            r.name, r.tso_forbidden, r.pso_allowed, r.perple_hits, r.user_hits, r.timebase_hits
+        );
+    }
+    let exposed = reports
+        .iter()
+        .filter(|r| r.tso_forbidden && r.pso_allowed && r.perple_hits > 0)
+        .count();
+    let exposable = reports
+        .iter()
+        .filter(|r| r.tso_forbidden && r.pso_allowed)
+        .count();
+    let _ = writeln!(s, "PerpLE exposed the injected weakness via {exposed}/{exposable} exposable tests");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::default()
+            .with_iterations(2_000)
+            .with_seed(0xB06)
+    }
+
+    #[test]
+    fn perple_flags_exactly_the_exposable_tests() {
+        let reports = bugfinder(&cfg());
+        assert_eq!(reports.len(), 34);
+        // mp is the canonical store-store-reordering victim.
+        let mp = reports.iter().find(|r| r.name == "mp").unwrap();
+        assert!(mp.tso_forbidden && mp.pso_allowed);
+        assert!(mp.perple_hits > 0, "PerpLE missed the injected mp violation");
+        // Every verdict must be correct (no false positives/negatives).
+        for r in &reports {
+            assert!(
+                r.perple_correct(),
+                "{}: tso_forbidden={} pso_allowed={} hits={}",
+                r.name,
+                r.tso_forbidden,
+                r.pso_allowed,
+                r.perple_hits
+            );
+        }
+    }
+
+    #[test]
+    fn perple_outpaces_user_mode_on_the_bug() {
+        let reports = bugfinder(&cfg());
+        let exposable: Vec<_> = reports
+            .iter()
+            .filter(|r| r.tso_forbidden && r.pso_allowed)
+            .collect();
+        assert!(!exposable.is_empty());
+        for r in &exposable {
+            assert!(
+                r.perple_hits >= r.user_hits,
+                "{}: perple {} < user {}",
+                r.name,
+                r.perple_hits,
+                r.user_hits
+            );
+        }
+    }
+
+    #[test]
+    fn render_summarizes_the_hunt() {
+        let text = render(&bugfinder(&cfg()), &cfg());
+        assert!(text.contains("BUG EXPOSED"));
+        assert!(text.contains("out of order"));
+    }
+}

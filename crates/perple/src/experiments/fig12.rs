@@ -1,0 +1,112 @@
+//! Figure 12: probability density of the thread-execution skew (in
+//! iterations) for the perpetual sb test.
+
+use std::fmt::Write as _;
+
+use perple_analysis::skew::{skew_histogram, skew_samples};
+use perple_analysis::stats::Histogram;
+use perple_harness::perpetual::PerpleRunner;
+use perple_model::suite;
+use perple_sim::SimConfig;
+
+use super::ExperimentConfig;
+use crate::Conversion;
+
+/// The skew distribution of one perpetual run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig12Data {
+    /// Full histogram of skew samples.
+    pub histogram: Histogram,
+    /// Iterations run.
+    pub iterations: u64,
+}
+
+/// Runs the perpetual sb test and measures thread skew (other tests behave
+/// similarly, as the paper notes).
+pub fn fig12(cfg: &ExperimentConfig) -> Fig12Data {
+    fig12_for("sb", cfg)
+}
+
+/// Same measurement for any convertible test.
+///
+/// # Panics
+/// Panics if the test is unknown or not convertible.
+pub fn fig12_for(test_name: &str, cfg: &ExperimentConfig) -> Fig12Data {
+    let test = suite::by_name(test_name).expect("known test");
+    let conv = Conversion::convert(&test).expect("convertible test");
+    let mut runner = PerpleRunner::new(SimConfig::default().with_seed(cfg.seed ^ 0xF12));
+    let run = runner.run(&conv.perpetual, cfg.iterations);
+    let bufs = run.bufs();
+    let samples = skew_samples(&test, &conv.kmap, &bufs);
+    Fig12Data { histogram: skew_histogram(&samples), iterations: cfg.iterations }
+}
+
+/// Renders the PDF as a bucketed table plus summary statistics.
+pub fn render(data: &Fig12Data) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Figure 12: thread skew PDF, perpetual sb, {} iterations",
+        data.iterations
+    );
+    let h = &data.histogram;
+    let width = ((h.max().unwrap_or(1) - h.min().unwrap_or(0)).unsigned_abs() / 40).max(1);
+    for (lower, p) in h.pdf_bucketed(width) {
+        let bar = "#".repeat((p * 400.0).round() as usize);
+        let _ = writeln!(s, "{lower:>8} {p:>9.5} {bar}");
+    }
+    let _ = writeln!(
+        s,
+        "samples={} mean={:.2} stddev={:.2} min={} max={} mass(|skew|<=5)={:.3}",
+        h.total(),
+        h.mean().unwrap_or(0.0),
+        h.stddev().unwrap_or(0.0),
+        h.min().unwrap_or(0),
+        h.max().unwrap_or(0),
+        h.mass_within(5)
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_distribution_is_wide_but_centered() {
+        // The paper: a very wide distribution, denser around 0.
+        let cfg = ExperimentConfig::default()
+            .with_iterations(30_000)
+            .with_seed(0xF12);
+        let d = fig12(&cfg);
+        let h = &d.histogram;
+        assert!(h.total() > 10_000);
+        // Width: preemptions make threads drift by many iterations.
+        let spread = h.max().unwrap() - h.min().unwrap();
+        assert!(spread >= 20, "skew spread {spread} too narrow");
+        // Centered: the bulk of mass lies near zero relative to the range.
+        let near = h.mass_within(spread / 4);
+        assert!(near > 0.5, "mass near 0 is only {near}");
+        // Both signs occur: either thread can run ahead.
+        assert!(h.min().unwrap() < 0 && h.max().unwrap() > 0);
+    }
+
+    #[test]
+    fn other_tests_exhibit_similar_skew() {
+        let cfg = ExperimentConfig::default()
+            .with_iterations(10_000)
+            .with_seed(0xF13);
+        let d = fig12_for("lb", &cfg);
+        assert!(d.histogram.total() > 1_000);
+    }
+
+    #[test]
+    fn render_reports_statistics() {
+        let cfg = ExperimentConfig::default()
+            .with_iterations(5_000)
+            .with_seed(0xF14);
+        let text = render(&fig12(&cfg));
+        assert!(text.contains("stddev"));
+        assert!(text.contains("samples="));
+    }
+}

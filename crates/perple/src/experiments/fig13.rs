@@ -1,0 +1,179 @@
+//! Figure 13: outcome variety for sb, lb and podwr001 — PerpLE heuristic
+//! (sampling `N` frames *per outcome*) vs litmus7 in all modes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use perple_analysis::count::count_heuristic_each;
+use perple_analysis::variety::VarietyTable;
+use perple_harness::baseline::{BaselineRunner, SyncMode};
+use perple_harness::perpetual::PerpleRunner;
+use perple_model::suite;
+use perple_sim::SimConfig;
+
+use super::ExperimentConfig;
+use crate::Conversion;
+
+/// The tests Figure 13 presents.
+pub const FIG13_TESTS: [&str; 3] = ["sb", "lb", "podwr001"];
+
+/// Variety tables for one test across tools.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig13Entry {
+    /// Test name.
+    pub name: String,
+    /// Outcome labels in canonical order.
+    pub labels: Vec<String>,
+    /// PerpLE heuristic occurrences per outcome (per-outcome sampling, so
+    /// totals may exceed the iteration count).
+    pub perple: VarietyTable,
+    /// litmus7 occurrences per outcome and mode.
+    pub litmus7: BTreeMap<&'static str, VarietyTable>,
+    /// The label of the TSO-forbidden outcome, if any (lb's `11`).
+    pub forbidden_label: Option<String>,
+}
+
+/// Regenerates Figure 13's data.
+pub fn fig13(cfg: &ExperimentConfig) -> Vec<Fig13Entry> {
+    FIG13_TESTS
+        .iter()
+        .map(|name| {
+            let test = suite::by_name(name).expect("figure test exists");
+            let conv = Conversion::convert(&test).expect("convertible");
+            let all = conv.all_outcomes(&test).expect("outcomes convert");
+            let labels: Vec<String> =
+                all.iter().map(|(o, _)| o.label().to_owned()).collect();
+
+            // PerpLE heuristic, per-outcome sampling.
+            let mut runner =
+                PerpleRunner::new(SimConfig::default().with_seed(cfg.seed ^ 0xF13));
+            let run = runner.run(&conv.perpetual, cfg.iterations);
+            let bufs = run.bufs();
+            let heus: Vec<_> = all.iter().map(|(_, h)| h.clone()).collect();
+            let counts = count_heuristic_each(&heus, &bufs, cfg.iterations);
+            let perple = VarietyTable::new(labels.clone(), counts.counts);
+
+            // litmus7 per mode.
+            let mut litmus7 = BTreeMap::new();
+            for mode in SyncMode::ALL {
+                let mut b = BaselineRunner::new(
+                    SimConfig::default().with_seed(cfg.seed ^ 0xB13),
+                    mode,
+                );
+                let out = b.run(&test, cfg.iterations);
+                let counts: Vec<u64> = labels
+                    .iter()
+                    .map(|l| out.outcome_counts.get(l).copied().unwrap_or(0))
+                    .collect();
+                litmus7.insert(mode.as_str(), VarietyTable::new(labels.clone(), counts));
+            }
+
+            // The forbidden outcome: lb's 11 per the figure caption;
+            // derived generally as a TSO-forbidden register outcome.
+            let forbidden_label = if *name == "lb" { Some("11".to_owned()) } else { None };
+
+            Fig13Entry { name: (*name).to_owned(), labels, perple, litmus7, forbidden_label }
+        })
+        .collect()
+}
+
+/// Renders one entry per test.
+pub fn render(entries: &[Fig13Entry], cfg: &ExperimentConfig) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Figure 13: outcome variety ({} iterations; PerpLE samples {} frames per outcome)",
+        cfg.iterations, cfg.iterations
+    );
+    for e in entries {
+        let _ = writeln!(s, "--- {} ---", e.name);
+        let _ = write!(s, "{:>10}", "outcome");
+        let _ = write!(s, " {:>12}", "perple-heur");
+        for mode in SyncMode::ALL {
+            let _ = write!(s, " {:>10}", mode.as_str());
+        }
+        let _ = writeln!(s);
+        for (i, label) in e.labels.iter().enumerate() {
+            let marker = if e.forbidden_label.as_deref() == Some(label) { "*" } else { " " };
+            let _ = write!(s, "{label:>9}{marker}");
+            let _ = write!(s, " {:>12}", e.perple.counts()[i]);
+            for mode in SyncMode::ALL {
+                let _ = write!(s, " {:>10}", e.litmus7[mode.as_str()].counts()[i]);
+            }
+            let _ = writeln!(s);
+        }
+        let _ = write!(s, "{:>10}", "distinct");
+        let _ = write!(s, " {:>12}", e.perple.distinct_observed());
+        for mode in SyncMode::ALL {
+            let _ = write!(s, " {:>10}", e.litmus7[mode.as_str()].distinct_observed());
+        }
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(s, "(* = forbidden under x86-TSO)");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::default()
+            .with_iterations(1_000)
+            .with_seed(0x13F)
+    }
+
+    #[test]
+    fn perple_variety_covers_every_mode() {
+        for e in fig13(&cfg()) {
+            for (mode, table) in &e.litmus7 {
+                assert!(
+                    e.perple.covers(table),
+                    "{}: perple misses outcomes {mode} observes",
+                    e.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forbidden_lb_outcome_is_never_observed() {
+        let entries = fig13(&cfg());
+        let lb = entries.iter().find(|e| e.name == "lb").unwrap();
+        assert_eq!(lb.perple.count("11"), Some(0));
+        for table in lb.litmus7.values() {
+            assert_eq!(table.count("11"), Some(0));
+        }
+    }
+
+    #[test]
+    fn litmus7_totals_equal_iteration_count() {
+        // "for litmus7 the total number of occurrences for each test equals
+        // the number of test iterations" (§VII-F).
+        for e in fig13(&cfg()) {
+            for (mode, table) in &e.litmus7 {
+                assert_eq!(table.total(), 1_000, "{} {mode}", e.name);
+            }
+        }
+    }
+
+    #[test]
+    fn perple_observes_more_total_occurrences() {
+        // Per-outcome frame sampling lets PerpLE's totals exceed N.
+        let entries = fig13(&cfg());
+        let sb = entries.iter().find(|e| e.name == "sb").unwrap();
+        assert!(
+            sb.perple.total() >= 1_000,
+            "perple total {} below iteration count",
+            sb.perple.total()
+        );
+        assert!(sb.perple.distinct_observed() == 4);
+    }
+
+    #[test]
+    fn render_marks_the_forbidden_outcome() {
+        let text = render(&fig13(&cfg()), &cfg());
+        assert!(text.contains("forbidden under x86-TSO"));
+        assert!(text.contains("podwr001"));
+    }
+}

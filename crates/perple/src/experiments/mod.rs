@@ -1,0 +1,202 @@
+//! Experiment drivers regenerating every table and figure of the paper's
+//! evaluation (§VI–§VII). Each submodule computes one artifact's data and
+//! renders it as a text table; the `perple-bench` binaries are thin
+//! wrappers around these drivers.
+//!
+//! | paper artifact | driver |
+//! |---|---|
+//! | Table II (suite + classification) | [`table2`] |
+//! | Figure 9 (target occurrences, 10k iters) | [`fig9`] |
+//! | Figure 10 (runtime speedups vs `user`) | [`fig10`] |
+//! | Figure 11 (detection-rate improvement vs iterations) | [`fig11`] |
+//! | Figure 12 (thread-skew PDF) | [`fig12`] |
+//! | Figure 13 (outcome variety) | [`fig13`] |
+//! | §VII-G (overall impact on the 88-test suite) | [`overall`] |
+//! | extension: bug hunt on a faulty machine | [`bugfinder`] |
+//! | extension: design-choice ablations | [`ablation`] |
+
+pub mod bugfinder;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig9;
+pub mod overall;
+pub mod table2;
+pub mod ablation;
+
+use perple_analysis::count::{count_exhaustive, count_heuristic};
+use perple_analysis::metrics::{Detection, ModelTime};
+use perple_harness::baseline::{BaselineRunner, SyncMode};
+use perple_harness::perpetual::PerpleRunner;
+use perple_model::LitmusTest;
+use perple_sim::SimConfig;
+
+use crate::Conversion;
+
+/// Shared experiment parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Iterations per test run.
+    pub iterations: u64,
+    /// Base PRNG seed (varied deterministically per test/tool).
+    pub seed: u64,
+    /// Frame cap for the exhaustive counter (`None` scans all `N^{T_L}`
+    /// frames; `T_L = 3` tests need a cap at large `N`).
+    pub exhaustive_frame_cap: Option<u64>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 10_000,
+            seed: 0x9E37,
+            exhaustive_frame_cap: Some(100_000_000),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Returns the config with a different iteration count.
+    pub fn with_iterations(mut self, n: u64) -> Self {
+        self.iterations = n;
+        self
+    }
+
+    /// Returns the config with a different base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Derives a per-(test, tool) seed so tools see decorrelated but
+/// reproducible schedules.
+fn derive_seed(base: u64, test_name: &str, tool: &str) -> u64 {
+    let mut h = base ^ 0xDEAD_BEEF_CAFE_F00D;
+    for b in test_name.bytes().chain(tool.bytes()) {
+        h = h.rotate_left(7) ^ b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Runs PerpLE on one test and measures target detection with the chosen
+/// counter. Returns the detection plus the raw occurrence count.
+pub fn perple_detection(
+    test: &LitmusTest,
+    conv: &Conversion,
+    cfg: &ExperimentConfig,
+    heuristic: bool,
+) -> Detection {
+    let seed = derive_seed(cfg.seed, test.name(), if heuristic { "perple-h" } else { "perple-x" });
+    let mut runner = PerpleRunner::new(SimConfig::default().with_seed(seed));
+    let run = runner.run(&conv.perpetual, cfg.iterations);
+    let bufs = run.bufs();
+    let count = if heuristic {
+        count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, cfg.iterations)
+    } else {
+        count_exhaustive(
+            std::slice::from_ref(&conv.target_exhaustive),
+            &bufs,
+            cfg.iterations,
+            cfg.exhaustive_frame_cap,
+        )
+    };
+    Detection {
+        occurrences: count.counts[0],
+        time: ModelTime::new(run.exec_cycles, count.evals),
+    }
+}
+
+/// Runs PerpLE **once** and measures target detection under both counters
+/// (the paper's runtime comparisons share the execution and differ only in
+/// counting). Returns `(heuristic, exhaustive)`.
+pub fn perple_detection_both(
+    test: &LitmusTest,
+    conv: &Conversion,
+    cfg: &ExperimentConfig,
+) -> (Detection, Detection) {
+    let seed = derive_seed(cfg.seed, test.name(), "perple");
+    let mut runner = PerpleRunner::new(SimConfig::default().with_seed(seed));
+    let run = runner.run(&conv.perpetual, cfg.iterations);
+    let bufs = run.bufs();
+    let heur = count_heuristic(
+        std::slice::from_ref(&conv.target_heuristic),
+        &bufs,
+        cfg.iterations,
+    );
+    let exh = count_exhaustive(
+        std::slice::from_ref(&conv.target_exhaustive),
+        &bufs,
+        cfg.iterations,
+        cfg.exhaustive_frame_cap,
+    );
+    (
+        Detection {
+            occurrences: heur.counts[0],
+            time: ModelTime::new(run.exec_cycles, heur.evals),
+        },
+        Detection {
+            occurrences: exh.counts[0],
+            time: ModelTime::new(run.exec_cycles, exh.evals),
+        },
+    )
+}
+
+/// Runs the litmus7 baseline in one mode and measures target detection.
+/// litmus7's counting is one outcome check per iteration.
+pub fn baseline_detection(
+    test: &LitmusTest,
+    mode: SyncMode,
+    cfg: &ExperimentConfig,
+) -> Detection {
+    let seed = derive_seed(cfg.seed, test.name(), mode.as_str());
+    let mut runner = BaselineRunner::new(SimConfig::default().with_seed(seed), mode);
+    let run = runner.run(test, cfg.iterations);
+    Detection {
+        occurrences: run.target_count,
+        time: ModelTime::new(run.exec_cycles, cfg.iterations),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perple_model::suite;
+
+    #[test]
+    fn derive_seed_varies_by_inputs() {
+        let a = derive_seed(1, "sb", "user");
+        let b = derive_seed(1, "sb", "pthread");
+        let c = derive_seed(1, "lb", "user");
+        let d = derive_seed(2, "sb", "user");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a, derive_seed(1, "sb", "user"));
+    }
+
+    #[test]
+    fn perple_detects_sb_target_where_user_mode_struggles() {
+        let t = suite::sb();
+        let conv = Conversion::convert(&t).unwrap();
+        let cfg = ExperimentConfig::default().with_iterations(2_000);
+        let perple = perple_detection(&t, &conv, &cfg, true);
+        let user = baseline_detection(&t, SyncMode::User, &cfg);
+        assert!(perple.occurrences > 0);
+        assert!(
+            perple.occurrences >= user.occurrences,
+            "perple {} vs user {}",
+            perple.occurrences,
+            user.occurrences
+        );
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = ExperimentConfig::default().with_iterations(5).with_seed(9);
+        assert_eq!(c.iterations, 5);
+        assert_eq!(c.seed, 9);
+    }
+}

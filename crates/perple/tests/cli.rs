@@ -1,0 +1,124 @@
+//! End-to-end tests of the `perple` command-line interface.
+
+use std::process::Command;
+
+fn perple(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_perple"))
+        .args(args)
+        .output()
+        .expect("perple binary runs")
+}
+
+#[test]
+fn list_shows_the_suite() {
+    let out = perple(&["list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sb"));
+    assert!(text.contains("forbidden"));
+    assert!(text.contains("54 non-convertible"));
+}
+
+#[test]
+fn classify_reports_all_three_models() {
+    let out = perple(&["classify", "sb"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("under SC:  false"));
+    assert!(text.contains("under TSO: true"));
+    assert!(text.contains("under PSO: true"));
+    assert!(text.contains("target outcome"));
+}
+
+#[test]
+fn run_detects_sb_and_stays_clean_on_mp() {
+    let out = perple(&["run", "sb", "-n", "3000", "--seed", "5"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let hits: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("target outcome occurrences (heuristic counter): "))
+        .expect("count line")
+        .parse()
+        .expect("count parses");
+    assert!(hits > 0);
+
+    let out = perple(&["run", "mp", "-n", "3000"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("occurrences (heuristic counter): 0"));
+    assert!(!text.contains("violates"));
+}
+
+#[test]
+fn weak_machine_run_reports_the_violation() {
+    let out = perple(&["run", "mp", "-n", "5000", "--weak"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("violates x86-TSO"), "{text}");
+}
+
+#[test]
+fn trace_produces_an_event_log() {
+    let out = perple(&["trace", "sb", "-n", "2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("store mem["));
+    assert!(text.contains("drain mem["));
+    assert!(text.contains("cycles"));
+}
+
+#[test]
+fn infer_names_tso_and_pso() {
+    let out = perple(&["infer", "-n", "4000"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("closest textbook model: TSO"), "{text}");
+
+    let out = perple(&["infer", "-n", "4000", "--weak"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("closest textbook model: PSO"), "{text}");
+}
+
+#[test]
+fn convert_emits_all_artifacts() {
+    let out = perple(&["convert", "sb"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("perp_thread_0"));
+    assert!(text.contains("t0_reads = 1"));
+    assert!(text.contains("void COUNT("));
+    assert!(text.contains("void COUNTH("));
+}
+
+#[test]
+fn convert_rejects_non_convertible_tests() {
+    let out = perple(&["convert", "2+2w"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("not convertible"), "{text}");
+}
+
+#[test]
+fn classify_accepts_litmus_files() {
+    let dir = std::env::temp_dir().join(format!("perple-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("custom.litmus");
+    std::fs::write(
+        &path,
+        "X86 custom\n{ x=0; y=0; }\n P0          | P1          ;\n MOV [x],$1  | MOV [y],$1  ;\n MOV EAX,[y] | MOV EAX,[x] ;\nexists (0:EAX=0 /\\ 1:EAX=0)\n",
+    )
+    .unwrap();
+    let out = perple(&["classify", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("under TSO: true"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    assert!(!perple(&[]).status.success());
+    assert!(!perple(&["frobnicate"]).status.success());
+    assert!(!perple(&["classify", "no-such-test-or-file"]).status.success());
+    assert!(!perple(&["run", "sb", "-n", "not-a-number"]).status.success());
+}

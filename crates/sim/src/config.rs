@@ -1,0 +1,129 @@
+//! Simulator configuration.
+
+/// Tunable parameters of the simulated x86-TSO machine.
+///
+/// Defaults are calibrated so that (a) weak outcomes of unfenced tests occur
+/// at observable rates, (b) thread skew grows to thousands of iterations
+/// over long runs (paper Figure 12), and (c) fenced tests never exhibit
+/// forbidden outcomes (guaranteed by construction, not calibration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// PRNG seed; equal seeds reproduce runs exactly.
+    pub seed: u64,
+    /// Per-cycle probability that a non-empty store buffer drains its oldest
+    /// entry to memory.
+    pub drain_prob: f64,
+    /// Store-buffer capacity; a store stalls while the buffer is full.
+    pub buffer_capacity: usize,
+    /// Per-cycle probability that a running thread is preempted by the OS.
+    pub preempt_prob: f64,
+    /// Mean preemption duration in cycles (uniform in `[1, 2*mean]`).
+    pub mean_preempt: u64,
+    /// Per-cycle probability of a short interruption (timer tick, minor
+    /// fault): long enough to flip which thread reads "fresh" values,
+    /// short enough not to desynchronize the run.
+    pub micro_preempt_prob: f64,
+    /// Mean micro-interruption duration in cycles.
+    pub mean_micro_preempt: u64,
+    /// Per-cycle probability of a short pipeline/cache stall.
+    pub stall_prob: f64,
+    /// **Fault injection**: when true, store buffers drain out of order
+    /// across locations (per-location FIFO only) — a PSO-like machine that
+    /// deliberately violates x86-TSO, used to demonstrate conformance-bug
+    /// hunting.
+    pub weak_store_order: bool,
+    /// Mean short-stall duration in cycles.
+    pub mean_stall: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC0FF_EE00,
+            drain_prob: 0.35,
+            buffer_capacity: 8,
+            preempt_prob: 2e-4,
+            mean_preempt: 400,
+            micro_preempt_prob: 4e-3,
+            mean_micro_preempt: 30,
+            stall_prob: 0.12,
+            mean_stall: 5,
+            weak_store_order: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with a different drain probability.
+    ///
+    /// # Panics
+    /// Panics if `p` is not within `(0, 1]` — a zero drain probability would
+    /// deadlock fences.
+    pub fn with_drain_prob(mut self, p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "drain_prob must be in (0, 1]");
+        self.drain_prob = p;
+        self
+    }
+
+    /// Returns the config with different preemption behaviour; controls how
+    /// wide the thread-skew distribution grows.
+    pub fn with_preemption(mut self, prob: f64, mean_cycles: u64) -> Self {
+        self.preempt_prob = prob;
+        self.mean_preempt = mean_cycles;
+        self
+    }
+
+    /// Returns the config with different short-stall behaviour.
+    pub fn with_stalls(mut self, prob: f64, mean_cycles: u64) -> Self {
+        self.stall_prob = prob;
+        self.mean_stall = mean_cycles;
+        self
+    }
+
+    /// Returns the config with out-of-order store-buffer drains enabled
+    /// (the deliberately TSO-violating machine).
+    pub fn with_weak_store_order(mut self, weak: bool) -> Self {
+        self.weak_store_order = weak;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = SimConfig::default();
+        assert!(c.drain_prob > 0.0 && c.drain_prob <= 1.0);
+        assert!(c.buffer_capacity > 0);
+        assert!(c.preempt_prob < 0.01);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = SimConfig::default()
+            .with_seed(1)
+            .with_drain_prob(0.5)
+            .with_preemption(0.001, 100)
+            .with_stalls(0.1, 2);
+        assert_eq!(c.seed, 1);
+        assert_eq!(c.drain_prob, 0.5);
+        assert_eq!(c.preempt_prob, 0.001);
+        assert_eq!(c.mean_preempt, 100);
+        assert_eq!(c.stall_prob, 0.1);
+        assert_eq!(c.mean_stall, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "drain_prob")]
+    fn zero_drain_prob_rejected() {
+        let _ = SimConfig::default().with_drain_prob(0.0);
+    }
+}

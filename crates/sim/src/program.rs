@@ -1,0 +1,189 @@
+//! Simulator programs: per-thread loop bodies.
+
+/// A memory address that may stride with the executing thread's iteration
+/// index.
+///
+/// * Perpetual litmus tests use fixed cells (`stride == 0`): every iteration
+///   hits the same location.
+/// * The litmus7 baseline uses one cell per iteration (`stride == L`, the
+///   location count): iteration `n` of a thread accesses cell
+///   `base + n * stride`, litmus7's array-of-cells layout that keeps
+///   unsynchronized iterations from trampling each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Addr {
+    /// Base cell index.
+    pub base: u32,
+    /// Per-iteration stride in cells.
+    pub stride: u32,
+}
+
+impl Addr {
+    /// A fixed (non-striding) address.
+    pub fn fixed(base: u32) -> Self {
+        Self { base, stride: 0 }
+    }
+
+    /// A per-iteration striding address.
+    pub fn strided(base: u32, stride: u32) -> Self {
+        Self { base, stride }
+    }
+
+    /// Resolves the cell index for iteration `n`.
+    #[inline]
+    pub fn resolve(self, n: u64) -> usize {
+        self.base as usize + self.stride as usize * n as usize
+    }
+}
+
+/// A stored value, possibly drawn from an arithmetic sequence over the
+/// executing thread's iteration index (paper §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValExpr {
+    /// A constant (classic litmus stores).
+    Const(u64),
+    /// `k * n + a` where `n` is the thread's current iteration index
+    /// (perpetual litmus stores).
+    Seq {
+        /// Number of distinct values stored to the location (`k_mem`).
+        k: u64,
+        /// Offset of this store's value within the sequence.
+        a: u64,
+    },
+}
+
+impl ValExpr {
+    /// Evaluates the expression at iteration `n`.
+    #[inline]
+    pub fn eval(self, n: u64) -> u64 {
+        match self {
+            ValExpr::Const(v) => v,
+            ValExpr::Seq { k, a } => k * n + a,
+        }
+    }
+}
+
+/// One operation of a simulated thread's loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOp {
+    /// Store `expr` to `addr` (enters the store buffer).
+    Store {
+        /// Destination address.
+        addr: Addr,
+        /// Stored value expression.
+        expr: ValExpr,
+    },
+    /// Load `addr` into register `reg` (forwards from the own buffer).
+    Load {
+        /// Destination register index.
+        reg: u8,
+        /// Source address.
+        addr: Addr,
+    },
+    /// `MFENCE`: stall until the own store buffer is empty.
+    Mfence,
+    /// Locked exchange: stall until the buffer is empty, then atomically
+    /// load the old value into `reg` and store `expr`.
+    Xchg {
+        /// Register receiving the old value.
+        reg: u8,
+        /// Exchanged address.
+        addr: Addr,
+        /// Stored value expression.
+        expr: ValExpr,
+    },
+    /// Append the current value of `reg` to the thread's result buffer
+    /// (`buf_t` of the paper). Free: takes no simulated time.
+    Record {
+        /// Recorded register index.
+        reg: u8,
+    },
+}
+
+/// A simulated thread: a loop body executed for a number of iterations,
+/// optionally starting after a delay (used to model baseline
+/// synchronization-jitter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadSpec {
+    /// The loop body.
+    pub body: Vec<SimOp>,
+    /// Number of iterations to execute.
+    pub iterations: u64,
+    /// Cycle at which the thread starts executing.
+    pub start_delay: u64,
+}
+
+impl ThreadSpec {
+    /// A thread starting at cycle 0.
+    pub fn new(body: Vec<SimOp>, iterations: u64) -> Self {
+        Self { body, iterations, start_delay: 0 }
+    }
+
+    /// Returns the spec with a start delay.
+    pub fn with_start_delay(mut self, delay: u64) -> Self {
+        self.start_delay = delay;
+        self
+    }
+
+    /// Number of registers the body records per iteration.
+    pub fn records_per_iteration(&self) -> usize {
+        self.body
+            .iter()
+            .filter(|op| matches!(op, SimOp::Record { .. }))
+            .count()
+    }
+
+    /// Highest register index used, plus one.
+    pub fn register_count(&self) -> usize {
+        self.body
+            .iter()
+            .filter_map(|op| match op {
+                SimOp::Load { reg, .. } | SimOp::Xchg { reg, .. } | SimOp::Record { reg } => {
+                    Some(*reg as usize + 1)
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_resolution() {
+        assert_eq!(Addr::fixed(3).resolve(100), 3);
+        assert_eq!(Addr::strided(1, 2).resolve(10), 21);
+    }
+
+    #[test]
+    fn val_expr_eval() {
+        assert_eq!(ValExpr::Const(7).eval(99), 7);
+        assert_eq!(ValExpr::Seq { k: 2, a: 1 }.eval(0), 1);
+        assert_eq!(ValExpr::Seq { k: 2, a: 1 }.eval(10), 21);
+    }
+
+    #[test]
+    fn spec_accounting() {
+        let spec = ThreadSpec::new(
+            vec![
+                SimOp::Store { addr: Addr::fixed(0), expr: ValExpr::Const(1) },
+                SimOp::Load { reg: 2, addr: Addr::fixed(1) },
+                SimOp::Record { reg: 2 },
+            ],
+            5,
+        )
+        .with_start_delay(10);
+        assert_eq!(spec.records_per_iteration(), 1);
+        assert_eq!(spec.register_count(), 3);
+        assert_eq!(spec.start_delay, 10);
+    }
+
+    #[test]
+    fn empty_body_has_no_registers() {
+        let spec = ThreadSpec::new(vec![SimOp::Mfence], 1);
+        assert_eq!(spec.register_count(), 0);
+        assert_eq!(spec.records_per_iteration(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! A tiny, fast, seedable PRNG for the simulator's hot loop.
+//!
+//! The simulator draws several random numbers per simulated cycle and runs
+//! for up to hundreds of millions of cycles, so it uses an inlined
+//! xorshift64* generator instead of `rand`'s ChaCha-based `StdRng` (roughly
+//! an order of magnitude faster, and deterministic across platforms, which
+//! experiment reproducibility requires). Quality is far beyond what
+//! scheduling noise needs.
+
+/// xorshift64* pseudo-random generator (Vigna 2016).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShiftStar {
+    state: u64,
+}
+
+impl XorShiftStar {
+    /// Creates a generator from a seed; a zero seed is remapped (xorshift
+    /// state must be non-zero).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare against the top 53 bits as a uniform in [0,1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Uniform draw in `[0, n)`; returns 0 when `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            // Multiply-shift range reduction (Lemire); bias is negligible
+            // for scheduling noise.
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+
+    /// Geometric-ish duration with the given mean: uniform in
+    /// `[1, 2*mean]`, cheap and sufficient for scheduling noise.
+    #[inline]
+    pub fn duration(&mut self, mean: u64) -> u64 {
+        if mean == 0 {
+            0
+        } else {
+            1 + self.below(2 * mean)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = XorShiftStar::new(7);
+        let mut b = XorShiftStar::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShiftStar::new(1);
+        let mut b = XorShiftStar::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShiftStar::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = XorShiftStar::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_mean_is_roughly_p() {
+        let mut r = XorShiftStar::new(11);
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut r = XorShiftStar::new(5);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn duration_bounds() {
+        let mut r = XorShiftStar::new(9);
+        for _ in 0..1_000 {
+            let d = r.duration(100);
+            assert!((1..=200).contains(&d));
+        }
+        assert_eq!(r.duration(0), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Execution tracing: a bounded event log of one simulated run.
+//!
+//! Debugging a memory-consistency harness means answering "which store did
+//! that load actually observe, and when did it drain?" — the trace records
+//! every executed memory operation, buffer drain, and scheduling gap with
+//! its cycle stamp, so a surprising counter result can be replayed against
+//! the exact interleaving that produced it (runs are deterministic per
+//! seed).
+
+use std::fmt;
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle of the event.
+    pub cycle: u64,
+    /// Thread index.
+    pub thread: usize,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Kinds of traced events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A store entered the thread's buffer.
+    StoreBuffered {
+        /// Resolved memory cell.
+        cell: usize,
+        /// Stored value.
+        value: u64,
+    },
+    /// A buffered store drained to memory.
+    Drain {
+        /// Resolved memory cell.
+        cell: usize,
+        /// Drained value.
+        value: u64,
+    },
+    /// A load executed (possibly forwarded from the own buffer).
+    Load {
+        /// Resolved memory cell.
+        cell: usize,
+        /// Observed value.
+        value: u64,
+        /// True if the value came from the own store buffer.
+        forwarded: bool,
+    },
+    /// An `MFENCE` retired (buffer was empty).
+    Fence,
+    /// A locked exchange executed atomically.
+    Xchg {
+        /// Resolved memory cell.
+        cell: usize,
+        /// Previous value (loaded).
+        old: u64,
+        /// New value (stored).
+        new: u64,
+    },
+    /// The thread was blocked (preemption or stall) until the given cycle.
+    Blocked {
+        /// First cycle at which the thread may run again.
+        until: u64,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] P{} ", self.cycle, self.thread)?;
+        match self.kind {
+            TraceKind::StoreBuffered { cell, value } => {
+                write!(f, "store mem[{cell}] <- {value} (buffered)")
+            }
+            TraceKind::Drain { cell, value } => write!(f, "drain mem[{cell}] <- {value}"),
+            TraceKind::Load { cell, value, forwarded } => write!(
+                f,
+                "load  mem[{cell}] -> {value}{}",
+                if forwarded { " (forwarded)" } else { "" }
+            ),
+            TraceKind::Fence => write!(f, "mfence"),
+            TraceKind::Xchg { cell, old, new } => {
+                write!(f, "xchg  mem[{cell}]: {old} -> {new} (locked)")
+            }
+            TraceKind::Blocked { until } => write!(f, "blocked until cycle {until}"),
+        }
+    }
+}
+
+/// A bounded trace sink: recording stops (and is flagged) once `capacity`
+/// events are collected, so tracing long runs cannot exhaust memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a sink holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { events: Vec::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+    }
+
+    /// Records one event (drops and counts once full).
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in cycle order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// How many events were dropped after the capacity filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events of one thread.
+    pub fn for_thread(&self, thread: usize) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| e.thread == thread)
+    }
+
+    /// Renders the full log, one event per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for e in &self.events {
+            let _ = writeln!(s, "{e}");
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(s, "... {} further events dropped (capacity {})", self.dropped, self.capacity);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, Machine, SimConfig, SimOp, ThreadSpec, ValExpr};
+
+    fn sb_specs(n: u64) -> Vec<ThreadSpec> {
+        let body = |own: u32, other: u32| {
+            vec![
+                SimOp::Store { addr: Addr::fixed(own), expr: ValExpr::Seq { k: 1, a: 1 } },
+                SimOp::Load { reg: 0, addr: Addr::fixed(other) },
+                SimOp::Record { reg: 0 },
+            ]
+        };
+        vec![ThreadSpec::new(body(0, 1), n), ThreadSpec::new(body(1, 0), n)]
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let mut m1 = Machine::new(SimConfig::default().with_seed(77));
+        let plain = m1.run(&sb_specs(50), 2);
+        let mut m2 = Machine::new(SimConfig::default().with_seed(77));
+        let mut trace = Trace::with_capacity(100_000);
+        let traced = m2.run_traced(&sb_specs(50), 2, &mut trace);
+        assert_eq!(plain, traced, "tracing must not perturb execution");
+        assert!(!trace.events().is_empty());
+    }
+
+    #[test]
+    fn every_store_has_a_matching_drain() {
+        let mut m = Machine::new(SimConfig::default().with_seed(5));
+        let mut trace = Trace::with_capacity(100_000);
+        let out = m.run_traced(&sb_specs(40), 2, &mut trace);
+        let stores = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::StoreBuffered { .. }))
+            .count();
+        let drains = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Drain { .. }))
+            .count();
+        assert_eq!(stores, drains);
+        assert_eq!(out.drains as usize, drains);
+    }
+
+    #[test]
+    fn drains_follow_their_stores_in_time_and_order() {
+        let mut m = Machine::new(SimConfig::default().with_seed(6));
+        let mut trace = Trace::with_capacity(100_000);
+        m.run_traced(&sb_specs(40), 2, &mut trace);
+        for t in 0..2 {
+            let mut pending: std::collections::VecDeque<(u64, u64)> =
+                std::collections::VecDeque::new();
+            for e in trace.for_thread(t) {
+                match e.kind {
+                    TraceKind::StoreBuffered { value, .. } => {
+                        pending.push_back((value, e.cycle));
+                    }
+                    TraceKind::Drain { value, .. } => {
+                        let (v, stored_at) = pending.pop_front().expect("drain without store");
+                        assert_eq!(v, value, "TSO drains must be FIFO");
+                        assert!(e.cycle >= stored_at);
+                    }
+                    _ => {}
+                }
+            }
+            assert!(pending.is_empty(), "undrained stores at end of run");
+        }
+    }
+
+    #[test]
+    fn forwarding_is_flagged() {
+        // A thread storing then loading the same cell must forward.
+        let body = vec![
+            SimOp::Store { addr: Addr::fixed(0), expr: ValExpr::Const(7) },
+            SimOp::Load { reg: 0, addr: Addr::fixed(0) },
+            SimOp::Record { reg: 0 },
+        ];
+        let mut m = Machine::new(SimConfig::default().with_seed(9));
+        let mut trace = Trace::with_capacity(1_000);
+        let out = m.run_traced(&[ThreadSpec::new(body, 5)], 1, &mut trace);
+        assert!(out.bufs[0].iter().all(|&v| v == 7));
+        let forwarded = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Load { forwarded: true, .. }))
+            .count();
+        assert!(forwarded > 0, "same-cell load after store must forward at least once");
+    }
+
+    #[test]
+    fn capacity_bounds_are_respected() {
+        let mut m = Machine::new(SimConfig::default().with_seed(10));
+        let mut trace = Trace::with_capacity(16);
+        m.run_traced(&sb_specs(100), 2, &mut trace);
+        assert_eq!(trace.events().len(), 16);
+        assert!(trace.dropped() > 0);
+        let text = trace.render();
+        assert!(text.contains("dropped"));
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = TraceEvent {
+            cycle: 3,
+            thread: 1,
+            kind: TraceKind::Load { cell: 0, value: 4, forwarded: true },
+        };
+        assert!(e.to_string().contains("forwarded"));
+        let e = TraceEvent { cycle: 1, thread: 0, kind: TraceKind::Fence };
+        assert!(e.to_string().contains("mfence"));
+        let e = TraceEvent {
+            cycle: 2,
+            thread: 0,
+            kind: TraceKind::Xchg { cell: 1, old: 0, new: 5 },
+        };
+        assert!(e.to_string().contains("locked"));
+        let e = TraceEvent {
+            cycle: 2,
+            thread: 0,
+            kind: TraceKind::Blocked { until: 9 },
+        };
+        assert!(e.to_string().contains("blocked"));
+    }
+}

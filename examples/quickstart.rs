@@ -1,0 +1,44 @@
+//! Quickstart: convert the store-buffering litmus test to its perpetual
+//! form, run it synchronization-free on the simulated x86-TSO machine, and
+//! count the target outcome with both counters.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use perple::{Perple, SimConfig};
+use perple_model::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sb = suite::sb();
+    println!("original litmus test:\n{sb}");
+
+    let mut engine = Perple::with_config(&sb, SimConfig::default().with_seed(42))?;
+    println!(
+        "perpetual form: {} threads, T_L = {}, reads per thread = {:?}",
+        engine.conversion().perpetual.thread_count(),
+        engine.conversion().perpetual.load_thread_count(),
+        engine.conversion().perpetual.reads_per_thread(),
+    );
+
+    let n = 10_000;
+    let result = engine.run(n);
+    println!("\nran {n} perpetual iterations in {} simulated cycles", result.run.exec_cycles);
+    println!(
+        "target outcome (both loads stale — requires store buffering):  \
+         heuristic counter found {} (scanned {} frames), exhaustive counter \
+         found {} (scanned {} frames)",
+        result.target_heuristic.counts[0],
+        result.target_heuristic.frames_examined,
+        result.target_exhaustive.counts[0],
+        result.target_exhaustive.frames_examined,
+    );
+
+    // The same workflow rejects non-convertible tests.
+    let co = suite::by_name("2+2w").expect("suite test");
+    match Perple::new(&co) {
+        Err(e) => println!("\n2+2w is not convertible (as expected): {e}"),
+        Ok(_) => unreachable!("2+2w inspects final memory"),
+    }
+    Ok(())
+}

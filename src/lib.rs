@@ -1,0 +1,7 @@
+//! Workspace umbrella crate hosting the repository-level examples and
+//! integration tests. The actual library surface lives in [`perple`] and the
+//! crates it re-exports.
+
+#![forbid(unsafe_code)]
+
+pub use perple;

@@ -1,0 +1,41 @@
+//! The committed `corpus/` directory (litmus7-format files of the whole
+//! 88-test suite) must stay in sync with the built-in definitions.
+//! Regenerate with `cargo run --release -p perple-bench --bin mkcorpus`.
+
+use std::path::Path;
+
+use perple_model::suite;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn committed_corpus_matches_the_builtin_suite() {
+    let dir = corpus_dir();
+    assert!(dir.is_dir(), "corpus/ missing; run the mkcorpus binary");
+    let loaded = suite::load_corpus(&dir).expect("corpus parses");
+    assert_eq!(loaded.len(), 88);
+
+    let mut original = suite::full();
+    original.sort_by(|a, b| a.name().cmp(b.name()));
+    let mut back = loaded;
+    back.sort_by(|a, b| a.name().cmp(b.name()));
+    assert_eq!(original, back, "corpus drifted from the built-in suite");
+}
+
+#[test]
+fn corpus_files_are_self_describing() {
+    // Each file's name matches the test name inside it.
+    let dir = corpus_dir();
+    for entry in std::fs::read_dir(&dir).expect("corpus readable") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|e| e != "litmus") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("readable");
+        let test = perple_model::parser::parse(&src).expect("parses");
+        let stem = path.file_stem().expect("stem").to_string_lossy();
+        assert_eq!(test.name(), stem, "{}", path.display());
+    }
+}

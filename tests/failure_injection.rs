@@ -1,0 +1,123 @@
+//! Failure-injection and garbage-tolerance tests: the counters must stay
+//! sound (and panic-free) when fed buffers that no honest run could
+//! produce, and the pipeline must catch machines that lie about their
+//! memory model.
+
+use proptest::prelude::*;
+
+use perple::{
+    classify, count_exhaustive, count_heuristic, Conversion, PerpleRunner, SimConfig,
+};
+use perple_model::suite;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Counters accept arbitrary buffer *contents* (values from the future,
+    /// wrong residues, huge numbers) without panicking, as long as buffer
+    /// shapes are right.
+    #[test]
+    fn counters_never_panic_on_garbage_buffers(
+        name in prop::sample::select(vec!["sb", "mp", "iwp24", "n5", "podwr001", "co-iriw"]),
+        raw in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let test = suite::by_name(name).expect("suite test");
+        let conv = Conversion::convert(&test).expect("converts");
+        let reads = test.reads_per_thread();
+        // Shape the raw values into per-thread buffers for N iterations.
+        let n = 10u64;
+        let mut bufs_owned: Vec<Vec<u64>> = Vec::new();
+        let mut cursor = 0usize;
+        for lt in test.load_threads() {
+            let want = reads[lt.index()] * n as usize;
+            let mut b = Vec::with_capacity(want);
+            for i in 0..want {
+                b.push(raw.get((cursor + i) % raw.len().max(1)).copied().unwrap_or(0));
+            }
+            cursor += want;
+            bufs_owned.push(b);
+        }
+        let bufs: Vec<&[u64]> = bufs_owned.iter().map(Vec::as_slice).collect();
+        let h = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n);
+        let x = count_exhaustive(
+            std::slice::from_ref(&conv.target_exhaustive), &bufs, n, Some(10_000));
+        prop_assert!(h.counts[0] <= n);
+        prop_assert!(x.counts[0] <= x.frames_examined);
+    }
+}
+
+/// A machine that reorders stores (PSO) while claiming TSO is caught by
+/// the audit across every exposable test, and the evidence scales with
+/// iterations.
+#[test]
+fn weak_machine_detection_scales_with_iterations() {
+    let mp = suite::mp();
+    let conv = Conversion::convert(&mp).expect("converts");
+    let mut hits_at = Vec::new();
+    for n in [500u64, 2_000, 8_000] {
+        let mut runner = PerpleRunner::new(
+            SimConfig::default().with_seed(0xFA11).with_weak_store_order(true),
+        );
+        let run = runner.run(&conv.perpetual, n);
+        let bufs = run.bufs();
+        let hits =
+            count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n).counts[0];
+        hits_at.push(hits);
+    }
+    assert!(hits_at[0] > 0, "violation must be visible at 500 iterations");
+    assert!(
+        hits_at[2] > hits_at[0],
+        "evidence must grow with iterations: {hits_at:?}"
+    );
+}
+
+/// Mixed fleet: only the weak machine trips the audit; the conformant
+/// machine stays clean on the same seeds.
+#[test]
+fn conformant_and_faulty_machines_are_distinguished() {
+    for (weak, expect_violation) in [(false, false), (true, true)] {
+        let mut any_violation = false;
+        for test in suite::convertible() {
+            let class = classify(&test);
+            if class.tso_allowed {
+                continue;
+            }
+            let conv = Conversion::convert(&test).expect("converts");
+            let mut runner = PerpleRunner::new(
+                SimConfig::default().with_seed(0xD15).with_weak_store_order(weak),
+            );
+            let run = runner.run(&conv.perpetual, 3_000);
+            let bufs = run.bufs();
+            let hits = count_heuristic(
+                std::slice::from_ref(&conv.target_heuristic),
+                &bufs,
+                3_000,
+            )
+            .counts[0];
+            if hits > 0 {
+                any_violation = true;
+            }
+        }
+        assert_eq!(
+            any_violation, expect_violation,
+            "weak={weak}: audit verdict wrong"
+        );
+    }
+}
+
+/// The native runner also refuses to fabricate violations: real x86 is
+/// TSO, so forbidden targets stay silent there too (any hit would be a
+/// soundness bug in conversion or counting).
+#[test]
+fn native_substrate_is_clean_for_fenced_tests() {
+    for name in ["amd5", "mp+fences", "safe022"] {
+        let test = suite::by_name(name).expect("suite test");
+        let conv = Conversion::convert(&test).expect("converts");
+        let n = 2_000u64;
+        let run = perple::native::run_perpetual(&conv.perpetual, n);
+        let bufs = run.bufs();
+        let hits =
+            count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n).counts[0];
+        assert_eq!(hits, 0, "{name}: native false positive");
+    }
+}

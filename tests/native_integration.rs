@@ -1,0 +1,64 @@
+//! Integration of the native (real-thread) harness with the analysis
+//! pipeline. Iteration counts are deliberately small: the host may be a
+//! single-core machine where barrier rounds cost scheduling quanta.
+
+use perple::native;
+use perple::{count_heuristic, skew, Conversion, SyncMode};
+use perple_model::suite;
+
+#[test]
+fn native_perpetual_feeds_the_counters() {
+    let sb = suite::sb();
+    let conv = Conversion::convert(&sb).expect("converts");
+    let n = 2_000u64;
+    let run = native::run_perpetual(&conv.perpetual, n);
+    let bufs = run.bufs();
+    let count = count_heuristic(
+        std::slice::from_ref(&conv.target_heuristic),
+        &bufs,
+        n,
+    );
+    // On a single-core host the weak outcome may be absent; the counter
+    // must still process the full run.
+    assert_eq!(count.frames_examined, n);
+}
+
+#[test]
+fn native_perpetual_feeds_the_skew_analysis() {
+    let sb = suite::sb();
+    let conv = Conversion::convert(&sb).expect("converts");
+    let run = native::run_perpetual(&conv.perpetual, 3_000);
+    let bufs = run.bufs();
+    let samples = skew::skew_samples(&sb, &conv.kmap, &bufs);
+    // After warm-up, nearly every iteration attributes its read.
+    assert!(samples.len() > 1_000);
+    let h = skew::skew_histogram(&samples);
+    assert!(h.total() as usize == samples.len());
+}
+
+#[test]
+fn native_forbidden_targets_stay_silent() {
+    for name in ["mp", "amd5", "lb"] {
+        let test = suite::by_name(name).expect("suite test");
+        let conv = Conversion::convert(&test).expect("converts");
+        let n = 1_000u64;
+        let run = native::run_perpetual(&conv.perpetual, n);
+        let bufs = run.bufs();
+        let count = count_heuristic(
+            std::slice::from_ref(&conv.target_heuristic),
+            &bufs,
+            n,
+        );
+        assert_eq!(count.counts[0], 0, "{name}: forbidden target natively");
+    }
+}
+
+#[test]
+fn native_baseline_runs_every_mode_on_sb() {
+    let sb = suite::sb();
+    for mode in SyncMode::ALL {
+        let run = native::run_baseline(&sb, mode, 40);
+        let total: u64 = run.outcome_counts.values().sum();
+        assert_eq!(total, 40, "{mode}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Robustness properties: the parser never panics on arbitrary input, the
+//! simulator only ever produces attributable values, counters respect their
+//! algorithmic invariants, and the generator's tests round-trip.
+
+use proptest::prelude::*;
+
+use perple::{count_exhaustive, count_heuristic, Conversion, PerpleRunner, SimConfig};
+use perple_convert::KMap;
+use perple_model::{generate, parser, printer, suite};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,300}") {
+        let _ = parser::parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_litmus_shaped_garbage(
+        name in "[a-z]{1,8}",
+        cell in "(MOV|XCHG|MFENCE|QQQ) ?(\\[[xy]\\])?,?(\\$?[0-9]{1,3}|E[A-D]X)?",
+    ) {
+        let src = format!(
+            "X86 {name}\n{{ x=0; }}\n P0 | P1 ;\n {cell} | {cell} ;\nexists (0:EAX=0)"
+        );
+        let _ = parser::parse(&src);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn simulated_values_are_always_attributable(
+        seed in any::<u64>(),
+        test_idx in 0usize..34,
+    ) {
+        // Every non-zero loaded value must decode into some store's
+        // sequence — the uniqueness property the whole analysis rests on.
+        let test = &suite::convertible()[test_idx];
+        let conv = Conversion::convert(test).expect("suite test converts");
+        let kmap = KMap::compute(test).expect("kmap");
+        let n = 150u64;
+        let mut runner = PerpleRunner::new(SimConfig::default().with_seed(seed));
+        let run = runner.run(&conv.perpetual, n);
+
+        let reads = test.reads_per_thread();
+        for (frame_pos, lt) in test.load_threads().iter().enumerate() {
+            let r_t = reads[lt.index()];
+            let slots: Vec<_> = test
+                .load_slots()
+                .into_iter()
+                .filter(|s| s.thread == *lt)
+                .collect();
+            for i in 0..n as usize {
+                for slot in &slots {
+                    let val = run.frame_bufs[frame_pos][r_t * i + slot.slot];
+                    if val == 0 {
+                        continue;
+                    }
+                    let attributable = kmap.assignments_for(slot.loc).iter().any(|asg| {
+                        KMap::decode(asg.k, asg.a, val)
+                            .is_some_and(|m| m < n)
+                    });
+                    prop_assert!(
+                        attributable,
+                        "{}: unattributable value {val} at load slot {}",
+                        test.name(),
+                        slot.slot
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn else_if_chains_count_at_most_one_outcome_per_frame(
+        seed in any::<u64>(),
+        name in prop::sample::select(vec!["sb", "lb", "amd3", "podwr001", "iwp24"]),
+    ) {
+        let test = suite::by_name(name).expect("suite test");
+        let conv = Conversion::convert(&test).expect("converts");
+        let all = conv.all_outcomes(&test).expect("outcomes");
+        let n = 60u64;
+        let mut runner = PerpleRunner::new(SimConfig::default().with_seed(seed));
+        let run = runner.run(&conv.perpetual, n);
+        let bufs = run.bufs();
+
+        let exh: Vec<_> = all.iter().map(|(o, _)| o.clone()).collect();
+        let re = count_exhaustive(&exh, &bufs, n, Some(1_000_000));
+        prop_assert!(re.total() <= re.frames_examined);
+
+        let heu: Vec<_> = all.iter().map(|(_, h)| h.clone()).collect();
+        let rh = count_heuristic(&heu, &bufs, n);
+        prop_assert!(rh.total() <= n);
+    }
+
+    #[test]
+    fn traced_runs_are_bit_identical_to_untraced_runs(
+        seed in any::<u64>(),
+        name in prop::sample::select(vec!["sb", "mp", "iriw"]),
+    ) {
+        let test = suite::by_name(name).expect("suite test");
+        let conv = Conversion::convert(&test).expect("converts");
+        let specs = perple_harness::perpetual::thread_specs(&conv.perpetual, 80);
+        let mut m1 = perple_sim::Machine::new(SimConfig::default().with_seed(seed));
+        let plain = m1.run(&specs, test.location_count());
+        let mut m2 = perple_sim::Machine::new(SimConfig::default().with_seed(seed));
+        let mut trace = perple_sim::Trace::with_capacity(64);
+        let traced = m2.run_traced(&specs, test.location_count(), &mut trace);
+        prop_assert_eq!(plain, traced);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_tests_roundtrip_through_text(idx in 0usize..60) {
+        let family = generate::generate_family(4);
+        let test = &family[idx % family.len()];
+        let text = printer::print(test);
+        let back = parser::parse(&text).expect("generated test reparses");
+        prop_assert_eq!(test, &back);
+    }
+}
