@@ -1,10 +1,21 @@
-//! The exhaustive (`COUNT`) and heuristic (`COUNTH`) outcome counters.
+//! The exhaustive (`COUNT`) and heuristic (`COUNTH`) outcome counters —
+//! serial reference implementations plus frame-sharded parallel variants
+//! that are bit-identical to them (see `tests/parallel_equivalence.rs`).
 
 use std::time::{Duration, Instant};
 
 use perple_convert::{HeuristicOutcome, PerpetualOutcome};
 
 /// Result of one counting pass.
+///
+/// **Merged (parallel) results.** The parallel counters shard the frame
+/// space into contiguous index ranges and merge per-worker results:
+/// `counts`, `frames_examined`, and `evals` are *exact sums* over workers
+/// (each frame is scanned by exactly one worker, so the sums equal the
+/// serial pass's values bit for bit), `wall` is the maximum per-worker
+/// wall time, and `truncated` is set iff the global `frame_cap` prefix was
+/// exhausted — the same condition under which the serial scan truncates.
+/// These invariants are `debug_assert`ed in the merge path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CountResult {
     /// Occurrences per outcome of interest (paper's `counts` array).
@@ -23,6 +34,10 @@ pub struct CountResult {
 
 impl CountResult {
     /// Total occurrences across all outcomes of interest.
+    ///
+    /// Because parallel merges sum `counts` element-wise over workers,
+    /// this equals the sum of the workers' totals, and for else-if
+    /// counters it never exceeds [`CountResult::frames_examined`].
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
@@ -150,6 +165,330 @@ pub fn count_heuristic_each(
         wall: start.elapsed(),
         truncated: false,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel, frame-sharded counters.
+//
+// The exhaustive counter visits frames in odometer order: the *last* frame
+// position is the fastest-moving digit, so the sequence of frames is exactly
+// the base-`n` representation of a linear index `0 .. n^{T_L}`, most
+// significant digit first. That makes the frame space trivially shardable
+// into contiguous index ranges: each worker seeks its odometer to the range
+// start with `frame_at` and scans `len` frames. Every frame belongs to
+// exactly one range, frames are classified independently (the else-if chain
+// is per-frame), and the merge sums per-worker tallies — so the parallel
+// result is bit-identical to the serial one, in any worker count.
+//
+// `frame_cap` keeps its serial meaning under sharding: the cap selects the
+// *prefix* `0 .. cap` of the index space, and only that prefix is
+// partitioned. A truncated parallel scan therefore examines exactly the
+// frames the truncated serial scan examines.
+//
+// Workers run on `std::thread::scope` (stable scoped threads; the crossbeam
+// dependency is unavailable in the offline build environment and std's
+// scope provides the same borrows-from-the-stack spawning).
+// ---------------------------------------------------------------------------
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Number of frames the exhaustive counter would examine for `n`
+/// iterations and `tl` load threads, saturating at `u64::MAX`.
+///
+/// `n^0 = 1`: a test with no load-performing threads still has the single
+/// empty frame.
+pub fn frame_space(n: u64, tl: usize) -> u64 {
+    let mut total: u128 = 1;
+    for _ in 0..tl {
+        total = total.saturating_mul(n as u128);
+        if total > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    total as u64
+}
+
+/// The frame tuple at linear `index` of the odometer order: the base-`n`
+/// digits of `index`, most significant first (`frame[tl - 1]` is the
+/// fastest-moving position, exactly as the serial odometer increments).
+///
+/// # Panics
+///
+/// Panics if `index` lies outside the frame space (`index >= n^tl`).
+pub fn frame_at(index: u64, n: u64, tl: usize) -> Vec<u64> {
+    assert!(
+        index < frame_space(n, tl),
+        "frame index {index} outside the {tl}-digit base-{n} frame space"
+    );
+    let mut frame = vec![0u64; tl];
+    let mut rest = index;
+    for pos in (0..tl).rev() {
+        frame[pos] = rest % n;
+        rest /= n;
+    }
+    frame
+}
+
+/// The linear odometer index of a frame tuple — the inverse of
+/// [`frame_at`].
+///
+/// # Panics
+///
+/// Panics if any digit is `>= n` or the index overflows `u64`.
+pub fn frame_index(frame: &[u64], n: u64) -> u64 {
+    let mut index: u64 = 0;
+    for &digit in frame {
+        assert!(digit < n, "frame digit {digit} >= base {n}");
+        index = index
+            .checked_mul(n)
+            .and_then(|i| i.checked_add(digit))
+            .expect("frame index overflows u64");
+    }
+    index
+}
+
+/// Scans the contiguous index range `start .. start + len` of the frame
+/// space, returning `(counts, evals)`. This is one worker's share of the
+/// exhaustive scan; it reproduces the serial loop body exactly (else-if
+/// chain, eval accounting) starting from a mid-space odometer seek.
+fn scan_frame_range(
+    outcomes: &[PerpetualOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+    start: u64,
+    len: u64,
+) -> (Vec<u64>, u64) {
+    let tl = bufs.len();
+    let mut counts = vec![0u64; outcomes.len()];
+    let mut evals: u64 = 0;
+    if len == 0 {
+        return (counts, evals);
+    }
+    let mut frame = frame_at(start, n, tl);
+    for step in 0..len {
+        for (o, outcome) in outcomes.iter().enumerate() {
+            evals += 1;
+            if outcome.eval_frame(&frame, bufs, n) {
+                counts[o] += 1;
+                break; // else-if: at most one outcome per frame
+            }
+        }
+        if step + 1 == len {
+            break;
+        }
+        // Odometer over the frame tuple (fastest digit last).
+        let mut pos = tl;
+        loop {
+            debug_assert!(pos > 0, "odometer wrapped before the range end");
+            pos -= 1;
+            frame[pos] += 1;
+            if frame[pos] < n {
+                break;
+            }
+            frame[pos] = 0;
+        }
+    }
+    (counts, evals)
+}
+
+/// Splits `0 .. total` into at most `workers` contiguous ranges of
+/// near-equal length (first `total % workers` ranges one longer).
+fn partition(total: u64, workers: usize) -> Vec<(u64, u64)> {
+    let workers = (workers.max(1) as u64).min(total.max(1));
+    let base = total / workers;
+    let extra = total % workers;
+    let mut ranges = Vec::with_capacity(workers as usize);
+    let mut start = 0u64;
+    for w in 0..workers {
+        let len = base + u64::from(w < extra);
+        ranges.push((start, len));
+        start += len;
+    }
+    ranges
+}
+
+/// Merges per-worker `(counts, evals, wall)` partials into one
+/// [`CountResult`], asserting the merge invariants in debug builds.
+fn merge_partials(
+    partials: Vec<(Vec<u64>, u64, Duration)>,
+    n_outcomes: usize,
+    frames_examined: u64,
+    truncated: bool,
+) -> CountResult {
+    let mut counts = vec![0u64; n_outcomes];
+    let mut evals: u64 = 0;
+    let mut wall = Duration::ZERO;
+    for (c, e, w) in partials {
+        debug_assert_eq!(c.len(), n_outcomes, "worker count vector length");
+        for (sum, v) in counts.iter_mut().zip(&c) {
+            *sum += v;
+        }
+        evals += e; // exact sum over workers — no frame is scanned twice
+        wall = wall.max(w);
+    }
+    debug_assert!(
+        counts.iter().sum::<u64>() <= frames_examined,
+        "else-if chain counted more than one outcome for some frame"
+    );
+    CountResult { counts, frames_examined, evals, wall, truncated }
+}
+
+/// Parallel [`count_exhaustive`]: partitions the `N^{T_L}` frame space
+/// (or its `frame_cap` prefix) into `workers` contiguous index ranges and
+/// scans them on scoped threads.
+///
+/// Bit-identical to the serial counter for every worker count: `counts`,
+/// `frames_examined`, `evals`, and `truncated` all match; only `wall`
+/// (the maximum per-worker scan time) differs.
+///
+/// # Panics
+///
+/// Panics under the same buffer-shape conditions as [`count_exhaustive`].
+pub fn count_exhaustive_parallel(
+    outcomes: &[PerpetualOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+    frame_cap: Option<u64>,
+    workers: usize,
+) -> CountResult {
+    if n == 0 || outcomes.is_empty() {
+        // The serial counter skips the scan entirely (and never reports
+        // truncation) for degenerate inputs; match it exactly.
+        return count_exhaustive(outcomes, bufs, n, frame_cap);
+    }
+    let tl = bufs.len();
+    let total = frame_space(n, tl);
+    let effective = frame_cap.map_or(total, |cap| cap.min(total));
+    // The serial scan truncates iff it hits the cap with frames left over.
+    let truncated = frame_cap.is_some_and(|cap| cap < total);
+
+    let ranges = partition(effective, workers);
+    let partials: Vec<(Vec<u64>, u64, Duration)> = if ranges.len() <= 1 {
+        let start = Instant::now();
+        let (counts, evals) =
+            scan_frame_range(outcomes, bufs, n, 0, effective);
+        vec![(counts, evals, start.elapsed())]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(start, len)| {
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        let (counts, evals) =
+                            scan_frame_range(outcomes, bufs, n, start, len);
+                        (counts, evals, t0.elapsed())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("counter worker panicked"))
+                .collect()
+        })
+    };
+    debug_assert_eq!(
+        ranges.iter().map(|&(_, len)| len).sum::<u64>(),
+        effective,
+        "partition must cover the frame-cap prefix exactly once"
+    );
+    merge_partials(partials, outcomes.len(), effective, truncated)
+}
+
+/// Scans the pivot range `start .. start + len` of the heuristic counter.
+fn scan_pivot_range(
+    outcomes: &[HeuristicOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+    start: u64,
+    len: u64,
+    chained: bool,
+) -> (Vec<u64>, u64) {
+    let mut counts = vec![0u64; outcomes.len()];
+    let mut evals: u64 = 0;
+    if chained {
+        for i in start..start + len {
+            for (o, h) in outcomes.iter().enumerate() {
+                evals += 1;
+                if h.eval(i, bufs, n) {
+                    counts[o] += 1;
+                    break;
+                }
+            }
+        }
+    } else {
+        for (o, h) in outcomes.iter().enumerate() {
+            for i in start..start + len {
+                evals += 1;
+                if h.eval(i, bufs, n) {
+                    counts[o] += 1;
+                }
+            }
+        }
+    }
+    (counts, evals)
+}
+
+/// Shared driver of the two pivot-sharded heuristic counters.
+fn count_heuristic_sharded(
+    outcomes: &[HeuristicOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+    workers: usize,
+    chained: bool,
+) -> CountResult {
+    let frames_examined = if chained { n } else { n * outcomes.len() as u64 };
+    let ranges = partition(n, workers);
+    let partials: Vec<(Vec<u64>, u64, Duration)> = if ranges.len() <= 1 {
+        let t0 = Instant::now();
+        let (counts, evals) = scan_pivot_range(outcomes, bufs, n, 0, n, chained);
+        vec![(counts, evals, t0.elapsed())]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(start, len)| {
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        let (counts, evals) =
+                            scan_pivot_range(outcomes, bufs, n, start, len, chained);
+                        (counts, evals, t0.elapsed())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("counter worker panicked"))
+                .collect()
+        })
+    };
+    merge_partials(partials, outcomes.len(), frames_examined, false)
+}
+
+/// Parallel [`count_heuristic`]: shards the pivot range `0 .. N` into
+/// contiguous per-worker slices. Pivots are classified independently, so
+/// the merged result is bit-identical to the serial counter's.
+pub fn count_heuristic_parallel(
+    outcomes: &[HeuristicOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+    workers: usize,
+) -> CountResult {
+    count_heuristic_sharded(outcomes, bufs, n, workers, true)
+}
+
+/// Parallel [`count_heuristic_each`]: pivot-range sharding of the
+/// unchained (per-outcome) heuristic counter.
+pub fn count_heuristic_each_parallel(
+    outcomes: &[HeuristicOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+    workers: usize,
+) -> CountResult {
+    count_heuristic_sharded(outcomes, bufs, n, workers, false)
 }
 
 #[cfg(test)]
@@ -313,6 +652,109 @@ mod tests {
         assert_eq!(r2.frames_examined, 0);
         let rh = count_heuristic(&[], &bufs, 0);
         assert_eq!(rh.total(), 0);
+    }
+
+    #[test]
+    fn frame_seek_round_trips_against_the_odometer() {
+        let n = 5u64;
+        let tl = 3usize;
+        // Walk the serial odometer and check frame_at/frame_index agree at
+        // every step.
+        let mut frame = vec![0u64; tl];
+        for index in 0..frame_space(n, tl) {
+            assert_eq!(frame_at(index, n, tl), frame, "seek at index {index}");
+            assert_eq!(frame_index(&frame, n), index);
+            let mut pos = tl;
+            loop {
+                if pos == 0 {
+                    break;
+                }
+                pos -= 1;
+                frame[pos] += 1;
+                if frame[pos] < n {
+                    break;
+                }
+                frame[pos] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn frame_space_handles_degenerate_and_huge_inputs() {
+        assert_eq!(frame_space(10, 0), 1);
+        assert_eq!(frame_space(10, 2), 100);
+        assert_eq!(frame_space(0, 2), 0);
+        assert_eq!(frame_space(u64::MAX, 3), u64::MAX, "saturates");
+    }
+
+    #[test]
+    fn partition_covers_the_space_exactly_once() {
+        for (total, workers) in [(10u64, 3usize), (7, 7), (3, 8), (0, 4), (100, 1)] {
+            let ranges = partition(total, workers);
+            assert!(ranges.len() <= workers.max(1));
+            let mut next = 0u64;
+            for (start, len) in &ranges {
+                assert_eq!(*start, next, "ranges must be contiguous");
+                next += len;
+            }
+            assert_eq!(next, total, "ranges must cover 0..total");
+        }
+    }
+
+    #[test]
+    fn parallel_exhaustive_matches_serial_bit_for_bit() {
+        let f = sb_fixture();
+        let outcomes: Vec<PerpetualOutcome> =
+            f.all.iter().map(|(o, _)| o.clone()).collect();
+        let n = 40u64;
+        let b0: Vec<u64> = (0..n).map(|i| (i * 7 + 3) % (n + 1)).collect();
+        let b1: Vec<u64> = (0..n).map(|i| (i * 11) % (n + 1)).collect();
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        for cap in [None, Some(500), Some(0)] {
+            let serial = count_exhaustive(&outcomes, &bufs, n, cap);
+            for workers in [1usize, 2, 3, 7, 64] {
+                let par = count_exhaustive_parallel(&outcomes, &bufs, n, cap, workers);
+                assert_eq!(par.counts, serial.counts, "cap {cap:?} workers {workers}");
+                assert_eq!(par.frames_examined, serial.frames_examined);
+                assert_eq!(par.evals, serial.evals);
+                assert_eq!(par.truncated, serial.truncated);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_heuristic_counters_match_serial() {
+        let f = sb_fixture();
+        let heu: Vec<HeuristicOutcome> = f.all.iter().map(|(_, h)| h.clone()).collect();
+        let (b0, b1) = lockstep_bufs(37);
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let serial = count_heuristic(&heu, &bufs, 37);
+        let serial_each = count_heuristic_each(&heu, &bufs, 37);
+        for workers in [1usize, 2, 3, 7] {
+            let par = count_heuristic_parallel(&heu, &bufs, 37, workers);
+            assert_eq!(par.counts, serial.counts, "workers {workers}");
+            assert_eq!(par.evals, serial.evals);
+            assert_eq!(par.frames_examined, serial.frames_examined);
+            let each = count_heuristic_each_parallel(&heu, &bufs, 37, workers);
+            assert_eq!(each.counts, serial_each.counts, "workers {workers}");
+            assert_eq!(each.evals, serial_each.evals);
+            assert_eq!(each.frames_examined, serial_each.frames_examined);
+        }
+    }
+
+    #[test]
+    fn parallel_degenerate_inputs_match_serial() {
+        let f = sb_fixture();
+        let bufs: Vec<&[u64]> = vec![&[], &[]];
+        let serial = count_exhaustive(
+            std::slice::from_ref(&f.conv.target_exhaustive), &bufs, 0, Some(0));
+        let par = count_exhaustive_parallel(
+            std::slice::from_ref(&f.conv.target_exhaustive), &bufs, 0, Some(0), 4);
+        assert_eq!(par.counts, serial.counts);
+        assert_eq!(par.truncated, serial.truncated);
+        assert!(!par.truncated, "degenerate scans never truncate");
+        let no_outcomes = count_exhaustive_parallel(&[], &bufs, 5, None, 4);
+        assert_eq!(no_outcomes.frames_examined, 0);
     }
 
     #[test]

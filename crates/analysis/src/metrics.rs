@@ -7,6 +7,44 @@
 //! per-iteration synchronization (folded into its execution cycles by the
 //! harness), while PerpLE pays the counter scan.
 
+/// Wall-clock timings of one test's pipeline stages (convert → run →
+/// count), recorded by the experiment drivers so counter parallelization
+/// is observable in experiment output.
+///
+/// Serialized with the hand-rolled [`StageTimings::to_json`] (the external
+/// `serde` dependency is unavailable in the offline build environment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTimings {
+    /// Wall time of the Converter (litmus test → perpetual artifacts).
+    pub convert: std::time::Duration,
+    /// Wall time of the harness run (simulated execution).
+    pub run: std::time::Duration,
+    /// Wall time of outcome counting (max per-worker scan time when the
+    /// parallel counters are used).
+    pub count: std::time::Duration,
+    /// Worker threads the counting stage used (1 = serial).
+    pub count_workers: usize,
+}
+
+impl StageTimings {
+    /// Total wall time across the three stages.
+    pub fn total(&self) -> std::time::Duration {
+        self.convert + self.run + self.count
+    }
+
+    /// Compact JSON object (micro-second integral fields), e.g.
+    /// `{"convert_us":12,"run_us":3400,"count_us":170,"count_workers":8}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"convert_us\":{},\"run_us\":{},\"count_us\":{},\"count_workers\":{}}}",
+            self.convert.as_micros(),
+            self.run.as_micros(),
+            self.count.as_micros(),
+            self.count_workers
+        )
+    }
+}
+
 /// A runtime in model cycles, split into execution and counting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ModelTime {
@@ -74,6 +112,23 @@ pub fn speedup(baseline: ModelTime, tool: ModelTime) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stage_timings_total_and_json() {
+        use std::time::Duration;
+        let t = StageTimings {
+            convert: Duration::from_micros(12),
+            run: Duration::from_micros(3_400),
+            count: Duration::from_micros(170),
+            count_workers: 8,
+        };
+        assert_eq!(t.total(), Duration::from_micros(3_582));
+        assert_eq!(
+            t.to_json(),
+            "{\"convert_us\":12,\"run_us\":3400,\"count_us\":170,\"count_workers\":8}"
+        );
+        assert_eq!(StageTimings::default().total(), Duration::ZERO);
+    }
 
     #[test]
     fn model_time_totals() {

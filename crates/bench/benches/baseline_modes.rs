@@ -1,34 +1,19 @@
-//! Criterion benchmarks of the litmus7-style baseline per synchronization
+//! Micro-benchmarks of the litmus7-style baseline per synchronization
 //! mode: the wall-clock counterpart of Figure 10's per-iteration barrier
 //! cost differences.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
 use perple::{BaselineRunner, SimConfig, SyncMode};
+use perple_bench::micro::Bench;
 use perple_model::suite;
 
-fn bench_baseline(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::new(10);
     let test = suite::sb();
     let n = 2_000u64;
-    let mut group = c.benchmark_group("baseline/sb");
-    group.throughput(Throughput::Elements(n));
     for mode in SyncMode::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mode.as_str()),
-            &n,
-            |b, &n| {
-                let mut runner =
-                    BaselineRunner::new(SimConfig::default().with_seed(0xBA5E), mode);
-                b.iter(|| runner.run(std::hint::black_box(&test), n))
-            },
-        );
+        let mut runner = BaselineRunner::new(SimConfig::default().with_seed(0xBA5E), mode);
+        bench.run(&format!("baseline/sb/{}/{n}", mode.as_str()), || {
+            runner.run(std::hint::black_box(&test), n)
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_baseline
-}
-criterion_main!(benches);

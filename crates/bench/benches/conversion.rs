@@ -1,51 +1,49 @@
-//! Criterion benchmarks of the Converter: full-pipeline conversion of the
+//! Micro-benchmarks of the Converter: full-pipeline conversion of the
 //! suite and outcome-space conversion (the once-per-test cost the paper's
 //! Converter pays offline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use perple::Conversion;
+use perple_bench::micro::Bench;
 use perple_model::suite;
 
-fn bench_conversion(c: &mut Criterion) {
-    c.bench_function("convert/sb", |b| {
-        let test = suite::sb();
-        b.iter(|| Conversion::convert(std::hint::black_box(&test)).expect("converts"))
-    });
+fn main() {
+    let bench = Bench::new(20);
 
-    c.bench_function("convert/whole_suite", |b| {
+    {
+        let test = suite::sb();
+        bench.run("convert/sb", || {
+            Conversion::convert(std::hint::black_box(&test)).expect("converts")
+        });
+    }
+
+    {
         let tests = suite::convertible();
-        b.iter(|| {
+        bench.run("convert/whole_suite", || {
             tests
                 .iter()
                 .map(|t| Conversion::convert(std::hint::black_box(t)).expect("converts"))
                 .count()
-        })
-    });
+        });
+    }
 
-    c.bench_function("convert/all_outcomes/podwr001", |b| {
+    {
         let test = suite::podwr001();
         let conv = Conversion::convert(&test).expect("converts");
-        b.iter(|| conv.all_outcomes(std::hint::black_box(&test)).expect("outcomes"))
-    });
+        bench.run("convert/all_outcomes/podwr001", || {
+            conv.all_outcomes(std::hint::black_box(&test)).expect("outcomes")
+        });
+    }
 
-    c.bench_function("codegen/sb", |b| {
+    {
         let test = suite::sb();
         let conv = Conversion::convert(&test).expect("converts");
-        b.iter(|| {
+        bench.run("codegen/sb", || {
             let asm = perple_convert::codegen::emit_thread_asm(&conv.perpetual);
             let count = perple_convert::codegen::emit_count_c(
                 &conv.perpetual,
                 std::slice::from_ref(&conv.target_exhaustive),
             );
             (asm, count)
-        })
-    });
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_conversion
-}
-criterion_main!(benches);

@@ -1,78 +1,59 @@
-//! Criterion benchmarks of the outcome counters: the heuristic's linear
+//! Micro-benchmarks of the outcome counters: the heuristic's linear
 //! scaling vs the exhaustive counter's `N^{T_L}` blow-up (Figure 10's
 //! counting component).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use perple::{count_exhaustive, count_heuristic, Conversion, PerpleRunner, SimConfig};
+use perple_bench::micro::Bench;
 use perple_model::suite;
 
-fn bench_counters(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::new(10);
     let test = suite::sb();
     let conv = Conversion::convert(&test).expect("sb converts");
     let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0xBE));
 
-    let mut group = c.benchmark_group("counters/sb");
     for &n in &[1_000u64, 4_000, 16_000] {
         let run = runner.run(&conv.perpetual, n);
         let bufs = run.bufs();
-        group.bench_with_input(BenchmarkId::new("heuristic", n), &n, |b, &n| {
-            b.iter(|| {
-                count_heuristic(
-                    std::slice::from_ref(&conv.target_heuristic),
-                    std::hint::black_box(&bufs),
-                    n,
-                )
-            })
+        bench.run(&format!("counters/sb/heuristic/{n}"), || {
+            count_heuristic(
+                std::slice::from_ref(&conv.target_heuristic),
+                std::hint::black_box(&bufs),
+                n,
+            )
         });
         // The exhaustive counter is quadratic for sb; keep N modest.
         if n <= 4_000 {
-            group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, &n| {
-                b.iter(|| {
-                    count_exhaustive(
-                        std::slice::from_ref(&conv.target_exhaustive),
-                        std::hint::black_box(&bufs),
-                        n,
-                        None,
-                    )
-                })
+            bench.run(&format!("counters/sb/exhaustive/{n}"), || {
+                count_exhaustive(
+                    std::slice::from_ref(&conv.target_exhaustive),
+                    std::hint::black_box(&bufs),
+                    n,
+                    None,
+                )
             });
         }
     }
-    group.finish();
 
     // T_L = 3: the cubic case the paper calls "a dramatic slowdown".
     let test3 = suite::podwr001();
     let conv3 = Conversion::convert(&test3).expect("podwr001 converts");
-    let mut group = c.benchmark_group("counters/podwr001");
     let n = 200u64;
     let run = runner.run(&conv3.perpetual, n);
     let bufs = run.bufs();
-    group.bench_function("heuristic/200", |b| {
-        b.iter(|| {
-            count_heuristic(
-                std::slice::from_ref(&conv3.target_heuristic),
-                std::hint::black_box(&bufs),
-                n,
-            )
-        })
+    bench.run("counters/podwr001/heuristic/200", || {
+        count_heuristic(
+            std::slice::from_ref(&conv3.target_heuristic),
+            std::hint::black_box(&bufs),
+            n,
+        )
     });
-    group.bench_function("exhaustive/200", |b| {
-        b.iter(|| {
-            count_exhaustive(
-                std::slice::from_ref(&conv3.target_exhaustive),
-                std::hint::black_box(&bufs),
-                n,
-                None,
-            )
-        })
+    bench.run("counters/podwr001/exhaustive/200", || {
+        count_exhaustive(
+            std::slice::from_ref(&conv3.target_exhaustive),
+            std::hint::black_box(&bufs),
+            n,
+            None,
+        )
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_counters
-}
-criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the frame-sharded parallel counters: serial
+//! reference vs `count_exhaustive_parallel` across a worker sweep, on both
+//! a quadratic (`sb`, T_L = 2) and a cubic (`podwr001`, T_L = 3) frame
+//! space. Counts are asserted bit-identical while timing, so the numbers
+//! can't come from a diverged scan.
+
+use perple::{
+    count_exhaustive, count_exhaustive_parallel, count_heuristic, count_heuristic_parallel,
+    default_workers, Conversion, PerpleRunner, SimConfig,
+};
+use perple_bench::micro::Bench;
+use perple_model::suite;
+
+fn sweep(bench: &Bench, name: &str, n: u64) {
+    let test = suite::by_name(name).expect("suite test");
+    let conv = Conversion::convert(&test).expect("converts");
+    let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0xAB12));
+    let run = runner.run(&conv.perpetual, n);
+    let bufs = run.bufs();
+    let outcomes = std::slice::from_ref(&conv.target_exhaustive);
+
+    let reference = count_exhaustive(outcomes, &bufs, n, None);
+    let serial = bench.run(&format!("parallel/{name}/exhaustive/serial/{n}"), || {
+        count_exhaustive(outcomes, std::hint::black_box(&bufs), n, None)
+    });
+
+    let mut workers: Vec<usize> = vec![1, 2, 4, 8];
+    let avail = default_workers();
+    if !workers.contains(&avail) {
+        workers.push(avail);
+    }
+    for w in workers {
+        let median = bench.run(
+            &format!("parallel/{name}/exhaustive/workers={w}/{n}"),
+            || {
+                let r = count_exhaustive_parallel(
+                    outcomes,
+                    std::hint::black_box(&bufs),
+                    n,
+                    None,
+                    w,
+                );
+                assert_eq!(r.counts, reference.counts, "diverged at workers={w}");
+                r
+            },
+        );
+        let speedup = serial.as_secs_f64() / median.as_secs_f64().max(1e-12);
+        println!("    -> {speedup:.2}x vs serial");
+    }
+
+    // The heuristic counter is linear and tiny; the sweep mostly shows
+    // the break-even point where thread launch overhead dominates.
+    let heur = std::slice::from_ref(&conv.target_heuristic);
+    bench.run(&format!("parallel/{name}/heuristic/serial/{n}"), || {
+        count_heuristic(heur, std::hint::black_box(&bufs), n)
+    });
+    bench.run(&format!("parallel/{name}/heuristic/workers=4/{n}"), || {
+        count_heuristic_parallel(heur, std::hint::black_box(&bufs), n, 4)
+    });
+}
+
+fn main() {
+    let bench = Bench::new(10);
+    println!("available parallelism: {}", default_workers());
+    sweep(&bench, "sb", 3_000); // 9M frames
+    sweep(&bench, "podwr001", 150); // 3.4M frames, 3 digits per seek
+}

@@ -1,29 +1,21 @@
-//! Criterion benchmarks of the simulated TSO machine: perpetual-run
+//! Micro-benchmarks of the simulated TSO machine: perpetual-run
 //! throughput (the execution component of every experiment).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
 use perple::{Conversion, PerpleRunner, SimConfig};
+use perple_bench::micro::Bench;
 use perple_model::suite;
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator/perpetual");
+fn main() {
+    let bench = Bench::new(10);
     for name in ["sb", "mp", "iriw", "podwr001"] {
         let test = suite::by_name(name).expect("suite test");
         let conv = Conversion::convert(&test).expect("convertible");
         let n = 10_000u64;
-        group.throughput(Throughput::Elements(n));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, &n| {
-            let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0x51));
-            b.iter(|| runner.run(std::hint::black_box(&conv.perpetual), n))
+        let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0x51));
+        let median = bench.run(&format!("simulator/perpetual/{name}/{n}"), || {
+            runner.run(std::hint::black_box(&conv.perpetual), n)
         });
+        let per_iter = median.as_nanos() as f64 / n as f64;
+        println!("    -> {per_iter:.1}ns per iteration");
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_simulator
-}
-criterion_main!(benches);

@@ -2,13 +2,15 @@
 //!
 //! Benchmark harness for the PerpLE reproduction: one binary per paper
 //! table/figure (`table2`, `fig9`, `fig10`, `fig11`, `fig12`, `fig13`,
-//! `overall`) plus Criterion micro-benchmarks for the counters, the
-//! simulator, conversion, and the baseline synchronization modes.
+//! `overall`) plus [`micro`] benchmarks for the counters (serial and
+//! frame-sharded parallel), the simulator, conversion, and the baseline
+//! synchronization modes.
 //!
-//! Every binary accepts `--iterations N` and `--seed S` overrides, e.g.:
+//! Every binary accepts `--iterations N`, `--seed S`, and `--workers W`
+//! overrides, e.g.:
 //!
 //! ```text
-//! cargo run --release -p perple-bench --bin fig9 -- --iterations 10000
+//! cargo run --release -p perple-bench --bin fig9 -- --iterations 10000 --workers 8
 //! ```
 
 #![forbid(unsafe_code)]
@@ -16,8 +18,11 @@
 
 use perple::experiments::ExperimentConfig;
 
-/// Parses `--iterations N` and `--seed S` from the command line on top of
-/// the given defaults. Unknown arguments are rejected with a usage message.
+pub mod micro;
+
+/// Parses `--iterations N`, `--seed S`, and `--workers W` from the command
+/// line on top of the given defaults. Unknown arguments are rejected with a
+/// usage message.
 ///
 /// # Panics
 /// Exits the process with a usage message on malformed arguments.
@@ -25,7 +30,7 @@ pub fn config_from_args(default_iterations: u64) -> ExperimentConfig {
     parse_args(std::env::args().skip(1), default_iterations)
         .unwrap_or_else(|msg| {
             eprintln!("{msg}");
-            eprintln!("usage: <bin> [--iterations N] [--seed S]");
+            eprintln!("usage: <bin> [--iterations N] [--seed S] [--workers W]");
             std::process::exit(2);
         })
 }
@@ -46,6 +51,14 @@ fn parse_args<I: Iterator<Item = String>>(
             "--seed" | "-s" => {
                 let v = args.next().ok_or("missing value for --seed")?;
                 cfg.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--workers" | "-w" => {
+                let v = args.next().ok_or("missing value for --workers")?;
+                let w: usize = v.parse().map_err(|_| format!("bad worker count {v:?}"))?;
+                if w == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                cfg = cfg.with_workers(w);
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -74,6 +87,15 @@ mod tests {
         assert_eq!(cfg.seed, 7);
         let cfg = parse(&["-n", "9"], 500).unwrap();
         assert_eq!(cfg.iterations, 9);
+    }
+
+    #[test]
+    fn workers_flag_sets_both_pool_widths() {
+        let cfg = parse(&["--workers", "6"], 100).unwrap();
+        assert_eq!(cfg.parallelism.suite_workers, 6);
+        assert_eq!(cfg.parallelism.counter_workers, 6);
+        assert!(parse(&["--workers", "0"], 100).is_err());
+        assert!(parse(&["-w", "zero"], 100).is_err());
     }
 
     #[test]

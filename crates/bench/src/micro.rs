@@ -1,0 +1,95 @@
+//! Minimal micro-benchmark runner (Criterion is unavailable offline).
+//!
+//! Each case runs a warm-up pass, then `samples` timed passes, and prints
+//! `name  median  (min … max, mean, samples)` to stdout. [`Bench::run`]
+//! returns the median so callers can compute derived figures (speedups)
+//! without re-parsing their own output.
+
+use std::time::{Duration, Instant};
+
+/// A benchmark session: shared sample count plus aligned reporting.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    samples: usize,
+}
+
+impl Bench {
+    /// Creates a session taking `samples` timed passes per case (at least 1).
+    pub fn new(samples: usize) -> Self {
+        Self { samples: samples.max(1) }
+    }
+
+    /// Times one case and prints its summary line. Returns the median wall
+    /// time. The closure's result is passed through [`std::hint::black_box`]
+    /// so the optimizer cannot elide the measured work.
+    pub fn run<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Duration {
+        std::hint::black_box(f()); // warm-up: page in code and data
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            times.push(t.elapsed());
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let min = times[0];
+        let max = times[times.len() - 1];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{name:<44} {:>12} (min {:>10}, max {:>10}, mean {:>10}, {} samples)",
+            fmt(median),
+            fmt(min),
+            fmt(max),
+            fmt(mean),
+            self.samples,
+        );
+        median
+    }
+}
+
+/// Human units with three significant-ish digits, like Criterion prints.
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_ordered_between_extremes() {
+        let b = Bench::new(5);
+        let mut x = 0u64;
+        let median = b.run("micro/self-test", || {
+            for i in 0..1_000u64 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert!(median > Duration::ZERO);
+    }
+
+    #[test]
+    fn sample_count_is_clamped_to_one() {
+        let b = Bench::new(0);
+        let m = b.run("micro/clamped", || 1 + 1);
+        assert!(m >= Duration::ZERO);
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert_eq!(fmt(Duration::from_nanos(12)), "12ns");
+        assert_eq!(fmt(Duration::from_micros(12)), "12.00µs");
+        assert_eq!(fmt(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt(Duration::from_secs(12)), "12.00s");
+    }
+}

@@ -34,4 +34,5 @@
 
 pub mod baseline;
 pub mod native;
+pub mod pad;
 pub mod perpetual;

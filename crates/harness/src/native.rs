@@ -17,11 +17,11 @@ use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use crossbeam::utils::CachePadded;
 use perple_convert::{PerpInstr, PerpetualTest};
 use perple_model::{Instr, LitmusTest, Outcome};
 
 use crate::baseline::SyncMode;
+use crate::pad::CachePadded;
 
 /// Result of a native perpetual run.
 #[derive(Debug, Clone, PartialEq, Eq)]

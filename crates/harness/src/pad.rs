@@ -1,0 +1,76 @@
+//! Cache-line padding for shared atomics (in-repo replacement for
+//! `crossbeam::utils::CachePadded`, which is unavailable in the offline
+//! build environment).
+//!
+//! Each padded value occupies its own 128-byte-aligned slot so that two
+//! litmus locations (or two threads' hot atomics) never share a cache line:
+//! false sharing would serialize the very store-buffer traffic the harness
+//! exists to observe. 128 bytes covers the spatial-prefetcher pairing of
+//! 64-byte lines on modern x86 (the same rationale crossbeam documents).
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache-line-aligned slot.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Consumes the padding, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_values_are_cache_line_aligned() {
+        assert!(std::mem::align_of::<CachePadded<u64>>() >= 128);
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 128);
+        let slots: Vec<CachePadded<u64>> = (0..4).map(CachePadded::new).collect();
+        for pair in slots.windows(2) {
+            let a = &*pair[0] as *const u64 as usize;
+            let b = &*pair[1] as *const u64 as usize;
+            assert!(b - a >= 128, "adjacent slots share a cache line");
+        }
+    }
+
+    #[test]
+    fn deref_and_into_inner_round_trip() {
+        let mut p = CachePadded::new(41u32);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+        assert_eq!(*CachePadded::from(7u8), 7);
+    }
+}

@@ -6,7 +6,7 @@ use std::fmt;
 use crate::ids::{LocId, RegId, ThreadId};
 
 /// Quantifier of a litmus condition, as written in the litmus7 format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Quantifier {
     /// `exists (...)` — the valuation is reachable in at least one run.
     Exists,
@@ -24,7 +24,7 @@ impl fmt::Display for Quantifier {
 }
 
 /// One conjunct of a litmus condition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CondAtom {
     /// `t:reg = value` — final register content.
     RegEq {
@@ -48,7 +48,7 @@ pub enum CondAtom {
 
 /// Conjunction of [`CondAtom`]s under a [`Quantifier`]: the test's condition
 /// of interest (its *target outcome* when `Exists`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Condition {
     quantifier: Quantifier,
     atoms: Vec<CondAtom>,
@@ -99,7 +99,7 @@ impl Condition {
 ///
 /// Ordered map keyed by `(thread, register)` so that outcomes have a
 /// canonical ordering and a stable [label](Outcome::label).
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Outcome(BTreeMap<(ThreadId, RegId), u32>);
 
 impl Outcome {

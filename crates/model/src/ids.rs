@@ -7,7 +7,7 @@ use std::fmt;
 /// Indexes the test's location table; display uses the symbolic name only
 /// when formatted through the owning test (see
 /// [`crate::LitmusTest::location_name`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LocId(pub u8);
 
 impl LocId {
@@ -24,7 +24,7 @@ impl fmt::Display for LocId {
 }
 
 /// Identifier of a test thread (`P0`, `P1`, ...).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(pub u8);
 
 impl ThreadId {
@@ -44,7 +44,7 @@ impl fmt::Display for ThreadId {
 ///
 /// Register *names* (`EAX`, `EBX`, ...) are interned per thread by the owning
 /// test; `RegId` is the index into that table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegId(pub u8);
 
 impl RegId {
@@ -62,7 +62,7 @@ impl fmt::Display for RegId {
 
 /// Reference to a specific instruction within a test: thread plus
 /// program-order index, the `(i_tn)` notation of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstrRef {
     /// Thread the instruction belongs to.
     pub thread: ThreadId,

@@ -8,7 +8,7 @@ use crate::ids::{LocId, RegId};
 /// plain stores and loads (`MOV`), the store-ordering fence (`MFENCE`), and a
 /// locked read-modify-write (`XCHG`), which on x86 both drains the store
 /// buffer and executes atomically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// `MOV [loc], $value` — store an immediate to shared memory.
     Store {

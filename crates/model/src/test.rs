@@ -26,7 +26,7 @@ use crate::instr::Instr;
 /// assert_eq!(test.load_thread_count(), 2);
 /// # Ok::<(), perple_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LitmusTest {
     name: String,
     doc: String,

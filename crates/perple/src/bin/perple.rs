@@ -3,8 +3,8 @@
 //! ```text
 //! perple classify <test-name | file.litmus>   SC/TSO/PSO classification
 //! perple convert  <test-name | file.litmus>   emit perpetual asm + counters
-//! perple run      <test-name> [-n N] [--seed S] [--weak]
-//! perple audit    [-n N]                      whole-suite consistency audit
+//! perple run      <test-name> [-n N] [--seed S] [--weak] [--workers W]
+//! perple audit    [-n N] [--workers W]        whole-suite consistency audit
 //! perple trace    <test-name> [-n N]          event log of a short run
 //! perple infer    [-n N] [--weak]             infer the machine's relaxations
 //! perple list                                 list the built-in suite
@@ -31,8 +31,8 @@ fn main() -> ExitCode {
                  \n\
                  classify <test|file>        classification under SC/TSO/PSO\n\
                  convert  <test|file>        emit perpetual artifacts\n\
-                 run      <test> [-n N] [--seed S] [--weak]\n\
-                 audit    [-n N]             run the Table II suite\n\
+                 run      <test> [-n N] [--seed S] [--weak] [--workers W]\n\
+                 audit    [-n N] [--workers W]  run the Table II suite\n\
                  trace    <test> [-n N]      event log of a short run\n\
                  infer    [-n N] [--weak]    infer the machine's relaxations\n\
                  list                        list built-in tests"
@@ -106,42 +106,67 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_flags(args: &[String]) -> Result<(u64, u64, bool), String> {
-    let mut n = 10_000u64;
-    let mut seed = 0xCAFE_u64;
-    let mut weak = false;
+/// Flags shared by the run-style subcommands.
+struct RunFlags {
+    n: u64,
+    seed: u64,
+    weak: bool,
+    /// Counter worker threads (`--workers N`, default: available
+    /// parallelism). Counts are identical at every setting.
+    workers: usize,
+}
+
+fn parse_flags(args: &[String]) -> Result<RunFlags, String> {
+    let mut flags = RunFlags {
+        n: 10_000,
+        seed: 0xCAFE,
+        weak: false,
+        workers: perple::default_workers(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-n" | "--iterations" => {
-                n = it
+                flags.n = it
                     .next()
                     .ok_or("missing value for -n")?
                     .parse()
                     .map_err(|e| format!("bad iteration count: {e}"))?;
             }
             "--seed" | "-s" => {
-                seed = it
+                flags.seed = it
                     .next()
                     .ok_or("missing value for --seed")?
                     .parse()
                     .map_err(|e| format!("bad seed: {e}"))?;
             }
-            "--weak" => weak = true,
+            "--workers" | "-w" => {
+                flags.workers = it
+                    .next()
+                    .ok_or("missing value for --workers")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?;
+                if flags.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--weak" => flags.weak = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok((n, seed, weak))
+    Ok(flags)
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let spec = args.first().ok_or("run needs a test name or file")?;
     let test = load_test(spec)?;
-    let (n, seed, weak) = parse_flags(&args[1..])?;
+    let flags = parse_flags(&args[1..])?;
+    let (n, weak) = (flags.n, flags.weak);
     let config = SimConfig::default()
-        .with_seed(seed)
+        .with_seed(flags.seed)
         .with_weak_store_order(weak);
     let mut engine = Perple::with_config(&test, config).map_err(|e| e.to_string())?;
+    engine.set_workers(flags.workers);
     let (run, count) = engine.run_heuristic_only(n);
     println!(
         "{}: {} iterations in {} simulated cycles{}",
@@ -159,14 +184,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_audit(args: &[String]) -> Result<(), String> {
-    let (n, seed, weak) = parse_flags(args)?;
+    let flags = parse_flags(args)?;
+    let n = flags.n;
     let config = SimConfig::default()
-        .with_seed(seed)
-        .with_weak_store_order(weak);
+        .with_seed(flags.seed)
+        .with_weak_store_order(flags.weak);
     let mut violations = 0;
     for test in suite::convertible() {
         let mut engine =
             Perple::with_config(&test, config.clone()).map_err(|e| e.to_string())?;
+        engine.set_workers(flags.workers);
         let (_, count) = engine.run_heuristic_only(n);
         let c = classify(&test);
         let status = match (c.tso_allowed, count.counts[0] > 0) {
@@ -190,12 +217,14 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     let spec = args.first().ok_or("trace needs a test name or file")?;
     let test = load_test(spec)?;
-    let (n, seed, weak) = parse_flags(&args[1..])?;
-    let n = n.min(50); // event logs of long runs are unreadable
+    let flags = parse_flags(&args[1..])?;
+    let n = flags.n.min(50); // event logs of long runs are unreadable
     let conv = Conversion::convert(&test).map_err(|e| e.to_string())?;
     let specs = perple_harness::perpetual::thread_specs(&conv.perpetual, n);
     let mut machine = perple_sim::Machine::new(
-        SimConfig::default().with_seed(seed).with_weak_store_order(weak),
+        SimConfig::default()
+            .with_seed(flags.seed)
+            .with_weak_store_order(flags.weak),
     );
     let mut trace = perple_sim::Trace::with_capacity(10_000);
     let out = machine.run_traced(&specs, test.location_count(), &mut trace);
@@ -205,17 +234,18 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_infer(args: &[String]) -> Result<(), String> {
-    let (n, seed, weak) = parse_flags(args)?;
+    let flags = parse_flags(args)?;
     let config = SimConfig::default()
-        .with_seed(seed)
-        .with_weak_store_order(weak);
+        .with_seed(flags.seed)
+        .with_weak_store_order(flags.weak);
     let mut observations = Vec::new();
     for r in perple::modelmine::Relaxation::ALL {
         let name = r.revealing_test();
         let test = suite::by_name(name).ok_or("suite test missing")?;
         let mut engine =
             Perple::with_config(&test, config.clone()).map_err(|e| e.to_string())?;
-        let (_, count) = engine.run_heuristic_only(n);
+        engine.set_workers(flags.workers);
+        let (_, count) = engine.run_heuristic_only(flags.n);
         observations.push((name, count.counts[0]));
     }
     let model = perple::modelmine::InferredModel::from_observations(

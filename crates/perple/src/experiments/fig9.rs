@@ -2,11 +2,13 @@
 //! counters vs litmus7 in all five synchronization modes.
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
+use perple_analysis::metrics::StageTimings;
 use perple_harness::baseline::SyncMode;
 use perple_model::suite;
 
-use super::{baseline_detection, ExperimentConfig};
+use super::{baseline_detection, pool, ExperimentConfig};
 use crate::Conversion;
 
 /// One test's occurrence counts across tools.
@@ -26,16 +28,26 @@ pub struct Fig9Row {
     pub perple_heuristic: u64,
     /// litmus7 occurrences per mode, in [`SyncMode::ALL`] order.
     pub litmus7: [u64; 5],
+    /// Wall-clock stage timings of the PerpLE pipeline on this test.
+    pub timings: StageTimings,
 }
 
-/// Regenerates Figure 9's data for the whole convertible suite.
+/// Regenerates Figure 9's data for the whole convertible suite. Suite
+/// tests run concurrently on `cfg.parallelism.suite_workers` threads; each
+/// test derives its own seed, so results match the serial run exactly.
 pub fn fig9(cfg: &ExperimentConfig) -> Vec<Fig9Row> {
-    suite::convertible()
-        .iter()
-        .zip(suite::TABLE_II)
-        .map(|(test, entry)| {
+    let tests = suite::convertible();
+    let entries: Vec<_> = tests.iter().zip(suite::TABLE_II).collect();
+    pool::map_parallel(
+        &entries,
+        cfg.parallelism.suite_workers,
+        |_, (test, entry)| {
+            let t_convert = Instant::now();
             let conv = Conversion::convert(test).expect("suite test converts");
-            let (heur, exh) = super::perple_detection_both(test, &conv, cfg);
+            let convert_wall = t_convert.elapsed();
+            let (heur, exh, mut timings) =
+                super::perple_detection_both_timed(test, &conv, cfg);
+            timings.convert = convert_wall;
             let (perple_heuristic, perple_exhaustive) = (heur.occurrences, exh.occurrences);
             let total_frames = (cfg.iterations as u128).pow(test.load_thread_count() as u32);
             let exhaustive_truncated = cfg
@@ -52,9 +64,10 @@ pub fn fig9(cfg: &ExperimentConfig) -> Vec<Fig9Row> {
                 exhaustive_truncated,
                 perple_heuristic,
                 litmus7,
+                timings,
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Renders the figure's data as a table.
@@ -90,6 +103,23 @@ pub fn render(rows: &[Fig9Row], cfg: &ExperimentConfig) -> String {
             r.litmus7[4],
         );
     }
+    let total: StageTimings = rows.iter().fold(StageTimings::default(), |acc, r| {
+        StageTimings {
+            convert: acc.convert + r.timings.convert,
+            run: acc.run + r.timings.run,
+            count: acc.count + r.timings.count,
+            count_workers: r.timings.count_workers,
+        }
+    });
+    let _ = writeln!(
+        s,
+        "stage wall time (sum over tests): convert {:?}, run {:?}, count {:?} ({} counter worker{})",
+        total.convert,
+        total.run,
+        total.count,
+        total.count_workers,
+        if total.count_workers == 1 { "" } else { "s" },
+    );
     s
 }
 
@@ -151,6 +181,25 @@ mod tests {
             }
         }
         assert_eq!(wins, total, "PerpLE-exhaustive must dominate user mode");
+    }
+
+    #[test]
+    fn suite_parallelism_does_not_change_results() {
+        let serial_cfg = ExperimentConfig::default()
+            .with_iterations(200)
+            .with_seed(0xF19)
+            .with_workers(1);
+        let par_cfg = serial_cfg.clone().with_workers(3);
+        let serial = fig9(&serial_cfg);
+        let par = fig9(&par_cfg);
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.perple_exhaustive, b.perple_exhaustive, "{}", a.name);
+            assert_eq!(a.perple_heuristic, b.perple_heuristic, "{}", a.name);
+            assert_eq!(a.litmus7, b.litmus7, "{}", a.name);
+            assert_eq!(a.exhaustive_truncated, b.exhaustive_truncated);
+        }
     }
 
     #[test]

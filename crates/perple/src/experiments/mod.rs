@@ -22,17 +22,57 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig9;
 pub mod overall;
+pub mod pool;
 pub mod table2;
 pub mod ablation;
 
-use perple_analysis::count::{count_exhaustive, count_heuristic};
-use perple_analysis::metrics::{Detection, ModelTime};
+use std::time::Instant;
+
+use perple_analysis::count::{
+    count_exhaustive_parallel, count_heuristic_parallel, default_workers,
+};
+use perple_analysis::metrics::{Detection, ModelTime, StageTimings};
 use perple_harness::baseline::{BaselineRunner, SyncMode};
 use perple_harness::perpetual::PerpleRunner;
 use perple_model::LitmusTest;
 use perple_sim::SimConfig;
 
 use crate::Conversion;
+
+/// Worker-thread budget of an experiment: how many suite tests run
+/// concurrently and how many threads each counting pass shards over.
+///
+/// Results are identical at every setting — suite tests derive their own
+/// seeds (see `derive_seed`) and the parallel counters are bit-identical to
+/// the serial ones — so parallelism only changes wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Concurrent per-test experiment tasks (the suite-level pool).
+    pub suite_workers: usize,
+    /// Worker threads per counting pass (frame/pivot sharding).
+    pub counter_workers: usize,
+}
+
+impl Default for Parallelism {
+    /// Both knobs default to the machine's available parallelism.
+    fn default() -> Self {
+        let w = default_workers();
+        Self { suite_workers: w, counter_workers: w }
+    }
+}
+
+impl Parallelism {
+    /// Fully serial execution (the pre-parallel behaviour).
+    pub fn serial() -> Self {
+        Self { suite_workers: 1, counter_workers: 1 }
+    }
+
+    /// `n` workers for both the suite pool and the counters.
+    pub fn workers(n: usize) -> Self {
+        let n = n.max(1);
+        Self { suite_workers: n, counter_workers: n }
+    }
+}
 
 /// Shared experiment parameters.
 #[derive(Debug, Clone)]
@@ -44,6 +84,8 @@ pub struct ExperimentConfig {
     /// Frame cap for the exhaustive counter (`None` scans all `N^{T_L}`
     /// frames; `T_L = 3` tests need a cap at large `N`).
     pub exhaustive_frame_cap: Option<u64>,
+    /// Suite-level and counter-level worker budget.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ExperimentConfig {
@@ -52,6 +94,7 @@ impl Default for ExperimentConfig {
             iterations: 10_000,
             seed: 0x9E37,
             exhaustive_frame_cap: Some(100_000_000),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -66,6 +109,13 @@ impl ExperimentConfig {
     /// Returns the config with a different base seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the config with `n` workers for both the suite pool and
+    /// the parallel counters.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.parallelism = Parallelism::workers(n);
         self
     }
 }
@@ -89,18 +139,25 @@ pub fn perple_detection(
     cfg: &ExperimentConfig,
     heuristic: bool,
 ) -> Detection {
+    let workers = cfg.parallelism.counter_workers;
     let seed = derive_seed(cfg.seed, test.name(), if heuristic { "perple-h" } else { "perple-x" });
     let mut runner = PerpleRunner::new(SimConfig::default().with_seed(seed));
     let run = runner.run(&conv.perpetual, cfg.iterations);
     let bufs = run.bufs();
     let count = if heuristic {
-        count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, cfg.iterations)
+        count_heuristic_parallel(
+            std::slice::from_ref(&conv.target_heuristic),
+            &bufs,
+            cfg.iterations,
+            workers,
+        )
     } else {
-        count_exhaustive(
+        count_exhaustive_parallel(
             std::slice::from_ref(&conv.target_exhaustive),
             &bufs,
             cfg.iterations,
             cfg.exhaustive_frame_cap,
+            workers,
         )
     };
     Detection {
@@ -117,21 +174,44 @@ pub fn perple_detection_both(
     conv: &Conversion,
     cfg: &ExperimentConfig,
 ) -> (Detection, Detection) {
+    let (heur, exh, _) = perple_detection_both_timed(test, conv, cfg);
+    (heur, exh)
+}
+
+/// [`perple_detection_both`] plus per-stage wall-clock timings (the run
+/// stage and the combined counting stage; the caller supplies conversion
+/// time, which happens once per test outside this function).
+pub fn perple_detection_both_timed(
+    test: &LitmusTest,
+    conv: &Conversion,
+    cfg: &ExperimentConfig,
+) -> (Detection, Detection, StageTimings) {
+    let workers = cfg.parallelism.counter_workers;
     let seed = derive_seed(cfg.seed, test.name(), "perple");
     let mut runner = PerpleRunner::new(SimConfig::default().with_seed(seed));
+    let t_run = Instant::now();
     let run = runner.run(&conv.perpetual, cfg.iterations);
+    let run_wall = t_run.elapsed();
     let bufs = run.bufs();
-    let heur = count_heuristic(
+    let heur = count_heuristic_parallel(
         std::slice::from_ref(&conv.target_heuristic),
         &bufs,
         cfg.iterations,
+        workers,
     );
-    let exh = count_exhaustive(
+    let exh = count_exhaustive_parallel(
         std::slice::from_ref(&conv.target_exhaustive),
         &bufs,
         cfg.iterations,
         cfg.exhaustive_frame_cap,
+        workers,
     );
+    let timings = StageTimings {
+        convert: std::time::Duration::ZERO,
+        run: run_wall,
+        count: heur.wall + exh.wall,
+        count_workers: workers.max(1),
+    };
     (
         Detection {
             occurrences: heur.counts[0],
@@ -141,6 +221,7 @@ pub fn perple_detection_both(
             occurrences: exh.counts[0],
             time: ModelTime::new(run.exec_cycles, exh.evals),
         },
+        timings,
     )
 }
 

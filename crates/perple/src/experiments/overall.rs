@@ -17,7 +17,7 @@ use perple_analysis::stats::arithmetic_mean;
 use perple_harness::baseline::SyncMode;
 use perple_model::suite;
 
-use super::{baseline_detection, perple_detection, ExperimentConfig};
+use super::{baseline_detection, perple_detection, pool, ExperimentConfig};
 use crate::Conversion;
 
 /// The overall-impact summary.
@@ -38,40 +38,70 @@ pub struct OverallImpact {
     pub non_convertible: usize,
 }
 
-/// Runs the overall-impact experiment.
+/// Per-test measurement, computed concurrently on the suite pool and
+/// reduced in suite order (so `improvements` is deterministic).
+struct TestImpact {
+    baseline_cycles: u64,
+    hybrid_cycles: u64,
+    convertible: bool,
+    improvement: Option<f64>,
+}
+
+/// Runs the overall-impact experiment. The 88 suite tests run concurrently
+/// on `cfg.parallelism.suite_workers` threads; each test's seeds derive
+/// from its name, so the summary matches the serial run exactly.
 pub fn overall(cfg: &ExperimentConfig) -> OverallImpact {
-    let mut baseline_cycles = 0u64;
-    let mut hybrid_cycles = 0u64;
-    let mut convertible = 0usize;
-    let mut non_convertible = 0usize;
-    let mut improvements = Vec::new();
     let allowed: Vec<&str> = suite::TABLE_II
         .iter()
         .filter(|e| e.allowed)
         .map(|e| e.name)
         .collect();
 
-    for test in suite::full() {
-        let user = baseline_detection(&test, SyncMode::User, cfg);
-        baseline_cycles += user.time.total();
-        match Conversion::convert(&test) {
+    let tests = suite::full();
+    let impacts = pool::map_parallel(&tests, cfg.parallelism.suite_workers, |_, test| {
+        let user = baseline_detection(test, SyncMode::User, cfg);
+        match Conversion::convert(test) {
             Ok(conv) => {
-                convertible += 1;
-                let perple = perple_detection(&test, &conv, cfg, true);
-                hybrid_cycles += perple.time.total();
-                if allowed.contains(&test.name()) {
-                    if let Some(r) = relative_improvement(perple, user) {
-                        improvements.push(r);
-                    }
+                let perple = perple_detection(test, &conv, cfg, true);
+                let improvement = if allowed.contains(&test.name()) {
+                    relative_improvement(perple, user)
+                } else {
+                    None
+                };
+                TestImpact {
+                    baseline_cycles: user.time.total(),
+                    hybrid_cycles: perple.time.total(),
+                    convertible: true,
+                    improvement,
                 }
             }
             Err(_) => {
                 // Non-convertible: the user is notified and litmus7 keeps
                 // running the test (§VII-G).
-                non_convertible += 1;
-                hybrid_cycles += user.time.total();
+                TestImpact {
+                    baseline_cycles: user.time.total(),
+                    hybrid_cycles: user.time.total(),
+                    convertible: false,
+                    improvement: None,
+                }
             }
         }
+    });
+
+    let mut baseline_cycles = 0u64;
+    let mut hybrid_cycles = 0u64;
+    let mut convertible = 0usize;
+    let mut non_convertible = 0usize;
+    let mut improvements = Vec::new();
+    for i in impacts {
+        baseline_cycles += i.baseline_cycles;
+        hybrid_cycles += i.hybrid_cycles;
+        if i.convertible {
+            convertible += 1;
+        } else {
+            non_convertible += 1;
+        }
+        improvements.extend(i.improvement);
     }
 
     OverallImpact {
@@ -139,6 +169,16 @@ mod tests {
         if let Some(v) = impact.detection_improvement {
             assert!(v > 1.0);
         }
+    }
+
+    #[test]
+    fn pool_width_does_not_change_the_summary() {
+        let base = ExperimentConfig::default()
+            .with_iterations(120)
+            .with_seed(0x79);
+        let serial = overall(&base.clone().with_workers(1));
+        let par = overall(&base.with_workers(4));
+        assert_eq!(serial, par);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Suite-level worker pool: runs per-test experiment closures across a
+//! fixed number of threads while keeping results in input order.
+//!
+//! Experiment drivers iterate suites of 34–88 independent tests; each test
+//! derives its own PRNG seed (see `derive_seed`), so per-test computations
+//! are pure functions of `(test, config)` and can run concurrently without
+//! changing any result. The pool hands out item indices from a shared
+//! atomic counter (work stealing — suite tests vary wildly in cost, so
+//! static striping would leave workers idle), collects `(index, result)`
+//! pairs per worker, and reassembles them in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on up to `workers` scoped threads, returning
+/// results in input order. `workers <= 1` (or a single item) degrades to a
+/// plain serial loop on the calling thread.
+pub fn map_parallel<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(i, item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("suite pool worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(
+        tagged.iter().enumerate().all(|(pos, &(i, _))| pos == i),
+        "every input index must appear exactly once"
+    );
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for workers in [1usize, 2, 3, 7, 16] {
+            let out = map_parallel(&items, workers, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>(), "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(map_parallel(&none, 8, |_, &x| x).is_empty());
+        assert_eq!(map_parallel(&[42u32], 8, |_, &x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn oversubscribed_pool_still_covers_every_item() {
+        let items: Vec<usize> = (0..5).collect();
+        let out = map_parallel(&items, 64, |_, &x| x);
+        assert_eq!(out, items);
+    }
+}

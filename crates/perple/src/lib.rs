@@ -47,7 +47,9 @@
 pub mod experiments;
 
 pub use perple_analysis::count::{
-    count_exhaustive, count_heuristic, count_heuristic_each, CountResult,
+    count_exhaustive, count_exhaustive_parallel, count_heuristic,
+    count_heuristic_each, count_heuristic_each_parallel, count_heuristic_parallel,
+    default_workers, frame_at, frame_index, frame_space, CountResult,
 };
 pub use perple_analysis::{metrics, modelmine, skew, stats, variety};
 pub use perple_convert::{Conversion, ConvertError, HeuristicOutcome, PerpetualOutcome, PerpetualTest};
@@ -58,6 +60,9 @@ pub use perple_harness::perpetual::{PerpleRun, PerpleRunner};
 pub use perple_model::{suite, LitmusTest, ModelError, Outcome};
 pub use perple_sim::SimConfig;
 
+pub use experiments::Parallelism;
+pub use perple_analysis::metrics::StageTimings;
+
 /// One-stop engine: conversion plus harness plus counters for one test.
 #[derive(Debug, Clone)]
 pub struct Perple {
@@ -65,6 +70,7 @@ pub struct Perple {
     conversion: Conversion,
     runner: PerpleRunner,
     exhaustive_frame_cap: Option<u64>,
+    workers: usize,
 }
 
 /// Everything one perpetual run produces: buffers, timing, and target
@@ -100,6 +106,7 @@ impl Perple {
             conversion,
             runner: PerpleRunner::new(config),
             exhaustive_frame_cap: None,
+            workers: 1,
         })
     }
 
@@ -119,20 +126,29 @@ impl Perple {
         self.exhaustive_frame_cap = cap;
     }
 
+    /// Shards the counters over `workers` threads (1 = serial, the
+    /// default). Counts are bit-identical at every setting; only wall
+    /// time changes.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
     /// Runs `n` perpetual iterations and applies both target counters.
     pub fn run(&mut self, n: u64) -> PerpleResult {
         let run = self.runner.run(&self.conversion.perpetual, n);
         let bufs = run.bufs();
-        let target_heuristic = count_heuristic(
+        let target_heuristic = count_heuristic_parallel(
             std::slice::from_ref(&self.conversion.target_heuristic),
             &bufs,
             n,
+            self.workers,
         );
-        let target_exhaustive = count_exhaustive(
+        let target_exhaustive = count_exhaustive_parallel(
             std::slice::from_ref(&self.conversion.target_exhaustive),
             &bufs,
             n,
             self.exhaustive_frame_cap,
+            self.workers,
         );
         PerpleResult { run, target_heuristic, target_exhaustive }
     }
@@ -142,10 +158,11 @@ impl Perple {
     pub fn run_heuristic_only(&mut self, n: u64) -> (PerpleRun, CountResult) {
         let run = self.runner.run(&self.conversion.perpetual, n);
         let bufs = run.bufs();
-        let count = count_heuristic(
+        let count = count_heuristic_parallel(
             std::slice::from_ref(&self.conversion.target_heuristic),
             &bufs,
             n,
+            self.workers,
         );
         (run, count)
     }
@@ -214,6 +231,20 @@ mod tests {
             assert_eq!(r.target_heuristic.counts[0], 0, "{name} (heuristic)");
             assert_eq!(r.target_exhaustive.counts[0], 0, "{name} (exhaustive)");
         }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_engine_results() {
+        let mut serial = Perple::with_config(
+            &suite::sb(), SimConfig::default().with_seed(9)).unwrap();
+        let mut parallel = Perple::with_config(
+            &suite::sb(), SimConfig::default().with_seed(9)).unwrap();
+        parallel.set_workers(7);
+        let a = serial.run(800);
+        let b = parallel.run(800);
+        assert_eq!(a.target_heuristic.counts, b.target_heuristic.counts);
+        assert_eq!(a.target_exhaustive.counts, b.target_exhaustive.counts);
+        assert_eq!(a.target_exhaustive.evals, b.target_exhaustive.evals);
     }
 
     #[test]

@@ -3,26 +3,23 @@
 //! produce, and the pipeline must catch machines that lie about their
 //! memory model.
 
-use proptest::prelude::*;
-
 use perple::{
     classify, count_exhaustive, count_heuristic, Conversion, PerpleRunner, SimConfig,
 };
 use perple_model::suite;
+use perple_repro::prop::run_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Counters accept arbitrary buffer *contents* (values from the future,
-    /// wrong residues, huge numbers) without panicking, as long as buffer
-    /// shapes are right.
-    #[test]
-    fn counters_never_panic_on_garbage_buffers(
-        name in prop::sample::select(vec!["sb", "mp", "iwp24", "n5", "podwr001", "co-iriw"]),
-        raw in prop::collection::vec(any::<u64>(), 0..200),
-    ) {
-        let test = suite::by_name(name).expect("suite test");
+/// Counters accept arbitrary buffer *contents* (values from the future,
+/// wrong residues, huge numbers) without panicking, as long as buffer
+/// shapes are right.
+#[test]
+fn counters_never_panic_on_garbage_buffers() {
+    let names = ["sb", "mp", "iwp24", "n5", "podwr001", "co-iriw"];
+    run_cases(48, |g| {
+        let test = suite::by_name(*g.choose(&names)).expect("suite test");
         let conv = Conversion::convert(&test).expect("converts");
+        let raw_len = g.below(200);
+        let raw = g.vec_u64(raw_len);
         let reads = test.reads_per_thread();
         // Shape the raw values into per-thread buffers for N iterations.
         let n = 10u64;
@@ -41,9 +38,9 @@ proptest! {
         let h = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n);
         let x = count_exhaustive(
             std::slice::from_ref(&conv.target_exhaustive), &bufs, n, Some(10_000));
-        prop_assert!(h.counts[0] <= n);
-        prop_assert!(x.counts[0] <= x.frames_examined);
-    }
+        assert!(h.counts[0] <= n);
+        assert!(x.counts[0] <= x.frames_examined);
+    });
 }
 
 /// A machine that reorders stores (PSO) while claiming TSO is caught by

@@ -1,0 +1,147 @@
+//! Parallel/serial equivalence suite: for every convertible Table II test,
+//! the frame-sharded parallel counters must be **bit-identical** to their
+//! serial references at every worker count — counts, frames examined,
+//! condition evaluations, and truncation flag. This is the proof obligation
+//! behind `--workers N`: parallelism may only change wall time.
+
+use std::time::Instant;
+
+use perple::{
+    count_exhaustive, count_exhaustive_parallel, count_heuristic,
+    count_heuristic_each, count_heuristic_each_parallel, count_heuristic_parallel,
+    frame_space, Conversion, PerpleRunner, SimConfig, StageTimings,
+};
+use perple_model::suite;
+
+const WORKERS: [usize; 4] = [1, 2, 3, 7];
+
+/// Asserts every merged field matches the serial reference (wall time is
+/// the one field allowed to differ).
+fn assert_identical(serial: &perple::CountResult, parallel: &perple::CountResult, ctx: &str) {
+    assert_eq!(serial.counts, parallel.counts, "{ctx}: counts");
+    assert_eq!(
+        serial.frames_examined, parallel.frames_examined,
+        "{ctx}: frames_examined"
+    );
+    assert_eq!(serial.evals, parallel.evals, "{ctx}: evals");
+    assert_eq!(serial.truncated, parallel.truncated, "{ctx}: truncated");
+}
+
+#[test]
+fn every_convertible_test_counts_identically_at_all_worker_counts() {
+    let n = 120u64;
+    for test in suite::convertible() {
+        let conv = Conversion::convert(&test).expect("convertible suite test");
+        let all = conv.all_outcomes(&test).expect("outcomes");
+        let exh: Vec<_> = all.iter().map(|(o, _)| o.clone()).collect();
+        let heu: Vec<_> = all.iter().map(|(_, h)| h.clone()).collect();
+
+        let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0xEC_0123));
+        let run = runner.run(&conv.perpetual, n);
+        let bufs = run.bufs();
+
+        // Cap T_L = 3 tests so the serial reference stays fast; the cap is
+        // itself part of what must match (a global frame-space prefix).
+        let cap = if bufs.len() >= 3 { Some(200_000) } else { None };
+        let se = count_exhaustive(&exh, &bufs, n, cap);
+        let sh = count_heuristic(&heu, &bufs, n);
+        let sa = count_heuristic_each(&heu, &bufs, n);
+
+        for w in WORKERS {
+            let name = test.name();
+            let pe = count_exhaustive_parallel(&exh, &bufs, n, cap, w);
+            assert_identical(&se, &pe, &format!("{name} exhaustive, workers {w}"));
+            let ph = count_heuristic_parallel(&heu, &bufs, n, w);
+            assert_identical(&sh, &ph, &format!("{name} heuristic, workers {w}"));
+            let pa = count_heuristic_each_parallel(&heu, &bufs, n, w);
+            assert_identical(&sa, &pa, &format!("{name} heuristic-each, workers {w}"));
+        }
+    }
+}
+
+#[test]
+fn truncated_scans_agree_because_the_cap_is_a_global_prefix() {
+    // sb at N = 300 has 90 000 frames; a 10 000-frame cap truncates. A
+    // sharded scan must split the *prefix*, not give each worker its own
+    // cap — this test fails if anyone reintroduces per-worker caps.
+    let test = suite::sb();
+    let conv = Conversion::convert(&test).expect("converts");
+    let n = 300u64;
+    let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0x7C));
+    let run = runner.run(&conv.perpetual, n);
+    let bufs = run.bufs();
+    let outcomes = std::slice::from_ref(&conv.target_exhaustive);
+
+    for cap in [0u64, 1, 9_999, 10_000, 90_000, 90_001] {
+        let se = count_exhaustive(outcomes, &bufs, n, Some(cap));
+        assert_eq!(se.truncated, cap < 90_000, "cap {cap}");
+        for w in WORKERS {
+            let pe = count_exhaustive_parallel(outcomes, &bufs, n, Some(cap), w);
+            assert_identical(&se, &pe, &format!("sb cap {cap}, workers {w}"));
+        }
+    }
+}
+
+#[test]
+fn three_load_thread_tests_shard_the_cubic_frame_space_identically() {
+    // podwr001 has T_L = 3: the N^3 space exercises the base-N seek with
+    // more than one digit, where an off-by-one in frame_at corrupts whole
+    // shards rather than single frames.
+    let test = suite::by_name("podwr001").expect("suite test");
+    let conv = Conversion::convert(&test).expect("converts");
+    let all = conv.all_outcomes(&test).expect("outcomes");
+    let exh: Vec<_> = all.iter().map(|(o, _)| o.clone()).collect();
+
+    let n = 40u64;
+    let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0x3D));
+    let run = runner.run(&conv.perpetual, n);
+    let bufs = run.bufs();
+    assert_eq!(bufs.len(), 3);
+    assert_eq!(frame_space(n, 3), 64_000);
+
+    let se = count_exhaustive(&exh, &bufs, n, None);
+    assert_eq!(se.frames_examined, 64_000);
+    for w in [1usize, 2, 3, 7, 13, 64] {
+        let pe = count_exhaustive_parallel(&exh, &bufs, n, None, w);
+        assert_identical(&se, &pe, &format!("podwr001, workers {w}"));
+    }
+}
+
+#[test]
+fn parallel_smoke_run_writes_stage_timings() {
+    // End-to-end smoke of the parallel path under tier-1 `cargo test`:
+    // convert, run, and count sb with a multi-worker counter, then record
+    // the stage walls as the JSON the experiments emit.
+    let test = suite::sb();
+    let n = 400u64;
+
+    let t0 = Instant::now();
+    let conv = Conversion::convert(&test).expect("converts");
+    let convert = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0x50_0BE5));
+    let run = runner.run(&conv.perpetual, n);
+    let run_wall = t1.elapsed();
+    let bufs = run.bufs();
+
+    let workers = 4usize;
+    let t2 = Instant::now();
+    let serial = count_exhaustive(
+        std::slice::from_ref(&conv.target_exhaustive), &bufs, n, None);
+    let serial_wall = t2.elapsed();
+    let t3 = Instant::now();
+    let parallel = count_exhaustive_parallel(
+        std::slice::from_ref(&conv.target_exhaustive), &bufs, n, None, workers);
+    let count = t3.elapsed();
+    assert_identical(&serial, &parallel, "smoke");
+
+    let timings = StageTimings { convert, run: run_wall, count, count_workers: workers };
+    let json = format!(
+        "{{\"test\":\"sb\",\"n\":{n},\"serial_count_us\":{},\"stages\":{}}}\n",
+        serial_wall.as_micros(),
+        timings.to_json()
+    );
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/parallel_smoke.json", json).expect("write smoke report");
+}

@@ -1,44 +1,54 @@
 //! Robustness properties: the parser never panics on arbitrary input, the
 //! simulator only ever produces attributable values, counters respect their
-//! algorithmic invariants, and the generator's tests round-trip.
+//! algorithmic invariants (serial and parallel), and the generator's tests
+//! round-trip. Runs on the in-repo [`perple_repro::prop`] harness.
 
-use proptest::prelude::*;
-
-use perple::{count_exhaustive, count_heuristic, Conversion, PerpleRunner, SimConfig};
+use perple::{
+    count_exhaustive, count_exhaustive_parallel, count_heuristic,
+    count_heuristic_each, count_heuristic_each_parallel, count_heuristic_parallel,
+    frame_at, frame_index, frame_space, Conversion, PerpleRunner, SimConfig,
+};
 use perple_convert::KMap;
 use perple_model::{generate, parser, printer, suite};
+use perple_repro::prop::run_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(input in ".{0,300}") {
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    run_cases(64, |g| {
+        let input = g.arbitrary_text(300);
         let _ = parser::parse(&input);
-    }
+    });
+}
 
-    #[test]
-    fn parser_never_panics_on_litmus_shaped_garbage(
-        name in "[a-z]{1,8}",
-        cell in "(MOV|XCHG|MFENCE|QQQ) ?(\\[[xy]\\])?,?(\\$?[0-9]{1,3}|E[A-D]X)?",
-    ) {
+#[test]
+fn parser_never_panics_on_litmus_shaped_garbage() {
+    let ops = ["MOV", "XCHG", "MFENCE", "QQQ"];
+    let addrs = ["", "[x]", "[y]"];
+    let vals = ["", "$1", "$255", "EAX", "EBX", "ECX", "EDX"];
+    run_cases(64, |g| {
+        let name_len = 1 + g.below(8);
+        let name = g.string_from("abcdefghijklmnopqrstuvwxyz", name_len);
+        let cell = format!(
+            "{} {},{}",
+            g.choose(&ops),
+            g.choose(&addrs),
+            g.choose(&vals)
+        );
         let src = format!(
             "X86 {name}\n{{ x=0; }}\n P0 | P1 ;\n {cell} | {cell} ;\nexists (0:EAX=0)"
         );
         let _ = parser::parse(&src);
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn simulated_values_are_always_attributable(
-        seed in any::<u64>(),
-        test_idx in 0usize..34,
-    ) {
-        // Every non-zero loaded value must decode into some store's
-        // sequence — the uniqueness property the whole analysis rests on.
-        let test = &suite::convertible()[test_idx];
+#[test]
+fn simulated_values_are_always_attributable() {
+    // Every non-zero loaded value must decode into some store's
+    // sequence — the uniqueness property the whole analysis rests on.
+    run_cases(16, |g| {
+        let tests = suite::convertible();
+        let test = g.choose(&tests);
+        let seed = g.u64();
         let conv = Conversion::convert(test).expect("suite test converts");
         let kmap = KMap::compute(test).expect("kmap");
         let n = 150u64;
@@ -60,10 +70,9 @@ proptest! {
                         continue;
                     }
                     let attributable = kmap.assignments_for(slot.loc).iter().any(|asg| {
-                        KMap::decode(asg.k, asg.a, val)
-                            .is_some_and(|m| m < n)
+                        KMap::decode(asg.k, asg.a, val).is_some_and(|m| m < n)
                     });
-                    prop_assert!(
+                    assert!(
                         attributable,
                         "{}: unattributable value {val} at load slot {}",
                         test.name(),
@@ -72,14 +81,15 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn else_if_chains_count_at_most_one_outcome_per_frame(
-        seed in any::<u64>(),
-        name in prop::sample::select(vec!["sb", "lb", "amd3", "podwr001", "iwp24"]),
-    ) {
-        let test = suite::by_name(name).expect("suite test");
+#[test]
+fn else_if_chains_count_at_most_one_outcome_per_frame() {
+    let names = ["sb", "lb", "amd3", "podwr001", "iwp24"];
+    run_cases(16, |g| {
+        let test = suite::by_name(*g.choose(&names)).expect("suite test");
+        let seed = g.u64();
         let conv = Conversion::convert(&test).expect("converts");
         let all = conv.all_outcomes(&test).expect("outcomes");
         let n = 60u64;
@@ -89,19 +99,20 @@ proptest! {
 
         let exh: Vec<_> = all.iter().map(|(o, _)| o.clone()).collect();
         let re = count_exhaustive(&exh, &bufs, n, Some(1_000_000));
-        prop_assert!(re.total() <= re.frames_examined);
+        assert!(re.total() <= re.frames_examined);
 
         let heu: Vec<_> = all.iter().map(|(_, h)| h.clone()).collect();
         let rh = count_heuristic(&heu, &bufs, n);
-        prop_assert!(rh.total() <= n);
-    }
+        assert!(rh.total() <= n);
+    });
+}
 
-    #[test]
-    fn traced_runs_are_bit_identical_to_untraced_runs(
-        seed in any::<u64>(),
-        name in prop::sample::select(vec!["sb", "mp", "iriw"]),
-    ) {
-        let test = suite::by_name(name).expect("suite test");
+#[test]
+fn traced_runs_are_bit_identical_to_untraced_runs() {
+    let names = ["sb", "mp", "iriw"];
+    run_cases(16, |g| {
+        let test = suite::by_name(*g.choose(&names)).expect("suite test");
+        let seed = g.u64();
         let conv = Conversion::convert(&test).expect("converts");
         let specs = perple_harness::perpetual::thread_specs(&conv.perpetual, 80);
         let mut m1 = perple_sim::Machine::new(SimConfig::default().with_seed(seed));
@@ -109,19 +120,111 @@ proptest! {
         let mut m2 = perple_sim::Machine::new(SimConfig::default().with_seed(seed));
         let mut trace = perple_sim::Trace::with_capacity(64);
         let traced = m2.run_traced(&specs, test.location_count(), &mut trace);
-        prop_assert_eq!(plain, traced);
-    }
+        assert_eq!(plain, traced);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn generated_tests_roundtrip_through_text(idx in 0usize..60) {
+#[test]
+fn generated_tests_roundtrip_through_text() {
+    run_cases(32, |g| {
         let family = generate::generate_family(4);
-        let test = &family[idx % family.len()];
+        let test = g.choose(&family);
         let text = printer::print(test);
         let back = parser::parse(&text).expect("generated test reparses");
-        prop_assert_eq!(test, &back);
-    }
+        assert_eq!(test, &back);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-counter properties: random outcome sets, buffers, and worker
+// counts must leave every counter bit-identical to its serial reference.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parallel_counters_match_serial_for_arbitrary_worker_counts() {
+    let names = ["sb", "mp", "amd3", "iwp24", "podwr001", "n5"];
+    run_cases(24, |g| {
+        let test = suite::by_name(*g.choose(&names)).expect("suite test");
+        let conv = Conversion::convert(&test).expect("converts");
+        let all = conv.all_outcomes(&test).expect("outcomes");
+        let exh: Vec<_> = all.iter().map(|(o, _)| o.clone()).collect();
+        let heu: Vec<_> = all.iter().map(|(_, h)| h.clone()).collect();
+
+        // Random buffers: garbage values are fine — the counters must be
+        // sound on any input, and equality must hold regardless.
+        let n = 1 + g.range_u64(0, 40);
+        let reads = test.reads_per_thread();
+        let bufs_owned: Vec<Vec<u64>> = test
+            .load_threads()
+            .iter()
+            .map(|lt| {
+                let want = reads[lt.index()] * n as usize;
+                (0..want).map(|_| g.range_u64(0, 2 * n + 2)).collect()
+            })
+            .collect();
+        let bufs: Vec<&[u64]> = bufs_owned.iter().map(Vec::as_slice).collect();
+
+        let cap = match g.below(3) {
+            0 => None,
+            1 => Some(g.range_u64(0, frame_space(n, bufs.len()) + 2)),
+            _ => Some(g.range_u64(0, 50)),
+        };
+        let workers = 1 + g.below(12);
+
+        let se = count_exhaustive(&exh, &bufs, n, cap);
+        let pe = count_exhaustive_parallel(&exh, &bufs, n, cap, workers);
+        assert_eq!(se.counts, pe.counts, "exhaustive counts, workers {workers}");
+        assert_eq!(se.frames_examined, pe.frames_examined);
+        assert_eq!(se.evals, pe.evals);
+        assert_eq!(se.truncated, pe.truncated);
+
+        let sh = count_heuristic(&heu, &bufs, n);
+        let ph = count_heuristic_parallel(&heu, &bufs, n, workers);
+        assert_eq!(sh.counts, ph.counts, "heuristic counts, workers {workers}");
+        assert_eq!(sh.evals, ph.evals);
+
+        let sa = count_heuristic_each(&heu, &bufs, n);
+        let pa = count_heuristic_each_parallel(&heu, &bufs, n, workers);
+        assert_eq!(sa.counts, pa.counts, "each counts, workers {workers}");
+        assert_eq!(sa.evals, pa.evals);
+
+        // Σ counts ≤ frames must survive the merge (else-if counters).
+        assert!(pe.total() <= pe.frames_examined);
+        assert!(ph.total() <= ph.frames_examined);
+    });
+}
+
+#[test]
+fn frame_seek_round_trips_against_the_serial_odometer() {
+    run_cases(32, |g| {
+        let n = 1 + g.range_u64(0, 9);
+        let tl = 1 + g.below(3);
+        let total = frame_space(n, tl);
+
+        // The serial odometer, stepped from zero, must visit exactly
+        // frame_at(0), frame_at(1), ... — and frame_index must invert.
+        let mut frame = vec![0u64; tl];
+        for index in 0..total.min(200) {
+            assert_eq!(frame_at(index, n, tl), frame, "index {index} n {n} tl {tl}");
+            assert_eq!(frame_index(&frame, n), index);
+            let mut pos = tl;
+            loop {
+                if pos == 0 {
+                    break;
+                }
+                pos -= 1;
+                frame[pos] += 1;
+                if frame[pos] < n {
+                    break;
+                }
+                frame[pos] = 0;
+            }
+        }
+
+        // Random mid-space probes round-trip too.
+        for _ in 0..20 {
+            let index = g.range_u64(0, total);
+            assert_eq!(frame_index(&frame_at(index, n, tl), n), index);
+        }
+    });
 }
