@@ -5,6 +5,12 @@
 use std::time::{Duration, Instant};
 
 use perple_convert::{HeuristicOutcome, PerpetualOutcome};
+use perple_sim::Budget;
+
+/// Frames between watchdog polls in the budgeted exhaustive scan; with a
+/// deterministic poll-limit [`Budget`] the scan truncates at an exact
+/// multiple of this interval on every machine.
+const EXHAUSTIVE_POLL_INTERVAL: u64 = 1024;
 
 /// Result of one counting pass.
 ///
@@ -30,6 +36,10 @@ pub struct CountResult {
     pub wall: Duration,
     /// True if a frame cap truncated the exhaustive scan.
     pub truncated: bool,
+    /// True if a watchdog [`Budget`] expired mid-scan (budgeted counters
+    /// only). The partial result counts exactly the frames/pivots scanned
+    /// before the cutoff — a prefix of the untruncated scan.
+    pub budget_expired: bool,
 }
 
 impl CountResult {
@@ -63,12 +73,39 @@ pub fn count_exhaustive(
     n: u64,
     frame_cap: Option<u64>,
 ) -> CountResult {
+    count_exhaustive_impl(outcomes, bufs, n, frame_cap, None)
+}
+
+/// [`count_exhaustive`] under a watchdog [`Budget`], polled every
+/// [`EXHAUSTIVE_POLL_INTERVAL`] frames. An expired budget stops the scan
+/// with [`CountResult::budget_expired`] set; the partial result is exactly
+/// what [`count_exhaustive`] with a `frame_cap` at the cutoff would return
+/// (the scanned prefix of the odometer order), so budgeted counts are
+/// always a prefix-truncation of unbudgeted counts.
+pub fn count_exhaustive_budgeted(
+    outcomes: &[PerpetualOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+    frame_cap: Option<u64>,
+    budget: &Budget,
+) -> CountResult {
+    count_exhaustive_impl(outcomes, bufs, n, frame_cap, Some(budget))
+}
+
+fn count_exhaustive_impl(
+    outcomes: &[PerpetualOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+    frame_cap: Option<u64>,
+    budget: Option<&Budget>,
+) -> CountResult {
     let start = Instant::now();
     let tl = bufs.len();
     let mut counts = vec![0u64; outcomes.len()];
     let mut frames: u64 = 0;
     let mut evals: u64 = 0;
     let mut truncated = false;
+    let mut budget_expired = false;
 
     if n > 0 && !outcomes.is_empty() {
         let mut frame = vec![0u64; tl];
@@ -76,6 +113,12 @@ pub fn count_exhaustive(
             if let Some(cap) = frame_cap {
                 if frames >= cap {
                     truncated = true;
+                    break 'scan;
+                }
+            }
+            if let Some(b) = budget {
+                if frames.is_multiple_of(EXHAUSTIVE_POLL_INTERVAL) && b.expired() {
+                    budget_expired = true;
                     break 'scan;
                 }
             }
@@ -103,7 +146,14 @@ pub fn count_exhaustive(
         }
     }
 
-    CountResult { counts, frames_examined: frames, evals, wall: start.elapsed(), truncated }
+    CountResult {
+        counts,
+        frames_examined: frames,
+        evals,
+        wall: start.elapsed(),
+        truncated,
+        budget_expired,
+    }
 }
 
 /// The linear heuristic outcome counter `COUNTH` (Algorithm 2).
@@ -115,10 +165,42 @@ pub fn count_heuristic(
     bufs: &[&[u64]],
     n: u64,
 ) -> CountResult {
+    count_heuristic_impl(outcomes, bufs, n, None)
+}
+
+/// [`count_heuristic`] under a watchdog [`Budget`], polled once per pivot.
+/// An expired budget stops the scan with [`CountResult::budget_expired`]
+/// set; the partial result counts exactly the scanned pivot prefix
+/// `0 .. frames_examined`, identically to the unbudgeted counter over that
+/// prefix.
+pub fn count_heuristic_budgeted(
+    outcomes: &[HeuristicOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+    budget: &Budget,
+) -> CountResult {
+    count_heuristic_impl(outcomes, bufs, n, Some(budget))
+}
+
+fn count_heuristic_impl(
+    outcomes: &[HeuristicOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+    budget: Option<&Budget>,
+) -> CountResult {
     let start = Instant::now();
     let mut counts = vec![0u64; outcomes.len()];
     let mut evals: u64 = 0;
+    let mut pivots: u64 = 0;
+    let mut budget_expired = false;
     for i in 0..n {
+        if let Some(b) = budget {
+            if b.expired() {
+                budget_expired = true;
+                break;
+            }
+        }
+        pivots += 1;
         for (o, h) in outcomes.iter().enumerate() {
             evals += 1;
             if h.eval(i, bufs, n) {
@@ -129,10 +211,11 @@ pub fn count_heuristic(
     }
     CountResult {
         counts,
-        frames_examined: n,
+        frames_examined: pivots,
         evals,
         wall: start.elapsed(),
         truncated: false,
+        budget_expired,
     }
 }
 
@@ -164,6 +247,7 @@ pub fn count_heuristic_each(
         evals,
         wall: start.elapsed(),
         truncated: false,
+        budget_expired: false,
     }
 }
 
@@ -333,7 +417,7 @@ fn merge_partials(
         counts.iter().sum::<u64>() <= frames_examined,
         "else-if chain counted more than one outcome for some frame"
     );
-    CountResult { counts, frames_examined, evals, wall, truncated }
+    CountResult { counts, frames_examined, evals, wall, truncated, budget_expired: false }
 }
 
 /// Parallel [`count_exhaustive`]: partitions the `N^{T_L}` frame space
@@ -386,6 +470,9 @@ pub fn count_exhaustive_parallel(
                 .collect();
             handles
                 .into_iter()
+                // Invariant assertion, not error handling: the scan
+                // closures are pure reads over shared slices and cannot
+                // panic; a join failure is a harness bug worth crashing on.
                 .map(|h| h.join().expect("counter worker panicked"))
                 .collect()
         })
@@ -461,6 +548,9 @@ fn count_heuristic_sharded(
                 .collect();
             handles
                 .into_iter()
+                // Invariant assertion, not error handling: the scan
+                // closures are pure reads over shared slices and cannot
+                // panic; a join failure is a harness bug worth crashing on.
                 .map(|h| h.join().expect("counter worker panicked"))
                 .collect()
         })
@@ -755,6 +845,91 @@ mod tests {
         assert!(!par.truncated, "degenerate scans never truncate");
         let no_outcomes = count_exhaustive_parallel(&[], &bufs, 5, None, 4);
         assert_eq!(no_outcomes.frames_examined, 0);
+    }
+
+    #[test]
+    fn budgeted_counters_with_unlimited_budget_match_unbudgeted() {
+        let f = sb_fixture();
+        let exh: Vec<PerpetualOutcome> = f.all.iter().map(|(o, _)| o.clone()).collect();
+        let heu: Vec<HeuristicOutcome> = f.all.iter().map(|(_, h)| h.clone()).collect();
+        let (b0, b1) = lockstep_bufs(25);
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let b = Budget::unlimited();
+        let re = count_exhaustive_budgeted(&exh, &bufs, 25, None, &b);
+        let re_plain = count_exhaustive(&exh, &bufs, 25, None);
+        assert_eq!(re.counts, re_plain.counts);
+        assert_eq!(re.frames_examined, re_plain.frames_examined);
+        assert!(!re.budget_expired);
+        let rh = count_heuristic_budgeted(&heu, &bufs, 25, &b);
+        let rh_plain = count_heuristic(&heu, &bufs, 25);
+        assert_eq!(rh.counts, rh_plain.counts);
+        assert_eq!(rh.frames_examined, 25);
+        assert!(!rh.budget_expired);
+    }
+
+    #[test]
+    fn budgeted_exhaustive_truncates_at_the_poll_boundary() {
+        let f = sb_fixture();
+        let exh: Vec<PerpetualOutcome> = f.all.iter().map(|(o, _)| o.clone()).collect();
+        let n = 64u64; // 4096-frame space = 4 poll intervals
+        let b0: Vec<u64> = (0..n).map(|i| (i * 5 + 2) % (n + 1)).collect();
+        let b1: Vec<u64> = (0..n).map(|i| (i * 3) % (n + 1)).collect();
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        // One allowed poll: the scan covers exactly one poll interval.
+        let b = Budget::with_poll_limit(1);
+        let part = count_exhaustive_budgeted(&exh, &bufs, n, None, &b);
+        assert!(part.budget_expired);
+        assert_eq!(part.frames_examined, EXHAUSTIVE_POLL_INTERVAL);
+        // The partial result equals a frame-capped scan at the cutoff.
+        let capped = count_exhaustive(&exh, &bufs, n, Some(part.frames_examined));
+        assert_eq!(part.counts, capped.counts);
+        assert_eq!(part.evals, capped.evals);
+    }
+
+    #[test]
+    fn budgeted_heuristic_counts_are_a_pivot_prefix() {
+        let f = sb_fixture();
+        let heu: Vec<HeuristicOutcome> = f.all.iter().map(|(_, h)| h.clone()).collect();
+        let n = 50u64;
+        let b0: Vec<u64> = (0..n).map(|i| (i * 7 + 1) % (n + 1)).collect();
+        let b1: Vec<u64> = (0..n).map(|i| (i * 13) % (n + 1)).collect();
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let full = count_heuristic(&heu, &bufs, n);
+        let b = Budget::with_poll_limit(20);
+        let part = count_heuristic_budgeted(&heu, &bufs, n, &b);
+        assert!(part.budget_expired);
+        assert_eq!(part.frames_examined, 20, "one poll per pivot");
+        // Prefix property: recount the scanned prefix serially.
+        let mut prefix = vec![0u64; heu.len()];
+        for i in 0..20 {
+            for (o, h) in heu.iter().enumerate() {
+                if h.eval(i, &bufs, n) {
+                    prefix[o] += 1;
+                    break;
+                }
+            }
+        }
+        assert_eq!(part.counts, prefix);
+        for (p, f) in part.counts.iter().zip(&full.counts) {
+            assert!(p <= f, "truncated counts can never exceed full counts");
+        }
+    }
+
+    #[test]
+    fn expired_budget_yields_empty_counts() {
+        let f = sb_fixture();
+        let exh: Vec<PerpetualOutcome> = f.all.iter().map(|(o, _)| o.clone()).collect();
+        let heu: Vec<HeuristicOutcome> = f.all.iter().map(|(_, h)| h.clone()).collect();
+        let (b0, b1) = lockstep_bufs(10);
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let b = Budget::with_poll_limit(0);
+        let re = count_exhaustive_budgeted(&exh, &bufs, 10, None, &b);
+        assert!(re.budget_expired);
+        assert_eq!(re.frames_examined, 0);
+        assert_eq!(re.total(), 0);
+        let rh = count_heuristic_budgeted(&heu, &bufs, 10, &b);
+        assert!(rh.budget_expired);
+        assert_eq!(rh.total(), 0);
     }
 
     #[test]

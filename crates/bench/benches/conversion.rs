@@ -21,7 +21,7 @@ fn main() {
         bench.run("convert/whole_suite", || {
             tests
                 .iter()
-                .map(|t| Conversion::convert(std::hint::black_box(t)).expect("converts"))
+                .filter(|t| Conversion::convert(std::hint::black_box(t)).is_ok())
                 .count()
         });
     }

@@ -6,8 +6,8 @@
 //! frame-sharded parallel), the simulator, conversion, and the baseline
 //! synchronization modes.
 //!
-//! Every binary accepts `--iterations N`, `--seed S`, and `--workers W`
-//! overrides, e.g.:
+//! Every binary accepts `--iterations N`, `--seed S`, `--workers W`,
+//! `--timeout-ms T`, `--retries R`, and `--inject PLAN` overrides, e.g.:
 //!
 //! ```text
 //! cargo run --release -p perple-bench --bin fig9 -- --iterations 10000 --workers 8
@@ -17,12 +17,13 @@
 #![warn(missing_docs)]
 
 use perple::experiments::ExperimentConfig;
+use perple::FaultPlan;
 
 pub mod micro;
 
-/// Parses `--iterations N`, `--seed S`, and `--workers W` from the command
-/// line on top of the given defaults. Unknown arguments are rejected with a
-/// usage message.
+/// Parses `--iterations N`, `--seed S`, `--workers W`, `--timeout-ms T`,
+/// `--retries R`, and `--inject PLAN` from the command line on top of the
+/// given defaults. Unknown arguments are rejected with a usage message.
 ///
 /// # Panics
 /// Exits the process with a usage message on malformed arguments.
@@ -30,7 +31,10 @@ pub fn config_from_args(default_iterations: u64) -> ExperimentConfig {
     parse_args(std::env::args().skip(1), default_iterations)
         .unwrap_or_else(|msg| {
             eprintln!("{msg}");
-            eprintln!("usage: <bin> [--iterations N] [--seed S] [--workers W]");
+            eprintln!(
+                "usage: <bin> [--iterations N] [--seed S] [--workers W] \
+                 [--timeout-ms T] [--retries R] [--inject PLAN]"
+            );
             std::process::exit(2);
         })
 }
@@ -59,6 +63,23 @@ fn parse_args<I: Iterator<Item = String>>(
                     return Err("--workers must be at least 1".into());
                 }
                 cfg = cfg.with_workers(w);
+            }
+            "--timeout-ms" => {
+                let v = args.next().ok_or("missing value for --timeout-ms")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad timeout {v:?}"))?;
+                if ms == 0 {
+                    return Err("--timeout-ms must be at least 1".into());
+                }
+                cfg.timeout_ms = Some(ms);
+            }
+            "--retries" => {
+                let v = args.next().ok_or("missing value for --retries")?;
+                cfg.retries = v.parse().map_err(|_| format!("bad retry count {v:?}"))?;
+            }
+            "--inject" => {
+                let v = args.next().ok_or("missing value for --inject")?;
+                cfg.fault_plan =
+                    FaultPlan::parse(&v).map_err(|e| format!("bad --inject plan: {e}"))?;
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -96,6 +117,20 @@ mod tests {
         assert_eq!(cfg.parallelism.counter_workers, 6);
         assert!(parse(&["--workers", "0"], 100).is_err());
         assert!(parse(&["-w", "zero"], 100).is_err());
+    }
+
+    #[test]
+    fn resilience_flags_apply() {
+        let cfg = parse(
+            &["--timeout-ms", "250", "--retries", "2", "--inject", "drop@t0:0..100:p0.5"],
+            100,
+        )
+        .unwrap();
+        assert_eq!(cfg.timeout_ms, Some(250));
+        assert_eq!(cfg.retries, 2);
+        assert!(!cfg.fault_plan.is_empty());
+        assert!(parse(&["--timeout-ms", "0"], 1).is_err());
+        assert!(parse(&["--inject", "bogus"], 1).is_err());
     }
 
     #[test]

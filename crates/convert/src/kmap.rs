@@ -50,7 +50,7 @@ impl KMap {
     pub fn compute(test: &LitmusTest) -> Result<Self, ConvertError> {
         let mut k_per_loc = vec![0u64; test.location_count()];
         let mut by_value = BTreeMap::new();
-        for loc_idx in 0..test.location_count() {
+        for (loc_idx, k_slot) in k_per_loc.iter_mut().enumerate() {
             let loc = LocId(loc_idx as u8);
             if test.init(loc) != 0 {
                 return Err(ConvertError::NonZeroInit {
@@ -59,7 +59,7 @@ impl KMap {
             }
             let values = test.distinct_store_values(loc);
             let k = values.len() as u64;
-            k_per_loc[loc_idx] = k;
+            *k_slot = k;
             for (i, v) in values.iter().enumerate() {
                 let instr = test.unique_store_of(loc, *v).ok_or_else(|| {
                     ConvertError::DuplicateStoreValue {
@@ -111,7 +111,7 @@ impl KMap {
             return None;
         }
         let d = val - a;
-        if d % k == 0 {
+        if d.is_multiple_of(k) {
             Some(d / k)
         } else {
             None

@@ -391,8 +391,7 @@ pub(crate) fn fr_lower_bound(k: u64, a: u64, val: u64) -> u64 {
 pub(crate) fn last_load_of(slots: &[LoadSlot], t: ThreadId, r: RegId) -> Option<LoadSlot> {
     slots
         .iter()
-        .filter(|s| s.thread == t && s.reg == r)
-        .last()
+        .rfind(|s| s.thread == t && s.reg == r)
         .copied()
 }
 

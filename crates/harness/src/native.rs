@@ -91,6 +91,9 @@ pub fn run_perpetual(perp: &PerpetualTest, n: u64) -> NativeRun {
             .collect();
         bufs_by_thread = handles
             .into_iter()
+            // Invariant assertion, not error handling: the thread body is
+            // arithmetic stores into a pre-sized Vec and cannot panic; a
+            // join failure is a harness bug worth crashing on.
             .map(|h| h.join().expect("perpetual thread panicked"))
             .collect();
     });
@@ -274,6 +277,9 @@ pub fn run_baseline(test: &LitmusTest, mode: SyncMode, n: u64) -> NativeBaseline
             .collect();
         bufs_by_thread = handles
             .into_iter()
+            // Invariant assertion, not error handling: the thread body is
+            // arithmetic stores into a pre-sized Vec and cannot panic; a
+            // join failure is a harness bug worth crashing on.
             .map(|h| h.join().expect("baseline thread panicked"))
             .collect();
     });

@@ -1,7 +1,7 @@
 //! The PerpLE Harness on the simulated substrate (§V-B).
 
 use perple_convert::{PerpInstr, PerpetualTest};
-use perple_sim::{Addr, Machine, SimConfig, SimOp, ThreadSpec, ValExpr};
+use perple_sim::{Addr, Budget, Machine, SimConfig, SimOp, ThreadSpec, ValExpr};
 
 /// Result of one perpetual run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,8 +13,16 @@ pub struct PerpleRun {
     /// Simulated execution cycles (launch to last drain); perpetual tests
     /// pay no per-iteration synchronization.
     pub exec_cycles: u64,
-    /// Iterations executed per thread.
+    /// Iterations executed per thread. For a budget-truncated run this is
+    /// the number of **complete** iterations retained in `frame_bufs`
+    /// (buffers are trimmed to whole frames, so the counters stay valid).
     pub iterations: u64,
+    /// Number of injected machine faults (see `perple_sim::FaultPlan`).
+    pub faults: u64,
+    /// False iff the run's watchdog budget expired before all requested
+    /// iterations finished; `frame_bufs` then hold a prefix of the full
+    /// run's records, trimmed to `iterations` whole frames.
+    pub complete: bool,
 }
 
 impl PerpleRun {
@@ -46,17 +54,63 @@ impl PerpleRunner {
     pub fn run(&mut self, perp: &PerpetualTest, n: u64) -> PerpleRun {
         let specs = thread_specs(perp, n);
         let out = self.machine.run(&specs, perp.locations().len());
-        let exec_cycles = out.cycles;
+        Self::collect(perp, &specs, out, n)
+    }
 
-        // Select the load-performing threads' buffers in frame order.
+    /// Like [`PerpleRunner::run`] but under a watchdog [`Budget`]. If the
+    /// budget expires mid-run, the machine stops at its next poll and the
+    /// partial buffers are trimmed to the largest number of iterations
+    /// **every** load thread completed, so every retained frame is whole;
+    /// [`PerpleRun::complete`] is false and [`PerpleRun::iterations`]
+    /// reports the trimmed count. Execution up to the cutoff is identical
+    /// to the unbudgeted run, so trimmed buffers are exact prefixes.
+    pub fn run_budgeted(&mut self, perp: &PerpetualTest, n: u64, budget: &Budget) -> PerpleRun {
+        let specs = thread_specs(perp, n);
+        let out = self.machine.run_budgeted(&specs, perp.locations().len(), budget);
+        Self::collect(perp, &specs, out, n)
+    }
+
+    /// Selects the load-performing threads' buffers in frame order and, for
+    /// incomplete runs, trims them to whole iterations.
+    fn collect(
+        perp: &PerpetualTest,
+        specs: &[ThreadSpec],
+        out: perple_sim::RunOutput,
+        n: u64,
+    ) -> PerpleRun {
+        let exec_cycles = out.cycles;
         let mut all: Vec<Option<Vec<u64>>> = out.bufs.into_iter().map(Some).collect();
-        let frame_bufs = perp
+        let mut frame_bufs: Vec<Vec<u64>> = perp
             .load_threads()
             .iter()
+            // Invariant: load-thread indices are unique and in-range by
+            // construction of the perpetual test, so each take() hits a
+            // still-occupied slot.
             .map(|t| all[t.index()].take().expect("one buf per thread"))
             .collect();
 
-        PerpleRun { frame_bufs, exec_cycles, iterations: n }
+        let iterations = if out.complete {
+            n
+        } else {
+            // Whole iterations completed by every load thread.
+            let m = perp
+                .load_threads()
+                .iter()
+                .zip(&frame_bufs)
+                .map(|(t, buf)| {
+                    let reads = specs[t.index()].records_per_iteration() as u64;
+                    (buf.len() as u64).checked_div(reads).unwrap_or(n)
+                })
+                .min()
+                .unwrap_or(0);
+            for (t, buf) in perp.load_threads().iter().zip(frame_bufs.iter_mut()) {
+                let reads = specs[t.index()].records_per_iteration() as u64;
+                buf.truncate((m * reads) as usize);
+            }
+            m
+        };
+
+        PerpleRun { frame_bufs, exec_cycles, iterations, faults: out.faults, complete: out.complete }
     }
 }
 
@@ -178,6 +232,37 @@ mod tests {
                 .filter(|&i| conv.target_heuristic.eval(i, bufs, n))
                 .count() as u64
         }
+    }
+
+    #[test]
+    fn budgeted_run_with_unlimited_budget_matches_plain() {
+        let t = suite::by_name("sb").unwrap();
+        let conv = Conversion::convert(&t).unwrap();
+        let mut a = PerpleRunner::new(SimConfig::default().with_seed(7));
+        let plain = a.run(&conv.perpetual, 300);
+        let mut b = PerpleRunner::new(SimConfig::default().with_seed(7));
+        let budgeted = b.run_budgeted(&conv.perpetual, 300, &Budget::unlimited());
+        assert_eq!(plain, budgeted);
+        assert!(budgeted.complete);
+        assert_eq!(budgeted.iterations, 300);
+    }
+
+    #[test]
+    fn expired_budget_trims_to_whole_iteration_prefix() {
+        let t = suite::by_name("mp").unwrap(); // 2 records per iteration
+        let conv = Conversion::convert(&t).unwrap();
+        let mut a = PerpleRunner::new(SimConfig::default().with_seed(8));
+        let full = a.run(&conv.perpetual, 500);
+        let mut b = PerpleRunner::new(SimConfig::default().with_seed(8));
+        let part = b.run_budgeted(&conv.perpetual, 500, &Budget::with_poll_limit(20));
+        assert!(!part.complete);
+        assert!(part.iterations < 500);
+        assert_eq!(part.frame_bufs[0].len() as u64, part.iterations * 2, "whole frames only");
+        assert_eq!(
+            part.frame_bufs[0].as_slice(),
+            &full.frame_bufs[0][..part.frame_bufs[0].len()],
+            "trimmed buffers must be a prefix of the full run"
+        );
     }
 
     #[test]

@@ -4,15 +4,27 @@
 //! perple classify <test-name | file.litmus>   SC/TSO/PSO classification
 //! perple convert  <test-name | file.litmus>   emit perpetual asm + counters
 //! perple run      <test-name> [-n N] [--seed S] [--weak] [--workers W]
-//! perple audit    [-n N] [--workers W]        whole-suite consistency audit
+//!                 [--timeout-ms T] [--inject PLAN]
+//! perple audit    [-n N] [--workers W] [--timeout-ms T] [--retries R]
+//!                 [--inject PLAN] [--json]    whole-suite consistency audit
 //! perple trace    <test-name> [-n N]          event log of a short run
 //! perple infer    [-n N] [--weak]             infer the machine's relaxations
 //! perple list                                 list the built-in suite
 //! ```
+//!
+//! `--timeout-ms` arms a per-stage watchdog (run and count stages each get
+//! their own budget; expiry yields a partial, flagged result). `--retries`
+//! re-runs failed audit tests with deterministically perturbed seeds.
+//! `--inject` takes a machine fault plan, e.g.
+//! `drop@t0:100..200:p0.5,stuck@*:0..50:c30` (see `FaultPlan::parse`).
 
 use std::process::ExitCode;
 
-use perple::{classify, enumerate, Conversion, MemoryModel, Perple, SimConfig};
+use perple::experiments::resilient::{audit_json, render_audit_text, resilient_audit};
+use perple::experiments::ExperimentConfig;
+use perple::{
+    classify, enumerate, Conversion, FaultPlan, MemoryModel, Perple, PerpleRunner, SimConfig,
+};
 use perple_model::{parser, suite, LitmusTest};
 
 fn main() -> ExitCode {
@@ -32,10 +44,16 @@ fn main() -> ExitCode {
                  classify <test|file>        classification under SC/TSO/PSO\n\
                  convert  <test|file>        emit perpetual artifacts\n\
                  run      <test> [-n N] [--seed S] [--weak] [--workers W]\n\
-                 audit    [-n N] [--workers W]  run the Table II suite\n\
+                 \x20                [--timeout-ms T] [--inject PLAN]\n\
+                 audit    [-n N] [--workers W] [--timeout-ms T] [--retries R]\n\
+                 \x20                [--inject PLAN] [--json]  run the Table II suite\n\
                  trace    <test> [-n N]      event log of a short run\n\
                  infer    [-n N] [--weak]    infer the machine's relaxations\n\
-                 list                        list built-in tests"
+                 list                        list built-in tests\n\
+                 \n\
+                 --timeout-ms T   per-stage watchdog budget (partial results flagged)\n\
+                 --retries R      retry failed audit tests with perturbed seeds\n\
+                 --inject PLAN    machine fault plan, e.g. drop@t0:100..200:p0.5"
             );
             return ExitCode::from(2);
         }
@@ -114,6 +132,28 @@ struct RunFlags {
     /// Counter worker threads (`--workers N`, default: available
     /// parallelism). Counts are identical at every setting.
     workers: usize,
+    /// Per-stage watchdog budget (`--timeout-ms T`); `None` = unlimited.
+    timeout_ms: Option<u64>,
+    /// Retries for failed audit tests (`--retries R`).
+    retries: u32,
+    /// Machine fault-injection plan (`--inject PLAN`).
+    inject: Option<FaultPlan>,
+    /// Emit JSON instead of the text report (`--json`, audit only).
+    json: bool,
+}
+
+impl RunFlags {
+    /// The experiment configuration these flags describe.
+    fn experiment_config(&self) -> ExperimentConfig {
+        ExperimentConfig::default()
+            .with_iterations(self.n)
+            .with_seed(self.seed)
+            .with_workers(self.workers)
+            .with_timeout_ms(self.timeout_ms)
+            .with_retries(self.retries)
+            .with_fault_plan(self.inject.clone().unwrap_or_else(FaultPlan::none))
+            .with_weak_machine(self.weak)
+    }
 }
 
 fn parse_flags(args: &[String]) -> Result<RunFlags, String> {
@@ -122,6 +162,10 @@ fn parse_flags(args: &[String]) -> Result<RunFlags, String> {
         seed: 0xCAFE,
         weak: false,
         workers: perple::default_workers(),
+        timeout_ms: None,
+        retries: 0,
+        inject: None,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -150,6 +194,30 @@ fn parse_flags(args: &[String]) -> Result<RunFlags, String> {
                     return Err("--workers must be at least 1".into());
                 }
             }
+            "--timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("missing value for --timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad timeout: {e}"))?;
+                if ms == 0 {
+                    return Err("--timeout-ms must be at least 1".into());
+                }
+                flags.timeout_ms = Some(ms);
+            }
+            "--retries" => {
+                flags.retries = it
+                    .next()
+                    .ok_or("missing value for --retries")?
+                    .parse()
+                    .map_err(|e| format!("bad retry count: {e}"))?;
+            }
+            "--inject" => {
+                let plan = it.next().ok_or("missing value for --inject")?;
+                flags.inject =
+                    Some(FaultPlan::parse(plan).map_err(|e| format!("bad --inject plan: {e}"))?);
+            }
+            "--json" => flags.json = true,
             "--weak" => flags.weak = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -161,21 +229,46 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let spec = args.first().ok_or("run needs a test name or file")?;
     let test = load_test(spec)?;
     let flags = parse_flags(&args[1..])?;
-    let (n, weak) = (flags.n, flags.weak);
-    let config = SimConfig::default()
-        .with_seed(flags.seed)
-        .with_weak_store_order(weak);
-    let mut engine = Perple::with_config(&test, config).map_err(|e| e.to_string())?;
-    engine.set_workers(flags.workers);
-    let (run, count) = engine.run_heuristic_only(n);
+    let cfg = flags.experiment_config();
+    let conv = Conversion::convert(&test).map_err(|e| e.to_string())?;
+    let mut runner = PerpleRunner::new(cfg.sim_config(flags.seed));
+    let run = runner.run_budgeted(&conv.perpetual, flags.n, &cfg.stage_budget());
+    let n = run.iterations;
+    // The budgeted counter runs serially; --workers keeps the parallel
+    // counter when no watchdog is armed (counts are identical either way).
+    let count = if cfg.timeout_ms.is_some() {
+        perple::count_heuristic_budgeted(
+            std::slice::from_ref(&conv.target_heuristic),
+            &run.bufs(),
+            n,
+            &cfg.stage_budget(),
+        )
+    } else {
+        perple::count_heuristic_parallel(
+            std::slice::from_ref(&conv.target_heuristic),
+            &run.bufs(),
+            n,
+            flags.workers,
+        )
+    };
     println!(
-        "{}: {} iterations in {} simulated cycles{}",
+        "{}: {} iterations in {} simulated cycles{}{}",
         test.name(),
         n,
         run.exec_cycles,
-        if weak { " (weak-store-order machine)" } else { "" }
+        if flags.weak { " (weak-store-order machine)" } else { "" },
+        if run.complete { "" } else { " [truncated by --timeout-ms]" },
     );
+    if run.faults > 0 {
+        println!("machine faults injected: {}", run.faults);
+    }
     println!("target outcome occurrences (heuristic counter): {}", count.counts[0]);
+    if count.budget_expired {
+        println!(
+            "(counting truncated by --timeout-ms: {} of {} frames examined)",
+            count.frames_examined, n
+        );
+    }
     let c = classify(&test);
     if !c.tso_allowed && count.counts[0] > 0 {
         println!("!! TSO-forbidden target observed: the machine violates x86-TSO");
@@ -185,29 +278,29 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
 fn cmd_audit(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    let n = flags.n;
-    let config = SimConfig::default()
-        .with_seed(flags.seed)
-        .with_weak_store_order(flags.weak);
+    let mut cfg = flags.experiment_config();
+    // T_L = 3 suite tests scan N^3 frames exhaustively; cap the scan so the
+    // CLI audit stays interactive (rows degrade to heuristic counts only on
+    // --timeout-ms expiry, the cap just truncates).
+    cfg.exhaustive_frame_cap = Some(1_000_000);
+    let report = resilient_audit(&cfg);
     let mut violations = 0;
-    for test in suite::convertible() {
-        let mut engine =
-            Perple::with_config(&test, config.clone()).map_err(|e| e.to_string())?;
-        engine.set_workers(flags.workers);
-        let (_, count) = engine.run_heuristic_only(n);
-        let c = classify(&test);
-        let status = match (c.tso_allowed, count.counts[0] > 0) {
-            (false, true) => {
+    for (row, test) in report.results.iter().zip(suite::convertible()) {
+        if let Some(r) = row {
+            if !classify(&test).tso_allowed && r.heuristic > 0 {
                 violations += 1;
-                "VIOLATION"
             }
-            (false, false) => "clean",
-            (true, true) => "observed",
-            (true, false) => "quiet",
-        };
-        println!("{:<16} {:>10} {:>12}", test.name(), count.counts[0], status);
+        }
     }
-    println!("{violations} consistency violations");
+    if flags.json {
+        println!("{}", audit_json(&report));
+    } else {
+        print!("{}", render_audit_text(&report));
+        println!(
+            "{violations} consistency violations; {} tests quarantined",
+            report.quarantined().len()
+        );
+    }
     if violations > 0 {
         return Err("the machine under test violates x86-TSO".into());
     }

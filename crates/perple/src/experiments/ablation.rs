@@ -40,6 +40,8 @@ pub fn pivot_ablation(cfg: &ExperimentConfig) -> Vec<PivotAblation> {
     suite::allowed_targets()
         .iter()
         .map(|test| {
+            // Invariant: `allowed_targets()` is a subset of the
+            // convertible suite, so conversion cannot fail.
             let conv = Conversion::convert(test).expect("converts");
             let frame_len = conv.perpetual.load_thread_count();
             let naive = HeuristicOutcome::from_perpetual_with_pivot(
@@ -80,6 +82,7 @@ pub struct DrainSweepPoint {
 /// Sweeps the store-buffer drain probability on the sb test.
 pub fn drain_sweep(cfg: &ExperimentConfig) -> Vec<DrainSweepPoint> {
     let test = suite::sb();
+    // Invariant: sb is the paper's canonical convertible test.
     let conv = Conversion::convert(&test).expect("converts");
     [0.05, 0.15, 0.35, 0.6, 0.9]
         .iter()
@@ -114,6 +117,7 @@ pub struct SchedulerSweepPoint {
 /// Sweeps scheduler noise on the sb test and measures outcome variety.
 pub fn scheduler_sweep(cfg: &ExperimentConfig) -> Vec<SchedulerSweepPoint> {
     let test = suite::sb();
+    // Invariant: sb is the paper's canonical convertible test.
     let conv = Conversion::convert(&test).expect("converts");
     let all = conv.all_outcomes(&test).expect("outcomes");
     let heus: Vec<_> = all.iter().map(|(_, h)| h.clone()).collect();

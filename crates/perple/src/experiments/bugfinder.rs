@@ -65,6 +65,8 @@ pub fn bugfinder(cfg: &ExperimentConfig) -> Vec<BugReport> {
         .zip(suite::TABLE_II)
         .map(|(test, entry)| {
             let pso_allowed = enumerate(test, MemoryModel::Pso).condition_reachable(test);
+            // Invariant: `suite::convertible()` pre-filters by
+            // `is_convertible`, so conversion cannot fail here.
             let conv = Conversion::convert(test).expect("suite test converts");
 
             let mut runner = PerpleRunner::new(faulty.clone());

@@ -145,7 +145,7 @@ mod tests {
             iterations: 400,
             seed: 0xF10,
             exhaustive_frame_cap: Some(1_000_000),
-            parallelism: super::super::Parallelism::default(),
+            ..ExperimentConfig::default()
         }
     }
 

@@ -39,6 +39,8 @@ pub fn fig11(iteration_counts: &[u64], base: &ExperimentConfig) -> Vec<Fig11Poin
     let tests = suite::allowed_targets();
     let convs: Vec<Conversion> = tests
         .iter()
+        // Invariant: `allowed_targets()` is a subset of the convertible
+        // suite, so conversion cannot fail.
         .map(|t| Conversion::convert(t).expect("allowed test converts"))
         .collect();
 
@@ -63,6 +65,8 @@ pub fn fig11(iteration_counts: &[u64], base: &ExperimentConfig) -> Vec<Fig11Poin
                 }
                 let mut push = |tool: &'static str, d| {
                     if let Some(r) = relative_improvement(d, user) {
+                        // Invariant: every tool key was inserted when
+                        // `per_tool` was built above.
                         per_tool.get_mut(tool).expect("tool registered").push(r);
                     }
                 };

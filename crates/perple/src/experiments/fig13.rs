@@ -38,6 +38,9 @@ pub fn fig13(cfg: &ExperimentConfig) -> Vec<Fig13Entry> {
     FIG13_TESTS
         .iter()
         .map(|name| {
+            // Invariant: FIG13_TESTS is a fixed list of convertible suite
+            // names (checked by the tests below), so lookups and
+            // conversions cannot fail.
             let test = suite::by_name(name).expect("figure test exists");
             let conv = Conversion::convert(&test).expect("convertible");
             let all = conv.all_outcomes(&test).expect("outcomes convert");

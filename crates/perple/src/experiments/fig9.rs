@@ -43,6 +43,8 @@ pub fn fig9(cfg: &ExperimentConfig) -> Vec<Fig9Row> {
         cfg.parallelism.suite_workers,
         |_, (test, entry)| {
             let t_convert = Instant::now();
+            // Invariant: `suite::convertible()` pre-filters by
+            // `is_convertible`, so conversion cannot fail here.
             let conv = Conversion::convert(test).expect("suite test converts");
             let convert_wall = t_convert.elapsed();
             let (heur, exh, mut timings) =

@@ -23,19 +23,21 @@ pub mod fig13;
 pub mod fig9;
 pub mod overall;
 pub mod pool;
+pub mod resilient;
 pub mod table2;
 pub mod ablation;
 
 use std::time::Instant;
 
 use perple_analysis::count::{
-    count_exhaustive_parallel, count_heuristic_parallel, default_workers,
+    count_exhaustive_budgeted, count_exhaustive_parallel, count_heuristic_budgeted,
+    count_heuristic_parallel, default_workers,
 };
 use perple_analysis::metrics::{Detection, ModelTime, StageTimings};
 use perple_harness::baseline::{BaselineRunner, SyncMode};
 use perple_harness::perpetual::PerpleRunner;
 use perple_model::LitmusTest;
-use perple_sim::SimConfig;
+use perple_sim::{Budget, FaultPlan, SimConfig};
 
 use crate::Conversion;
 
@@ -86,6 +88,19 @@ pub struct ExperimentConfig {
     pub exhaustive_frame_cap: Option<u64>,
     /// Suite-level and counter-level worker budget.
     pub parallelism: Parallelism,
+    /// Per-stage wall-clock watchdog in milliseconds (`--timeout-ms`);
+    /// `None` runs unbudgeted. Each stage (run, count) gets a fresh budget
+    /// and returns a partial, flagged result when it expires.
+    pub timeout_ms: Option<u64>,
+    /// How many times a failed (panicked / timed-out) suite item is retried
+    /// with a deterministically perturbed seed (`--retries`).
+    pub retries: u32,
+    /// Machine-level fault-injection plan (`--inject`), applied to every
+    /// PerpLE run. Empty by default (bit-identical to no injection).
+    pub fault_plan: FaultPlan,
+    /// Run the deliberately TSO-violating weak-store-order machine
+    /// (conformance-audit drivers hunt violations on it).
+    pub weak_machine: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -95,6 +110,10 @@ impl Default for ExperimentConfig {
             seed: 0x9E37,
             exhaustive_frame_cap: Some(100_000_000),
             parallelism: Parallelism::default(),
+            timeout_ms: None,
+            retries: 0,
+            fault_plan: FaultPlan::none(),
+            weak_machine: false,
         }
     }
 }
@@ -118,6 +137,47 @@ impl ExperimentConfig {
         self.parallelism = Parallelism::workers(n);
         self
     }
+
+    /// Returns the config with a per-stage wall-clock watchdog.
+    pub fn with_timeout_ms(mut self, ms: Option<u64>) -> Self {
+        self.timeout_ms = ms;
+        self
+    }
+
+    /// Returns the config retrying failed items up to `retries` times.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Returns the config with a machine fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Returns the config targeting the weak-store-order machine.
+    pub fn with_weak_machine(mut self, weak: bool) -> Self {
+        self.weak_machine = weak;
+        self
+    }
+
+    /// Simulator configuration for one derived seed, carrying the
+    /// experiment's fault plan and machine choice.
+    pub fn sim_config(&self, seed: u64) -> SimConfig {
+        SimConfig::default()
+            .with_seed(seed)
+            .with_weak_store_order(self.weak_machine)
+            .with_fault_plan(self.fault_plan.clone())
+    }
+
+    /// A fresh per-stage watchdog honoring [`ExperimentConfig::timeout_ms`].
+    pub fn stage_budget(&self) -> Budget {
+        match self.timeout_ms {
+            Some(ms) => Budget::with_timeout_ms(ms),
+            None => Budget::unlimited(),
+        }
+    }
 }
 
 /// Derives a per-(test, tool) seed so tools see decorrelated but
@@ -131,8 +191,25 @@ fn derive_seed(base: u64, test_name: &str, tool: &str) -> u64 {
     h
 }
 
+/// Runs the perpetual test under the config's budgets: unbudgeted when no
+/// watchdog is armed (the historical path, bit-identical to before budgets
+/// existed), budgeted with a fresh per-stage [`Budget`] otherwise.
+fn run_stage(
+    runner: &mut PerpleRunner,
+    conv: &Conversion,
+    cfg: &ExperimentConfig,
+) -> perple_harness::perpetual::PerpleRun {
+    match cfg.timeout_ms {
+        None => runner.run(&conv.perpetual, cfg.iterations),
+        Some(_) => runner.run_budgeted(&conv.perpetual, cfg.iterations, &cfg.stage_budget()),
+    }
+}
+
 /// Runs PerpLE on one test and measures target detection with the chosen
 /// counter. Returns the detection plus the raw occurrence count.
+///
+/// Honors [`ExperimentConfig::timeout_ms`] (each stage watchdogged,
+/// partial results on expiry) and [`ExperimentConfig::fault_plan`].
 pub fn perple_detection(
     test: &LitmusTest,
     conv: &Conversion,
@@ -141,24 +218,37 @@ pub fn perple_detection(
 ) -> Detection {
     let workers = cfg.parallelism.counter_workers;
     let seed = derive_seed(cfg.seed, test.name(), if heuristic { "perple-h" } else { "perple-x" });
-    let mut runner = PerpleRunner::new(SimConfig::default().with_seed(seed));
-    let run = runner.run(&conv.perpetual, cfg.iterations);
+    let mut runner = PerpleRunner::new(cfg.sim_config(seed));
+    let run = run_stage(&mut runner, conv, cfg);
+    let n = run.iterations;
     let bufs = run.bufs();
-    let count = if heuristic {
-        count_heuristic_parallel(
+    let count = match (heuristic, cfg.timeout_ms) {
+        (true, None) => count_heuristic_parallel(
             std::slice::from_ref(&conv.target_heuristic),
             &bufs,
-            cfg.iterations,
+            n,
             workers,
-        )
-    } else {
-        count_exhaustive_parallel(
+        ),
+        (true, Some(_)) => count_heuristic_budgeted(
+            std::slice::from_ref(&conv.target_heuristic),
+            &bufs,
+            n,
+            &cfg.stage_budget(),
+        ),
+        (false, None) => count_exhaustive_parallel(
             std::slice::from_ref(&conv.target_exhaustive),
             &bufs,
-            cfg.iterations,
+            n,
             cfg.exhaustive_frame_cap,
             workers,
-        )
+        ),
+        (false, Some(_)) => count_exhaustive_budgeted(
+            std::slice::from_ref(&conv.target_exhaustive),
+            &bufs,
+            n,
+            cfg.exhaustive_frame_cap,
+            &cfg.stage_budget(),
+        ),
     };
     Detection {
         occurrences: count.counts[0],
@@ -188,21 +278,22 @@ pub fn perple_detection_both_timed(
 ) -> (Detection, Detection, StageTimings) {
     let workers = cfg.parallelism.counter_workers;
     let seed = derive_seed(cfg.seed, test.name(), "perple");
-    let mut runner = PerpleRunner::new(SimConfig::default().with_seed(seed));
+    let mut runner = PerpleRunner::new(cfg.sim_config(seed));
     let t_run = Instant::now();
-    let run = runner.run(&conv.perpetual, cfg.iterations);
+    let run = run_stage(&mut runner, conv, cfg);
     let run_wall = t_run.elapsed();
+    let n = run.iterations;
     let bufs = run.bufs();
     let heur = count_heuristic_parallel(
         std::slice::from_ref(&conv.target_heuristic),
         &bufs,
-        cfg.iterations,
+        n,
         workers,
     );
     let exh = count_exhaustive_parallel(
         std::slice::from_ref(&conv.target_exhaustive),
         &bufs,
-        cfg.iterations,
+        n,
         cfg.exhaustive_frame_cap,
         workers,
     );
@@ -233,7 +324,7 @@ pub fn baseline_detection(
     cfg: &ExperimentConfig,
 ) -> Detection {
     let seed = derive_seed(cfg.seed, test.name(), mode.as_str());
-    let mut runner = BaselineRunner::new(SimConfig::default().with_seed(seed), mode);
+    let mut runner = BaselineRunner::new(cfg.sim_config(seed), mode);
     let run = runner.run(test, cfg.iterations);
     Detection {
         occurrences: run.target_count,

@@ -44,13 +44,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod experiments;
 
 pub use perple_analysis::count::{
-    count_exhaustive, count_exhaustive_parallel, count_heuristic,
-    count_heuristic_each, count_heuristic_each_parallel, count_heuristic_parallel,
+    count_exhaustive, count_exhaustive_budgeted, count_exhaustive_parallel,
+    count_heuristic, count_heuristic_budgeted, count_heuristic_each,
+    count_heuristic_each_parallel, count_heuristic_parallel,
     default_workers, frame_at, frame_index, frame_space, CountResult,
 };
+pub use error::PerpleError;
 pub use perple_analysis::{metrics, modelmine, skew, stats, variety};
 pub use perple_convert::{Conversion, ConvertError, HeuristicOutcome, PerpetualOutcome, PerpetualTest};
 pub use perple_enumerate::{classify, enumerate, Classification, MemoryModel};
@@ -58,7 +61,7 @@ pub use perple_harness::baseline::{BaselineRun, BaselineRunner, SyncMode};
 pub use perple_harness::native;
 pub use perple_harness::perpetual::{PerpleRun, PerpleRunner};
 pub use perple_model::{suite, LitmusTest, ModelError, Outcome};
-pub use perple_sim::SimConfig;
+pub use perple_sim::{Budget, FaultKind, FaultPlan, FaultSpec, SimConfig};
 
 pub use experiments::Parallelism;
 pub use perple_analysis::metrics::StageTimings;

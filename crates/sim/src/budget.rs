@@ -1,0 +1,155 @@
+//! Cooperative cancellation/budget tokens.
+//!
+//! Long-running stages — the machine's cycle loop, the exhaustive frame
+//! scan, the heuristic pivot scan — poll a shared [`Budget`] at a fixed
+//! cadence and stop early when it expires, returning a partial,
+//! clearly-flagged result instead of running unbounded. A budget can
+//! expire three ways:
+//!
+//! * a **wall-clock deadline** (`--timeout-ms`): the production watchdog;
+//! * an explicit **cancel** from another thread (atomic flag);
+//! * a deterministic **poll limit**: expires after a fixed number of
+//!   `expired()` calls, independent of wall time. Because every stage
+//!   polls on a deterministic schedule, a poll-limited run truncates at
+//!   exactly the same point on every machine — which is what lets tests
+//!   assert that watchdog-truncated results are prefixes of untruncated
+//!   ones.
+//!
+//! Expiry is sticky: once a budget reports expired it stays expired, so a
+//! stage that polls in several loops can never resume past its cutoff.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A shareable watchdog: deadline + cancel flag + deterministic poll limit.
+///
+/// Cheap to poll (one atomic increment and one or two atomic loads; the
+/// `Instant::now()` call only happens while a deadline is armed and the
+/// budget has not yet expired).
+#[derive(Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    poll_limit: Option<u64>,
+    polls: AtomicU64,
+    expired: AtomicBool,
+}
+
+impl Budget {
+    /// A budget that never expires (but can still be [`Budget::cancel`]ed).
+    pub fn unlimited() -> Self {
+        Self { deadline: None, poll_limit: None, polls: AtomicU64::new(0), expired: AtomicBool::new(false) }
+    }
+
+    /// Expires once `timeout` has elapsed from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self { deadline: Some(Instant::now() + timeout), ..Self::unlimited() }
+    }
+
+    /// Convenience wall-clock constructor for CLI `--timeout-ms` flags.
+    pub fn with_timeout_ms(ms: u64) -> Self {
+        Self::with_timeout(Duration::from_millis(ms))
+    }
+
+    /// Deterministic budget: the first `polls` calls to [`Budget::expired`]
+    /// return `false`, every later call returns `true`. Wall-clock-free,
+    /// so truncation points reproduce exactly across runs and machines.
+    pub fn with_poll_limit(polls: u64) -> Self {
+        Self { poll_limit: Some(polls), ..Self::unlimited() }
+    }
+
+    /// Cancels the budget: every subsequent [`Budget::expired`] poll (from
+    /// any thread) returns `true`.
+    pub fn cancel(&self) {
+        self.expired.store(true, Ordering::Release);
+    }
+
+    /// Polls the budget; `true` means the caller must stop and return its
+    /// partial result. Sticky: once `true`, always `true`.
+    pub fn expired(&self) -> bool {
+        if self.expired.load(Ordering::Acquire) {
+            return true;
+        }
+        let polls = self.polls.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(limit) = self.poll_limit {
+            if polls > limit {
+                self.expired.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.expired.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True if the budget has already expired, **without** consuming a
+    /// poll (pure observation, usable after a stage returns).
+    pub fn is_expired(&self) -> bool {
+        self.expired.load(Ordering::Acquire)
+    }
+}
+
+impl Default for Budget {
+    /// The default budget is unlimited.
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(!b.expired());
+        }
+        assert!(!b.is_expired());
+    }
+
+    #[test]
+    fn poll_limit_expires_exactly_after_n_polls() {
+        let b = Budget::with_poll_limit(3);
+        assert!(!b.expired());
+        assert!(!b.expired());
+        assert!(!b.expired());
+        assert!(b.expired(), "poll 4 must expire");
+        assert!(b.expired(), "expiry is sticky");
+        assert!(b.is_expired());
+    }
+
+    #[test]
+    fn zero_poll_limit_expires_immediately() {
+        let b = Budget::with_poll_limit(0);
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn cancel_expires_from_any_thread() {
+        let b = Budget::unlimited();
+        assert!(!b.expired());
+        std::thread::scope(|s| {
+            s.spawn(|| b.cancel());
+        });
+        assert!(b.expired());
+        assert!(b.is_expired());
+    }
+
+    #[test]
+    fn deadline_in_the_past_expires() {
+        let b = Budget::with_timeout(Duration::ZERO);
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_expire_yet() {
+        let b = Budget::with_timeout_ms(60_000);
+        assert!(!b.expired());
+        assert!(!b.is_expired());
+    }
+}

@@ -1,5 +1,7 @@
 //! Simulator configuration.
 
+use crate::fault::FaultPlan;
+
 /// Tunable parameters of the simulated x86-TSO machine.
 ///
 /// Defaults are calibrated so that (a) weak outcomes of unfenced tests occur
@@ -34,6 +36,11 @@ pub struct SimConfig {
     pub weak_store_order: bool,
     /// Mean short-stall duration in cycles.
     pub mean_stall: u64,
+    /// **Fault injection**: scheduled machine-level faults (dropped or
+    /// corrupted stores, stuck threads, reordering bursts), deterministic
+    /// under [`SimConfig::seed`]. The default plan is empty and leaves the
+    /// machine bit-identical to a fault-free build.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -49,6 +56,7 @@ impl Default for SimConfig {
             stall_prob: 0.12,
             mean_stall: 5,
             weak_store_order: false,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -90,6 +98,12 @@ impl SimConfig {
     /// (the deliberately TSO-violating machine).
     pub fn with_weak_store_order(mut self, weak: bool) -> Self {
         self.weak_store_order = weak;
+        self
+    }
+
+    /// Returns the config with the given fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 }

@@ -1,0 +1,326 @@
+//! Machine-level fault injection.
+//!
+//! A [`FaultPlan`] makes the simulated machine *misbehave on purpose* so
+//! the experiment layer's detection, quarantine, and degradation paths can
+//! be exercised deterministically. Four fault kinds are modeled, each
+//! scoped to an iteration window and (optionally) one thread:
+//!
+//! * **dropped stores** — the store retires but never reaches the buffer
+//!   or memory (a lost write);
+//! * **corrupted stores** — the buffered value is perturbed off its
+//!   `k*n + a` sequence term (wrong residue / out-of-sequence value);
+//! * **stuck threads** — a bounded stall window (livelock-like: the
+//!   thread stops making progress for `stall` cycles);
+//! * **reordering bursts** — store-buffer drains leave per-location FIFO
+//!   order only (the PSO-like behaviour of `weak_store_order`, but
+//!   confined to the window).
+//!
+//! Injection draws come from a *dedicated* fault PRNG derived from the run
+//! seed, so (a) two runs with equal seed and plan inject identically, and
+//! (b) an **empty plan changes nothing**: the machine's main PRNG stream
+//! is untouched, so a run with `FaultPlan::none()` is bit-identical to a
+//! run without fault support at all.
+
+use std::fmt;
+
+/// What a fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The store retires without ever being buffered or drained.
+    DropStore,
+    /// The stored value is perturbed off its arithmetic sequence.
+    CorruptStore,
+    /// The thread stalls for `stall` cycles (bounded livelock window).
+    StuckThread {
+        /// Stall length in cycles (bounded, so runs still terminate).
+        stall: u64,
+    },
+    /// Store-buffer drains pick a random per-location head (PSO burst).
+    ReorderBurst,
+}
+
+impl FaultKind {
+    /// Short kind name, matching the [`FaultPlan::parse`] grammar.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::DropStore => "drop",
+            FaultKind::CorruptStore => "corrupt",
+            FaultKind::StuckThread { .. } => "stuck",
+            FaultKind::ReorderBurst => "reorder",
+        }
+    }
+}
+
+/// One fault clause: a kind, a thread scope, an iteration window, and a
+/// per-event probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// What happens when the fault fires.
+    pub kind: FaultKind,
+    /// Affected thread index; `None` applies to every thread.
+    pub thread: Option<usize>,
+    /// First affected iteration (inclusive).
+    pub from_iter: u64,
+    /// End of the affected window (exclusive).
+    pub to_iter: u64,
+    /// Probability that an applicable event actually faults, in `[0, 1]`.
+    pub prob: f64,
+}
+
+impl FaultSpec {
+    /// True if the spec covers `(thread, iter)`.
+    fn covers(&self, thread: usize, iter: u64) -> bool {
+        self.thread.is_none_or(|t| t == thread)
+            && iter >= self.from_iter
+            && iter < self.to_iter
+    }
+}
+
+/// A deterministic fault-injection schedule (a list of [`FaultSpec`]s).
+///
+/// The default plan is empty: no faults, no behavioural change.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The empty plan (injects nothing).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The plan's clauses, in match priority order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Returns the plan with `spec` appended (builder style).
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// First clause matching a **store** event (drop or corrupt) at
+    /// `(thread, iter)`.
+    pub fn store_fault(&self, thread: usize, iter: u64) -> Option<&FaultSpec> {
+        self.specs.iter().find(|s| {
+            matches!(s.kind, FaultKind::DropStore | FaultKind::CorruptStore)
+                && s.covers(thread, iter)
+        })
+    }
+
+    /// First stuck-thread clause covering `(thread, iter)`.
+    pub fn stuck_fault(&self, thread: usize, iter: u64) -> Option<&FaultSpec> {
+        self.specs
+            .iter()
+            .find(|s| matches!(s.kind, FaultKind::StuckThread { .. }) && s.covers(thread, iter))
+    }
+
+    /// First reorder-burst clause covering `(thread, iter)`.
+    pub fn reorder_fault(&self, thread: usize, iter: u64) -> Option<&FaultSpec> {
+        self.specs
+            .iter()
+            .find(|s| matches!(s.kind, FaultKind::ReorderBurst) && s.covers(thread, iter))
+    }
+
+    /// Parses a plan from its CLI syntax: comma-separated clauses of the
+    /// form
+    ///
+    /// ```text
+    /// <kind>@<thread>:<from>..<to>[:p<prob>][:c<cycles>]
+    /// ```
+    ///
+    /// where `<kind>` is `drop`, `corrupt`, `stuck`, or `reorder`;
+    /// `<thread>` is `t<N>` or `*` (all threads); `<from>..<to>` is the
+    /// half-open iteration window; `p<prob>` is the per-event probability
+    /// (default 1); and `c<cycles>` is the stall length for `stuck`
+    /// (default 10000).
+    ///
+    /// ```
+    /// use perple_sim::FaultPlan;
+    /// let plan = FaultPlan::parse("drop@t0:100..200:p0.5,stuck@*:0..10:c5000").unwrap();
+    /// assert_eq!(plan.specs().len(), 2);
+    /// ```
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for clause in s.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            plan.specs.push(parse_clause(clause)?);
+        }
+        if plan.is_empty() {
+            return Err(format!("fault plan {s:?} contains no clauses"));
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, spec) in self.specs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            let thread = match spec.thread {
+                Some(t) => format!("t{t}"),
+                None => "*".to_owned(),
+            };
+            write!(f, "{}@{}:{}..{}", spec.kind.name(), thread, spec.from_iter, spec.to_iter)?;
+            if spec.prob < 1.0 {
+                write!(f, ":p{}", spec.prob)?;
+            }
+            if let FaultKind::StuckThread { stall } = spec.kind {
+                write!(f, ":c{stall}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_clause(clause: &str) -> Result<FaultSpec, String> {
+    let (kind_str, rest) = clause
+        .split_once('@')
+        .ok_or_else(|| format!("fault clause {clause:?} is missing '@'"))?;
+    let mut parts = rest.split(':');
+    let thread_str = parts
+        .next()
+        .ok_or_else(|| format!("fault clause {clause:?} is missing a thread scope"))?;
+    let thread = match thread_str {
+        "*" => None,
+        t => Some(
+            t.strip_prefix('t')
+                .and_then(|n| n.parse::<usize>().ok())
+                .ok_or_else(|| format!("bad thread scope {t:?} (use t<N> or *)"))?,
+        ),
+    };
+    let window = parts
+        .next()
+        .ok_or_else(|| format!("fault clause {clause:?} is missing an iteration window"))?;
+    let (from_str, to_str) = window
+        .split_once("..")
+        .ok_or_else(|| format!("bad iteration window {window:?} (use <from>..<to>)"))?;
+    let from_iter: u64 = from_str
+        .parse()
+        .map_err(|_| format!("bad window start {from_str:?}"))?;
+    let to_iter: u64 = to_str.parse().map_err(|_| format!("bad window end {to_str:?}"))?;
+    if to_iter <= from_iter {
+        return Err(format!("empty iteration window {window:?}"));
+    }
+
+    let mut prob = 1.0f64;
+    let mut stall = 10_000u64;
+    for opt in parts {
+        if let Some(p) = opt.strip_prefix('p') {
+            prob = p.parse().map_err(|_| format!("bad probability {opt:?}"))?;
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!("probability {prob} outside [0, 1]"));
+            }
+        } else if let Some(c) = opt.strip_prefix('c') {
+            stall = c.parse().map_err(|_| format!("bad stall cycles {opt:?}"))?;
+            if stall == 0 {
+                return Err("stall cycles must be at least 1".to_owned());
+            }
+        } else {
+            return Err(format!("unknown fault option {opt:?}"));
+        }
+    }
+
+    let kind = match kind_str {
+        "drop" => FaultKind::DropStore,
+        "corrupt" => FaultKind::CorruptStore,
+        "stuck" => FaultKind::StuckThread { stall },
+        "reorder" => FaultKind::ReorderBurst,
+        other => return Err(format!("unknown fault kind {other:?}")),
+    };
+    Ok(FaultSpec { kind, thread, from_iter, to_iter, prob })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_matches_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(p.store_fault(0, 0).is_none());
+        assert!(p.stuck_fault(0, 0).is_none());
+        assert!(p.reorder_fault(0, 0).is_none());
+    }
+
+    #[test]
+    fn parse_round_trips_through_display() {
+        let src = "drop@t0:100..200:p0.5,corrupt@*:0..50,stuck@t1:10..20:c5000,reorder@*:0..9";
+        let plan = FaultPlan::parse(src).unwrap();
+        assert_eq!(plan.specs().len(), 4);
+        let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn windows_and_thread_scopes_apply() {
+        let plan = FaultPlan::parse("drop@t1:5..10").unwrap();
+        assert!(plan.store_fault(1, 5).is_some());
+        assert!(plan.store_fault(1, 9).is_some());
+        assert!(plan.store_fault(1, 10).is_none(), "window is half-open");
+        assert!(plan.store_fault(1, 4).is_none());
+        assert!(plan.store_fault(0, 7).is_none(), "t1 scope excludes t0");
+        let all = FaultPlan::parse("corrupt@*:0..3").unwrap();
+        assert!(all.store_fault(0, 0).is_some());
+        assert!(all.store_fault(7, 2).is_some());
+    }
+
+    #[test]
+    fn kind_queries_are_disjoint() {
+        let plan = FaultPlan::parse("stuck@*:0..5:c100,reorder@*:0..5").unwrap();
+        assert!(plan.store_fault(0, 0).is_none());
+        assert!(matches!(
+            plan.stuck_fault(0, 0).unwrap().kind,
+            FaultKind::StuckThread { stall: 100 }
+        ));
+        assert_eq!(plan.reorder_fault(0, 0).unwrap().kind, FaultKind::ReorderBurst);
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        for bad in [
+            "",
+            "drop",
+            "drop@t0",
+            "drop@t0:5",
+            "drop@t0:9..5",
+            "drop@x0:0..5",
+            "warp@t0:0..5",
+            "drop@t0:0..5:p2",
+            "drop@t0:0..5:q1",
+            "stuck@t0:0..5:c0",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn builder_appends_in_priority_order() {
+        let plan = FaultPlan::none()
+            .with(FaultSpec {
+                kind: FaultKind::DropStore,
+                thread: None,
+                from_iter: 0,
+                to_iter: 10,
+                prob: 1.0,
+            })
+            .with(FaultSpec {
+                kind: FaultKind::CorruptStore,
+                thread: None,
+                from_iter: 0,
+                to_iter: 10,
+                prob: 1.0,
+            });
+        // First matching clause wins: drop shadows corrupt in 0..10.
+        assert_eq!(plan.store_fault(0, 3).unwrap().kind, FaultKind::DropStore);
+    }
+}

@@ -52,13 +52,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod config;
+mod fault;
 mod machine;
 mod program;
 mod rng;
 pub mod trace;
 
+pub use budget::Budget;
 pub use config::SimConfig;
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use machine::{Machine, RunOutput};
 pub use program::{Addr, SimOp, ThreadSpec, ValExpr};
 pub use rng::XorShiftStar;

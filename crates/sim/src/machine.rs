@@ -1,9 +1,19 @@
 //! The stepping x86-TSO machine.
 
+use crate::budget::Budget;
 use crate::config::SimConfig;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::program::{SimOp, ThreadSpec};
 use crate::rng::XorShiftStar;
 use crate::trace::{Trace, TraceEvent, TraceKind};
+
+/// Cycles between watchdog polls in budgeted runs; a budgeted run overruns
+/// its budget by at most this many cycles of simulation work.
+const BUDGET_POLL_INTERVAL: u64 = 64;
+
+/// Seed salt of the dedicated fault PRNG, so injection draws never perturb
+/// the main scheduling stream (an empty plan is bit-identical to no plan).
+const FAULT_SEED_SALT: u64 = 0xFA17_ED5E_ED00_0001;
 
 /// Event sink the run loop is generic over: the no-trace case
 /// monomorphizes to nothing.
@@ -38,6 +48,11 @@ pub struct RunOutput {
     pub final_mem: Vec<u64>,
     /// Number of store-buffer drain events.
     pub drains: u64,
+    /// Number of injected fault events (see `SimConfig::fault_plan`).
+    pub faults: u64,
+    /// False iff a watchdog budget expired and the run stopped early; a
+    /// partial run's buffers are a prefix of the full run's buffers.
+    pub complete: bool,
 }
 
 /// The simulated multi-core TSO machine.
@@ -51,6 +66,8 @@ pub struct RunOutput {
 pub struct Machine {
     config: SimConfig,
     rng: XorShiftStar,
+    /// Dedicated injection PRNG (see [`FAULT_SEED_SALT`]).
+    fault_rng: XorShiftStar,
 }
 
 struct ThreadState {
@@ -66,13 +83,18 @@ struct ThreadState {
     /// FIFO store buffer: (resolved cell, value), oldest first.
     buffer: std::collections::VecDeque<(usize, u64)>,
     done: bool,
+    /// Last iteration a stuck fault fired on, so a stall window is bounded
+    /// to one firing per covered iteration (otherwise a probability-1 clause
+    /// would re-trigger on wake-up forever and the run would never end).
+    stuck_fired_iter: u64,
 }
 
 impl Machine {
     /// Creates a machine with the given configuration.
     pub fn new(config: SimConfig) -> Self {
         let rng = XorShiftStar::new(config.seed);
-        Self { config, rng }
+        let fault_rng = XorShiftStar::new(config.seed ^ FAULT_SEED_SALT);
+        Self { config, rng, fault_rng }
     }
 
     /// The machine's configuration.
@@ -80,10 +102,11 @@ impl Machine {
         &self.config
     }
 
-    /// Reseeds the internal PRNG (e.g. to decorrelate successive runs while
-    /// keeping them reproducible).
+    /// Reseeds the internal PRNGs (e.g. to decorrelate successive runs
+    /// while keeping them reproducible).
     pub fn reseed(&mut self, seed: u64) {
         self.rng = XorShiftStar::new(seed);
+        self.fault_rng = XorShiftStar::new(seed ^ FAULT_SEED_SALT);
     }
 
     /// Runs every thread to completion over a shared memory of `mem_cells`
@@ -99,7 +122,22 @@ impl Machine {
 
     /// Like [`Machine::run`] but with explicit initial memory contents.
     pub fn run_with_init(&mut self, threads: &[ThreadSpec], init_mem: &[u64]) -> RunOutput {
-        self.run_impl(threads, init_mem, &mut NoTrace)
+        self.run_impl(threads, init_mem, &mut NoTrace, None)
+    }
+
+    /// Like [`Machine::run`] but polling `budget` every
+    /// [`BUDGET_POLL_INTERVAL`] cycles. If the budget expires the run stops
+    /// early with `complete == false`; everything executed up to that point
+    /// is identical to the corresponding unbudgeted run, so the partial
+    /// buffers are exact prefixes of the full run's buffers.
+    pub fn run_budgeted(
+        &mut self,
+        threads: &[ThreadSpec],
+        mem_cells: usize,
+        budget: &Budget,
+    ) -> RunOutput {
+        let init = vec![0u64; mem_cells];
+        self.run_impl(threads, &init, &mut NoTrace, Some(budget))
     }
 
     /// Like [`Machine::run`], additionally recording an event log into
@@ -113,7 +151,7 @@ impl Machine {
     ) -> RunOutput {
         let init = vec![0u64; mem_cells];
         let mut sink = trace;
-        self.run_impl(threads, &init, &mut sink)
+        self.run_impl(threads, &init, &mut sink, None)
     }
 
     fn run_impl<S: Sink>(
@@ -121,6 +159,7 @@ impl Machine {
         threads: &[ThreadSpec],
         init_mem: &[u64],
         sink: &mut S,
+        budget: Option<&Budget>,
     ) -> RunOutput {
         for t in threads {
             assert!(
@@ -146,16 +185,25 @@ impl Machine {
                 ),
                 buffer: std::collections::VecDeque::with_capacity(self.config.buffer_capacity),
                 done: spec.iterations == 0,
+                stuck_fired_iter: u64::MAX,
             })
             .collect();
 
         let mut cycle: u64 = 0;
         let mut drains: u64 = 0;
+        let mut faults: u64 = 0;
+        let mut complete = true;
         loop {
             let all_done =
                 states.iter().all(|s| s.done && s.buffer.is_empty());
             if all_done {
                 break;
+            }
+            if let Some(b) = budget {
+                if cycle.is_multiple_of(BUDGET_POLL_INTERVAL) && b.expired() {
+                    complete = false;
+                    break;
+                }
             }
             cycle += 1;
 
@@ -164,21 +212,28 @@ impl Machine {
                 // probability; drains continue after the thread retires.
                 let tid = s.index;
                 if !s.buffer.is_empty() && self.rng.chance(self.config.drain_prob) {
-                    let idx = if self.config.weak_store_order && s.buffer.len() > 1 {
+                    let idx = if s.buffer.len() > 1 && self.config.weak_store_order {
                         // PSO-like machine: drain the oldest entry of a
                         // random location (per-location FIFO preserved).
-                        let mut heads: Vec<usize> = Vec::with_capacity(s.buffer.len());
-                        let mut seen: Vec<usize> = Vec::with_capacity(s.buffer.len());
-                        for (i, &(cell, _)) in s.buffer.iter().enumerate() {
-                            if !seen.contains(&cell) {
-                                seen.push(cell);
-                                heads.push(i);
-                            }
-                        }
-                        heads[self.rng.below(heads.len() as u64) as usize]
+                        random_location_head(&s.buffer, &mut self.rng)
+                    } else if s.buffer.len() > 1
+                        && self
+                            .config
+                            .fault_plan
+                            .reorder_fault(tid, s.iter)
+                            .is_some_and(|spec| self.fault_rng.chance(spec.prob))
+                    {
+                        // Reorder burst: the same PSO drain, but scoped to
+                        // the fault window and drawn from the fault PRNG.
+                        faults += 1;
+                        sink.emit(cycle, tid, TraceKind::Fault { kind: "reorder" });
+                        random_location_head(&s.buffer, &mut self.fault_rng)
                     } else {
                         0
                     };
+                    // Invariant: a drain is only scheduled when the buffer
+                    // is non-empty, and both index choices above are bounded
+                    // by `buffer.len()`.
                     let (cell, v) = s.buffer.remove(idx).expect("non-empty buffer");
                     mem[cell] = v;
                     drains += 1;
@@ -187,6 +242,21 @@ impl Machine {
 
                 if s.done || cycle < s.start_delay || cycle < s.blocked_until {
                     continue;
+                }
+                if let Some(spec) = self.config.fault_plan.stuck_fault(tid, s.iter) {
+                    if s.stuck_fired_iter != s.iter && self.fault_rng.chance(spec.prob) {
+                        let stall = match spec.kind {
+                            FaultKind::StuckThread { stall } => stall,
+                            // stuck_fault only yields StuckThread clauses.
+                            _ => unreachable!("stuck_fault returned a non-stuck clause"),
+                        };
+                        s.stuck_fired_iter = s.iter;
+                        s.blocked_until = cycle + stall;
+                        faults += 1;
+                        sink.emit(cycle, tid, TraceKind::Fault { kind: "stuck" });
+                        sink.emit(cycle, tid, TraceKind::Blocked { until: s.blocked_until });
+                        continue;
+                    }
                 }
                 if self.rng.chance(self.config.preempt_prob) {
                     s.blocked_until = cycle + self.rng.duration(self.config.mean_preempt);
@@ -202,7 +272,16 @@ impl Machine {
                     s.blocked_until = cycle + self.rng.duration(self.config.mean_stall);
                     continue;
                 }
-                step_thread(s, &mut mem, self.config.buffer_capacity, cycle, sink);
+                step_thread(
+                    s,
+                    &mut mem,
+                    self.config.buffer_capacity,
+                    cycle,
+                    sink,
+                    &self.config.fault_plan,
+                    &mut self.fault_rng,
+                    &mut faults,
+                );
             }
         }
 
@@ -211,17 +290,40 @@ impl Machine {
             cycles: cycle,
             final_mem: mem,
             drains,
+            faults,
+            complete,
         }
     }
 }
 
+/// Index of the oldest buffered store of a uniformly random location
+/// (per-location FIFO order is preserved; cross-location order is not).
+fn random_location_head(
+    buffer: &std::collections::VecDeque<(usize, u64)>,
+    rng: &mut XorShiftStar,
+) -> usize {
+    let mut heads: Vec<usize> = Vec::with_capacity(buffer.len());
+    let mut seen: Vec<usize> = Vec::with_capacity(buffer.len());
+    for (i, &(cell, _)) in buffer.iter().enumerate() {
+        if !seen.contains(&cell) {
+            seen.push(cell);
+            heads.push(i);
+        }
+    }
+    heads[rng.below(heads.len() as u64) as usize]
+}
+
 /// Executes free `Record` ops and then at most one timed op for the thread.
+#[allow(clippy::too_many_arguments)]
 fn step_thread<S: Sink>(
     s: &mut ThreadState,
     mem: &mut [u64],
     buffer_capacity: usize,
     cycle: u64,
     sink: &mut S,
+    fault_plan: &FaultPlan,
+    fault_rng: &mut XorShiftStar,
+    faults: &mut u64,
 ) {
     // Process at most one full body of free ops to guard against
     // record-only bodies spinning forever within one cycle.
@@ -242,7 +344,22 @@ fn step_thread<S: Sink>(
             SimOp::Store { addr, expr } => {
                 if s.buffer.len() < buffer_capacity {
                     let cell = addr.resolve(s.iter);
-                    let value = expr.eval(s.iter);
+                    let mut value = expr.eval(s.iter);
+                    if let Some(spec) = fault_plan.store_fault(s.index, s.iter) {
+                        if fault_rng.chance(spec.prob) {
+                            *faults += 1;
+                            sink.emit(cycle, s.index, TraceKind::Fault { kind: spec.kind.name() });
+                            if spec.kind == FaultKind::DropStore {
+                                // The store retires without ever being
+                                // buffered: a lost write.
+                                advance(s);
+                                return;
+                            }
+                            // CorruptStore: perturb the value off its
+                            // arithmetic sequence (wrong residue).
+                            value = value.wrapping_add(1 + fault_rng.below(3));
+                        }
+                    }
                     s.buffer.push_back((cell, value));
                     sink.emit(cycle, s.index, TraceKind::StoreBuffered { cell, value });
                     advance(s);
@@ -392,10 +509,10 @@ mod tests {
         let mut m = Machine::new(SimConfig::default().with_seed(5));
         let out = m.run(&threads, 2);
         let (b0, b1) = (&out.bufs[0], &out.bufs[1]);
-        for n in 0..300usize {
-            for mi in 0..300usize {
+        for (n, &v0) in b0.iter().enumerate() {
+            for (mi, &v1) in b1.iter().enumerate() {
                 assert!(
-                    !(b0[n] <= mi as u64 && b1[mi] <= n as u64),
+                    !(v0 <= mi as u64 && v1 <= n as u64),
                     "forbidden sb frame ({n},{mi}) under mfence"
                 );
             }
@@ -498,6 +615,111 @@ mod tests {
         let mut m = Machine::new(SimConfig::default().with_seed(6));
         let out = m.run(&perpetual_sb(100), 2);
         assert_eq!(out.drains, 200, "every store must drain exactly once");
+    }
+
+    #[test]
+    fn empty_and_non_covering_plans_change_nothing() {
+        // A plan whose windows never cover an executed iteration makes zero
+        // fault-PRNG draws, so the run is bit-identical to a plan-free run.
+        let mut plain = Machine::new(SimConfig::default().with_seed(21));
+        let base = plain.run(&perpetual_sb(100), 2);
+        let plan = crate::FaultPlan::parse("drop@t0:5000..6000,stuck@*:9000..9001:c50").unwrap();
+        let mut faulty = Machine::new(SimConfig::default().with_seed(21).with_fault_plan(plan));
+        let out = faulty.run(&perpetual_sb(100), 2);
+        assert_eq!(base, out);
+        assert_eq!(out.faults, 0);
+        assert!(out.complete);
+    }
+
+    #[test]
+    fn dropped_stores_never_reach_memory() {
+        let plan = crate::FaultPlan::parse("drop@t0:0..100").unwrap();
+        let mut m = Machine::new(SimConfig::default().with_seed(33).with_fault_plan(plan));
+        let out = m.run(&perpetual_sb(100), 2);
+        assert_eq!(out.faults, 100, "every t0 store must drop");
+        assert_eq!(out.drains, 100, "only t1's stores drain");
+        assert_eq!(out.final_mem[0], 0, "t0's cell never written");
+        assert_eq!(out.final_mem[1], 100);
+        assert!(out.bufs[1].iter().all(|&v| v == 0), "t1 only sees zeros");
+    }
+
+    #[test]
+    fn corrupted_stores_leave_the_sequence() {
+        let plan = crate::FaultPlan::parse("corrupt@t0:0..100").unwrap();
+        let mut m = Machine::new(SimConfig::default().with_seed(34).with_fault_plan(plan));
+        let out = m.run(&perpetual_sb(100), 2);
+        assert_eq!(out.faults, 100);
+        // Last store was 100, corrupted by +1..=3.
+        assert!((101..=103).contains(&out.final_mem[0]), "mem[0] = {}", out.final_mem[0]);
+        assert_eq!(out.final_mem[1], 100, "t1 unaffected");
+    }
+
+    #[test]
+    fn stuck_thread_stalls_once_per_covered_iteration() {
+        let plan = crate::FaultPlan::parse("stuck@t0:50..51:c50000").unwrap();
+        let mut base = Machine::new(SimConfig::default().with_seed(35));
+        let unfaulted = base.run(&perpetual_sb(100), 2);
+        let mut m = Machine::new(SimConfig::default().with_seed(35).with_fault_plan(plan));
+        let out = m.run(&perpetual_sb(100), 2);
+        assert_eq!(out.faults, 1, "one firing for the one covered iteration");
+        assert!(out.complete, "bounded stall: the run still terminates");
+        assert!(
+            out.cycles >= unfaulted.cycles + 40_000,
+            "stall must inflate the run: {} vs {}",
+            out.cycles,
+            unfaulted.cycles
+        );
+        assert_eq!(out.bufs[0].len(), 100, "all iterations still complete");
+    }
+
+    #[test]
+    fn reorder_burst_fires_within_its_window() {
+        // Two stores to different cells per iteration keep the buffer
+        // multi-location, so burst drains can pick a non-FIFO head.
+        let body = vec![
+            SimOp::Store { addr: Addr::fixed(0), expr: ValExpr::Seq { k: 1, a: 1 } },
+            SimOp::Store { addr: Addr::fixed(1), expr: ValExpr::Seq { k: 1, a: 1 } },
+            SimOp::Record { reg: 0 },
+        ];
+        let threads = vec![ThreadSpec::new(body, 2000)];
+        let plan = crate::FaultPlan::parse("reorder@t0:0..2000").unwrap();
+        let mut m = Machine::new(SimConfig::default().with_seed(36).with_fault_plan(plan));
+        let out = m.run(&threads, 2);
+        assert!(out.faults > 0, "burst window covered the whole run");
+        assert!(out.complete);
+    }
+
+    #[test]
+    fn budgeted_run_with_unlimited_budget_matches_plain_run() {
+        let mut a = Machine::new(SimConfig::default().with_seed(50));
+        let plain = a.run(&perpetual_sb(200), 2);
+        let mut b = Machine::new(SimConfig::default().with_seed(50));
+        let budgeted = b.run_budgeted(&perpetual_sb(200), 2, &crate::Budget::unlimited());
+        assert_eq!(plain, budgeted);
+        assert!(budgeted.complete);
+    }
+
+    #[test]
+    fn expired_budget_truncates_to_a_prefix() {
+        let mut a = Machine::new(SimConfig::default().with_seed(51));
+        let full = a.run(&perpetual_sb(500), 2);
+        let mut b = Machine::new(SimConfig::default().with_seed(51));
+        let part = b.run_budgeted(&perpetual_sb(500), 2, &crate::Budget::with_poll_limit(5));
+        assert!(!part.complete, "tiny poll limit must expire mid-run");
+        assert!(part.cycles < full.cycles);
+        for (pb, fb) in part.bufs.iter().zip(&full.bufs) {
+            assert!(pb.len() < fb.len());
+            assert_eq!(pb.as_slice(), &fb[..pb.len()], "partial buf must be a prefix");
+        }
+    }
+
+    #[test]
+    fn already_expired_budget_yields_empty_run() {
+        let mut m = Machine::new(SimConfig::default().with_seed(52));
+        let out = m.run_budgeted(&perpetual_sb(100), 2, &crate::Budget::with_poll_limit(0));
+        assert!(!out.complete);
+        assert_eq!(out.cycles, 0);
+        assert!(out.bufs.iter().all(|b| b.is_empty()));
     }
 
     #[test]

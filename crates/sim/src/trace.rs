@@ -62,6 +62,11 @@ pub enum TraceKind {
         /// First cycle at which the thread may run again.
         until: u64,
     },
+    /// A scheduled fault fired (see `perple_sim::FaultPlan`).
+    Fault {
+        /// Short fault-kind name (`drop`, `corrupt`, `stuck`, `reorder`).
+        kind: &'static str,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -82,6 +87,7 @@ impl fmt::Display for TraceEvent {
                 write!(f, "xchg  mem[{cell}]: {old} -> {new} (locked)")
             }
             TraceKind::Blocked { until } => write!(f, "blocked until cycle {until}"),
+            TraceKind::Fault { kind } => write!(f, "fault injected ({kind})"),
         }
     }
 }

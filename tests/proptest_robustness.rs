@@ -88,7 +88,7 @@ fn simulated_values_are_always_attributable() {
 fn else_if_chains_count_at_most_one_outcome_per_frame() {
     let names = ["sb", "lb", "amd3", "podwr001", "iwp24"];
     run_cases(16, |g| {
-        let test = suite::by_name(*g.choose(&names)).expect("suite test");
+        let test = suite::by_name(names[g.below(names.len())]).expect("suite test");
         let seed = g.u64();
         let conv = Conversion::convert(&test).expect("converts");
         let all = conv.all_outcomes(&test).expect("outcomes");
@@ -111,7 +111,7 @@ fn else_if_chains_count_at_most_one_outcome_per_frame() {
 fn traced_runs_are_bit_identical_to_untraced_runs() {
     let names = ["sb", "mp", "iriw"];
     run_cases(16, |g| {
-        let test = suite::by_name(*g.choose(&names)).expect("suite test");
+        let test = suite::by_name(names[g.below(names.len())]).expect("suite test");
         let seed = g.u64();
         let conv = Conversion::convert(&test).expect("converts");
         let specs = perple_harness::perpetual::thread_specs(&conv.perpetual, 80);
@@ -144,7 +144,7 @@ fn generated_tests_roundtrip_through_text() {
 fn parallel_counters_match_serial_for_arbitrary_worker_counts() {
     let names = ["sb", "mp", "amd3", "iwp24", "podwr001", "n5"];
     run_cases(24, |g| {
-        let test = suite::by_name(*g.choose(&names)).expect("suite test");
+        let test = suite::by_name(names[g.below(names.len())]).expect("suite test");
         let conv = Conversion::convert(&test).expect("converts");
         let all = conv.all_outcomes(&test).expect("outcomes");
         let exh: Vec<_> = all.iter().map(|(o, _)| o.clone()).collect();
