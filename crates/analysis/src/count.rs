@@ -160,11 +160,7 @@ fn count_exhaustive_impl(
 ///
 /// Scans one pivot iteration per step, deriving the partner frame from
 /// loaded values; else-if semantics as in the exhaustive counter.
-pub fn count_heuristic(
-    outcomes: &[HeuristicOutcome],
-    bufs: &[&[u64]],
-    n: u64,
-) -> CountResult {
+pub fn count_heuristic(outcomes: &[HeuristicOutcome], bufs: &[&[u64]], n: u64) -> CountResult {
     count_heuristic_impl(outcomes, bufs, n, None)
 }
 
@@ -225,11 +221,7 @@ fn count_heuristic_impl(
 /// Figure 13 of the paper uses this form ("PerpLE heuristic samples 1k
 /// frames *per outcome*"), which is why PerpLE's total occurrence count can
 /// exceed `N` while litmus7's total always equals the iteration count.
-pub fn count_heuristic_each(
-    outcomes: &[HeuristicOutcome],
-    bufs: &[&[u64]],
-    n: u64,
-) -> CountResult {
+pub fn count_heuristic_each(outcomes: &[HeuristicOutcome], bufs: &[&[u64]], n: u64) -> CountResult {
     let start = Instant::now();
     let mut counts = vec![0u64; outcomes.len()];
     let mut evals: u64 = 0;
@@ -417,7 +409,14 @@ fn merge_partials(
         counts.iter().sum::<u64>() <= frames_examined,
         "else-if chain counted more than one outcome for some frame"
     );
-    CountResult { counts, frames_examined, evals, wall, truncated, budget_expired: false }
+    CountResult {
+        counts,
+        frames_examined,
+        evals,
+        wall,
+        truncated,
+        budget_expired: false,
+    }
 }
 
 /// Parallel [`count_exhaustive`]: partitions the `N^{T_L}` frame space
@@ -452,8 +451,7 @@ pub fn count_exhaustive_parallel(
     let ranges = partition(effective, workers);
     let partials: Vec<(Vec<u64>, u64, Duration)> = if ranges.len() <= 1 {
         let start = Instant::now();
-        let (counts, evals) =
-            scan_frame_range(outcomes, bufs, n, 0, effective);
+        let (counts, evals) = scan_frame_range(outcomes, bufs, n, 0, effective);
         vec![(counts, evals, start.elapsed())]
     } else {
         std::thread::scope(|scope| {
@@ -462,8 +460,7 @@ pub fn count_exhaustive_parallel(
                 .map(|&(start, len)| {
                     scope.spawn(move || {
                         let t0 = Instant::now();
-                        let (counts, evals) =
-                            scan_frame_range(outcomes, bufs, n, start, len);
+                        let (counts, evals) = scan_frame_range(outcomes, bufs, n, start, len);
                         (counts, evals, t0.elapsed())
                     })
                 })
@@ -527,7 +524,11 @@ fn count_heuristic_sharded(
     workers: usize,
     chained: bool,
 ) -> CountResult {
-    let frames_examined = if chained { n } else { n * outcomes.len() as u64 };
+    let frames_examined = if chained {
+        n
+    } else {
+        n * outcomes.len() as u64
+    };
     let ranges = partition(n, workers);
     let partials: Vec<(Vec<u64>, u64, Duration)> = if ranges.len() <= 1 {
         let t0 = Instant::now();
@@ -638,8 +639,7 @@ mod tests {
     #[test]
     fn else_if_counts_at_most_one_outcome_per_frame() {
         let f = sb_fixture();
-        let outcomes: Vec<PerpetualOutcome> =
-            f.all.iter().map(|(o, _)| o.clone()).collect();
+        let outcomes: Vec<PerpetualOutcome> = f.all.iter().map(|(o, _)| o.clone()).collect();
         let (b0, b1) = lockstep_bufs(20);
         let bufs: Vec<&[u64]> = vec![&b0, &b1];
         let r = count_exhaustive(&outcomes, &bufs, 20, None);
@@ -716,11 +716,7 @@ mod tests {
         let b0: Vec<u64> = (0..n).collect(); // reads value n (iter n-1) at iteration n
         let b1: Vec<u64> = (0..n).collect();
         let bufs: Vec<&[u64]> = vec![&b0, &b1];
-        let rh = count_heuristic(
-            std::slice::from_ref(&f.conv.target_heuristic),
-            &bufs,
-            n,
-        );
+        let rh = count_heuristic(std::slice::from_ref(&f.conv.target_heuristic), &bufs, n);
         assert_eq!(rh.counts[0], n, "every iteration is a target hit");
         let re = count_exhaustive(
             std::slice::from_ref(&f.conv.target_exhaustive),
@@ -735,7 +731,12 @@ mod tests {
     fn zero_iterations_and_empty_outcomes() {
         let f = sb_fixture();
         let bufs: Vec<&[u64]> = vec![&[], &[]];
-        let r = count_exhaustive(std::slice::from_ref(&f.conv.target_exhaustive), &bufs, 0, None);
+        let r = count_exhaustive(
+            std::slice::from_ref(&f.conv.target_exhaustive),
+            &bufs,
+            0,
+            None,
+        );
         assert_eq!(r.total(), 0);
         assert_eq!(r.frames_examined, 0);
         let r2 = count_exhaustive(&[], &bufs, 5, None);
@@ -794,8 +795,7 @@ mod tests {
     #[test]
     fn parallel_exhaustive_matches_serial_bit_for_bit() {
         let f = sb_fixture();
-        let outcomes: Vec<PerpetualOutcome> =
-            f.all.iter().map(|(o, _)| o.clone()).collect();
+        let outcomes: Vec<PerpetualOutcome> = f.all.iter().map(|(o, _)| o.clone()).collect();
         let n = 40u64;
         let b0: Vec<u64> = (0..n).map(|i| (i * 7 + 3) % (n + 1)).collect();
         let b1: Vec<u64> = (0..n).map(|i| (i * 11) % (n + 1)).collect();
@@ -837,9 +837,18 @@ mod tests {
         let f = sb_fixture();
         let bufs: Vec<&[u64]> = vec![&[], &[]];
         let serial = count_exhaustive(
-            std::slice::from_ref(&f.conv.target_exhaustive), &bufs, 0, Some(0));
+            std::slice::from_ref(&f.conv.target_exhaustive),
+            &bufs,
+            0,
+            Some(0),
+        );
         let par = count_exhaustive_parallel(
-            std::slice::from_ref(&f.conv.target_exhaustive), &bufs, 0, Some(0), 4);
+            std::slice::from_ref(&f.conv.target_exhaustive),
+            &bufs,
+            0,
+            Some(0),
+            4,
+        );
         assert_eq!(par.counts, serial.counts);
         assert_eq!(par.truncated, serial.truncated);
         assert!(!par.truncated, "degenerate scans never truncate");

@@ -13,7 +13,9 @@
 //! * [`modelmine`] — inference of the machine's program-order relaxations
 //!   from observed targets (the §II-B1 "formulating a formal description"
 //!   use case);
-//! * [`stats`] — histograms, probability densities, geometric means.
+//! * [`stats`] — histograms, probability densities, geometric means;
+//! * [`jsonout`] — the shared zero-dependency, byte-stable JSON writer and
+//!   parser every report and store writer in the workspace uses.
 //!
 //! # Example
 //!
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod count;
+pub mod jsonout;
 pub mod metrics;
 pub mod modelmine;
 pub mod skew;

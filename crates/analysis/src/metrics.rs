@@ -32,16 +32,23 @@ impl StageTimings {
         self.convert + self.run + self.count
     }
 
-    /// Compact JSON object (micro-second integral fields), e.g.
-    /// `{"convert_us":12,"run_us":3400,"count_us":170,"count_workers":8}`.
+    /// The timings as a [`crate::jsonout::Json`] object (micro-second
+    /// integral fields), for embedding in larger documents.
+    pub fn to_json_value(&self) -> crate::jsonout::Json {
+        use crate::jsonout::Json;
+        Json::obj(vec![
+            ("convert_us", Json::from(self.convert.as_micros())),
+            ("run_us", Json::from(self.run.as_micros())),
+            ("count_us", Json::from(self.count.as_micros())),
+            ("count_workers", Json::from(self.count_workers)),
+        ])
+    }
+
+    /// Compact JSON object rendering, e.g.
+    /// `{"convert_us":12,"run_us":3400,"count_us":170,"count_workers":8}`,
+    /// emitted through the shared [`crate::jsonout`] writer.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"convert_us\":{},\"run_us\":{},\"count_us\":{},\"count_workers\":{}}}",
-            self.convert.as_micros(),
-            self.run.as_micros(),
-            self.count.as_micros(),
-            self.count_workers
-        )
+        self.to_json_value().render()
     }
 }
 
@@ -57,7 +64,10 @@ pub struct ModelTime {
 impl ModelTime {
     /// Creates a model time from its components.
     pub fn new(exec_cycles: u64, count_cycles: u64) -> Self {
-        Self { exec_cycles, count_cycles }
+        Self {
+            exec_cycles,
+            count_cycles,
+        }
     }
 
     /// Total model cycles (the paper's "runtime includes test execution and
@@ -139,18 +149,33 @@ mod tests {
 
     #[test]
     fn detection_rate_per_million() {
-        let d = Detection { occurrences: 5, time: ModelTime::new(1_000_000, 0) };
+        let d = Detection {
+            occurrences: 5,
+            time: ModelTime::new(1_000_000, 0),
+        };
         assert!((d.rate() - 5.0).abs() < 1e-12);
-        let zero = Detection { occurrences: 0, time: ModelTime::default() };
+        let zero = Detection {
+            occurrences: 0,
+            time: ModelTime::default(),
+        };
         assert_eq!(zero.rate(), 0.0);
     }
 
     #[test]
     fn relative_improvement_omits_zero_baselines() {
-        let tool = Detection { occurrences: 100, time: ModelTime::new(1000, 0) };
-        let base = Detection { occurrences: 1, time: ModelTime::new(1000, 0) };
+        let tool = Detection {
+            occurrences: 100,
+            time: ModelTime::new(1000, 0),
+        };
+        let base = Detection {
+            occurrences: 1,
+            time: ModelTime::new(1000, 0),
+        };
         assert!((relative_improvement(tool, base).unwrap() - 100.0).abs() < 1e-9);
-        let dead = Detection { occurrences: 0, time: ModelTime::new(1000, 0) };
+        let dead = Detection {
+            occurrences: 0,
+            time: ModelTime::new(1000, 0),
+        };
         assert_eq!(relative_improvement(tool, dead), None);
     }
 

@@ -6,8 +6,8 @@
 //! *thread skew* between `t` and `s` around that moment — positive when the
 //! reader runs ahead of the writer.
 
-use perple_model::{LitmusTest, ThreadId};
 use perple_convert::KMap;
+use perple_model::{LitmusTest, ThreadId};
 
 use crate::stats::Histogram;
 
@@ -28,11 +28,7 @@ pub struct SkewSample {
 /// (the same layout the counters use). Loads of the initial value (0) and
 /// loads forwarded from the reader's own stores are skipped — only
 /// cross-thread observations measure skew.
-pub fn skew_samples(
-    test: &LitmusTest,
-    kmap: &KMap,
-    bufs: &[&[u64]],
-) -> Vec<SkewSample> {
+pub fn skew_samples(test: &LitmusTest, kmap: &KMap, bufs: &[&[u64]]) -> Vec<SkewSample> {
     let load_threads = test.load_threads();
     let reads = test.reads_per_thread();
     let slots = test.load_slots();
@@ -79,8 +75,8 @@ pub fn skew_histogram(samples: &[SkewSample]) -> Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use perple_model::suite;
     use perple_convert::Conversion;
+    use perple_model::suite;
 
     #[test]
     fn lockstep_run_has_skew_near_zero() {
@@ -158,10 +154,7 @@ mod tests {
         let b1: Vec<u64> = vec![1, 1, 3];
         let bufs: Vec<&[u64]> = vec![&b0, &b1];
         let samples = skew_samples(&t, &conv.kmap, &bufs);
-        let from_t0: Vec<_> = samples
-            .iter()
-            .filter(|s| s.reader == ThreadId(0))
-            .collect();
+        let from_t0: Vec<_> = samples.iter().filter(|s| s.reader == ThreadId(0)).collect();
         assert_eq!(from_t0.len(), 3);
         assert_eq!(from_t0[0].skew, 0); // n=0 read iteration 0
         assert_eq!(from_t0[1].skew, 0);

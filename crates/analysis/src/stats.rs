@@ -116,11 +116,7 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        let inside: u64 = self
-            .bins
-            .range(-radius..=radius)
-            .map(|(_, &c)| c)
-            .sum();
+        let inside: u64 = self.bins.range(-radius..=radius).map(|(_, &c)| c).sum();
         inside as f64 / self.total as f64
     }
 }

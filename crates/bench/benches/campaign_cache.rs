@@ -1,0 +1,65 @@
+//! Cold vs warm campaign runs: how much wall time the content-addressed
+//! cache saves when nothing changed. The cold case opens a fresh store for
+//! every pass (full convert → simulate → count pipeline); the warm case
+//! reuses one pre-seeded store, so every item is a fingerprint lookup. The
+//! warm path asserts zero executions per pass, so the speedup can't come
+//! from a partially-working cache quietly re-running items.
+
+use std::cell::Cell;
+use std::path::PathBuf;
+
+use perple::campaign::CampaignSpec;
+use perple::experiments::campaign::run_spec;
+use perple_bench::micro::Bench;
+
+fn spec(iterations: u64) -> CampaignSpec {
+    let mut s = CampaignSpec::named("bench");
+    s.tests = vec!["convertible".to_owned()];
+    s.seeds = vec![1, 2];
+    s.iterations = iterations;
+    s.workers = 4;
+    s
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("perple-bench-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let bench = Bench::new(5);
+    for n in [200u64, 800] {
+        let s = spec(n);
+        let items = s.tests.len(); // expanded below; printed from the first run
+
+        let root = scratch(&format!("cold-{n}"));
+        let pass = Cell::new(0u32);
+        let cold = bench.run(&format!("campaign/cold/n={n}"), || {
+            // A fresh store sub-directory per pass keeps every pass cold.
+            let store = root.join(pass.get().to_string());
+            pass.set(pass.get() + 1);
+            let summary = run_spec(&s, &store).expect("cold run");
+            assert_eq!(summary.hits, 0, "cold pass must miss everything");
+            summary
+        });
+        let _ = std::fs::remove_dir_all(&root);
+        let _ = items;
+
+        let warm_root = scratch(&format!("warm-{n}"));
+        let seeded = run_spec(&s, &warm_root).expect("seeding run");
+        let warm = bench.run(&format!("campaign/warm/n={n}"), || {
+            let summary = run_spec(&s, &warm_root).expect("warm run");
+            assert_eq!(summary.hits, seeded.items, "warm pass must hit everything");
+            assert_eq!(summary.executed, 0, "warm pass must execute nothing");
+            summary
+        });
+        let _ = std::fs::remove_dir_all(&warm_root);
+
+        let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-12);
+        println!(
+            "    -> {} items, {speedup:.1}x faster warm (pipeline fully skipped)",
+            seeded.items
+        );
+    }
+}

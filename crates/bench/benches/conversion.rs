@@ -30,7 +30,8 @@ fn main() {
         let test = suite::podwr001();
         let conv = Conversion::convert(&test).expect("converts");
         bench.run("convert/all_outcomes/podwr001", || {
-            conv.all_outcomes(std::hint::black_box(&test)).expect("outcomes")
+            conv.all_outcomes(std::hint::black_box(&test))
+                .expect("outcomes")
         });
     }
 

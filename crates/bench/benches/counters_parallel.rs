@@ -33,13 +33,8 @@ fn sweep(bench: &Bench, name: &str, n: u64) {
         let median = bench.run(
             &format!("parallel/{name}/exhaustive/workers={w}/{n}"),
             || {
-                let r = count_exhaustive_parallel(
-                    outcomes,
-                    std::hint::black_box(&bufs),
-                    n,
-                    None,
-                    w,
-                );
+                let r =
+                    count_exhaustive_parallel(outcomes, std::hint::black_box(&bufs), n, None, w);
                 assert_eq!(r.counts, reference.counts, "diverged at workers={w}");
                 r
             },

@@ -18,11 +18,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--run" => {
-                run_iters = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or(2_000),
-                );
+                run_iters = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or(2_000));
             }
             other => {
                 if let Ok(l) = other.parse() {
@@ -51,8 +47,7 @@ fn main() {
             let run = runner.run(&conv.perpetual, n);
             let bufs = run.bufs();
             let hits =
-                count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n)
-                    .counts[0];
+                count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n).counts[0];
             note = format!(" hits={hits}");
             if !c.tso_allowed && hits > 0 {
                 violations += 1;

@@ -28,15 +28,14 @@ pub mod micro;
 /// # Panics
 /// Exits the process with a usage message on malformed arguments.
 pub fn config_from_args(default_iterations: u64) -> ExperimentConfig {
-    parse_args(std::env::args().skip(1), default_iterations)
-        .unwrap_or_else(|msg| {
-            eprintln!("{msg}");
-            eprintln!(
-                "usage: <bin> [--iterations N] [--seed S] [--workers W] \
+    parse_args(std::env::args().skip(1), default_iterations).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: <bin> [--iterations N] [--seed S] [--workers W] \
                  [--timeout-ms T] [--retries R] [--inject PLAN]"
-            );
-            std::process::exit(2);
-        })
+        );
+        std::process::exit(2);
+    })
 }
 
 fn parse_args<I: Iterator<Item = String>>(
@@ -122,7 +121,14 @@ mod tests {
     #[test]
     fn resilience_flags_apply() {
         let cfg = parse(
-            &["--timeout-ms", "250", "--retries", "2", "--inject", "drop@t0:0..100:p0.5"],
+            &[
+                "--timeout-ms",
+                "250",
+                "--retries",
+                "2",
+                "--inject",
+                "drop@t0:0..100:p0.5",
+            ],
             100,
         )
         .unwrap();

@@ -16,7 +16,9 @@ pub struct Bench {
 impl Bench {
     /// Creates a session taking `samples` timed passes per case (at least 1).
     pub fn new(samples: usize) -> Self {
-        Self { samples: samples.max(1) }
+        Self {
+            samples: samples.max(1),
+        }
     }
 
     /// Times one case and prints its summary line. Returns the median wall

@@ -1,0 +1,240 @@
+//! The content-addressed artifact cache (`cas/` under the store root).
+//!
+//! Two namespaces, both keyed by [`Fingerprint`] and sharded on the first
+//! two hex digits to keep directories small:
+//!
+//! ```text
+//! cas/result/<2hex>/<32hex>.json   counted outcome records
+//! cas/conv/<2hex>/<32hex>.json    conversion artifact bundles (text)
+//! ```
+//!
+//! `result/` entries let a warm campaign re-run skip convert → simulate →
+//! count entirely; `conv/` entries preserve the generated COUNT/COUNTH
+//! artifacts for inspection. Writes are *write-if-absent* through a temp
+//! file + rename: by construction equal fingerprints mean equal content,
+//! so the first writer wins and concurrent writers are harmless. A
+//! malformed or truncated entry reads as a **miss**, never an error — the
+//! cache is an accelerator, not a source of truth.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use perple_analysis::jsonout::{self, Json};
+
+use crate::fingerprint::Fingerprint;
+use crate::store::{write_atomic, OutcomeRecord};
+use crate::CampaignError;
+
+/// Handle on one cache root (`<store-root>/cas`).
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    root: PathBuf,
+}
+
+impl ArtifactCache {
+    /// Opens (creating if needed) the cache under a store root.
+    ///
+    /// # Errors
+    /// [`CampaignError::Io`] if the namespace directories cannot be created.
+    pub fn open(store_root: impl AsRef<Path>) -> Result<Self, CampaignError> {
+        let root = store_root.as_ref().join("cas");
+        for ns in ["result", "conv"] {
+            let dir = root.join(ns);
+            fs::create_dir_all(&dir).map_err(|e| CampaignError::io(&dir, e))?;
+        }
+        Ok(Self { root })
+    }
+
+    fn entry_path(&self, namespace: &str, fp: Fingerprint) -> PathBuf {
+        let hex = fp.hex();
+        self.root
+            .join(namespace)
+            .join(&hex[..2])
+            .join(format!("{hex}.json"))
+    }
+
+    /// Looks up a counted outcome record; any unreadable or malformed
+    /// entry is a miss.
+    pub fn load_result(&self, fp: Fingerprint) -> Option<OutcomeRecord> {
+        let text = fs::read_to_string(self.entry_path("result", fp)).ok()?;
+        let doc = jsonout::parse(&text).ok()?;
+        let record = OutcomeRecord::from_json(&doc).ok()?;
+        // Refuse hits whose stored fingerprint disagrees with the file
+        // name — a moved or hand-edited entry must not impersonate a key.
+        (record.fingerprint == fp.hex()).then_some(record)
+    }
+
+    /// Stores a counted outcome record under its fingerprint
+    /// (write-if-absent).
+    ///
+    /// # Errors
+    /// [`CampaignError::Io`] on filesystem trouble.
+    pub fn store_result(
+        &self,
+        fp: Fingerprint,
+        record: &OutcomeRecord,
+    ) -> Result<(), CampaignError> {
+        self.store_entry("result", fp, &record.to_json().render())
+    }
+
+    /// Looks up a conversion artifact bundle (rendered text form).
+    pub fn load_conv(&self, fp: Fingerprint) -> Option<String> {
+        let text = fs::read_to_string(self.entry_path("conv", fp)).ok()?;
+        let doc = jsonout::parse(&text).ok()?;
+        doc.get("artifact")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+    }
+
+    /// Stores a conversion artifact bundle under its source fingerprint
+    /// (write-if-absent).
+    ///
+    /// # Errors
+    /// [`CampaignError::Io`] on filesystem trouble.
+    pub fn store_conv(&self, fp: Fingerprint, artifact: &str) -> Result<(), CampaignError> {
+        let doc = Json::obj(vec![
+            ("fingerprint", Json::from(fp.hex().as_str())),
+            ("artifact", Json::from(artifact)),
+        ]);
+        self.store_entry("conv", fp, &doc.render())
+    }
+
+    fn store_entry(
+        &self,
+        namespace: &str,
+        fp: Fingerprint,
+        content: &str,
+    ) -> Result<(), CampaignError> {
+        let path = self.entry_path(namespace, fp);
+        if path.exists() {
+            return Ok(());
+        }
+        let dir = path.parent().expect("entry paths always have a shard dir");
+        fs::create_dir_all(dir).map_err(|e| CampaignError::io(dir, e))?;
+        write_atomic(&path, content)
+    }
+
+    /// Entry counts per namespace, `(result, conv)` — for `campaign ls`.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.count_entries("result"), self.count_entries("conv"))
+    }
+
+    fn count_entries(&self, namespace: &str) -> usize {
+        let Ok(shards) = fs::read_dir(self.root.join(namespace)) else {
+            return 0;
+        };
+        shards
+            .flatten()
+            .filter_map(|shard| fs::read_dir(shard.path()).ok())
+            .map(|entries| entries.flatten().count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Hasher;
+
+    fn tmp_cache(tag: &str) -> (PathBuf, ArtifactCache) {
+        let dir =
+            std::env::temp_dir().join(format!("perple-campaign-cas-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ArtifactCache::open(&dir).unwrap();
+        (dir, cache)
+    }
+
+    fn fp(tag: &str) -> Fingerprint {
+        let mut h = Hasher::new();
+        h.field("tag", tag);
+        h.finish()
+    }
+
+    fn record_for(fp: Fingerprint) -> OutcomeRecord {
+        OutcomeRecord {
+            test: "sb".to_owned(),
+            seed: 1,
+            fingerprint: fp.hex(),
+            forbidden: true,
+            heuristic: 3,
+            exhaustive: 3,
+            degraded: false,
+            iterations: 500,
+            run_complete: true,
+            faults: 0,
+            digest: 42,
+            quarantined: false,
+            fault_kind: None,
+        }
+    }
+
+    #[test]
+    fn result_entries_round_trip() {
+        let (dir, cache) = tmp_cache("result");
+        let key = fp("a");
+        assert_eq!(cache.load_result(key), None, "cold cache misses");
+        let record = record_for(key);
+        cache.store_result(key, &record).unwrap();
+        assert_eq!(cache.load_result(key), Some(record));
+        assert_eq!(cache.load_result(fp("b")), None, "other keys still miss");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn conv_entries_round_trip() {
+        let (dir, cache) = tmp_cache("conv");
+        let key = fp("conv");
+        let artifact = "==== thread t0 ====\nMOV [x],$1\n";
+        cache.store_conv(key, artifact).unwrap();
+        assert_eq!(cache.load_conv(key).as_deref(), Some(artifact));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn malformed_entries_read_as_misses() {
+        let (dir, cache) = tmp_cache("malformed");
+        let key = fp("junk");
+        let path = cache.entry_path("result", key);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, "{truncated").unwrap();
+        assert_eq!(cache.load_result(key), None);
+        // And a valid record stored under the wrong name is also a miss.
+        let other = fp("other");
+        let path = cache.entry_path("result", other);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, record_for(key).to_json().render()).unwrap();
+        assert_eq!(
+            cache.load_result(other),
+            None,
+            "fingerprint mismatch is a miss"
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn store_is_write_if_absent() {
+        let (dir, cache) = tmp_cache("wia");
+        let key = fp("once");
+        cache.store_result(key, &record_for(key)).unwrap();
+        let path = cache.entry_path("result", key);
+        let before = fs::read(&path).unwrap();
+        let mut altered = record_for(key);
+        altered.heuristic = 999;
+        cache.store_result(key, &altered).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), before, "first writer wins");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stats_count_both_namespaces() {
+        let (dir, cache) = tmp_cache("stats");
+        assert_eq!(cache.stats(), (0, 0));
+        for tag in ["a", "b", "c"] {
+            let key = fp(tag);
+            cache.store_result(key, &record_for(key)).unwrap();
+        }
+        cache.store_conv(fp("conv"), "x").unwrap();
+        assert_eq!(cache.stats(), (3, 1));
+        let _ = fs::remove_dir_all(dir);
+    }
+}

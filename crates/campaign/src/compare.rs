@@ -1,0 +1,457 @@
+//! The regression gate: pairwise comparison of two stored runs.
+//!
+//! [`compare_records`] matches items by `(test, seed)` and applies the
+//! rules below; [`compare_runs`] loads two runs from a [`RunStore`] and
+//! additionally gates on manifest wall time. A report **is a regression**
+//! iff any rule fired; the CLI turns that into a nonzero exit code, which
+//! makes `perple campaign compare` usable directly as a CI gate.
+//!
+//! Rules, in severity order:
+//!
+//! * **NewForbidden** — an outcome forbidden under x86-TSO was observed in
+//!   the new run but not the baseline: the headline consistency bug.
+//! * **LostOutcome** — the baseline observed the (allowed) target and the
+//!   new run never did: the test lost its discriminating power.
+//! * **FrequencySwing** — allowed-outcome frequency moved by more than
+//!   `freq_threshold` (relative) with at least `min_occurrences` on one
+//!   side: a perturbation-strength regression in the PerpLE sense.
+//! * **NewFaults** — the new run observed more injected machine faults.
+//! * **Nondeterminism** — same fingerprint, different content digest: the
+//!   run is not reproducible.
+//! * **MissingItem / Quarantined** — coverage loss: an item disappeared,
+//!   or is newly quarantined.
+//! * **Timing** — campaign wall time grew by more than `timing_factor`×
+//!   (ignored below `timing_min_ms`, where noise dominates).
+
+use perple_analysis::jsonout::Json;
+
+use crate::store::{OutcomeRecord, RunStore};
+use crate::CampaignError;
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareConfig {
+    /// Relative frequency change that counts as a swing (0.5 = ±50%).
+    pub freq_threshold: f64,
+    /// Minimum occurrences (on either side) before frequencies are
+    /// compared at all — below this the estimate is noise.
+    pub min_occurrences: u64,
+    /// Wall-time growth factor that counts as a timing regression.
+    pub timing_factor: f64,
+    /// Wall times below this (ms) are never compared.
+    pub timing_min_ms: u64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        Self {
+            freq_threshold: 0.5,
+            min_occurrences: 10,
+            timing_factor: 5.0,
+            timing_min_ms: 1_000,
+        }
+    }
+}
+
+/// What kind of rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressionKind {
+    /// Forbidden outcome newly observed.
+    NewForbidden,
+    /// Previously-observed allowed outcome vanished.
+    LostOutcome,
+    /// Allowed-outcome frequency swung beyond the threshold.
+    FrequencySwing,
+    /// More injected machine faults than the baseline.
+    NewFaults,
+    /// Same fingerprint, different content digest.
+    Nondeterminism,
+    /// Item present in the baseline, absent in the new run.
+    MissingItem,
+    /// Item newly quarantined.
+    Quarantined,
+    /// Campaign wall time regressed.
+    Timing,
+}
+
+impl RegressionKind {
+    fn label(self) -> &'static str {
+        match self {
+            RegressionKind::NewForbidden => "new-forbidden",
+            RegressionKind::LostOutcome => "lost-outcome",
+            RegressionKind::FrequencySwing => "frequency-swing",
+            RegressionKind::NewFaults => "new-faults",
+            RegressionKind::Nondeterminism => "nondeterminism",
+            RegressionKind::MissingItem => "missing-item",
+            RegressionKind::Quarantined => "quarantined",
+            RegressionKind::Timing => "timing",
+        }
+    }
+}
+
+/// One fired rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The rule.
+    pub kind: RegressionKind,
+    /// Item identity `test#seed`, or `<campaign>` for run-level rules.
+    pub item: String,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// The full gate verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Baseline run id.
+    pub base_id: String,
+    /// Candidate run id.
+    pub new_id: String,
+    /// Matched `(test, seed)` pairs.
+    pub matched: usize,
+    /// Every fired rule, severity order.
+    pub regressions: Vec<Regression>,
+}
+
+impl CompareReport {
+    /// True iff the gate should fail.
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Plain-text report.
+    pub fn render_text(&self) -> String {
+        let mut s = format!(
+            "compare {} -> {}: {} matched, {} regression(s)\n",
+            self.base_id,
+            self.new_id,
+            self.matched,
+            self.regressions.len()
+        );
+        for r in &self.regressions {
+            s.push_str(&format!(
+                "  [{}] {}: {}\n",
+                r.kind.label(),
+                r.item,
+                r.detail
+            ));
+        }
+        if self.regressions.is_empty() {
+            s.push_str("  ok: no regressions\n");
+        }
+        s
+    }
+
+    /// JSON report (same shape as the text, machine-readable).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::from(1u64)),
+            ("base", Json::from(self.base_id.as_str())),
+            ("new", Json::from(self.new_id.as_str())),
+            ("matched", Json::from(self.matched)),
+            ("regression", Json::from(self.is_regression())),
+            (
+                "regressions",
+                Json::Arr(
+                    self.regressions
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("kind", Json::from(r.kind.label())),
+                                ("item", Json::from(r.item.as_str())),
+                                ("detail", Json::from(r.detail.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Compares two record sets (plus optional wall times) under `cfg`.
+pub fn compare_records(
+    base_id: &str,
+    new_id: &str,
+    base: &[OutcomeRecord],
+    new: &[OutcomeRecord],
+    walls: Option<(u64, u64)>,
+    cfg: &CompareConfig,
+) -> CompareReport {
+    let mut regressions = Vec::new();
+    let mut matched = 0usize;
+
+    for b in base {
+        let item = format!("{}#{}", b.test, b.seed);
+        let Some(n) = new.iter().find(|n| n.test == b.test && n.seed == b.seed) else {
+            regressions.push(Regression {
+                kind: RegressionKind::MissingItem,
+                item,
+                detail: "present in baseline, absent in new run".to_owned(),
+            });
+            continue;
+        };
+        matched += 1;
+
+        if n.quarantined && !b.quarantined {
+            regressions.push(Regression {
+                kind: RegressionKind::Quarantined,
+                item: item.clone(),
+                detail: format!(
+                    "newly quarantined ({})",
+                    n.fault_kind.as_deref().unwrap_or("unknown fault")
+                ),
+            });
+            continue; // A quarantined record carries no counts to compare.
+        }
+        if b.quarantined {
+            continue; // No baseline counts to compare against.
+        }
+
+        if n.forbidden && n.heuristic > 0 && b.heuristic == 0 {
+            regressions.push(Regression {
+                kind: RegressionKind::NewForbidden,
+                item: item.clone(),
+                detail: format!(
+                    "forbidden outcome observed {} time(s) in {} iterations (baseline: 0)",
+                    n.heuristic, n.iterations
+                ),
+            });
+        }
+        if !n.forbidden && b.heuristic >= cfg.min_occurrences && n.heuristic == 0 {
+            regressions.push(Regression {
+                kind: RegressionKind::LostOutcome,
+                item: item.clone(),
+                detail: format!(
+                    "baseline observed the target {} time(s); new run never did",
+                    b.heuristic
+                ),
+            });
+        } else if !n.forbidden
+            && (b.heuristic >= cfg.min_occurrences || n.heuristic >= cfg.min_occurrences)
+        {
+            let (rb, rn) = (b.rate(), n.rate());
+            if rb > 0.0 {
+                let rel = (rn - rb).abs() / rb;
+                if rel > cfg.freq_threshold {
+                    regressions.push(Regression {
+                        kind: RegressionKind::FrequencySwing,
+                        item: item.clone(),
+                        detail: format!(
+                            "target frequency {:.4} -> {:.4} ({:+.0}%)",
+                            rb,
+                            rn,
+                            (rn - rb) / rb * 100.0
+                        ),
+                    });
+                }
+            }
+        }
+        if n.faults > b.faults {
+            regressions.push(Regression {
+                kind: RegressionKind::NewFaults,
+                item: item.clone(),
+                detail: format!("machine faults {} -> {}", b.faults, n.faults),
+            });
+        }
+        if n.fingerprint == b.fingerprint && n.digest != b.digest {
+            regressions.push(Regression {
+                kind: RegressionKind::Nondeterminism,
+                item,
+                detail: format!(
+                    "identical inputs ({}) produced digest {:#x} then {:#x}",
+                    &b.fingerprint[..8],
+                    b.digest,
+                    n.digest
+                ),
+            });
+        }
+    }
+
+    if let Some((wb, wn)) = walls {
+        if wb >= cfg.timing_min_ms && wn as f64 > wb as f64 * cfg.timing_factor {
+            regressions.push(Regression {
+                kind: RegressionKind::Timing,
+                item: "<campaign>".to_owned(),
+                detail: format!("wall time {wb} ms -> {wn} ms (> {}x)", cfg.timing_factor),
+            });
+        }
+    }
+
+    regressions.sort_by_key(|r| {
+        [
+            RegressionKind::NewForbidden,
+            RegressionKind::LostOutcome,
+            RegressionKind::FrequencySwing,
+            RegressionKind::NewFaults,
+            RegressionKind::Nondeterminism,
+            RegressionKind::MissingItem,
+            RegressionKind::Quarantined,
+            RegressionKind::Timing,
+        ]
+        .iter()
+        .position(|k| *k == r.kind)
+        .unwrap_or(usize::MAX)
+    });
+
+    CompareReport {
+        base_id: base_id.to_owned(),
+        new_id: new_id.to_owned(),
+        matched,
+        regressions,
+    }
+}
+
+/// Loads two runs by reference and compares them (wall times from the
+/// manifests).
+///
+/// # Errors
+/// Store errors from resolving or loading either run.
+pub fn compare_runs(
+    store: &RunStore,
+    base_ref: &str,
+    new_ref: &str,
+    cfg: &CompareConfig,
+) -> Result<CompareReport, CampaignError> {
+    let base_id = store.resolve(base_ref)?;
+    let new_id = store.resolve(new_ref)?;
+    let base = store.load_items(&base_id)?;
+    let new = store.load_items(&new_id)?;
+    let wall = |id: &str| -> Result<u64, CampaignError> {
+        Ok(store
+            .load_manifest(id)?
+            .get("wall_ms")
+            .and_then(Json::as_u64)
+            .unwrap_or(0))
+    };
+    let walls = Some((wall(&base_id)?, wall(&new_id)?));
+    Ok(compare_records(&base_id, &new_id, &base, &new, walls, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(test: &str, seed: u64, forbidden: bool, heuristic: u64) -> OutcomeRecord {
+        OutcomeRecord {
+            test: test.to_owned(),
+            seed,
+            fingerprint: format!("{:032x}", 7u128),
+            forbidden,
+            heuristic,
+            exhaustive: heuristic,
+            degraded: false,
+            iterations: 1_000,
+            run_complete: true,
+            faults: 0,
+            digest: 0x1234,
+            quarantined: false,
+            fault_kind: None,
+        }
+    }
+
+    fn gate(base: &[OutcomeRecord], new: &[OutcomeRecord]) -> CompareReport {
+        compare_records("b", "n", base, new, None, &CompareConfig::default())
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let items = vec![record("sb", 1, true, 0), record("mp", 1, false, 40)];
+        let report = gate(&items, &items);
+        assert!(!report.is_regression(), "{}", report.render_text());
+        assert_eq!(report.matched, 2);
+        assert!(report.render_text().contains("ok: no regressions"));
+    }
+
+    #[test]
+    fn new_forbidden_observation_fires() {
+        let base = vec![record("sb", 1, true, 0)];
+        let new = vec![record("sb", 1, true, 3)];
+        let report = gate(&base, &new);
+        assert!(report.is_regression());
+        assert_eq!(report.regressions[0].kind, RegressionKind::NewForbidden);
+    }
+
+    #[test]
+    fn lost_outcome_and_frequency_swing_fire() {
+        let base = vec![record("mp", 1, false, 200), record("lb", 1, false, 100)];
+        let new = vec![record("mp", 1, false, 0), record("lb", 1, false, 10)];
+        let kinds: Vec<_> = gate(&base, &new)
+            .regressions
+            .iter()
+            .map(|r| r.kind)
+            .collect();
+        assert!(kinds.contains(&RegressionKind::LostOutcome));
+        assert!(kinds.contains(&RegressionKind::FrequencySwing));
+    }
+
+    #[test]
+    fn small_counts_do_not_trip_the_frequency_gate() {
+        let base = vec![record("mp", 1, false, 3)];
+        let new = vec![record("mp", 1, false, 8)];
+        assert!(
+            !gate(&base, &new).is_regression(),
+            "below min_occurrences is noise"
+        );
+    }
+
+    #[test]
+    fn new_faults_fire() {
+        let base = vec![record("sb", 1, true, 0)];
+        let mut n = record("sb", 1, true, 0);
+        n.faults = 12;
+        let report = gate(&base, &[n]);
+        assert!(report.is_regression());
+        assert_eq!(report.regressions[0].kind, RegressionKind::NewFaults);
+    }
+
+    #[test]
+    fn nondeterminism_fires_only_for_equal_fingerprints() {
+        let base = vec![record("sb", 1, true, 0)];
+        let mut same_inputs = record("sb", 1, true, 0);
+        same_inputs.digest = 0x9999;
+        let report = gate(&base, &[same_inputs.clone()]);
+        assert_eq!(report.regressions[0].kind, RegressionKind::Nondeterminism);
+
+        let mut different_inputs = same_inputs;
+        different_inputs.fingerprint = format!("{:032x}", 8u128);
+        assert!(!gate(&base, &[different_inputs]).is_regression());
+    }
+
+    #[test]
+    fn missing_and_quarantined_fire() {
+        let base = vec![record("sb", 1, true, 0), record("mp", 1, false, 40)];
+        let mut q = record("sb", 1, true, 0);
+        q.quarantined = true;
+        q.fault_kind = Some("timeout".to_owned());
+        let report = gate(&base, &[q]);
+        let kinds: Vec<_> = report.regressions.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&RegressionKind::Quarantined));
+        assert!(kinds.contains(&RegressionKind::MissingItem));
+    }
+
+    #[test]
+    fn timing_gate_respects_floor_and_factor() {
+        let cfg = CompareConfig::default();
+        let items = vec![record("sb", 1, true, 0)];
+        let fast = compare_records("b", "n", &items, &items, Some((100, 5_000)), &cfg);
+        assert!(!fast.is_regression(), "sub-floor baselines never gate");
+        let slow = compare_records("b", "n", &items, &items, Some((2_000, 11_000)), &cfg);
+        assert_eq!(slow.regressions[0].kind, RegressionKind::Timing);
+        let fine = compare_records("b", "n", &items, &items, Some((2_000, 9_000)), &cfg);
+        assert!(!fine.is_regression());
+    }
+
+    #[test]
+    fn report_json_matches_verdict() {
+        let base = vec![record("sb", 1, true, 0)];
+        let new = vec![record("sb", 1, true, 2)];
+        let json = gate(&base, &new).to_json();
+        assert_eq!(json.get("regression").and_then(Json::as_bool), Some(true));
+        let arr = json.get("regressions").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            arr[0].get("kind").and_then(Json::as_str),
+            Some("new-forbidden")
+        );
+    }
+}

@@ -1,0 +1,405 @@
+//! The incremental campaign engine.
+//!
+//! [`run_campaign`] takes an expanded item list (tests × seeds with
+//! precomputed [`Fingerprint`]s), partitions it into cache **hits** and
+//! **misses**, hands only the misses to a caller-supplied executor, caches
+//! the fresh clean outcomes, and writes the whole run — hits and misses in
+//! the original item order — to the [`RunStore`].
+//!
+//! The executor is a callback (`FnOnce(&[CampaignItem]) -> Vec<Option<ExecOutcome>>`)
+//! rather than a trait object into the simulator: this crate stays
+//! engine-agnostic and the `perple` facade plugs its resilient suite pool
+//! in without a dependency cycle. The contract: the returned vector is
+//! parallel to the input slice; `None` marks an item the executor could
+//! not produce any record for (those are dropped from the stored run and
+//! reported in [`RunSummary::lost`]).
+//!
+//! Cache policy: only **clean** outcomes are cached — not quarantined, all
+//! attempts on the nominal seed (degraded or fault-bearing runs are still
+//! *valid* observations and are stored in the run, but recovered items ran
+//! under perturbed retry seeds, so their counts are not a pure function of
+//! the fingerprint and must be re-executed next time).
+
+use std::time::Instant;
+
+use perple_analysis::jsonout::Json;
+
+use crate::cache::ArtifactCache;
+use crate::fingerprint::Fingerprint;
+use crate::spec::CampaignSpec;
+use crate::store::{OutcomeRecord, RunStore};
+use crate::CampaignError;
+
+/// One expanded campaign item: a `(test, seed)` cell with the fingerprint
+/// of its complete inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignItem {
+    /// Test name (concrete — magic spec entries are expanded upstream).
+    pub test: String,
+    /// The spec-level seed for this item.
+    pub seed: u64,
+    /// Fingerprint of the item's complete behavioural inputs.
+    pub fingerprint: Fingerprint,
+}
+
+/// Wall-clock stage totals for the executed (miss) portion of a run.
+/// Lives only in the manifest — item records stay deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageWallMs {
+    /// Conversion wall total, milliseconds.
+    pub convert_ms: u64,
+    /// Simulation (perpetual run) wall total, milliseconds.
+    pub run_ms: u64,
+    /// Counting wall total, milliseconds.
+    pub count_ms: u64,
+}
+
+impl StageWallMs {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("convert_ms", Json::from(self.convert_ms)),
+            ("run_ms", Json::from(self.run_ms)),
+            ("count_ms", Json::from(self.count_ms)),
+        ])
+    }
+
+    fn add(&mut self, other: StageWallMs) {
+        self.convert_ms += other.convert_ms;
+        self.run_ms += other.run_ms;
+        self.count_ms += other.count_ms;
+    }
+}
+
+/// What the executor produced for one miss.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The outcome record (stored in the run; cached iff `cacheable`).
+    pub record: OutcomeRecord,
+    /// True iff the record is a pure function of the fingerprint (clean
+    /// first-attempt result on the nominal seed).
+    pub cacheable: bool,
+    /// Per-stage wall time this item actually spent (summed into the
+    /// manifest; zero for cache hits by construction, since hits never
+    /// reach the executor).
+    pub wall: StageWallMs,
+}
+
+/// Everything the caller embeds in the manifest besides the spec. Wall
+/// times are measured by the engine itself; these are the bits only the
+/// caller knows.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// Unix timestamp of the run start, milliseconds.
+    pub created_unix_ms: u64,
+    /// `git describe` of the producing tree.
+    pub git: String,
+}
+
+/// What a campaign run did, for callers and the CLI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// The allocated run id.
+    pub id: String,
+    /// Total items in the expanded campaign.
+    pub items: usize,
+    /// Items served from the result cache (no convert/simulate/count).
+    pub hits: usize,
+    /// Items handed to the executor.
+    pub executed: usize,
+    /// Executed items for which the executor returned no record.
+    pub lost: usize,
+    /// Stored records that are quarantined.
+    pub quarantined: usize,
+    /// Stored records with a forbidden target and a nonzero count
+    /// (consistency violations).
+    pub violations: usize,
+}
+
+/// Runs one campaign: cache partition → execute misses → cache clean
+/// outcomes → persist the run.
+///
+/// # Errors
+/// [`CampaignError`] on store or cache I/O failure.
+pub fn run_campaign(
+    store: &RunStore,
+    cache: &ArtifactCache,
+    spec: &CampaignSpec,
+    items: &[CampaignItem],
+    meta: &RunMeta,
+    exec: impl FnOnce(&[CampaignItem]) -> Vec<Option<ExecOutcome>>,
+) -> Result<RunSummary, CampaignError> {
+    let t0 = Instant::now();
+
+    // Partition against the result cache, remembering each item's slot so
+    // the stored run keeps the expansion order regardless of hit pattern.
+    let mut records: Vec<Option<OutcomeRecord>> = vec![None; items.len()];
+    let mut misses: Vec<(usize, CampaignItem)> = Vec::new();
+    for (slot, item) in items.iter().enumerate() {
+        match cache.load_result(item.fingerprint) {
+            Some(hit) => records[slot] = Some(hit),
+            None => misses.push((slot, item.clone())),
+        }
+    }
+    let hits = items.len() - misses.len();
+
+    // Execute the misses (if any) in one batch.
+    let mut lost = 0usize;
+    let mut stage_wall = StageWallMs::default();
+    if !misses.is_empty() {
+        let batch: Vec<CampaignItem> = misses.iter().map(|(_, i)| i.clone()).collect();
+        let outcomes = exec(&batch);
+        assert_eq!(
+            outcomes.len(),
+            batch.len(),
+            "executor must return one slot per input item"
+        );
+        for ((slot, item), outcome) in misses.iter().zip(outcomes) {
+            match outcome {
+                Some(out) => {
+                    if out.cacheable {
+                        cache.store_result(item.fingerprint, &out.record)?;
+                    }
+                    stage_wall.add(out.wall);
+                    records[*slot] = Some(out.record);
+                }
+                None => lost += 1,
+            }
+        }
+    }
+
+    let stored: Vec<OutcomeRecord> = records.into_iter().flatten().collect();
+    let quarantined = stored.iter().filter(|r| r.quarantined).count();
+    let violations = stored
+        .iter()
+        .filter(|r| r.forbidden && r.heuristic > 0)
+        .count();
+
+    let id = store.next_run_id(&spec.name);
+    let manifest = Json::obj(vec![
+        ("schema", Json::from(1u64)),
+        ("id", Json::from(id.as_str())),
+        ("name", Json::from(spec.name.as_str())),
+        ("created_unix_ms", Json::from(meta.created_unix_ms)),
+        ("git", Json::from(meta.git.as_str())),
+        ("spec", Json::from(spec.render())),
+        (
+            "counts",
+            Json::obj(vec![
+                ("items", Json::from(items.len())),
+                ("hits", Json::from(hits)),
+                ("executed", Json::from(misses.len())),
+                ("lost", Json::from(lost)),
+                ("quarantined", Json::from(quarantined)),
+                ("violations", Json::from(violations)),
+            ]),
+        ),
+        ("wall_ms", Json::from(t0.elapsed().as_millis())),
+        ("stage_wall_ms", stage_wall.to_json()),
+    ]);
+    store.write_run(&id, &manifest, &stored)?;
+
+    Ok(RunSummary {
+        id,
+        items: items.len(),
+        hits,
+        executed: misses.len(),
+        lost,
+        quarantined,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Hasher;
+    use std::fs;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("perple-campaign-eng-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn item(test: &str, seed: u64) -> CampaignItem {
+        let mut h = Hasher::new();
+        h.field("test", test).field_u64("seed", seed);
+        CampaignItem {
+            test: test.to_owned(),
+            seed,
+            fingerprint: h.finish(),
+        }
+    }
+
+    fn outcome(it: &CampaignItem, heuristic: u64, cacheable: bool) -> ExecOutcome {
+        ExecOutcome {
+            record: OutcomeRecord {
+                test: it.test.clone(),
+                seed: it.seed,
+                fingerprint: it.fingerprint.hex(),
+                forbidden: it.test == "sb",
+                heuristic,
+                exhaustive: heuristic,
+                degraded: false,
+                iterations: 100,
+                run_complete: true,
+                faults: 0,
+                digest: heuristic.wrapping_mul(31) ^ it.seed,
+                quarantined: false,
+                fault_kind: None,
+            },
+            cacheable,
+            wall: StageWallMs {
+                convert_ms: 1,
+                run_ms: 2,
+                count_ms: 3,
+            },
+        }
+    }
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            created_unix_ms: 1,
+            git: "test".to_owned(),
+        }
+    }
+
+    #[test]
+    fn warm_rerun_executes_nothing() {
+        let root = tmp_root("warm");
+        let store = RunStore::open(&root).unwrap();
+        let cache = ArtifactCache::open(&root).unwrap();
+        let spec = CampaignSpec::named("warm");
+        let items = vec![item("sb", 1), item("mp", 1), item("sb", 2)];
+        let calls = AtomicUsize::new(0);
+
+        let cold = run_campaign(&store, &cache, &spec, &items, &meta(), |batch| {
+            calls.fetch_add(batch.len(), Ordering::SeqCst);
+            batch.iter().map(|i| Some(outcome(i, 5, true))).collect()
+        })
+        .unwrap();
+        assert_eq!((cold.hits, cold.executed), (0, 3));
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+
+        let warm = run_campaign(&store, &cache, &spec, &items, &meta(), |batch| {
+            calls.fetch_add(batch.len(), Ordering::SeqCst);
+            batch.iter().map(|i| Some(outcome(i, 5, true))).collect()
+        })
+        .unwrap();
+        assert_eq!(
+            (warm.hits, warm.executed),
+            (3, 0),
+            "warm run must skip all work"
+        );
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            3,
+            "executor not called on warm run"
+        );
+        assert_eq!(
+            store.load_items(&cold.id).unwrap(),
+            store.load_items(&warm.id).unwrap(),
+            "hit records equal the originals"
+        );
+        // Zero convert/run/count wall on the warm run: nothing executed.
+        let m = store.load_manifest(&warm.id).unwrap();
+        let sw = m.get("stage_wall_ms").unwrap();
+        for stage in ["convert_ms", "run_ms", "count_ms"] {
+            assert_eq!(sw.get(stage).and_then(Json::as_u64), Some(0), "{stage}");
+        }
+        let cold_sw = store.load_manifest(&cold.id).unwrap();
+        assert_eq!(
+            cold_sw
+                .get("stage_wall_ms")
+                .unwrap()
+                .get("run_ms")
+                .and_then(Json::as_u64),
+            Some(6),
+            "cold run sums executed stage walls"
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn uncacheable_outcomes_are_stored_but_rerun() {
+        let root = tmp_root("uncache");
+        let store = RunStore::open(&root).unwrap();
+        let cache = ArtifactCache::open(&root).unwrap();
+        let spec = CampaignSpec::named("u");
+        let items = vec![item("sb", 1)];
+        let first = run_campaign(&store, &cache, &spec, &items, &meta(), |batch| {
+            batch.iter().map(|i| Some(outcome(i, 2, false))).collect()
+        })
+        .unwrap();
+        assert_eq!(first.hits, 0);
+        assert_eq!(
+            store.load_items(&first.id).unwrap().len(),
+            1,
+            "stored in the run"
+        );
+        let second = run_campaign(&store, &cache, &spec, &items, &meta(), |batch| {
+            batch.iter().map(|i| Some(outcome(i, 2, true))).collect()
+        })
+        .unwrap();
+        assert_eq!(
+            second.executed, 1,
+            "uncacheable outcome did not populate the cache"
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn lost_items_are_counted_and_dropped() {
+        let root = tmp_root("lost");
+        let store = RunStore::open(&root).unwrap();
+        let cache = ArtifactCache::open(&root).unwrap();
+        let spec = CampaignSpec::named("l");
+        let items = vec![item("sb", 1), item("mp", 1)];
+        let summary = run_campaign(&store, &cache, &spec, &items, &meta(), |batch| {
+            batch
+                .iter()
+                .map(|i| (i.test == "sb").then(|| outcome(i, 1, true)))
+                .collect()
+        })
+        .unwrap();
+        assert_eq!(summary.lost, 1);
+        let stored = store.load_items(&summary.id).unwrap();
+        assert_eq!(stored.len(), 1);
+        assert_eq!(stored[0].test, "sb");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn violations_and_quarantines_are_summarised() {
+        let root = tmp_root("sum");
+        let store = RunStore::open(&root).unwrap();
+        let cache = ArtifactCache::open(&root).unwrap();
+        let spec = CampaignSpec::named("s");
+        let items = vec![item("sb", 1), item("mp", 1)];
+        let summary = run_campaign(&store, &cache, &spec, &items, &meta(), |batch| {
+            batch
+                .iter()
+                .map(|i| {
+                    let mut out = outcome(i, 7, true);
+                    if i.test == "mp" {
+                        out.record.quarantined = true;
+                        out.record.fault_kind = Some("panic".to_owned());
+                        out.cacheable = false;
+                    }
+                    Some(out)
+                })
+                .collect()
+        })
+        .unwrap();
+        assert_eq!(summary.violations, 1, "forbidden sb with nonzero count");
+        assert_eq!(summary.quarantined, 1);
+        let manifest = store.load_manifest(&summary.id).unwrap();
+        let counts = manifest.get("counts").unwrap();
+        assert_eq!(counts.get("violations").and_then(Json::as_u64), Some(1));
+        assert_eq!(counts.get("quarantined").and_then(Json::as_u64), Some(1));
+        let _ = fs::remove_dir_all(root);
+    }
+}

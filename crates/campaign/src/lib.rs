@@ -1,0 +1,85 @@
+//! # perple-campaign
+//!
+//! The persistence and incrementality layer of the PerpLE reproduction:
+//! memory consistency testing as a **repeated, queryable process** rather
+//! than a single execution.
+//!
+//! Three cooperating pieces:
+//!
+//! * [`store`] — an append-only, on-disk run store under `results/store/`:
+//!   one directory per campaign run holding a manifest (spec, config,
+//!   git-describe, wall/stage timings) plus deterministic per-item outcome
+//!   records, and an append-only `runs.jsonl` index;
+//! * [`cache`] — a content-addressed artifact cache (`cas/`) keyed by a
+//!   [`fingerprint`] of the item's inputs (litmus source bytes, conversion
+//!   options, simulator config, seed): conversion artifacts and counted
+//!   results are both cached, so a warm re-run of an unchanged suite item
+//!   is a cache hit that skips convert → simulate → count entirely;
+//! * [`engine`] — executes a declarative [`spec::CampaignSpec`]
+//!   (tests × seeds under one config) with cache-hit skipping, delegating
+//!   the actual misses to a caller-supplied executor (the `perple` facade
+//!   runs them on its resilient suite pool);
+//! * [`compare`] — the regression gate: pairwise outcome comparison
+//!   between two stored runs (new forbidden-outcome observations, allowed
+//!   frequency swings, injected machine faults, nondeterminism, timing)
+//!   with text and JSON reports, suitable as a CI exit gate.
+//!
+//! The crate is deliberately engine-agnostic: it never converts, simulates,
+//! or counts anything itself, so it depends only on `perple-analysis` (for
+//! the shared byte-stable [`perple_analysis::jsonout`] writer every file in
+//! the store is serialized with).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod compare;
+pub mod engine;
+pub mod fingerprint;
+pub mod spec;
+pub mod store;
+
+pub use cache::ArtifactCache;
+pub use compare::{
+    compare_records, compare_runs, CompareConfig, CompareReport, Regression, RegressionKind,
+};
+pub use engine::{run_campaign, CampaignItem, ExecOutcome, RunMeta, RunSummary, StageWallMs};
+pub use fingerprint::{Fingerprint, Hasher, CACHE_FORMAT_VERSION};
+pub use spec::CampaignSpec;
+pub use store::{git_describe, OutcomeRecord, RunStore};
+
+use std::fmt;
+
+/// Errors of the campaign layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// Filesystem trouble (path and cause).
+    Io(String),
+    /// A spec or stored document failed to parse.
+    Parse(String),
+    /// A referenced run id does not exist (or is ambiguous).
+    NotFound(String),
+    /// A stored document exists but its content is not what the schema
+    /// requires.
+    Corrupt(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Io(m) => write!(f, "store I/O failed: {m}"),
+            CampaignError::Parse(m) => write!(f, "parse error: {m}"),
+            CampaignError::NotFound(m) => write!(f, "run not found: {m}"),
+            CampaignError::Corrupt(m) => write!(f, "corrupt store document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl CampaignError {
+    /// Wraps an `io::Error` with the path it happened on.
+    pub fn io(path: &std::path::Path, e: std::io::Error) -> Self {
+        CampaignError::Io(format!("{}: {e}", path.display()))
+    }
+}

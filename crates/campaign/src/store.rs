@@ -1,0 +1,534 @@
+//! The append-only on-disk run store.
+//!
+//! Layout under the store root (default `results/store/`):
+//!
+//! ```text
+//! results/store/
+//!   runs.jsonl                  append-only index, one line per run
+//!   runs/<id>/manifest.json     spec, config, git-describe, timings
+//!   runs/<id>/items.json        deterministic per-item outcome records
+//!   cas/...                     the content-addressed cache (see `cache`)
+//! ```
+//!
+//! Runs are **append-only**: a run directory is written once (files land
+//! via temp-file + rename so a crash never leaves a half-written manifest
+//! behind a valid name) and never mutated; re-running a campaign creates a
+//! new run id. `items.json` contains only deterministic outcome fields —
+//! counts, seeds, fingerprints, digests, never wall-clock values — so two
+//! runs of an identical campaign produce **byte-identical** item files.
+//! All wall-clock data (created-at, stage walls) lives in the manifest.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use perple_analysis::jsonout::{self, Json};
+
+use crate::CampaignError;
+
+/// One item's deterministic outcome: what the counters saw, never when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcomeRecord {
+    /// Test name.
+    pub test: String,
+    /// The spec-level seed axis value this item ran under.
+    pub seed: u64,
+    /// Hex cache fingerprint of the item's complete inputs.
+    pub fingerprint: String,
+    /// True iff the target outcome is forbidden under x86-TSO (any
+    /// nonzero count is then a consistency violation).
+    pub forbidden: bool,
+    /// Target occurrences, heuristic counter.
+    pub heuristic: u64,
+    /// Target occurrences, exhaustive counter (or the heuristic counts
+    /// when `degraded`).
+    pub exhaustive: u64,
+    /// True iff the exhaustive count degraded to heuristic on budget
+    /// expiry.
+    pub degraded: bool,
+    /// Whole iterations executed.
+    pub iterations: u64,
+    /// False iff the run stage was truncated by its budget.
+    pub run_complete: bool,
+    /// Injected machine faults observed during the run.
+    pub faults: u64,
+    /// Content digest of the run's buffers (`PerpleRun::content_digest`);
+    /// equal fingerprints must imply equal digests.
+    pub digest: u64,
+    /// True iff every attempt failed and the item carries no counts.
+    pub quarantined: bool,
+    /// Failure kind that quarantined the item (`panic`, `timeout`, …).
+    pub fault_kind: Option<String>,
+}
+
+impl OutcomeRecord {
+    /// The identity compare matches items on: `(test, seed)`.
+    pub fn key(&self) -> (String, u64) {
+        (self.test.clone(), self.seed)
+    }
+
+    /// Observed target frequency (occurrences per iteration, heuristic
+    /// counter); 0 for empty runs.
+    pub fn rate(&self) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        self.heuristic as f64 / self.iterations as f64
+    }
+
+    /// The record as a stable-key-order JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("test", Json::from(self.test.as_str())),
+            ("seed", Json::from(self.seed)),
+            ("fingerprint", Json::from(self.fingerprint.as_str())),
+            ("forbidden", Json::from(self.forbidden)),
+            ("heuristic", Json::from(self.heuristic)),
+            ("exhaustive", Json::from(self.exhaustive)),
+            ("degraded", Json::from(self.degraded)),
+            ("iterations", Json::from(self.iterations)),
+            ("run_complete", Json::from(self.run_complete)),
+            ("faults", Json::from(self.faults)),
+            ("digest", Json::from(self.digest)),
+            ("quarantined", Json::from(self.quarantined)),
+            (
+                "fault_kind",
+                match &self.fault_kind {
+                    Some(k) => Json::from(k.as_str()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Parses a record back from its JSON form.
+    ///
+    /// # Errors
+    /// [`CampaignError::Corrupt`] when a required field is missing or
+    /// mistyped.
+    pub fn from_json(v: &Json) -> Result<Self, CampaignError> {
+        let need = |field: &'static str| {
+            move || CampaignError::Corrupt(format!("outcome record is missing {field:?}"))
+        };
+        Ok(Self {
+            test: v
+                .get("test")
+                .and_then(Json::as_str)
+                .ok_or_else(need("test"))?
+                .to_owned(),
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or_else(need("seed"))?,
+            fingerprint: v
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .ok_or_else(need("fingerprint"))?
+                .to_owned(),
+            forbidden: v
+                .get("forbidden")
+                .and_then(Json::as_bool)
+                .ok_or_else(need("forbidden"))?,
+            heuristic: v
+                .get("heuristic")
+                .and_then(Json::as_u64)
+                .ok_or_else(need("heuristic"))?,
+            exhaustive: v
+                .get("exhaustive")
+                .and_then(Json::as_u64)
+                .ok_or_else(need("exhaustive"))?,
+            degraded: v
+                .get("degraded")
+                .and_then(Json::as_bool)
+                .ok_or_else(need("degraded"))?,
+            iterations: v
+                .get("iterations")
+                .and_then(Json::as_u64)
+                .ok_or_else(need("iterations"))?,
+            run_complete: v
+                .get("run_complete")
+                .and_then(Json::as_bool)
+                .ok_or_else(need("run_complete"))?,
+            faults: v
+                .get("faults")
+                .and_then(Json::as_u64)
+                .ok_or_else(need("faults"))?,
+            digest: v
+                .get("digest")
+                .and_then(Json::as_u64)
+                .ok_or_else(need("digest"))?,
+            quarantined: v
+                .get("quarantined")
+                .and_then(Json::as_bool)
+                .ok_or_else(need("quarantined"))?,
+            fault_kind: v
+                .get("fault_kind")
+                .and_then(Json::as_str)
+                .map(str::to_owned),
+        })
+    }
+}
+
+/// Handle on one store root.
+#[derive(Debug, Clone)]
+pub struct RunStore {
+    root: PathBuf,
+}
+
+impl RunStore {
+    /// The conventional store location.
+    pub fn default_root() -> PathBuf {
+        PathBuf::from("results/store")
+    }
+
+    /// Opens (creating if needed) a store at `root`.
+    ///
+    /// # Errors
+    /// [`CampaignError::Io`] if the directories cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, CampaignError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("runs")).map_err(|e| CampaignError::io(&root, e))?;
+        Ok(Self { root })
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory of one run.
+    pub fn run_dir(&self, id: &str) -> PathBuf {
+        self.root.join("runs").join(id)
+    }
+
+    /// Allocates the next run id for a campaign name: `<name>-NNNN` with
+    /// the smallest unused sequence number.
+    pub fn next_run_id(&self, name: &str) -> String {
+        let prefix = format!("{name}-");
+        let mut max = 0u64;
+        if let Ok(entries) = fs::read_dir(self.root.join("runs")) {
+            for entry in entries.flatten() {
+                let file = entry.file_name();
+                let Some(rest) = file
+                    .to_string_lossy()
+                    .strip_prefix(&prefix)
+                    .map(str::to_owned)
+                else {
+                    continue;
+                };
+                if let Ok(n) = rest.parse::<u64>() {
+                    max = max.max(n);
+                }
+            }
+        }
+        format!("{name}-{:04}", max + 1)
+    }
+
+    /// Writes one complete run: `manifest.json`, `items.json`, and the
+    /// index line — append-only, atomically per file.
+    ///
+    /// # Errors
+    /// [`CampaignError::Io`] on filesystem trouble; refuses to overwrite
+    /// an existing run id (the store is append-only).
+    pub fn write_run(
+        &self,
+        id: &str,
+        manifest: &Json,
+        items: &[OutcomeRecord],
+    ) -> Result<(), CampaignError> {
+        let dir = self.run_dir(id);
+        if dir.exists() {
+            return Err(CampaignError::Io(format!(
+                "{}: run already exists (the store is append-only)",
+                dir.display()
+            )));
+        }
+        fs::create_dir_all(&dir).map_err(|e| CampaignError::io(&dir, e))?;
+        write_atomic(&dir.join("manifest.json"), &manifest.render())?;
+        let items_doc = Json::obj(vec![
+            ("schema", Json::from(1u64)),
+            (
+                "items",
+                Json::Arr(items.iter().map(OutcomeRecord::to_json).collect()),
+            ),
+        ]);
+        write_atomic(&dir.join("items.json"), &items_doc.render())?;
+        self.append_index(manifest)
+    }
+
+    /// Appends one line to the `runs.jsonl` index.
+    fn append_index(&self, manifest: &Json) -> Result<(), CampaignError> {
+        let line = Json::obj(vec![
+            ("id", manifest.get("id").cloned().unwrap_or(Json::Null)),
+            ("name", manifest.get("name").cloned().unwrap_or(Json::Null)),
+            (
+                "created_unix_ms",
+                manifest
+                    .get("created_unix_ms")
+                    .cloned()
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "counts",
+                manifest.get("counts").cloned().unwrap_or(Json::Null),
+            ),
+        ]);
+        let path = self.root.join("runs.jsonl");
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| CampaignError::io(&path, e))?;
+        writeln!(f, "{}", line.render()).map_err(|e| CampaignError::io(&path, e))
+    }
+
+    /// Every index line, oldest first.
+    ///
+    /// # Errors
+    /// [`CampaignError::Corrupt`] if the index has unparseable lines.
+    pub fn list(&self) -> Result<Vec<Json>, CampaignError> {
+        let path = self.root.join("runs.jsonl");
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let text = fs::read_to_string(&path).map_err(|e| CampaignError::io(&path, e))?;
+        jsonout::parse_lines(&text)
+            .map_err(|e| CampaignError::Corrupt(format!("{}: {e}", path.display())))
+    }
+
+    /// Resolves a run reference to an exact id: an exact id, a unique id
+    /// prefix, or `latest` (most recently appended index entry).
+    ///
+    /// # Errors
+    /// [`CampaignError::NotFound`] for unknown or ambiguous references.
+    pub fn resolve(&self, reference: &str) -> Result<String, CampaignError> {
+        let index = self.list()?;
+        let ids: Vec<String> = index
+            .iter()
+            .filter_map(|l| l.get("id").and_then(Json::as_str).map(str::to_owned))
+            .collect();
+        if reference == "latest" {
+            return ids
+                .last()
+                .cloned()
+                .ok_or_else(|| CampaignError::NotFound("store has no runs".to_owned()));
+        }
+        if ids.iter().any(|i| i == reference) {
+            return Ok(reference.to_owned());
+        }
+        let matches: Vec<&String> = ids.iter().filter(|i| i.starts_with(reference)).collect();
+        match matches.as_slice() {
+            [one] => Ok((*one).clone()),
+            [] => Err(CampaignError::NotFound(format!(
+                "no run matches {reference:?}"
+            ))),
+            many => Err(CampaignError::NotFound(format!(
+                "{reference:?} is ambiguous ({} matches)",
+                many.len()
+            ))),
+        }
+    }
+
+    /// Loads a run's manifest.
+    ///
+    /// # Errors
+    /// [`CampaignError::NotFound`] for missing runs, [`CampaignError::Corrupt`]
+    /// for unparseable manifests.
+    pub fn load_manifest(&self, id: &str) -> Result<Json, CampaignError> {
+        let path = self.run_dir(id).join("manifest.json");
+        let text = fs::read_to_string(&path)
+            .map_err(|_| CampaignError::NotFound(format!("run {id:?} has no manifest")))?;
+        jsonout::parse(&text)
+            .map_err(|e| CampaignError::Corrupt(format!("{}: {e}", path.display())))
+    }
+
+    /// Loads a run's outcome records.
+    ///
+    /// # Errors
+    /// [`CampaignError::NotFound`] / [`CampaignError::Corrupt`] as for
+    /// [`RunStore::load_manifest`].
+    pub fn load_items(&self, id: &str) -> Result<Vec<OutcomeRecord>, CampaignError> {
+        let path = self.run_dir(id).join("items.json");
+        let text = fs::read_to_string(&path)
+            .map_err(|_| CampaignError::NotFound(format!("run {id:?} has no items file")))?;
+        let doc = jsonout::parse(&text)
+            .map_err(|e| CampaignError::Corrupt(format!("{}: {e}", path.display())))?;
+        doc.get("items")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| {
+                CampaignError::Corrupt(format!("{}: missing \"items\" array", path.display()))
+            })?
+            .iter()
+            .map(OutcomeRecord::from_json)
+            .collect()
+    }
+}
+
+/// Writes `content` to `path` atomically (temp file + rename), so readers
+/// never observe a half-written document.
+pub(crate) fn write_atomic(path: &Path, content: &str) -> Result<(), CampaignError> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, content).map_err(|e| CampaignError::io(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| CampaignError::io(path, e))
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// outside a git checkout — recorded in every run manifest so stored
+/// results can be traced back to the code that produced them.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> (PathBuf, RunStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "perple-campaign-store-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let store = RunStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    fn record(test: &str, seed: u64, heuristic: u64) -> OutcomeRecord {
+        OutcomeRecord {
+            test: test.to_owned(),
+            seed,
+            fingerprint: format!("{:032x}", 0xABCDu128 + seed as u128),
+            forbidden: false,
+            heuristic,
+            exhaustive: heuristic + 1,
+            degraded: false,
+            iterations: 400,
+            run_complete: true,
+            faults: 0,
+            digest: 0xDEAD_BEEF ^ seed,
+            quarantined: false,
+            fault_kind: None,
+        }
+    }
+
+    fn manifest(id: &str) -> Json {
+        Json::obj(vec![
+            ("schema", Json::from(1u64)),
+            ("id", Json::from(id)),
+            ("name", Json::from("t")),
+            ("created_unix_ms", Json::from(123u64)),
+            ("counts", Json::obj(vec![("items", Json::from(2u64))])),
+        ])
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let (dir, store) = tmp_store("roundtrip");
+        let items = vec![record("sb", 1, 9), record("mp", 2, 0)];
+        store
+            .write_run("t-0001", &manifest("t-0001"), &items)
+            .unwrap();
+        assert_eq!(store.load_items("t-0001").unwrap(), items);
+        let m = store.load_manifest("t-0001").unwrap();
+        assert_eq!(m.get("id").and_then(Json::as_str), Some("t-0001"));
+        let index = store.list().unwrap();
+        assert_eq!(index.len(), 1);
+        assert_eq!(index[0].get("id").and_then(Json::as_str), Some("t-0001"));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn item_files_are_byte_identical_for_equal_outcomes() {
+        let (dir, store) = tmp_store("stable");
+        let items = vec![record("sb", 1, 9)];
+        store
+            .write_run("a-0001", &manifest("a-0001"), &items)
+            .unwrap();
+        store
+            .write_run("a-0002", &manifest("a-0002"), &items)
+            .unwrap();
+        let a = fs::read(store.run_dir("a-0001").join("items.json")).unwrap();
+        let b = fs::read(store.run_dir("a-0002").join("items.json")).unwrap();
+        assert_eq!(
+            a, b,
+            "deterministic outcomes must serialize byte-identically"
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn store_is_append_only() {
+        let (dir, store) = tmp_store("appendonly");
+        store.write_run("x-0001", &manifest("x-0001"), &[]).unwrap();
+        let err = store
+            .write_run("x-0001", &manifest("x-0001"), &[])
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::Io(_)), "{err}");
+        assert!(err.to_string().contains("append-only"));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn run_ids_increment_per_name() {
+        let (dir, store) = tmp_store("ids");
+        assert_eq!(store.next_run_id("smoke"), "smoke-0001");
+        store
+            .write_run("smoke-0001", &manifest("smoke-0001"), &[])
+            .unwrap();
+        assert_eq!(store.next_run_id("smoke"), "smoke-0002");
+        assert_eq!(store.next_run_id("other"), "other-0001");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn resolve_handles_exact_prefix_latest_and_misses() {
+        let (dir, store) = tmp_store("resolve");
+        store
+            .write_run("aa-0001", &manifest("aa-0001"), &[])
+            .unwrap();
+        store
+            .write_run("ab-0001", &manifest("ab-0001"), &[])
+            .unwrap();
+        assert_eq!(store.resolve("aa-0001").unwrap(), "aa-0001");
+        assert_eq!(store.resolve("ab").unwrap(), "ab-0001");
+        assert_eq!(store.resolve("latest").unwrap(), "ab-0001");
+        assert!(
+            matches!(store.resolve("a"), Err(CampaignError::NotFound(_))),
+            "ambiguous"
+        );
+        assert!(matches!(
+            store.resolve("zz"),
+            Err(CampaignError::NotFound(_))
+        ));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn quarantined_records_round_trip_their_fault_kind() {
+        let mut r = record("sb", 1, 0);
+        r.quarantined = true;
+        r.fault_kind = Some("panic".to_owned());
+        let back = OutcomeRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn corrupt_records_are_rejected_with_the_missing_field() {
+        let err =
+            OutcomeRecord::from_json(&Json::obj(vec![("test", Json::from("sb"))])).unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let d = git_describe();
+        assert!(!d.is_empty());
+    }
+}

@@ -73,7 +73,11 @@ pub fn emit_thread_asm(perp: &PerpetualTest) -> Vec<String> {
                 }
             }
             if perp.reads_per_thread()[t] > 0 {
-                let _ = writeln!(s, "    ; buf_{t}[{}*n+i] <- reg_i", perp.reads_per_thread()[t]);
+                let _ = writeln!(
+                    s,
+                    "    ; buf_{t}[{}*n+i] <- reg_i",
+                    perp.reads_per_thread()[t]
+                );
                 for i in 0..perp.reads_per_thread()[t] {
                     let _ = writeln!(s, "    mov [rsi + r9*8 + {}], r1{}", i * 8, i);
                 }
@@ -108,7 +112,11 @@ pub fn emit_thread_asm_aarch64(perp: &PerpetualTest) -> Vec<String> {
         .enumerate()
         .map(|(t, body)| {
             let mut s = String::new();
-            let _ = writeln!(s, "// perpetual litmus thread {t} of {} (aarch64)", perp.name());
+            let _ = writeln!(
+                s,
+                "// perpetual litmus thread {t} of {} (aarch64)",
+                perp.name()
+            );
             let _ = writeln!(s, "// x0 = N, x1 = buf_{t}, x9 = n_{t}");
             let _ = writeln!(s, ".global perp_thread_{t}");
             let _ = writeln!(s, "perp_thread_{t}:");
@@ -142,7 +150,11 @@ pub fn emit_thread_asm_aarch64(perp: &PerpetualTest) -> Vec<String> {
                     }
                     PerpInstr::Xchg { reg, loc, k, a } => {
                         let name = &perp.locations()[loc.index()];
-                        let _ = writeln!(s, "    // swap [{name}] <- {k}*n+{a}, old -> reg{}", reg.index());
+                        let _ = writeln!(
+                            s,
+                            "    // swap [{name}] <- {k}*n+{a}, old -> reg{}",
+                            reg.index()
+                        );
                         let _ = writeln!(s, "    mov x3, #{k}");
                         let _ = writeln!(s, "    mul x2, x9, x3");
                         let _ = writeln!(s, "    add x2, x2, #{a}");
@@ -156,7 +168,11 @@ pub fn emit_thread_asm_aarch64(perp: &PerpetualTest) -> Vec<String> {
                 }
             }
             if perp.reads_per_thread()[t] > 0 {
-                let _ = writeln!(s, "    // buf_{t}[{}*n+i] <- reg_i", perp.reads_per_thread()[t]);
+                let _ = writeln!(
+                    s,
+                    "    // buf_{t}[{}*n+i] <- reg_i",
+                    perp.reads_per_thread()[t]
+                );
                 for i in 0..perp.reads_per_thread()[t] {
                     let _ = writeln!(s, "    str x1{i}, [x1, x10, lsl #3]");
                     let _ = writeln!(s, "    add x10, x10, #1");
@@ -266,13 +282,25 @@ pub fn emit_count_c(perp: &PerpetualTest, outcomes: &[PerpetualOutcome]) -> Stri
                 .iter()
                 .map(|c| cond_expr(c, &exist_names))
                 .collect();
-            let _ = writeln!(s, "{indent}{keyword} ({}) /* p_out_{o}: {} */", body.join(" && "), outcome.label());
+            let _ = writeln!(
+                s,
+                "{indent}{keyword} ({}) /* p_out_{o}: {} */",
+                body.join(" && "),
+                outcome.label()
+            );
             let _ = writeln!(s, "{indent}    counts[{o}]++;");
         } else {
             // Existential feasibility scan.
-            let _ = writeln!(s, "{indent}{keyword} (({{ int hit = 0; /* p_out_{o}: {} */", outcome.label());
+            let _ = writeln!(
+                s,
+                "{indent}{keyword} (({{ int hit = 0; /* p_out_{o}: {} */",
+                outcome.label()
+            );
             for e in &exist_names {
-                let _ = writeln!(s, "{indent}    for (uint64_t {e} = 0; {e} < N && !hit; {e}++)");
+                let _ = writeln!(
+                    s,
+                    "{indent}    for (uint64_t {e} = 0; {e} < N && !hit; {e}++)"
+                );
             }
             let body: Vec<String> = outcome
                 .conds()
@@ -312,8 +340,12 @@ pub fn emit_counth_c(perp: &PerpetualTest, outcomes: &[HeuristicOutcome]) -> Str
     let _ = writeln!(s, "    for (uint64_t n0 = 0; n0 < N; n0++) {{");
     for (o, h) in outcomes.iter().enumerate() {
         let keyword = if o == 0 { "if" } else { "else if" };
-        let _ = writeln!(s, "        {keyword} (p_out_h_{o}(n0, N{})) /* {} */",
-            (0..tl).map(|i| format!(", buf{i}")).collect::<String>(), h.label());
+        let _ = writeln!(
+            s,
+            "        {keyword} (p_out_h_{o}(n0, N{})) /* {} */",
+            (0..tl).map(|i| format!(", buf{i}")).collect::<String>(),
+            h.label()
+        );
         let _ = writeln!(s, "            counts[{o}]++;");
     }
     let _ = writeln!(s, "    }}");
@@ -338,7 +370,10 @@ pub fn emit_counth_c(perp: &PerpetualTest, outcomes: &[HeuristicOutcome]) -> Str
                         "buf{}[{} * n{} + {}]",
                         load.frame_pos, load.reads_per_iter, load.frame_pos, load.slot
                     );
-                    let _ = writeln!(s, "    if ({val} < {a} || ({val} - {a}) % {k} != 0) return 0;");
+                    let _ = writeln!(
+                        s,
+                        "    if ({val} < {a} || ({val} - {a}) % {k} != 0) return 0;"
+                    );
                     let _ = writeln!(s, "    uint64_t {target} = ({val} - {a}) / {k};");
                 }
                 DeriveRule::FromFr { load, k, a } => {
@@ -467,8 +502,7 @@ mod tests {
         let t = suite::mp();
         let kmap = KMap::compute(&t).unwrap();
         let perp = PerpetualTest::convert(&t).unwrap();
-        let target =
-            crate::outcomes::PerpetualOutcome::convert_target(&t, &perp, &kmap).unwrap();
+        let target = crate::outcomes::PerpetualOutcome::convert_target(&t, &perp, &kmap).unwrap();
         let c = emit_count_c(&perp, &[target]);
         assert!(c.contains("for (uint64_t m0 = 0; m0 < N && !hit; m0++)"));
     }

@@ -15,7 +15,6 @@
 //! the plan resolves one frame per pivot iteration in O(1), giving the
 //! linear `COUNTH` of Algorithm 2.
 
-
 use crate::kmap::KMap;
 use crate::outcomes::{fr_lower_bound, IdxRef, LoadRef, PerpCond, PerpetualOutcome};
 
@@ -156,7 +155,11 @@ impl HeuristicOutcome {
                     PerpCond::Rf { term, .. } => {
                         progressed |= try_resolve(
                             term.writer,
-                            DeriveRule::FromRf { load, k: term.k, a: term.a },
+                            DeriveRule::FromRf {
+                                load,
+                                k: term.k,
+                                a: term.a,
+                            },
                             &mut plan,
                         );
                     }
@@ -164,7 +167,11 @@ impl HeuristicOutcome {
                         for term in terms {
                             progressed |= try_resolve(
                                 term.writer,
-                                DeriveRule::FromFr { load, k: term.k, a: term.a },
+                                DeriveRule::FromFr {
+                                    load,
+                                    k: term.k,
+                                    a: term.a,
+                                },
                                 &mut plan,
                             );
                         }
@@ -179,12 +186,18 @@ impl HeuristicOutcome {
         // Unreachable indices: lockstep fallback.
         for (p, r) in frame_resolved.iter().enumerate() {
             if !*r {
-                plan.push(Derivation { target: IdxRef::Frame(p), rule: DeriveRule::Lockstep });
+                plan.push(Derivation {
+                    target: IdxRef::Frame(p),
+                    rule: DeriveRule::Lockstep,
+                });
             }
         }
         for (e, r) in exist_resolved.iter().enumerate() {
             if !*r {
-                plan.push(Derivation { target: IdxRef::Exist(e), rule: DeriveRule::Lockstep });
+                plan.push(Derivation {
+                    target: IdxRef::Exist(e),
+                    rule: DeriveRule::Lockstep,
+                });
             }
         }
 
@@ -254,14 +267,18 @@ impl HeuristicOutcome {
             };
             let derived = match d.rule {
                 DeriveRule::FromRf { load, k, a } => {
-                    let Some(val) = value(&load, &frame) else { return false };
+                    let Some(val) = value(&load, &frame) else {
+                        return false;
+                    };
                     match KMap::decode(k, a, val) {
                         Some(m) => m,
                         None => return false,
                     }
                 }
                 DeriveRule::FromFr { load, k, a } => {
-                    let Some(val) = value(&load, &frame) else { return false };
+                    let Some(val) = value(&load, &frame) else {
+                        return false;
+                    };
                     fr_lower_bound(k, a, val)
                 }
                 DeriveRule::Lockstep => n,
@@ -311,8 +328,8 @@ impl HeuristicOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::perpetual::PerpetualTest;
     use crate::outcomes::convert_all_outcomes;
+    use crate::perpetual::PerpetualTest;
     use perple_model::suite;
 
     fn sb_heuristics() -> Vec<HeuristicOutcome> {
@@ -399,8 +416,7 @@ mod tests {
         let t = suite::mp();
         let kmap = KMap::compute(&t).unwrap();
         let perp = PerpetualTest::convert(&t).unwrap();
-        let target =
-            crate::outcomes::PerpetualOutcome::convert_target(&t, &perp, &kmap).unwrap();
+        let target = crate::outcomes::PerpetualOutcome::convert_target(&t, &perp, &kmap).unwrap();
         let h = HeuristicOutcome::from_perpetual(&target, 1);
         assert!(h.fully_derived());
         // buf1 per iteration: [EAX(y), EBX(x)].
@@ -431,8 +447,7 @@ mod tests {
             let kmap = KMap::compute(&t).unwrap();
             let perp = PerpetualTest::convert(&t).unwrap();
             let target =
-                crate::outcomes::PerpetualOutcome::convert_target(&t, &perp, &kmap)
-                    .unwrap();
+                crate::outcomes::PerpetualOutcome::convert_target(&t, &perp, &kmap).unwrap();
             let h = HeuristicOutcome::from_perpetual(&target, perp.load_thread_count());
             assert_eq!(h.label(), "target");
             // The plan must assign every non-pivot index exactly once.

@@ -79,7 +79,10 @@ impl KMap {
                 );
             }
         }
-        Ok(Self { k_per_loc, by_value })
+        Ok(Self {
+            k_per_loc,
+            by_value,
+        })
     }
 
     /// `k_mem` for a location (0 if nothing stores to it).
@@ -172,7 +175,10 @@ mod tests {
         let t = b.build().unwrap();
         assert_eq!(
             KMap::compute(&t).unwrap_err(),
-            ConvertError::DuplicateStoreValue { loc: "x".into(), value: 1 }
+            ConvertError::DuplicateStoreValue {
+                loc: "x".into(),
+                value: 1
+            }
         );
     }
 

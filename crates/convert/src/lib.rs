@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod codegen;
 mod heuristic;
 mod kmap;
@@ -50,9 +51,7 @@ mod perpetual;
 
 pub use heuristic::{Derivation, DeriveRule, HeuristicOutcome};
 pub use kmap::{KMap, SeqAssignment};
-pub use outcomes::{
-    convert_all_outcomes, IdxRef, LoadRef, PerpCond, PerpetualOutcome, StoreTerm,
-};
+pub use outcomes::{convert_all_outcomes, IdxRef, LoadRef, PerpCond, PerpetualOutcome, StoreTerm};
 pub use perpetual::{PerpInstr, PerpetualTest};
 
 use std::fmt;
@@ -101,13 +100,19 @@ impl fmt::Display for ConvertError {
                 write!(f, "condition inspects final shared memory; not convertible")
             }
             ConvertError::DuplicateStoreValue { loc, value } => {
-                write!(f, "value {value} is stored to [{loc}] by multiple instructions")
+                write!(
+                    f,
+                    "value {value} is stored to [{loc}] by multiple instructions"
+                )
             }
             ConvertError::NonZeroInit { loc } => {
                 write!(f, "location [{loc}] has a non-zero initial value")
             }
             ConvertError::UnloadedRegister { thread, reg } => {
-                write!(f, "condition references register {thread}:r{reg} that no load writes")
+                write!(
+                    f,
+                    "condition references register {thread}:r{reg} that no load writes"
+                )
             }
             ConvertError::NoWriterForValue { loc, value } => {
                 write!(f, "no store writes value {value} to [{loc}]")
@@ -145,7 +150,12 @@ impl Conversion {
         let target_exhaustive = PerpetualOutcome::convert_target(test, &perpetual, &kmap)?;
         let target_heuristic =
             HeuristicOutcome::from_perpetual(&target_exhaustive, perpetual.load_thread_count());
-        Ok(Self { perpetual, kmap, target_exhaustive, target_heuristic })
+        Ok(Self {
+            perpetual,
+            kmap,
+            target_exhaustive,
+            target_heuristic,
+        })
     }
 
     /// Converts every possible outcome of the test (for outcome-variety
@@ -181,8 +191,7 @@ mod tests {
 
     #[test]
     fn suite_split_34_convertible_54_not() {
-        let (conv, nonconv): (Vec<_>, Vec<_>) =
-            suite::full().into_iter().partition(is_convertible);
+        let (conv, nonconv): (Vec<_>, Vec<_>) = suite::full().into_iter().partition(is_convertible);
         assert_eq!(conv.len(), 34);
         assert_eq!(nonconv.len(), 54);
     }
@@ -191,10 +200,7 @@ mod tests {
     fn conversion_bundles_are_consistent() {
         for t in suite::convertible() {
             let c = Conversion::convert(&t).unwrap();
-            assert_eq!(
-                c.target_heuristic.label(),
-                c.target_exhaustive.label()
-            );
+            assert_eq!(c.target_heuristic.label(), c.target_exhaustive.label());
             let all = c.all_outcomes(&t).unwrap();
             assert!(!all.is_empty());
             for (o, h) in &all {
@@ -207,10 +213,18 @@ mod tests {
     fn error_messages_are_informative() {
         let msgs = [
             ConvertError::MemoryCondition.to_string(),
-            ConvertError::DuplicateStoreValue { loc: "x".into(), value: 1 }.to_string(),
+            ConvertError::DuplicateStoreValue {
+                loc: "x".into(),
+                value: 1,
+            }
+            .to_string(),
             ConvertError::NonZeroInit { loc: "x".into() }.to_string(),
             ConvertError::UnloadedRegister { thread: 0, reg: 1 }.to_string(),
-            ConvertError::NoWriterForValue { loc: "y".into(), value: 3 }.to_string(),
+            ConvertError::NoWriterForValue {
+                loc: "y".into(),
+                value: 3,
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

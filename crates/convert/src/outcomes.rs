@@ -161,9 +161,10 @@ impl PerpetualOutcome {
             StoreTerm,
         )> = Vec::new();
         for &(thread, reg, value) in atoms {
-            let slot = last_load_of(&slots, thread, reg).ok_or(
-                ConvertError::UnloadedRegister { thread: thread.index(), reg: reg.index() },
-            )?;
+            let slot = last_load_of(&slots, thread, reg).ok_or(ConvertError::UnloadedRegister {
+                thread: thread.index(),
+                reg: reg.index(),
+            })?;
             let load = LoadRef {
                 frame_pos: perp
                     .frame_position(thread)
@@ -171,12 +172,11 @@ impl PerpetualOutcome {
                 reads_per_iter: reads[thread.index()],
                 slot: slot.slot,
             };
-            let idx_for = |t: ThreadId, exist_threads: &mut Vec<ThreadId>| match perp
-                .frame_position(t)
-            {
-                Some(p) => IdxRef::Frame(p),
-                None => IdxRef::Exist(exist_of(t, exist_threads)),
-            };
+            let idx_for =
+                |t: ThreadId, exist_threads: &mut Vec<ThreadId>| match perp.frame_position(t) {
+                    Some(p) => IdxRef::Frame(p),
+                    None => IdxRef::Exist(exist_of(t, exist_threads)),
+                };
             if value > 0 {
                 let asg = kmap.assignment(slot.loc, value).ok_or_else(|| {
                     ConvertError::NoWriterForValue {
@@ -190,7 +190,11 @@ impl PerpetualOutcome {
                     infeasible = true;
                 }
                 let writer = idx_for(asg.thread, &mut exist_threads);
-                let term = StoreTerm { k: asg.k, a: asg.a, writer };
+                let term = StoreTerm {
+                    k: asg.k,
+                    a: asg.a,
+                    writer,
+                };
                 corr_reads.push((thread, slot.slot, slot.loc, asg.instr, load, term));
                 conds.push(PerpCond::Rf { load, term });
                 // Reading another instruction's value across an own store to
@@ -213,17 +217,25 @@ impl PerpetualOutcome {
                         writer: IdxRef::Frame(load.frame_pos),
                     };
                     if own_ref.index < slot.instr_index {
-                        conds.push(PerpCond::Ws { left: own_term, right: term });
+                        conds.push(PerpCond::Ws {
+                            left: own_term,
+                            right: term,
+                        });
                     } else {
-                        conds.push(PerpCond::Fr { load, terms: vec![own_term] });
+                        conds.push(PerpCond::Fr {
+                            load,
+                            terms: vec![own_term],
+                        });
                     }
                 }
             } else {
                 // Store forwarding makes the initial value unreadable once
                 // an own earlier store targeted the same location.
-                if test.stores_to(slot.loc).iter().any(|(r, _)| {
-                    r.thread == thread && r.index < slot.instr_index
-                }) {
+                if test
+                    .stores_to(slot.loc)
+                    .iter()
+                    .any(|(r, _)| r.thread == thread && r.index < slot.instr_index)
+                {
                     infeasible = true;
                 }
                 let terms = kmap
@@ -249,10 +261,18 @@ impl PerpetualOutcome {
                     continue;
                 }
                 let (early, late) = if a.1 < b.1 { (a, b) } else { (b, a) };
-                conds.push(PerpCond::Fr { load: early.4, terms: vec![late.5] });
+                conds.push(PerpCond::Fr {
+                    load: early.4,
+                    terms: vec![late.5],
+                });
             }
         }
-        Ok(Self { label, conds, exist_threads, infeasible })
+        Ok(Self {
+            label,
+            conds,
+            exist_threads,
+            infeasible,
+        })
     }
 
     /// Converts the test's own (target) condition.
@@ -389,10 +409,7 @@ pub(crate) fn fr_lower_bound(k: u64, a: u64, val: u64) -> u64 {
 
 /// The last load of thread `t` targeting register `r` (its final value).
 pub(crate) fn last_load_of(slots: &[LoadSlot], t: ThreadId, r: RegId) -> Option<LoadSlot> {
-    slots
-        .iter()
-        .rfind(|s| s.thread == t && s.reg == r)
-        .copied()
+    slots.iter().rfind(|s| s.thread == t && s.reg == r).copied()
 }
 
 /// Converts every possible outcome of a test (outcome-variety analysis,
@@ -478,7 +495,7 @@ mod tests {
         let n = 3;
         assert!(outcomes[0].eval_frame(&[1, 1], &bufs, n)); // 00
         assert!(!outcomes[3].eval_frame(&[1, 1], &bufs, n)); // 11
-        // Frame (2, 2): buf0[2]=3 >= m+1=3 and buf1[2]=3 >= n+1=3 → 11.
+                                                             // Frame (2, 2): buf0[2]=3 >= m+1=3 and buf1[2]=3 >= n+1=3 → 11.
         assert!(outcomes[3].eval_frame(&[2, 2], &bufs, n));
         assert!(!outcomes[0].eval_frame(&[2, 2], &bufs, n));
         // Frame (0, 0): both read 0 → 00.
@@ -622,7 +639,10 @@ mod tests {
         .unwrap_err();
         assert_eq!(
             err,
-            ConvertError::NoWriterForValue { loc: "y".into(), value: 9 }
+            ConvertError::NoWriterForValue {
+                loc: "y".into(),
+                value: 9
+            }
         );
     }
 
@@ -639,9 +659,8 @@ mod tests {
     fn whole_convertible_suite_converts_targets_and_outcome_spaces() {
         for t in suite::convertible() {
             let f = fixture(t);
-            let target =
-                PerpetualOutcome::convert_target(&f.test, &f.perp, &f.kmap)
-                    .unwrap_or_else(|e| panic!("{}: {e}", f.test.name()));
+            let target = PerpetualOutcome::convert_target(&f.test, &f.perp, &f.kmap)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.test.name()));
             assert!(!target.conds().is_empty(), "{}", f.test.name());
             let all = convert_all_outcomes(&f.test, &f.perp, &f.kmap)
                 .unwrap_or_else(|e| panic!("{}: {e}", f.test.name()));

@@ -148,7 +148,11 @@ fn convert_instr(instr: &Instr, kmap: &KMap) -> PerpInstr {
             let a = kmap
                 .assignment(loc, value)
                 .expect("kmap covers every store");
-            PerpInstr::Store { loc, k: a.k, a: a.a }
+            PerpInstr::Store {
+                loc,
+                k: a.k,
+                a: a.a,
+            }
         }
         Instr::Load { reg, loc } => PerpInstr::Load { reg, loc },
         Instr::Mfence => PerpInstr::Mfence,
@@ -156,7 +160,12 @@ fn convert_instr(instr: &Instr, kmap: &KMap) -> PerpInstr {
             let a = kmap
                 .assignment(loc, value)
                 .expect("kmap covers every store");
-            PerpInstr::Xchg { reg, loc, k: a.k, a: a.a }
+            PerpInstr::Xchg {
+                reg,
+                loc,
+                k: a.k,
+                a: a.a,
+            }
         }
     }
 }
@@ -178,14 +187,20 @@ mod tests {
             p.threads()[0],
             vec![
                 PerpInstr::Store { loc: x, k: 1, a: 1 },
-                PerpInstr::Load { reg: RegId(0), loc: y },
+                PerpInstr::Load {
+                    reg: RegId(0),
+                    loc: y
+                },
             ]
         );
         assert_eq!(
             p.threads()[1],
             vec![
                 PerpInstr::Store { loc: y, k: 1, a: 1 },
-                PerpInstr::Load { reg: RegId(0), loc: x },
+                PerpInstr::Load {
+                    reg: RegId(0),
+                    loc: x
+                },
             ]
         );
         assert_eq!(p.reads_per_thread(), &[1, 1]);
@@ -242,8 +257,7 @@ mod tests {
     #[test]
     fn whole_convertible_suite_converts() {
         for t in suite::convertible() {
-            let p = PerpetualTest::convert(&t)
-                .unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+            let p = PerpetualTest::convert(&t).unwrap_or_else(|e| panic!("{}: {e}", t.name()));
             assert_eq!(p.thread_count(), t.thread_count());
             assert_eq!(p.load_thread_count(), t.load_thread_count());
             // Frame positions are consistent with load-thread order.

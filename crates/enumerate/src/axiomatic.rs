@@ -83,8 +83,12 @@ pub fn tso_allows(test: &LitmusTest, outcome: &Outcome) -> Result<bool, AxiomErr
 
     // rf: for each read, the writer event index (None = initial value).
     let mut rf: Vec<Option<usize>> = Vec::new(); // indexed like `reads`
-    let reads: Vec<usize> = (0..nevents).filter(|&i| events[i].kind == Kind::Read).collect();
-    let writes: Vec<usize> = (0..nevents).filter(|&i| events[i].kind == Kind::Write).collect();
+    let reads: Vec<usize> = (0..nevents)
+        .filter(|&i| events[i].kind == Kind::Read)
+        .collect();
+    let writes: Vec<usize> = (0..nevents)
+        .filter(|&i| events[i].kind == Kind::Write)
+        .collect();
     for &r in &reads {
         let ev = &events[r];
         if ev.value == test.init_values()[ev.loc] {
@@ -107,7 +111,11 @@ pub fn tso_allows(test: &LitmusTest, outcome: &Outcome) -> Result<bool, AxiomErr
     let nlocs = test.location_count();
     let mut per_loc_orders: Vec<Vec<Vec<usize>>> = Vec::new();
     for l in 0..nlocs {
-        let ws: Vec<usize> = writes.iter().copied().filter(|&w| events[w].loc == l).collect();
+        let ws: Vec<usize> = writes
+            .iter()
+            .copied()
+            .filter(|&w| events[w].loc == l)
+            .collect();
         per_loc_orders.push(po_respecting_permutations(&events, &ws));
     }
 
@@ -283,7 +291,9 @@ fn execution_valid(
     // Atomicity: nothing ws-between a locked read's writer and its own
     // write.
     for (ri, &r) in reads.iter().enumerate() {
-        let Some(instr) = events[r].locked_instr else { continue };
+        let Some(instr) = events[r].locked_instr else {
+            continue;
+        };
         let loc = events[r].loc;
         let own_write = ws_orders[loc]
             .iter()
@@ -306,8 +316,7 @@ fn execution_valid(
     // po-loc and ppo (+ fence order).
     for a in 0..n {
         for b in 0..n {
-            if a == b || events[a].thread != events[b].thread || events[a].rank >= events[b].rank
-            {
+            if a == b || events[a].thread != events[b].thread || events[a].rank >= events[b].rank {
                 continue;
             }
             if events[a].loc == events[b].loc {
@@ -447,13 +456,11 @@ mod tests {
     #[test]
     fn axiomatic_agrees_on_the_generated_family() {
         for test in perple_model::generate::generate_family(4) {
-            if test
-                .load_slots()
-                .iter()
-                .any(|s| test.load_slots().iter().any(|o| {
-                    o.thread == s.thread && o.reg == s.reg && o.slot != s.slot
-                }))
-            {
+            if test.load_slots().iter().any(|s| {
+                test.load_slots()
+                    .iter()
+                    .any(|o| o.thread == s.thread && o.reg == s.reg && o.slot != s.slot)
+            }) {
                 continue; // reloaded registers: axiomatic oracle abstains
             }
             agreement_on(&test);

@@ -165,7 +165,11 @@ pub fn enumerate(test: &LitmusTest, model: MemoryModel) -> ExecutionSet {
         }
     }
 
-    ExecutionSet { model, executions, states_explored: visited.len() }
+    ExecutionSet {
+        model,
+        executions,
+        states_explored: visited.len(),
+    }
 }
 
 fn successors(test: &LitmusTest, state: &State, model: MemoryModel) -> Vec<State> {
@@ -209,9 +213,7 @@ fn successors(test: &LitmusTest, state: &State, model: MemoryModel) -> Vec<State
                 s.pc[t] += 1;
                 match model {
                     MemoryModel::Sc => s.mem[loc.index()] = value,
-                    MemoryModel::Tso | MemoryModel::Pso => {
-                        s.buffers[t].push((loc.0, value))
-                    }
+                    MemoryModel::Tso | MemoryModel::Pso => s.buffers[t].push((loc.0, value)),
                 }
                 out.push(s);
             }
@@ -252,11 +254,7 @@ mod tests {
     fn sb_under_sc_has_three_outcomes() {
         let sb = suite::sb();
         let sc = enumerate(&sb, MemoryModel::Sc);
-        let labels: Vec<String> = sc
-            .register_outcomes()
-            .iter()
-            .map(|o| o.label())
-            .collect();
+        let labels: Vec<String> = sc.register_outcomes().iter().map(|o| o.label()).collect();
         assert_eq!(labels, vec!["01", "10", "11"]);
     }
 
@@ -264,11 +262,7 @@ mod tests {
     fn sb_under_tso_has_all_four_outcomes() {
         let sb = suite::sb();
         let tso = enumerate(&sb, MemoryModel::Tso);
-        let labels: Vec<String> = tso
-            .register_outcomes()
-            .iter()
-            .map(|o| o.label())
-            .collect();
+        let labels: Vec<String> = tso.register_outcomes().iter().map(|o| o.label()).collect();
         assert_eq!(labels, vec!["00", "01", "10", "11"]);
     }
 
@@ -276,10 +270,7 @@ mod tests {
     fn fenced_sb_loses_the_weak_outcome() {
         let amd5 = suite::amd5();
         let tso = enumerate(&amd5, MemoryModel::Tso);
-        assert!(!tso
-            .register_outcomes()
-            .iter()
-            .any(|o| o.label() == "00"));
+        assert!(!tso.register_outcomes().iter().any(|o| o.label() == "00"));
     }
 
     #[test]
@@ -319,8 +310,7 @@ mod tests {
         b.mem_cond("x", 1);
         let t = b.build().unwrap();
         let tso = enumerate(&t, MemoryModel::Tso);
-        let finals: BTreeSet<Vec<u32>> =
-            tso.executions().map(|(_, m)| m.clone()).collect();
+        let finals: BTreeSet<Vec<u32>> = tso.executions().map(|(_, m)| m.clone()).collect();
         assert_eq!(finals, BTreeSet::from([vec![1], vec![2]]));
         assert!(tso.condition_reachable(&t));
     }

@@ -149,7 +149,12 @@ impl BaselineRunner {
     pub fn new(config: SimConfig, mode: SyncMode) -> Self {
         let machine = Machine::new(config.clone());
         let jitter_rng = XorShiftStar::new(config.seed ^ 0xBA55_BA11);
-        Self { config, mode, machine, jitter_rng }
+        Self {
+            config,
+            mode,
+            machine,
+            jitter_rng,
+        }
     }
 
     /// The runner's synchronization mode.
@@ -173,9 +178,7 @@ impl BaselineRunner {
         let mut target_count = 0u64;
         let mut exec_cycles = 0u64;
 
-        let bodies: Vec<Vec<SimOp>> = (0..nthreads)
-            .map(|t| iteration_body(test, t, 0))
-            .collect();
+        let bodies: Vec<Vec<SimOp>> = (0..nthreads).map(|t| iteration_body(test, t, 0)).collect();
 
         for _ in 0..n {
             // Per-iteration barrier: charge its cost and draw fresh
@@ -204,7 +207,12 @@ impl BaselineRunner {
             *outcome_counts.entry(outcome.label()).or_insert(0) += 1;
         }
 
-        BaselineRun { outcome_counts, target_count, exec_cycles, iterations: n }
+        BaselineRun {
+            outcome_counts,
+            target_count,
+            exec_cycles,
+            iterations: n,
+        }
     }
 
     fn run_unsynchronized(&mut self, test: &LitmusTest, n: u64) -> BaselineRun {
@@ -260,7 +268,10 @@ fn iteration_body(test: &LitmusTest, t: usize, stride: u32) -> Vec<SimOp> {
                 expr: ValExpr::Const(value as u64),
             }),
             Instr::Load { reg, loc } => {
-                body.push(SimOp::Load { reg: reg.0, addr: addr(loc) });
+                body.push(SimOp::Load {
+                    reg: reg.0,
+                    addr: addr(loc),
+                });
                 body.push(SimOp::Record { reg: reg.0 });
             }
             Instr::Mfence => body.push(SimOp::Mfence),
@@ -315,7 +326,10 @@ mod tests {
         let user = run("sb", SyncMode::User, 100, 6);
         let pthread = run("sb", SyncMode::Pthread, 100, 6);
         let none = run("sb", SyncMode::NoSync, 100, 6);
-        assert!(pthread.exec_cycles > user.exec_cycles, "pthread must be slowest");
+        assert!(
+            pthread.exec_cycles > user.exec_cycles,
+            "pthread must be slowest"
+        );
         assert!(none.exec_cycles < user.exec_cycles, "none must be cheapest");
         assert!(user.exec_cycles >= 100 * SyncMode::User.barrier_cost());
         assert!(
@@ -352,7 +366,10 @@ mod tests {
         // are then 01/10 mostly.
         let r = run("sb", SyncMode::Pthread, 1_000, 9);
         let weak = r.outcome_counts.get("00").copied().unwrap_or(0);
-        assert!(weak * 10 < 1_000, "weak outcomes should be rare in pthread mode");
+        assert!(
+            weak * 10 < 1_000,
+            "weak outcomes should be rare in pthread mode"
+        );
     }
 
     #[test]
@@ -368,10 +385,7 @@ mod tests {
     #[test]
     fn nosync_mode_runs_whole_suite() {
         for t in suite::convertible() {
-            let mut r = BaselineRunner::new(
-                SimConfig::default().with_seed(11),
-                SyncMode::NoSync,
-            );
+            let mut r = BaselineRunner::new(SimConfig::default().with_seed(11), SyncMode::NoSync);
             let out = r.run(&t, 100);
             let total: u64 = out.outcome_counts.values().sum();
             assert_eq!(total, 100, "{}", t.name());
@@ -384,8 +398,7 @@ mod tests {
         // one must run in both the cheapest and the default mode.
         for t in suite::non_convertible() {
             for mode in [SyncMode::User, SyncMode::NoSync] {
-                let mut r =
-                    BaselineRunner::new(SimConfig::default().with_seed(13), mode);
+                let mut r = BaselineRunner::new(SimConfig::default().with_seed(13), mode);
                 let out = r.run(&t, 50);
                 let total: u64 = out.outcome_counts.values().sum();
                 assert_eq!(total, 50, "{} under {mode}", t.name());
@@ -399,10 +412,7 @@ mod tests {
         // final values occur, so the target fires a nontrivial fraction of
         // iterations in a tightly synchronized mode.
         let t = suite::by_name("co-2w").unwrap();
-        let mut r = BaselineRunner::new(
-            SimConfig::default().with_seed(21),
-            SyncMode::Timebase,
-        );
+        let mut r = BaselineRunner::new(SimConfig::default().with_seed(21), SyncMode::Timebase);
         let out = r.run(&t, 400);
         assert!(out.target_count > 0, "ws race never resolved to [x]=1");
         assert!(out.target_count < 400, "ws race always resolved to [x]=1");

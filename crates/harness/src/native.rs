@@ -68,8 +68,7 @@ pub fn run_perpetual(perp: &PerpetualTest, n: u64) -> NativeRun {
                         for instr in body {
                             match *instr {
                                 PerpInstr::Store { loc, k, a } => {
-                                    locations[loc.index()]
-                                        .store(k * iter + a, Ordering::Relaxed);
+                                    locations[loc.index()].store(k * iter + a, Ordering::Relaxed);
                                 }
                                 PerpInstr::Load { reg, loc } => {
                                     regs[reg.index()] =
@@ -78,8 +77,8 @@ pub fn run_perpetual(perp: &PerpetualTest, n: u64) -> NativeRun {
                                 }
                                 PerpInstr::Mfence => fence(Ordering::SeqCst),
                                 PerpInstr::Xchg { reg, loc, k, a } => {
-                                    regs[reg.index()] = locations[loc.index()]
-                                        .swap(k * iter + a, Ordering::SeqCst);
+                                    regs[reg.index()] =
+                                        locations[loc.index()].swap(k * iter + a, Ordering::SeqCst);
                                     buf.push(regs[reg.index()]);
                                 }
                             }
@@ -104,7 +103,11 @@ pub fn run_perpetual(perp: &PerpetualTest, n: u64) -> NativeRun {
         .iter()
         .map(|t| std::mem::take(&mut bufs_by_thread[t.index()]))
         .collect();
-    NativeRun { frame_bufs, wall, iterations: n }
+    NativeRun {
+        frame_bufs,
+        wall,
+        iterations: n,
+    }
 }
 
 /// Result of a native baseline run.
@@ -168,7 +171,11 @@ impl SpinBarrier {
 pub fn run_baseline(test: &LitmusTest, mode: SyncMode, n: u64) -> NativeBaselineRun {
     let nthreads = test.thread_count();
     let nlocs = test.location_count();
-    let cells = if mode == SyncMode::NoSync { nlocs * n as usize } else { nlocs };
+    let cells = if mode == SyncMode::NoSync {
+        nlocs * n as usize
+    } else {
+        nlocs
+    };
     let locations: Vec<CachePadded<AtomicU64>> = (0..cells)
         .map(|_| CachePadded::new(AtomicU64::new(0)))
         .collect();
@@ -230,8 +237,8 @@ pub fn run_baseline(test: &LitmusTest, mode: SyncMode, n: u64) -> NativeBaseline
                                         .store(value as u64, Ordering::Relaxed);
                                 }
                                 Instr::Load { reg, loc } => {
-                                    regs[reg.index()] = locations[base + loc.index()]
-                                        .load(Ordering::Relaxed);
+                                    regs[reg.index()] =
+                                        locations[base + loc.index()].load(Ordering::Relaxed);
                                     buf.push(regs[reg.index()]);
                                 }
                                 Instr::Mfence => fence(Ordering::SeqCst),
@@ -303,7 +310,12 @@ pub fn run_baseline(test: &LitmusTest, mode: SyncMode, n: u64) -> NativeBaseline
         *outcome_counts.entry(outcome.label()).or_insert(0) += 1;
     }
 
-    NativeBaselineRun { outcome_counts, target_count, wall, iterations: n }
+    NativeBaselineRun {
+        outcome_counts,
+        target_count,
+        wall,
+        iterations: n,
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,34 @@ impl PerpleRun {
     pub fn bufs(&self) -> Vec<&[u64]> {
         self.frame_bufs.iter().map(Vec::as_slice).collect()
     }
+
+    /// FNV-1a digest of the run's observable content (iteration count plus
+    /// every buffered load value, length-delimited per thread).
+    ///
+    /// Equal seeds and configs produce equal digests, so the campaign
+    /// layer's regression gate can detect machine nondeterminism: two
+    /// stored runs with the same cache fingerprint but different digests
+    /// mean the simulated machine stopped being a pure function of its
+    /// inputs.
+    pub fn content_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.iterations);
+        for buf in &self.frame_bufs {
+            eat(buf.len() as u64);
+            for &v in buf {
+                eat(v);
+            }
+        }
+        h
+    }
 }
 
 /// Runs perpetual litmus tests on the simulated TSO machine.
@@ -41,7 +69,9 @@ pub struct PerpleRunner {
 impl PerpleRunner {
     /// Creates a runner over a fresh machine.
     pub fn new(config: SimConfig) -> Self {
-        Self { machine: Machine::new(config) }
+        Self {
+            machine: Machine::new(config),
+        }
     }
 
     /// Reseeds the underlying machine.
@@ -66,7 +96,9 @@ impl PerpleRunner {
     /// to the unbudgeted run, so trimmed buffers are exact prefixes.
     pub fn run_budgeted(&mut self, perp: &PerpetualTest, n: u64, budget: &Budget) -> PerpleRun {
         let specs = thread_specs(perp, n);
-        let out = self.machine.run_budgeted(&specs, perp.locations().len(), budget);
+        let out = self
+            .machine
+            .run_budgeted(&specs, perp.locations().len(), budget);
         Self::collect(perp, &specs, out, n)
     }
 
@@ -110,7 +142,13 @@ impl PerpleRunner {
             m
         };
 
-        PerpleRun { frame_bufs, exec_cycles, iterations, faults: out.faults, complete: out.complete }
+        PerpleRun {
+            frame_bufs,
+            exec_cycles,
+            iterations,
+            faults: out.faults,
+            complete: out.complete,
+        }
     }
 }
 
@@ -157,7 +195,11 @@ mod tests {
     use perple_convert::Conversion;
     use perple_model::suite;
 
-    fn run_test(name: &str, n: u64, seed: u64) -> (perple_model::LitmusTest, Conversion, PerpleRun) {
+    fn run_test(
+        name: &str,
+        n: u64,
+        seed: u64,
+    ) -> (perple_model::LitmusTest, Conversion, PerpleRun) {
         let t = suite::by_name(name).unwrap();
         let conv = Conversion::convert(&t).unwrap();
         let mut runner = PerpleRunner::new(SimConfig::default().with_seed(seed));
@@ -257,7 +299,11 @@ mod tests {
         let part = b.run_budgeted(&conv.perpetual, 500, &Budget::with_poll_limit(20));
         assert!(!part.complete);
         assert!(part.iterations < 500);
-        assert_eq!(part.frame_bufs[0].len() as u64, part.iterations * 2, "whole frames only");
+        assert_eq!(
+            part.frame_bufs[0].len() as u64,
+            part.iterations * 2,
+            "whole frames only"
+        );
         assert_eq!(
             part.frame_bufs[0].as_slice(),
             &full.frame_bufs[0][..part.frame_bufs[0].len()],
@@ -270,6 +316,29 @@ mod tests {
         let (_, _, a) = run_test("podwr001", 400, 9);
         let (_, _, b) = run_test("podwr001", 400, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn content_digest_tracks_run_content() {
+        let (_, _, a) = run_test("sb", 300, 5);
+        let (_, _, b) = run_test("sb", 300, 5);
+        assert_eq!(
+            a.content_digest(),
+            b.content_digest(),
+            "equal runs, equal digests"
+        );
+        let (_, _, c) = run_test("sb", 300, 6);
+        assert_ne!(
+            a.content_digest(),
+            c.content_digest(),
+            "different seed, different digest"
+        );
+        let (_, _, d) = run_test("sb", 299, 5);
+        assert_ne!(
+            a.content_digest(),
+            d.content_digest(),
+            "different length, different digest"
+        );
     }
 
     #[test]

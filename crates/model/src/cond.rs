@@ -73,7 +73,9 @@ impl Condition {
     /// True if any conjunct inspects final shared memory, which makes the
     /// owning test non-convertible (paper §V-C).
     pub fn inspects_memory(&self) -> bool {
-        self.atoms.iter().any(|a| matches!(a, CondAtom::MemEq { .. }))
+        self.atoms
+            .iter()
+            .any(|a| matches!(a, CondAtom::MemEq { .. }))
     }
 
     /// Returns the register conjuncts only.
@@ -222,8 +224,15 @@ mod tests {
         let cond = Condition::new(
             Quantifier::Exists,
             vec![
-                CondAtom::RegEq { thread: t(0), reg: r(0), value: 0 },
-                CondAtom::MemEq { loc: LocId(0), value: 2 },
+                CondAtom::RegEq {
+                    thread: t(0),
+                    reg: r(0),
+                    value: 0,
+                },
+                CondAtom::MemEq {
+                    loc: LocId(0),
+                    value: 2,
+                },
             ],
         );
         let mut o = Outcome::new();
@@ -239,7 +248,11 @@ mod tests {
     fn register_only_condition_does_not_inspect_memory() {
         let cond = Condition::new(
             Quantifier::Exists,
-            vec![CondAtom::RegEq { thread: t(0), reg: r(0), value: 0 }],
+            vec![CondAtom::RegEq {
+                thread: t(0),
+                reg: r(0),
+                value: 0,
+            }],
         );
         assert!(!cond.inspects_memory());
         assert_eq!(cond.reg_atoms().count(), 1);

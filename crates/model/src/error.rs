@@ -53,7 +53,10 @@ impl fmt::Display for ModelError {
                 write!(f, "litmus test has {n} threads, at most 255 supported")
             }
             ModelError::ThreadTooLong { thread, len } => {
-                write!(f, "thread P{thread} has {len} instructions, at most 255 supported")
+                write!(
+                    f,
+                    "thread P{thread} has {len} instructions, at most 255 supported"
+                )
             }
             ModelError::ZeroStore { thread, index } => {
                 write!(
@@ -87,7 +90,11 @@ mod tests {
         let msgs = [
             ModelError::NoThreads.to_string(),
             ModelError::TooManyThreads(300).to_string(),
-            ModelError::ZeroStore { thread: 0, index: 1 }.to_string(),
+            ModelError::ZeroStore {
+                thread: 0,
+                index: 1,
+            }
+            .to_string(),
             ModelError::EmptyCondition.to_string(),
             ModelError::Parse {
                 line: 3,

@@ -127,7 +127,11 @@ impl fmt::Display for GenError {
         match self {
             GenError::TooShort => write!(f, "cycle needs at least two edges"),
             GenError::DirectionMismatch { edge } => {
-                write!(f, "edges {edge} and {} disagree on the shared event's direction", edge + 1)
+                write!(
+                    f,
+                    "edges {edge} and {} disagree on the shared event's direction",
+                    edge + 1
+                )
             }
             GenError::NoExternalEdge => write!(f, "cycle never crosses threads"),
             GenError::LastEdgeNotExternal => {
@@ -199,7 +203,13 @@ pub fn from_cycle(name: &str, cycle: &[CycleEdge]) -> Result<LitmusTest, GenErro
         } else {
             0
         };
-        events.push(Event { thread, loc, dir, value: 0, reg });
+        events.push(Event {
+            thread,
+            loc,
+            dir,
+            value: 0,
+            reg,
+        });
         if e.is_external() {
             thread += 1;
         } else {
@@ -225,7 +235,11 @@ pub fn from_cycle(name: &str, cycle: &[CycleEdge]) -> Result<LitmusTest, GenErro
     let mut b = TestBuilder::new(name);
     b.doc(format!(
         "generated from cycle {}",
-        cycle.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" ")
+        cycle
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
     ));
     let loc_name = |l: usize| format!("v{l}");
     let reg_name = |r: usize| format!("R{r}");
@@ -246,7 +260,10 @@ pub fn from_cycle(name: &str, cycle: &[CycleEdge]) -> Result<LitmusTest, GenErro
     // Derive the condition from the communication edges. Per-location store
     // lists in event order approximate the ws chains the cycle implies.
     let stores_of = |l: usize| -> Vec<&Event> {
-        events.iter().filter(|e| e.dir == Dir::W && e.loc == l).collect()
+        events
+            .iter()
+            .filter(|e| e.dir == Dir::W && e.loc == l)
+            .collect()
     };
     b.quantifier(Quantifier::Exists);
     for (i, e) in cycle.iter().enumerate() {
@@ -324,7 +341,11 @@ pub fn generate_family(len: usize) -> Vec<LitmusTest> {
             }
             let name = format!(
                 "dyn-{}",
-                cycle.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("-")
+                cycle
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join("-")
             );
             if let Ok(t) = from_cycle(&name, cycle) {
                 tests.push(t);
@@ -389,11 +410,7 @@ mod tests {
 
     #[test]
     fn iriw_shape_from_six_edge_cycle() {
-        let t = from_cycle(
-            "gen-iriw",
-            &[Rfe, Pod(R, R), Fre, Rfe, Pod(R, R), Fre],
-        )
-        .unwrap();
+        let t = from_cycle("gen-iriw", &[Rfe, Pod(R, R), Fre, Rfe, Pod(R, R), Fre]).unwrap();
         assert_eq!(t.thread_count(), 4);
         assert_eq!(t.load_thread_count(), 2);
     }

@@ -278,24 +278,37 @@ fn rf_writers(test: &LitmusTest, outcome: &Outcome) -> Result<Vec<(InstrRef, Nod
             .iter()
             .any(|s| s.thread == slot.thread && s.reg == slot.reg && s.slot != slot.slot)
         {
-            return Err(HbError::ReloadedRegister { thread: slot.thread, reg: slot.reg.0 });
+            return Err(HbError::ReloadedRegister {
+                thread: slot.thread,
+                reg: slot.reg.0,
+            });
         }
     }
     for slot in test.load_slots() {
         let v = outcome
             .get(slot.thread, slot.reg)
-            .ok_or(HbError::MissingRegister { thread: slot.thread, reg: slot.reg.0 })?;
-        let load_ref = InstrRef { thread: slot.thread, index: slot.instr_index };
+            .ok_or(HbError::MissingRegister {
+                thread: slot.thread,
+                reg: slot.reg.0,
+            })?;
+        let load_ref = InstrRef {
+            thread: slot.thread,
+            index: slot.instr_index,
+        };
         let writer = if v == test.init(slot.loc) {
             Node::Init(slot.loc)
         } else {
             let stores = test.stores_to(slot.loc);
             let mut matching = stores.iter().filter(|&&(_, sv)| sv == v);
-            let first = matching
-                .next()
-                .ok_or(HbError::NoWriter { loc: slot.loc, value: v })?;
+            let first = matching.next().ok_or(HbError::NoWriter {
+                loc: slot.loc,
+                value: v,
+            })?;
             if matching.next().is_some() {
-                return Err(HbError::AmbiguousWriter { loc: slot.loc, value: v });
+                return Err(HbError::AmbiguousWriter {
+                    loc: slot.loc,
+                    value: v,
+                });
             }
             Node::Instr(first.0)
         };
@@ -334,11 +347,7 @@ fn po_respecting_permutations(stores: &[InstrRef]) -> Vec<Vec<InstrRef>> {
     out
 }
 
-fn build_graph(
-    test: &LitmusTest,
-    rf: &[(InstrRef, Node)],
-    ws_per_loc: &[&[InstrRef]],
-) -> HbGraph {
+fn build_graph(test: &LitmusTest, rf: &[(InstrRef, Node)], ws_per_loc: &[&[InstrRef]]) -> HbGraph {
     let mut edges = Vec::new();
 
     // po: consecutive memory operations per thread.
@@ -350,7 +359,11 @@ fn build_graph(
             .map(|(i, _)| InstrRef::new(t as u8, i as u8))
             .collect();
         for pair in mem_ops.windows(2) {
-            edges.push(Edge { from: Node::Instr(pair[0]), to: Node::Instr(pair[1]), kind: EdgeKind::Po });
+            edges.push(Edge {
+                from: Node::Instr(pair[0]),
+                to: Node::Instr(pair[1]),
+                kind: EdgeKind::Po,
+            });
         }
     }
 
@@ -359,7 +372,11 @@ fn build_graph(
         let loc = LocId(loc_idx as u8);
         let mut prev = Node::Init(loc);
         for &s in order.iter() {
-            edges.push(Edge { from: prev, to: Node::Instr(s), kind: EdgeKind::Ws });
+            edges.push(Edge {
+                from: prev,
+                to: Node::Instr(s),
+                kind: EdgeKind::Ws,
+            });
             prev = Node::Instr(s);
         }
     }
@@ -380,14 +397,21 @@ fn build_graph(
     let mut load_locs = BTreeMap::new();
     for slot in test.load_slots() {
         load_locs.insert(
-            InstrRef { thread: slot.thread, index: slot.instr_index },
+            InstrRef {
+                thread: slot.thread,
+                index: slot.instr_index,
+            },
             slot.loc,
         );
     }
     for &(load, writer) in rf {
         let loc = load_locs[&load];
         if let Node::Instr(_) = writer {
-            edges.push(Edge { from: writer, to: Node::Instr(load), kind: EdgeKind::Rf });
+            edges.push(Edge {
+                from: writer,
+                to: Node::Instr(load),
+                kind: EdgeKind::Rf,
+            });
         }
         let wpos = ws_position(loc, writer).unwrap_or(0);
         for (i, &s) in ws_per_loc[loc.index()].iter().enumerate() {
@@ -395,7 +419,11 @@ fn build_graph(
             // reads the value its own store-part overwrites, but both parts
             // share one graph node, so the edge would be a spurious cycle.
             if i + 1 > wpos && s != load {
-                edges.push(Edge { from: Node::Instr(load), to: Node::Instr(s), kind: EdgeKind::Fr });
+                edges.push(Edge {
+                    from: Node::Instr(load),
+                    to: Node::Instr(s),
+                    kind: EdgeKind::Fr,
+                });
             }
         }
     }
@@ -492,7 +520,10 @@ mod tests {
         let o = outcome(&[(0, 0, 9), (1, 0, 0)]);
         assert_eq!(
             derive(&t, &o).unwrap_err(),
-            HbError::NoWriter { loc: t.location_id("y").unwrap(), value: 9 }
+            HbError::NoWriter {
+                loc: t.location_id("y").unwrap(),
+                value: 9
+            }
         );
     }
 
@@ -539,7 +570,9 @@ mod tests {
         let mut b = TestBuilder::new("n4ish");
         b.thread().store("x", 1).load("EAX", "x").load("EBX", "x");
         b.thread().store("x", 2).load("EAX", "x");
-        b.reg_cond(0, "EAX", 2).reg_cond(0, "EBX", 1).reg_cond(1, "EAX", 2);
+        b.reg_cond(0, "EAX", 2)
+            .reg_cond(0, "EBX", 1)
+            .reg_cond(1, "EAX", 2);
         let t = b.build().unwrap();
         let o = outcome(&[(0, 0, 2), (0, 1, 1), (1, 0, 2)]);
         assert!(!is_sc_consistent(&t, &o).unwrap());
@@ -547,7 +580,11 @@ mod tests {
 
     #[test]
     fn same_thread_stores_keep_program_order_in_ws() {
-        let stores = vec![InstrRef::new(0, 0), InstrRef::new(0, 1), InstrRef::new(1, 0)];
+        let stores = vec![
+            InstrRef::new(0, 0),
+            InstrRef::new(0, 1),
+            InstrRef::new(1, 0),
+        ];
         let perms = po_respecting_permutations(&stores);
         // 3 positions for the P1 store among the ordered P0 pair.
         assert_eq!(perms.len(), 3);

@@ -73,18 +73,39 @@ mod tests {
 
     #[test]
     fn store_target_of_store_and_xchg() {
-        let s = Instr::Store { loc: LocId(0), value: 1 };
-        let x = Instr::Xchg { reg: RegId(0), loc: LocId(1), value: 2 };
+        let s = Instr::Store {
+            loc: LocId(0),
+            value: 1,
+        };
+        let x = Instr::Xchg {
+            reg: RegId(0),
+            loc: LocId(1),
+            value: 2,
+        };
         assert_eq!(s.store_target(), Some((LocId(0), 1)));
         assert_eq!(x.store_target(), Some((LocId(1), 2)));
         assert_eq!(Instr::Mfence.store_target(), None);
-        assert_eq!(Instr::Load { reg: RegId(0), loc: LocId(0) }.store_target(), None);
+        assert_eq!(
+            Instr::Load {
+                reg: RegId(0),
+                loc: LocId(0)
+            }
+            .store_target(),
+            None
+        );
     }
 
     #[test]
     fn load_target_of_load_and_xchg() {
-        let l = Instr::Load { reg: RegId(1), loc: LocId(0) };
-        let x = Instr::Xchg { reg: RegId(0), loc: LocId(1), value: 2 };
+        let l = Instr::Load {
+            reg: RegId(1),
+            loc: LocId(0),
+        };
+        let x = Instr::Xchg {
+            reg: RegId(0),
+            loc: LocId(1),
+            value: 2,
+        };
         assert_eq!(l.load_target(), Some((RegId(1), LocId(0))));
         assert_eq!(x.load_target(), Some((RegId(0), LocId(1))));
         assert_eq!(Instr::Mfence.load_target(), None);
@@ -94,10 +115,17 @@ mod tests {
     fn fence_and_memory_classification() {
         assert!(Instr::Mfence.is_fence());
         assert!(!Instr::Mfence.is_memory_op());
-        let x = Instr::Xchg { reg: RegId(0), loc: LocId(0), value: 1 };
+        let x = Instr::Xchg {
+            reg: RegId(0),
+            loc: LocId(0),
+            value: 1,
+        };
         assert!(x.is_fence());
         assert!(x.is_memory_op());
-        let s = Instr::Store { loc: LocId(0), value: 1 };
+        let s = Instr::Store {
+            loc: LocId(0),
+            value: 1,
+        };
         assert!(!s.is_fence());
         assert!(s.is_memory_op());
     }

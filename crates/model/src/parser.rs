@@ -36,8 +36,8 @@
 //! # Ok::<(), perple_model::ModelError>(())
 //! ```
 
-use crate::error::ModelError;
 use crate::cond::Quantifier;
+use crate::error::ModelError;
 use crate::test::{LitmusTest, TestBuilder};
 
 /// Parses a litmus test from its litmus7 text representation.
@@ -54,13 +54,14 @@ pub fn parse(input: &str) -> Result<LitmusTest, ModelError> {
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
     // Header: "X86 <name>".
-    let (lineno, header) = lines
-        .next()
-        .ok_or_else(|| perr(0, "empty input"))?;
+    let (lineno, header) = lines.next().ok_or_else(|| perr(0, "empty input"))?;
     let mut parts = header.split_whitespace();
     let arch = parts.next().unwrap_or_default();
     if !arch.eq_ignore_ascii_case("x86") {
-        return Err(perr(lineno, format!("expected architecture X86, found {arch:?}")));
+        return Err(perr(
+            lineno,
+            format!("expected architecture X86, found {arch:?}"),
+        ));
     }
     let name = parts
         .next()
@@ -113,7 +114,10 @@ pub fn parse(input: &str) -> Result<LitmusTest, ModelError> {
     let mut cond_line: Option<(usize, String)> = None;
     let feed = |n: usize, l: String, rows: &mut Vec<(usize, String)>| -> Option<(usize, String)> {
         let lower = l.to_ascii_lowercase();
-        if lower.starts_with("exists") || lower.starts_with("~exists") || lower.starts_with("forall") {
+        if lower.starts_with("exists")
+            || lower.starts_with("~exists")
+            || lower.starts_with("forall")
+        {
             Some((n, l))
         } else {
             rows.push((n, l));
@@ -148,7 +152,10 @@ pub fn parse(input: &str) -> Result<LitmusTest, ModelError> {
     for (i, h) in headers.iter().enumerate() {
         let expected = format!("P{i}");
         if !h.eq_ignore_ascii_case(&expected) {
-            return Err(perr(*hn, format!("expected thread header {expected}, found {h:?}")));
+            return Err(perr(
+                *hn,
+                format!("expected thread header {expected}, found {h:?}"),
+            ));
         }
     }
     let mut columns: Vec<Vec<(usize, String)>> = vec![Vec::new(); nthreads];
@@ -191,7 +198,10 @@ pub fn parse(input: &str) -> Result<LitmusTest, ModelError> {
 }
 
 fn perr(line: usize, msg: impl Into<String>) -> ModelError {
-    ModelError::Parse { line, msg: msg.into() }
+    ModelError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 fn parse_init(src: &str, line: usize) -> Result<Vec<(String, u32)>, ModelError> {
@@ -204,7 +214,11 @@ fn parse_init(src: &str, line: usize) -> Result<Vec<(String, u32)>, ModelError> 
         let (loc, val) = entry
             .split_once('=')
             .ok_or_else(|| perr(line, format!("malformed init entry {entry:?}")))?;
-        let loc = loc.trim().trim_start_matches('[').trim_end_matches(']').to_owned();
+        let loc = loc
+            .trim()
+            .trim_start_matches('[')
+            .trim_end_matches(']')
+            .to_owned();
         if loc.contains(':') {
             return Err(perr(line, "register initialization is not supported"));
         }
@@ -278,7 +292,10 @@ fn brackets(s: &str, line: usize) -> Result<String, ModelError> {
     if s.starts_with('[') && s.ends_with(']') && s.len() > 2 {
         Ok(s[1..s.len() - 1].trim().to_owned())
     } else {
-        Err(perr(line, format!("expected bracketed location, found {s:?}")))
+        Err(perr(
+            line,
+            format!("expected bracketed location, found {s:?}"),
+        ))
     }
 }
 
@@ -289,18 +306,17 @@ fn immediate(s: &str, line: usize) -> Result<u32, ModelError> {
         .map_err(|_| perr(line, format!("expected immediate, found {s:?}")))
 }
 
-fn parse_condition(
-    builder: &mut TestBuilder,
-    cond: &str,
-    line: usize,
-) -> Result<(), ModelError> {
+fn parse_condition(builder: &mut TestBuilder, cond: &str, line: usize) -> Result<(), ModelError> {
     let cond = cond.trim();
     let (quant, rest) = if let Some(r) = cond.strip_prefix("~exists") {
         (Quantifier::NotExists, r)
     } else if let Some(r) = cond.strip_prefix("exists") {
         (Quantifier::Exists, r)
     } else {
-        return Err(perr(line, format!("unsupported condition quantifier in {cond:?}")));
+        return Err(perr(
+            line,
+            format!("unsupported condition quantifier in {cond:?}"),
+        ));
     };
     builder.quantifier(quant);
     let body = rest.trim();
@@ -363,8 +379,14 @@ exists (0:EAX=0 /\ 1:EAX=0)
         assert_eq!(
             t.thread(ThreadId(0)),
             &[
-                Instr::Store { loc: LocId(0), value: 1 },
-                Instr::Load { reg: RegId(0), loc: LocId(1) }
+                Instr::Store {
+                    loc: LocId(0),
+                    value: 1
+                },
+                Instr::Load {
+                    reg: RegId(0),
+                    loc: LocId(1)
+                }
             ]
         );
         assert_eq!(t.target().atoms().len(), 2);
@@ -401,7 +423,11 @@ exists (1:EBX=1 /\ 0:EAX=0)
         let t = parse(src).unwrap();
         assert_eq!(
             t.thread(ThreadId(0))[0],
-            Instr::Xchg { reg: RegId(0), loc: LocId(0), value: 1 }
+            Instr::Xchg {
+                reg: RegId(0),
+                loc: LocId(0),
+                value: 1
+            }
         );
     }
 
@@ -469,7 +495,10 @@ X86 t
  NOP       ;
 exists (0:EAX=0)
 "#;
-        assert!(parse(src).unwrap_err().to_string().contains("unknown instruction"));
+        assert!(parse(src)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown instruction"));
 
         let src2 = r#"
 X86 t
@@ -478,7 +507,10 @@ X86 t
  MOV EAX,[x] ;
 exists (0:EAX=0)
 "#;
-        assert!(parse(src2).unwrap_err().to_string().contains("register initialization"));
+        assert!(parse(src2)
+            .unwrap_err()
+            .to_string()
+            .contains("register initialization"));
     }
 
     #[test]

@@ -91,7 +91,11 @@ fn render_instr(test: &LitmusTest, thread: ThreadId, instr: &Instr) -> String {
             format!("MOV [{}],${}", test.location_name(loc), value)
         }
         Instr::Load { reg, loc } => {
-            format!("MOV {},[{}]", test.reg_name(thread, reg), test.location_name(loc))
+            format!(
+                "MOV {},[{}]",
+                test.reg_name(thread, reg),
+                test.location_name(loc)
+            )
         }
         Instr::Mfence => "MFENCE".to_owned(),
         Instr::Xchg { reg, loc, value } => format!(

@@ -37,7 +37,9 @@ pub fn podwr001() -> LitmusTest {
     b.thread().store("x", 1).load("EAX", "y");
     b.thread().store("y", 1).load("EAX", "z");
     b.thread().store("z", 1).load("EAX", "x");
-    b.reg_cond(0, "EAX", 0).reg_cond(1, "EAX", 0).reg_cond(2, "EAX", 0);
+    b.reg_cond(0, "EAX", 0)
+        .reg_cond(1, "EAX", 0)
+        .reg_cond(2, "EAX", 0);
     build(&b)
 }
 

@@ -23,7 +23,12 @@ enum FenceMask {
     Both,
 }
 
-const MASKS: [FenceMask; 4] = [FenceMask::None, FenceMask::First, FenceMask::Second, FenceMask::Both];
+const MASKS: [FenceMask; 4] = [
+    FenceMask::None,
+    FenceMask::First,
+    FenceMask::Second,
+    FenceMask::Both,
+];
 
 impl FenceMask {
     fn first(self) -> bool {
@@ -194,7 +199,9 @@ fn family_comp() -> Vec<LitmusTest> {
                 }
                 t.load("EBX", "x");
             }
-            b.reg_cond(1, "EAX", 2).reg_cond(1, "EBX", 1).mem_cond("x", 2);
+            b.reg_cond(1, "EAX", 2)
+                .reg_cond(1, "EBX", 1)
+                .mem_cond("x", 2);
             build(&b)
         })
         .collect()
@@ -339,7 +346,9 @@ fn family_colb() -> Vec<LitmusTest> {
                 }
                 t.store("x", 2);
             }
-            b.reg_cond(0, "EAX", 2).reg_cond(1, "EAX", 1).mem_cond("x", f);
+            b.reg_cond(0, "EAX", 2)
+                .reg_cond(1, "EAX", 1)
+                .mem_cond("x", f);
             out.push(build(&b));
         }
     }
@@ -369,7 +378,9 @@ fn family_corr() -> Vec<LitmusTest> {
                 }
                 t.load("EBX", "x");
             }
-            b.reg_cond(1, "EAX", 1).reg_cond(1, "EBX", 0).mem_cond("x", 1);
+            b.reg_cond(1, "EAX", 1)
+                .reg_cond(1, "EBX", 0)
+                .mem_cond("x", 1);
             build(&b)
         })
         .collect()

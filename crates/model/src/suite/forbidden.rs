@@ -47,8 +47,13 @@ pub fn mp_staleld() -> LitmusTest {
     let mut b = TestBuilder::new("mp+staleld");
     b.doc("stale load after observing the data violates coherence");
     b.thread().store("x", 1).store("y", 1);
-    b.thread().load("EAX", "y").load("EBX", "x").load("ECX", "x");
-    b.reg_cond(1, "EAX", 1).reg_cond(1, "EBX", 1).reg_cond(1, "ECX", 0);
+    b.thread()
+        .load("EAX", "y")
+        .load("EBX", "x")
+        .load("ECX", "x");
+    b.reg_cond(1, "EAX", 1)
+        .reg_cond(1, "EBX", 1)
+        .reg_cond(1, "ECX", 0);
     build(&b)
 }
 
@@ -69,8 +74,14 @@ pub fn amd5_staleld() -> LitmusTest {
     let mut b = TestBuilder::new("amd5+staleld");
     b.doc("fenced sb with a stale second read of x");
     b.thread().store("x", 1).mfence().load("EAX", "y");
-    b.thread().store("y", 1).mfence().load("EAX", "x").load("EBX", "x");
-    b.reg_cond(0, "EAX", 0).reg_cond(1, "EAX", 1).reg_cond(1, "EBX", 0);
+    b.thread()
+        .store("y", 1)
+        .mfence()
+        .load("EAX", "x")
+        .load("EBX", "x");
+    b.reg_cond(0, "EAX", 0)
+        .reg_cond(1, "EAX", 1)
+        .reg_cond(1, "EBX", 0);
     build(&b)
 }
 
@@ -92,7 +103,9 @@ pub fn n4() -> LitmusTest {
     b.doc("single-location coherence: 2 then 1 contradicts ws");
     b.thread().store("x", 1).load("EAX", "x").load("EBX", "x");
     b.thread().store("x", 2).load("EAX", "x");
-    b.reg_cond(0, "EAX", 2).reg_cond(0, "EBX", 1).reg_cond(1, "EAX", 2);
+    b.reg_cond(0, "EAX", 2)
+        .reg_cond(0, "EBX", 1)
+        .reg_cond(1, "EAX", 2);
     build(&b)
 }
 
@@ -147,7 +160,9 @@ pub fn wrc() -> LitmusTest {
     b.thread().store("x", 1);
     b.thread().load("EAX", "x").store("y", 1);
     b.thread().load("EAX", "y").load("EBX", "x");
-    b.reg_cond(1, "EAX", 1).reg_cond(2, "EAX", 1).reg_cond(2, "EBX", 0);
+    b.reg_cond(1, "EAX", 1)
+        .reg_cond(2, "EAX", 1)
+        .reg_cond(2, "EBX", 0);
     build(&b)
 }
 
@@ -171,8 +186,16 @@ pub fn rwc_fenced() -> LitmusTest {
 pub fn safe006() -> LitmusTest {
     let mut b = TestBuilder::new("safe006");
     b.doc("fenced amd3: forwarding target becomes forbidden");
-    b.thread().store("x", 1).mfence().load("EAX", "x").load("EBX", "y");
-    b.thread().store("y", 1).mfence().load("EAX", "y").load("EBX", "x");
+    b.thread()
+        .store("x", 1)
+        .mfence()
+        .load("EAX", "x")
+        .load("EBX", "y");
+    b.thread()
+        .store("y", 1)
+        .mfence()
+        .load("EAX", "y")
+        .load("EBX", "x");
     b.reg_cond(0, "EAX", 1)
         .reg_cond(0, "EBX", 0)
         .reg_cond(1, "EAX", 1)
@@ -188,7 +211,9 @@ pub fn safe007() -> LitmusTest {
     b.thread().store("x", 1).mfence().load("EAX", "y");
     b.thread().store("y", 1).mfence().load("EAX", "z");
     b.thread().store("z", 1).mfence().load("EAX", "x");
-    b.reg_cond(0, "EAX", 0).reg_cond(1, "EAX", 0).reg_cond(2, "EAX", 0);
+    b.reg_cond(0, "EAX", 0)
+        .reg_cond(1, "EAX", 0)
+        .reg_cond(2, "EAX", 0);
     build(&b)
 }
 
@@ -212,7 +237,9 @@ pub fn safe018() -> LitmusTest {
     b.thread().store("x", 1).mfence().store("y", 1);
     b.thread().load("EAX", "y").mfence().store("z", 1);
     b.thread().load("EAX", "z").mfence().load("EBX", "x");
-    b.reg_cond(1, "EAX", 1).reg_cond(2, "EAX", 1).reg_cond(2, "EBX", 0);
+    b.reg_cond(1, "EAX", 1)
+        .reg_cond(2, "EAX", 1)
+        .reg_cond(2, "EBX", 0);
     build(&b)
 }
 
@@ -233,7 +260,9 @@ pub fn safe024() -> LitmusTest {
     b.thread().store("x", 1);
     b.thread().load("EAX", "x").mfence().store("y", 1);
     b.thread().load("EAX", "y").mfence().load("EBX", "x");
-    b.reg_cond(1, "EAX", 1).reg_cond(2, "EAX", 1).reg_cond(2, "EBX", 0);
+    b.reg_cond(1, "EAX", 1)
+        .reg_cond(2, "EAX", 1)
+        .reg_cond(2, "EBX", 0);
     build(&b)
 }
 
@@ -268,8 +297,14 @@ pub fn safe028() -> LitmusTest {
 pub fn safe036() -> LitmusTest {
     let mut b = TestBuilder::new("safe036");
     b.doc("sb with XCHG-on-scratch fences");
-    b.thread().store("x", 1).xchg("EAX", "s", 1).load("EBX", "y");
-    b.thread().store("y", 1).xchg("EAX", "t", 1).load("EBX", "x");
+    b.thread()
+        .store("x", 1)
+        .xchg("EAX", "s", 1)
+        .load("EBX", "y");
+    b.thread()
+        .store("y", 1)
+        .xchg("EAX", "t", 1)
+        .load("EBX", "x");
     b.reg_cond(0, "EBX", 0).reg_cond(1, "EBX", 0);
     build(&b)
 }

@@ -42,41 +42,211 @@ pub struct TableIiEntry {
 /// Table II of the paper: the 34-test perpetual litmus suite for x86-TSO.
 pub const TABLE_II: &[TableIiEntry] = &[
     // Target outcome allowed by x86-TSO.
-    TableIiEntry { name: "amd3", threads: 2, load_threads: 2, allowed: true },
-    TableIiEntry { name: "iwp23b", threads: 2, load_threads: 2, allowed: true },
-    TableIiEntry { name: "iwp24", threads: 2, load_threads: 2, allowed: true },
-    TableIiEntry { name: "n1", threads: 3, load_threads: 2, allowed: true },
-    TableIiEntry { name: "podwr000", threads: 2, load_threads: 2, allowed: true },
-    TableIiEntry { name: "podwr001", threads: 3, load_threads: 3, allowed: true },
-    TableIiEntry { name: "rfi009", threads: 2, load_threads: 2, allowed: true },
-    TableIiEntry { name: "rfi013", threads: 2, load_threads: 2, allowed: true },
-    TableIiEntry { name: "rfi015", threads: 3, load_threads: 2, allowed: true },
-    TableIiEntry { name: "rfi017", threads: 2, load_threads: 2, allowed: true },
-    TableIiEntry { name: "rwc-unfenced", threads: 3, load_threads: 2, allowed: true },
-    TableIiEntry { name: "sb", threads: 2, load_threads: 2, allowed: true },
+    TableIiEntry {
+        name: "amd3",
+        threads: 2,
+        load_threads: 2,
+        allowed: true,
+    },
+    TableIiEntry {
+        name: "iwp23b",
+        threads: 2,
+        load_threads: 2,
+        allowed: true,
+    },
+    TableIiEntry {
+        name: "iwp24",
+        threads: 2,
+        load_threads: 2,
+        allowed: true,
+    },
+    TableIiEntry {
+        name: "n1",
+        threads: 3,
+        load_threads: 2,
+        allowed: true,
+    },
+    TableIiEntry {
+        name: "podwr000",
+        threads: 2,
+        load_threads: 2,
+        allowed: true,
+    },
+    TableIiEntry {
+        name: "podwr001",
+        threads: 3,
+        load_threads: 3,
+        allowed: true,
+    },
+    TableIiEntry {
+        name: "rfi009",
+        threads: 2,
+        load_threads: 2,
+        allowed: true,
+    },
+    TableIiEntry {
+        name: "rfi013",
+        threads: 2,
+        load_threads: 2,
+        allowed: true,
+    },
+    TableIiEntry {
+        name: "rfi015",
+        threads: 3,
+        load_threads: 2,
+        allowed: true,
+    },
+    TableIiEntry {
+        name: "rfi017",
+        threads: 2,
+        load_threads: 2,
+        allowed: true,
+    },
+    TableIiEntry {
+        name: "rwc-unfenced",
+        threads: 3,
+        load_threads: 2,
+        allowed: true,
+    },
+    TableIiEntry {
+        name: "sb",
+        threads: 2,
+        load_threads: 2,
+        allowed: true,
+    },
     // Target outcome forbidden by x86-TSO.
-    TableIiEntry { name: "amd10", threads: 2, load_threads: 2, allowed: false },
-    TableIiEntry { name: "amd5", threads: 2, load_threads: 2, allowed: false },
-    TableIiEntry { name: "amd5+staleld", threads: 2, load_threads: 2, allowed: false },
-    TableIiEntry { name: "co-iriw", threads: 4, load_threads: 2, allowed: false },
-    TableIiEntry { name: "iriw", threads: 4, load_threads: 2, allowed: false },
-    TableIiEntry { name: "lb", threads: 2, load_threads: 2, allowed: false },
-    TableIiEntry { name: "mp", threads: 2, load_threads: 1, allowed: false },
-    TableIiEntry { name: "mp+staleld", threads: 2, load_threads: 1, allowed: false },
-    TableIiEntry { name: "mp+fences", threads: 2, load_threads: 1, allowed: false },
-    TableIiEntry { name: "n4", threads: 2, load_threads: 2, allowed: false },
-    TableIiEntry { name: "n5", threads: 2, load_threads: 2, allowed: false },
-    TableIiEntry { name: "rwc-fenced", threads: 3, load_threads: 2, allowed: false },
-    TableIiEntry { name: "safe006", threads: 2, load_threads: 2, allowed: false },
-    TableIiEntry { name: "safe007", threads: 3, load_threads: 3, allowed: false },
-    TableIiEntry { name: "safe012", threads: 3, load_threads: 2, allowed: false },
-    TableIiEntry { name: "safe018", threads: 3, load_threads: 2, allowed: false },
-    TableIiEntry { name: "safe022", threads: 2, load_threads: 1, allowed: false },
-    TableIiEntry { name: "safe024", threads: 3, load_threads: 2, allowed: false },
-    TableIiEntry { name: "safe027", threads: 4, load_threads: 2, allowed: false },
-    TableIiEntry { name: "safe028", threads: 3, load_threads: 2, allowed: false },
-    TableIiEntry { name: "safe036", threads: 2, load_threads: 2, allowed: false },
-    TableIiEntry { name: "wrc", threads: 3, load_threads: 2, allowed: false },
+    TableIiEntry {
+        name: "amd10",
+        threads: 2,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "amd5",
+        threads: 2,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "amd5+staleld",
+        threads: 2,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "co-iriw",
+        threads: 4,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "iriw",
+        threads: 4,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "lb",
+        threads: 2,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "mp",
+        threads: 2,
+        load_threads: 1,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "mp+staleld",
+        threads: 2,
+        load_threads: 1,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "mp+fences",
+        threads: 2,
+        load_threads: 1,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "n4",
+        threads: 2,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "n5",
+        threads: 2,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "rwc-fenced",
+        threads: 3,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "safe006",
+        threads: 2,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "safe007",
+        threads: 3,
+        load_threads: 3,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "safe012",
+        threads: 3,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "safe018",
+        threads: 3,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "safe022",
+        threads: 2,
+        load_threads: 1,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "safe024",
+        threads: 3,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "safe027",
+        threads: 4,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "safe028",
+        threads: 3,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "safe036",
+        threads: 2,
+        load_threads: 2,
+        allowed: false,
+    },
+    TableIiEntry {
+        name: "wrc",
+        threads: 3,
+        load_threads: 2,
+        allowed: false,
+    },
 ];
 
 /// The 34 convertible tests of Table II, in table order.
@@ -177,10 +347,8 @@ pub fn load_corpus(dir: &std::path::Path) -> Result<Vec<LitmusTest>, String> {
     paths.sort();
     let mut tests = Vec::with_capacity(paths.len());
     for path in paths {
-        let src = std::fs::read_to_string(&path)
-            .map_err(|e| format!("{}: {e}", path.display()))?;
-        let test = crate::parser::parse(&src)
-            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let test = crate::parser::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
         tests.push(test);
     }
     Ok(tests)
@@ -248,7 +416,10 @@ mod tests {
     fn full_suite_counts_88() {
         let tests = full();
         assert_eq!(tests.len(), 88);
-        let nonconv = tests.iter().filter(|t| t.target().inspects_memory()).count();
+        let nonconv = tests
+            .iter()
+            .filter(|t| t.target().inspects_memory())
+            .count();
         assert_eq!(nonconv, 54);
     }
 
@@ -281,10 +452,7 @@ mod tests {
 
     #[test]
     fn corpus_roundtrips_through_the_filesystem() {
-        let dir = std::env::temp_dir().join(format!(
-            "perple-corpus-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("perple-corpus-test-{}", std::process::id()));
         let written = write_corpus(&dir).unwrap();
         assert_eq!(written, 88);
         let loaded = load_corpus(&dir).unwrap();
@@ -301,10 +469,7 @@ mod tests {
     #[test]
     fn load_corpus_reports_missing_dir_and_bad_files() {
         assert!(load_corpus(std::path::Path::new("/nonexistent-xyz")).is_err());
-        let dir = std::env::temp_dir().join(format!(
-            "perple-corpus-bad-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("perple-corpus-bad-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("broken.litmus"), "not a litmus test").unwrap();
         let err = load_corpus(&dir).unwrap_err();
@@ -316,8 +481,8 @@ mod tests {
     fn every_suite_test_roundtrips_through_text() {
         for t in full() {
             let text = crate::printer::print(&t);
-            let back = crate::parser::parse(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", t.name()));
+            let back =
+                crate::parser::parse(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", t.name()));
             assert_eq!(t, back, "{}", t.name());
         }
     }

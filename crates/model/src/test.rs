@@ -285,11 +285,7 @@ impl LitmusTest {
         let target: Vec<(ThreadId, RegId, u32)> = self.condition.reg_atoms().collect();
         self.possible_outcomes()
             .into_iter()
-            .filter(|o| {
-                target
-                    .iter()
-                    .all(|&(t, r, v)| o.get(t, r) == Some(v))
-            })
+            .filter(|o| target.iter().all(|&(t, r, v)| o.get(t, r) == Some(v)))
             .collect()
     }
 }
@@ -349,7 +345,10 @@ impl TestBuilder {
         self.threads.push(Vec::new());
         self.reg_names.push(Vec::new());
         let t = self.threads.len() - 1;
-        ThreadBuilder { owner: self, thread: t }
+        ThreadBuilder {
+            owner: self,
+            thread: t,
+        }
     }
 
     /// Sets the condition quantifier (default [`Quantifier::Exists`]).
@@ -406,12 +405,18 @@ impl TestBuilder {
         }
         for (t, instrs) in self.threads.iter().enumerate() {
             if instrs.len() > 255 {
-                return Err(ModelError::ThreadTooLong { thread: t, len: instrs.len() });
+                return Err(ModelError::ThreadTooLong {
+                    thread: t,
+                    len: instrs.len(),
+                });
             }
             for (i, instr) in instrs.iter().enumerate() {
                 if let Some((_, v)) = instr.store_target() {
                     if v == 0 {
-                        return Err(ModelError::ZeroStore { thread: t, index: i });
+                        return Err(ModelError::ZeroStore {
+                            thread: t,
+                            index: i,
+                        });
                     }
                 }
             }
@@ -438,7 +443,10 @@ impl TestBuilder {
             let rid = self.reg_names[*t]
                 .iter()
                 .position(|r| r == reg)
-                .ok_or_else(|| ModelError::UnknownRegister { thread: *t, reg: reg.clone() })?;
+                .ok_or_else(|| ModelError::UnknownRegister {
+                    thread: *t,
+                    reg: reg.clone(),
+                })?;
             atoms.push(CondAtom::RegEq {
                 thread: ThreadId(*t as u8),
                 reg: RegId(rid as u8),
@@ -451,7 +459,10 @@ impl TestBuilder {
                 .iter()
                 .position(|l| l == loc)
                 .ok_or_else(|| ModelError::UnknownLocation(loc.clone()))?;
-            atoms.push(CondAtom::MemEq { loc: LocId(id as u8), value: *v });
+            atoms.push(CondAtom::MemEq {
+                loc: LocId(id as u8),
+                value: *v,
+            });
         }
 
         Ok(LitmusTest {
@@ -598,14 +609,20 @@ mod tests {
 
     #[test]
     fn build_rejects_invalid_tests() {
-        assert_eq!(TestBuilder::new("e").build().unwrap_err(), ModelError::NoThreads);
+        assert_eq!(
+            TestBuilder::new("e").build().unwrap_err(),
+            ModelError::NoThreads
+        );
 
         let mut b = TestBuilder::new("z");
         b.thread().store("x", 0);
         b.mem_cond("x", 0);
         assert_eq!(
             b.build().unwrap_err(),
-            ModelError::ZeroStore { thread: 0, index: 0 }
+            ModelError::ZeroStore {
+                thread: 0,
+                index: 0
+            }
         );
 
         let mut b = TestBuilder::new("nc");

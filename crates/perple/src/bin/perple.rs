@@ -10,6 +10,10 @@
 //! perple trace    <test-name> [-n N]          event log of a short run
 //! perple infer    [-n N] [--weak]             infer the machine's relaxations
 //! perple list                                 list the built-in suite
+//! perple campaign run <spec-file> [--store DIR]
+//! perple campaign ls [--store DIR]
+//! perple campaign show <run|latest> [--store DIR] [--json]
+//! perple campaign compare <base> <new> [--store DIR] [--json]
 //! ```
 //!
 //! `--timeout-ms` arms a per-stage watchdog (run and count stages each get
@@ -37,6 +41,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("infer") => cmd_infer(&args[1..]),
         Some("list") => cmd_list(),
+        Some("campaign") => cmd_campaign(&args[1..]),
         _ => {
             eprintln!(
                 "usage: perple <classify|convert|run|audit|list> [args]\n\
@@ -50,6 +55,10 @@ fn main() -> ExitCode {
                  trace    <test> [-n N]      event log of a short run\n\
                  infer    [-n N] [--weak]    infer the machine's relaxations\n\
                  list                        list built-in tests\n\
+                 campaign run <spec> [--store DIR]          run a campaign spec\n\
+                 campaign ls [--store DIR]                  list stored runs\n\
+                 campaign show <run|latest> [--json]        inspect one run\n\
+                 campaign compare <base> <new> [--json]     regression gate (exit 1)\n\
                  \n\
                  --timeout-ms T   per-stage watchdog budget (partial results flagged)\n\
                  --retries R      retry failed audit tests with perturbed seeds\n\
@@ -106,7 +115,10 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     {
         println!("==== thread {t} ====\n{asm}");
     }
-    println!("==== params ====\n{}", perple_convert::codegen::emit_params(&conv.perpetual));
+    println!(
+        "==== params ====\n{}",
+        perple_convert::codegen::emit_params(&conv.perpetual)
+    );
     println!(
         "==== COUNT.c ====\n{}",
         perple_convert::codegen::emit_count_c(
@@ -214,8 +226,7 @@ fn parse_flags(args: &[String]) -> Result<RunFlags, String> {
             }
             "--inject" => {
                 let plan = it.next().ok_or("missing value for --inject")?;
-                flags.inject =
-                    Some(FaultPlan::parse(plan).map_err(|e| format!("bad --inject plan: {e}"))?);
+                flags.inject = Some(perple::parse_fault_plan(plan).map_err(|e| e.to_string())?);
             }
             "--json" => flags.json = true,
             "--weak" => flags.weak = true,
@@ -256,13 +267,24 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         test.name(),
         n,
         run.exec_cycles,
-        if flags.weak { " (weak-store-order machine)" } else { "" },
-        if run.complete { "" } else { " [truncated by --timeout-ms]" },
+        if flags.weak {
+            " (weak-store-order machine)"
+        } else {
+            ""
+        },
+        if run.complete {
+            ""
+        } else {
+            " [truncated by --timeout-ms]"
+        },
     );
     if run.faults > 0 {
         println!("machine faults injected: {}", run.faults);
     }
-    println!("target outcome occurrences (heuristic counter): {}", count.counts[0]);
+    println!(
+        "target outcome occurrences (heuristic counter): {}",
+        count.counts[0]
+    );
     if count.budget_expired {
         println!(
             "(counting truncated by --timeout-ms: {} of {} frames examined)",
@@ -335,8 +357,7 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     for r in perple::modelmine::Relaxation::ALL {
         let name = r.revealing_test();
         let test = suite::by_name(name).ok_or("suite test missing")?;
-        let mut engine =
-            Perple::with_config(&test, config.clone()).map_err(|e| e.to_string())?;
+        let mut engine = Perple::with_config(&test, config.clone()).map_err(|e| e.to_string())?;
         engine.set_workers(flags.workers);
         let (_, count) = engine.run_heuristic_only(flags.n);
         observations.push((name, count.counts[0]));
@@ -348,6 +369,153 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Splits `--store DIR` (default `results/store`) and `--json` out of a
+/// campaign subcommand's arguments, returning the positional rest.
+fn campaign_flags(args: &[String]) -> Result<(std::path::PathBuf, bool, Vec<String>), String> {
+    let mut store = perple::campaign::RunStore::default_root();
+    let mut json = false;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => {
+                store = it.next().ok_or("missing value for --store")?.into();
+            }
+            "--json" => json = true,
+            other => rest.push(other.to_owned()),
+        }
+    }
+    Ok((store, json, rest))
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let usage = "usage: perple campaign <run|ls|show|compare> [args] [--store DIR] [--json]";
+    let sub = args.first().map(String::as_str).ok_or(usage)?;
+    let (store_root, json, rest) = campaign_flags(&args[1..])?;
+    match sub {
+        "run" => {
+            let path = rest.first().ok_or("campaign run needs a spec file")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read spec {path}: {e}"))?;
+            let spec = perple::campaign::CampaignSpec::parse(&text).map_err(|e| e.to_string())?;
+            let summary = perple::experiments::campaign::run_spec(&spec, &store_root)?;
+            println!("run: {}", summary.id);
+            println!("hits: {}/{}", summary.hits, summary.items);
+            println!(
+                "executed: {}, lost: {}, quarantined: {}, violations: {}",
+                summary.executed, summary.lost, summary.quarantined, summary.violations
+            );
+            if summary.violations > 0 {
+                return Err("the machine under test violates x86-TSO".into());
+            }
+            Ok(())
+        }
+        "ls" => {
+            let store = perple::campaign::RunStore::open(&store_root).map_err(|e| e.to_string())?;
+            let runs = store.list().map_err(|e| e.to_string())?;
+            if runs.is_empty() {
+                println!("(no stored runs under {})", store_root.display());
+                return Ok(());
+            }
+            for line in &runs {
+                use perple::jsonout::Json;
+                let count = |k: &str| {
+                    line.get("counts")
+                        .and_then(|c| c.get(k))
+                        .and_then(Json::as_u64)
+                };
+                println!(
+                    "{:<20} items={:<4} hits={:<4} violations={}",
+                    line.get("id").and_then(Json::as_str).unwrap_or("?"),
+                    count("items").unwrap_or(0),
+                    count("hits").unwrap_or(0),
+                    count("violations").unwrap_or(0),
+                );
+            }
+            let cache =
+                perple::campaign::ArtifactCache::open(&store_root).map_err(|e| e.to_string())?;
+            let (results, convs) = cache.stats();
+            println!("cache: {results} result entries, {convs} conversion artifacts");
+            Ok(())
+        }
+        "show" => {
+            let reference = rest.first().map(String::as_str).unwrap_or("latest");
+            let store = perple::campaign::RunStore::open(&store_root).map_err(|e| e.to_string())?;
+            let id = store.resolve(reference).map_err(|e| e.to_string())?;
+            let manifest = store.load_manifest(&id).map_err(|e| e.to_string())?;
+            let items = store.load_items(&id).map_err(|e| e.to_string())?;
+            if json {
+                println!("{}", manifest.render());
+                return Ok(());
+            }
+            println!("{id}");
+            use perple::jsonout::Json;
+            if let Some(git) = manifest.get("git").and_then(Json::as_str) {
+                println!("git: {git}");
+            }
+            println!(
+                "{:<14} {:>6} {:>10} {:>12} {:>7}  flags",
+                "test#seed", "forb", "heuristic", "exhaustive", "faults"
+            );
+            for r in &items {
+                let mut flags = Vec::new();
+                if r.degraded {
+                    flags.push("degraded");
+                }
+                if !r.run_complete {
+                    flags.push("partial-run");
+                }
+                if r.quarantined {
+                    flags.push("quarantined");
+                }
+                println!(
+                    "{:<14} {:>6} {:>10} {:>12} {:>7}  {}",
+                    format!("{}#{}", r.test, r.seed),
+                    if r.forbidden { "yes" } else { "no" },
+                    r.heuristic,
+                    r.exhaustive,
+                    r.faults,
+                    if flags.is_empty() {
+                        "-".to_owned()
+                    } else {
+                        flags.join(",")
+                    },
+                );
+            }
+            Ok(())
+        }
+        "compare" => {
+            let (base, new) = match rest.as_slice() {
+                [b, n] => (b.clone(), n.clone()),
+                _ => return Err("campaign compare needs <base> <new> run references".into()),
+            };
+            let store = perple::campaign::RunStore::open(&store_root).map_err(|e| e.to_string())?;
+            let report = perple::campaign::compare_runs(
+                &store,
+                &base,
+                &new,
+                &perple::campaign::CompareConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            if json {
+                println!("{}", report.to_json().render());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.is_regression() {
+                return Err(format!(
+                    "{} regression(s) between {} and {}",
+                    report.regressions.len(),
+                    report.base_id,
+                    report.new_id
+                ));
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown campaign subcommand {other:?}\n{usage}")),
+    }
+}
+
 fn cmd_list() -> Result<(), String> {
     for (test, entry) in suite::convertible().iter().zip(suite::TABLE_II) {
         println!(
@@ -355,10 +523,16 @@ fn cmd_list() -> Result<(), String> {
             test.name(),
             entry.threads,
             entry.load_threads,
-            if entry.allowed { "allowed" } else { "forbidden" }
+            if entry.allowed {
+                "allowed"
+            } else {
+                "forbidden"
+            }
         );
     }
-    println!("-- plus {} non-convertible tests (run `perple classify <name>`)",
-        suite::non_convertible().len());
+    println!(
+        "-- plus {} non-convertible tests (run `perple classify <name>`)",
+        suite::non_convertible().len()
+    );
     Ok(())
 }

@@ -74,6 +74,18 @@ impl From<ConvertError> for PerpleError {
     }
 }
 
+/// Parses a `--inject` fault-plan spec, classifying malformed grammar as
+/// [`PerpleError::Config`] — the one entry point every CLI and campaign
+/// path shares, so bad plans never panic and never produce ad-hoc errors.
+///
+/// # Errors
+/// [`PerpleError::Config`] quoting the offending spec and the grammar
+/// diagnostic.
+pub fn parse_fault_plan(spec: &str) -> Result<perple_sim::FaultPlan, PerpleError> {
+    perple_sim::FaultPlan::parse(spec)
+        .map_err(|e| PerpleError::Config(format!("bad fault plan {spec:?}: {e}")))
+}
+
 /// Renders a `catch_unwind` payload: `&str` and `String` payloads (what
 /// `panic!` produces) verbatim, anything else as a placeholder.
 pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -92,7 +104,9 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let e = PerpleError::WorkerPanic { message: "boom".into() };
+        let e = PerpleError::WorkerPanic {
+            message: "boom".into(),
+        };
         assert!(e.to_string().contains("boom"));
         assert_eq!(e.kind(), "panic");
         let e = PerpleError::StageTimeout { stage: "run" };
@@ -111,7 +125,10 @@ mod tests {
 
     #[test]
     fn only_transient_failures_are_retryable() {
-        assert!(PerpleError::WorkerPanic { message: String::new() }.retryable());
+        assert!(PerpleError::WorkerPanic {
+            message: String::new()
+        }
+        .retryable());
         assert!(PerpleError::StageTimeout { stage: "count" }.retryable());
         assert!(!PerpleError::Config(String::new()).retryable());
     }

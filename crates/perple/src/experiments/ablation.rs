@@ -44,13 +44,9 @@ pub fn pivot_ablation(cfg: &ExperimentConfig) -> Vec<PivotAblation> {
             // convertible suite, so conversion cannot fail.
             let conv = Conversion::convert(test).expect("converts");
             let frame_len = conv.perpetual.load_thread_count();
-            let naive = HeuristicOutcome::from_perpetual_with_pivot(
-                &conv.target_exhaustive,
-                frame_len,
-                0,
-            );
-            let mut runner =
-                PerpleRunner::new(SimConfig::default().with_seed(cfg.seed ^ 0xAB1));
+            let naive =
+                HeuristicOutcome::from_perpetual_with_pivot(&conv.target_exhaustive, frame_len, 0);
+            let mut runner = PerpleRunner::new(SimConfig::default().with_seed(cfg.seed ^ 0xAB1));
             let run = runner.run(&conv.perpetual, cfg.iterations);
             let bufs = run.bufs();
             let selected = count_heuristic(
@@ -58,8 +54,7 @@ pub fn pivot_ablation(cfg: &ExperimentConfig) -> Vec<PivotAblation> {
                 &bufs,
                 cfg.iterations,
             );
-            let naive_count =
-                count_heuristic(std::slice::from_ref(&naive), &bufs, cfg.iterations);
+            let naive_count = count_heuristic(std::slice::from_ref(&naive), &bufs, cfg.iterations);
             PivotAblation {
                 name: test.name().to_owned(),
                 chosen_pivot: conv.target_heuristic.pivot(),
@@ -98,7 +93,10 @@ pub fn drain_sweep(cfg: &ExperimentConfig) -> Vec<DrainSweepPoint> {
                 &bufs,
                 cfg.iterations,
             );
-            DrainSweepPoint { drain_prob: p, target_hits: count.counts[0] }
+            DrainSweepPoint {
+                drain_prob: p,
+                target_hits: count.counts[0],
+            }
         })
         .collect()
 }
@@ -166,7 +164,11 @@ pub fn render(
     let mut s = String::new();
     let _ = writeln!(s, "Ablations ({} iterations)", cfg.iterations);
     let _ = writeln!(s, "-- heuristic pivot selection --");
-    let _ = writeln!(s, "{:<16} {:>6} {:>14} {:>14}", "test", "pivot", "selected", "naive-pivot0");
+    let _ = writeln!(
+        s,
+        "{:<16} {:>6} {:>14} {:>14}",
+        "test", "pivot", "selected", "naive-pivot0"
+    );
     for p in pivots {
         let _ = writeln!(
             s,

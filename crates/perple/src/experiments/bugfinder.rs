@@ -131,7 +131,10 @@ pub fn render(reports: &[BugReport], cfg: &ExperimentConfig) -> String {
         .iter()
         .filter(|r| r.tso_forbidden && r.pso_allowed)
         .count();
-    let _ = writeln!(s, "PerpLE exposed the injected weakness via {exposed}/{exposable} exposable tests");
+    let _ = writeln!(
+        s,
+        "PerpLE exposed the injected weakness via {exposed}/{exposable} exposable tests"
+    );
     s
 }
 
@@ -152,7 +155,10 @@ mod tests {
         // mp is the canonical store-store-reordering victim.
         let mp = reports.iter().find(|r| r.name == "mp").unwrap();
         assert!(mp.tso_forbidden && mp.pso_allowed);
-        assert!(mp.perple_hits > 0, "PerpLE missed the injected mp violation");
+        assert!(
+            mp.perple_hits > 0,
+            "PerpLE missed the injected mp violation"
+        );
         // Every verdict must be correct (no false positives/negatives).
         for r in &reports {
             assert!(

@@ -1,0 +1,471 @@
+//! Campaign execution glue: plugs the engine-agnostic `perple-campaign`
+//! crate into this crate's conversion pipeline and resilient suite pool.
+//!
+//! The campaign crate owns the store, cache, fingerprints, and regression
+//! gate but never touches a simulator; this module supplies the missing
+//! half:
+//!
+//! * spec → [`ExperimentConfig`] (fault plans parsed through the shared
+//!   [`parse_fault_plan`], so malformed `inject =` lines are
+//!   [`PerpleError::Config`], never panics);
+//! * spec expansion (`convertible` magic entry, test-name validation) into
+//!   fingerprinted [`CampaignItem`]s;
+//! * the executor: cache misses run as `test#seed`-named items on
+//!   [`run_suite_resilient`] via [`audit_one`], so campaigns inherit panic
+//!   isolation, watchdog budgets, deterministic retries, and quarantine;
+//! * conversion-artifact capture into the `conv/` cache namespace.
+//!
+//! ## Seeds and fingerprints
+//!
+//! An item named `sb#2` runs under
+//! `attempt_seed(derive_seed(BASE, "sb#2", "campaign"), 0)` — a pure
+//! function of the test name and the spec-level seed, independent of the
+//! process, item order, and worker count. The item [`fingerprint`] feeds
+//! every behavioural input (litmus source text, conversion pipeline
+//! version, the derived-seed simulator descriptor including fault plan,
+//! iterations, frame cap, watchdog) so cache hits are exactly the runs
+//! whose outcome is already known. See `DESIGN.md`, "Cache keys and
+//! invalidation".
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use perple_campaign::{
+    git_describe, run_campaign, ArtifactCache, CampaignItem, CampaignSpec, ExecOutcome,
+    Fingerprint, Hasher, OutcomeRecord, RunMeta, RunStore, RunSummary, StageWallMs,
+};
+use perple_convert::artifact::ArtifactBundle;
+use perple_model::{printer, suite, LitmusTest};
+
+use crate::error::{parse_fault_plan, PerpleError};
+use crate::{classify, Conversion};
+
+use super::resilient::{audit_one, run_suite_resilient, ItemStatus};
+use super::{derive_seed, ExperimentConfig, Parallelism};
+
+/// Fixed base for the per-item seed derivation (the spec's `seeds` axis is
+/// the user-visible seed; this only decorrelates item names).
+const CAMPAIGN_BASE_SEED: u64 = 0x9E37;
+
+/// Tool tag in the seed derivation (see `derive_seed`).
+const CAMPAIGN_TAG: &str = "campaign";
+
+/// Version tag of the conversion pipeline mixed into fingerprints: bump
+/// when the Converter's output changes meaning, orphaning cached
+/// conversions and results produced by the old pipeline.
+pub const CONVERSION_VERSION: &str = "convert-v1";
+
+/// Display name of one item (also the seed-derivation key).
+fn item_name(test: &str, seed: u64) -> String {
+    format!("{test}#{seed}")
+}
+
+/// Builds the [`ExperimentConfig`] a spec describes.
+///
+/// # Errors
+/// [`PerpleError::Config`] for malformed `inject =` fault plans.
+pub fn campaign_config(spec: &CampaignSpec) -> Result<ExperimentConfig, PerpleError> {
+    let plan = match &spec.inject {
+        Some(s) => parse_fault_plan(s)?,
+        None => perple_sim::FaultPlan::none(),
+    };
+    let mut cfg = ExperimentConfig::default()
+        .with_iterations(spec.iterations)
+        .with_seed(CAMPAIGN_BASE_SEED)
+        .with_timeout_ms(spec.timeout_ms)
+        .with_retries(spec.retries)
+        .with_fault_plan(plan);
+    cfg.exhaustive_frame_cap = spec.frame_cap;
+    if spec.workers > 0 {
+        cfg.parallelism = Parallelism::workers(spec.workers);
+    }
+    Ok(cfg)
+}
+
+/// Expands the spec's test list: `convertible` becomes the whole Table II
+/// convertible suite, names are validated and deduplicated in order.
+///
+/// # Errors
+/// [`PerpleError::Config`] for unknown or non-convertible test names.
+pub fn expand_tests(spec: &CampaignSpec) -> Result<Vec<LitmusTest>, PerpleError> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for name in &spec.tests {
+        if name == "convertible" {
+            for t in suite::convertible() {
+                if seen.insert(t.name().to_owned()) {
+                    out.push(t);
+                }
+            }
+            continue;
+        }
+        let t = suite::by_name(name)
+            .ok_or_else(|| PerpleError::Config(format!("unknown suite test {name:?}")))?;
+        if !perple_convert::is_convertible(&t) {
+            return Err(PerpleError::Config(format!(
+                "{name:?} is not convertible to a perpetual test"
+            )));
+        }
+        if seen.insert(t.name().to_owned()) {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Fingerprint of one item's complete behavioural inputs (the result-cache
+/// key).
+pub fn item_fingerprint(test: &LitmusTest, cfg: &ExperimentConfig, seed: u64) -> Fingerprint {
+    let runner_seed = derive_seed(cfg.seed, &item_name(test.name(), seed), CAMPAIGN_TAG);
+    let mut h = Hasher::new();
+    h.field("litmus", &printer::print(test))
+        .field("pipeline", CONVERSION_VERSION)
+        .field("sim", &cfg.sim_config(runner_seed).cache_descriptor())
+        .field_u64("iterations", cfg.iterations)
+        .field_opt_u64("frame-cap", cfg.exhaustive_frame_cap)
+        .field_opt_u64("timeout-ms", cfg.timeout_ms)
+        .field_u64("item-seed", seed);
+    h.finish()
+}
+
+/// Fingerprint of a test's conversion inputs alone (the conv-cache key):
+/// source bytes and pipeline version, nothing run-specific.
+pub fn conv_fingerprint(test: &LitmusTest) -> Fingerprint {
+    let mut h = Hasher::new();
+    h.field("litmus", &printer::print(test))
+        .field("pipeline", CONVERSION_VERSION);
+    h.finish()
+}
+
+/// Expands a spec into fingerprinted items (tests × seeds, spec order)
+/// paired with their tests.
+///
+/// # Errors
+/// As for [`expand_tests`] / [`campaign_config`].
+pub fn expand_items(
+    spec: &CampaignSpec,
+) -> Result<(ExperimentConfig, Vec<(LitmusTest, CampaignItem)>), PerpleError> {
+    let cfg = campaign_config(spec)?;
+    let tests = expand_tests(spec)?;
+    let mut out = Vec::with_capacity(tests.len() * spec.seeds.len());
+    for t in &tests {
+        for &seed in &spec.seeds {
+            let item = CampaignItem {
+                test: t.name().to_owned(),
+                seed,
+                fingerprint: item_fingerprint(t, &cfg, seed),
+            };
+            out.push((t.clone(), item));
+        }
+    }
+    Ok((cfg, out))
+}
+
+/// Runs one campaign spec against the store at `store_root`: cache
+/// partition, resilient execution of the misses, artifact capture, run
+/// persistence.
+///
+/// # Errors
+/// Config errors from the spec, or store/cache I/O failures (as strings,
+/// ready for the CLI).
+pub fn run_spec(spec: &CampaignSpec, store_root: &Path) -> Result<RunSummary, String> {
+    let (cfg, expanded) = expand_items(spec).map_err(|e| e.to_string())?;
+    let store = RunStore::open(store_root).map_err(|e| e.to_string())?;
+    let cache = ArtifactCache::open(store_root).map_err(|e| e.to_string())?;
+    let tests_by_name: HashMap<String, LitmusTest> = expanded
+        .iter()
+        .map(|(t, _)| (t.name().to_owned(), t.clone()))
+        .collect();
+    let items: Vec<CampaignItem> = expanded.into_iter().map(|(_, i)| i).collect();
+
+    let meta = RunMeta {
+        created_unix_ms: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+        git: git_describe(),
+    };
+
+    run_campaign(&store, &cache, spec, &items, &meta, |batch| {
+        execute_batch(batch, &tests_by_name, &cfg, &cache)
+    })
+    .map_err(|e| e.to_string())
+}
+
+/// Executes a batch of cache misses on the resilient suite pool and shapes
+/// the results for the engine.
+fn execute_batch(
+    batch: &[CampaignItem],
+    tests_by_name: &HashMap<String, LitmusTest>,
+    cfg: &ExperimentConfig,
+    cache: &ArtifactCache,
+) -> Vec<Option<ExecOutcome>> {
+    // Capture conversion artifacts for every distinct test in the batch
+    // (write-if-absent; convert failures are left to the executor, which
+    // reports them per item).
+    let mut captured = HashSet::new();
+    for item in batch {
+        let Some(test) = tests_by_name.get(&item.test) else {
+            continue;
+        };
+        if !captured.insert(item.test.clone()) {
+            continue;
+        }
+        let fp = conv_fingerprint(test);
+        if cache.load_conv(fp).is_none() {
+            if let Ok(conv) = Conversion::convert(test) {
+                let bundle = ArtifactBundle::from_conversion(&conv);
+                let _ = cache.store_conv(fp, &bundle.render_text());
+            }
+        }
+    }
+
+    // Forbidden-ness per distinct test, derived once (classification is a
+    // pure function of the test, so hits never need it).
+    let forbidden: HashMap<&str, bool> = tests_by_name
+        .iter()
+        .map(|(name, t)| (name.as_str(), !classify(t).tso_allowed))
+        .collect();
+
+    let pairs: Vec<(LitmusTest, &CampaignItem)> = batch
+        .iter()
+        .map(|i| {
+            let t = tests_by_name
+                .get(&i.test)
+                .cloned()
+                .expect("expand_items built both sides from the same spec");
+            (t, i)
+        })
+        .collect();
+
+    let report = run_suite_resilient(
+        &pairs,
+        cfg,
+        |(_, i)| item_name(&i.test, i.seed),
+        CAMPAIGN_TAG,
+        |(t, _), seed| audit_one(t, cfg, seed),
+    );
+
+    report
+        .results
+        .iter()
+        .zip(&report.items)
+        .zip(batch)
+        .map(|((row, disposition), item)| {
+            let is_forbidden = forbidden.get(item.test.as_str()).copied().unwrap_or(false);
+            let outcome = match row {
+                Some(r) => ExecOutcome {
+                    record: OutcomeRecord {
+                        test: item.test.clone(),
+                        seed: item.seed,
+                        fingerprint: item.fingerprint.hex(),
+                        forbidden: is_forbidden,
+                        heuristic: r.heuristic,
+                        exhaustive: r.exhaustive,
+                        degraded: r.degraded,
+                        iterations: r.iterations,
+                        run_complete: r.run_complete,
+                        faults: r.faults,
+                        digest: r.digest,
+                        quarantined: false,
+                        fault_kind: None,
+                    },
+                    // Recovered items ran under perturbed retry seeds, so
+                    // their counts are not a function of the fingerprint.
+                    cacheable: disposition.status == ItemStatus::Ok,
+                    wall: StageWallMs {
+                        convert_ms: r.timings.convert.as_millis() as u64,
+                        run_ms: r.timings.run.as_millis() as u64,
+                        count_ms: r.timings.count.as_millis() as u64,
+                    },
+                },
+                None => ExecOutcome {
+                    record: OutcomeRecord {
+                        test: item.test.clone(),
+                        seed: item.seed,
+                        fingerprint: item.fingerprint.hex(),
+                        forbidden: is_forbidden,
+                        heuristic: 0,
+                        exhaustive: 0,
+                        degraded: false,
+                        iterations: 0,
+                        run_complete: false,
+                        faults: 0,
+                        digest: 0,
+                        quarantined: true,
+                        fault_kind: disposition.fault_kind().map(str::to_owned),
+                    },
+                    cacheable: false,
+                    wall: StageWallMs::default(),
+                },
+            };
+            Some(outcome)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("perple-campaign-glue-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_spec(name: &str) -> CampaignSpec {
+        let mut spec = CampaignSpec::named(name);
+        spec.tests = vec!["sb".to_owned(), "mp".to_owned()];
+        spec.seeds = vec![1, 2];
+        spec.iterations = 150;
+        spec.workers = 2;
+        spec
+    }
+
+    #[test]
+    fn fingerprints_are_pure_functions_of_the_spec() {
+        let spec = tiny_spec("fp");
+        let (_, a) = expand_items(&spec).unwrap();
+        let (_, b) = expand_items(&spec).unwrap();
+        assert_eq!(
+            a.iter().map(|(_, i)| i.fingerprint).collect::<Vec<_>>(),
+            b.iter().map(|(_, i)| i.fingerprint).collect::<Vec<_>>()
+        );
+        // And every behavioural knob changes them.
+        let mut faster = tiny_spec("fp");
+        faster.iterations = 151;
+        let (_, c) = expand_items(&faster).unwrap();
+        assert_ne!(
+            a[0].1.fingerprint, c[0].1.fingerprint,
+            "iterations are behavioural"
+        );
+        let mut injected = tiny_spec("fp");
+        injected.inject = Some("corrupt@t0:0..100".to_owned());
+        let (_, d) = expand_items(&injected).unwrap();
+        assert_ne!(
+            a[0].1.fingerprint, d[0].1.fingerprint,
+            "fault plans are behavioural"
+        );
+        // Workers are NOT behavioural: counts are bit-identical per seed.
+        let mut wide = tiny_spec("fp");
+        wide.workers = 8;
+        let (_, e) = expand_items(&wide).unwrap();
+        assert_eq!(
+            a[0].1.fingerprint, e[0].1.fingerprint,
+            "worker count must not split the cache"
+        );
+    }
+
+    #[test]
+    fn expansion_rejects_unknown_and_nonconvertible_tests() {
+        let mut spec = tiny_spec("bad");
+        spec.tests = vec!["no-such-test".to_owned()];
+        assert!(matches!(expand_items(&spec), Err(PerpleError::Config(_))));
+        spec.tests = vec!["2+2w".to_owned()]; // real but non-convertible
+        assert!(matches!(expand_items(&spec), Err(PerpleError::Config(_))));
+    }
+
+    #[test]
+    fn convertible_magic_expands_and_dedupes() {
+        let mut spec = tiny_spec("magic");
+        spec.tests = vec!["sb".to_owned(), "convertible".to_owned(), "sb".to_owned()];
+        let tests = expand_tests(&spec).unwrap();
+        assert_eq!(tests.len(), suite::convertible().len());
+        assert_eq!(tests[0].name(), "sb", "explicit order wins");
+    }
+
+    #[test]
+    fn malformed_inject_is_a_config_error() {
+        let mut spec = tiny_spec("inj");
+        spec.inject = Some("bad@".to_owned());
+        let err = campaign_config(&spec).unwrap_err();
+        assert!(matches!(err, PerpleError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn warm_rerun_does_zero_pipeline_work() {
+        let root = tmp_root("warm");
+        let spec = tiny_spec("warm");
+        let cold = run_spec(&spec, &root).unwrap();
+        assert_eq!((cold.hits, cold.executed), (0, 4));
+        assert_eq!(
+            cold.violations, 0,
+            "TSO machine never shows forbidden outcomes"
+        );
+
+        let warm = run_spec(&spec, &root).unwrap();
+        assert_eq!(
+            (warm.hits, warm.executed),
+            (4, 0),
+            "warm run must be all hits"
+        );
+        assert_eq!(warm.lost, 0);
+
+        // The stored runs carry identical deterministic records...
+        let store = RunStore::open(&root).unwrap();
+        assert_eq!(
+            store.load_items(&cold.id).unwrap(),
+            store.load_items(&warm.id).unwrap()
+        );
+        // ...and the warm manifest proves no convert/run/count happened.
+        use perple_analysis::jsonout::Json;
+        let sw = store.load_manifest(&warm.id).unwrap();
+        let sw = sw.get("stage_wall_ms").unwrap();
+        for stage in ["convert_ms", "run_ms", "count_ms"] {
+            assert_eq!(sw.get(stage).and_then(Json::as_u64), Some(0), "{stage}");
+        }
+        // Conversion artifacts were captured once per distinct test.
+        let cache = ArtifactCache::open(&root).unwrap();
+        assert_eq!(cache.stats().1, 2, "sb and mp artifact bundles");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn injected_fault_campaign_compares_as_regression() {
+        let root = tmp_root("gate");
+        let spec = tiny_spec("gate");
+        let base = run_spec(&spec, &root).unwrap();
+
+        let mut faulty = tiny_spec("gate");
+        faulty.inject = Some("corrupt@t0:0..150".to_owned());
+        let bad = run_spec(&faulty, &root).unwrap();
+        assert_eq!(
+            bad.hits, 0,
+            "different fault plan means different fingerprints"
+        );
+
+        let store = RunStore::open(&root).unwrap();
+        let report = perple_campaign::compare_runs(
+            &store,
+            &base.id,
+            &bad.id,
+            &perple_campaign::CompareConfig::default(),
+        )
+        .unwrap();
+        assert!(report.is_regression(), "{}", report.render_text());
+        assert!(
+            report
+                .regressions
+                .iter()
+                .any(|r| r.kind == perple_campaign::RegressionKind::NewFaults),
+            "{}",
+            report.render_text()
+        );
+
+        // And a run compared against itself is clean.
+        let self_cmp = perple_campaign::compare_runs(
+            &store,
+            &base.id,
+            &base.id,
+            &perple_campaign::CompareConfig::default(),
+        )
+        .unwrap();
+        assert!(!self_cmp.is_regression(), "{}", self_cmp.render_text());
+        let _ = fs::remove_dir_all(root);
+    }
+}

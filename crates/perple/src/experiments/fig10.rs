@@ -126,13 +126,32 @@ pub fn render(rows: &[Fig10Row], cfg: &ExperimentConfig) -> String {
         );
     }
     let sum = summarize(rows);
-    let _ = writeln!(s, "geomean speedups of PerpLE-heuristic (paper values in parens):");
+    let _ = writeln!(
+        s,
+        "geomean speedups of PerpLE-heuristic (paper values in parens):"
+    );
     let _ = writeln!(s, "  over user      {:>9.2}x   (8.89x)", sum.heur_over_user);
-    let _ = writeln!(s, "  over userfence {:>9.2}x   (8.85x)", sum.heur_over_userfence);
-    let _ = writeln!(s, "  over pthread   {:>9.2}x   (161.35x)", sum.heur_over_pthread);
-    let _ = writeln!(s, "  over timebase  {:>9.2}x   (17.56x)", sum.heur_over_timebase);
+    let _ = writeln!(
+        s,
+        "  over userfence {:>9.2}x   (8.85x)",
+        sum.heur_over_userfence
+    );
+    let _ = writeln!(
+        s,
+        "  over pthread   {:>9.2}x   (161.35x)",
+        sum.heur_over_pthread
+    );
+    let _ = writeln!(
+        s,
+        "  over timebase  {:>9.2}x   (17.56x)",
+        sum.heur_over_timebase
+    );
     let _ = writeln!(s, "  over none      {:>9.2}x   (2.52x)", sum.heur_over_none);
-    let _ = writeln!(s, "  over exhaustive{:>9.2}x   (305x)", sum.heur_over_exhaustive);
+    let _ = writeln!(
+        s,
+        "  over exhaustive{:>9.2}x   (305x)",
+        sum.heur_over_exhaustive
+    );
     s
 }
 
@@ -155,7 +174,11 @@ mod tests {
         let rows = fig10(&small_cfg());
         for r in &rows {
             let heur = r.perple_heuristic.total();
-            assert!(heur <= r.perple_exhaustive.total(), "{} vs exhaustive", r.name);
+            assert!(
+                heur <= r.perple_exhaustive.total(),
+                "{} vs exhaustive",
+                r.name
+            );
             for (i, t) in r.litmus7.iter().enumerate() {
                 assert!(heur <= t.total(), "{}: mode {i}", r.name);
             }

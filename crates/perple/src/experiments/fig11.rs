@@ -71,9 +71,15 @@ pub fn fig11(iteration_counts: &[u64], base: &ExperimentConfig) -> Vec<Fig11Poin
                     }
                 };
                 push("perple-heur", perple);
-                push("userfence", baseline_detection(test, SyncMode::UserFence, &cfg));
+                push(
+                    "userfence",
+                    baseline_detection(test, SyncMode::UserFence, &cfg),
+                );
                 push("pthread", baseline_detection(test, SyncMode::Pthread, &cfg));
-                push("timebase", baseline_detection(test, SyncMode::Timebase, &cfg));
+                push(
+                    "timebase",
+                    baseline_detection(test, SyncMode::Timebase, &cfg),
+                );
                 push("none", baseline_detection(test, SyncMode::NoSync, &cfg));
             }
 

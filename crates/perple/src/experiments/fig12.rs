@@ -38,7 +38,10 @@ pub fn fig12_for(test_name: &str, cfg: &ExperimentConfig) -> Fig12Data {
     let run = runner.run(&conv.perpetual, cfg.iterations);
     let bufs = run.bufs();
     let samples = skew_samples(&test, &conv.kmap, &bufs);
-    Fig12Data { histogram: skew_histogram(&samples), iterations: cfg.iterations }
+    Fig12Data {
+        histogram: skew_histogram(&samples),
+        iterations: cfg.iterations,
+    }
 }
 
 /// Renders the PDF as a bucketed table plus summary statistics.

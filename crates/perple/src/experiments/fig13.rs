@@ -44,12 +44,10 @@ pub fn fig13(cfg: &ExperimentConfig) -> Vec<Fig13Entry> {
             let test = suite::by_name(name).expect("figure test exists");
             let conv = Conversion::convert(&test).expect("convertible");
             let all = conv.all_outcomes(&test).expect("outcomes convert");
-            let labels: Vec<String> =
-                all.iter().map(|(o, _)| o.label().to_owned()).collect();
+            let labels: Vec<String> = all.iter().map(|(o, _)| o.label().to_owned()).collect();
 
             // PerpLE heuristic, per-outcome sampling.
-            let mut runner =
-                PerpleRunner::new(SimConfig::default().with_seed(cfg.seed ^ 0xF13));
+            let mut runner = PerpleRunner::new(SimConfig::default().with_seed(cfg.seed ^ 0xF13));
             let run = runner.run(&conv.perpetual, cfg.iterations);
             let bufs = run.bufs();
             let heus: Vec<_> = all.iter().map(|(_, h)| h.clone()).collect();
@@ -59,10 +57,8 @@ pub fn fig13(cfg: &ExperimentConfig) -> Vec<Fig13Entry> {
             // litmus7 per mode.
             let mut litmus7 = BTreeMap::new();
             for mode in SyncMode::ALL {
-                let mut b = BaselineRunner::new(
-                    SimConfig::default().with_seed(cfg.seed ^ 0xB13),
-                    mode,
-                );
+                let mut b =
+                    BaselineRunner::new(SimConfig::default().with_seed(cfg.seed ^ 0xB13), mode);
                 let out = b.run(&test, cfg.iterations);
                 let counts: Vec<u64> = labels
                     .iter()
@@ -73,9 +69,19 @@ pub fn fig13(cfg: &ExperimentConfig) -> Vec<Fig13Entry> {
 
             // The forbidden outcome: lb's 11 per the figure caption;
             // derived generally as a TSO-forbidden register outcome.
-            let forbidden_label = if *name == "lb" { Some("11".to_owned()) } else { None };
+            let forbidden_label = if *name == "lb" {
+                Some("11".to_owned())
+            } else {
+                None
+            };
 
-            Fig13Entry { name: (*name).to_owned(), labels, perple, litmus7, forbidden_label }
+            Fig13Entry {
+                name: (*name).to_owned(),
+                labels,
+                perple,
+                litmus7,
+                forbidden_label,
+            }
         })
         .collect()
 }
@@ -97,7 +103,11 @@ pub fn render(entries: &[Fig13Entry], cfg: &ExperimentConfig) -> String {
         }
         let _ = writeln!(s);
         for (i, label) in e.labels.iter().enumerate() {
-            let marker = if e.forbidden_label.as_deref() == Some(label) { "*" } else { " " };
+            let marker = if e.forbidden_label.as_deref() == Some(label) {
+                "*"
+            } else {
+                " "
+            };
             let _ = write!(s, "{label:>9}{marker}");
             let _ = write!(s, " {:>12}", e.perple.counts()[i]);
             for mode in SyncMode::ALL {

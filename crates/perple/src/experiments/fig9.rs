@@ -47,8 +47,7 @@ pub fn fig9(cfg: &ExperimentConfig) -> Vec<Fig9Row> {
             // `is_convertible`, so conversion cannot fail here.
             let conv = Conversion::convert(test).expect("suite test converts");
             let convert_wall = t_convert.elapsed();
-            let (heur, exh, mut timings) =
-                super::perple_detection_both_timed(test, &conv, cfg);
+            let (heur, exh, mut timings) = super::perple_detection_both_timed(test, &conv, cfg);
             timings.convert = convert_wall;
             let (perple_heuristic, perple_exhaustive) = (heur.occurrences, exh.occurrences);
             let total_frames = (cfg.iterations as u128).pow(test.load_thread_count() as u32);
@@ -83,7 +82,15 @@ pub fn render(rows: &[Fig9Row], cfg: &ExperimentConfig) -> String {
     let _ = writeln!(
         s,
         "{:<16} {:>5} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "test", "tso", "perple-exh", "perple-heur", "user", "userfence", "pthread", "timebase", "none"
+        "test",
+        "tso",
+        "perple-exh",
+        "perple-heur",
+        "user",
+        "userfence",
+        "pthread",
+        "timebase",
+        "none"
     );
     for r in rows {
         let exh = if r.exhaustive_truncated {
@@ -105,14 +112,14 @@ pub fn render(rows: &[Fig9Row], cfg: &ExperimentConfig) -> String {
             r.litmus7[4],
         );
     }
-    let total: StageTimings = rows.iter().fold(StageTimings::default(), |acc, r| {
-        StageTimings {
+    let total: StageTimings = rows
+        .iter()
+        .fold(StageTimings::default(), |acc, r| StageTimings {
             convert: acc.convert + r.timings.convert,
             run: acc.run + r.timings.run,
             count: acc.count + r.timings.count,
             count_workers: r.timings.count_workers,
-        }
-    });
+        });
     let _ = writeln!(
         s,
         "stage wall time (sum over tests): convert {:?}, run {:?}, count {:?} ({} counter worker{})",
@@ -132,9 +139,7 @@ pub fn shape_violations(rows: &[Fig9Row]) -> Vec<String> {
     let mut v = Vec::new();
     for r in rows {
         if !r.allowed {
-            let total = r.perple_exhaustive
-                + r.perple_heuristic
-                + r.litmus7.iter().sum::<u64>();
+            let total = r.perple_exhaustive + r.perple_heuristic + r.litmus7.iter().sum::<u64>();
             if total != 0 {
                 v.push(format!("{}: forbidden target observed ({total})", r.name));
             }

@@ -15,7 +15,9 @@
 //! | extension: bug hunt on a faulty machine | [`bugfinder`] |
 //! | extension: design-choice ablations | [`ablation`] |
 
+pub mod ablation;
 pub mod bugfinder;
+pub mod campaign;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -25,7 +27,6 @@ pub mod overall;
 pub mod pool;
 pub mod resilient;
 pub mod table2;
-pub mod ablation;
 
 use std::time::Instant;
 
@@ -59,20 +60,29 @@ impl Default for Parallelism {
     /// Both knobs default to the machine's available parallelism.
     fn default() -> Self {
         let w = default_workers();
-        Self { suite_workers: w, counter_workers: w }
+        Self {
+            suite_workers: w,
+            counter_workers: w,
+        }
     }
 }
 
 impl Parallelism {
     /// Fully serial execution (the pre-parallel behaviour).
     pub fn serial() -> Self {
-        Self { suite_workers: 1, counter_workers: 1 }
+        Self {
+            suite_workers: 1,
+            counter_workers: 1,
+        }
     }
 
     /// `n` workers for both the suite pool and the counters.
     pub fn workers(n: usize) -> Self {
         let n = n.max(1);
-        Self { suite_workers: n, counter_workers: n }
+        Self {
+            suite_workers: n,
+            counter_workers: n,
+        }
     }
 }
 
@@ -217,7 +227,11 @@ pub fn perple_detection(
     heuristic: bool,
 ) -> Detection {
     let workers = cfg.parallelism.counter_workers;
-    let seed = derive_seed(cfg.seed, test.name(), if heuristic { "perple-h" } else { "perple-x" });
+    let seed = derive_seed(
+        cfg.seed,
+        test.name(),
+        if heuristic { "perple-h" } else { "perple-x" },
+    );
     let mut runner = PerpleRunner::new(cfg.sim_config(seed));
     let run = run_stage(&mut runner, conv, cfg);
     let n = run.iterations;
@@ -318,11 +332,7 @@ pub fn perple_detection_both_timed(
 
 /// Runs the litmus7 baseline in one mode and measures target detection.
 /// litmus7's counting is one outcome check per iteration.
-pub fn baseline_detection(
-    test: &LitmusTest,
-    mode: SyncMode,
-    cfg: &ExperimentConfig,
-) -> Detection {
+pub fn baseline_detection(test: &LitmusTest, mode: SyncMode, cfg: &ExperimentConfig) -> Detection {
     let seed = derive_seed(cfg.seed, test.name(), mode.as_str());
     let mut runner = BaselineRunner::new(cfg.sim_config(seed), mode);
     let run = runner.run(test, cfg.iterations);

@@ -129,9 +129,21 @@ pub fn render(impact: &OverallImpact, cfg: &ExperimentConfig) -> String {
         impact.convertible,
         impact.non_convertible
     );
-    let _ = writeln!(s, "  litmus7-user everywhere : {:>14} cycles", impact.baseline_cycles);
-    let _ = writeln!(s, "  PerpLE hybrid strategy  : {:>14} cycles", impact.hybrid_cycles);
-    let _ = writeln!(s, "  overall speedup         : {:>11.2}x   (paper: 1.47x)", impact.speedup);
+    let _ = writeln!(
+        s,
+        "  litmus7-user everywhere : {:>14} cycles",
+        impact.baseline_cycles
+    );
+    let _ = writeln!(
+        s,
+        "  PerpLE hybrid strategy  : {:>14} cycles",
+        impact.hybrid_cycles
+    );
+    let _ = writeln!(
+        s,
+        "  overall speedup         : {:>11.2}x   (paper: 1.47x)",
+        impact.speedup
+    );
     match impact.detection_improvement {
         Some(v) => {
             let _ = writeln!(

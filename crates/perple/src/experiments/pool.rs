@@ -27,11 +27,7 @@ use crate::error::{panic_message, PerpleError};
 /// `Err(PerpleError::WorkerPanic)` without disturbing any other item.
 /// `workers <= 1` (or a single item) degrades to a plain serial loop on
 /// the calling thread.
-pub fn try_map_parallel<T, R, F>(
-    items: &[T],
-    workers: usize,
-    f: F,
-) -> Vec<Result<R, PerpleError>>
+pub fn try_map_parallel<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<Result<R, PerpleError>>
 where
     T: Sync,
     R: Send,
@@ -41,13 +37,18 @@ where
         // AssertUnwindSafe: the closure only borrows `f` and `items`
         // immutably, and a panicking item's partial state is discarded
         // with the unwound stack — nothing observable is left behind.
-        catch_unwind(AssertUnwindSafe(|| f(i, item)))
-            .map_err(|payload| PerpleError::WorkerPanic { message: panic_message(&*payload) })
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| PerpleError::WorkerPanic {
+            message: panic_message(&*payload),
+        })
     };
 
     let workers = workers.max(1).min(items.len());
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| run_item(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| run_item(i, t))
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, Result<R, PerpleError>)> = std::thread::scope(|scope| {
@@ -118,7 +119,11 @@ mod tests {
                 assert_eq!(i as u64, x);
                 x * x
             });
-            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>(), "workers {workers}");
+            assert_eq!(
+                out,
+                items.iter().map(|x| x * x).collect::<Vec<_>>(),
+                "workers {workers}"
+            );
         }
     }
 
@@ -182,6 +187,10 @@ mod tests {
             })
         }));
         assert!(res.is_err(), "the panic must still surface");
-        assert_eq!(completed.load(Ordering::Relaxed), 9, "all other items completed");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            9,
+            "all other items completed"
+        );
     }
 }

@@ -22,6 +22,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use perple_analysis::count::{count_exhaustive_budgeted, count_heuristic_budgeted};
+use perple_analysis::jsonout::Json;
 use perple_analysis::metrics::StageTimings;
 use perple_model::{suite, LitmusTest};
 
@@ -89,7 +90,10 @@ impl ItemReport {
     /// Kind tag of the failure that sent this item to quarantine (the last
     /// attempt's error), if any.
     pub fn fault_kind(&self) -> Option<&'static str> {
-        self.attempts.last().and_then(|a| a.error.as_ref()).map(PerpleError::kind)
+        self.attempts
+            .last()
+            .and_then(|a| a.error.as_ref())
+            .map(PerpleError::kind)
     }
 }
 
@@ -109,12 +113,18 @@ pub struct SuiteReport<R> {
 impl<R> SuiteReport<R> {
     /// The quarantined items, input order.
     pub fn quarantined(&self) -> Vec<&ItemReport> {
-        self.items.iter().filter(|i| i.status == ItemStatus::Quarantined).collect()
+        self.items
+            .iter()
+            .filter(|i| i.status == ItemStatus::Quarantined)
+            .collect()
     }
 
     /// The items that needed a retry but succeeded.
     pub fn recovered(&self) -> Vec<&ItemReport> {
-        self.items.iter().filter(|i| i.status == ItemStatus::Recovered).collect()
+        self.items
+            .iter()
+            .filter(|i| i.status == ItemStatus::Recovered)
+            .collect()
     }
 
     /// Renders the quarantine report as text: a summary line plus one line
@@ -157,61 +167,48 @@ impl<R> SuiteReport<R> {
         s
     }
 
-    /// Renders the quarantine report as JSON (hand-rolled: the offline
-    /// build has no serde).
-    pub fn to_json(&self) -> String {
-        let mut s = String::from("{\"items\":[");
-        for (i, item) in self.items.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            let _ = write!(
-                s,
-                "{{\"name\":\"{}\",\"status\":\"{}\",\"attempts\":[",
-                json_escape(&item.name),
-                item.status.as_str()
-            );
-            for (j, a) in item.attempts.iter().enumerate() {
-                if j > 0 {
-                    s.push(',');
-                }
-                let _ = write!(s, "{{\"seed\":{},\"wall_ms\":{}", a.seed, a.wall.as_millis());
-                match &a.error {
-                    Some(e) => {
-                        let _ = write!(
-                            s,
-                            ",\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
-                            e.kind(),
-                            json_escape(&e.to_string())
-                        );
-                    }
-                    None => s.push_str(",\"error\":null}"),
-                }
-            }
-            let _ = write!(s, "],\"wall_ms\":{}}}", item.wall.as_millis());
-        }
-        s.push_str("]}");
-        s
+    /// The quarantine report as a [`Json`] value (built on the shared
+    /// `jsonout` writer — the offline build has no serde).
+    pub fn to_json_value(&self) -> Json {
+        let items = self
+            .items
+            .iter()
+            .map(|item| {
+                let attempts = item
+                    .attempts
+                    .iter()
+                    .map(|a| {
+                        Json::obj(vec![
+                            ("seed", Json::from(a.seed)),
+                            ("wall_ms", Json::from(a.wall.as_millis())),
+                            (
+                                "error",
+                                match &a.error {
+                                    Some(e) => Json::obj(vec![
+                                        ("kind", Json::from(e.kind())),
+                                        ("message", Json::from(e.to_string())),
+                                    ]),
+                                    None => Json::Null,
+                                },
+                            ),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("name", Json::from(item.name.as_str())),
+                    ("status", Json::from(item.status.as_str())),
+                    ("attempts", Json::Arr(attempts)),
+                    ("wall_ms", Json::from(item.wall.as_millis())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![("items", Json::Arr(items))])
     }
-}
 
-/// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
+    /// Renders the quarantine report as compact JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
     }
-    out
 }
 
 /// Runs `f` over every item on the suite pool with panic isolation,
@@ -249,17 +246,27 @@ where
                 let seed = attempt_seed(base, attempt);
                 let a0 = Instant::now();
                 let r = catch_unwind(AssertUnwindSafe(|| f(item, seed)))
-                    .map_err(|p| PerpleError::WorkerPanic { message: panic_message(&*p) })
+                    .map_err(|p| PerpleError::WorkerPanic {
+                        message: panic_message(&*p),
+                    })
                     .and_then(|r| r);
                 match r {
                     Ok(v) => {
-                        attempts.push(AttemptRecord { seed, error: None, wall: a0.elapsed() });
+                        attempts.push(AttemptRecord {
+                            seed,
+                            error: None,
+                            wall: a0.elapsed(),
+                        });
                         result = Some(v);
                         break;
                     }
                     Err(e) => {
                         let retryable = e.retryable();
-                        attempts.push(AttemptRecord { seed, error: Some(e), wall: a0.elapsed() });
+                        attempts.push(AttemptRecord {
+                            seed,
+                            error: Some(e),
+                            wall: a0.elapsed(),
+                        });
                         if !retryable {
                             break;
                         }
@@ -271,7 +278,15 @@ where
                 (Some(_), _) => ItemStatus::Recovered,
                 (None, _) => ItemStatus::Quarantined,
             };
-            (result, ItemReport { name, status, attempts, wall: t0.elapsed() })
+            (
+                result,
+                ItemReport {
+                    name,
+                    status,
+                    attempts,
+                    wall: t0.elapsed(),
+                },
+            )
         },
     );
 
@@ -301,7 +316,10 @@ where
             }
         }
     }
-    SuiteReport { results, items: reports }
+    SuiteReport {
+        results,
+        items: reports,
+    }
 }
 
 /// One audited suite test (the payload of [`resilient_audit`] rows).
@@ -324,6 +342,10 @@ pub struct AuditRow {
     pub run_complete: bool,
     /// Machine faults injected during the run (see `FaultPlan`).
     pub faults: u64,
+    /// Content digest of the run's observed buffers
+    /// (`PerpleRun::content_digest`): equal configs and seeds must yield
+    /// equal digests, so digest drift is machine nondeterminism.
+    pub digest: u64,
     /// Wall-clock stage timings (convert / run / count).
     pub timings: StageTimings,
 }
@@ -351,6 +373,7 @@ pub fn audit_one(
         return Err(PerpleError::StageTimeout { stage: "run" });
     }
     let n = run.iterations;
+    let digest = run.content_digest();
     let bufs = run.bufs();
 
     let heur = count_heuristic_budgeted(
@@ -375,11 +398,16 @@ pub fn audit_one(
     Ok(AuditRow {
         name: test.name().to_owned(),
         heuristic: heur.counts[0],
-        exhaustive: if degraded { heur.counts[0] } else { exh.counts[0] },
+        exhaustive: if degraded {
+            heur.counts[0]
+        } else {
+            exh.counts[0]
+        },
         degraded,
         iterations: n,
         run_complete: run.complete,
         faults: run.faults,
+        digest,
         timings: StageTimings {
             convert: convert_wall,
             run: run_wall,
@@ -433,7 +461,11 @@ pub fn render_audit_text(report: &SuiteReport<AuditRow>) -> String {
                     r.iterations,
                     r.faults,
                     item.wall.as_millis(),
-                    if flags.is_empty() { "-".to_owned() } else { flags.join(",") },
+                    if flags.is_empty() {
+                        "-".to_owned()
+                    } else {
+                        flags.join(",")
+                    },
                 );
             }
             None => {
@@ -457,33 +489,32 @@ pub fn render_audit_text(report: &SuiteReport<AuditRow>) -> String {
 }
 
 /// Renders audit results as JSON: per-row counts with the `degraded`
-/// downgrade and stage timings recorded, plus the quarantine report.
+/// downgrade, content digest, and stage timings recorded, plus the
+/// quarantine report — all through the shared `jsonout` writer.
 pub fn audit_json(report: &SuiteReport<AuditRow>) -> String {
-    let mut s = String::from("{\"rows\":[");
-    let mut first = true;
-    for row in report.results.iter().flatten() {
-        if !first {
-            s.push(',');
-        }
-        first = false;
-        let _ = write!(
-            s,
-            "{{\"name\":\"{}\",\"heuristic\":{},\"exhaustive\":{},\"degraded\":{},\
-             \"iterations\":{},\"run_complete\":{},\"faults\":{},\"timings\":{}}}",
-            json_escape(&row.name),
-            row.heuristic,
-            row.exhaustive,
-            row.degraded,
-            row.iterations,
-            row.run_complete,
-            row.faults,
-            row.timings.to_json(),
-        );
-    }
-    s.push_str("],\"quarantine\":");
-    s.push_str(&report.to_json());
-    s.push('}');
-    s
+    let rows = report
+        .results
+        .iter()
+        .flatten()
+        .map(|row| {
+            Json::obj(vec![
+                ("name", Json::from(row.name.as_str())),
+                ("heuristic", Json::from(row.heuristic)),
+                ("exhaustive", Json::from(row.exhaustive)),
+                ("degraded", Json::from(row.degraded)),
+                ("iterations", Json::from(row.iterations)),
+                ("run_complete", Json::from(row.run_complete)),
+                ("faults", Json::from(row.faults)),
+                ("digest", Json::from(row.digest)),
+                ("timings", row.timings.to_json_value()),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("rows", Json::Arr(rows)),
+        ("quarantine", report.to_json_value()),
+    ])
+    .render()
 }
 
 #[cfg(test)]
@@ -492,7 +523,9 @@ mod tests {
     use perple_sim::FaultPlan;
 
     fn quick_cfg() -> ExperimentConfig {
-        ExperimentConfig::default().with_iterations(150).with_workers(4)
+        ExperimentConfig::default()
+            .with_iterations(150)
+            .with_workers(4)
     }
 
     #[test]
@@ -569,7 +602,11 @@ mod tests {
             "test",
             |_, _| Err::<u32, _>(PerpleError::Config("nope".into())),
         );
-        assert_eq!(report.items[0].attempts.len(), 1, "no retries for config errors");
+        assert_eq!(
+            report.items[0].attempts.len(),
+            1,
+            "no retries for config errors"
+        );
         assert_eq!(report.items[0].status, ItemStatus::Quarantined);
     }
 
@@ -583,7 +620,9 @@ mod tests {
             "test",
             |&i, _| {
                 if i == 1 {
-                    Err(PerpleError::WorkerPanic { message: "with \"quotes\"".into() })
+                    Err(PerpleError::WorkerPanic {
+                        message: "with \"quotes\"".into(),
+                    })
                 } else {
                     Ok(i)
                 }
@@ -594,7 +633,10 @@ mod tests {
         assert!(text.contains("t1"));
         let json = report.to_json();
         assert!(json.contains("\"status\":\"quarantined\""));
-        assert!(json.contains("\\\"quotes\\\""), "quotes must be escaped: {json}");
+        assert!(
+            json.contains("\\\"quotes\\\""),
+            "quotes must be escaped: {json}"
+        );
         assert!(json.contains("\"error\":null"));
     }
 
@@ -603,7 +645,10 @@ mod tests {
         let cfg = quick_cfg();
         let report = resilient_audit(&cfg);
         assert_eq!(report.results.len(), suite::convertible().len());
-        assert!(report.quarantined().is_empty(), "clean config must not quarantine");
+        assert!(
+            report.quarantined().is_empty(),
+            "clean config must not quarantine"
+        );
         assert!(report.results.iter().all(Option::is_some));
         let sb = report
             .results

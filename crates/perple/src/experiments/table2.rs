@@ -68,7 +68,11 @@ pub fn render(rows: &[Table2Row]) -> String {
                 r.threads,
                 r.load_threads,
                 r.sc_allowed,
-                if r.matches_paper { "✓paper" } else { "✗MISMATCH" }
+                if r.matches_paper {
+                    "✓paper"
+                } else {
+                    "✗MISMATCH"
+                }
             );
         }
     }

@@ -47,15 +47,17 @@
 pub mod error;
 pub mod experiments;
 
+pub use error::{parse_fault_plan, PerpleError};
 pub use perple_analysis::count::{
-    count_exhaustive, count_exhaustive_budgeted, count_exhaustive_parallel,
-    count_heuristic, count_heuristic_budgeted, count_heuristic_each,
-    count_heuristic_each_parallel, count_heuristic_parallel,
-    default_workers, frame_at, frame_index, frame_space, CountResult,
+    count_exhaustive, count_exhaustive_budgeted, count_exhaustive_parallel, count_heuristic,
+    count_heuristic_budgeted, count_heuristic_each, count_heuristic_each_parallel,
+    count_heuristic_parallel, default_workers, frame_at, frame_index, frame_space, CountResult,
 };
-pub use error::PerpleError;
-pub use perple_analysis::{metrics, modelmine, skew, stats, variety};
-pub use perple_convert::{Conversion, ConvertError, HeuristicOutcome, PerpetualOutcome, PerpetualTest};
+pub use perple_analysis::{jsonout, metrics, modelmine, skew, stats, variety};
+pub use perple_campaign as campaign;
+pub use perple_convert::{
+    Conversion, ConvertError, HeuristicOutcome, PerpetualOutcome, PerpetualTest,
+};
 pub use perple_enumerate::{classify, enumerate, Classification, MemoryModel};
 pub use perple_harness::baseline::{BaselineRun, BaselineRunner, SyncMode};
 pub use perple_harness::native;
@@ -153,7 +155,11 @@ impl Perple {
             self.exhaustive_frame_cap,
             self.workers,
         );
-        PerpleResult { run, target_heuristic, target_exhaustive }
+        PerpleResult {
+            run,
+            target_heuristic,
+            target_exhaustive,
+        }
     }
 
     /// Runs `n` iterations and applies only the heuristic counter (the
@@ -177,11 +183,7 @@ mod tests {
 
     #[test]
     fn engine_finds_sb_target_with_both_counters() {
-        let mut p = Perple::with_config(
-            &suite::sb(),
-            SimConfig::default().with_seed(1),
-        )
-        .unwrap();
+        let mut p = Perple::with_config(&suite::sb(), SimConfig::default().with_seed(1)).unwrap();
         let r = p.run(2_000);
         assert!(r.target_heuristic.counts[0] > 0);
         assert!(r.target_exhaustive.counts[0] >= r.target_heuristic.counts[0]);
@@ -207,8 +209,7 @@ mod tests {
         // heuristic must find it too (not necessarily as often).
         for (i, t) in suite::allowed_targets().into_iter().enumerate() {
             let mut p =
-                Perple::with_config(&t, SimConfig::default().with_seed(100 + i as u64))
-                    .unwrap();
+                Perple::with_config(&t, SimConfig::default().with_seed(100 + i as u64)).unwrap();
             p.set_exhaustive_frame_cap(Some(2_000_000));
             let r = p.run(600);
             if r.target_exhaustive.counts[0] > 0 {
@@ -238,10 +239,10 @@ mod tests {
 
     #[test]
     fn worker_count_does_not_change_engine_results() {
-        let mut serial = Perple::with_config(
-            &suite::sb(), SimConfig::default().with_seed(9)).unwrap();
-        let mut parallel = Perple::with_config(
-            &suite::sb(), SimConfig::default().with_seed(9)).unwrap();
+        let mut serial =
+            Perple::with_config(&suite::sb(), SimConfig::default().with_seed(9)).unwrap();
+        let mut parallel =
+            Perple::with_config(&suite::sb(), SimConfig::default().with_seed(9)).unwrap();
         parallel.set_workers(7);
         let a = serial.run(800);
         let b = parallel.run(800);

@@ -1,0 +1,236 @@
+//! Integration tests of `perple campaign ...` as real subprocesses — the
+//! level where cache keys must prove themselves **across process
+//! restarts**: a second `campaign run` of an unchanged spec, in a fresh
+//! process, must hit the cache for every item, and `campaign compare` must
+//! gate regressions with its exit code.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const SPEC: &str = "\
+name = ci
+tests = sb, mp
+seeds = 1, 2
+iterations = 150
+workers = 2
+";
+
+const FAULTY_SPEC: &str = "\
+name = ci
+tests = sb, mp
+seeds = 1, 2
+iterations = 150
+workers = 2
+inject = corrupt@t0:0..150
+";
+
+fn perple(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_perple"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn perple")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn sandbox(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("perple-campaign-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn warm_rerun_across_process_restarts_hits_the_cache() {
+    let dir = sandbox("warm");
+    std::fs::write(dir.join("ci.campaign"), SPEC).unwrap();
+
+    // Cold run: fresh store, everything executes.
+    let cold = perple(
+        &dir,
+        &["campaign", "run", "ci.campaign", "--store", "store"],
+    );
+    assert!(cold.status.success(), "cold run failed: {}", stderr(&cold));
+    let cold_out = stdout(&cold);
+    assert!(cold_out.contains("run: ci-0001"), "{cold_out}");
+    assert!(cold_out.contains("hits: 0/4"), "{cold_out}");
+
+    // Warm run IN A NEW PROCESS: fingerprints recomputed from scratch must
+    // match the stored ones — ≥90% hits required, 100% expected.
+    let warm = perple(
+        &dir,
+        &["campaign", "run", "ci.campaign", "--store", "store"],
+    );
+    assert!(warm.status.success(), "warm run failed: {}", stderr(&warm));
+    let warm_out = stdout(&warm);
+    assert!(
+        warm_out.contains("hits: 4/4"),
+        "cache keys are not process-stable: {warm_out}"
+    );
+    assert!(warm_out.contains("executed: 0,"), "{warm_out}");
+
+    // The two runs gate clean against each other (exit 0).
+    let cmp = perple(
+        &dir,
+        &[
+            "campaign", "compare", "ci-0001", "ci-0002", "--store", "store",
+        ],
+    );
+    assert!(
+        cmp.status.success(),
+        "self-compare must pass: {}",
+        stdout(&cmp)
+    );
+    assert!(stdout(&cmp).contains("0 regression(s)"), "{}", stdout(&cmp));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn injected_fault_run_fails_the_compare_gate_with_nonzero_exit() {
+    let dir = sandbox("gate");
+    std::fs::write(dir.join("ci.campaign"), SPEC).unwrap();
+    std::fs::write(dir.join("faulty.campaign"), FAULTY_SPEC).unwrap();
+
+    let base = perple(
+        &dir,
+        &["campaign", "run", "ci.campaign", "--store", "store"],
+    );
+    assert!(base.status.success(), "{}", stderr(&base));
+
+    // The faulty campaign observes forbidden outcomes, so `run` itself
+    // exits nonzero — but it still stores the run for comparison.
+    let bad = perple(
+        &dir,
+        &["campaign", "run", "faulty.campaign", "--store", "store"],
+    );
+    assert!(
+        !bad.status.success(),
+        "fault-injected run must report the violation"
+    );
+    assert!(stdout(&bad).contains("run: ci-0002"), "{}", stdout(&bad));
+
+    let cmp = perple(
+        &dir,
+        &[
+            "campaign", "compare", "ci-0001", "ci-0002", "--store", "store",
+        ],
+    );
+    assert!(
+        !cmp.status.success(),
+        "compare must exit nonzero on regression"
+    );
+    let cmp_out = stdout(&cmp);
+    assert!(cmp_out.contains("new-faults"), "{cmp_out}");
+    assert!(cmp_out.contains("new-forbidden"), "{cmp_out}");
+
+    // JSON report carries the same verdict.
+    let cmp_json = perple(
+        &dir,
+        &[
+            "campaign", "compare", "ci-0001", "ci-0002", "--store", "store", "--json",
+        ],
+    );
+    assert!(!cmp_json.status.success());
+    assert!(
+        stdout(&cmp_json).contains("\"regression\":true"),
+        "{}",
+        stdout(&cmp_json)
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn ls_and_show_surface_stored_runs() {
+    let dir = sandbox("lsshow");
+    std::fs::write(dir.join("ci.campaign"), SPEC).unwrap();
+
+    let empty = perple(&dir, &["campaign", "ls", "--store", "store"]);
+    assert!(empty.status.success());
+    assert!(
+        stdout(&empty).contains("no stored runs"),
+        "{}",
+        stdout(&empty)
+    );
+
+    let run = perple(
+        &dir,
+        &["campaign", "run", "ci.campaign", "--store", "store"],
+    );
+    assert!(run.status.success(), "{}", stderr(&run));
+
+    let ls = perple(&dir, &["campaign", "ls", "--store", "store"]);
+    let ls_out = stdout(&ls);
+    assert!(ls.status.success());
+    assert!(ls_out.contains("ci-0001"), "{ls_out}");
+    assert!(
+        ls_out.contains("cache: 4 result entries, 2 conversion artifacts"),
+        "{ls_out}"
+    );
+
+    // `show latest` resolves and prints the per-item table.
+    let show = perple(&dir, &["campaign", "show", "latest", "--store", "store"]);
+    let show_out = stdout(&show);
+    assert!(show.status.success(), "{}", stderr(&show));
+    assert!(show_out.contains("ci-0001"), "{show_out}");
+    assert!(show_out.contains("sb#1"), "{show_out}");
+    assert!(show_out.contains("mp#2"), "{show_out}");
+
+    // `show --json` emits the manifest, parseable by the shared reader.
+    let json = perple(
+        &dir,
+        &["campaign", "show", "latest", "--store", "store", "--json"],
+    );
+    assert!(json.status.success());
+    let doc = perple::jsonout::parse(stdout(&json).trim()).expect("manifest parses");
+    assert_eq!(
+        doc.get("id").and_then(perple::jsonout::Json::as_str),
+        Some("ci-0001")
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn malformed_specs_and_unknown_runs_fail_cleanly() {
+    let dir = sandbox("errors");
+
+    std::fs::write(dir.join("bad.campaign"), "tests = sb\nfrobnicate = 1\n").unwrap();
+    let bad = perple(
+        &dir,
+        &["campaign", "run", "bad.campaign", "--store", "store"],
+    );
+    assert!(!bad.status.success());
+    assert!(stderr(&bad).contains("frobnicate"), "{}", stderr(&bad));
+
+    std::fs::write(
+        dir.join("badinject.campaign"),
+        "tests = sb\ninject = bad@\n",
+    )
+    .unwrap();
+    let inj = perple(
+        &dir,
+        &["campaign", "run", "badinject.campaign", "--store", "store"],
+    );
+    assert!(!inj.status.success());
+    assert!(stderr(&inj).contains("bad fault plan"), "{}", stderr(&inj));
+
+    let missing = perple(&dir, &["campaign", "show", "nope", "--store", "store"]);
+    assert!(!missing.status.success());
+    assert!(
+        stderr(&missing).contains("not found"),
+        "{}",
+        stderr(&missing)
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -119,6 +119,10 @@ fn classify_accepts_litmus_files() {
 fn bad_usage_exits_nonzero() {
     assert!(!perple(&[]).status.success());
     assert!(!perple(&["frobnicate"]).status.success());
-    assert!(!perple(&["classify", "no-such-test-or-file"]).status.success());
-    assert!(!perple(&["run", "sb", "-n", "not-a-number"]).status.success());
+    assert!(!perple(&["classify", "no-such-test-or-file"])
+        .status
+        .success());
+    assert!(!perple(&["run", "sb", "-n", "not-a-number"])
+        .status
+        .success());
 }

@@ -1,0 +1,108 @@
+//! The `--inject` fault-plan grammar as the experiment layer sees it:
+//! every malformed spec is a classified [`PerpleError::Config`] — never a
+//! panic, never an ad-hoc string — and every well-formed plan survives a
+//! parse → print → parse round trip unchanged.
+
+use perple::{parse_fault_plan, PerpleError};
+
+/// Every way a clause can be malformed, with why.
+const MALFORMED: &[(&str, &str)] = &[
+    ("", "empty plan"),
+    (",", "only separators"),
+    ("bad@", "missing thread scope and window"),
+    ("drop", "missing '@'"),
+    ("@t0:0..10", "empty kind"),
+    ("zap@t0:0..10", "unknown kind"),
+    ("drop@x0:0..10", "thread scope must be t<N> or *"),
+    ("drop@t:0..10", "thread scope missing its number"),
+    ("drop@t-1:0..10", "negative thread index"),
+    ("drop@t99999999999999999999:0..10", "thread index overflow"),
+    ("drop@t0", "missing iteration window"),
+    ("drop@t0:10", "window missing '..'"),
+    ("drop@t0:a..b", "junk window bounds"),
+    ("drop@t0:10..10", "empty window"),
+    ("drop@t0:20..10", "inverted window"),
+    ("drop@t0:0..10:pX", "junk probability"),
+    ("drop@t0:0..10:p1.5", "probability above 1"),
+    ("drop@t0:0..10:p-0.5", "probability below 0"),
+    ("stuck@t0:0..10:cX", "junk stall cycles"),
+    ("drop@t0:0..10:q5", "unknown option"),
+    ("drop@t0:0..10,bad@", "valid clause followed by junk"),
+];
+
+#[test]
+fn malformed_specs_are_config_errors_never_panics() {
+    for (spec, why) in MALFORMED {
+        let result = std::panic::catch_unwind(|| parse_fault_plan(spec));
+        let outcome = result.unwrap_or_else(|_| panic!("{why}: {spec:?} panicked the parser"));
+        let err = match outcome {
+            Ok(_) => panic!("{why}: {spec:?} was accepted"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, PerpleError::Config(_)),
+            "{why}: {spec:?} → {err}"
+        );
+        assert!(
+            err.to_string().contains("bad fault plan"),
+            "{why}: diagnostic must name the plan: {err}"
+        );
+        assert!(
+            !err.retryable(),
+            "{why}: malformed grammar is deterministic, never retried"
+        );
+    }
+}
+
+#[test]
+fn well_formed_plans_round_trip_to_identity() {
+    for spec in [
+        "drop@t0:100..200",
+        "corrupt@*:0..1000",
+        "stuck@t1:50..60:c5000",
+        "reorder@t2:0..10",
+        "drop@t0:100..200:p0.5",
+        "drop@t0:100..200:p0.25,stuck@*:0..50:c30,corrupt@t3:7..8",
+        "corrupt@t0:0..18446744073709551615",
+    ] {
+        let plan = parse_fault_plan(spec).expect(spec);
+        let printed = plan.to_string();
+        let reparsed = parse_fault_plan(&printed).expect(&printed);
+        assert_eq!(
+            plan, reparsed,
+            "parse→print→parse must be identity for {spec:?}"
+        );
+        // And printing is a fixpoint: the canonical form re-prints itself.
+        assert_eq!(printed, reparsed.to_string(), "{spec:?}");
+    }
+}
+
+#[test]
+fn canonical_form_drops_redundant_defaults() {
+    // p1 is the default probability; the canonical form omits it, and the
+    // two spellings are the same plan.
+    let explicit = parse_fault_plan("drop@t0:0..10:p1").unwrap();
+    let implicit = parse_fault_plan("drop@t0:0..10").unwrap();
+    assert_eq!(explicit, implicit);
+    assert_eq!(explicit.to_string(), "drop@t0:0..10");
+}
+
+#[test]
+fn whitespace_and_empty_clauses_are_tolerated_between_commas() {
+    let plan = parse_fault_plan(" drop@t0:0..10 , , corrupt@t1:5..9 ").unwrap();
+    assert_eq!(plan.specs().len(), 2);
+    let reparsed = parse_fault_plan(&plan.to_string()).unwrap();
+    assert_eq!(plan, reparsed);
+}
+
+#[test]
+fn campaign_specs_reject_malformed_inject_lines_through_the_same_path() {
+    // The campaign layer routes `inject =` through parse_fault_plan too:
+    // a malformed plan surfaces as a Config error when the spec is turned
+    // into an ExperimentConfig, not as a panic mid-run.
+    let mut spec = perple::campaign::CampaignSpec::named("t");
+    spec.tests = vec!["sb".to_owned()];
+    spec.inject = Some("bad@".to_owned());
+    let err = perple::experiments::campaign::campaign_config(&spec).unwrap_err();
+    assert!(matches!(err, PerpleError::Config(_)), "{err}");
+}

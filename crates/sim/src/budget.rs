@@ -37,12 +37,20 @@ pub struct Budget {
 impl Budget {
     /// A budget that never expires (but can still be [`Budget::cancel`]ed).
     pub fn unlimited() -> Self {
-        Self { deadline: None, poll_limit: None, polls: AtomicU64::new(0), expired: AtomicBool::new(false) }
+        Self {
+            deadline: None,
+            poll_limit: None,
+            polls: AtomicU64::new(0),
+            expired: AtomicBool::new(false),
+        }
     }
 
     /// Expires once `timeout` has elapsed from now.
     pub fn with_timeout(timeout: Duration) -> Self {
-        Self { deadline: Some(Instant::now() + timeout), ..Self::unlimited() }
+        Self {
+            deadline: Some(Instant::now() + timeout),
+            ..Self::unlimited()
+        }
     }
 
     /// Convenience wall-clock constructor for CLI `--timeout-ms` flags.
@@ -54,7 +62,10 @@ impl Budget {
     /// return `false`, every later call returns `true`. Wall-clock-free,
     /// so truncation points reproduce exactly across runs and machines.
     pub fn with_poll_limit(polls: u64) -> Self {
-        Self { poll_limit: Some(polls), ..Self::unlimited() }
+        Self {
+            poll_limit: Some(polls),
+            ..Self::unlimited()
+        }
     }
 
     /// Cancels the budget: every subsequent [`Budget::expired`] poll (from

@@ -106,6 +106,33 @@ impl SimConfig {
         self.fault_plan = plan;
         self
     }
+
+    /// A stable, human-readable descriptor of every behaviour-relevant
+    /// field, used as a **cache-key input** by the campaign layer: two
+    /// configs produce identical runs iff their descriptors (plus the
+    /// program) are identical. Floats print in Rust's shortest round-trip
+    /// form and the fault plan in its canonical grammar, so the string is
+    /// a pure function of the config — byte-identical across processes.
+    pub fn cache_descriptor(&self) -> String {
+        format!(
+            "seed={:#x};drain={};cap={};preempt={}/{};micro={}/{};stall={}/{};weak={};faults={}",
+            self.seed,
+            self.drain_prob,
+            self.buffer_capacity,
+            self.preempt_prob,
+            self.mean_preempt,
+            self.micro_preempt_prob,
+            self.mean_micro_preempt,
+            self.stall_prob,
+            self.mean_stall,
+            self.weak_store_order,
+            if self.fault_plan.is_empty() {
+                "none".to_owned()
+            } else {
+                self.fault_plan.to_string()
+            },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -139,5 +166,24 @@ mod tests {
     #[should_panic(expected = "drain_prob")]
     fn zero_drain_prob_rejected() {
         let _ = SimConfig::default().with_drain_prob(0.0);
+    }
+
+    #[test]
+    fn cache_descriptor_is_stable_and_sensitive() {
+        let a = SimConfig::default().with_seed(7);
+        assert_eq!(a.cache_descriptor(), a.clone().cache_descriptor());
+        assert_ne!(
+            a.cache_descriptor(),
+            a.clone().with_seed(8).cache_descriptor()
+        );
+        assert_ne!(
+            a.cache_descriptor(),
+            a.clone().with_weak_store_order(true).cache_descriptor()
+        );
+        let plan = FaultPlan::parse("drop@t0:0..5:p0.5").unwrap();
+        let b = a.clone().with_fault_plan(plan);
+        assert_ne!(a.cache_descriptor(), b.cache_descriptor());
+        assert!(b.cache_descriptor().contains("drop@t0:0..5:p0.5"));
+        assert!(a.cache_descriptor().contains("faults=none"));
     }
 }

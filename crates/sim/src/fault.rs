@@ -70,9 +70,7 @@ pub struct FaultSpec {
 impl FaultSpec {
     /// True if the spec covers `(thread, iter)`.
     fn covers(&self, thread: usize, iter: u64) -> bool {
-        self.thread.is_none_or(|t| t == thread)
-            && iter >= self.from_iter
-            && iter < self.to_iter
+        self.thread.is_none_or(|t| t == thread) && iter >= self.from_iter && iter < self.to_iter
     }
 }
 
@@ -169,7 +167,14 @@ impl fmt::Display for FaultPlan {
                 Some(t) => format!("t{t}"),
                 None => "*".to_owned(),
             };
-            write!(f, "{}@{}:{}..{}", spec.kind.name(), thread, spec.from_iter, spec.to_iter)?;
+            write!(
+                f,
+                "{}@{}:{}..{}",
+                spec.kind.name(),
+                thread,
+                spec.from_iter,
+                spec.to_iter
+            )?;
             if spec.prob < 1.0 {
                 write!(f, ":p{}", spec.prob)?;
             }
@@ -206,7 +211,9 @@ fn parse_clause(clause: &str) -> Result<FaultSpec, String> {
     let from_iter: u64 = from_str
         .parse()
         .map_err(|_| format!("bad window start {from_str:?}"))?;
-    let to_iter: u64 = to_str.parse().map_err(|_| format!("bad window end {to_str:?}"))?;
+    let to_iter: u64 = to_str
+        .parse()
+        .map_err(|_| format!("bad window end {to_str:?}"))?;
     if to_iter <= from_iter {
         return Err(format!("empty iteration window {window:?}"));
     }
@@ -236,7 +243,13 @@ fn parse_clause(clause: &str) -> Result<FaultSpec, String> {
         "reorder" => FaultKind::ReorderBurst,
         other => return Err(format!("unknown fault kind {other:?}")),
     };
-    Ok(FaultSpec { kind, thread, from_iter, to_iter, prob })
+    Ok(FaultSpec {
+        kind,
+        thread,
+        from_iter,
+        to_iter,
+        prob,
+    })
 }
 
 #[cfg(test)]
@@ -282,7 +295,10 @@ mod tests {
             plan.stuck_fault(0, 0).unwrap().kind,
             FaultKind::StuckThread { stall: 100 }
         ));
-        assert_eq!(plan.reorder_fault(0, 0).unwrap().kind, FaultKind::ReorderBurst);
+        assert_eq!(
+            plan.reorder_fault(0, 0).unwrap().kind,
+            FaultKind::ReorderBurst
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl Sink for NoTrace {
 impl Sink for &mut Trace {
     #[inline]
     fn emit(&mut self, cycle: u64, thread: usize, kind: TraceKind) {
-        self.push(TraceEvent { cycle, thread, kind });
+        self.push(TraceEvent {
+            cycle,
+            thread,
+            kind,
+        });
     }
 }
 
@@ -94,7 +98,11 @@ impl Machine {
     pub fn new(config: SimConfig) -> Self {
         let rng = XorShiftStar::new(config.seed);
         let fault_rng = XorShiftStar::new(config.seed ^ FAULT_SEED_SALT);
-        Self { config, rng, fault_rng }
+        Self {
+            config,
+            rng,
+            fault_rng,
+        }
     }
 
     /// The machine's configuration.
@@ -194,8 +202,7 @@ impl Machine {
         let mut faults: u64 = 0;
         let mut complete = true;
         loop {
-            let all_done =
-                states.iter().all(|s| s.done && s.buffer.is_empty());
+            let all_done = states.iter().all(|s| s.done && s.buffer.is_empty());
             if all_done {
                 break;
             }
@@ -254,18 +261,36 @@ impl Machine {
                         s.blocked_until = cycle + stall;
                         faults += 1;
                         sink.emit(cycle, tid, TraceKind::Fault { kind: "stuck" });
-                        sink.emit(cycle, tid, TraceKind::Blocked { until: s.blocked_until });
+                        sink.emit(
+                            cycle,
+                            tid,
+                            TraceKind::Blocked {
+                                until: s.blocked_until,
+                            },
+                        );
                         continue;
                     }
                 }
                 if self.rng.chance(self.config.preempt_prob) {
                     s.blocked_until = cycle + self.rng.duration(self.config.mean_preempt);
-                    sink.emit(cycle, tid, TraceKind::Blocked { until: s.blocked_until });
+                    sink.emit(
+                        cycle,
+                        tid,
+                        TraceKind::Blocked {
+                            until: s.blocked_until,
+                        },
+                    );
                     continue;
                 }
                 if self.rng.chance(self.config.micro_preempt_prob) {
                     s.blocked_until = cycle + self.rng.duration(self.config.mean_micro_preempt);
-                    sink.emit(cycle, tid, TraceKind::Blocked { until: s.blocked_until });
+                    sink.emit(
+                        cycle,
+                        tid,
+                        TraceKind::Blocked {
+                            until: s.blocked_until,
+                        },
+                    );
                     continue;
                 }
                 if self.rng.chance(self.config.stall_prob) {
@@ -286,7 +311,10 @@ impl Machine {
         }
 
         RunOutput {
-            bufs: states.iter_mut().map(|s| std::mem::take(&mut s.buf)).collect(),
+            bufs: states
+                .iter_mut()
+                .map(|s| std::mem::take(&mut s.buf))
+                .collect(),
             cycles: cycle,
             final_mem: mem,
             drains,
@@ -348,7 +376,13 @@ fn step_thread<S: Sink>(
                     if let Some(spec) = fault_plan.store_fault(s.index, s.iter) {
                         if fault_rng.chance(spec.prob) {
                             *faults += 1;
-                            sink.emit(cycle, s.index, TraceKind::Fault { kind: spec.kind.name() });
+                            sink.emit(
+                                cycle,
+                                s.index,
+                                TraceKind::Fault {
+                                    kind: spec.kind.name(),
+                                },
+                            );
                             if spec.kind == FaultKind::DropStore {
                                 // The store retires without ever being
                                 // buffered: a lost write.
@@ -373,7 +407,15 @@ fn step_thread<S: Sink>(
                 let forwarded = buffered.is_some();
                 let v = buffered.map(|&(_, v)| v).unwrap_or(mem[cell]);
                 s.regs[reg as usize] = v;
-                sink.emit(cycle, s.index, TraceKind::Load { cell, value: v, forwarded });
+                sink.emit(
+                    cycle,
+                    s.index,
+                    TraceKind::Load {
+                        cell,
+                        value: v,
+                        forwarded,
+                    },
+                );
                 advance(s);
                 return;
             }
@@ -419,8 +461,14 @@ mod tests {
     fn perpetual_sb(iters: u64) -> Vec<ThreadSpec> {
         let body = |own: u32, other: u32| {
             vec![
-                SimOp::Store { addr: Addr::fixed(own), expr: ValExpr::Seq { k: 1, a: 1 } },
-                SimOp::Load { reg: 0, addr: Addr::fixed(other) },
+                SimOp::Store {
+                    addr: Addr::fixed(own),
+                    expr: ValExpr::Seq { k: 1, a: 1 },
+                },
+                SimOp::Load {
+                    reg: 0,
+                    addr: Addr::fixed(other),
+                },
                 SimOp::Record { reg: 0 },
             ]
         };
@@ -496,9 +544,15 @@ mod tests {
         // on aligned iterations: never (buf0[n] <= m && buf1[m] <= n).
         let body = |own: u32, other: u32| {
             vec![
-                SimOp::Store { addr: Addr::fixed(own), expr: ValExpr::Seq { k: 1, a: 1 } },
+                SimOp::Store {
+                    addr: Addr::fixed(own),
+                    expr: ValExpr::Seq { k: 1, a: 1 },
+                },
                 SimOp::Mfence,
-                SimOp::Load { reg: 0, addr: Addr::fixed(other) },
+                SimOp::Load {
+                    reg: 0,
+                    addr: Addr::fixed(other),
+                },
                 SimOp::Record { reg: 0 },
             ]
         };
@@ -526,14 +580,22 @@ mod tests {
         let threads = vec![
             ThreadSpec::new(
                 vec![
-                    SimOp::Xchg { reg: 0, addr: Addr::fixed(0), expr: ValExpr::Seq { k: 2, a: 1 } },
+                    SimOp::Xchg {
+                        reg: 0,
+                        addr: Addr::fixed(0),
+                        expr: ValExpr::Seq { k: 2, a: 1 },
+                    },
                     SimOp::Record { reg: 0 },
                 ],
                 200,
             ),
             ThreadSpec::new(
                 vec![
-                    SimOp::Xchg { reg: 0, addr: Addr::fixed(0), expr: ValExpr::Seq { k: 2, a: 2 } },
+                    SimOp::Xchg {
+                        reg: 0,
+                        addr: Addr::fixed(0),
+                        expr: ValExpr::Seq { k: 2, a: 2 },
+                    },
                     SimOp::Record { reg: 0 },
                 ],
                 200,
@@ -556,13 +618,25 @@ mod tests {
         // litmus7-style per-iteration cells: iteration n writes cell 2n and
         // reads cell 2n+1; no interference across iterations.
         let body0 = vec![
-            SimOp::Store { addr: Addr::strided(0, 2), expr: ValExpr::Const(1) },
-            SimOp::Load { reg: 0, addr: Addr::strided(1, 2) },
+            SimOp::Store {
+                addr: Addr::strided(0, 2),
+                expr: ValExpr::Const(1),
+            },
+            SimOp::Load {
+                reg: 0,
+                addr: Addr::strided(1, 2),
+            },
             SimOp::Record { reg: 0 },
         ];
         let body1 = vec![
-            SimOp::Store { addr: Addr::strided(1, 2), expr: ValExpr::Const(1) },
-            SimOp::Load { reg: 0, addr: Addr::strided(0, 2) },
+            SimOp::Store {
+                addr: Addr::strided(1, 2),
+                expr: ValExpr::Const(1),
+            },
+            SimOp::Load {
+                reg: 0,
+                addr: Addr::strided(0, 2),
+            },
             SimOp::Record { reg: 0 },
         ];
         let threads = vec![ThreadSpec::new(body0, 50), ThreadSpec::new(body1, 50)];
@@ -582,13 +656,25 @@ mod tests {
         // With a huge start delay on thread 1, thread 0 finishes first and
         // thread 1 observes all its stores: no weak outcome possible.
         let body0 = vec![
-            SimOp::Store { addr: Addr::fixed(0), expr: ValExpr::Const(1) },
-            SimOp::Load { reg: 0, addr: Addr::fixed(1) },
+            SimOp::Store {
+                addr: Addr::fixed(0),
+                expr: ValExpr::Const(1),
+            },
+            SimOp::Load {
+                reg: 0,
+                addr: Addr::fixed(1),
+            },
             SimOp::Record { reg: 0 },
         ];
         let body1 = vec![
-            SimOp::Store { addr: Addr::fixed(1), expr: ValExpr::Const(1) },
-            SimOp::Load { reg: 0, addr: Addr::fixed(0) },
+            SimOp::Store {
+                addr: Addr::fixed(1),
+                expr: ValExpr::Const(1),
+            },
+            SimOp::Load {
+                reg: 0,
+                addr: Addr::fixed(0),
+            },
             SimOp::Record { reg: 0 },
         ];
         let threads = vec![
@@ -650,7 +736,11 @@ mod tests {
         let out = m.run(&perpetual_sb(100), 2);
         assert_eq!(out.faults, 100);
         // Last store was 100, corrupted by +1..=3.
-        assert!((101..=103).contains(&out.final_mem[0]), "mem[0] = {}", out.final_mem[0]);
+        assert!(
+            (101..=103).contains(&out.final_mem[0]),
+            "mem[0] = {}",
+            out.final_mem[0]
+        );
         assert_eq!(out.final_mem[1], 100, "t1 unaffected");
     }
 
@@ -677,8 +767,14 @@ mod tests {
         // Two stores to different cells per iteration keep the buffer
         // multi-location, so burst drains can pick a non-FIFO head.
         let body = vec![
-            SimOp::Store { addr: Addr::fixed(0), expr: ValExpr::Seq { k: 1, a: 1 } },
-            SimOp::Store { addr: Addr::fixed(1), expr: ValExpr::Seq { k: 1, a: 1 } },
+            SimOp::Store {
+                addr: Addr::fixed(0),
+                expr: ValExpr::Seq { k: 1, a: 1 },
+            },
+            SimOp::Store {
+                addr: Addr::fixed(1),
+                expr: ValExpr::Seq { k: 1, a: 1 },
+            },
             SimOp::Record { reg: 0 },
         ];
         let threads = vec![ThreadSpec::new(body, 2000)];
@@ -709,7 +805,11 @@ mod tests {
         assert!(part.cycles < full.cycles);
         for (pb, fb) in part.bufs.iter().zip(&full.bufs) {
             assert!(pb.len() < fb.len());
-            assert_eq!(pb.as_slice(), &fb[..pb.len()], "partial buf must be a prefix");
+            assert_eq!(
+                pb.as_slice(),
+                &fb[..pb.len()],
+                "partial buf must be a prefix"
+            );
         }
     }
 

@@ -115,7 +115,11 @@ pub struct ThreadSpec {
 impl ThreadSpec {
     /// A thread starting at cycle 0.
     pub fn new(body: Vec<SimOp>, iterations: u64) -> Self {
-        Self { body, iterations, start_delay: 0 }
+        Self {
+            body,
+            iterations,
+            start_delay: 0,
+        }
     }
 
     /// Returns the spec with a start delay.
@@ -168,8 +172,14 @@ mod tests {
     fn spec_accounting() {
         let spec = ThreadSpec::new(
             vec![
-                SimOp::Store { addr: Addr::fixed(0), expr: ValExpr::Const(1) },
-                SimOp::Load { reg: 2, addr: Addr::fixed(1) },
+                SimOp::Store {
+                    addr: Addr::fixed(0),
+                    expr: ValExpr::Const(1),
+                },
+                SimOp::Load {
+                    reg: 2,
+                    addr: Addr::fixed(1),
+                },
                 SimOp::Record { reg: 2 },
             ],
             5,

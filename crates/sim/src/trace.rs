@@ -77,7 +77,11 @@ impl fmt::Display for TraceEvent {
                 write!(f, "store mem[{cell}] <- {value} (buffered)")
             }
             TraceKind::Drain { cell, value } => write!(f, "drain mem[{cell}] <- {value}"),
-            TraceKind::Load { cell, value, forwarded } => write!(
+            TraceKind::Load {
+                cell,
+                value,
+                forwarded,
+            } => write!(
                 f,
                 "load  mem[{cell}] -> {value}{}",
                 if forwarded { " (forwarded)" } else { "" }
@@ -104,7 +108,11 @@ pub struct Trace {
 impl Trace {
     /// Creates a sink holding at most `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { events: Vec::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+        Self {
+            events: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Records one event (drops and counts once full).
@@ -139,7 +147,11 @@ impl Trace {
             let _ = writeln!(s, "{e}");
         }
         if self.dropped > 0 {
-            let _ = writeln!(s, "... {} further events dropped (capacity {})", self.dropped, self.capacity);
+            let _ = writeln!(
+                s,
+                "... {} further events dropped (capacity {})",
+                self.dropped, self.capacity
+            );
         }
         s
     }
@@ -153,12 +165,21 @@ mod tests {
     fn sb_specs(n: u64) -> Vec<ThreadSpec> {
         let body = |own: u32, other: u32| {
             vec![
-                SimOp::Store { addr: Addr::fixed(own), expr: ValExpr::Seq { k: 1, a: 1 } },
-                SimOp::Load { reg: 0, addr: Addr::fixed(other) },
+                SimOp::Store {
+                    addr: Addr::fixed(own),
+                    expr: ValExpr::Seq { k: 1, a: 1 },
+                },
+                SimOp::Load {
+                    reg: 0,
+                    addr: Addr::fixed(other),
+                },
                 SimOp::Record { reg: 0 },
             ]
         };
-        vec![ThreadSpec::new(body(0, 1), n), ThreadSpec::new(body(1, 0), n)]
+        vec![
+            ThreadSpec::new(body(0, 1), n),
+            ThreadSpec::new(body(1, 0), n),
+        ]
     }
 
     #[test]
@@ -220,8 +241,14 @@ mod tests {
     fn forwarding_is_flagged() {
         // A thread storing then loading the same cell must forward.
         let body = vec![
-            SimOp::Store { addr: Addr::fixed(0), expr: ValExpr::Const(7) },
-            SimOp::Load { reg: 0, addr: Addr::fixed(0) },
+            SimOp::Store {
+                addr: Addr::fixed(0),
+                expr: ValExpr::Const(7),
+            },
+            SimOp::Load {
+                reg: 0,
+                addr: Addr::fixed(0),
+            },
             SimOp::Record { reg: 0 },
         ];
         let mut m = Machine::new(SimConfig::default().with_seed(9));
@@ -231,9 +258,20 @@ mod tests {
         let forwarded = trace
             .events()
             .iter()
-            .filter(|e| matches!(e.kind, TraceKind::Load { forwarded: true, .. }))
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceKind::Load {
+                        forwarded: true,
+                        ..
+                    }
+                )
+            })
             .count();
-        assert!(forwarded > 0, "same-cell load after store must forward at least once");
+        assert!(
+            forwarded > 0,
+            "same-cell load after store must forward at least once"
+        );
     }
 
     #[test]
@@ -252,15 +290,27 @@ mod tests {
         let e = TraceEvent {
             cycle: 3,
             thread: 1,
-            kind: TraceKind::Load { cell: 0, value: 4, forwarded: true },
+            kind: TraceKind::Load {
+                cell: 0,
+                value: 4,
+                forwarded: true,
+            },
         };
         assert!(e.to_string().contains("forwarded"));
-        let e = TraceEvent { cycle: 1, thread: 0, kind: TraceKind::Fence };
+        let e = TraceEvent {
+            cycle: 1,
+            thread: 0,
+            kind: TraceKind::Fence,
+        };
         assert!(e.to_string().contains("mfence"));
         let e = TraceEvent {
             cycle: 2,
             thread: 0,
-            kind: TraceKind::Xchg { cell: 1, old: 0, new: 5 },
+            kind: TraceKind::Xchg {
+                cell: 1,
+                old: 0,
+                new: 5,
+            },
         };
         assert!(e.to_string().contains("locked"));
         let e = TraceEvent {

@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let test = parser::parse(&source)?;
-    println!("parsed test {:?} ({} threads)\n", test.name(), test.thread_count());
+    println!(
+        "parsed test {:?} ({} threads)\n",
+        test.name(),
+        test.thread_count()
+    );
 
     let conv = match Conversion::convert(&test) {
         Ok(c) => c,
@@ -55,10 +59,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcomes: Vec<_> = all.iter().map(|(o, _)| o.clone()).collect();
     let heuristics: Vec<HeuristicOutcome> = all.into_iter().map(|(_, h)| h).collect();
 
-    println!("==== {}_count.c (exhaustive outcome counter) ====", test.name());
+    println!(
+        "==== {}_count.c (exhaustive outcome counter) ====",
+        test.name()
+    );
     println!("{}", codegen::emit_count_c(&conv.perpetual, &outcomes));
 
-    println!("==== {}_counth.c (heuristic outcome counter) ====", test.name());
+    println!(
+        "==== {}_counth.c (heuristic outcome counter) ====",
+        test.name()
+    );
     println!("{}", codegen::emit_counth_c(&conv.perpetual, &heuristics));
     Ok(())
 }

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.wall,
         run.wall.as_nanos() as f64 / iterations as f64
     );
-    println!("store-buffering (target) frames found: {}", target.counts[0]);
+    println!(
+        "store-buffering (target) frames found: {}",
+        target.counts[0]
+    );
 
     // Full outcome variety.
     let all = conv.all_outcomes(&sb)?;
@@ -59,11 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run5 = native::run_perpetual(&conv5.perpetual, iterations.min(50_000));
     let bufs5 = run5.bufs();
     let n5 = run5.iterations;
-    let forbidden = count_heuristic(
-        std::slice::from_ref(&conv5.target_heuristic),
-        &bufs5,
-        n5,
-    );
+    let forbidden = count_heuristic(std::slice::from_ref(&conv5.target_heuristic), &bufs5, n5);
     println!(
         "fenced sb (amd5) forbidden-target frames: {} (must be 0)",
         forbidden.counts[0]

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let n = 10_000;
     let result = engine.run(n);
-    println!("\nran {n} perpetual iterations in {} simulated cycles", result.run.exec_cycles);
+    println!(
+        "\nran {n} perpetual iterations in {} simulated cycles",
+        result.run.exec_cycles
+    );
     println!(
         "target outcome (both loads stale — requires store buffering):  \
          heuristic counter found {} (scanned {} frames), exhaustive counter \

@@ -57,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             h.stddev().unwrap_or(0.0),
             h.mass_within(2),
         );
-        let spread = (h.max().unwrap_or(1) - h.min().unwrap_or(0)).unsigned_abs().max(1);
+        let spread = (h.max().unwrap_or(1) - h.min().unwrap_or(0))
+            .unsigned_abs()
+            .max(1);
         let width = (spread / 20).max(1);
         for (lower, p) in h.pdf_bucketed(width) {
             let bar = "#".repeat((p * 200.0).round() as usize);

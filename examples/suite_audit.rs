@@ -27,10 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bugs = 0;
     for (test, entry) in suite::convertible().iter().zip(suite::TABLE_II) {
         let class = classify(test);
-        let mut engine = Perple::with_config(
-            test,
-            SimConfig::default().with_seed(0xA0D17 ^ iterations),
-        )?;
+        let mut engine =
+            Perple::with_config(test, SimConfig::default().with_seed(0xA0D17 ^ iterations))?;
         let (_, count) = engine.run_heuristic_only(iterations);
         let hits = count.counts[0];
 

@@ -25,7 +25,13 @@ pub mod prop {
     impl Gen {
         /// Creates a generator from a seed (zero is remapped).
         pub fn new(seed: u64) -> Self {
-            Self { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+            Self {
+                state: if seed == 0 {
+                    0x9E37_79B9_7F4A_7C15
+                } else {
+                    seed
+                },
+            }
         }
 
         /// Next raw 64-bit value.

@@ -6,8 +6,8 @@
 use perple::experiments::resilient::{audit_one, resilient_audit};
 use perple::experiments::ExperimentConfig;
 use perple::{
-    classify, count_exhaustive, count_heuristic, count_heuristic_budgeted, Budget,
-    Conversion, FaultPlan, PerpleRunner, SimConfig,
+    classify, count_exhaustive, count_heuristic, count_heuristic_budgeted, Budget, Conversion,
+    FaultPlan, PerpleRunner, SimConfig,
 };
 use perple_model::suite;
 use perple_repro::prop::run_cases;
@@ -32,7 +32,11 @@ fn counters_never_panic_on_garbage_buffers() {
             let want = reads[lt.index()] * n as usize;
             let mut b = Vec::with_capacity(want);
             for i in 0..want {
-                b.push(raw.get((cursor + i) % raw.len().max(1)).copied().unwrap_or(0));
+                b.push(
+                    raw.get((cursor + i) % raw.len().max(1))
+                        .copied()
+                        .unwrap_or(0),
+                );
             }
             cursor += want;
             bufs_owned.push(b);
@@ -40,7 +44,11 @@ fn counters_never_panic_on_garbage_buffers() {
         let bufs: Vec<&[u64]> = bufs_owned.iter().map(Vec::as_slice).collect();
         let h = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n);
         let x = count_exhaustive(
-            std::slice::from_ref(&conv.target_exhaustive), &bufs, n, Some(10_000));
+            std::slice::from_ref(&conv.target_exhaustive),
+            &bufs,
+            n,
+            Some(10_000),
+        );
         assert!(h.counts[0] <= n);
         assert!(x.counts[0] <= x.frames_examined);
     });
@@ -56,7 +64,9 @@ fn weak_machine_detection_scales_with_iterations() {
     let mut hits_at = Vec::new();
     for n in [500u64, 2_000, 8_000] {
         let mut runner = PerpleRunner::new(
-            SimConfig::default().with_seed(0xFA11).with_weak_store_order(true),
+            SimConfig::default()
+                .with_seed(0xFA11)
+                .with_weak_store_order(true),
         );
         let run = runner.run(&conv.perpetual, n);
         let bufs = run.bufs();
@@ -64,7 +74,10 @@ fn weak_machine_detection_scales_with_iterations() {
             count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n).counts[0];
         hits_at.push(hits);
     }
-    assert!(hits_at[0] > 0, "violation must be visible at 500 iterations");
+    assert!(
+        hits_at[0] > 0,
+        "violation must be visible at 500 iterations"
+    );
     assert!(
         hits_at[2] > hits_at[0],
         "evidence must grow with iterations: {hits_at:?}"
@@ -84,16 +97,14 @@ fn conformant_and_faulty_machines_are_distinguished() {
             }
             let conv = Conversion::convert(&test).expect("converts");
             let mut runner = PerpleRunner::new(
-                SimConfig::default().with_seed(0xD15).with_weak_store_order(weak),
+                SimConfig::default()
+                    .with_seed(0xD15)
+                    .with_weak_store_order(weak),
             );
             let run = runner.run(&conv.perpetual, 3_000);
             let bufs = run.bufs();
-            let hits = count_heuristic(
-                std::slice::from_ref(&conv.target_heuristic),
-                &bufs,
-                3_000,
-            )
-            .counts[0];
+            let hits = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, 3_000)
+                .counts[0];
             if hits > 0 {
                 any_violation = true;
             }
@@ -126,7 +137,10 @@ fn every_fault_kind_is_detected_or_quarantined() {
         let test = suite::by_name(name).expect("suite test");
         match audit_one(&test, &cfg, 0xFA57) {
             Ok(row) => {
-                assert!(row.faults > 0, "{plan}: a whole-run plan must fire on {name}");
+                assert!(
+                    row.faults > 0,
+                    "{plan}: a whole-run plan must fire on {name}"
+                );
                 assert!(row.heuristic <= row.iterations, "{plan}: counter soundness");
             }
             Err(e) => {
@@ -152,7 +166,11 @@ fn random_fault_plans_never_crash_the_pipeline() {
         let clauses: Vec<String> = (0..1 + g.below(3))
             .map(|_| {
                 let kind = *g.choose(&kinds);
-                let thread = if g.chance(1, 2) { "*".to_owned() } else { format!("t{}", g.below(3)) };
+                let thread = if g.chance(1, 2) {
+                    "*".to_owned()
+                } else {
+                    format!("t{}", g.below(3))
+                };
                 let from = g.below(n as usize) as u64;
                 let to = from + 1 + g.below(n as usize) as u64;
                 let prob = g.below(101) as f64 / 100.0;
@@ -163,14 +181,21 @@ fn random_fault_plans_never_crash_the_pipeline() {
         let plan = FaultPlan::parse(&clauses.join(",")).expect("generated plan parses");
         let test = suite::by_name(names[g.below(names.len())]).expect("suite test");
         let conv = Conversion::convert(&test).expect("converts");
-        let mut runner =
-            PerpleRunner::new(SimConfig::default().with_seed(g.u64()).with_fault_plan(plan));
+        let mut runner = PerpleRunner::new(
+            SimConfig::default()
+                .with_seed(g.u64())
+                .with_fault_plan(plan),
+        );
         let run = runner.run(&conv.perpetual, n);
         let bufs = run.bufs();
         let h = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n);
         assert!(h.counts[0] <= n);
         let x = count_exhaustive(
-            std::slice::from_ref(&conv.target_exhaustive), &bufs, n, Some(10_000));
+            std::slice::from_ref(&conv.target_exhaustive),
+            &bufs,
+            n,
+            Some(10_000),
+        );
         assert!(x.counts[0] <= x.frames_examined);
     });
 }
@@ -191,7 +216,10 @@ fn livelocked_tests_are_quarantined_not_fatal() {
     assert_eq!(report.results.len(), suite::convertible().len());
     assert_eq!(report.results.len(), report.items.len());
     let quarantined = report.quarantined();
-    assert!(!quarantined.is_empty(), "the stall must defeat at least one test");
+    assert!(
+        !quarantined.is_empty(),
+        "the stall must defeat at least one test"
+    );
     for item in quarantined {
         assert_eq!(item.fault_kind(), Some("timeout"), "{}", item.name);
         assert_eq!(item.attempts.len(), 2, "{}: one retry permitted", item.name);
@@ -213,8 +241,7 @@ fn watchdog_truncated_counts_are_a_prefix_of_untruncated() {
         let full = full_runner.run(&conv.perpetual, n);
         let polls = 1 + g.below(64) as u64;
         let mut cut_runner = PerpleRunner::new(SimConfig::default().with_seed(seed));
-        let cut =
-            cut_runner.run_budgeted(&conv.perpetual, n, &Budget::with_poll_limit(polls));
+        let cut = cut_runner.run_budgeted(&conv.perpetual, n, &Budget::with_poll_limit(polls));
         assert!(cut.iterations <= n);
         let fb = full.bufs();
         for (c, f) in cut.bufs().iter().zip(&fb) {
@@ -223,7 +250,11 @@ fn watchdog_truncated_counts_are_a_prefix_of_untruncated() {
         // Counter level: partial counts are exactly the scanned prefix.
         let budget = Budget::with_poll_limit(1 + g.below(n as usize) as u64);
         let part = count_heuristic_budgeted(
-            std::slice::from_ref(&conv.target_heuristic), &fb, n, &budget);
+            std::slice::from_ref(&conv.target_heuristic),
+            &fb,
+            n,
+            &budget,
+        );
         assert!(part.frames_examined <= n);
         let mut prefix = 0u64;
         for i in 0..part.frames_examined {
@@ -231,7 +262,10 @@ fn watchdog_truncated_counts_are_a_prefix_of_untruncated() {
                 prefix += 1;
             }
         }
-        assert_eq!(part.counts[0], prefix, "partial counts must match their prefix");
+        assert_eq!(
+            part.counts[0], prefix,
+            "partial counts must match their prefix"
+        );
     });
 }
 

@@ -2,7 +2,9 @@
 //! generated tests classify correctly, convert when register-only, and
 //! never produce false positives on the TSO substrate.
 
-use perple::{classify, count_heuristic, enumerate, Conversion, MemoryModel, PerpleRunner, SimConfig};
+use perple::{
+    classify, count_heuristic, enumerate, Conversion, MemoryModel, PerpleRunner, SimConfig,
+};
 use perple_model::generate::{from_cycle, generate_family, CycleEdge::*, Dir::*};
 
 #[test]
@@ -22,7 +24,10 @@ fn generated_classics_classify_like_their_handwritten_twins() {
         let gen = from_cycle(&format!("gen-{twin}"), &cycle).unwrap();
         let c = classify(&gen);
         assert_eq!(c.tso_allowed, expect_tso, "gen-{twin}");
-        assert!(!c.sc_allowed, "gen-{twin}: critical cycles are SC-forbidden");
+        assert!(
+            !c.sc_allowed,
+            "gen-{twin}: critical cycles are SC-forbidden"
+        );
         // The handwritten twin agrees.
         let hand = perple_model::suite::by_name(twin).unwrap();
         let hc = classify(&hand);
@@ -46,7 +51,9 @@ fn whole_generated_family_is_sc_forbidden() {
 #[test]
 fn generated_family_produces_no_false_positives_perpetually() {
     for test in generate_family(4) {
-        let Ok(conv) = Conversion::convert(&test) else { continue };
+        let Ok(conv) = Conversion::convert(&test) else {
+            continue;
+        };
         let class = classify(&test);
         if class.tso_allowed {
             continue;
@@ -54,11 +61,7 @@ fn generated_family_produces_no_false_positives_perpetually() {
         let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0x6E4));
         let run = runner.run(&conv.perpetual, 200);
         let bufs = run.bufs();
-        let count = count_heuristic(
-            std::slice::from_ref(&conv.target_heuristic),
-            &bufs,
-            200,
-        );
+        let count = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, 200);
         assert_eq!(count.counts[0], 0, "{}: false positive", test.name());
     }
 }
@@ -70,7 +73,9 @@ fn generated_tso_allowed_targets_are_observable() {
     let mut observable = 0;
     let mut total = 0;
     for test in generate_family(4) {
-        let Ok(conv) = Conversion::convert(&test) else { continue };
+        let Ok(conv) = Conversion::convert(&test) else {
+            continue;
+        };
         if !classify(&test).is_target() {
             continue;
         }
@@ -90,5 +95,8 @@ fn generated_tso_allowed_targets_are_observable() {
         }
     }
     assert!(total > 0, "family must contain TSO-only targets");
-    assert_eq!(observable, total, "some TSO-allowed generated targets never fired");
+    assert_eq!(
+        observable, total,
+        "some TSO-allowed generated targets never fired"
+    );
 }

@@ -13,11 +13,7 @@ fn native_perpetual_feeds_the_counters() {
     let n = 2_000u64;
     let run = native::run_perpetual(&conv.perpetual, n);
     let bufs = run.bufs();
-    let count = count_heuristic(
-        std::slice::from_ref(&conv.target_heuristic),
-        &bufs,
-        n,
-    );
+    let count = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n);
     // On a single-core host the weak outcome may be absent; the counter
     // must still process the full run.
     assert_eq!(count.frames_examined, n);
@@ -44,11 +40,7 @@ fn native_forbidden_targets_stay_silent() {
         let n = 1_000u64;
         let run = native::run_perpetual(&conv.perpetual, n);
         let bufs = run.bufs();
-        let count = count_heuristic(
-            std::slice::from_ref(&conv.target_heuristic),
-            &bufs,
-            n,
-        );
+        let count = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n);
         assert_eq!(count.counts[0], 0, "{name}: forbidden target natively");
     }
 }

@@ -41,11 +41,7 @@ fn every_convertible_suite_test_flows_end_to_end() {
         let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0x1234));
         let run = runner.run(&conv.perpetual, 300);
         let bufs = run.bufs();
-        let count = count_heuristic(
-            std::slice::from_ref(&conv.target_heuristic),
-            &bufs,
-            300,
-        );
+        let count = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, 300);
         // Soundness on the TSO substrate: forbidden targets never fire.
         let class = classify(&test);
         if !class.tso_allowed {

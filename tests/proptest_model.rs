@@ -20,8 +20,13 @@ enum GenOp {
 /// Weighted draw matching the old strategy: stores 3, loads 4, fences 1.
 fn gen_op(g: &mut Gen) -> GenOp {
     match g.below(8) {
-        0..=2 => GenOp::Store { loc: g.below(2) as u8 },
-        3..=6 => GenOp::Load { reg: g.below(2) as u8, loc: g.below(2) as u8 },
+        0..=2 => GenOp::Store {
+            loc: g.below(2) as u8,
+        },
+        3..=6 => GenOp::Load {
+            reg: g.below(2) as u8,
+            loc: g.below(2) as u8,
+        },
         _ => GenOp::Mfence,
     }
 }
@@ -111,11 +116,7 @@ fn axiomatic_sc_agrees_with_operational_sc() {
         let reachable = enumerate(&test, MemoryModel::Sc).register_outcomes();
         for outcome in test.possible_outcomes() {
             if let Ok(axiomatic) = perple_model::hb::is_sc_consistent(&test, &outcome) {
-                assert_eq!(
-                    axiomatic,
-                    reachable.contains(&outcome),
-                    "outcome {outcome}"
-                );
+                assert_eq!(axiomatic, reachable.contains(&outcome), "outcome {outcome}");
             }
         }
     });
@@ -128,7 +129,9 @@ fn forbidden_targets_never_fire_on_the_tso_substrate() {
     // count it.
     run_cases(48, |g| {
         let test = next_test(g);
-        let Ok(conv) = Conversion::convert(&test) else { return };
+        let Ok(conv) = Conversion::convert(&test) else {
+            return;
+        };
         let class = classify(&test);
         if class.tso_allowed {
             return;
@@ -136,11 +139,7 @@ fn forbidden_targets_never_fire_on_the_tso_substrate() {
         let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0xF0B1D));
         let run = runner.run(&conv.perpetual, 150);
         let bufs = run.bufs();
-        let count = count_heuristic(
-            std::slice::from_ref(&conv.target_heuristic),
-            &bufs,
-            150,
-        );
+        let count = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, 150);
         assert_eq!(count.counts[0], 0, "forbidden target fired");
     });
 }
@@ -149,15 +148,20 @@ fn forbidden_targets_never_fire_on_the_tso_substrate() {
 fn heuristic_counts_never_exceed_exhaustive_per_outcome() {
     run_cases(48, |g| {
         let test = next_test(g);
-        let Ok(conv) = Conversion::convert(&test) else { return };
+        let Ok(conv) = Conversion::convert(&test) else {
+            return;
+        };
         let mut runner = PerpleRunner::new(SimConfig::default().with_seed(77));
         let n = 120u64;
         let run = runner.run(&conv.perpetual, n);
         let bufs = run.bufs();
-        let h = count_heuristic(
-            std::slice::from_ref(&conv.target_heuristic), &bufs, n);
+        let h = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n);
         let x = perple::count_exhaustive(
-            std::slice::from_ref(&conv.target_exhaustive), &bufs, n, None);
+            std::slice::from_ref(&conv.target_exhaustive),
+            &bufs,
+            n,
+            None,
+        );
         assert!(h.counts[0] <= x.counts[0]);
     });
 }

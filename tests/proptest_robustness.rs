@@ -4,9 +4,9 @@
 //! round-trip. Runs on the in-repo [`perple_repro::prop`] harness.
 
 use perple::{
-    count_exhaustive, count_exhaustive_parallel, count_heuristic,
-    count_heuristic_each, count_heuristic_each_parallel, count_heuristic_parallel,
-    frame_at, frame_index, frame_space, Conversion, PerpleRunner, SimConfig,
+    count_exhaustive, count_exhaustive_parallel, count_heuristic, count_heuristic_each,
+    count_heuristic_each_parallel, count_heuristic_parallel, frame_at, frame_index, frame_space,
+    Conversion, PerpleRunner, SimConfig,
 };
 use perple_convert::KMap;
 use perple_model::{generate, parser, printer, suite};
@@ -34,9 +34,8 @@ fn parser_never_panics_on_litmus_shaped_garbage() {
             g.choose(&addrs),
             g.choose(&vals)
         );
-        let src = format!(
-            "X86 {name}\n{{ x=0; }}\n P0 | P1 ;\n {cell} | {cell} ;\nexists (0:EAX=0)"
-        );
+        let src =
+            format!("X86 {name}\n{{ x=0; }}\n P0 | P1 ;\n {cell} | {cell} ;\nexists (0:EAX=0)");
         let _ = parser::parse(&src);
     });
 }
@@ -69,9 +68,10 @@ fn simulated_values_are_always_attributable() {
                     if val == 0 {
                         continue;
                     }
-                    let attributable = kmap.assignments_for(slot.loc).iter().any(|asg| {
-                        KMap::decode(asg.k, asg.a, val).is_some_and(|m| m < n)
-                    });
+                    let attributable = kmap
+                        .assignments_for(slot.loc)
+                        .iter()
+                        .any(|asg| KMap::decode(asg.k, asg.a, val).is_some_and(|m| m < n));
                     assert!(
                         attributable,
                         "{}: unattributable value {val} at load slot {}",
