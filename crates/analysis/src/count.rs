@@ -1,10 +1,31 @@
 //! The exhaustive (`COUNT`) and heuristic (`COUNTH`) outcome counters —
 //! serial reference implementations plus frame-sharded parallel variants
 //! that are bit-identical to them (see `tests/parallel_equivalence.rs`).
+//!
+//! # The unified counting API
+//!
+//! All counting goes through one entry point: a [`Counter`] implementation
+//! ([`ExhaustiveCounter`] or [`HeuristicCounter`]) owns the outcomes of
+//! interest, and a [`CountRequest`] carries the run buffers plus the
+//! execution policy (frame cap, watchdog budget, worker count).
+//! [`Counter::count`] is the pipeline's single choke point: it opens the
+//! `count` observability span and feeds the metrics registry (frames
+//! examined, budget expiries, partner-derivation hits/misses), so
+//! instrumentation lives here once instead of in every variant.
+//!
+//! Dispatch is deterministic and matches the legacy functions exactly:
+//! a request **with** a budget runs the serial budgeted scan (budgeted
+//! truncation is a prefix property of the serial odometer order); a
+//! request **without** one runs the frame-sharded scan over
+//! `CountRequest::workers` threads (bit-identical to serial at every
+//! worker count). The eight original `count_*` functions remain as thin
+//! `#[deprecated]` shims delegating to the trait.
 
 use std::time::{Duration, Instant};
 
 use perple_convert::{HeuristicOutcome, PerpetualOutcome};
+use perple_obs::metrics::{self as obs_metrics, Hist, Metric};
+use perple_obs::trace as obs_trace;
 use perple_sim::Budget;
 
 /// Frames between watchdog polls in the budgeted exhaustive scan; with a
@@ -53,6 +74,179 @@ impl CountResult {
     }
 }
 
+/// One counting request: run buffers, iteration count, and execution
+/// policy. Built with combinators; the defaults (no cap, no budget, one
+/// worker) reproduce the serial reference counters.
+#[derive(Debug, Clone, Copy)]
+pub struct CountRequest<'a> {
+    /// One value buffer per load-performing thread of the converted test.
+    pub bufs: &'a [&'a [u64]],
+    /// Iterations recorded in each buffer (the paper's `N`).
+    pub n: u64,
+    /// Optional prefix cap on the exhaustive frame scan.
+    pub frame_cap: Option<u64>,
+    /// Optional watchdog; a budgeted request runs the serial budgeted
+    /// scan so truncation stays a deterministic prefix.
+    pub budget: Option<&'a Budget>,
+    /// Worker threads for the frame-sharded scan (1 = serial; ignored
+    /// while a budget is set).
+    pub workers: usize,
+}
+
+impl<'a> CountRequest<'a> {
+    /// A serial, uncapped, unbudgeted request over `bufs` and `n`.
+    pub fn new(bufs: &'a [&'a [u64]], n: u64) -> Self {
+        Self {
+            bufs,
+            n,
+            frame_cap: None,
+            budget: None,
+            workers: 1,
+        }
+    }
+
+    /// Caps the exhaustive scan at `cap` frames (lexicographic prefix).
+    pub fn with_frame_cap(mut self, cap: Option<u64>) -> Self {
+        self.frame_cap = cap;
+        self
+    }
+
+    /// Attaches a watchdog [`Budget`]; see [`CountRequest::budget`].
+    pub fn with_budget(mut self, budget: &'a Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Shards the scan over `workers` threads (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// A counting strategy bound to its outcomes of interest.
+///
+/// [`Counter::count`] is the instrumented entry point every caller should
+/// use; [`Counter::scan`] is the raw implementation hook.
+pub trait Counter {
+    /// Short strategy name (used as the span/metric label).
+    fn name(&self) -> &'static str;
+
+    /// The uninstrumented counting pass (implementation hook). Prefer
+    /// [`Counter::count`], which wraps this in the observability layer.
+    fn scan(&self, req: &CountRequest<'_>) -> CountResult;
+
+    /// Runs the pass inside the `count` observability span and records
+    /// counter metrics. Observability is write-only — the result is
+    /// exactly what [`Counter::scan`] returns.
+    fn count(&self, req: &CountRequest<'_>) -> CountResult {
+        let _span = obs_trace::span("count");
+        let result = self.scan(req);
+        obs_metrics::add(Metric::CountFramesExamined, result.frames_examined);
+        obs_metrics::observe(Hist::CountFramesPerCall, result.frames_examined);
+        if result.budget_expired {
+            obs_metrics::add(Metric::CountBudgetExpiries, 1);
+        }
+        result
+    }
+}
+
+/// [`Counter`] for the exhaustive `COUNT` scan (Algorithm 1) over the
+/// full `N^{T_L}` frame space or its capped prefix.
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveCounter<'a> {
+    outcomes: &'a [PerpetualOutcome],
+}
+
+impl<'a> ExhaustiveCounter<'a> {
+    /// A counter over `outcomes` with else-if (first match wins) chaining.
+    pub fn new(outcomes: &'a [PerpetualOutcome]) -> Self {
+        Self { outcomes }
+    }
+
+    /// Convenience for the common single-target case.
+    pub fn single(outcome: &'a PerpetualOutcome) -> Self {
+        Self::new(std::slice::from_ref(outcome))
+    }
+}
+
+impl Counter for ExhaustiveCounter<'_> {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn scan(&self, req: &CountRequest<'_>) -> CountResult {
+        match req.budget {
+            Some(budget) => {
+                count_exhaustive_impl(self.outcomes, req.bufs, req.n, req.frame_cap, Some(budget))
+            }
+            None => exhaustive_sharded(self.outcomes, req.bufs, req.n, req.frame_cap, req.workers),
+        }
+    }
+}
+
+/// [`Counter`] for the linear heuristic `COUNTH` scan (Algorithm 2).
+///
+/// Two modes: **chained** ([`HeuristicCounter::new`]) applies the paper's
+/// else-if chain (at most one outcome per pivot); **per-outcome**
+/// ([`HeuristicCounter::each`]) evaluates every outcome at every pivot
+/// independently (Figure 13's sampling). Per-outcome mode has no budgeted
+/// variant: a request's budget is ignored there.
+#[derive(Debug, Clone, Copy)]
+pub struct HeuristicCounter<'a> {
+    outcomes: &'a [HeuristicOutcome],
+    chained: bool,
+}
+
+impl<'a> HeuristicCounter<'a> {
+    /// A chained (else-if) counter over `outcomes`.
+    pub fn new(outcomes: &'a [HeuristicOutcome]) -> Self {
+        Self {
+            outcomes,
+            chained: true,
+        }
+    }
+
+    /// Convenience for the common single-target case.
+    pub fn single(outcome: &'a HeuristicOutcome) -> Self {
+        Self::new(std::slice::from_ref(outcome))
+    }
+
+    /// A per-outcome (unchained) counter over `outcomes`.
+    pub fn each(outcomes: &'a [HeuristicOutcome]) -> Self {
+        Self {
+            outcomes,
+            chained: false,
+        }
+    }
+}
+
+impl Counter for HeuristicCounter<'_> {
+    fn name(&self) -> &'static str {
+        "heuristic"
+    }
+
+    fn scan(&self, req: &CountRequest<'_>) -> CountResult {
+        let result = match (self.chained, req.budget) {
+            (true, Some(budget)) => {
+                count_heuristic_impl(self.outcomes, req.bufs, req.n, Some(budget))
+            }
+            (chained, _) => {
+                count_heuristic_sharded(self.outcomes, req.bufs, req.n, req.workers, chained)
+            }
+        };
+        // Every eval derives a partner frame from the pivot's loads and
+        // tests one outcome against it: matches are derivation hits.
+        let hits = result.total();
+        obs_metrics::add(Metric::CountPartnerHits, hits);
+        obs_metrics::add(
+            Metric::CountPartnerMisses,
+            result.evals.saturating_sub(hits),
+        );
+        result
+    }
+}
+
 /// The exhaustive outcome counter `COUNT` (Algorithm 1).
 ///
 /// Examines every frame — each tuple of one iteration per load-performing
@@ -67,13 +261,17 @@ impl CountResult {
 ///
 /// Panics if `bufs` does not contain one buffer per load-performing thread
 /// of the converted outcomes, or buffers are shorter than `n` iterations.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExhaustiveCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_frame_cap(cap))`"
+)]
 pub fn count_exhaustive(
     outcomes: &[PerpetualOutcome],
     bufs: &[&[u64]],
     n: u64,
     frame_cap: Option<u64>,
 ) -> CountResult {
-    count_exhaustive_impl(outcomes, bufs, n, frame_cap, None)
+    ExhaustiveCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_frame_cap(frame_cap))
 }
 
 /// [`count_exhaustive`] under a watchdog [`Budget`], polled every
@@ -82,6 +280,10 @@ pub fn count_exhaustive(
 /// what [`count_exhaustive`] with a `frame_cap` at the cutoff would return
 /// (the scanned prefix of the odometer order), so budgeted counts are
 /// always a prefix-truncation of unbudgeted counts.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExhaustiveCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_frame_cap(cap).with_budget(budget))`"
+)]
 pub fn count_exhaustive_budgeted(
     outcomes: &[PerpetualOutcome],
     bufs: &[&[u64]],
@@ -89,7 +291,11 @@ pub fn count_exhaustive_budgeted(
     frame_cap: Option<u64>,
     budget: &Budget,
 ) -> CountResult {
-    count_exhaustive_impl(outcomes, bufs, n, frame_cap, Some(budget))
+    ExhaustiveCounter::new(outcomes).count(
+        &CountRequest::new(bufs, n)
+            .with_frame_cap(frame_cap)
+            .with_budget(budget),
+    )
 }
 
 fn count_exhaustive_impl(
@@ -160,8 +366,12 @@ fn count_exhaustive_impl(
 ///
 /// Scans one pivot iteration per step, deriving the partner frame from
 /// loaded values; else-if semantics as in the exhaustive counter.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n))`"
+)]
 pub fn count_heuristic(outcomes: &[HeuristicOutcome], bufs: &[&[u64]], n: u64) -> CountResult {
-    count_heuristic_impl(outcomes, bufs, n, None)
+    HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n))
 }
 
 /// [`count_heuristic`] under a watchdog [`Budget`], polled once per pivot.
@@ -169,13 +379,17 @@ pub fn count_heuristic(outcomes: &[HeuristicOutcome], bufs: &[&[u64]], n: u64) -
 /// set; the partial result counts exactly the scanned pivot prefix
 /// `0 .. frames_examined`, identically to the unbudgeted counter over that
 /// prefix.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_budget(budget))`"
+)]
 pub fn count_heuristic_budgeted(
     outcomes: &[HeuristicOutcome],
     bufs: &[&[u64]],
     n: u64,
     budget: &Budget,
 ) -> CountResult {
-    count_heuristic_impl(outcomes, bufs, n, Some(budget))
+    HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_budget(budget))
 }
 
 fn count_heuristic_impl(
@@ -221,26 +435,12 @@ fn count_heuristic_impl(
 /// Figure 13 of the paper uses this form ("PerpLE heuristic samples 1k
 /// frames *per outcome*"), which is why PerpLE's total occurrence count can
 /// exceed `N` while litmus7's total always equals the iteration count.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `HeuristicCounter::each(outcomes).count(&CountRequest::new(bufs, n))`"
+)]
 pub fn count_heuristic_each(outcomes: &[HeuristicOutcome], bufs: &[&[u64]], n: u64) -> CountResult {
-    let start = Instant::now();
-    let mut counts = vec![0u64; outcomes.len()];
-    let mut evals: u64 = 0;
-    for (o, h) in outcomes.iter().enumerate() {
-        for i in 0..n {
-            evals += 1;
-            if h.eval(i, bufs, n) {
-                counts[o] += 1;
-            }
-        }
-    }
-    CountResult {
-        counts,
-        frames_examined: n * outcomes.len() as u64,
-        evals,
-        wall: start.elapsed(),
-        truncated: false,
-        budget_expired: false,
-    }
+    HeuristicCounter::each(outcomes).count(&CountRequest::new(bufs, n))
 }
 
 // ---------------------------------------------------------------------------
@@ -430,7 +630,30 @@ fn merge_partials(
 /// # Panics
 ///
 /// Panics under the same buffer-shape conditions as [`count_exhaustive`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExhaustiveCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_frame_cap(cap).with_workers(workers))`"
+)]
 pub fn count_exhaustive_parallel(
+    outcomes: &[PerpetualOutcome],
+    bufs: &[&[u64]],
+    n: u64,
+    frame_cap: Option<u64>,
+    workers: usize,
+) -> CountResult {
+    ExhaustiveCounter::new(outcomes).count(
+        &CountRequest::new(bufs, n)
+            .with_frame_cap(frame_cap)
+            .with_workers(workers),
+    )
+}
+
+/// Frame-sharded exhaustive scan (the unbudgeted [`ExhaustiveCounter`]
+/// path): partitions the `N^{T_L}` frame space (or its `frame_cap`
+/// prefix) into `workers` contiguous index ranges and scans them on
+/// scoped threads. Bit-identical to the serial counter at every worker
+/// count.
+fn exhaustive_sharded(
     outcomes: &[PerpetualOutcome],
     bufs: &[&[u64]],
     n: u64,
@@ -440,7 +663,7 @@ pub fn count_exhaustive_parallel(
     if n == 0 || outcomes.is_empty() {
         // The serial counter skips the scan entirely (and never reports
         // truncation) for degenerate inputs; match it exactly.
-        return count_exhaustive(outcomes, bufs, n, frame_cap);
+        return count_exhaustive_impl(outcomes, bufs, n, frame_cap, None);
     }
     let tl = bufs.len();
     let total = frame_space(n, tl);
@@ -449,6 +672,12 @@ pub fn count_exhaustive_parallel(
     let truncated = frame_cap.is_some_and(|cap| cap < total);
 
     let ranges = partition(effective, workers);
+    // Each worker beyond the first seeks its odometer straight to its
+    // range start instead of iterating there: `start` frames skipped.
+    obs_metrics::add(
+        Metric::CountFramesSkippedSeek,
+        ranges.iter().map(|&(start, _)| start).sum(),
+    );
     let partials: Vec<(Vec<u64>, u64, Duration)> = if ranges.len() <= 1 {
         let start = Instant::now();
         let (counts, evals) = scan_frame_range(outcomes, bufs, n, 0, effective);
@@ -562,24 +791,32 @@ fn count_heuristic_sharded(
 /// Parallel [`count_heuristic`]: shards the pivot range `0 .. N` into
 /// contiguous per-worker slices. Pivots are classified independently, so
 /// the merged result is bit-identical to the serial counter's.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_workers(workers))`"
+)]
 pub fn count_heuristic_parallel(
     outcomes: &[HeuristicOutcome],
     bufs: &[&[u64]],
     n: u64,
     workers: usize,
 ) -> CountResult {
-    count_heuristic_sharded(outcomes, bufs, n, workers, true)
+    HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_workers(workers))
 }
 
 /// Parallel [`count_heuristic_each`]: pivot-range sharding of the
 /// unchained (per-outcome) heuristic counter.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `HeuristicCounter::each(outcomes).count(&CountRequest::new(bufs, n).with_workers(workers))`"
+)]
 pub fn count_heuristic_each_parallel(
     outcomes: &[HeuristicOutcome],
     bufs: &[&[u64]],
     n: u64,
     workers: usize,
 ) -> CountResult {
-    count_heuristic_sharded(outcomes, bufs, n, workers, false)
+    HeuristicCounter::each(outcomes).count(&CountRequest::new(bufs, n).with_workers(workers))
 }
 
 #[cfg(test)]
@@ -598,6 +835,81 @@ mod tests {
         let conv = Conversion::convert(&t).unwrap();
         let all = conv.all_outcomes(&t).unwrap();
         SbFixture { conv, all }
+    }
+
+    // Local wrappers with the legacy shapes, shadowing the deprecated
+    // shims from `use super::*`: every reference test below exercises the
+    // `Counter` trait directly.
+    fn count_exhaustive(
+        outcomes: &[PerpetualOutcome],
+        bufs: &[&[u64]],
+        n: u64,
+        cap: Option<u64>,
+    ) -> CountResult {
+        ExhaustiveCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_frame_cap(cap))
+    }
+
+    fn count_exhaustive_budgeted(
+        outcomes: &[PerpetualOutcome],
+        bufs: &[&[u64]],
+        n: u64,
+        cap: Option<u64>,
+        budget: &Budget,
+    ) -> CountResult {
+        ExhaustiveCounter::new(outcomes).count(
+            &CountRequest::new(bufs, n)
+                .with_frame_cap(cap)
+                .with_budget(budget),
+        )
+    }
+
+    fn count_exhaustive_parallel(
+        outcomes: &[PerpetualOutcome],
+        bufs: &[&[u64]],
+        n: u64,
+        cap: Option<u64>,
+        workers: usize,
+    ) -> CountResult {
+        ExhaustiveCounter::new(outcomes).count(
+            &CountRequest::new(bufs, n)
+                .with_frame_cap(cap)
+                .with_workers(workers),
+        )
+    }
+
+    fn count_heuristic(outcomes: &[HeuristicOutcome], bufs: &[&[u64]], n: u64) -> CountResult {
+        HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n))
+    }
+
+    fn count_heuristic_budgeted(
+        outcomes: &[HeuristicOutcome],
+        bufs: &[&[u64]],
+        n: u64,
+        budget: &Budget,
+    ) -> CountResult {
+        HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_budget(budget))
+    }
+
+    fn count_heuristic_each(outcomes: &[HeuristicOutcome], bufs: &[&[u64]], n: u64) -> CountResult {
+        HeuristicCounter::each(outcomes).count(&CountRequest::new(bufs, n))
+    }
+
+    fn count_heuristic_parallel(
+        outcomes: &[HeuristicOutcome],
+        bufs: &[&[u64]],
+        n: u64,
+        workers: usize,
+    ) -> CountResult {
+        HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_workers(workers))
+    }
+
+    fn count_heuristic_each_parallel(
+        outcomes: &[HeuristicOutcome],
+        bufs: &[&[u64]],
+        n: u64,
+        workers: usize,
+    ) -> CountResult {
+        HeuristicCounter::each(outcomes).count(&CountRequest::new(bufs, n).with_workers(workers))
     }
 
     /// Lockstep buffers: iteration n of each thread read the other's store
@@ -939,6 +1251,97 @@ mod tests {
         let rh = count_heuristic_budgeted(&heu, &bufs, 10, &b);
         assert!(rh.budget_expired);
         assert_eq!(rh.total(), 0);
+    }
+
+    #[test]
+    fn request_builder_defaults_are_serial_and_unbounded() {
+        let bufs: Vec<&[u64]> = vec![&[], &[]];
+        let req = CountRequest::new(&bufs, 0);
+        assert_eq!(req.workers, 1);
+        assert!(req.frame_cap.is_none());
+        assert!(req.budget.is_none());
+        assert_eq!(req.with_workers(0).workers, 1, "worker floor is 1");
+    }
+
+    #[test]
+    fn counter_names_label_the_strategies() {
+        let f = sb_fixture();
+        let heu: Vec<HeuristicOutcome> = f.all.iter().map(|(_, h)| h.clone()).collect();
+        assert_eq!(
+            ExhaustiveCounter::single(&f.conv.target_exhaustive).name(),
+            "exhaustive"
+        );
+        assert_eq!(HeuristicCounter::new(&heu).name(), "heuristic");
+        assert_eq!(HeuristicCounter::each(&heu).name(), "heuristic");
+    }
+
+    #[test]
+    fn budgeted_requests_dispatch_to_the_serial_scan() {
+        // A budgeted request ignores `workers` and runs the deterministic
+        // serial budgeted path: the poll-limit cutoff lands on the exact
+        // same frame regardless of the requested worker count.
+        let f = sb_fixture();
+        let exh: Vec<PerpetualOutcome> = f.all.iter().map(|(o, _)| o.clone()).collect();
+        let n = 64u64;
+        let b0: Vec<u64> = (0..n).map(|i| (i * 5 + 2) % (n + 1)).collect();
+        let b1: Vec<u64> = (0..n).map(|i| (i * 3) % (n + 1)).collect();
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        for workers in [1usize, 4] {
+            let budget = Budget::with_poll_limit(1);
+            let r = ExhaustiveCounter::new(&exh).count(
+                &CountRequest::new(&bufs, n)
+                    .with_budget(&budget)
+                    .with_workers(workers),
+            );
+            assert!(r.budget_expired);
+            assert_eq!(r.frames_examined, EXHAUSTIVE_POLL_INTERVAL);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_trait() {
+        let f = sb_fixture();
+        let exh: Vec<PerpetualOutcome> = f.all.iter().map(|(o, _)| o.clone()).collect();
+        let heu: Vec<HeuristicOutcome> = f.all.iter().map(|(_, h)| h.clone()).collect();
+        let (b0, b1) = lockstep_bufs(20);
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let via_trait =
+            ExhaustiveCounter::new(&exh).count(&CountRequest::new(&bufs, 20).with_frame_cap(None));
+        let via_shim = super::count_exhaustive(&exh, &bufs, 20, None);
+        assert_eq!(via_shim.counts, via_trait.counts);
+        assert_eq!(via_shim.evals, via_trait.evals);
+        let h_trait = HeuristicCounter::new(&heu).count(&CountRequest::new(&bufs, 20));
+        let h_shim = super::count_heuristic(&heu, &bufs, 20);
+        assert_eq!(h_shim.counts, h_trait.counts);
+        let e_trait = HeuristicCounter::each(&heu).count(&CountRequest::new(&bufs, 20));
+        let e_shim = super::count_heuristic_each(&heu, &bufs, 20);
+        assert_eq!(e_shim.counts, e_trait.counts);
+        let p_shim = super::count_heuristic_parallel(&heu, &bufs, 20, 3);
+        assert_eq!(p_shim.counts, h_trait.counts);
+        let pe_shim = super::count_heuristic_each_parallel(&heu, &bufs, 20, 3);
+        assert_eq!(pe_shim.counts, e_trait.counts);
+        let px_shim = super::count_exhaustive_parallel(&exh, &bufs, 20, None, 3);
+        assert_eq!(px_shim.counts, via_trait.counts);
+        let budget = Budget::unlimited();
+        let bx_shim = super::count_exhaustive_budgeted(&exh, &bufs, 20, None, &budget);
+        assert_eq!(bx_shim.counts, via_trait.counts);
+        let bh_shim = super::count_heuristic_budgeted(&heu, &bufs, 20, &budget);
+        assert_eq!(bh_shim.counts, h_trait.counts);
+    }
+
+    #[test]
+    fn counting_feeds_the_metrics_registry() {
+        let f = sb_fixture();
+        let heu: Vec<HeuristicOutcome> = f.all.iter().map(|(_, h)| h.clone()).collect();
+        let (b0, b1) = lockstep_bufs(30);
+        let bufs: Vec<&[u64]> = vec![&b0, &b1];
+        let before = perple_obs::metrics::snapshot();
+        let r = HeuristicCounter::new(&heu).count(&CountRequest::new(&bufs, 30));
+        let delta = perple_obs::metrics::snapshot().delta_from(&before);
+        assert!(delta.get("count_frames_examined") >= 30);
+        assert!(delta.get("count_partner_hits") >= r.total());
+        assert!(delta.hist_total("count_frames_per_call") >= 1);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! # Example
 //!
 //! ```
-//! use perple_analysis::count;
+//! use perple_analysis::count::{CountRequest, Counter, ExhaustiveCounter, HeuristicCounter};
 //! use perple_convert::Conversion;
 //! use perple_model::suite;
 //!
@@ -30,10 +30,9 @@
 //! let b0: Vec<u64> = vec![0, 1, 3];
 //! let b1: Vec<u64> = vec![0, 1, 3];
 //! let bufs: Vec<&[u64]> = vec![&b0, &b1];
-//! let exhaustive = count::count_exhaustive(
-//!     std::slice::from_ref(&conv.target_exhaustive), &bufs, 3, None);
-//! let heuristic = count::count_heuristic(
-//!     std::slice::from_ref(&conv.target_heuristic), &bufs, 3);
+//! let req = CountRequest::new(&bufs, 3);
+//! let exhaustive = ExhaustiveCounter::single(&conv.target_exhaustive).count(&req);
+//! let heuristic = HeuristicCounter::single(&conv.target_heuristic).count(&req);
 //! // The heuristic examines one frame per iteration, the exhaustive all 9.
 //! assert_eq!(exhaustive.frames_examined, 9);
 //! assert_eq!(heuristic.frames_examined, 3);

@@ -32,6 +32,33 @@ impl StageTimings {
         self.convert + self.run + self.count
     }
 
+    /// Adds wall time to the convert stage (re-runs accumulate; they must
+    /// not clobber the previous measurement).
+    pub fn add_convert(&mut self, wall: std::time::Duration) {
+        self.convert += wall;
+    }
+
+    /// Adds wall time to the run stage.
+    pub fn add_run(&mut self, wall: std::time::Duration) {
+        self.run += wall;
+    }
+
+    /// Adds wall time to the count stage. A pipeline that counts twice
+    /// (heuristic then exhaustive) calls this once per scan.
+    pub fn add_count(&mut self, wall: std::time::Duration) {
+        self.count += wall;
+    }
+
+    /// Folds another timing record into this one: stage walls add, and
+    /// `count_workers` keeps the maximum (a suite summary reports the
+    /// widest counting configuration any row used).
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.convert += other.convert;
+        self.run += other.run;
+        self.count += other.count;
+        self.count_workers = self.count_workers.max(other.count_workers);
+    }
+
     /// The timings as a [`crate::jsonout::Json`] object (micro-second
     /// integral fields), for embedding in larger documents.
     pub fn to_json_value(&self) -> crate::jsonout::Json {
@@ -138,6 +165,44 @@ mod tests {
             "{\"convert_us\":12,\"run_us\":3400,\"count_us\":170,\"count_workers\":8}"
         );
         assert_eq!(StageTimings::default().total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn stage_additions_accumulate_instead_of_clobbering() {
+        use std::time::Duration;
+        let mut t = StageTimings::default();
+        t.add_convert(Duration::from_micros(5));
+        t.add_convert(Duration::from_micros(7));
+        t.add_run(Duration::from_micros(100));
+        t.add_count(Duration::from_micros(30));
+        t.add_count(Duration::from_micros(40));
+        assert_eq!(t.convert, Duration::from_micros(12));
+        assert_eq!(t.run, Duration::from_micros(100));
+        assert_eq!(t.count, Duration::from_micros(70));
+    }
+
+    #[test]
+    fn accumulate_sums_stages_and_keeps_widest_worker_count() {
+        use std::time::Duration;
+        let mut total = StageTimings::default();
+        let a = StageTimings {
+            convert: Duration::from_micros(1),
+            run: Duration::from_micros(10),
+            count: Duration::from_micros(100),
+            count_workers: 4,
+        };
+        let b = StageTimings {
+            convert: Duration::from_micros(2),
+            run: Duration::from_micros(20),
+            count: Duration::from_micros(200),
+            count_workers: 1,
+        };
+        total.accumulate(&a);
+        total.accumulate(&b);
+        assert_eq!(total.convert, Duration::from_micros(3));
+        assert_eq!(total.run, Duration::from_micros(30));
+        assert_eq!(total.count, Duration::from_micros(300));
+        assert_eq!(total.count_workers, 4);
     }
 
     #[test]

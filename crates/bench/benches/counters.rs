@@ -2,7 +2,9 @@
 //! scaling vs the exhaustive counter's `N^{T_L}` blow-up (Figure 10's
 //! counting component).
 
-use perple::{count_exhaustive, count_heuristic, Conversion, PerpleRunner, SimConfig};
+use perple::{
+    Conversion, CountRequest, Counter, ExhaustiveCounter, HeuristicCounter, PerpleRunner, SimConfig,
+};
 use perple_bench::micro::Bench;
 use perple_model::suite;
 
@@ -15,22 +17,14 @@ fn main() {
     for &n in &[1_000u64, 4_000, 16_000] {
         let run = runner.run(&conv.perpetual, n);
         let bufs = run.bufs();
+        let req = CountRequest::new(&bufs, n);
         bench.run(&format!("counters/sb/heuristic/{n}"), || {
-            count_heuristic(
-                std::slice::from_ref(&conv.target_heuristic),
-                std::hint::black_box(&bufs),
-                n,
-            )
+            HeuristicCounter::single(&conv.target_heuristic).count(std::hint::black_box(&req))
         });
         // The exhaustive counter is quadratic for sb; keep N modest.
         if n <= 4_000 {
             bench.run(&format!("counters/sb/exhaustive/{n}"), || {
-                count_exhaustive(
-                    std::slice::from_ref(&conv.target_exhaustive),
-                    std::hint::black_box(&bufs),
-                    n,
-                    None,
-                )
+                ExhaustiveCounter::single(&conv.target_exhaustive).count(std::hint::black_box(&req))
             });
         }
     }
@@ -41,19 +35,11 @@ fn main() {
     let n = 200u64;
     let run = runner.run(&conv3.perpetual, n);
     let bufs = run.bufs();
+    let req = CountRequest::new(&bufs, n);
     bench.run("counters/podwr001/heuristic/200", || {
-        count_heuristic(
-            std::slice::from_ref(&conv3.target_heuristic),
-            std::hint::black_box(&bufs),
-            n,
-        )
+        HeuristicCounter::single(&conv3.target_heuristic).count(std::hint::black_box(&req))
     });
     bench.run("counters/podwr001/exhaustive/200", || {
-        count_exhaustive(
-            std::slice::from_ref(&conv3.target_exhaustive),
-            std::hint::black_box(&bufs),
-            n,
-            None,
-        )
+        ExhaustiveCounter::single(&conv3.target_exhaustive).count(std::hint::black_box(&req))
     });
 }

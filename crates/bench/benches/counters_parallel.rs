@@ -1,12 +1,12 @@
 //! Micro-benchmarks of the frame-sharded parallel counters: serial
-//! reference vs `count_exhaustive_parallel` across a worker sweep, on both
+//! reference vs the sharded exhaustive scan across a worker sweep, on both
 //! a quadratic (`sb`, T_L = 2) and a cubic (`podwr001`, T_L = 3) frame
 //! space. Counts are asserted bit-identical while timing, so the numbers
 //! can't come from a diverged scan.
 
 use perple::{
-    count_exhaustive, count_exhaustive_parallel, count_heuristic, count_heuristic_parallel,
-    default_workers, Conversion, PerpleRunner, SimConfig,
+    default_workers, Conversion, CountRequest, Counter, ExhaustiveCounter, HeuristicCounter,
+    PerpleRunner, SimConfig,
 };
 use perple_bench::micro::Bench;
 use perple_model::suite;
@@ -19,9 +19,10 @@ fn sweep(bench: &Bench, name: &str, n: u64) {
     let bufs = run.bufs();
     let outcomes = std::slice::from_ref(&conv.target_exhaustive);
 
-    let reference = count_exhaustive(outcomes, &bufs, n, None);
+    let req = CountRequest::new(&bufs, n);
+    let reference = ExhaustiveCounter::new(outcomes).count(&req);
     let serial = bench.run(&format!("parallel/{name}/exhaustive/serial/{n}"), || {
-        count_exhaustive(outcomes, std::hint::black_box(&bufs), n, None)
+        ExhaustiveCounter::new(outcomes).count(std::hint::black_box(&req))
     });
 
     let mut workers: Vec<usize> = vec![1, 2, 4, 8];
@@ -30,11 +31,11 @@ fn sweep(bench: &Bench, name: &str, n: u64) {
         workers.push(avail);
     }
     for w in workers {
+        let sharded = req.with_workers(w);
         let median = bench.run(
             &format!("parallel/{name}/exhaustive/workers={w}/{n}"),
             || {
-                let r =
-                    count_exhaustive_parallel(outcomes, std::hint::black_box(&bufs), n, None, w);
+                let r = ExhaustiveCounter::new(outcomes).count(std::hint::black_box(&sharded));
                 assert_eq!(r.counts, reference.counts, "diverged at workers={w}");
                 r
             },
@@ -45,12 +46,13 @@ fn sweep(bench: &Bench, name: &str, n: u64) {
 
     // The heuristic counter is linear and tiny; the sweep mostly shows
     // the break-even point where thread launch overhead dominates.
-    let heur = std::slice::from_ref(&conv.target_heuristic);
+    let heur = HeuristicCounter::single(&conv.target_heuristic);
     bench.run(&format!("parallel/{name}/heuristic/serial/{n}"), || {
-        count_heuristic(heur, std::hint::black_box(&bufs), n)
+        heur.count(std::hint::black_box(&req))
     });
+    let four = req.with_workers(4);
     bench.run(&format!("parallel/{name}/heuristic/workers=4/{n}"), || {
-        count_heuristic_parallel(heur, std::hint::black_box(&bufs), n, 4)
+        heur.count(std::hint::black_box(&four))
     });
 }
 

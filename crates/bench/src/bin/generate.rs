@@ -8,7 +8,9 @@
 //! classification: TSO-forbidden targets must stay silent, TSO-allowed
 //! targets should appear. A self-validating generation campaign.
 
-use perple::{classify, count_heuristic, Conversion, PerpleRunner, SimConfig};
+use perple::{
+    classify, Conversion, CountRequest, Counter, HeuristicCounter, PerpleRunner, SimConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,8 +48,9 @@ fn main() {
             let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0x6E2));
             let run = runner.run(&conv.perpetual, n);
             let bufs = run.bufs();
-            let hits =
-                count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n).counts[0];
+            let hits = HeuristicCounter::single(&conv.target_heuristic)
+                .count(&CountRequest::new(&bufs, n))
+                .counts[0];
             note = format!(" hits={hits}");
             if !c.tso_allowed && hits > 0 {
                 violations += 1;

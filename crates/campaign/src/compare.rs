@@ -111,6 +111,13 @@ pub struct CompareReport {
     pub matched: usize,
     /// Every fired rule, severity order.
     pub regressions: Vec<Regression>,
+    /// Informational deltas between the two manifests' embedded
+    /// observability snapshots (see the engine's `metrics` object). These
+    /// never gate — identical specs executing different cache-miss sets
+    /// legitimately differ — but a frames-examined growth on equal
+    /// executed-item counts is called out as a likely counting-efficiency
+    /// regression. Empty when either manifest predates the snapshot.
+    pub metric_notes: Vec<String>,
 }
 
 impl CompareReport {
@@ -139,6 +146,9 @@ impl CompareReport {
         if self.regressions.is_empty() {
             s.push_str("  ok: no regressions\n");
         }
+        for note in &self.metric_notes {
+            s.push_str(&format!("  (metrics) {note}\n"));
+        }
         s
     }
 
@@ -162,6 +172,15 @@ impl CompareReport {
                                 ("detail", Json::from(r.detail.as_str())),
                             ])
                         })
+                        .collect(),
+                ),
+            ),
+            (
+                "metric_notes",
+                Json::Arr(
+                    self.metric_notes
+                        .iter()
+                        .map(|n| Json::from(n.as_str()))
                         .collect(),
                 ),
             ),
@@ -299,7 +318,53 @@ pub fn compare_records(
         new_id: new_id.to_owned(),
         matched,
         regressions,
+        metric_notes: Vec::new(),
     }
+}
+
+/// Diffs two manifests' embedded `metrics.counters` objects into
+/// informational notes: one line per changed counter, plus an explicit
+/// frames-examined call-out when both runs executed the same number of
+/// items (equal work, more frames scanned = the counters got slower).
+/// Returns nothing when either manifest lacks a snapshot.
+pub fn metric_notes(base_manifest: &Json, new_manifest: &Json) -> Vec<String> {
+    let counters = |m: &Json| -> Option<Vec<(String, u64)>> {
+        match m.get("metrics")?.get("counters")? {
+            Json::Obj(pairs) => Some(
+                pairs
+                    .iter()
+                    .filter_map(|(k, v)| v.as_u64().map(|v| (k.clone(), v)))
+                    .collect(),
+            ),
+            _ => None,
+        }
+    };
+    let executed = |m: &Json| -> Option<u64> { m.get("counts")?.get("executed")?.as_u64() };
+    let (Some(base), Some(new)) = (counters(base_manifest), counters(new_manifest)) else {
+        return Vec::new();
+    };
+    let mut notes = Vec::new();
+    let same_work = {
+        let (b, n) = (executed(base_manifest), executed(new_manifest));
+        b.is_some() && b == n && b != Some(0)
+    };
+    for (name, b) in &base {
+        let Some((_, n)) = new.iter().find(|(k, _)| k == name) else {
+            continue;
+        };
+        if n == b {
+            continue;
+        }
+        if name == "count_frames_examined" && same_work && *n > *b {
+            notes.push(format!(
+                "count_frames_examined regressed: {b} -> {n} over the same \
+                 executed-item count (counting does more work per item)"
+            ));
+        } else {
+            notes.push(format!("{name}: {b} -> {n}"));
+        }
+    }
+    notes
 }
 
 /// Loads two runs by reference and compares them (wall times from the
@@ -313,19 +378,18 @@ pub fn compare_runs(
     new_ref: &str,
     cfg: &CompareConfig,
 ) -> Result<CompareReport, CampaignError> {
+    let _span = perple_obs::trace::span("compare");
     let base_id = store.resolve(base_ref)?;
     let new_id = store.resolve(new_ref)?;
     let base = store.load_items(&base_id)?;
     let new = store.load_items(&new_id)?;
-    let wall = |id: &str| -> Result<u64, CampaignError> {
-        Ok(store
-            .load_manifest(id)?
-            .get("wall_ms")
-            .and_then(Json::as_u64)
-            .unwrap_or(0))
-    };
-    let walls = Some((wall(&base_id)?, wall(&new_id)?));
-    Ok(compare_records(&base_id, &new_id, &base, &new, walls, cfg))
+    let base_manifest = store.load_manifest(&base_id)?;
+    let new_manifest = store.load_manifest(&new_id)?;
+    let wall = |m: &Json| m.get("wall_ms").and_then(Json::as_u64).unwrap_or(0);
+    let walls = Some((wall(&base_manifest), wall(&new_manifest)));
+    let mut report = compare_records(&base_id, &new_id, &base, &new, walls, cfg);
+    report.metric_notes = metric_notes(&base_manifest, &new_manifest);
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -440,6 +504,61 @@ mod tests {
         assert_eq!(slow.regressions[0].kind, RegressionKind::Timing);
         let fine = compare_records("b", "n", &items, &items, Some((2_000, 9_000)), &cfg);
         assert!(!fine.is_regression());
+    }
+
+    fn manifest(frames: u64, executed: u64) -> Json {
+        Json::obj(vec![
+            (
+                "counts",
+                Json::obj(vec![("executed", Json::from(executed))]),
+            ),
+            (
+                "metrics",
+                Json::obj(vec![(
+                    "counters",
+                    Json::obj(vec![
+                        ("count_frames_examined", Json::from(frames)),
+                        ("sim_store_buffer_flushes", Json::from(10u64)),
+                    ]),
+                )]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn metric_notes_diff_embedded_snapshots() {
+        // Equal executed work, more frames scanned: the efficiency call-out.
+        let notes = metric_notes(&manifest(100, 3), &manifest(500, 3));
+        assert_eq!(notes.len(), 1, "{notes:?}");
+        assert!(notes[0].contains("count_frames_examined regressed: 100 -> 500"));
+
+        // Different executed counts: still noted, but not as a regression.
+        let notes = metric_notes(&manifest(100, 3), &manifest(500, 2));
+        assert_eq!(notes, vec!["count_frames_examined: 100 -> 500".to_owned()]);
+
+        // Unchanged counters produce no noise.
+        assert!(metric_notes(&manifest(100, 3), &manifest(100, 3)).is_empty());
+
+        // Manifests without a snapshot (pre-observability runs) are silent.
+        let bare = Json::obj(vec![]);
+        assert!(metric_notes(&bare, &manifest(1, 1)).is_empty());
+        assert!(metric_notes(&manifest(1, 1), &bare).is_empty());
+    }
+
+    #[test]
+    fn metric_notes_render_and_serialize_without_gating() {
+        let items = vec![record("mp", 1, false, 40)];
+        let mut report = gate(&items, &items);
+        report.metric_notes = metric_notes(&manifest(100, 3), &manifest(500, 3));
+        assert!(!report.is_regression(), "notes must never gate");
+        assert!(report.render_text().contains("(metrics)"));
+        let arr = report
+            .to_json()
+            .get("metric_notes")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .to_vec();
+        assert_eq!(arr.len(), 1);
     }
 
     #[test]

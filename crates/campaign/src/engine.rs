@@ -23,6 +23,7 @@
 use std::time::Instant;
 
 use perple_analysis::jsonout::Json;
+use perple_obs::metrics::MetricsSnapshot;
 
 use crate::cache::ArtifactCache;
 use crate::fingerprint::Fingerprint;
@@ -95,6 +96,40 @@ pub struct RunMeta {
     pub git: String,
 }
 
+/// The manifest's `metrics` object: the run's observability snapshot
+/// delta (counters plus histogram buckets) over the executed portion.
+/// Cache hits never reach the executor, so a fully warm run embeds an
+/// all-zero snapshot — which is exactly what it did.
+fn metrics_json(delta: &MetricsSnapshot) -> Json {
+    Json::obj(vec![
+        (
+            "counters",
+            Json::Obj(
+                delta
+                    .counters
+                    .iter()
+                    .map(|&(name, v)| (name.to_owned(), Json::from(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "hists",
+            Json::Obj(
+                delta
+                    .hists
+                    .iter()
+                    .map(|(name, buckets)| {
+                        (
+                            (*name).to_owned(),
+                            Json::Arr(buckets.iter().map(|&b| Json::from(b)).collect()),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// What a campaign run did, for callers and the CLI.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunSummary {
@@ -129,6 +164,8 @@ pub fn run_campaign(
     exec: impl FnOnce(&[CampaignItem]) -> Vec<Option<ExecOutcome>>,
 ) -> Result<RunSummary, CampaignError> {
     let t0 = Instant::now();
+    let _span = perple_obs::trace::span("campaign");
+    let metrics_before = perple_obs::metrics::snapshot();
 
     // Partition against the result cache, remembering each item's slot so
     // the stored run keeps the expansion order regardless of hit pattern.
@@ -195,6 +232,10 @@ pub fn run_campaign(
         ),
         ("wall_ms", Json::from(t0.elapsed().as_millis())),
         ("stage_wall_ms", stage_wall.to_json()),
+        (
+            "metrics",
+            metrics_json(&perple_obs::metrics::snapshot().delta_from(&metrics_before)),
+        ),
     ]);
     store.write_run(&id, &manifest, &stored)?;
 
@@ -320,6 +361,37 @@ mod tests {
             Some(6),
             "cold run sums executed stage walls"
         );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn manifest_embeds_the_metrics_snapshot() {
+        let root = tmp_root("metrics");
+        let store = RunStore::open(&root).unwrap();
+        let cache = ArtifactCache::open(&root).unwrap();
+        let spec = CampaignSpec::named("m");
+        let items = vec![item("sb", 1)];
+        let summary = run_campaign(&store, &cache, &spec, &items, &meta(), |batch| {
+            batch.iter().map(|i| Some(outcome(i, 5, true))).collect()
+        })
+        .unwrap();
+        let m = store.load_manifest(&summary.id).unwrap();
+        let metrics = m.get("metrics").expect("manifest carries metrics");
+        let counters = metrics.get("counters").expect("counters object");
+        // Every metric of the closed set is present (zero when this test's
+        // stub executor skipped the stage, but always queryable).
+        for metric in perple_obs::metrics::Metric::ALL {
+            assert!(
+                counters.get(metric.name()).and_then(Json::as_u64).is_some(),
+                "{}",
+                metric.name()
+            );
+        }
+        let hists = metrics.get("hists").expect("hists object");
+        for hist in perple_obs::metrics::Hist::ALL {
+            let buckets = hists.get(hist.name()).and_then(Json::as_arr).unwrap();
+            assert_eq!(buckets.len(), perple_obs::metrics::HIST_BUCKETS);
+        }
         let _ = fs::remove_dir_all(root);
     }
 

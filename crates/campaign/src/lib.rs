@@ -41,7 +41,8 @@ pub mod store;
 
 pub use cache::ArtifactCache;
 pub use compare::{
-    compare_records, compare_runs, CompareConfig, CompareReport, Regression, RegressionKind,
+    compare_records, compare_runs, metric_notes, CompareConfig, CompareReport, Regression,
+    RegressionKind,
 };
 pub use engine::{run_campaign, CampaignItem, ExecOutcome, RunMeta, RunSummary, StageWallMs};
 pub use fingerprint::{Fingerprint, Hasher, CACHE_FORMAT_VERSION};

@@ -145,6 +145,7 @@ impl Conversion {
     /// Returns [`ConvertError`] for non-convertible tests (§V-C) or
     /// structurally unattributable conditions.
     pub fn convert(test: &LitmusTest) -> Result<Self, ConvertError> {
+        let _span = perple_obs::trace::span("convert");
         let kmap = KMap::compute(test)?;
         let perpetual = PerpetualTest::convert(test)?;
         let target_exhaustive = PerpetualOutcome::convert_target(test, &perpetual, &kmap)?;

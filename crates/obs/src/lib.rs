@@ -1,0 +1,34 @@
+//! Zero-dependency observability for the PerpLE pipeline.
+//!
+//! Two independent subsystems, both safe to leave compiled in:
+//!
+//! * [`metrics`] — a process-wide registry of **event counters** and
+//!   **fixed-bucket histograms**. The hot path is lock-free: every thread
+//!   owns a private shard of atomic cells and increments with relaxed
+//!   `fetch_add`; a scrape ([`metrics::snapshot`]) walks the shard list
+//!   (a mutex taken only on thread registration and scrape) and merges by
+//!   elementwise addition. The metric set is a closed enum, so shards are
+//!   fixed-size arrays and registration never allocates per event.
+//! * [`trace`] — a hierarchical **span tracer**. Spans record monotonic
+//!   enter/exit timestamps, a per-thread id, and a parent link (maintained
+//!   via a thread-local span stack). Disarmed tracing costs one relaxed
+//!   atomic load per span; an armed trace can be exported as Chrome
+//!   `trace_event` JSON (load it in `chrome://tracing` or Perfetto) or
+//!   rendered as a text flame summary.
+//!
+//! Neither subsystem feeds back into the pipeline: instrumented code reads
+//! nothing from the registry and takes no branches on recorded data, which
+//! is what makes the obs-on/obs-off determinism guarantee (bit-identical
+//! run digests) hold by construction.
+//!
+//! The `off` cargo feature compiles every entry point down to a no-op for
+//! builds that must not carry the subsystem at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Hist, Metric, MetricsSnapshot};
+pub use trace::{span, SpanGuard, SpanRecord, Trace};

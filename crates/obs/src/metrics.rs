@@ -1,0 +1,474 @@
+//! Process-wide event counters and fixed-bucket histograms.
+//!
+//! The registry is **sharded per thread**: the first event a thread
+//! records allocates it a private [`Shard`] of atomic cells, registered
+//! once under a mutex; every subsequent event is a single relaxed
+//! `fetch_add` on thread-local memory with no shared-cache contention.
+//! [`snapshot`] merges all shards by elementwise addition — the merge is
+//! associative and commutative, so the result is independent of how
+//! events were distributed across threads (property-tested in the
+//! workspace test suite).
+//!
+//! Counters are a closed set ([`Metric`]) and histograms use fixed
+//! power-of-two buckets ([`bucket_of`]), so shards are fixed-size arrays:
+//! no per-event allocation, no string hashing on the hot path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The closed set of event counters fed by pipeline instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Store-buffer entries drained to shared memory (`sim::machine`).
+    SimStoreBufferFlushes,
+    /// Long preemptions taken by the scheduler (`sim::machine`).
+    SimPreemptions,
+    /// Micro-preemptions (short descheduling bursts) taken.
+    SimMicroPreemptions,
+    /// Single-cycle issue stalls injected by the scheduler.
+    SimStalls,
+    /// Scheduler cycles executed (one per machine loop step).
+    SimSchedulerCycles,
+    /// Faults actually injected by an armed fault plan.
+    SimFaultInjections,
+    /// Completed machine runs.
+    SimRuns,
+    /// Frames the counters actually evaluated.
+    CountFramesExamined,
+    /// Frames skipped by `frame_at` seeking (parallel shards jump straight
+    /// to their range start instead of iterating the odometer).
+    CountFramesSkippedSeek,
+    /// Heuristic partner-derivations that matched an outcome.
+    CountPartnerHits,
+    /// Heuristic partner-derivations that matched nothing.
+    CountPartnerMisses,
+    /// Counter invocations truncated by an expired budget.
+    CountBudgetExpiries,
+    /// Attempt retries performed by the resilient executor.
+    ExecRetries,
+    /// Suite items quarantined after exhausting retries.
+    ExecQuarantines,
+    /// Audit rows degraded because a stage budget expired.
+    ExecBudgetExpiries,
+}
+
+/// Number of distinct [`Metric`] variants (shard array size).
+pub const METRIC_COUNT: usize = 15;
+
+impl Metric {
+    /// Every metric, in stable declaration order.
+    pub const ALL: [Metric; METRIC_COUNT] = [
+        Metric::SimStoreBufferFlushes,
+        Metric::SimPreemptions,
+        Metric::SimMicroPreemptions,
+        Metric::SimStalls,
+        Metric::SimSchedulerCycles,
+        Metric::SimFaultInjections,
+        Metric::SimRuns,
+        Metric::CountFramesExamined,
+        Metric::CountFramesSkippedSeek,
+        Metric::CountPartnerHits,
+        Metric::CountPartnerMisses,
+        Metric::CountBudgetExpiries,
+        Metric::ExecRetries,
+        Metric::ExecQuarantines,
+        Metric::ExecBudgetExpiries,
+    ];
+
+    /// Stable snake_case name (used in manifests and `campaign compare`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::SimStoreBufferFlushes => "sim_store_buffer_flushes",
+            Metric::SimPreemptions => "sim_preemptions",
+            Metric::SimMicroPreemptions => "sim_micro_preemptions",
+            Metric::SimStalls => "sim_stalls",
+            Metric::SimSchedulerCycles => "sim_scheduler_cycles",
+            Metric::SimFaultInjections => "sim_fault_injections",
+            Metric::SimRuns => "sim_runs",
+            Metric::CountFramesExamined => "count_frames_examined",
+            Metric::CountFramesSkippedSeek => "count_frames_skipped_seek",
+            Metric::CountPartnerHits => "count_partner_hits",
+            Metric::CountPartnerMisses => "count_partner_misses",
+            Metric::CountBudgetExpiries => "count_budget_expiries",
+            Metric::ExecRetries => "exec_retries",
+            Metric::ExecQuarantines => "exec_quarantines",
+            Metric::ExecBudgetExpiries => "exec_budget_expiries",
+        }
+    }
+
+    fn index(self) -> usize {
+        Metric::ALL.iter().position(|&m| m == self).unwrap_or(0)
+    }
+}
+
+/// The closed set of histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hist {
+    /// Machine cycles per completed run.
+    SimRunCycles,
+    /// Frames examined per counter invocation.
+    CountFramesPerCall,
+    /// Wall microseconds per resilient-executor attempt.
+    ExecAttemptMicros,
+}
+
+/// Number of distinct [`Hist`] variants.
+pub const HIST_COUNT: usize = 3;
+
+/// Buckets per histogram: bucket 0 holds zero, bucket `i` holds values
+/// with bit-length `i` (`[2^(i-1), 2^i)`), the last bucket saturates.
+pub const HIST_BUCKETS: usize = 32;
+
+impl Hist {
+    /// Every histogram, in stable declaration order.
+    pub const ALL: [Hist; HIST_COUNT] = [
+        Hist::SimRunCycles,
+        Hist::CountFramesPerCall,
+        Hist::ExecAttemptMicros,
+    ];
+
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::SimRunCycles => "sim_run_cycles",
+            Hist::CountFramesPerCall => "count_frames_per_call",
+            Hist::ExecAttemptMicros => "exec_attempt_micros",
+        }
+    }
+
+    fn index(self) -> usize {
+        Hist::ALL.iter().position(|&h| h == self).unwrap_or(0)
+    }
+}
+
+/// Maps a value to its power-of-two bucket: 0 → 0, otherwise the value's
+/// bit length, saturating at `HIST_BUCKETS - 1`.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (`None` past the last bucket).
+pub fn bucket_lower_bound(i: usize) -> Option<u64> {
+    match i {
+        0 => Some(0),
+        1 => Some(1),
+        _ if i < HIST_BUCKETS => Some(1u64 << (i - 1)),
+        _ => None,
+    }
+}
+
+/// One thread's private slice of the registry.
+struct Shard {
+    counters: [AtomicU64; METRIC_COUNT],
+    hists: [[AtomicU64; HIST_BUCKETS]; HIST_COUNT],
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Shard>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Shard>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: Arc<Shard> = {
+        let shard = Arc::new(Shard::new());
+        if let Ok(mut shards) = registry().lock() {
+            shards.push(Arc::clone(&shard));
+        }
+        shard
+    };
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Runtime on/off switch (default on). Disabling stops new events from
+/// being recorded; already-recorded values stay visible to [`snapshot`].
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Release);
+}
+
+/// True if the registry is currently recording events.
+pub fn enabled() -> bool {
+    !cfg!(feature = "off") && ENABLED.load(Ordering::Acquire)
+}
+
+/// Adds `delta` to a counter. Lock-free: one relaxed `fetch_add` on the
+/// calling thread's shard. A no-op when disabled or compiled `off`.
+pub fn add(metric: Metric, delta: u64) {
+    if cfg!(feature = "off") || delta == 0 || !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    // `try_with` so late events during thread teardown degrade to no-ops
+    // instead of panicking in a destructor.
+    let _ = LOCAL.try_with(|shard| {
+        shard.counters[metric.index()].fetch_add(delta, Ordering::Relaxed);
+    });
+}
+
+/// Records one observation into a histogram's power-of-two bucket.
+pub fn observe(hist: Hist, value: u64) {
+    if cfg!(feature = "off") || !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let _ = LOCAL.try_with(|shard| {
+        shard.hists[hist.index()][bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A merged view of every shard at one moment: counters plus histogram
+/// buckets, both in stable declaration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(metric name, merged count)` for every metric (zeros included).
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(histogram name, merged buckets)` for every histogram.
+    pub hists: Vec<(&'static str, Vec<u64>)>,
+}
+
+impl MetricsSnapshot {
+    /// An all-zero snapshot (the identity for [`MetricsSnapshot::delta_from`]).
+    pub fn zero() -> Self {
+        Self {
+            counters: Metric::ALL.iter().map(|m| (m.name(), 0)).collect(),
+            hists: Hist::ALL
+                .iter()
+                .map(|h| (h.name(), vec![0; HIST_BUCKETS]))
+                .collect(),
+        }
+    }
+
+    /// Looks up a counter by name (0 if unknown).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Counters since `base` (saturating): the registry is cumulative per
+    /// process, so a run scoped `after.delta_from(&before)` isolates its
+    /// own events.
+    pub fn delta_from(&self, base: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|&(name, v)| (name, v.saturating_sub(base.get(name))))
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(name, buckets)| {
+                    let base_buckets = base
+                        .hists
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, b)| b.as_slice())
+                        .unwrap_or(&[]);
+                    let merged = buckets
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| v.saturating_sub(base_buckets.get(i).copied().unwrap_or(0)))
+                        .collect();
+                    (*name, merged)
+                })
+                .collect(),
+        }
+    }
+
+    /// Total observations recorded into a histogram (0 if unknown).
+    pub fn hist_total(&self, name: &str) -> u64 {
+        self.hists
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, b)| b.iter().sum())
+    }
+
+    /// Human-readable listing of non-zero counters and histograms.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for &(name, v) in &self.counters {
+            if v > 0 {
+                let _ = writeln!(s, "{name:<26} {v}");
+            }
+        }
+        for (name, buckets) in &self.hists {
+            let total: u64 = buckets.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            let _ = write!(s, "{name:<26} n={total} [");
+            let mut first = true;
+            for (i, &c) in buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first {
+                    let _ = write!(s, " ");
+                }
+                first = false;
+                let lo = bucket_lower_bound(i).unwrap_or(0);
+                let _ = write!(s, "{lo}+:{c}");
+            }
+            let _ = writeln!(s, "]");
+        }
+        s
+    }
+}
+
+/// Merges every registered shard into one [`MetricsSnapshot`].
+pub fn snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::zero();
+    if cfg!(feature = "off") {
+        return snap;
+    }
+    let shards = match registry().lock() {
+        Ok(s) => s,
+        Err(_) => return snap,
+    };
+    for shard in shards.iter() {
+        for (slot, cell) in snap.counters.iter_mut().zip(shard.counters.iter()) {
+            slot.1 += cell.load(Ordering::Relaxed);
+        }
+        for (slot, cells) in snap.hists.iter_mut().zip(shard.hists.iter()) {
+            for (b, cell) in slot.1.iter_mut().zip(cells.iter()) {
+                *b += cell.load(Ordering::Relaxed);
+            }
+        }
+    }
+    snap
+}
+
+// Recording assertions only hold when the subsystem is compiled in.
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+
+    /// Tests that record events or toggle [`set_enabled`] share the global
+    /// registry, so they serialize behind this gate to stay order-free.
+    fn gate() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn metric_names_are_unique_and_stable() {
+        let mut names: Vec<_> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), METRIC_COUNT);
+        assert_eq!(
+            Metric::SimStoreBufferFlushes.name(),
+            "sim_store_buffer_flushes"
+        );
+        assert_eq!(Metric::CountFramesExamined.name(), "count_frames_examined");
+    }
+
+    #[test]
+    fn bucket_of_is_monotone_and_bounded() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        let mut prev = 0;
+        for shift in 0..64 {
+            let b = bucket_of(1u64 << shift);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn bucket_lower_bounds_partition_the_range() {
+        assert_eq!(bucket_lower_bound(0), Some(0));
+        assert_eq!(bucket_lower_bound(1), Some(1));
+        assert_eq!(bucket_lower_bound(2), Some(2));
+        assert_eq!(bucket_lower_bound(3), Some(4));
+        assert_eq!(bucket_lower_bound(HIST_BUCKETS), None);
+        for i in 1..HIST_BUCKETS {
+            let lo = bucket_lower_bound(i).unwrap();
+            assert_eq!(bucket_of(lo), i, "lower bound of bucket {i} maps back");
+        }
+    }
+
+    #[test]
+    fn add_is_visible_in_snapshot_and_delta_isolates() {
+        let _g = gate();
+        let before = snapshot();
+        add(Metric::CountPartnerHits, 3);
+        add(Metric::CountPartnerHits, 4);
+        let after = snapshot();
+        let delta = after.delta_from(&before);
+        // Other tests in this binary may add concurrently, so assert >=.
+        assert!(delta.get("count_partner_hits") >= 7);
+        assert_eq!(delta.get("no_such_metric"), 0);
+    }
+
+    #[test]
+    fn observe_lands_in_the_right_bucket() {
+        let _g = gate();
+        let before = snapshot();
+        observe(Hist::SimRunCycles, 1000); // bit length 10
+        let delta = snapshot().delta_from(&before);
+        let (_, buckets) = delta
+            .hists
+            .iter()
+            .find(|(n, _)| *n == "sim_run_cycles")
+            .unwrap();
+        assert!(buckets[bucket_of(1000)] >= 1);
+        assert!(delta.hist_total("sim_run_cycles") >= 1);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _g = gate();
+        let before = snapshot();
+        set_enabled(false);
+        add(Metric::ExecQuarantines, 50_000);
+        observe(Hist::ExecAttemptMicros, 1);
+        set_enabled(true);
+        let delta = snapshot().delta_from(&before);
+        assert_eq!(delta.get("exec_quarantines"), 0);
+        assert_eq!(delta.hist_total("exec_attempt_micros"), 0);
+    }
+
+    #[test]
+    fn shards_merge_across_threads() {
+        let _g = gate();
+        let before = snapshot();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        add(Metric::SimFaultInjections, 1);
+                    }
+                });
+            }
+        });
+        let delta = snapshot().delta_from(&before);
+        assert!(delta.get("sim_fault_injections") >= 400);
+    }
+
+    #[test]
+    fn render_text_lists_nonzero_counters() {
+        let _g = gate();
+        add(Metric::SimRuns, 1);
+        let text = snapshot().render_text();
+        assert!(text.contains("sim_runs"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Hierarchical span tracer with Chrome `trace_event` export.
+//!
+//! A span is opened at a pipeline choke point ([`span`]) and closed when
+//! its guard drops. While the tracer is disarmed (the default) a span
+//! costs one relaxed atomic load; arming ([`start`]) makes every guard
+//! record `{name, thread id, parent span, monotonic enter/exit}` into a
+//! global sink, drained by [`finish`].
+//!
+//! Parent links come from a thread-local span stack, so nesting is
+//! tracked per thread without locking on enter; thread ids are assigned
+//! monotonically the first time a thread opens a span (stable within a
+//! trace, unlike `std::thread::ThreadId`, which has no stable public
+//! integer form).
+//!
+//! Exports: [`Trace::chrome_json`] emits Chrome `trace_event` "complete"
+//! (`ph:"X"`) events loadable in `chrome://tracing` or Perfetto;
+//! [`Trace::flame_summary`] renders a per-span-name table with total and
+//! self time (total minus time attributed to child spans).
+//!
+//! A span whose guard drops after [`finish`] disarmed the tracer is
+//! discarded rather than leaking into the next trace.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace-unique span id (assigned at enter, starting from 1).
+    pub id: u64,
+    /// Id of the span this one was nested inside on the same thread.
+    pub parent: Option<u64>,
+    /// Stage name (static: spans mark fixed pipeline choke points).
+    pub name: &'static str,
+    /// Tracer-assigned thread id (1-based, stable within a trace).
+    pub tid: u64,
+    /// Microseconds from [`start`] to span enter.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Nesting depth on its thread at enter (0 = top level).
+    pub depth: u16,
+}
+
+struct TraceState {
+    epoch: Option<Instant>,
+    records: Vec<SpanRecord>,
+}
+
+fn state() -> &'static Mutex<TraceState> {
+    static STATE: OnceLock<Mutex<TraceState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(TraceState {
+            epoch: None,
+            records: Vec::new(),
+        })
+    })
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+struct ThreadTrace {
+    tid: Option<u64>,
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static THREAD: RefCell<ThreadTrace> = const {
+        RefCell::new(ThreadTrace { tid: None, stack: Vec::new() })
+    };
+}
+
+/// True while the tracer is recording spans.
+pub fn armed() -> bool {
+    !cfg!(feature = "off") && ARMED.load(Ordering::Acquire)
+}
+
+/// Arms the tracer: clears any previous records, sets the time epoch to
+/// now, and makes subsequent [`span`] guards record on drop.
+pub fn start() {
+    if cfg!(feature = "off") {
+        return;
+    }
+    if let Ok(mut st) = state().lock() {
+        st.epoch = Some(Instant::now());
+        st.records.clear();
+    }
+    NEXT_SPAN_ID.store(1, Ordering::Release);
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms the tracer and drains the recorded spans, sorted by enter
+/// time. Spans still open on other threads are discarded when they close.
+pub fn finish() -> Trace {
+    ARMED.store(false, Ordering::Release);
+    let mut spans = match state().lock() {
+        Ok(mut st) => {
+            st.epoch = None;
+            std::mem::take(&mut st.records)
+        }
+        Err(_) => Vec::new(),
+    };
+    spans.sort_by_key(|s| (s.start_us, s.id));
+    Trace { spans }
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    tid: u64,
+    depth: u16,
+    start: Instant,
+}
+
+/// RAII guard returned by [`span`]; records the span when dropped.
+pub struct SpanGuard {
+    inner: Option<ActiveSpan>,
+}
+
+/// Opens a span named `name`. Inert (one atomic load) unless the tracer
+/// is armed. Guards nest per thread; drop order gives the parent links.
+pub fn span(name: &'static str) -> SpanGuard {
+    if cfg!(feature = "off") || !ARMED.load(Ordering::Relaxed) {
+        return SpanGuard { inner: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let inner = THREAD
+        .try_with(|t| {
+            let mut t = t.borrow_mut();
+            let tid = *t
+                .tid
+                .get_or_insert_with(|| NEXT_TID.fetch_add(1, Ordering::Relaxed));
+            let parent = t.stack.last().copied();
+            let depth = t.stack.len() as u16;
+            t.stack.push(id);
+            ActiveSpan {
+                id,
+                parent,
+                name,
+                tid,
+                depth,
+                start: Instant::now(),
+            }
+        })
+        .ok();
+    SpanGuard { inner }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.inner.take() else {
+            return;
+        };
+        let dur_us = active.start.elapsed().as_micros() as u64;
+        let _ = THREAD.try_with(|t| {
+            let mut t = t.borrow_mut();
+            // Guards are strictly nested locals, so our id is on top.
+            if t.stack.last() == Some(&active.id) {
+                t.stack.pop();
+            }
+        });
+        if !ARMED.load(Ordering::Acquire) {
+            return; // trace finished while this span was open
+        }
+        if let Ok(mut st) = state().lock() {
+            let Some(epoch) = st.epoch else { return };
+            let start_us = active.start.saturating_duration_since(epoch).as_micros() as u64;
+            st.records.push(SpanRecord {
+                id: active.id,
+                parent: active.parent,
+                name: active.name,
+                tid: active.tid,
+                start_us,
+                dur_us,
+                depth: active.depth,
+            });
+        }
+    }
+}
+
+/// A drained trace: every span recorded between [`start`] and [`finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Completed spans sorted by enter time.
+    pub spans: Vec<SpanRecord>,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl Trace {
+    /// True if no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Chrome `trace_event` JSON ("complete" events, one per span).
+    /// Schema-stable: fixed key order, `pid` always 1, times in
+    /// microseconds relative to [`start`].
+    pub fn chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            escape_into(&mut out, s.name);
+            out.push_str(&format!(
+                "\",\"cat\":\"perple\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"id\":{},\"parent\":{},\"depth\":{}}}}}",
+                s.start_us,
+                s.dur_us,
+                s.tid,
+                s.id,
+                s.parent.map_or_else(|| "null".to_owned(), |p| p.to_string()),
+                s.depth,
+            ));
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Per-name flame table: call count, total time, and self time (total
+    /// minus time spent in child spans).
+    pub fn flame_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut child_us: HashMap<u64, u64> = HashMap::new();
+        for s in &self.spans {
+            if let Some(p) = s.parent {
+                *child_us.entry(p).or_insert(0) += s.dur_us;
+            }
+        }
+        let mut rows: HashMap<&'static str, (u64, u64, u64)> = HashMap::new();
+        for s in &self.spans {
+            let self_us = s
+                .dur_us
+                .saturating_sub(child_us.get(&s.id).copied().unwrap_or(0));
+            let row = rows.entry(s.name).or_insert((0, 0, 0));
+            row.0 += 1;
+            row.1 += s.dur_us;
+            row.2 += self_us;
+        }
+        let mut sorted: Vec<_> = rows.into_iter().collect();
+        sorted.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(b.0)));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>7} {:>12} {:>12}",
+            "span", "calls", "total(ms)", "self(ms)"
+        );
+        for (name, (calls, total, selft)) in sorted {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>7} {:>12.3} {:>12.3}",
+                name,
+                calls,
+                total as f64 / 1000.0,
+                selft as f64 / 1000.0
+            );
+        }
+        out
+    }
+}
+
+// Recording assertions only hold when the subsystem is compiled in.
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+
+    /// The tracer is global state; recording tests serialize behind this.
+    fn gate() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_spans_record_nothing() {
+        let _g = gate();
+        let _ = finish();
+        {
+            let _s = span("ghost");
+        }
+        start();
+        let t = finish();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn nesting_produces_parent_links_and_depths() {
+        let _g = gate();
+        start();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+        }
+        let t = finish();
+        assert_eq!(t.spans.len(), 2);
+        let outer = t.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = t.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.tid, outer.tid);
+        assert!(inner.start_us >= outer.start_us);
+    }
+
+    #[test]
+    fn threads_get_distinct_tids() {
+        let _g = gate();
+        start();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _a = span("worker");
+            });
+            s.spawn(|| {
+                let _b = span("worker");
+            });
+        });
+        let t = finish();
+        assert_eq!(t.spans.len(), 2);
+        assert_ne!(t.spans[0].tid, t.spans[1].tid);
+    }
+
+    #[test]
+    fn chrome_json_has_stable_shape() {
+        let _g = gate();
+        start();
+        {
+            let _s = span("convert");
+        }
+        let t = finish();
+        let json = t.chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"convert\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn flame_summary_aggregates_by_name() {
+        let _g = gate();
+        start();
+        for _ in 0..3 {
+            let _s = span("simulate");
+        }
+        let t = finish();
+        let flame = t.flame_summary();
+        assert!(flame.contains("simulate"));
+        assert!(flame.contains("calls"));
+        let row = flame.lines().find(|l| l.starts_with("simulate")).unwrap();
+        assert!(row.contains('3'), "3 calls aggregated: {row}");
+    }
+
+    #[test]
+    fn restarting_clears_previous_records() {
+        let _g = gate();
+        start();
+        {
+            let _s = span("old");
+        }
+        start();
+        {
+            let _s = span("new");
+        }
+        let t = finish();
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].name, "new");
+        assert_eq!(t.spans[0].id, 1, "span ids restart per trace");
+    }
+
+    #[test]
+    fn escaping_handles_quotes() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\n");
+        assert_eq!(s, "a\\\"b\\\\c\\u000a");
+    }
+}

@@ -4,7 +4,7 @@
 //! perple classify <test-name | file.litmus>   SC/TSO/PSO classification
 //! perple convert  <test-name | file.litmus>   emit perpetual asm + counters
 //! perple run      <test-name> [-n N] [--seed S] [--weak] [--workers W]
-//!                 [--timeout-ms T] [--inject PLAN]
+//!                 [--timeout-ms T] [--inject PLAN] [--trace FILE]
 //! perple audit    [-n N] [--workers W] [--timeout-ms T] [--retries R]
 //!                 [--inject PLAN] [--json]    whole-suite consistency audit
 //! perple trace    <test-name> [-n N]          event log of a short run
@@ -21,6 +21,10 @@
 //! re-runs failed audit tests with deterministically perturbed seeds.
 //! `--inject` takes a machine fault plan, e.g.
 //! `drop@t0:100..200:p0.5,stuck@*:0..50:c30` (see `FaultPlan::parse`).
+//! `--trace FILE` records a hierarchical span trace of the pipeline
+//! (convert → simulate → count) as Chrome `trace_event` JSON — load it at
+//! `chrome://tracing` or <https://ui.perfetto.dev> — and prints a flame
+//! summary plus the run's metric counters on exit.
 
 use std::process::ExitCode;
 
@@ -49,7 +53,7 @@ fn main() -> ExitCode {
                  classify <test|file>        classification under SC/TSO/PSO\n\
                  convert  <test|file>        emit perpetual artifacts\n\
                  run      <test> [-n N] [--seed S] [--weak] [--workers W]\n\
-                 \x20                [--timeout-ms T] [--inject PLAN]\n\
+                 \x20                [--timeout-ms T] [--inject PLAN] [--trace FILE]\n\
                  audit    [-n N] [--workers W] [--timeout-ms T] [--retries R]\n\
                  \x20                [--inject PLAN] [--json]  run the Table II suite\n\
                  trace    <test> [-n N]      event log of a short run\n\
@@ -62,7 +66,8 @@ fn main() -> ExitCode {
                  \n\
                  --timeout-ms T   per-stage watchdog budget (partial results flagged)\n\
                  --retries R      retry failed audit tests with perturbed seeds\n\
-                 --inject PLAN    machine fault plan, e.g. drop@t0:100..200:p0.5"
+                 --inject PLAN    machine fault plan, e.g. drop@t0:100..200:p0.5\n\
+                 --trace FILE     write a Chrome trace_event JSON span trace"
             );
             return ExitCode::from(2);
         }
@@ -152,19 +157,24 @@ struct RunFlags {
     inject: Option<FaultPlan>,
     /// Emit JSON instead of the text report (`--json`, audit only).
     json: bool,
+    /// Write a Chrome `trace_event` span trace here (`--trace FILE`).
+    trace: Option<String>,
 }
 
 impl RunFlags {
-    /// The experiment configuration these flags describe.
-    fn experiment_config(&self) -> ExperimentConfig {
-        ExperimentConfig::default()
-            .with_iterations(self.n)
-            .with_seed(self.seed)
-            .with_workers(self.workers)
-            .with_timeout_ms(self.timeout_ms)
-            .with_retries(self.retries)
-            .with_fault_plan(self.inject.clone().unwrap_or_else(FaultPlan::none))
-            .with_weak_machine(self.weak)
+    /// The experiment configuration these flags describe, validated
+    /// through [`ExperimentConfig::builder`].
+    fn experiment_config(&self) -> Result<ExperimentConfig, String> {
+        ExperimentConfig::builder()
+            .iterations(self.n)
+            .seed(self.seed)
+            .workers(self.workers)
+            .timeout_ms(self.timeout_ms)
+            .retries(self.retries)
+            .fault_plan(self.inject.clone().unwrap_or_else(FaultPlan::none))
+            .weak_machine(self.weak)
+            .build()
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -178,6 +188,7 @@ fn parse_flags(args: &[String]) -> Result<RunFlags, String> {
         retries: 0,
         inject: None,
         json: false,
+        trace: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -230,6 +241,9 @@ fn parse_flags(args: &[String]) -> Result<RunFlags, String> {
             }
             "--json" => flags.json = true,
             "--weak" => flags.weak = true,
+            "--trace" => {
+                flags.trace = Some(it.next().ok_or("missing value for --trace")?.to_owned());
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -240,28 +254,40 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let spec = args.first().ok_or("run needs a test name or file")?;
     let test = load_test(spec)?;
     let flags = parse_flags(&args[1..])?;
-    let cfg = flags.experiment_config();
+    if flags.trace.is_some() {
+        perple::obs::trace::start();
+    }
+    let metrics_before = perple::obs::metrics::snapshot();
+    let cfg = flags.experiment_config()?;
     let conv = Conversion::convert(&test).map_err(|e| e.to_string())?;
     let mut runner = PerpleRunner::new(cfg.sim_config(flags.seed));
     let run = runner.run_budgeted(&conv.perpetual, flags.n, &cfg.stage_budget());
     let n = run.iterations;
-    // The budgeted counter runs serially; --workers keeps the parallel
-    // counter when no watchdog is armed (counts are identical either way).
-    let count = if cfg.timeout_ms.is_some() {
-        perple::count_heuristic_budgeted(
-            std::slice::from_ref(&conv.target_heuristic),
-            &run.bufs(),
-            n,
-            &cfg.stage_budget(),
-        )
-    } else {
-        perple::count_heuristic_parallel(
-            std::slice::from_ref(&conv.target_heuristic),
-            &run.bufs(),
-            n,
-            flags.workers,
-        )
+    // The budgeted scan runs serially; --workers keeps the sharded scan
+    // when no watchdog is armed (counts are identical either way).
+    let budget = cfg.timeout_ms.map(|_| cfg.stage_budget());
+    let bufs = run.bufs();
+    let mut req = perple::CountRequest::new(&bufs, n).with_workers(flags.workers);
+    if let Some(b) = budget.as_ref() {
+        req = req.with_budget(b);
+    }
+    let count = {
+        use perple::Counter as _;
+        perple::HeuristicCounter::single(&conv.target_heuristic).count(&req)
     };
+    if let Some(path) = &flags.trace {
+        let trace = perple::obs::trace::finish();
+        std::fs::write(path, trace.chrome_json())
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+        print!("{}", trace.flame_summary());
+        print!(
+            "{}",
+            perple::obs::metrics::snapshot()
+                .delta_from(&metrics_before)
+                .render_text()
+        );
+        println!("trace written to {path}");
+    }
     println!(
         "{}: {} iterations in {} simulated cycles{}{}",
         test.name(),
@@ -300,7 +326,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
 fn cmd_audit(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    let mut cfg = flags.experiment_config();
+    let mut cfg = flags.experiment_config()?;
     // T_L = 3 suite tests scan N^3 frames exhaustively; cap the scan so the
     // CLI audit stays interactive (rows degrade to heuristic counts only on
     // --timeout-ms expiry, the cap just truncates).
@@ -369,11 +395,16 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Splits `--store DIR` (default `results/store`) and `--json` out of a
-/// campaign subcommand's arguments, returning the positional rest.
-fn campaign_flags(args: &[String]) -> Result<(std::path::PathBuf, bool, Vec<String>), String> {
+/// Splits `--store DIR` (default `results/store`), `--json` and
+/// `--trace FILE` out of a campaign subcommand's arguments, returning the
+/// positional rest.
+#[allow(clippy::type_complexity)]
+fn campaign_flags(
+    args: &[String],
+) -> Result<(std::path::PathBuf, bool, Option<String>, Vec<String>), String> {
     let mut store = perple::campaign::RunStore::default_root();
     let mut json = false;
+    let mut trace = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -382,23 +413,36 @@ fn campaign_flags(args: &[String]) -> Result<(std::path::PathBuf, bool, Vec<Stri
                 store = it.next().ok_or("missing value for --store")?.into();
             }
             "--json" => json = true,
+            "--trace" => {
+                trace = Some(it.next().ok_or("missing value for --trace")?.to_owned());
+            }
             other => rest.push(other.to_owned()),
         }
     }
-    Ok((store, json, rest))
+    Ok((store, json, trace, rest))
 }
 
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let usage = "usage: perple campaign <run|ls|show|compare> [args] [--store DIR] [--json]";
     let sub = args.first().map(String::as_str).ok_or(usage)?;
-    let (store_root, json, rest) = campaign_flags(&args[1..])?;
+    let (store_root, json, trace_path, rest) = campaign_flags(&args[1..])?;
     match sub {
         "run" => {
             let path = rest.first().ok_or("campaign run needs a spec file")?;
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read spec {path}: {e}"))?;
             let spec = perple::campaign::CampaignSpec::parse(&text).map_err(|e| e.to_string())?;
+            if trace_path.is_some() {
+                perple::obs::trace::start();
+            }
             let summary = perple::experiments::campaign::run_spec(&spec, &store_root)?;
+            if let Some(out) = &trace_path {
+                let trace = perple::obs::trace::finish();
+                std::fs::write(out, trace.chrome_json())
+                    .map_err(|e| format!("cannot write trace {out}: {e}"))?;
+                print!("{}", trace.flame_summary());
+                println!("trace written to {out}");
+            }
             println!("run: {}", summary.id);
             println!("hits: {}/{}", summary.hits, summary.items);
             println!(
@@ -452,6 +496,16 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             use perple::jsonout::Json;
             if let Some(git) = manifest.get("git").and_then(Json::as_str) {
                 println!("git: {git}");
+            }
+            if let Some(Json::Obj(pairs)) = manifest.get("metrics").and_then(|m| m.get("counters"))
+            {
+                let nonzero: Vec<String> = pairs
+                    .iter()
+                    .filter_map(|(k, v)| v.as_u64().filter(|&v| v > 0).map(|v| format!("{k}={v}")))
+                    .collect();
+                if !nonzero.is_empty() {
+                    println!("metrics: {}", nonzero.join(" "));
+                }
             }
             println!(
                 "{:<14} {:>6} {:>10} {:>12} {:>7}  flags",

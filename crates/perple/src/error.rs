@@ -74,6 +74,12 @@ impl From<ConvertError> for PerpleError {
     }
 }
 
+impl From<perple_sim::ConfigError> for PerpleError {
+    fn from(e: perple_sim::ConfigError) -> Self {
+        PerpleError::Config(e.to_string())
+    }
+}
+
 /// Parses a `--inject` fault-plan spec, classifying malformed grammar as
 /// [`PerpleError::Config`] — the one entry point every CLI and campaign
 /// path shares, so bad plans never panic and never produce ad-hoc errors.
@@ -120,6 +126,18 @@ mod tests {
     fn convert_errors_wrap() {
         let e: PerpleError = ConvertError::MemoryCondition.into();
         assert_eq!(e.kind(), "convert");
+        assert!(!e.retryable());
+    }
+
+    #[test]
+    fn sim_config_errors_wrap_as_config() {
+        let sim_err = perple_sim::ConfigError {
+            field: "drain_prob",
+            message: "must be in (0, 1]".into(),
+        };
+        let e: PerpleError = sim_err.into();
+        assert_eq!(e.kind(), "config");
+        assert!(e.to_string().contains("drain_prob"));
         assert!(!e.retryable());
     }
 

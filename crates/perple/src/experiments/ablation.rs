@@ -13,7 +13,7 @@
 
 use std::fmt::Write as _;
 
-use perple_analysis::count::{count_heuristic, count_heuristic_each};
+use perple_analysis::count::{CountRequest, Counter, HeuristicCounter};
 use perple_convert::HeuristicOutcome;
 use perple_harness::perpetual::PerpleRunner;
 use perple_model::suite;
@@ -49,12 +49,9 @@ pub fn pivot_ablation(cfg: &ExperimentConfig) -> Vec<PivotAblation> {
             let mut runner = PerpleRunner::new(SimConfig::default().with_seed(cfg.seed ^ 0xAB1));
             let run = runner.run(&conv.perpetual, cfg.iterations);
             let bufs = run.bufs();
-            let selected = count_heuristic(
-                std::slice::from_ref(&conv.target_heuristic),
-                &bufs,
-                cfg.iterations,
-            );
-            let naive_count = count_heuristic(std::slice::from_ref(&naive), &bufs, cfg.iterations);
+            let req = CountRequest::new(&bufs, cfg.iterations);
+            let selected = HeuristicCounter::single(&conv.target_heuristic).count(&req);
+            let naive_count = HeuristicCounter::single(&naive).count(&req);
             PivotAblation {
                 name: test.name().to_owned(),
                 chosen_pivot: conv.target_heuristic.pivot(),
@@ -88,11 +85,8 @@ pub fn drain_sweep(cfg: &ExperimentConfig) -> Vec<DrainSweepPoint> {
             let mut runner = PerpleRunner::new(config);
             let run = runner.run(&conv.perpetual, cfg.iterations);
             let bufs = run.bufs();
-            let count = count_heuristic(
-                std::slice::from_ref(&conv.target_heuristic),
-                &bufs,
-                cfg.iterations,
-            );
+            let count = HeuristicCounter::single(&conv.target_heuristic)
+                .count(&CountRequest::new(&bufs, cfg.iterations));
             DrainSweepPoint {
                 drain_prob: p,
                 target_hits: count.counts[0],
@@ -144,7 +138,8 @@ pub fn scheduler_sweep(cfg: &ExperimentConfig) -> Vec<SchedulerSweepPoint> {
             let mut runner = PerpleRunner::new(config);
             let run = runner.run(&conv.perpetual, cfg.iterations);
             let bufs = run.bufs();
-            let counts = count_heuristic_each(&heus, &bufs, cfg.iterations);
+            let counts =
+                HeuristicCounter::each(&heus).count(&CountRequest::new(&bufs, cfg.iterations));
             SchedulerSweepPoint {
                 label,
                 distinct_outcomes: counts.counts.iter().filter(|&&c| c > 0).count(),

@@ -12,7 +12,7 @@
 
 use std::fmt::Write as _;
 
-use perple_analysis::count::count_heuristic;
+use perple_analysis::count::{CountRequest, Counter, HeuristicCounter};
 use perple_enumerate::{enumerate, MemoryModel};
 use perple_harness::baseline::{BaselineRunner, SyncMode};
 use perple_harness::perpetual::PerpleRunner;
@@ -72,12 +72,9 @@ pub fn bugfinder(cfg: &ExperimentConfig) -> Vec<BugReport> {
             let mut runner = PerpleRunner::new(faulty.clone());
             let run = runner.run(&conv.perpetual, cfg.iterations);
             let bufs = run.bufs();
-            let perple_hits = count_heuristic(
-                std::slice::from_ref(&conv.target_heuristic),
-                &bufs,
-                cfg.iterations,
-            )
-            .counts[0];
+            let perple_hits = HeuristicCounter::single(&conv.target_heuristic)
+                .count(&CountRequest::new(&bufs, cfg.iterations))
+                .counts[0];
 
             let mut user = BaselineRunner::new(faulty.clone(), SyncMode::User);
             let user_hits = user.run(test, cfg.iterations).target_count;

@@ -42,7 +42,7 @@ use crate::error::{parse_fault_plan, PerpleError};
 use crate::{classify, Conversion};
 
 use super::resilient::{audit_one, run_suite_resilient, ItemStatus};
-use super::{derive_seed, ExperimentConfig, Parallelism};
+use super::{derive_seed, ExperimentConfig};
 
 /// Fixed base for the per-item seed derivation (the spec's `seeds` axis is
 /// the user-visible seed; this only decorrelates item names).
@@ -64,23 +64,24 @@ fn item_name(test: &str, seed: u64) -> String {
 /// Builds the [`ExperimentConfig`] a spec describes.
 ///
 /// # Errors
-/// [`PerpleError::Config`] for malformed `inject =` fault plans.
+/// [`PerpleError::Config`] for malformed `inject =` fault plans or spec
+/// values the validating builder rejects (zero iterations/timeout/cap).
 pub fn campaign_config(spec: &CampaignSpec) -> Result<ExperimentConfig, PerpleError> {
     let plan = match &spec.inject {
         Some(s) => parse_fault_plan(s)?,
         None => perple_sim::FaultPlan::none(),
     };
-    let mut cfg = ExperimentConfig::default()
-        .with_iterations(spec.iterations)
-        .with_seed(CAMPAIGN_BASE_SEED)
-        .with_timeout_ms(spec.timeout_ms)
-        .with_retries(spec.retries)
-        .with_fault_plan(plan);
-    cfg.exhaustive_frame_cap = spec.frame_cap;
+    let mut builder = ExperimentConfig::builder()
+        .iterations(spec.iterations)
+        .seed(CAMPAIGN_BASE_SEED)
+        .timeout_ms(spec.timeout_ms)
+        .retries(spec.retries)
+        .fault_plan(plan)
+        .exhaustive_frame_cap(spec.frame_cap);
     if spec.workers > 0 {
-        cfg.parallelism = Parallelism::workers(spec.workers);
+        builder = builder.workers(spec.workers);
     }
-    Ok(cfg)
+    builder.build()
 }
 
 /// Expands the spec's test list: `convertible` becomes the whole Table II

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use perple_analysis::count::count_heuristic_each;
+use perple_analysis::count::{CountRequest, Counter, HeuristicCounter};
 use perple_analysis::variety::VarietyTable;
 use perple_harness::baseline::{BaselineRunner, SyncMode};
 use perple_harness::perpetual::PerpleRunner;
@@ -51,7 +51,8 @@ pub fn fig13(cfg: &ExperimentConfig) -> Vec<Fig13Entry> {
             let run = runner.run(&conv.perpetual, cfg.iterations);
             let bufs = run.bufs();
             let heus: Vec<_> = all.iter().map(|(_, h)| h.clone()).collect();
-            let counts = count_heuristic_each(&heus, &bufs, cfg.iterations);
+            let counts =
+                HeuristicCounter::each(&heus).count(&CountRequest::new(&bufs, cfg.iterations));
             let perple = VarietyTable::new(labels.clone(), counts.counts);
 
             // litmus7 per mode.

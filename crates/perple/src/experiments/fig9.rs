@@ -48,7 +48,7 @@ pub fn fig9(cfg: &ExperimentConfig) -> Vec<Fig9Row> {
             let conv = Conversion::convert(test).expect("suite test converts");
             let convert_wall = t_convert.elapsed();
             let (heur, exh, mut timings) = super::perple_detection_both_timed(test, &conv, cfg);
-            timings.convert = convert_wall;
+            timings.add_convert(convert_wall);
             let (perple_heuristic, perple_exhaustive) = (heur.occurrences, exh.occurrences);
             let total_frames = (cfg.iterations as u128).pow(test.load_thread_count() as u32);
             let exhaustive_truncated = cfg
@@ -112,14 +112,10 @@ pub fn render(rows: &[Fig9Row], cfg: &ExperimentConfig) -> String {
             r.litmus7[4],
         );
     }
-    let total: StageTimings = rows
-        .iter()
-        .fold(StageTimings::default(), |acc, r| StageTimings {
-            convert: acc.convert + r.timings.convert,
-            run: acc.run + r.timings.run,
-            count: acc.count + r.timings.count,
-            count_workers: r.timings.count_workers,
-        });
+    let total: StageTimings = rows.iter().fold(StageTimings::default(), |mut acc, r| {
+        acc.accumulate(&r.timings);
+        acc
+    });
     let _ = writeln!(
         s,
         "stage wall time (sum over tests): convert {:?}, run {:?}, count {:?} ({} counter worker{})",

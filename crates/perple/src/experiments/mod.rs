@@ -31,8 +31,7 @@ pub mod table2;
 use std::time::Instant;
 
 use perple_analysis::count::{
-    count_exhaustive_budgeted, count_exhaustive_parallel, count_heuristic_budgeted,
-    count_heuristic_parallel, default_workers,
+    default_workers, CountRequest, Counter, ExhaustiveCounter, HeuristicCounter,
 };
 use perple_analysis::metrics::{Detection, ModelTime, StageTimings};
 use perple_harness::baseline::{BaselineRunner, SyncMode};
@@ -40,6 +39,7 @@ use perple_harness::perpetual::PerpleRunner;
 use perple_model::LitmusTest;
 use perple_sim::{Budget, FaultPlan, SimConfig};
 
+use crate::error::PerpleError;
 use crate::Conversion;
 
 /// Worker-thread budget of an experiment: how many suite tests run
@@ -129,6 +129,19 @@ impl Default for ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// Starts a validating builder seeded with the defaults. Unlike the
+    /// `with_*` combinators (which trust their inputs), [`build`] rejects
+    /// nonsensical configurations — zero iterations, zero workers, a zero
+    /// watchdog or frame cap — as [`PerpleError::Config`].
+    ///
+    /// [`build`]: ExperimentConfigBuilder::build
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder {
+            cfg: ExperimentConfig::default(),
+            workers: None,
+        }
+    }
+
     /// Returns the config with a different iteration count.
     pub fn with_iterations(mut self, n: u64) -> Self {
         self.iterations = n;
@@ -190,6 +203,100 @@ impl ExperimentConfig {
     }
 }
 
+/// Validating builder for [`ExperimentConfig`] (see
+/// [`ExperimentConfig::builder`]). Setters stage values; [`build`] checks
+/// them all at once and reports the first violation as
+/// [`PerpleError::Config`], naming the offending field.
+///
+/// [`build`]: ExperimentConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct ExperimentConfigBuilder {
+    cfg: ExperimentConfig,
+    /// Staged raw worker count; validated (nonzero) before it becomes a
+    /// [`Parallelism`], which would otherwise silently clamp.
+    workers: Option<usize>,
+}
+
+impl ExperimentConfigBuilder {
+    /// Iterations per test run (must be at least 1).
+    pub fn iterations(mut self, n: u64) -> Self {
+        self.cfg.iterations = n;
+        self
+    }
+
+    /// Base PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Frame cap for the exhaustive counter (`Some(0)` is rejected; use
+    /// `None` to scan everything).
+    pub fn exhaustive_frame_cap(mut self, cap: Option<u64>) -> Self {
+        self.cfg.exhaustive_frame_cap = cap;
+        self
+    }
+
+    /// Worker threads for both the suite pool and the parallel counters
+    /// (must be at least 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Per-stage watchdog in milliseconds (`Some(0)` is rejected; use
+    /// `None` to run unbudgeted).
+    pub fn timeout_ms(mut self, ms: Option<u64>) -> Self {
+        self.cfg.timeout_ms = ms;
+        self
+    }
+
+    /// Retries for failed suite items.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.cfg.retries = retries;
+        self
+    }
+
+    /// Machine fault-injection plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = plan;
+        self
+    }
+
+    /// Target the weak-store-order (deliberately TSO-violating) machine.
+    pub fn weak_machine(mut self, weak: bool) -> Self {
+        self.cfg.weak_machine = weak;
+        self
+    }
+
+    /// Validates the staged configuration.
+    ///
+    /// # Errors
+    /// [`PerpleError::Config`] naming the first invalid field.
+    pub fn build(mut self) -> Result<ExperimentConfig, PerpleError> {
+        if self.cfg.iterations == 0 {
+            return Err(PerpleError::Config("iterations must be at least 1".into()));
+        }
+        if self.cfg.timeout_ms == Some(0) {
+            return Err(PerpleError::Config(
+                "timeout_ms must be at least 1 (use None for unbudgeted)".into(),
+            ));
+        }
+        if self.cfg.exhaustive_frame_cap == Some(0) {
+            return Err(PerpleError::Config(
+                "exhaustive_frame_cap must be at least 1 (use None to scan everything)".into(),
+            ));
+        }
+        if let Some(w) = self.workers {
+            if w == 0 {
+                return Err(PerpleError::Config("workers must be at least 1".into()));
+            }
+            self.cfg.parallelism = Parallelism::workers(w);
+        }
+        Ok(self.cfg)
+    }
+}
+
 /// Derives a per-(test, tool) seed so tools see decorrelated but
 /// reproducible schedules.
 fn derive_seed(base: u64, test_name: &str, tool: &str) -> u64 {
@@ -236,33 +343,16 @@ pub fn perple_detection(
     let run = run_stage(&mut runner, conv, cfg);
     let n = run.iterations;
     let bufs = run.bufs();
-    let count = match (heuristic, cfg.timeout_ms) {
-        (true, None) => count_heuristic_parallel(
-            std::slice::from_ref(&conv.target_heuristic),
-            &bufs,
-            n,
-            workers,
-        ),
-        (true, Some(_)) => count_heuristic_budgeted(
-            std::slice::from_ref(&conv.target_heuristic),
-            &bufs,
-            n,
-            &cfg.stage_budget(),
-        ),
-        (false, None) => count_exhaustive_parallel(
-            std::slice::from_ref(&conv.target_exhaustive),
-            &bufs,
-            n,
-            cfg.exhaustive_frame_cap,
-            workers,
-        ),
-        (false, Some(_)) => count_exhaustive_budgeted(
-            std::slice::from_ref(&conv.target_exhaustive),
-            &bufs,
-            n,
-            cfg.exhaustive_frame_cap,
-            &cfg.stage_budget(),
-        ),
+    let budget = cfg.timeout_ms.map(|_| cfg.stage_budget());
+    let mut req = CountRequest::new(&bufs, n).with_workers(workers);
+    if let Some(b) = budget.as_ref() {
+        req = req.with_budget(b);
+    }
+    let count = if heuristic {
+        HeuristicCounter::single(&conv.target_heuristic).count(&req)
+    } else {
+        ExhaustiveCounter::single(&conv.target_exhaustive)
+            .count(&req.with_frame_cap(cfg.exhaustive_frame_cap))
     };
     Detection {
         occurrences: count.counts[0],
@@ -298,25 +388,17 @@ pub fn perple_detection_both_timed(
     let run_wall = t_run.elapsed();
     let n = run.iterations;
     let bufs = run.bufs();
-    let heur = count_heuristic_parallel(
-        std::slice::from_ref(&conv.target_heuristic),
-        &bufs,
-        n,
-        workers,
-    );
-    let exh = count_exhaustive_parallel(
-        std::slice::from_ref(&conv.target_exhaustive),
-        &bufs,
-        n,
-        cfg.exhaustive_frame_cap,
-        workers,
-    );
-    let timings = StageTimings {
-        convert: std::time::Duration::ZERO,
-        run: run_wall,
-        count: heur.wall + exh.wall,
+    let req = CountRequest::new(&bufs, n).with_workers(workers);
+    let heur = HeuristicCounter::single(&conv.target_heuristic).count(&req);
+    let exh = ExhaustiveCounter::single(&conv.target_exhaustive)
+        .count(&req.with_frame_cap(cfg.exhaustive_frame_cap));
+    let mut timings = StageTimings {
         count_workers: workers.max(1),
+        ..StageTimings::default()
     };
+    timings.add_run(run_wall);
+    timings.add_count(heur.wall);
+    timings.add_count(exh.wall);
     (
         Detection {
             occurrences: heur.counts[0],
@@ -380,5 +462,62 @@ mod tests {
         let c = ExperimentConfig::default().with_iterations(5).with_seed(9);
         assert_eq!(c.iterations, 5);
         assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn validating_builder_accepts_whole_configurations() {
+        let c = ExperimentConfig::builder()
+            .iterations(5)
+            .seed(9)
+            .workers(3)
+            .timeout_ms(Some(250))
+            .retries(2)
+            .weak_machine(true)
+            .exhaustive_frame_cap(None)
+            .build()
+            .unwrap();
+        assert_eq!(c.iterations, 5);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.parallelism, Parallelism::workers(3));
+        assert_eq!(c.timeout_ms, Some(250));
+        assert_eq!(c.retries, 2);
+        assert!(c.weak_machine);
+        assert_eq!(c.exhaustive_frame_cap, None);
+    }
+
+    #[test]
+    fn validating_builder_defaults_equal_the_default_config() {
+        let built = ExperimentConfig::builder().build().unwrap();
+        let default = ExperimentConfig::default();
+        assert_eq!(built.iterations, default.iterations);
+        assert_eq!(built.seed, default.seed);
+        assert_eq!(built.exhaustive_frame_cap, default.exhaustive_frame_cap);
+        assert_eq!(built.parallelism, default.parallelism);
+        assert_eq!(built.timeout_ms, default.timeout_ms);
+        assert_eq!(built.retries, default.retries);
+        assert_eq!(built.weak_machine, default.weak_machine);
+    }
+
+    #[test]
+    fn validating_builder_rejects_degenerate_values() {
+        for (builder, needle) in [
+            (ExperimentConfig::builder().iterations(0), "iterations"),
+            (ExperimentConfig::builder().workers(0), "workers"),
+            (
+                ExperimentConfig::builder().timeout_ms(Some(0)),
+                "timeout_ms",
+            ),
+            (
+                ExperimentConfig::builder().exhaustive_frame_cap(Some(0)),
+                "frame_cap",
+            ),
+        ] {
+            match builder.build() {
+                Err(PerpleError::Config(msg)) => {
+                    assert!(msg.contains(needle), "{msg:?} should name {needle}")
+                }
+                other => panic!("expected Config error for {needle}, got {other:?}"),
+            }
+        }
     }
 }

@@ -21,10 +21,11 @@ use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use perple_analysis::count::{count_exhaustive_budgeted, count_heuristic_budgeted};
+use perple_analysis::count::{CountRequest, Counter, ExhaustiveCounter, HeuristicCounter};
 use perple_analysis::jsonout::Json;
 use perple_analysis::metrics::StageTimings;
 use perple_model::{suite, LitmusTest};
+use perple_obs::metrics::{self as obs_metrics, Hist, Metric};
 
 use crate::error::{panic_message, PerpleError};
 use crate::Conversion;
@@ -250,22 +251,30 @@ where
                         message: panic_message(&*p),
                     })
                     .and_then(|r| r);
+                let attempt_wall = a0.elapsed();
+                obs_metrics::observe(
+                    Hist::ExecAttemptMicros,
+                    u64::try_from(attempt_wall.as_micros()).unwrap_or(u64::MAX),
+                );
                 match r {
                     Ok(v) => {
                         attempts.push(AttemptRecord {
                             seed,
                             error: None,
-                            wall: a0.elapsed(),
+                            wall: attempt_wall,
                         });
                         result = Some(v);
                         break;
                     }
                     Err(e) => {
+                        if matches!(e, PerpleError::StageTimeout { .. }) {
+                            obs_metrics::add(Metric::ExecBudgetExpiries, 1);
+                        }
                         let retryable = e.retryable();
                         attempts.push(AttemptRecord {
                             seed,
                             error: Some(e),
-                            wall: a0.elapsed(),
+                            wall: attempt_wall,
                         });
                         if !retryable {
                             break;
@@ -278,6 +287,10 @@ where
                 (Some(_), _) => ItemStatus::Recovered,
                 (None, _) => ItemStatus::Quarantined,
             };
+            obs_metrics::add(Metric::ExecRetries, attempts.len().saturating_sub(1) as u64);
+            if status == ItemStatus::Quarantined {
+                obs_metrics::add(Metric::ExecQuarantines, 1);
+            }
             (
                 result,
                 ItemReport {
@@ -376,22 +389,18 @@ pub fn audit_one(
     let digest = run.content_digest();
     let bufs = run.bufs();
 
-    let heur = count_heuristic_budgeted(
-        std::slice::from_ref(&conv.target_heuristic),
-        &bufs,
-        n,
-        &cfg.stage_budget(),
-    );
+    let heur_budget = cfg.stage_budget();
+    let heur = HeuristicCounter::single(&conv.target_heuristic)
+        .count(&CountRequest::new(&bufs, n).with_budget(&heur_budget));
     if heur.budget_expired && heur.frames_examined == 0 {
         return Err(PerpleError::StageTimeout { stage: "count" });
     }
 
-    let exh = count_exhaustive_budgeted(
-        std::slice::from_ref(&conv.target_exhaustive),
-        &bufs,
-        n,
-        cfg.exhaustive_frame_cap,
-        &cfg.stage_budget(),
+    let exh_budget = cfg.stage_budget();
+    let exh = ExhaustiveCounter::single(&conv.target_exhaustive).count(
+        &CountRequest::new(&bufs, n)
+            .with_frame_cap(cfg.exhaustive_frame_cap)
+            .with_budget(&exh_budget),
     );
     let degraded = exh.budget_expired;
 
@@ -408,11 +417,16 @@ pub fn audit_one(
         run_complete: run.complete,
         faults: run.faults,
         digest,
-        timings: StageTimings {
-            convert: convert_wall,
-            run: run_wall,
-            count: heur.wall + exh.wall,
-            count_workers: 1,
+        timings: {
+            let mut t = StageTimings {
+                count_workers: 1,
+                ..StageTimings::default()
+            };
+            t.add_convert(convert_wall);
+            t.add_run(run_wall);
+            t.add_count(heur.wall);
+            t.add_count(exh.wall);
+            t
         },
     })
 }

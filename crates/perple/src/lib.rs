@@ -48,10 +48,15 @@ pub mod error;
 pub mod experiments;
 
 pub use error::{parse_fault_plan, PerpleError};
+#[allow(deprecated)]
 pub use perple_analysis::count::{
     count_exhaustive, count_exhaustive_budgeted, count_exhaustive_parallel, count_heuristic,
     count_heuristic_budgeted, count_heuristic_each, count_heuristic_each_parallel,
-    count_heuristic_parallel, default_workers, frame_at, frame_index, frame_space, CountResult,
+    count_heuristic_parallel,
+};
+pub use perple_analysis::count::{
+    default_workers, frame_at, frame_index, frame_space, CountRequest, CountResult, Counter,
+    ExhaustiveCounter, HeuristicCounter,
 };
 pub use perple_analysis::{jsonout, metrics, modelmine, skew, stats, variety};
 pub use perple_campaign as campaign;
@@ -63,6 +68,7 @@ pub use perple_harness::baseline::{BaselineRun, BaselineRunner, SyncMode};
 pub use perple_harness::native;
 pub use perple_harness::perpetual::{PerpleRun, PerpleRunner};
 pub use perple_model::{suite, LitmusTest, ModelError, Outcome};
+pub use perple_obs as obs;
 pub use perple_sim::{Budget, FaultKind, FaultPlan, FaultSpec, SimConfig};
 
 pub use experiments::Parallelism;
@@ -142,19 +148,11 @@ impl Perple {
     pub fn run(&mut self, n: u64) -> PerpleResult {
         let run = self.runner.run(&self.conversion.perpetual, n);
         let bufs = run.bufs();
-        let target_heuristic = count_heuristic_parallel(
-            std::slice::from_ref(&self.conversion.target_heuristic),
-            &bufs,
-            n,
-            self.workers,
-        );
-        let target_exhaustive = count_exhaustive_parallel(
-            std::slice::from_ref(&self.conversion.target_exhaustive),
-            &bufs,
-            n,
-            self.exhaustive_frame_cap,
-            self.workers,
-        );
+        let req = CountRequest::new(&bufs, n).with_workers(self.workers);
+        let target_heuristic =
+            HeuristicCounter::single(&self.conversion.target_heuristic).count(&req);
+        let target_exhaustive = ExhaustiveCounter::single(&self.conversion.target_exhaustive)
+            .count(&req.with_frame_cap(self.exhaustive_frame_cap));
         PerpleResult {
             run,
             target_heuristic,
@@ -167,12 +165,8 @@ impl Perple {
     pub fn run_heuristic_only(&mut self, n: u64) -> (PerpleRun, CountResult) {
         let run = self.runner.run(&self.conversion.perpetual, n);
         let bufs = run.bufs();
-        let count = count_heuristic_parallel(
-            std::slice::from_ref(&self.conversion.target_heuristic),
-            &bufs,
-            n,
-            self.workers,
-        );
+        let count = HeuristicCounter::single(&self.conversion.target_heuristic)
+            .count(&CountRequest::new(&bufs, n).with_workers(self.workers));
         (run, count)
     }
 }

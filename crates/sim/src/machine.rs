@@ -6,6 +6,8 @@ use crate::fault::{FaultKind, FaultPlan};
 use crate::program::{SimOp, ThreadSpec};
 use crate::rng::XorShiftStar;
 use crate::trace::{Trace, TraceEvent, TraceKind};
+use perple_obs::metrics::{self as obs_metrics, Hist, Metric};
+use perple_obs::trace as obs_trace;
 
 /// Cycles between watchdog polls in budgeted runs; a budgeted run overruns
 /// its budget by at most this many cycles of simulation work.
@@ -169,6 +171,7 @@ impl Machine {
         sink: &mut S,
         budget: Option<&Budget>,
     ) -> RunOutput {
+        let _span = obs_trace::span("simulate");
         for t in threads {
             assert!(
                 !t.body.is_empty() || t.iterations == 0,
@@ -200,6 +203,9 @@ impl Machine {
         let mut cycle: u64 = 0;
         let mut drains: u64 = 0;
         let mut faults: u64 = 0;
+        let mut preempts: u64 = 0;
+        let mut micro_preempts: u64 = 0;
+        let mut stalls: u64 = 0;
         let mut complete = true;
         loop {
             let all_done = states.iter().all(|s| s.done && s.buffer.is_empty());
@@ -273,6 +279,7 @@ impl Machine {
                 }
                 if self.rng.chance(self.config.preempt_prob) {
                     s.blocked_until = cycle + self.rng.duration(self.config.mean_preempt);
+                    preempts += 1;
                     sink.emit(
                         cycle,
                         tid,
@@ -284,6 +291,7 @@ impl Machine {
                 }
                 if self.rng.chance(self.config.micro_preempt_prob) {
                     s.blocked_until = cycle + self.rng.duration(self.config.mean_micro_preempt);
+                    micro_preempts += 1;
                     sink.emit(
                         cycle,
                         tid,
@@ -295,6 +303,7 @@ impl Machine {
                 }
                 if self.rng.chance(self.config.stall_prob) {
                     s.blocked_until = cycle + self.rng.duration(self.config.mean_stall);
+                    stalls += 1;
                     continue;
                 }
                 step_thread(
@@ -309,6 +318,18 @@ impl Machine {
                 );
             }
         }
+
+        // One metrics flush per run (not per cycle): the hot loop only
+        // bumps local integers, and observability stays write-only, so a
+        // metered run is bit-identical to an unmetered one.
+        obs_metrics::add(Metric::SimStoreBufferFlushes, drains);
+        obs_metrics::add(Metric::SimPreemptions, preempts);
+        obs_metrics::add(Metric::SimMicroPreemptions, micro_preempts);
+        obs_metrics::add(Metric::SimStalls, stalls);
+        obs_metrics::add(Metric::SimSchedulerCycles, cycle);
+        obs_metrics::add(Metric::SimFaultInjections, faults);
+        obs_metrics::add(Metric::SimRuns, 1);
+        obs_metrics::observe(Hist::SimRunCycles, cycle);
 
         RunOutput {
             bufs: states

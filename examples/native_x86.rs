@@ -11,7 +11,7 @@
 //! cargo run --release --example native_x86 [iterations]
 //! ```
 
-use perple::{count_heuristic, count_heuristic_each, native, Conversion};
+use perple::{native, Conversion, CountRequest, Counter, HeuristicCounter};
 use perple_model::suite;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,11 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Perpetual run on real threads.
     let run = native::run_perpetual(&conv.perpetual, iterations);
     let bufs = run.bufs();
-    let target = count_heuristic(
-        std::slice::from_ref(&conv.target_heuristic),
-        &bufs,
-        iterations,
-    );
+    let target = HeuristicCounter::single(&conv.target_heuristic)
+        .count(&CountRequest::new(&bufs, iterations));
     println!(
         "perpetual sb natively: {iterations} iterations in {:?} ({:.1} ns/iter)",
         run.wall,
@@ -50,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Full outcome variety.
     let all = conv.all_outcomes(&sb)?;
     let heus: Vec<_> = all.iter().map(|(_, h)| h.clone()).collect();
-    let variety = count_heuristic_each(&heus, &bufs, iterations);
+    let variety = HeuristicCounter::each(&heus).count(&CountRequest::new(&bufs, iterations));
     println!("outcome variety (per-outcome frame sampling):");
     for ((o, _), c) in all.iter().zip(&variety.counts) {
         println!("  {:>4}: {c}", o.label());
@@ -62,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run5 = native::run_perpetual(&conv5.perpetual, iterations.min(50_000));
     let bufs5 = run5.bufs();
     let n5 = run5.iterations;
-    let forbidden = count_heuristic(std::slice::from_ref(&conv5.target_heuristic), &bufs5, n5);
+    let forbidden =
+        HeuristicCounter::single(&conv5.target_heuristic).count(&CountRequest::new(&bufs5, n5));
     println!(
         "fenced sb (amd5) forbidden-target frames: {} (must be 0)",
         forbidden.counts[0]

@@ -6,8 +6,8 @@
 use perple::experiments::resilient::{audit_one, resilient_audit};
 use perple::experiments::ExperimentConfig;
 use perple::{
-    classify, count_exhaustive, count_heuristic, count_heuristic_budgeted, Budget, Conversion,
-    FaultPlan, PerpleRunner, SimConfig,
+    classify, Budget, Conversion, CountRequest, Counter, ExhaustiveCounter, FaultPlan,
+    HeuristicCounter, PerpleRunner, SimConfig,
 };
 use perple_model::suite;
 use perple_repro::prop::run_cases;
@@ -42,13 +42,10 @@ fn counters_never_panic_on_garbage_buffers() {
             bufs_owned.push(b);
         }
         let bufs: Vec<&[u64]> = bufs_owned.iter().map(Vec::as_slice).collect();
-        let h = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n);
-        let x = count_exhaustive(
-            std::slice::from_ref(&conv.target_exhaustive),
-            &bufs,
-            n,
-            Some(10_000),
-        );
+        let req = CountRequest::new(&bufs, n);
+        let h = HeuristicCounter::single(&conv.target_heuristic).count(&req);
+        let x = ExhaustiveCounter::single(&conv.target_exhaustive)
+            .count(&req.with_frame_cap(Some(10_000)));
         assert!(h.counts[0] <= n);
         assert!(x.counts[0] <= x.frames_examined);
     });
@@ -70,8 +67,9 @@ fn weak_machine_detection_scales_with_iterations() {
         );
         let run = runner.run(&conv.perpetual, n);
         let bufs = run.bufs();
-        let hits =
-            count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n).counts[0];
+        let hits = HeuristicCounter::single(&conv.target_heuristic)
+            .count(&CountRequest::new(&bufs, n))
+            .counts[0];
         hits_at.push(hits);
     }
     assert!(
@@ -103,7 +101,8 @@ fn conformant_and_faulty_machines_are_distinguished() {
             );
             let run = runner.run(&conv.perpetual, 3_000);
             let bufs = run.bufs();
-            let hits = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, 3_000)
+            let hits = HeuristicCounter::single(&conv.target_heuristic)
+                .count(&CountRequest::new(&bufs, 3_000))
                 .counts[0];
             if hits > 0 {
                 any_violation = true;
@@ -188,14 +187,11 @@ fn random_fault_plans_never_crash_the_pipeline() {
         );
         let run = runner.run(&conv.perpetual, n);
         let bufs = run.bufs();
-        let h = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n);
+        let req = CountRequest::new(&bufs, n);
+        let h = HeuristicCounter::single(&conv.target_heuristic).count(&req);
         assert!(h.counts[0] <= n);
-        let x = count_exhaustive(
-            std::slice::from_ref(&conv.target_exhaustive),
-            &bufs,
-            n,
-            Some(10_000),
-        );
+        let x = ExhaustiveCounter::single(&conv.target_exhaustive)
+            .count(&req.with_frame_cap(Some(10_000)));
         assert!(x.counts[0] <= x.frames_examined);
     });
 }
@@ -249,12 +245,8 @@ fn watchdog_truncated_counts_are_a_prefix_of_untruncated() {
         }
         // Counter level: partial counts are exactly the scanned prefix.
         let budget = Budget::with_poll_limit(1 + g.below(n as usize) as u64);
-        let part = count_heuristic_budgeted(
-            std::slice::from_ref(&conv.target_heuristic),
-            &fb,
-            n,
-            &budget,
-        );
+        let part = HeuristicCounter::single(&conv.target_heuristic)
+            .count(&CountRequest::new(&fb, n).with_budget(&budget));
         assert!(part.frames_examined <= n);
         let mut prefix = 0u64;
         for i in 0..part.frames_examined {
@@ -280,8 +272,9 @@ fn native_substrate_is_clean_for_fenced_tests() {
         let n = 2_000u64;
         let run = perple::native::run_perpetual(&conv.perpetual, n);
         let bufs = run.bufs();
-        let hits =
-            count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n).counts[0];
+        let hits = HeuristicCounter::single(&conv.target_heuristic)
+            .count(&CountRequest::new(&bufs, n))
+            .counts[0];
         assert_eq!(hits, 0, "{name}: native false positive");
     }
 }

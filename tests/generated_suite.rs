@@ -3,7 +3,8 @@
 //! never produce false positives on the TSO substrate.
 
 use perple::{
-    classify, count_heuristic, enumerate, Conversion, MemoryModel, PerpleRunner, SimConfig,
+    classify, enumerate, Conversion, CountRequest, Counter, ExhaustiveCounter, HeuristicCounter,
+    MemoryModel, PerpleRunner, SimConfig,
 };
 use perple_model::generate::{from_cycle, generate_family, CycleEdge::*, Dir::*};
 
@@ -61,7 +62,8 @@ fn generated_family_produces_no_false_positives_perpetually() {
         let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0x6E4));
         let run = runner.run(&conv.perpetual, 200);
         let bufs = run.bufs();
-        let count = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, 200);
+        let count =
+            HeuristicCounter::single(&conv.target_heuristic).count(&CountRequest::new(&bufs, 200));
         assert_eq!(count.counts[0], 0, "{}: false positive", test.name());
     }
 }
@@ -84,12 +86,8 @@ fn generated_tso_allowed_targets_are_observable() {
         let n = 800u64;
         let run = runner.run(&conv.perpetual, n);
         let bufs = run.bufs();
-        let count = perple::count_exhaustive(
-            std::slice::from_ref(&conv.target_exhaustive),
-            &bufs,
-            n,
-            Some(5_000_000),
-        );
+        let count = ExhaustiveCounter::single(&conv.target_exhaustive)
+            .count(&CountRequest::new(&bufs, n).with_frame_cap(Some(5_000_000)));
         if count.counts[0] > 0 {
             observable += 1;
         }

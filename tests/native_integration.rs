@@ -3,7 +3,7 @@
 //! single-core machine where barrier rounds cost scheduling quanta.
 
 use perple::native;
-use perple::{count_heuristic, skew, Conversion, SyncMode};
+use perple::{skew, Conversion, CountRequest, Counter, HeuristicCounter, SyncMode};
 use perple_model::suite;
 
 #[test]
@@ -13,7 +13,8 @@ fn native_perpetual_feeds_the_counters() {
     let n = 2_000u64;
     let run = native::run_perpetual(&conv.perpetual, n);
     let bufs = run.bufs();
-    let count = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n);
+    let count =
+        HeuristicCounter::single(&conv.target_heuristic).count(&CountRequest::new(&bufs, n));
     // On a single-core host the weak outcome may be absent; the counter
     // must still process the full run.
     assert_eq!(count.frames_examined, n);
@@ -40,7 +41,8 @@ fn native_forbidden_targets_stay_silent() {
         let n = 1_000u64;
         let run = native::run_perpetual(&conv.perpetual, n);
         let bufs = run.bufs();
-        let count = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n);
+        let count =
+            HeuristicCounter::single(&conv.target_heuristic).count(&CountRequest::new(&bufs, n));
         assert_eq!(count.counts[0], 0, "{name}: forbidden target natively");
     }
 }

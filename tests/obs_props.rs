@@ -1,0 +1,128 @@
+//! Property tests of the metrics registry's per-thread shard merge, on
+//! the in-repo [`perple_repro::prop`] harness and against the **real**
+//! process-global registry: however events are distributed over threads,
+//! the merged snapshot must equal a serial reference — the merge is
+//! associative and commutative addition, nothing more.
+//!
+//! Under `--features perple-obs/off` the registry compiles to no-ops and
+//! every delta is zero; the properties assert that branch too, so the
+//! same file passes in both build configurations.
+
+use perple_obs::metrics::{self, bucket_lower_bound, bucket_of, Hist, Metric, HIST_BUCKETS};
+use perple_repro::prop::run_cases;
+use std::sync::Mutex;
+
+/// The registry is process-global; recording tests serialize behind this
+/// so one property's events never leak into another's delta.
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn sharded_histogram_merge_equals_serial_bucketing() {
+    let _g = gate();
+    run_cases(24, |g| {
+        // Random values with a bias toward small bit-lengths so every
+        // bucket region gets traffic across cases.
+        let len = g.below(200);
+        let values: Vec<u64> = (0..len).map(|_| g.u64() >> g.below(64)).collect();
+        let threads = 1 + g.below(6);
+
+        let before = metrics::snapshot();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                // Deterministic round-robin split of the value stream.
+                let chunk: Vec<u64> = values.iter().copied().skip(t).step_by(threads).collect();
+                s.spawn(move || {
+                    for v in chunk {
+                        metrics::observe(Hist::CountFramesPerCall, v);
+                    }
+                });
+            }
+        });
+        let delta = metrics::snapshot().delta_from(&before);
+
+        let mut expect = vec![0u64; HIST_BUCKETS];
+        if metrics::enabled() {
+            for &v in &values {
+                expect[bucket_of(v)] += 1;
+            }
+        }
+        let (_, got) = delta
+            .hists
+            .iter()
+            .find(|(n, _)| *n == "count_frames_per_call")
+            .expect("histogram present in snapshot");
+        assert_eq!(
+            got, &expect,
+            "merge diverged from serial bucketing ({len} values, {threads} threads)"
+        );
+    });
+}
+
+#[test]
+fn sharded_counter_merge_is_distribution_independent() {
+    let _g = gate();
+    run_cases(32, |g| {
+        let deltas: Vec<u64> = (0..g.below(64)).map(|_| g.range_u64(0, 1_000)).collect();
+        let threads = 1 + g.below(8);
+
+        let before = metrics::snapshot();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let chunk: Vec<u64> = deltas.iter().copied().skip(t).step_by(threads).collect();
+                s.spawn(move || {
+                    for d in chunk {
+                        metrics::add(Metric::SimStalls, d);
+                    }
+                });
+            }
+        });
+        let after = metrics::snapshot();
+
+        let expect: u64 = if metrics::enabled() {
+            deltas.iter().sum()
+        } else {
+            0
+        };
+        assert_eq!(after.delta_from(&before).get("sim_stalls"), expect);
+        // Snapshots are cumulative and monotone: no merge may lose events.
+        assert!(after.get("sim_stalls") >= before.get("sim_stalls"));
+    });
+}
+
+#[test]
+fn bucketing_round_trips_for_arbitrary_values() {
+    run_cases(64, |g| {
+        let v = g.u64() >> g.below(64);
+        let b = bucket_of(v);
+        assert!(b < HIST_BUCKETS);
+        let lo = bucket_lower_bound(b).expect("in-range bucket has a bound");
+        assert!(lo <= v, "bucket lower bound exceeds its member: {lo} > {v}");
+        if b + 1 < HIST_BUCKETS {
+            let hi = bucket_lower_bound(b + 1).expect("next bucket bound");
+            assert!(v < hi, "value {v} belongs below the next bound {hi}");
+        }
+        // Monotone: halving a value never raises its bucket.
+        assert!(bucket_of(v / 2) <= b);
+    });
+}
+
+#[test]
+fn snapshot_render_and_delta_agree_on_totals() {
+    let _g = gate();
+    run_cases(16, |g| {
+        let n = 1 + g.below(50) as u64;
+        let before = metrics::snapshot();
+        for i in 0..n {
+            metrics::observe(Hist::ExecAttemptMicros, i * i);
+        }
+        let delta = metrics::snapshot().delta_from(&before);
+        let expect = if metrics::enabled() { n } else { 0 };
+        assert_eq!(delta.hist_total("exec_attempt_micros"), expect);
+        if metrics::enabled() {
+            assert!(delta.render_text().contains("exec_attempt_micros"));
+        }
+    });
+}

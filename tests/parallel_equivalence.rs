@@ -5,9 +5,8 @@
 //! behind `--workers N`: parallelism may only change wall time.
 
 use perple::{
-    count_exhaustive, count_exhaustive_parallel, count_heuristic, count_heuristic_each,
-    count_heuristic_each_parallel, count_heuristic_parallel, frame_space, Conversion, PerpleRunner,
-    SimConfig,
+    frame_space, Conversion, CountRequest, Counter, ExhaustiveCounter, HeuristicCounter,
+    PerpleRunner, SimConfig,
 };
 use perple_model::suite;
 
@@ -41,17 +40,19 @@ fn every_convertible_test_counts_identically_at_all_worker_counts() {
         // Cap T_L = 3 tests so the serial reference stays fast; the cap is
         // itself part of what must match (a global frame-space prefix).
         let cap = if bufs.len() >= 3 { Some(200_000) } else { None };
-        let se = count_exhaustive(&exh, &bufs, n, cap);
-        let sh = count_heuristic(&heu, &bufs, n);
-        let sa = count_heuristic_each(&heu, &bufs, n);
+        let serial = CountRequest::new(&bufs, n);
+        let se = ExhaustiveCounter::new(&exh).count(&serial.with_frame_cap(cap));
+        let sh = HeuristicCounter::new(&heu).count(&serial);
+        let sa = HeuristicCounter::each(&heu).count(&serial);
 
         for w in WORKERS {
             let name = test.name();
-            let pe = count_exhaustive_parallel(&exh, &bufs, n, cap, w);
+            let req = CountRequest::new(&bufs, n).with_workers(w);
+            let pe = ExhaustiveCounter::new(&exh).count(&req.with_frame_cap(cap));
             assert_identical(&se, &pe, &format!("{name} exhaustive, workers {w}"));
-            let ph = count_heuristic_parallel(&heu, &bufs, n, w);
+            let ph = HeuristicCounter::new(&heu).count(&req);
             assert_identical(&sh, &ph, &format!("{name} heuristic, workers {w}"));
-            let pa = count_heuristic_each_parallel(&heu, &bufs, n, w);
+            let pa = HeuristicCounter::each(&heu).count(&req);
             assert_identical(&sa, &pa, &format!("{name} heuristic-each, workers {w}"));
         }
     }
@@ -71,10 +72,11 @@ fn truncated_scans_agree_because_the_cap_is_a_global_prefix() {
     let outcomes = std::slice::from_ref(&conv.target_exhaustive);
 
     for cap in [0u64, 1, 9_999, 10_000, 90_000, 90_001] {
-        let se = count_exhaustive(outcomes, &bufs, n, Some(cap));
+        let req = CountRequest::new(&bufs, n).with_frame_cap(Some(cap));
+        let se = ExhaustiveCounter::new(outcomes).count(&req);
         assert_eq!(se.truncated, cap < 90_000, "cap {cap}");
         for w in WORKERS {
-            let pe = count_exhaustive_parallel(outcomes, &bufs, n, Some(cap), w);
+            let pe = ExhaustiveCounter::new(outcomes).count(&req.with_workers(w));
             assert_identical(&se, &pe, &format!("sb cap {cap}, workers {w}"));
         }
     }
@@ -97,10 +99,11 @@ fn three_load_thread_tests_shard_the_cubic_frame_space_identically() {
     assert_eq!(bufs.len(), 3);
     assert_eq!(frame_space(n, 3), 64_000);
 
-    let se = count_exhaustive(&exh, &bufs, n, None);
+    let req = CountRequest::new(&bufs, n);
+    let se = ExhaustiveCounter::new(&exh).count(&req);
     assert_eq!(se.frames_examined, 64_000);
     for w in [1usize, 2, 3, 7, 13, 64] {
-        let pe = count_exhaustive_parallel(&exh, &bufs, n, None, w);
+        let pe = ExhaustiveCounter::new(&exh).count(&req.with_workers(w));
         assert_identical(&se, &pe, &format!("podwr001, workers {w}"));
     }
 }
@@ -117,19 +120,10 @@ fn smoke_report(seed: u64, n: u64, workers: usize) -> String {
     let run = runner.run(&conv.perpetual, n);
     let bufs = run.bufs();
 
-    let serial = count_exhaustive(
-        std::slice::from_ref(&conv.target_exhaustive),
-        &bufs,
-        n,
-        None,
-    );
-    let parallel = count_exhaustive_parallel(
-        std::slice::from_ref(&conv.target_exhaustive),
-        &bufs,
-        n,
-        None,
-        workers,
-    );
+    let req = CountRequest::new(&bufs, n);
+    let serial = ExhaustiveCounter::single(&conv.target_exhaustive).count(&req);
+    let parallel =
+        ExhaustiveCounter::single(&conv.target_exhaustive).count(&req.with_workers(workers));
     assert_identical(&serial, &parallel, "smoke");
 
     let mut s = Json::obj(vec![

@@ -1,7 +1,9 @@
 //! End-to-end integration: text → parse → convert → run → count → classify,
 //! exercising every crate of the workspace together.
 
-use perple::{classify, count_heuristic, Conversion, Perple, PerpleRunner, SimConfig};
+use perple::{
+    classify, Conversion, CountRequest, Counter, HeuristicCounter, Perple, PerpleRunner, SimConfig,
+};
 use perple_model::{parser, printer, suite};
 
 #[test]
@@ -41,7 +43,8 @@ fn every_convertible_suite_test_flows_end_to_end() {
         let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0x1234));
         let run = runner.run(&conv.perpetual, 300);
         let bufs = run.bufs();
-        let count = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, 300);
+        let count =
+            HeuristicCounter::single(&conv.target_heuristic).count(&CountRequest::new(&bufs, 300));
         // Soundness on the TSO substrate: forbidden targets never fire.
         let class = classify(&test);
         if !class.tso_allowed {

@@ -4,7 +4,8 @@
 //! substrate. Runs on the in-repo [`perple_repro::prop`] harness.
 
 use perple::{
-    classify, count_heuristic, enumerate, Conversion, MemoryModel, PerpleRunner, SimConfig,
+    classify, enumerate, Conversion, CountRequest, Counter, ExhaustiveCounter, HeuristicCounter,
+    MemoryModel, PerpleRunner, SimConfig,
 };
 use perple_model::{parser, printer, LitmusTest, TestBuilder};
 use perple_repro::prop::{run_cases, Gen};
@@ -139,7 +140,8 @@ fn forbidden_targets_never_fire_on_the_tso_substrate() {
         let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0xF0B1D));
         let run = runner.run(&conv.perpetual, 150);
         let bufs = run.bufs();
-        let count = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, 150);
+        let count =
+            HeuristicCounter::single(&conv.target_heuristic).count(&CountRequest::new(&bufs, 150));
         assert_eq!(count.counts[0], 0, "forbidden target fired");
     });
 }
@@ -155,13 +157,9 @@ fn heuristic_counts_never_exceed_exhaustive_per_outcome() {
         let n = 120u64;
         let run = runner.run(&conv.perpetual, n);
         let bufs = run.bufs();
-        let h = count_heuristic(std::slice::from_ref(&conv.target_heuristic), &bufs, n);
-        let x = perple::count_exhaustive(
-            std::slice::from_ref(&conv.target_exhaustive),
-            &bufs,
-            n,
-            None,
-        );
+        let req = CountRequest::new(&bufs, n);
+        let h = HeuristicCounter::single(&conv.target_heuristic).count(&req);
+        let x = ExhaustiveCounter::single(&conv.target_exhaustive).count(&req);
         assert!(h.counts[0] <= x.counts[0]);
     });
 }

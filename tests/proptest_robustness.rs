@@ -4,9 +4,8 @@
 //! round-trip. Runs on the in-repo [`perple_repro::prop`] harness.
 
 use perple::{
-    count_exhaustive, count_exhaustive_parallel, count_heuristic, count_heuristic_each,
-    count_heuristic_each_parallel, count_heuristic_parallel, frame_at, frame_index, frame_space,
-    Conversion, PerpleRunner, SimConfig,
+    frame_at, frame_index, frame_space, Conversion, CountRequest, Counter, ExhaustiveCounter,
+    HeuristicCounter, PerpleRunner, SimConfig,
 };
 use perple_convert::KMap;
 use perple_model::{generate, parser, printer, suite};
@@ -97,12 +96,13 @@ fn else_if_chains_count_at_most_one_outcome_per_frame() {
         let run = runner.run(&conv.perpetual, n);
         let bufs = run.bufs();
 
+        let req = CountRequest::new(&bufs, n);
         let exh: Vec<_> = all.iter().map(|(o, _)| o.clone()).collect();
-        let re = count_exhaustive(&exh, &bufs, n, Some(1_000_000));
+        let re = ExhaustiveCounter::new(&exh).count(&req.with_frame_cap(Some(1_000_000)));
         assert!(re.total() <= re.frames_examined);
 
         let heu: Vec<_> = all.iter().map(|(_, h)| h.clone()).collect();
-        let rh = count_heuristic(&heu, &bufs, n);
+        let rh = HeuristicCounter::new(&heu).count(&req);
         assert!(rh.total() <= n);
     });
 }
@@ -170,21 +170,23 @@ fn parallel_counters_match_serial_for_arbitrary_worker_counts() {
             _ => Some(g.range_u64(0, 50)),
         };
         let workers = 1 + g.below(12);
+        let serial = CountRequest::new(&bufs, n);
+        let sharded = serial.with_workers(workers);
 
-        let se = count_exhaustive(&exh, &bufs, n, cap);
-        let pe = count_exhaustive_parallel(&exh, &bufs, n, cap, workers);
+        let se = ExhaustiveCounter::new(&exh).count(&serial.with_frame_cap(cap));
+        let pe = ExhaustiveCounter::new(&exh).count(&sharded.with_frame_cap(cap));
         assert_eq!(se.counts, pe.counts, "exhaustive counts, workers {workers}");
         assert_eq!(se.frames_examined, pe.frames_examined);
         assert_eq!(se.evals, pe.evals);
         assert_eq!(se.truncated, pe.truncated);
 
-        let sh = count_heuristic(&heu, &bufs, n);
-        let ph = count_heuristic_parallel(&heu, &bufs, n, workers);
+        let sh = HeuristicCounter::new(&heu).count(&serial);
+        let ph = HeuristicCounter::new(&heu).count(&sharded);
         assert_eq!(sh.counts, ph.counts, "heuristic counts, workers {workers}");
         assert_eq!(sh.evals, ph.evals);
 
-        let sa = count_heuristic_each(&heu, &bufs, n);
-        let pa = count_heuristic_each_parallel(&heu, &bufs, n, workers);
+        let sa = HeuristicCounter::each(&heu).count(&serial);
+        let pa = HeuristicCounter::each(&heu).count(&sharded);
         assert_eq!(sa.counts, pa.counts, "each counts, workers {workers}");
         assert_eq!(sa.evals, pa.evals);
 
