@@ -18,8 +18,7 @@
 //! truncation is a prefix property of the serial odometer order); a
 //! request **without** one runs the frame-sharded scan over
 //! `CountRequest::workers` threads (bit-identical to serial at every
-//! worker count). The eight original `count_*` functions remain as thin
-//! `#[deprecated]` shims delegating to the trait.
+//! worker count).
 
 use std::time::{Duration, Instant};
 
@@ -247,57 +246,6 @@ impl Counter for HeuristicCounter<'_> {
     }
 }
 
-/// The exhaustive outcome counter `COUNT` (Algorithm 1).
-///
-/// Examines every frame — each tuple of one iteration per load-performing
-/// thread — and counts **at most one** outcome per frame (the paper's
-/// else-if chain: outcomes earlier in `outcomes` take precedence).
-///
-/// `frame_cap` optionally bounds the number of frames scanned
-/// (lexicographic prefix) so `T_L = 3` tests stay tractable at large `N`;
-/// [`CountResult::truncated`] reports whether the cap hit.
-///
-/// # Panics
-///
-/// Panics if `bufs` does not contain one buffer per load-performing thread
-/// of the converted outcomes, or buffers are shorter than `n` iterations.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ExhaustiveCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_frame_cap(cap))`"
-)]
-pub fn count_exhaustive(
-    outcomes: &[PerpetualOutcome],
-    bufs: &[&[u64]],
-    n: u64,
-    frame_cap: Option<u64>,
-) -> CountResult {
-    ExhaustiveCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_frame_cap(frame_cap))
-}
-
-/// [`count_exhaustive`] under a watchdog [`Budget`], polled every
-/// [`EXHAUSTIVE_POLL_INTERVAL`] frames. An expired budget stops the scan
-/// with [`CountResult::budget_expired`] set; the partial result is exactly
-/// what [`count_exhaustive`] with a `frame_cap` at the cutoff would return
-/// (the scanned prefix of the odometer order), so budgeted counts are
-/// always a prefix-truncation of unbudgeted counts.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ExhaustiveCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_frame_cap(cap).with_budget(budget))`"
-)]
-pub fn count_exhaustive_budgeted(
-    outcomes: &[PerpetualOutcome],
-    bufs: &[&[u64]],
-    n: u64,
-    frame_cap: Option<u64>,
-    budget: &Budget,
-) -> CountResult {
-    ExhaustiveCounter::new(outcomes).count(
-        &CountRequest::new(bufs, n)
-            .with_frame_cap(frame_cap)
-            .with_budget(budget),
-    )
-}
-
 fn count_exhaustive_impl(
     outcomes: &[PerpetualOutcome],
     bufs: &[&[u64]],
@@ -362,36 +310,6 @@ fn count_exhaustive_impl(
     }
 }
 
-/// The linear heuristic outcome counter `COUNTH` (Algorithm 2).
-///
-/// Scans one pivot iteration per step, deriving the partner frame from
-/// loaded values; else-if semantics as in the exhaustive counter.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n))`"
-)]
-pub fn count_heuristic(outcomes: &[HeuristicOutcome], bufs: &[&[u64]], n: u64) -> CountResult {
-    HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n))
-}
-
-/// [`count_heuristic`] under a watchdog [`Budget`], polled once per pivot.
-/// An expired budget stops the scan with [`CountResult::budget_expired`]
-/// set; the partial result counts exactly the scanned pivot prefix
-/// `0 .. frames_examined`, identically to the unbudgeted counter over that
-/// prefix.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_budget(budget))`"
-)]
-pub fn count_heuristic_budgeted(
-    outcomes: &[HeuristicOutcome],
-    bufs: &[&[u64]],
-    n: u64,
-    budget: &Budget,
-) -> CountResult {
-    HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_budget(budget))
-}
-
 fn count_heuristic_impl(
     outcomes: &[HeuristicOutcome],
     bufs: &[&[u64]],
@@ -427,20 +345,6 @@ fn count_heuristic_impl(
         truncated: false,
         budget_expired,
     }
-}
-
-/// Per-outcome heuristic counting **without** the else-if chain: every
-/// outcome's `p_out_h` is evaluated at every pivot iteration independently.
-///
-/// Figure 13 of the paper uses this form ("PerpLE heuristic samples 1k
-/// frames *per outcome*"), which is why PerpLE's total occurrence count can
-/// exceed `N` while litmus7's total always equals the iteration count.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `HeuristicCounter::each(outcomes).count(&CountRequest::new(bufs, n))`"
-)]
-pub fn count_heuristic_each(outcomes: &[HeuristicOutcome], bufs: &[&[u64]], n: u64) -> CountResult {
-    HeuristicCounter::each(outcomes).count(&CountRequest::new(bufs, n))
 }
 
 // ---------------------------------------------------------------------------
@@ -619,35 +523,6 @@ fn merge_partials(
     }
 }
 
-/// Parallel [`count_exhaustive`]: partitions the `N^{T_L}` frame space
-/// (or its `frame_cap` prefix) into `workers` contiguous index ranges and
-/// scans them on scoped threads.
-///
-/// Bit-identical to the serial counter for every worker count: `counts`,
-/// `frames_examined`, `evals`, and `truncated` all match; only `wall`
-/// (the maximum per-worker scan time) differs.
-///
-/// # Panics
-///
-/// Panics under the same buffer-shape conditions as [`count_exhaustive`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ExhaustiveCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_frame_cap(cap).with_workers(workers))`"
-)]
-pub fn count_exhaustive_parallel(
-    outcomes: &[PerpetualOutcome],
-    bufs: &[&[u64]],
-    n: u64,
-    frame_cap: Option<u64>,
-    workers: usize,
-) -> CountResult {
-    ExhaustiveCounter::new(outcomes).count(
-        &CountRequest::new(bufs, n)
-            .with_frame_cap(frame_cap)
-            .with_workers(workers),
-    )
-}
-
 /// Frame-sharded exhaustive scan (the unbudgeted [`ExhaustiveCounter`]
 /// path): partitions the `N^{T_L}` frame space (or its `frame_cap`
 /// prefix) into `workers` contiguous index ranges and scans them on
@@ -788,37 +663,6 @@ fn count_heuristic_sharded(
     merge_partials(partials, outcomes.len(), frames_examined, false)
 }
 
-/// Parallel [`count_heuristic`]: shards the pivot range `0 .. N` into
-/// contiguous per-worker slices. Pivots are classified independently, so
-/// the merged result is bit-identical to the serial counter's.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_workers(workers))`"
-)]
-pub fn count_heuristic_parallel(
-    outcomes: &[HeuristicOutcome],
-    bufs: &[&[u64]],
-    n: u64,
-    workers: usize,
-) -> CountResult {
-    HeuristicCounter::new(outcomes).count(&CountRequest::new(bufs, n).with_workers(workers))
-}
-
-/// Parallel [`count_heuristic_each`]: pivot-range sharding of the
-/// unchained (per-outcome) heuristic counter.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `HeuristicCounter::each(outcomes).count(&CountRequest::new(bufs, n).with_workers(workers))`"
-)]
-pub fn count_heuristic_each_parallel(
-    outcomes: &[HeuristicOutcome],
-    bufs: &[&[u64]],
-    n: u64,
-    workers: usize,
-) -> CountResult {
-    HeuristicCounter::each(outcomes).count(&CountRequest::new(bufs, n).with_workers(workers))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -837,9 +681,8 @@ mod tests {
         SbFixture { conv, all }
     }
 
-    // Local wrappers with the legacy shapes, shadowing the deprecated
-    // shims from `use super::*`: every reference test below exercises the
-    // `Counter` trait directly.
+    // Local wrappers with the legacy call shapes: every reference test
+    // below exercises the `Counter` trait directly.
     fn count_exhaustive(
         outcomes: &[PerpetualOutcome],
         bufs: &[&[u64]],
@@ -1296,38 +1139,6 @@ mod tests {
             assert!(r.budget_expired);
             assert_eq!(r.frames_examined, EXHAUSTIVE_POLL_INTERVAL);
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_the_trait() {
-        let f = sb_fixture();
-        let exh: Vec<PerpetualOutcome> = f.all.iter().map(|(o, _)| o.clone()).collect();
-        let heu: Vec<HeuristicOutcome> = f.all.iter().map(|(_, h)| h.clone()).collect();
-        let (b0, b1) = lockstep_bufs(20);
-        let bufs: Vec<&[u64]> = vec![&b0, &b1];
-        let via_trait =
-            ExhaustiveCounter::new(&exh).count(&CountRequest::new(&bufs, 20).with_frame_cap(None));
-        let via_shim = super::count_exhaustive(&exh, &bufs, 20, None);
-        assert_eq!(via_shim.counts, via_trait.counts);
-        assert_eq!(via_shim.evals, via_trait.evals);
-        let h_trait = HeuristicCounter::new(&heu).count(&CountRequest::new(&bufs, 20));
-        let h_shim = super::count_heuristic(&heu, &bufs, 20);
-        assert_eq!(h_shim.counts, h_trait.counts);
-        let e_trait = HeuristicCounter::each(&heu).count(&CountRequest::new(&bufs, 20));
-        let e_shim = super::count_heuristic_each(&heu, &bufs, 20);
-        assert_eq!(e_shim.counts, e_trait.counts);
-        let p_shim = super::count_heuristic_parallel(&heu, &bufs, 20, 3);
-        assert_eq!(p_shim.counts, h_trait.counts);
-        let pe_shim = super::count_heuristic_each_parallel(&heu, &bufs, 20, 3);
-        assert_eq!(pe_shim.counts, e_trait.counts);
-        let px_shim = super::count_exhaustive_parallel(&exh, &bufs, 20, None, 3);
-        assert_eq!(px_shim.counts, via_trait.counts);
-        let budget = Budget::unlimited();
-        let bx_shim = super::count_exhaustive_budgeted(&exh, &bufs, 20, None, &budget);
-        assert_eq!(bx_shim.counts, via_trait.counts);
-        let bh_shim = super::count_heuristic_budgeted(&heu, &bufs, 20, &budget);
-        assert_eq!(bh_shim.counts, h_trait.counts);
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn main() {
             // A fresh store sub-directory per pass keeps every pass cold.
             let store = root.join(pass.get().to_string());
             pass.set(pass.get() + 1);
-            let summary = run_spec(&s, &store).expect("cold run");
+            let summary = run_spec(&s, &store, false).expect("cold run");
             assert_eq!(summary.hits, 0, "cold pass must miss everything");
             summary
         });
@@ -47,9 +47,9 @@ fn main() {
         let _ = items;
 
         let warm_root = scratch(&format!("warm-{n}"));
-        let seeded = run_spec(&s, &warm_root).expect("seeding run");
+        let seeded = run_spec(&s, &warm_root, false).expect("seeding run");
         let warm = bench.run(&format!("campaign/warm/n={n}"), || {
-            let summary = run_spec(&s, &warm_root).expect("warm run");
+            let summary = run_spec(&s, &warm_root, false).expect("warm run");
             assert_eq!(summary.hits, seeded.items, "warm pass must hit everything");
             assert_eq!(summary.executed, 0, "warm pass must execute nothing");
             summary

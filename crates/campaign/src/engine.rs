@@ -85,6 +85,19 @@ pub struct ExecOutcome {
     pub wall: StageWallMs,
 }
 
+/// Severity totals from a pre-run lint pass over the spec's tests. Defined
+/// here (not in the lint crate) so the engine stays analysis-agnostic: the
+/// caller runs whatever linter it likes and hands the engine the counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LintSummary {
+    /// Error-severity findings.
+    pub errors: u64,
+    /// Warning-severity findings.
+    pub warnings: u64,
+    /// Note-severity findings.
+    pub notes: u64,
+}
+
 /// Everything the caller embeds in the manifest besides the spec. Wall
 /// times are measured by the engine itself; these are the bits only the
 /// caller knows.
@@ -94,6 +107,9 @@ pub struct RunMeta {
     pub created_unix_ms: u64,
     /// `git describe` of the producing tree.
     pub git: String,
+    /// Lint totals over the spec's tests, if the caller ran a pre-run lint
+    /// pass. `None` omits the manifest's `lint` key entirely.
+    pub lint: Option<LintSummary>,
 }
 
 /// The manifest's `metrics` object: the run's observability snapshot
@@ -212,7 +228,7 @@ pub fn run_campaign(
         .count();
 
     let id = store.next_run_id(&spec.name);
-    let manifest = Json::obj(vec![
+    let mut fields = vec![
         ("schema", Json::from(1u64)),
         ("id", Json::from(id.as_str())),
         ("name", Json::from(spec.name.as_str())),
@@ -230,6 +246,18 @@ pub fn run_campaign(
                 ("violations", Json::from(violations)),
             ]),
         ),
+    ];
+    if let Some(lint) = &meta.lint {
+        fields.push((
+            "lint",
+            Json::obj(vec![
+                ("errors", Json::from(lint.errors)),
+                ("warnings", Json::from(lint.warnings)),
+                ("notes", Json::from(lint.notes)),
+            ]),
+        ));
+    }
+    fields.extend([
         ("wall_ms", Json::from(t0.elapsed().as_millis())),
         ("stage_wall_ms", stage_wall.to_json()),
         (
@@ -237,6 +265,7 @@ pub fn run_campaign(
             metrics_json(&perple_obs::metrics::snapshot().delta_from(&metrics_before)),
         ),
     ]);
+    let manifest = Json::obj(fields);
     store.write_run(&id, &manifest, &stored)?;
 
     Ok(RunSummary {
@@ -305,7 +334,41 @@ mod tests {
         RunMeta {
             created_unix_ms: 1,
             git: "test".to_owned(),
+            lint: None,
         }
+    }
+
+    #[test]
+    fn lint_summary_appears_in_the_manifest_only_when_present() {
+        let root = tmp_root("lintmeta");
+        let store = RunStore::open(&root).unwrap();
+        let cache = ArtifactCache::open(&root).unwrap();
+        let spec = CampaignSpec::named("lm");
+        let items = vec![item("sb", 1)];
+        let bare = run_campaign(&store, &cache, &spec, &items, &meta(), |batch| {
+            batch.iter().map(|i| Some(outcome(i, 1, true))).collect()
+        })
+        .unwrap();
+        assert!(
+            store.load_manifest(&bare.id).unwrap().get("lint").is_none(),
+            "no lint pass, no lint key"
+        );
+
+        let mut with_lint = meta();
+        with_lint.lint = Some(LintSummary {
+            errors: 0,
+            warnings: 2,
+            notes: 5,
+        });
+        let linted = run_campaign(&store, &cache, &spec, &items, &with_lint, |batch| {
+            batch.iter().map(|i| Some(outcome(i, 1, true))).collect()
+        })
+        .unwrap();
+        let m = store.load_manifest(&linted.id).unwrap();
+        let lint = m.get("lint").expect("lint key present");
+        assert_eq!(lint.get("warnings").and_then(Json::as_u64), Some(2));
+        assert_eq!(lint.get("notes").and_then(Json::as_u64), Some(5));
+        let _ = fs::remove_dir_all(root);
     }
 
     #[test]

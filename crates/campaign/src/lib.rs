@@ -44,7 +44,9 @@ pub use compare::{
     compare_records, compare_runs, metric_notes, CompareConfig, CompareReport, Regression,
     RegressionKind,
 };
-pub use engine::{run_campaign, CampaignItem, ExecOutcome, RunMeta, RunSummary, StageWallMs};
+pub use engine::{
+    run_campaign, CampaignItem, ExecOutcome, LintSummary, RunMeta, RunSummary, StageWallMs,
+};
 pub use fingerprint::{Fingerprint, Hasher, CACHE_FORMAT_VERSION};
 pub use spec::CampaignSpec;
 pub use store::{git_describe, OutcomeRecord, RunStore};

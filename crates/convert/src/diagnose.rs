@@ -1,0 +1,316 @@
+//! Structural convertibility diagnosis: *every* reason a test falls outside
+//! the paper's convertible class (§V-C), not just the first one the
+//! conversion pipeline trips over.
+//!
+//! [`Conversion::convert`](crate::Conversion::convert) fails fast with a
+//! single [`ConvertError`](crate::ConvertError); [`diagnose`] instead walks
+//! the test's condition atoms, init state, and store set and reports each
+//! obstruction with enough structure (atom index, instruction reference) for
+//! a caller to attach source spans. The invariant — proven over the whole
+//! 88-test suite — is that the diagnosis is empty exactly when the test is
+//! convertible.
+
+use std::fmt;
+
+use perple_model::{CondAtom, InstrRef, LitmusTest, LocId, RegId, ThreadId};
+
+/// One structural reason a test cannot be converted.
+///
+/// `atom` fields index [`perple_model::Condition::atoms`], so they line up
+/// with [`perple_model::SourceMap::cond_atom`] spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvertObstruction {
+    /// A condition clause inspects final shared memory (§V-C): a perpetual
+    /// run has no final state to inspect.
+    MemoryClause {
+        /// Index into `Condition::atoms`.
+        atom: usize,
+        /// Location name.
+        loc: String,
+        /// Expected final value.
+        value: u32,
+    },
+    /// A location starts at a non-zero value; zero is the reserved
+    /// pre-sequence state the iteration attribution relies on.
+    NonZeroInit {
+        /// Location name.
+        loc: String,
+        /// The offending initial value.
+        value: u32,
+    },
+    /// Two store instructions write the same value to one location, making
+    /// load attribution ambiguous.
+    DuplicateStoreValue {
+        /// Location name.
+        loc: String,
+        /// The duplicated value.
+        value: u32,
+        /// The first storing instruction in program order.
+        first: InstrRef,
+        /// A later instruction storing the same value.
+        second: InstrRef,
+    },
+    /// A condition clause names a register no load writes.
+    UnloadedRegister {
+        /// Index into `Condition::atoms`.
+        atom: usize,
+        /// Thread index.
+        thread: usize,
+        /// Register name.
+        reg: String,
+    },
+    /// A condition clause expects a positive value no store produces at the
+    /// loaded location.
+    NoWriterForValue {
+        /// Index into `Condition::atoms`.
+        atom: usize,
+        /// Location name (of the register's last load).
+        loc: String,
+        /// The unattributable value.
+        value: u32,
+    },
+}
+
+impl ConvertObstruction {
+    /// The `Condition::atoms` index this obstruction points at, if it
+    /// concerns a condition clause.
+    pub fn atom_index(&self) -> Option<usize> {
+        match self {
+            ConvertObstruction::MemoryClause { atom, .. }
+            | ConvertObstruction::UnloadedRegister { atom, .. }
+            | ConvertObstruction::NoWriterForValue { atom, .. } => Some(*atom),
+            ConvertObstruction::NonZeroInit { .. }
+            | ConvertObstruction::DuplicateStoreValue { .. } => None,
+        }
+    }
+
+    /// The instruction this obstruction points at, if any.
+    pub fn instr(&self) -> Option<InstrRef> {
+        match self {
+            ConvertObstruction::DuplicateStoreValue { second, .. } => Some(*second),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ConvertObstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertObstruction::MemoryClause { loc, value, .. } => write!(
+                f,
+                "clause [{loc}]={value} inspects final shared memory; a perpetual run has no final state"
+            ),
+            ConvertObstruction::NonZeroInit { loc, value } => write!(
+                f,
+                "location [{loc}] starts at {value}; zero is the reserved pre-sequence state"
+            ),
+            ConvertObstruction::DuplicateStoreValue {
+                loc,
+                value,
+                first,
+                second,
+            } => write!(
+                f,
+                "value {value} is stored to [{loc}] by both P{}:{} and P{}:{}; load attribution would be ambiguous",
+                first.thread.index(),
+                first.index,
+                second.thread.index(),
+                second.index
+            ),
+            ConvertObstruction::UnloadedRegister { thread, reg, .. } => {
+                write!(f, "clause names register {thread}:{reg} that no load writes")
+            }
+            ConvertObstruction::NoWriterForValue { loc, value, .. } => {
+                write!(f, "no store writes value {value} to [{loc}]")
+            }
+        }
+    }
+}
+
+/// The location a condition's register clause observes: the register's last
+/// load in program order (matching the conversion's read-attribution rule).
+fn observed_loc(test: &LitmusTest, thread: ThreadId, reg: RegId) -> Option<LocId> {
+    test.load_slots()
+        .into_iter()
+        .rfind(|s| s.thread == thread && s.reg == reg)
+        .map(|s| s.loc)
+}
+
+/// Reports every structural obstruction to converting `test`.
+///
+/// Empty iff [`crate::is_convertible`] holds.
+pub fn diagnose(test: &LitmusTest) -> Vec<ConvertObstruction> {
+    let mut out = Vec::new();
+
+    // Init state: non-zero initial values break the zero-is-initial rule.
+    for (loc_idx, &v) in test.init_values().iter().enumerate() {
+        if v != 0 {
+            out.push(ConvertObstruction::NonZeroInit {
+                loc: test.location_name(LocId(loc_idx as u8)).to_owned(),
+                value: v,
+            });
+        }
+    }
+
+    // Store set: any value written twice to one location is ambiguous.
+    for loc_idx in 0..test.location_count() {
+        let loc = LocId(loc_idx as u8);
+        let stores = test.stores_to(loc);
+        for (i, &(first, v)) in stores.iter().enumerate() {
+            if let Some(&(second, _)) = stores[i + 1..].iter().find(|&&(_, w)| w == v) {
+                // Report each duplicated value once, at its first recurrence.
+                if stores[..i].iter().all(|&(_, w)| w != v) {
+                    out.push(ConvertObstruction::DuplicateStoreValue {
+                        loc: test.location_name(loc).to_owned(),
+                        value: v,
+                        first,
+                        second,
+                    });
+                }
+            }
+        }
+    }
+
+    // Condition clauses, in Condition::atoms order.
+    for (atom, a) in test.target().atoms().iter().enumerate() {
+        match *a {
+            CondAtom::MemEq { loc, value } => {
+                out.push(ConvertObstruction::MemoryClause {
+                    atom,
+                    loc: test.location_name(loc).to_owned(),
+                    value,
+                });
+            }
+            CondAtom::RegEq { thread, reg, value } => {
+                let Some(loc) = observed_loc(test, thread, reg) else {
+                    out.push(ConvertObstruction::UnloadedRegister {
+                        atom,
+                        thread: thread.index(),
+                        reg: test.reg_name(thread, reg).to_owned(),
+                    });
+                    continue;
+                };
+                // Value 0 is always attributable (the initial state); any
+                // positive value needs a unique writer. Duplicated writers
+                // are reported by the store-set pass above.
+                if value != 0 && !test.stores_to(loc).iter().any(|&(_, v)| v == value) {
+                    out.push(ConvertObstruction::NoWriterForValue {
+                        atom,
+                        loc: test.location_name(loc).to_owned(),
+                        value,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_convertible;
+    use perple_model::{suite, TestBuilder};
+
+    #[test]
+    fn diagnosis_empty_iff_convertible_across_full_suite() {
+        for t in suite::full() {
+            let obstructions = diagnose(&t);
+            assert_eq!(
+                obstructions.is_empty(),
+                is_convertible(&t),
+                "{}: diagnose() disagrees with is_convertible(): {obstructions:?}",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_clause_reports_atom_index() {
+        let t = suite::by_name("2+2w").unwrap();
+        let obs = diagnose(&t);
+        assert!(!obs.is_empty());
+        for o in &obs {
+            let ConvertObstruction::MemoryClause { atom, .. } = o else {
+                panic!("expected only memory-clause obstructions, got {o:?}");
+            };
+            assert!(*atom < t.target().atoms().len());
+        }
+    }
+
+    #[test]
+    fn nonzero_init_and_duplicate_store_are_reported_together() {
+        let mut b = TestBuilder::new("multi");
+        b.thread().store("x", 1);
+        b.thread().store("x", 1).load("EAX", "x");
+        b.init("y", 3);
+        b.thread().load("EBX", "y");
+        b.reg_cond(1, "EAX", 1);
+        let t = b.build().unwrap();
+        let obs = diagnose(&t);
+        assert!(obs
+            .iter()
+            .any(|o| matches!(o, ConvertObstruction::NonZeroInit { loc, value: 3 } if loc == "y")));
+        assert!(obs.iter().any(|o| matches!(
+            o,
+            ConvertObstruction::DuplicateStoreValue { loc, value: 1, .. } if loc == "x"
+        )));
+        assert_eq!(obs.len(), 2);
+    }
+
+    #[test]
+    fn no_writer_for_value_points_at_the_clause() {
+        let mut b = TestBuilder::new("nowriter");
+        b.thread().store("x", 1);
+        b.thread().load("EAX", "x");
+        b.reg_cond(1, "EAX", 7);
+        let t = b.build().unwrap();
+        let obs = diagnose(&t);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(
+            obs[0],
+            ConvertObstruction::NoWriterForValue {
+                atom: 0,
+                loc: "x".into(),
+                value: 7,
+            }
+        );
+        assert_eq!(obs[0].atom_index(), Some(0));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let samples = [
+            ConvertObstruction::MemoryClause {
+                atom: 0,
+                loc: "x".into(),
+                value: 1,
+            },
+            ConvertObstruction::NonZeroInit {
+                loc: "x".into(),
+                value: 2,
+            },
+            ConvertObstruction::DuplicateStoreValue {
+                loc: "x".into(),
+                value: 1,
+                first: InstrRef::new(0, 0),
+                second: InstrRef::new(1, 0),
+            },
+            ConvertObstruction::UnloadedRegister {
+                atom: 1,
+                thread: 0,
+                reg: "EAX".into(),
+            },
+            ConvertObstruction::NoWriterForValue {
+                atom: 2,
+                loc: "y".into(),
+                value: 9,
+            },
+        ];
+        for s in samples {
+            let m = s.to_string();
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'), "{m}");
+        }
+    }
+}

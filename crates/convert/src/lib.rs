@@ -44,6 +44,7 @@
 
 pub mod artifact;
 pub mod codegen;
+pub mod diagnose;
 mod heuristic;
 mod kmap;
 mod outcomes;

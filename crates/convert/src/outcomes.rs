@@ -430,8 +430,12 @@ pub fn convert_all_outcomes(
         if !xchg_feasible(test, &o) {
             continue;
         }
+        // Clobbered registers (two loads, one register) make distinct slot
+        // valuations collapse to one register outcome; keep the first.
+        if seen.insert(o.label(), ()).is_some() {
+            continue;
+        }
         let po = PerpetualOutcome::convert_outcome(test, perp, kmap, &o)?;
-        seen.insert(o.label(), ());
         out.push(po);
     }
     debug_assert_eq!(seen.len(), out.len());

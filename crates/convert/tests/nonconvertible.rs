@@ -1,0 +1,152 @@
+//! Table-driven classification of the non-convertible suite complement.
+//!
+//! Pins, per test, which [`ConvertError`] variant rejects it — and that the
+//! complement is exactly the paper's 54 tests (§V-C). Every entry today is
+//! `MemoryCondition`: all 54 carry a final-memory clause, which is the
+//! paper's sole source of non-convertibility in this suite. The table keeps
+//! the variant explicit anyway so a pipeline reordering (e.g. `KMap` errors
+//! surfacing first) shows up as a reviewed diff, not a silent change.
+
+use perple_convert::diagnose::{diagnose, ConvertObstruction};
+use perple_convert::{Conversion, ConvertError};
+use perple_model::suite;
+
+/// Which variant a conversion error is, ignoring payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    MemoryCondition,
+    DuplicateStoreValue,
+    NonZeroInit,
+    UnloadedRegister,
+    NoWriterForValue,
+}
+
+fn variant_of(e: &ConvertError) -> Variant {
+    match e {
+        ConvertError::MemoryCondition => Variant::MemoryCondition,
+        ConvertError::DuplicateStoreValue { .. } => Variant::DuplicateStoreValue,
+        ConvertError::NonZeroInit { .. } => Variant::NonZeroInit,
+        ConvertError::UnloadedRegister { .. } => Variant::UnloadedRegister,
+        ConvertError::NoWriterForValue { .. } => Variant::NoWriterForValue,
+    }
+}
+
+/// `(test name, expected rejection variant)` for every non-convertible
+/// test, in name order.
+const EXPECTED: &[(&str, Variant)] = &[
+    ("2+2w", Variant::MemoryCondition),
+    ("2+2w+mfence+po", Variant::MemoryCondition),
+    ("2+2w+mfences", Variant::MemoryCondition),
+    ("2+2w+po+mfence", Variant::MemoryCondition),
+    ("3+3w", Variant::MemoryCondition),
+    ("3+3w+mfence+mfence+po", Variant::MemoryCondition),
+    ("3+3w+mfence+po+po", Variant::MemoryCondition),
+    ("3+3w+mfences", Variant::MemoryCondition),
+    ("3w+final1", Variant::MemoryCondition),
+    ("3w+final2", Variant::MemoryCondition),
+    ("3w+final3", Variant::MemoryCondition),
+    ("3w+xchgs", Variant::MemoryCondition),
+    ("co-2w", Variant::MemoryCondition),
+    ("co-2w+po+xchg", Variant::MemoryCondition),
+    ("co-2w+xchg+po", Variant::MemoryCondition),
+    ("co-2w+xchgs", Variant::MemoryCondition),
+    ("co-lb+final1", Variant::MemoryCondition),
+    ("co-lb+final1+mfences", Variant::MemoryCondition),
+    ("co-lb+final2", Variant::MemoryCondition),
+    ("co-lb+final2+mfences", Variant::MemoryCondition),
+    ("co-mp", Variant::MemoryCondition),
+    ("co-mp+mfence+po", Variant::MemoryCondition),
+    ("co-mp+mfences", Variant::MemoryCondition),
+    ("co-mp+po+mfence", Variant::MemoryCondition),
+    ("co-rr", Variant::MemoryCondition),
+    ("co-rr+mfence+po", Variant::MemoryCondition),
+    ("co-rr+mfences", Variant::MemoryCondition),
+    ("co-rr+po+mfence", Variant::MemoryCondition),
+    ("co-sb", Variant::MemoryCondition),
+    ("co-sb+mfence+po", Variant::MemoryCondition),
+    ("co-sb+mfences", Variant::MemoryCondition),
+    ("co-sb+po+mfence", Variant::MemoryCondition),
+    ("iriw+final", Variant::MemoryCondition),
+    ("iriw+final+mfence+po", Variant::MemoryCondition),
+    ("iriw+final+mfences", Variant::MemoryCondition),
+    ("iriw+final+po+mfence", Variant::MemoryCondition),
+    ("mp+final", Variant::MemoryCondition),
+    ("mp+final+mfence+po", Variant::MemoryCondition),
+    ("mp+final+mfences", Variant::MemoryCondition),
+    ("mp+final+po+mfence", Variant::MemoryCondition),
+    ("r", Variant::MemoryCondition),
+    ("r+mfence+po", Variant::MemoryCondition),
+    ("r+mfences", Variant::MemoryCondition),
+    ("r+po+mfence", Variant::MemoryCondition),
+    ("s", Variant::MemoryCondition),
+    ("s+mfence+po", Variant::MemoryCondition),
+    ("s+mfences", Variant::MemoryCondition),
+    ("s+po+mfence", Variant::MemoryCondition),
+    ("sb+final", Variant::MemoryCondition),
+    ("sb+final+mfence+po", Variant::MemoryCondition),
+    ("sb+final+mfences", Variant::MemoryCondition),
+    ("sb+final+po+mfence", Variant::MemoryCondition),
+    ("wrc+final", Variant::MemoryCondition),
+    ("wrc+final+mfence", Variant::MemoryCondition),
+];
+
+#[test]
+fn non_convertible_complement_is_exactly_the_54_expected_tests() {
+    assert_eq!(EXPECTED.len(), 54);
+    let mut rejected = Vec::new();
+    for t in suite::full() {
+        match Conversion::convert(&t) {
+            Ok(_) => {
+                assert!(
+                    !EXPECTED.iter().any(|(n, _)| *n == t.name()),
+                    "{}: listed as non-convertible but converts",
+                    t.name()
+                );
+            }
+            Err(e) => rejected.push((t.name().to_owned(), e)),
+        }
+    }
+    rejected.sort_by(|(a, _), (b, _)| a.cmp(b));
+    assert_eq!(rejected.len(), 54, "non-convertible complement size");
+    for ((name, err), (want_name, want_variant)) in rejected.iter().zip(EXPECTED) {
+        assert_eq!(name, want_name, "complement membership changed");
+        assert_eq!(
+            variant_of(err),
+            *want_variant,
+            "{name}: rejected by {err} instead of {want_variant:?}"
+        );
+    }
+}
+
+#[test]
+fn rejection_variant_agrees_with_the_structural_diagnosis() {
+    // Every MemoryCondition rejection must show up in diagnose() as at
+    // least one MemoryClause obstruction pointing at a real atom.
+    for (name, variant) in EXPECTED {
+        let t = suite::by_name(name).unwrap_or_else(|| panic!("{name}: not in suite"));
+        assert_eq!(*variant, Variant::MemoryCondition);
+        let mem_clauses: Vec<_> = diagnose(&t)
+            .into_iter()
+            .filter(|o| matches!(o, ConvertObstruction::MemoryClause { .. }))
+            .collect();
+        assert!(!mem_clauses.is_empty(), "{name}: no MemoryClause diagnosis");
+        for o in mem_clauses {
+            let ConvertObstruction::MemoryClause { atom, .. } = o else {
+                unreachable!()
+            };
+            assert!(atom < t.target().atoms().len(), "{name}: atom out of range");
+        }
+    }
+}
+
+#[test]
+fn display_of_each_rejection_names_the_problem() {
+    for (name, _) in EXPECTED {
+        let t = suite::by_name(name).unwrap();
+        let msg = Conversion::convert(&t).unwrap_err().to_string();
+        assert!(
+            msg.contains("not convertible"),
+            "{name}: uninformative message {msg:?}"
+        );
+    }
+}

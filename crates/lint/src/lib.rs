@@ -1,0 +1,475 @@
+//! # perple-lint
+//!
+//! Rule-based static analysis over litmus tests, their perpetual
+//! conversions, and their outcome conditions.
+//!
+//! PerpLE's correctness rests on invariants the pipeline otherwise checks
+//! only dynamically (or not at all): value-uniqueness of the arithmetic
+//! sequences `k_mem * n_t + a`, convertibility (§V-C), and soundness of the
+//! heuristic condition `p_out_h` relative to the exhaustive `p_out`. This
+//! crate pushes those checks ahead of the expensive counting phase as cheap
+//! whole-test static rules with spanned, structured diagnostics.
+//!
+//! ## Rules
+//!
+//! | id | name | checks |
+//! |------|------------------------|--------|
+//! | L001 | sequence-overflow      | `k_mem * n + a` fits the value width for the configured iteration count |
+//! | L002 | non-convertible        | per-clause / per-instruction reasons a test falls outside §V-C |
+//! | L003 | condition-vacuity      | dead / tautological conditions, cross-validated against the axiomatic TSO model |
+//! | L004 | heuristic-ambiguity    | linear partner derivation falls back to lockstep (`p_out_h` may undercount) |
+//! | L005 | codegen-hygiene        | clobbered / unused registers, location aliasing in per-thread programs |
+//! | L006 | outcome-coverage       | condition clauses expecting values the outcome space cannot produce |
+//!
+//! ## Severity model
+//!
+//! [`Severity::Error`] marks converter bugs and configurations that would
+//! produce wrong counts (overflowing sequences, tautology/infeasibility
+//! disagreeing with the axiomatic model). [`Severity::Warning`] marks
+//! suspicious-but-runnable constructs (dead clauses, clobbered registers).
+//! [`Severity::Note`] is informational — in particular, the expected
+//! non-convertibility explanations (L002) for the 54-test complement are
+//! notes, so a clean corpus stays clean under `--deny warnings`.
+//!
+//! # Example
+//!
+//! ```
+//! use perple_lint::{lint_test, LintConfig};
+//! use perple_model::suite;
+//!
+//! let report = lint_test(&suite::sb(), &LintConfig::default());
+//! assert!(report.diagnostics.is_empty());
+//! assert!(report.convertible);
+//!
+//! let nc = lint_test(&suite::by_name("2+2w").unwrap(), &LintConfig::default());
+//! assert!(!nc.convertible);
+//! assert!(nc.diagnostics.iter().any(|d| d.rule.code() == "L002"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rules;
+
+use std::fmt;
+
+use perple_analysis::jsonout::Json;
+use perple_model::{parser, printer, LitmusTest, ModelError, SourceMap, Span};
+
+/// Diagnostic severity, ordered `Note < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never gates.
+    Note,
+    /// Suspicious construct; gates under `--deny warnings`.
+    Warning,
+    /// Definite defect; always gates.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name, as emitted in JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Sequence value overflow at the configured iteration count.
+    L001,
+    /// Reasons a test is non-convertible (§V-C).
+    L002,
+    /// Dead / tautological conditions vs the axiomatic model.
+    L003,
+    /// Ambiguous linear partner derivation (heuristic undercount risk).
+    L004,
+    /// Codegen hygiene: clobbered/unused registers, location aliasing.
+    L005,
+    /// Outcome-space coverage of condition clauses.
+    L006,
+}
+
+impl RuleId {
+    /// Every rule, in id order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::L001,
+        RuleId::L002,
+        RuleId::L003,
+        RuleId::L004,
+        RuleId::L005,
+        RuleId::L006,
+    ];
+
+    /// The stable machine code, e.g. `"L001"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::L001 => "L001",
+            RuleId::L002 => "L002",
+            RuleId::L003 => "L003",
+            RuleId::L004 => "L004",
+            RuleId::L005 => "L005",
+            RuleId::L006 => "L006",
+        }
+    }
+
+    /// The short human name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::L001 => "sequence-overflow",
+            RuleId::L002 => "non-convertible",
+            RuleId::L003 => "condition-vacuity",
+            RuleId::L004 => "heuristic-ambiguity",
+            RuleId::L005 => "codegen-hygiene",
+            RuleId::L006 => "outcome-coverage",
+        }
+    }
+
+    /// One-line description for `--help`-style listings.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::L001 => "prove k_mem*n+a fits the value width for the configured iteration count",
+            RuleId::L002 => "explain per clause/instruction why a test is non-convertible (paper §V-C)",
+            RuleId::L003 => "detect dead or tautological conditions, cross-validated against the axiomatic TSO model",
+            RuleId::L004 => "flag outcomes whose linear partner derivation falls back to lockstep",
+            RuleId::L005 => "flag clobbered or unused registers and case-aliased locations",
+            RuleId::L006 => "flag condition clauses expecting values the outcome space cannot produce",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding: rule, severity, source span, and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// How severe the finding is.
+    pub severity: Severity,
+    /// Where in the (canonical) litmus source the finding points. The
+    /// default (empty) span means "the whole test".
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.rule)?;
+        if !self.span.is_empty() {
+            write!(f, " ({})", self.span)?;
+        }
+        write!(f, " {}", self.message)
+    }
+}
+
+/// Analysis configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Iteration count `N` the perpetual run is checked against (L001).
+    pub iterations: u64,
+    /// Bit width of runtime memory values (L001).
+    pub value_bits: u32,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 10_000,
+            value_bits: 64,
+        }
+    }
+}
+
+/// Lint results for one test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestReport {
+    /// Test name.
+    pub name: String,
+    /// Where the source came from (file path), if linted from a file.
+    pub origin: Option<String>,
+    /// The litmus source the spans index into.
+    pub source: String,
+    /// Whether the test is convertible (§V-C).
+    pub convertible: bool,
+    /// Findings, in rule order then source order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl TestReport {
+    /// Number of diagnostics at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// The spanned source text of a diagnostic, if its span is non-empty.
+    pub fn snippet(&self, d: &Diagnostic) -> Option<&str> {
+        if d.span.is_empty() {
+            None
+        } else {
+            d.span.slice(&self.source)
+        }
+    }
+}
+
+/// Lint results for a batch of tests plus the config they ran under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// The configuration the rules ran under.
+    pub config: LintConfig,
+    /// Per-test results, in input order.
+    pub tests: Vec<TestReport>,
+}
+
+impl LintReport {
+    /// Wraps per-test reports.
+    pub fn new(config: LintConfig, tests: Vec<TestReport>) -> Self {
+        Self { config, tests }
+    }
+
+    /// Total diagnostics at exactly `sev` across all tests.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.tests.iter().map(|t| t.count(sev)).sum()
+    }
+
+    /// True if the batch should gate: any error, or any warning when
+    /// `deny_warnings` is set. Notes never gate.
+    pub fn gates(&self, deny_warnings: bool) -> bool {
+        self.count(Severity::Error) > 0 || (deny_warnings && self.count(Severity::Warning) > 0)
+    }
+
+    /// The machine-readable report (schema `perple-lint-v1`). Byte-stable:
+    /// two runs over the same inputs render identically.
+    pub fn to_json(&self) -> Json {
+        let tests = self
+            .tests
+            .iter()
+            .map(|t| {
+                let diags = t
+                    .diagnostics
+                    .iter()
+                    .map(|d| {
+                        Json::obj(vec![
+                            ("rule", Json::Str(d.rule.code().to_owned())),
+                            ("name", Json::Str(d.rule.name().to_owned())),
+                            ("severity", Json::Str(d.severity.as_str().to_owned())),
+                            ("line", Json::Int(d.span.line as i128)),
+                            ("start", Json::Int(d.span.start as i128)),
+                            ("end", Json::Int(d.span.end as i128)),
+                            ("message", Json::Str(d.message.clone())),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("test", Json::Str(t.name.clone())),
+                    (
+                        "source",
+                        t.origin
+                            .as_ref()
+                            .map_or(Json::Null, |p| Json::Str(p.clone())),
+                    ),
+                    ("convertible", Json::Bool(t.convertible)),
+                    ("diagnostics", Json::Arr(diags)),
+                    (
+                        "counts",
+                        Json::obj(vec![
+                            ("errors", Json::Int(t.count(Severity::Error) as i128)),
+                            ("warnings", Json::Int(t.count(Severity::Warning) as i128)),
+                            ("notes", Json::Int(t.count(Severity::Note) as i128)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::Str("perple-lint-v1".to_owned())),
+            (
+                "config",
+                Json::obj(vec![
+                    ("iterations", Json::Int(self.config.iterations as i128)),
+                    ("value_bits", Json::Int(self.config.value_bits as i128)),
+                ]),
+            ),
+            ("tests", Json::Arr(tests)),
+            (
+                "totals",
+                Json::obj(vec![
+                    ("tests", Json::Int(self.tests.len() as i128)),
+                    ("errors", Json::Int(self.count(Severity::Error) as i128)),
+                    ("warnings", Json::Int(self.count(Severity::Warning) as i128)),
+                    ("notes", Json::Int(self.count(Severity::Note) as i128)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Human-readable rendering: per-test diagnostics with quoted snippets,
+    /// then a summary line.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for t in &self.tests {
+            if t.diagnostics.is_empty() {
+                continue;
+            }
+            let origin = t.origin.as_deref().unwrap_or("<suite>");
+            let _ = writeln!(out, "{} ({origin}):", t.name);
+            for d in &t.diagnostics {
+                let _ = writeln!(out, "  {d}");
+                if let Some(snip) = t.snippet(d) {
+                    let _ = writeln!(out, "    | {snip}");
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} tests: {} errors, {} warnings, {} notes",
+            self.tests.len(),
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Note),
+        );
+        out
+    }
+}
+
+/// Lints a litmus source text.
+///
+/// # Errors
+/// Returns the (spanned) [`ModelError`] if the source does not parse.
+pub fn lint_source(src: &str, cfg: &LintConfig) -> Result<TestReport, ModelError> {
+    let (test, map) = parser::parse_with_spans(src)?;
+    Ok(lint_parsed(&test, src, &map, cfg))
+}
+
+/// Lints a programmatically-built test by rendering it to canonical litmus
+/// text first (so diagnostics carry spans into that text).
+pub fn lint_test(test: &LitmusTest, cfg: &LintConfig) -> TestReport {
+    let src = printer::print(test);
+    let (reparsed, map) = parser::parse_with_spans(&src)
+        .expect("printer output must re-parse (round-trip invariant)");
+    debug_assert_eq!(&reparsed, test);
+    lint_parsed(&reparsed, &src, &map, cfg)
+}
+
+/// Runs every rule over an already-parsed test and its source map.
+pub fn lint_parsed(test: &LitmusTest, src: &str, map: &SourceMap, cfg: &LintConfig) -> TestReport {
+    let mut diagnostics = Vec::new();
+    rules::l001_sequence_overflow(test, map, cfg, &mut diagnostics);
+    rules::l002_non_convertible(test, map, &mut diagnostics);
+    rules::l003_condition_vacuity(test, map, &mut diagnostics);
+    rules::l004_heuristic_ambiguity(test, map, &mut diagnostics);
+    rules::l005_codegen_hygiene(test, map, &mut diagnostics);
+    rules::l006_outcome_coverage(test, map, &mut diagnostics);
+    TestReport {
+        name: test.name().to_owned(),
+        origin: None,
+        source: src.to_owned(),
+        convertible: perple_convert::is_convertible(test),
+        diagnostics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_prints() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn rule_registry_is_complete() {
+        for r in RuleId::ALL {
+            assert!(r.code().starts_with('L'));
+            assert!(!r.name().is_empty());
+            assert!(!r.description().is_empty());
+        }
+        assert_eq!(RuleId::L002.to_string(), "L002");
+    }
+
+    #[test]
+    fn diagnostic_display_includes_span_and_rule() {
+        let d = Diagnostic {
+            rule: RuleId::L001,
+            severity: Severity::Error,
+            span: Span::new(3, 10, 20),
+            message: "boom".into(),
+        };
+        assert_eq!(d.to_string(), "error[L001] (line 3, bytes 10..20) boom");
+    }
+
+    #[test]
+    fn report_gating() {
+        let mk = |sev| TestReport {
+            name: "t".into(),
+            origin: None,
+            source: String::new(),
+            convertible: true,
+            diagnostics: vec![Diagnostic {
+                rule: RuleId::L005,
+                severity: sev,
+                span: Span::default(),
+                message: String::new(),
+            }],
+        };
+        let notes = LintReport::new(LintConfig::default(), vec![mk(Severity::Note)]);
+        assert!(!notes.gates(true));
+        let warns = LintReport::new(LintConfig::default(), vec![mk(Severity::Warning)]);
+        assert!(!warns.gates(false));
+        assert!(warns.gates(true));
+        let errs = LintReport::new(LintConfig::default(), vec![mk(Severity::Error)]);
+        assert!(errs.gates(false));
+    }
+
+    #[test]
+    fn json_shape_and_determinism() {
+        let t = perple_model::suite::by_name("2+2w").unwrap();
+        let cfg = LintConfig::default();
+        let r1 = LintReport::new(cfg.clone(), vec![lint_test(&t, &cfg)]);
+        let r2 = LintReport::new(cfg.clone(), vec![lint_test(&t, &cfg)]);
+        let j1 = r1.to_json().render();
+        assert_eq!(j1, r2.to_json().render(), "lint JSON must be byte-stable");
+        assert!(j1.starts_with("{\"schema\":\"perple-lint-v1\""));
+        let parsed = perple_analysis::jsonout::parse(&j1).unwrap();
+        assert_eq!(
+            parsed
+                .get("totals")
+                .and_then(|t| t.get("tests"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn lint_source_propagates_spanned_parse_errors() {
+        let err = lint_source(
+            "X86 t\n{ x=0; }\n P0 ;\n FROB ;\nexists (0:EAX=0)",
+            &LintConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown instruction"));
+    }
+}

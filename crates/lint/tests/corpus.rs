@@ -1,0 +1,132 @@
+//! Corpus-wide lint regression suite.
+//!
+//! Lints every `.litmus` file in the repository corpus and pins the
+//! complete set of findings in a checked-in JSON fixture. Any rule change
+//! that alters a finding anywhere in the 88-test corpus shows up as a
+//! fixture diff. Regenerate deliberately with:
+//!
+//! ```text
+//! PERPLE_LINT_BLESS=1 cargo test -p perple-lint --test corpus
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use perple_lint::{lint_source, LintConfig, LintReport, RuleId, Severity, TestReport};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+/// Lints the full corpus in filename order.
+fn lint_corpus() -> LintReport {
+    let cfg = LintConfig::default();
+    let mut files: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("corpus directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "litmus"))
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 88, "corpus should hold the full 88-test suite");
+    let tests: Vec<TestReport> = files
+        .iter()
+        .map(|p| {
+            let src = fs::read_to_string(p).expect("read corpus file");
+            let mut report =
+                lint_source(&src, &cfg).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            report.origin = Some(format!(
+                "corpus/{}",
+                p.file_name().unwrap().to_string_lossy()
+            ));
+            report
+        })
+        .collect();
+    LintReport::new(cfg, tests)
+}
+
+#[test]
+fn corpus_is_error_and_warning_free() {
+    let report = lint_corpus();
+    for t in &report.tests {
+        for d in &t.diagnostics {
+            assert!(
+                d.severity < Severity::Warning,
+                "{}: corpus must be clean under --deny warnings, got {d}",
+                t.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_lint_json_is_byte_identical_across_runs() {
+    let a = lint_corpus().to_json().render();
+    let b = lint_corpus().to_json().render();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn every_non_convertible_test_gets_a_spanned_l002() {
+    let report = lint_corpus();
+    let non_convertible: Vec<&TestReport> =
+        report.tests.iter().filter(|t| !t.convertible).collect();
+    assert_eq!(
+        non_convertible.len(),
+        54,
+        "the paper's non-convertible complement is 54 tests"
+    );
+    for t in non_convertible {
+        let l002: Vec<_> = t
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RuleId::L002)
+            .collect();
+        assert!(!l002.is_empty(), "{}: missing L002 explanation", t.name);
+        for d in l002 {
+            assert!(
+                !d.span.is_empty(),
+                "{}: L002 must carry a source span: {d}",
+                t.name
+            );
+            let snippet = t
+                .snippet(d)
+                .unwrap_or_else(|| panic!("{}: L002 span out of bounds: {d}", t.name));
+            assert!(
+                !snippet.trim().is_empty(),
+                "{}: L002 span covers no text",
+                t.name
+            );
+        }
+    }
+    // Conversely, convertible tests carry no L002.
+    for t in report.tests.iter().filter(|t| t.convertible) {
+        assert!(
+            t.diagnostics.iter().all(|d| d.rule != RuleId::L002),
+            "{}: convertible test must not carry L002",
+            t.name
+        );
+    }
+}
+
+#[test]
+fn corpus_findings_match_the_pinned_fixture() {
+    let fixture_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/corpus_lint.json");
+    let got = lint_corpus().to_json().render() + "\n";
+    if std::env::var_os("PERPLE_LINT_BLESS").is_some() {
+        fs::create_dir_all(fixture_path.parent().unwrap()).unwrap();
+        fs::write(&fixture_path, &got).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&fixture_path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with PERPLE_LINT_BLESS=1",
+            fixture_path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "corpus lint findings changed; if intentional, regenerate the fixture with \
+         PERPLE_LINT_BLESS=1 cargo test -p perple-lint --test corpus"
+    );
+}

@@ -1,5 +1,6 @@
 //! Error type shared by model construction and parsing.
 
+use crate::span::Span;
 use std::fmt;
 
 /// Errors produced while building or parsing a litmus test.
@@ -40,6 +41,9 @@ pub enum ModelError {
     Parse {
         /// One-based line number where parsing failed.
         line: usize,
+        /// Byte span of the offending token, when a concrete token is at
+        /// fault (line-level failures carry `None`).
+        span: Option<Span>,
         /// Human-readable description of the failure.
         msg: String,
     },
@@ -74,7 +78,13 @@ impl fmt::Display for ModelError {
                 write!(f, "condition references unknown location [{l}]")
             }
             ModelError::EmptyCondition => write!(f, "test condition is empty"),
-            ModelError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            ModelError::Parse { line, span, msg } => {
+                write!(f, "parse error at line {line}")?;
+                if let Some(s) = span {
+                    write!(f, " (bytes {}..{})", s.start, s.end)?;
+                }
+                write!(f, ": {msg}")
+            }
         }
     }
 }
@@ -98,6 +108,7 @@ mod tests {
             ModelError::EmptyCondition.to_string(),
             ModelError::Parse {
                 line: 3,
+                span: None,
                 msg: "bad token".into(),
             }
             .to_string(),
@@ -106,6 +117,19 @@ mod tests {
             assert!(!m.is_empty());
             assert!(!m.ends_with('.'), "{m}");
         }
+    }
+
+    #[test]
+    fn parse_error_display_includes_span_bytes() {
+        let e = ModelError::Parse {
+            line: 4,
+            span: Some(Span::new(4, 10, 14)),
+            msg: "unknown instruction".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "parse error at line 4 (bytes 10..14): unknown instruction"
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod ids;
 mod instr;
 pub mod parser;
 pub mod printer;
+pub mod span;
 pub mod suite;
 mod test;
 
@@ -46,4 +47,5 @@ pub use cond::{CondAtom, Condition, Outcome, Quantifier};
 pub use error::ModelError;
 pub use ids::{InstrRef, LocId, RegId, ThreadId};
 pub use instr::Instr;
+pub use span::{SourceMap, Span};
 pub use test::{LitmusTest, LoadSlot, TestBuilder, ThreadBuilder};

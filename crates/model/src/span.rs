@@ -1,0 +1,126 @@
+//! Byte-offset source spans and the side table mapping parsed tests back
+//! to their litmus7 text.
+//!
+//! Spans are deliberately kept *outside* [`crate::LitmusTest`]: tests
+//! compare by structural equality (the printer/parser round-trip asserts
+//! it), so source positions live in a [`SourceMap`] returned by
+//! [`crate::parser::parse_with_spans`]. Builder-constructed tests have no
+//! source of their own; render them with [`crate::printer::print`] and
+//! re-parse to obtain a map over the canonical text.
+
+use std::fmt;
+
+/// A half-open byte range `start..end` into a litmus source text, plus the
+/// one-based line it falls on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// One-based line number.
+    pub line: usize,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(line: usize, start: usize, end: usize) -> Self {
+        Self { line, start, end }
+    }
+
+    /// True if the span covers no bytes (the default span is empty).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// The spanned text, if the span lies within `src`.
+    pub fn slice<'a>(&self, src: &'a str) -> Option<&'a str> {
+        src.get(self.start..self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, bytes {}..{}", self.line, self.start, self.end)
+    }
+}
+
+/// Source positions for one parsed test: where each instruction, condition
+/// clause, and init entry sits in the input text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    /// Span of the test name in the header line.
+    pub name: Span,
+    /// Init entries as written, `(location name, span)` in source order
+    /// (including zero-valued entries the builder elides).
+    pub init_entries: Vec<(String, Span)>,
+    /// Per-thread instruction spans, parallel to
+    /// [`crate::LitmusTest::threads`].
+    pub instrs: Vec<Vec<Span>>,
+    /// Span of the whole condition line.
+    pub cond: Span,
+    /// Condition-atom spans in [`crate::Condition::atoms`] order (register
+    /// atoms in source order, then memory atoms in source order — the
+    /// builder's resolution order).
+    pub cond_atoms: Vec<Span>,
+}
+
+impl SourceMap {
+    /// Span of one instruction, if the indices are in range.
+    pub fn instr(&self, thread: usize, index: usize) -> Option<Span> {
+        self.instrs.get(thread)?.get(index).copied()
+    }
+
+    /// Span of one condition atom (atom order of
+    /// [`crate::Condition::atoms`]).
+    pub fn cond_atom(&self, index: usize) -> Option<Span> {
+        self.cond_atoms.get(index).copied()
+    }
+
+    /// Span of the whole condition line.
+    pub fn condition(&self) -> Span {
+        self.cond
+    }
+
+    /// Span of the init entry for `loc`, as written in the source.
+    pub fn init_entry(&self, loc: &str) -> Option<Span> {
+        self.init_entries
+            .iter()
+            .find(|(name, _)| name == loc)
+            .map(|(_, s)| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(2, 4, 9);
+        assert!(!s.is_empty());
+        assert_eq!(s.slice("0123456789abc"), Some("45678"));
+        assert_eq!(s.to_string(), "line 2, bytes 4..9");
+        assert!(Span::default().is_empty());
+        assert_eq!(Span::new(1, 50, 60).slice("short"), None);
+    }
+
+    #[test]
+    fn source_map_accessors() {
+        let map = SourceMap {
+            name: Span::new(1, 4, 6),
+            init_entries: vec![("x".to_owned(), Span::new(2, 2, 5))],
+            instrs: vec![vec![Span::new(4, 1, 11)]],
+            cond: Span::new(6, 0, 20),
+            cond_atoms: vec![Span::new(6, 8, 15)],
+        };
+        assert_eq!(map.instr(0, 0), Some(Span::new(4, 1, 11)));
+        assert_eq!(map.instr(0, 1), None);
+        assert_eq!(map.instr(9, 0), None);
+        assert_eq!(map.cond_atom(0), Some(Span::new(6, 8, 15)));
+        assert_eq!(map.cond_atom(1), None);
+        assert_eq!(map.condition(), Span::new(6, 0, 20));
+        assert_eq!(map.init_entry("x"), Some(Span::new(2, 2, 5)));
+        assert_eq!(map.init_entry("y"), None);
+    }
+}

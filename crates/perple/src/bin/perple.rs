@@ -10,7 +10,9 @@
 //! perple trace    <test-name> [-n N]          event log of a short run
 //! perple infer    [-n N] [--weak]             infer the machine's relaxations
 //! perple list                                 list the built-in suite
-//! perple campaign run <spec-file> [--store DIR]
+//! perple lint [--json] [--deny warnings] [--iterations N] [--value-bits B]
+//!             <test-name | file.litmus>...    static analysis of litmus tests
+//! perple campaign run <spec-file> [--store DIR] [--allow-lints]
 //! perple campaign ls [--store DIR]
 //! perple campaign show <run|latest> [--store DIR] [--json]
 //! perple campaign compare <base> <new> [--store DIR] [--json]
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("infer") => cmd_infer(&args[1..]),
         Some("list") => cmd_list(),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
         _ => {
             eprintln!(
@@ -59,7 +62,10 @@ fn main() -> ExitCode {
                  trace    <test> [-n N]      event log of a short run\n\
                  infer    [-n N] [--weak]    infer the machine's relaxations\n\
                  list                        list built-in tests\n\
-                 campaign run <spec> [--store DIR]          run a campaign spec\n\
+                 lint     [--json] [--deny warnings] <test|file>...\n\
+                 \x20                            static analysis (exit 1 on errors)\n\
+                 campaign run <spec> [--store DIR] [--allow-lints]\n\
+                 \x20                                          run a campaign spec\n\
                  campaign ls [--store DIR]                  list stored runs\n\
                  campaign show <run|latest> [--json]        inspect one run\n\
                  campaign compare <base> <new> [--json]     regression gate (exit 1)\n\
@@ -395,37 +401,117 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Splits `--store DIR` (default `results/store`), `--json` and
-/// `--trace FILE` out of a campaign subcommand's arguments, returning the
-/// positional rest.
-#[allow(clippy::type_complexity)]
-fn campaign_flags(
-    args: &[String],
-) -> Result<(std::path::PathBuf, bool, Option<String>, Vec<String>), String> {
-    let mut store = perple::campaign::RunStore::default_root();
-    let mut json = false;
-    let mut trace = None;
-    let mut rest = Vec::new();
+/// Flags shared by the campaign subcommands.
+struct CampaignFlags {
+    store: std::path::PathBuf,
+    json: bool,
+    trace: Option<String>,
+    allow_lints: bool,
+    rest: Vec<String>,
+}
+
+/// Splits `--store DIR` (default `results/store`), `--json`,
+/// `--trace FILE` and `--allow-lints` out of a campaign subcommand's
+/// arguments, returning the positional rest.
+fn campaign_flags(args: &[String]) -> Result<CampaignFlags, String> {
+    let mut flags = CampaignFlags {
+        store: perple::campaign::RunStore::default_root(),
+        json: false,
+        trace: None,
+        allow_lints: false,
+        rest: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--store" => {
-                store = it.next().ok_or("missing value for --store")?.into();
+                flags.store = it.next().ok_or("missing value for --store")?.into();
             }
-            "--json" => json = true,
+            "--json" => flags.json = true,
             "--trace" => {
-                trace = Some(it.next().ok_or("missing value for --trace")?.to_owned());
+                flags.trace = Some(it.next().ok_or("missing value for --trace")?.to_owned());
             }
-            other => rest.push(other.to_owned()),
+            "--allow-lints" => flags.allow_lints = true,
+            other => flags.rest.push(other.to_owned()),
         }
     }
-    Ok((store, json, trace, rest))
+    Ok(flags)
+}
+
+/// `perple lint`: runs the static analyzer over suite tests and/or litmus
+/// files. Exits nonzero when the batch gates (any error, or any warning
+/// under `--deny warnings`).
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    use perple::lint::{lint_source, lint_test, LintConfig, LintReport};
+    let mut cfg = LintConfig::default();
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut specs = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny" => {
+                let what = it.next().ok_or("missing value for --deny")?;
+                if what != "warnings" {
+                    return Err(format!("--deny takes 'warnings', got {what:?}"));
+                }
+                deny_warnings = true;
+            }
+            "--iterations" => {
+                cfg.iterations = it
+                    .next()
+                    .ok_or("missing value for --iterations")?
+                    .parse()
+                    .map_err(|e| format!("bad --iterations: {e}"))?;
+            }
+            "--value-bits" => {
+                cfg.value_bits = it
+                    .next()
+                    .ok_or("missing value for --value-bits")?
+                    .parse()
+                    .map_err(|e| format!("bad --value-bits: {e}"))?;
+            }
+            other => specs.push(other.to_owned()),
+        }
+    }
+    if specs.is_empty() {
+        return Err("lint needs at least one test name or .litmus file".into());
+    }
+    let mut tests = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        if let Some(t) = suite::by_name(spec) {
+            tests.push(lint_test(&t, &cfg));
+        } else {
+            let src = std::fs::read_to_string(spec)
+                .map_err(|e| format!("{spec} is neither a suite test nor a readable file: {e}"))?;
+            let mut report = lint_source(&src, &cfg).map_err(|e| format!("{spec}: {e}"))?;
+            report.origin = Some(spec.clone());
+            tests.push(report);
+        }
+    }
+    let report = LintReport::new(cfg, tests);
+    if json {
+        println!("{}", report.to_json().render());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.gates(deny_warnings) {
+        return Err("lint findings at gating severity (see report above)".into());
+    }
+    Ok(())
 }
 
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let usage = "usage: perple campaign <run|ls|show|compare> [args] [--store DIR] [--json]";
     let sub = args.first().map(String::as_str).ok_or(usage)?;
-    let (store_root, json, trace_path, rest) = campaign_flags(&args[1..])?;
+    let CampaignFlags {
+        store: store_root,
+        json,
+        trace: trace_path,
+        allow_lints,
+        rest,
+    } = campaign_flags(&args[1..])?;
     match sub {
         "run" => {
             let path = rest.first().ok_or("campaign run needs a spec file")?;
@@ -435,7 +521,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             if trace_path.is_some() {
                 perple::obs::trace::start();
             }
-            let summary = perple::experiments::campaign::run_spec(&spec, &store_root)?;
+            let summary = perple::experiments::campaign::run_spec(&spec, &store_root, allow_lints)?;
             if let Some(out) = &trace_path {
                 let trace = perple::obs::trace::finish();
                 std::fs::write(out, trace.chrome_json())

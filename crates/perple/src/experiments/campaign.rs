@@ -33,9 +33,10 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 use perple_campaign::{
     git_describe, run_campaign, ArtifactCache, CampaignItem, CampaignSpec, ExecOutcome,
-    Fingerprint, Hasher, OutcomeRecord, RunMeta, RunStore, RunSummary, StageWallMs,
+    Fingerprint, Hasher, LintSummary, OutcomeRecord, RunMeta, RunStore, RunSummary, StageWallMs,
 };
 use perple_convert::artifact::ArtifactBundle;
+use perple_lint::{lint_test, LintConfig, LintReport, Severity};
 use perple_model::{printer, suite, LitmusTest};
 
 use crate::error::{parse_fault_plan, PerpleError};
@@ -163,21 +164,60 @@ pub fn expand_items(
     Ok((cfg, out))
 }
 
-/// Runs one campaign spec against the store at `store_root`: cache
-/// partition, resilient execution of the misses, artifact capture, run
-/// persistence.
+/// Pre-run lint gate: lints every distinct test of the spec at the spec's
+/// iteration count and returns the report plus severity totals for the
+/// manifest.
+pub fn lint_spec_tests(spec: &CampaignSpec, tests: &[LitmusTest]) -> (LintReport, LintSummary) {
+    let cfg = LintConfig {
+        iterations: spec.iterations,
+        ..LintConfig::default()
+    };
+    let reports = tests.iter().map(|t| lint_test(t, &cfg)).collect();
+    let report = LintReport::new(cfg, reports);
+    let summary = LintSummary {
+        errors: report.count(Severity::Error) as u64,
+        warnings: report.count(Severity::Warning) as u64,
+        notes: report.count(Severity::Note) as u64,
+    };
+    (report, summary)
+}
+
+/// Runs one campaign spec against the store at `store_root`: lint gate,
+/// cache partition, resilient execution of the misses, artifact capture,
+/// run persistence.
+///
+/// `allow_lints` skips the refusal (the lint totals still land in the
+/// manifest), mirroring the CLI's `--allow-lints`.
 ///
 /// # Errors
-/// Config errors from the spec, or store/cache I/O failures (as strings,
-/// ready for the CLI).
-pub fn run_spec(spec: &CampaignSpec, store_root: &Path) -> Result<RunSummary, String> {
+/// Config errors from the spec, error-severity lint findings (unless
+/// `allow_lints`), or store/cache I/O failures (as strings, ready for the
+/// CLI).
+pub fn run_spec(
+    spec: &CampaignSpec,
+    store_root: &Path,
+    allow_lints: bool,
+) -> Result<RunSummary, String> {
     let (cfg, expanded) = expand_items(spec).map_err(|e| e.to_string())?;
-    let store = RunStore::open(store_root).map_err(|e| e.to_string())?;
-    let cache = ArtifactCache::open(store_root).map_err(|e| e.to_string())?;
     let tests_by_name: HashMap<String, LitmusTest> = expanded
         .iter()
         .map(|(t, _)| (t.name().to_owned(), t.clone()))
         .collect();
+
+    let mut distinct: Vec<LitmusTest> = tests_by_name.values().cloned().collect();
+    distinct.sort_by(|a, b| a.name().cmp(b.name()));
+    let (lint_report, lint_summary) = lint_spec_tests(spec, &distinct);
+    if lint_report.gates(false) && !allow_lints {
+        let mut msg = String::from(
+            "refusing to run: spec tests carry error-severity lints \
+             (pass --allow-lints to override)\n",
+        );
+        msg.push_str(&lint_report.render_text());
+        return Err(msg);
+    }
+
+    let store = RunStore::open(store_root).map_err(|e| e.to_string())?;
+    let cache = ArtifactCache::open(store_root).map_err(|e| e.to_string())?;
     let items: Vec<CampaignItem> = expanded.into_iter().map(|(_, i)| i).collect();
 
     let meta = RunMeta {
@@ -186,6 +226,7 @@ pub fn run_spec(spec: &CampaignSpec, store_root: &Path) -> Result<RunSummary, St
             .map(|d| d.as_millis() as u64)
             .unwrap_or(0),
         git: git_describe(),
+        lint: Some(lint_summary),
     };
 
     run_campaign(&store, &cache, spec, &items, &meta, |batch| {
@@ -392,14 +433,14 @@ mod tests {
     fn warm_rerun_does_zero_pipeline_work() {
         let root = tmp_root("warm");
         let spec = tiny_spec("warm");
-        let cold = run_spec(&spec, &root).unwrap();
+        let cold = run_spec(&spec, &root, false).unwrap();
         assert_eq!((cold.hits, cold.executed), (0, 4));
         assert_eq!(
             cold.violations, 0,
             "TSO machine never shows forbidden outcomes"
         );
 
-        let warm = run_spec(&spec, &root).unwrap();
+        let warm = run_spec(&spec, &root, false).unwrap();
         assert_eq!(
             (warm.hits, warm.executed),
             (4, 0),
@@ -430,11 +471,11 @@ mod tests {
     fn injected_fault_campaign_compares_as_regression() {
         let root = tmp_root("gate");
         let spec = tiny_spec("gate");
-        let base = run_spec(&spec, &root).unwrap();
+        let base = run_spec(&spec, &root, false).unwrap();
 
         let mut faulty = tiny_spec("gate");
         faulty.inject = Some("corrupt@t0:0..150".to_owned());
-        let bad = run_spec(&faulty, &root).unwrap();
+        let bad = run_spec(&faulty, &root, false).unwrap();
         assert_eq!(
             bad.hits, 0,
             "different fault plan means different fingerprints"
@@ -467,6 +508,38 @@ mod tests {
         )
         .unwrap();
         assert!(!self_cmp.is_regression(), "{}", self_cmp.render_text());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn lint_gate_refuses_specs_with_error_severity_findings() {
+        // n5 stores k=2 sequences, so an absurd iteration count makes L001
+        // (sequence-overflow) fire even at the default 64-bit value width.
+        // The gate must refuse BEFORE any execution — actually running this
+        // spec would allocate N-sized buffers.
+        let root = tmp_root("lintgate");
+        let mut spec = tiny_spec("lintgate");
+        spec.tests = vec!["n5".to_owned()];
+        spec.iterations = u64::MAX;
+        let err = run_spec(&spec, &root, false).unwrap_err();
+        assert!(err.contains("L001"), "{err}");
+        assert!(err.contains("--allow-lints"), "{err}");
+        assert!(!root.exists(), "gate refusal must not create the run store");
+    }
+
+    #[test]
+    fn allow_lints_and_clean_specs_record_lint_totals_in_the_manifest() {
+        // allow_lints on a clean spec changes nothing except that the gate
+        // cannot fire; the manifest still records the (all-clear) totals.
+        let root = tmp_root("lintok");
+        let spec = tiny_spec("lintok");
+        let run = run_spec(&spec, &root, true).unwrap();
+        use perple_analysis::jsonout::Json;
+        let store = RunStore::open(&root).unwrap();
+        let manifest = store.load_manifest(&run.id).unwrap();
+        let lint = manifest.get("lint").expect("manifest lint summary");
+        assert_eq!(lint.get("errors").and_then(Json::as_u64), Some(0));
+        assert_eq!(lint.get("warnings").and_then(Json::as_u64), Some(0));
         let _ = fs::remove_dir_all(root);
     }
 }

@@ -48,12 +48,6 @@ pub mod error;
 pub mod experiments;
 
 pub use error::{parse_fault_plan, PerpleError};
-#[allow(deprecated)]
-pub use perple_analysis::count::{
-    count_exhaustive, count_exhaustive_budgeted, count_exhaustive_parallel, count_heuristic,
-    count_heuristic_budgeted, count_heuristic_each, count_heuristic_each_parallel,
-    count_heuristic_parallel,
-};
 pub use perple_analysis::count::{
     default_workers, frame_at, frame_index, frame_space, CountRequest, CountResult, Counter,
     ExhaustiveCounter, HeuristicCounter,
@@ -67,6 +61,7 @@ pub use perple_enumerate::{classify, enumerate, Classification, MemoryModel};
 pub use perple_harness::baseline::{BaselineRun, BaselineRunner, SyncMode};
 pub use perple_harness::native;
 pub use perple_harness::perpetual::{PerpleRun, PerpleRunner};
+pub use perple_lint as lint;
 pub use perple_model::{suite, LitmusTest, ModelError, Outcome};
 pub use perple_obs as obs;
 pub use perple_sim::{Budget, FaultKind, FaultPlan, FaultSpec, SimConfig};

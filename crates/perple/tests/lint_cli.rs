@@ -1,0 +1,191 @@
+//! Integration tests of `perple lint` and the campaign lint gate as real
+//! subprocesses — the level where exit codes and JSON output must prove
+//! themselves to CI scripts.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use perple::jsonout::{self, Json};
+
+/// A litmus test whose thread 0 clobbers EAX (two loads, one register):
+/// an L005 warning, which gates only under `--deny warnings`.
+const CLOBBER: &str = "\
+X86 clobber
+\"second load clobbers the first\"
+{ x=0; y=0; }
+ P0          |  P1          ;
+ MOV [x],$1  |  MOV [y],$1  ;
+ MOV EAX,[y] |  MOV EAX,[x] ;
+ MOV EAX,[x] |              ;
+exists (0:EAX=0 /\\ 1:EAX=0)
+";
+
+/// A campaign spec whose k=2 sequences overflow 64-bit values: an L001
+/// error, which the engine must refuse to run without `--allow-lints`.
+const OVERFLOW_SPEC: &str = "\
+name = lintgate
+tests = n5
+seeds = 1
+iterations = 18446744073709551615
+workers = 1
+";
+
+const CLEAN_SPEC: &str = "\
+name = lintok
+tests = sb
+seeds = 1
+iterations = 150
+workers = 1
+";
+
+fn perple(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_perple"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn perple")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn sandbox(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("perple-lint-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn lint_clean_suite_test_exits_zero_with_a_summary() {
+    let dir = sandbox("clean");
+    let out = perple(&dir, &["lint", "sb"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("1 tests: 0 errors, 0 warnings, 0 notes"),
+        "{text}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn lint_json_carries_the_schema_and_is_byte_identical_across_runs() {
+    let dir = sandbox("json");
+    let a = perple(&dir, &["lint", "--json", "sb", "2+2w"]);
+    assert!(a.status.success(), "{}", stderr(&a));
+    let doc = jsonout::parse(stdout(&a).trim()).expect("lint JSON parses");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("perple-lint-v1")
+    );
+    assert_eq!(
+        doc.get("totals")
+            .and_then(|t| t.get("tests"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    // 2+2w is non-convertible: its report must say so and carry L002 notes.
+    let text = stdout(&a);
+    assert!(text.contains("\"convertible\":false"), "{text}");
+    assert!(text.contains("\"L002\""), "{text}");
+
+    let b = perple(&dir, &["lint", "--json", "sb", "2+2w"]);
+    assert_eq!(stdout(&a), stdout(&b), "lint JSON must be deterministic");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn lint_file_input_records_the_path_and_deny_warnings_gates() {
+    let dir = sandbox("file");
+    std::fs::write(dir.join("clobber.litmus"), CLOBBER).unwrap();
+
+    // Warnings alone do not gate...
+    let ok = perple(&dir, &["lint", "--json", "clobber.litmus"]);
+    assert!(ok.status.success(), "{}", stderr(&ok));
+    let doc = jsonout::parse(stdout(&ok).trim()).unwrap();
+    let test = doc
+        .get("tests")
+        .and_then(Json::as_arr)
+        .and_then(<[Json]>::first)
+        .expect("one test report");
+    assert_eq!(
+        test.get("source").and_then(Json::as_str),
+        Some("clobber.litmus"),
+        "file origin must land in the JSON"
+    );
+    assert!(
+        stdout(&ok).contains("\"L005\""),
+        "clobbered EAX must be flagged: {}",
+        stdout(&ok)
+    );
+
+    // ...but --deny warnings promotes them to a nonzero exit.
+    let deny = perple(&dir, &["lint", "--deny", "warnings", "clobber.litmus"]);
+    assert!(!deny.status.success(), "--deny warnings must gate");
+    assert!(stdout(&deny).contains("warning[L005]"), "{}", stdout(&deny));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn lint_errors_exit_nonzero_with_the_offending_rule_named() {
+    let dir = sandbox("err");
+    // n5's k=2 sequence overflows 16-bit values long before 100k iterations.
+    let out = perple(
+        &dir,
+        &["lint", "--iterations", "100000", "--value-bits", "16", "n5"],
+    );
+    assert!(!out.status.success(), "overflow must gate");
+    let text = stdout(&out);
+    assert!(text.contains("error[L001]"), "{text}");
+    assert!(text.contains("max safe iteration count"), "{text}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn campaign_run_refuses_linted_specs_unless_allowed() {
+    let dir = sandbox("gate");
+    std::fs::write(dir.join("gate.campaign"), OVERFLOW_SPEC).unwrap();
+    std::fs::write(dir.join("ok.campaign"), CLEAN_SPEC).unwrap();
+
+    let refused = perple(
+        &dir,
+        &["campaign", "run", "gate.campaign", "--store", "store"],
+    );
+    assert!(!refused.status.success(), "gate must refuse");
+    let err = stderr(&refused);
+    assert!(err.contains("L001"), "{err}");
+    assert!(err.contains("--allow-lints"), "{err}");
+    assert!(
+        !stdout(&refused).contains("run:"),
+        "no run may be stored on refusal: {}",
+        stdout(&refused)
+    );
+
+    // The flag is accepted and a clean spec runs + records lint totals.
+    let ok = perple(
+        &dir,
+        &[
+            "campaign",
+            "run",
+            "ok.campaign",
+            "--store",
+            "store",
+            "--allow-lints",
+        ],
+    );
+    assert!(ok.status.success(), "{}", stderr(&ok));
+    let show = perple(
+        &dir,
+        &["campaign", "show", "latest", "--store", "store", "--json"],
+    );
+    let manifest = jsonout::parse(stdout(&show).trim()).expect("manifest parses");
+    let lint = manifest.get("lint").expect("manifest lint summary");
+    assert_eq!(lint.get("errors").and_then(Json::as_u64), Some(0));
+    let _ = std::fs::remove_dir_all(dir);
+}
