@@ -32,6 +32,46 @@ use perple_sim::Budget;
 /// multiple of this interval on every machine.
 const EXHAUSTIVE_POLL_INTERVAL: u64 = 1024;
 
+/// Which exact-counting backend a pipeline stage should use, selectable
+/// with `--counter {exhaustive,heuristic,rf}` on the CLI and the
+/// `counter` key of campaign specs.
+///
+/// `Rf` is the default where counter selection is configurable: it gives
+/// the same exact counts as `Exhaustive` in polynomial time when the
+/// outcome shapes admit it, and transparently falls back to the exhaustive
+/// scan (recording the downgrade) when they do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterKind {
+    /// The `N^{T_L}` frame scan (Algorithm 1) — the reference backend.
+    Exhaustive,
+    /// The linear heuristic scan (Algorithm 2); undercounts by design, so
+    /// selecting it makes the heuristic stand in for the exact column.
+    Heuristic,
+    /// The polynomial reads-from closure counter ([`crate::rf::RfCounter`]).
+    Rf,
+}
+
+impl CounterKind {
+    /// Stable CLI/spec name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKind::Exhaustive => "exhaustive",
+            CounterKind::Heuristic => "heuristic",
+            CounterKind::Rf => "rf",
+        }
+    }
+
+    /// Parses a CLI/spec name; `None` for anything unrecognised.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "exhaustive" => Some(CounterKind::Exhaustive),
+            "heuristic" => Some(CounterKind::Heuristic),
+            "rf" => Some(CounterKind::Rf),
+            _ => None,
+        }
+    }
+}
+
 /// Result of one counting pass.
 ///
 /// **Merged (parallel) results.** The parallel counters shard the frame
@@ -60,6 +100,12 @@ pub struct CountResult {
     /// only). The partial result counts exactly the frames/pivots scanned
     /// before the cutoff — a prefix of the untruncated scan.
     pub budget_expired: bool,
+    /// True if the strategy downgraded itself: the rf counter fell back to
+    /// the exhaustive scan because an outcome's constraint shape lay
+    /// outside its polynomial fragment. The counts are still exact (the
+    /// fallback *is* the exhaustive scan), but the asymptotic win was lost
+    /// — mirroring how budget expiry records a degraded result.
+    pub downgraded: bool,
 }
 
 impl CountResult {
@@ -246,7 +292,7 @@ impl Counter for HeuristicCounter<'_> {
     }
 }
 
-fn count_exhaustive_impl(
+pub(crate) fn count_exhaustive_impl(
     outcomes: &[PerpetualOutcome],
     bufs: &[&[u64]],
     n: u64,
@@ -307,6 +353,7 @@ fn count_exhaustive_impl(
         wall: start.elapsed(),
         truncated,
         budget_expired,
+        downgraded: false,
     }
 }
 
@@ -344,6 +391,7 @@ fn count_heuristic_impl(
         wall: start.elapsed(),
         truncated: false,
         budget_expired,
+        downgraded: false,
     }
 }
 
@@ -476,7 +524,7 @@ fn scan_frame_range(
 
 /// Splits `0 .. total` into at most `workers` contiguous ranges of
 /// near-equal length (first `total % workers` ranges one longer).
-fn partition(total: u64, workers: usize) -> Vec<(u64, u64)> {
+pub(crate) fn partition(total: u64, workers: usize) -> Vec<(u64, u64)> {
     let workers = (workers.max(1) as u64).min(total.max(1));
     let base = total / workers;
     let extra = total % workers;
@@ -520,6 +568,7 @@ fn merge_partials(
         wall,
         truncated,
         budget_expired: false,
+        downgraded: false,
     }
 }
 
@@ -528,7 +577,7 @@ fn merge_partials(
 /// prefix) into `workers` contiguous index ranges and scans them on
 /// scoped threads. Bit-identical to the serial counter at every worker
 /// count.
-fn exhaustive_sharded(
+pub(crate) fn exhaustive_sharded(
     outcomes: &[PerpetualOutcome],
     bufs: &[&[u64]],
     n: u64,

@@ -5,6 +5,11 @@
 //! * [`count`] — the **exhaustive outcome counter** `COUNT` (Algorithm 1,
 //!   all `N^{T_L}` frames, else-if semantics) and the **linear heuristic
 //!   counter** `COUNTH` (Algorithm 2);
+//! * [`rf`] — the **polynomial reads-from closure counter**: exact
+//!   per-outcome counts in `O(N log N)` per coordinate pair (`O(N^2 log N)`
+//!   for three coupled loads) by walking observed reads-from partners
+//!   instead of enumerating frames, falling back to the exhaustive scan
+//!   outside its fragment;
 //! * [`skew`] — thread-skew measurement from loaded sequence values
 //!   (§VI-B5, Figure 12);
 //! * [`variety`] — per-outcome occurrence tables (Figure 13);
@@ -21,6 +26,7 @@
 //!
 //! ```
 //! use perple_analysis::count::{CountRequest, Counter, ExhaustiveCounter, HeuristicCounter};
+//! use perple_analysis::rf::RfCounter;
 //! use perple_convert::Conversion;
 //! use perple_model::suite;
 //!
@@ -33,9 +39,15 @@
 //! let req = CountRequest::new(&bufs, 3);
 //! let exhaustive = ExhaustiveCounter::single(&conv.target_exhaustive).count(&req);
 //! let heuristic = HeuristicCounter::single(&conv.target_heuristic).count(&req);
-//! // The heuristic examines one frame per iteration, the exhaustive all 9.
+//! let rf = RfCounter::single(&conv.target_exhaustive).count(&req);
+//! // Work models: the exhaustive counter scans the full N^2 = 9-frame
+//! // cross product; the heuristic derives one frame per iteration (3);
+//! // the rf counter sweeps each side of sb's single coordinate pair
+//! // once (2N = 6) — and still reproduces the exhaustive counts exactly.
 //! assert_eq!(exhaustive.frames_examined, 9);
 //! assert_eq!(heuristic.frames_examined, 3);
+//! assert_eq!(rf.frames_examined, 6);
+//! assert_eq!(rf.counts, exhaustive.counts);
 //! assert!(heuristic.counts[0] <= exhaustive.counts[0]);
 //! # Ok::<(), perple_convert::ConvertError>(())
 //! ```
@@ -47,6 +59,7 @@ pub mod count;
 pub mod jsonout;
 pub mod metrics;
 pub mod modelmine;
+pub mod rf;
 pub mod skew;
 pub mod stats;
 pub mod variety;

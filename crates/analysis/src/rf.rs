@@ -1,0 +1,1409 @@
+//! The polynomial **reads-from closure counter** ([`RfCounter`]).
+//!
+//! The exhaustive counter (Algorithm 1) enumerates all `N^{T_L}` frames
+//! and evaluates every outcome on each — the "`N^{T_L}` wall" that caps
+//! practical iteration counts for three-load tests. PerpLE's unique
+//! stored values make a polynomial alternative possible: every loaded
+//! value *names* its writer iteration (the observed reads-from partner),
+//! so each frame-evaluable condition is a threshold on a per-iteration
+//! **feature** — `fr_lower_bound` of the loaded value for fr/ws
+//! conditions, `KMap::decode` of it for rf conditions — and an outcome's
+//! frame predicate factors into per-coordinate validity plus pairwise
+//! interval constraints between coordinates. Counting satisfying frames
+//! then reduces to order-statistics sweeps (Fenwick trees over positions
+//! or feature values) instead of a cross-product scan, in the spirit of
+//! the polynomial reads-from consistency checkers of Roy et al. and
+//! Tunç et al.
+//!
+//! # The compiled fragment
+//!
+//! [`RfCounter`] compiles every outcome's conditions into:
+//!
+//! * per-coordinate **unary** checks (self-referential rf/fr/ws
+//!   conditions, decode feasibility, existential lower-bound
+//!   feasibility), folded into a `valid` bitmap per coordinate;
+//! * cross-coordinate **atoms** `feat_a(f_a) <= feat_b(f_b)` (frame-frame
+//!   rf/fr/ws conditions, and existential variables eliminated pairwise:
+//!   `max(lo) <= min(hi)` iff every `lo <= hi` pair holds).
+//!
+//! Coordinates are grouped into connected components over the atoms, and
+//! each component is counted independently (counts multiply):
+//!
+//! * **singleton** — sum the valid bitmap, `O(N)`;
+//! * **pair, single shared key** — one Fenwick sweep over one
+//!   coordinate's positions: atoms comparing the other coordinate's
+//!   features against the sweep position fold into activity intervals,
+//!   and every remaining atom reads one shared attribute of the other
+//!   coordinate (its position, or one data feature) bounded per sweep
+//!   position — `O(N log N)`. Subsumes pure identity-sided shapes and
+//!   the mixed identity/reads-from targets (n1, rwc, safe018/024, wrc);
+//! * **pair, two-key dominance** (eliminated existentials in both
+//!   orientations) — a value-indexed Fenwick dominance sweep,
+//!   `O(N log N)`;
+//! * **triple, identity-sided atoms** — an outer sweep over one
+//!   coordinate replaying the pair sweep, `O(N^2 log N)` versus the
+//!   exhaustive `N^3`.
+//!
+//! Every *target* outcome of the 34 convertible tests falls in this
+//! fragment, and so do the full outcome sets of 29 of the 34 (asserted
+//! by `no_target_outcome_needs_the_fallback` and
+//! `full_outcome_sets_match_exhaustive_with_a_pinned_fallback_set` below,
+//! plus the workspace differential suite). The exceptions are
+//! multi-variable existential outcomes in the co-iriw, iriw, rfi015,
+//! safe012, and safe027 variety sets, whose two same-orientation
+//! data-data constraints form a 3-D dominance problem. Anything outside
+//! the fragment triggers a **fallback** to the exhaustive scan: the
+//! counts remain exact, the downgrade is recorded in
+//! [`CountResult::downgraded`] and the `count_rf_fallbacks` metric —
+//! mirroring the budget-expiry degradation path.
+//!
+//! # Semantics pinned to the exhaustive counter
+//!
+//! The differential suite (`tests/counter_equivalence.rs`) proves the
+//! `counts` vector bit-identical to [`ExhaustiveCounter`] — per outcome,
+//! not just in total — at every worker count. Three deliberate
+//! differences in the *policy* fields:
+//!
+//! * `frames_examined`/`evals` report the rf counter's own deterministic
+//!   work model (singleton `N`, pair `2N`, triple `N + N^2` per
+//!   component), not `N^{T_L}` — that asymmetry *is* the speedup the
+//!   benches measure, and it is independent of the worker count.
+//! * `frame_cap` is ignored on the polynomial path: the cap exists as a
+//!   workaround for the `N^{T_L}` wall, and the rf counter answers the
+//!   *uncapped* question exactly. (The fallback path honours the cap,
+//!   exactly like the exhaustive counter it is.)
+//! * a [`Budget`] bounds the **admitted iteration prefix**, not the
+//!   closure: the counter admits iterations in deterministic
+//!   [`RF_POLL_INTERVAL`] blocks while the budget lasts, then counts the
+//!   admitted prefix `M` exactly. The truncated result equals the full
+//!   rf/exhaustive count at `n = M` — a provable prefix, with
+//!   `budget_expired` set iff `M < N`.
+//!
+//! The polynomial path serves **single-outcome** requests — the
+//! production target-counting path (audit, campaign, bench). A
+//! multi-outcome batch carries the exhaustive scan's else-if chain
+//! semantics: a frame is assigned to the *first* matching outcome, and
+//! outcomes with existentially quantified store iterations can genuinely
+//! match the same frame, so the chain does not decompose into
+//! per-outcome counts. Batches therefore always take the (recorded)
+//! exhaustive fallback, preserving chain semantics bit for bit; callers
+//! who want polynomial counts for several outcomes count them one at a
+//! time, accepting "any match" rather than "first match" semantics.
+
+use std::time::Instant;
+
+use perple_convert::{fr_lower_bound, IdxRef, KMap, PerpCond, PerpetualOutcome};
+use perple_obs::metrics::{self as obs_metrics, Metric};
+use perple_sim::Budget;
+
+use crate::count::{
+    count_exhaustive_impl, exhaustive_sharded, partition, CountRequest, CountResult, Counter,
+};
+
+/// Iterations admitted per watchdog poll while sizing the budgeted
+/// prefix; with a deterministic poll-limit [`Budget`] the admitted prefix
+/// is an exact multiple of this interval on every machine (mirroring the
+/// exhaustive counter's poll interval).
+const RF_POLL_INTERVAL: u64 = 1024;
+
+/// A per-iteration feature of one frame coordinate: the compiled form of
+/// one side of a condition. Features are pure functions of the
+/// coordinate's buffer and position, so they can be swept independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Feat {
+    /// The raw frame index itself.
+    Identity,
+    /// `fr_lower_bound(k, a, value_of(pos))` — the smallest writer
+    /// iteration newer than the loaded value (fr conditions).
+    FrLb {
+        k: u64,
+        a: u64,
+        rpi: usize,
+        slot: usize,
+    },
+    /// `KMap::decode(k, a, value_of(pos))` — the observed reads-from
+    /// partner iteration (rf conditions). Decode failure yields 0 here; a
+    /// paired [`Unary::DecodeOk`] excludes those positions entirely.
+    Dec {
+        k: u64,
+        a: u64,
+        rpi: usize,
+        slot: usize,
+    },
+    /// `fr_lower_bound(kr, ar, kl*pos + al)` — the ws threshold: the
+    /// smallest right-sequence iteration whose value exceeds this
+    /// coordinate's left-sequence store.
+    FrLbLin { kl: u64, al: u64, kr: u64, ar: u64 },
+}
+
+impl Feat {
+    /// Evaluates the feature at position `pos` over the coordinate's
+    /// buffer. Lower-bound features clamp to `m` — an always-failing
+    /// sentinel, since every value they are compared against is at most
+    /// `m - 1` — and `Dec` clamps to `m - 1`, matching the exhaustive
+    /// evaluator's implicit `[0, N-1]` existential window.
+    fn eval(self, buf: &[u64], pos: u64, m: u64) -> u64 {
+        match self {
+            Feat::Identity => pos,
+            Feat::FrLb { k, a, rpi, slot } => {
+                fr_lower_bound(k, a, buf[rpi * pos as usize + slot]).min(m)
+            }
+            Feat::Dec { k, a, rpi, slot } => {
+                KMap::decode(k, a, buf[rpi * pos as usize + slot]).map_or(0, |d| d.min(m - 1))
+            }
+            Feat::FrLbLin { kl, al, kr, ar } => fr_lower_bound(kr, ar, kl * pos + al).min(m),
+        }
+    }
+}
+
+/// A check involving a single coordinate, folded into its `valid` bitmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unary {
+    /// The rf load value must decode within its writer sequence.
+    DecodeOk {
+        k: u64,
+        a: u64,
+        rpi: usize,
+        slot: usize,
+    },
+    /// `left(pos) <= right(pos)` (self-referential rf/fr/ws conditions,
+    /// same-coordinate existential `lo <= hi` pairs).
+    FeatLe(Feat, Feat),
+    /// `feat(pos) <= m - 1` (existential lower bound against the default
+    /// upper window edge).
+    FeatLeMax(Feat),
+}
+
+/// One cross-coordinate constraint: `af(frame[ac]) <= bf(frame[bc])`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Atom {
+    ac: usize,
+    af: Feat,
+    bc: usize,
+    bf: Feat,
+}
+
+impl Atom {
+    /// Canonical role split: the *feature side* is the non-identity side
+    /// (the `af` side when both are identity). Returns
+    /// `(is_lower, feature_coord, feature)` where `is_lower` means
+    /// `feat(frame[fc]) <= frame[ident]` and `!is_lower` means
+    /// `frame[ident] <= feat(frame[fc])`.
+    fn role(&self) -> (bool, usize, Feat) {
+        if self.bf == Feat::Identity {
+            (true, self.ac, self.af)
+        } else {
+            (false, self.bc, self.bf)
+        }
+    }
+
+    fn identity_sided(&self) -> bool {
+        self.af == Feat::Identity || self.bf == Feat::Identity
+    }
+}
+
+/// The compiled form of one outcome.
+#[derive(Debug, Clone)]
+struct Plan {
+    infeasible: bool,
+    /// Unary checks per frame coordinate.
+    unaries: Vec<Vec<Unary>>,
+    /// Cross-coordinate atoms (deduplicated).
+    atoms: Vec<Atom>,
+}
+
+/// Compiles an outcome's conditions into unaries and atoms. Total: every
+/// condition form the converter emits maps onto the feature algebra; only
+/// the *counting strategy* selection below can reject a shape.
+fn compile(o: &PerpetualOutcome, tl: usize) -> Plan {
+    let ne = o.exist_threads().len();
+    let mut unaries: Vec<Vec<Unary>> = vec![Vec::new(); tl];
+    let mut atoms: Vec<Atom> = Vec::new();
+    // Existential contributions: lower bounds (fr/ws) and upper bounds
+    // (rf decode) per variable, each tagged with its source coordinate.
+    let mut lo_feats: Vec<Vec<(usize, Feat)>> = vec![Vec::new(); ne];
+    let mut hi_feats: Vec<Vec<(usize, Feat)>> = vec![Vec::new(); ne];
+
+    let push_unary = |unaries: &mut Vec<Vec<Unary>>, c: usize, u: Unary| {
+        if !unaries[c].contains(&u) {
+            unaries[c].push(u);
+        }
+    };
+    let push_atom = |atoms: &mut Vec<Atom>, a: Atom| {
+        if !atoms.contains(&a) {
+            atoms.push(a);
+        }
+    };
+
+    for cond in o.conds() {
+        match cond {
+            PerpCond::Ws { left, right } => {
+                let IdxRef::Frame(lp) = left.writer else {
+                    unreachable!("ws left side is a frame store")
+                };
+                let f = Feat::FrLbLin {
+                    kl: left.k,
+                    al: left.a,
+                    kr: right.k,
+                    ar: right.a,
+                };
+                match right.writer {
+                    IdxRef::Frame(p) if p == lp => {
+                        push_unary(&mut unaries, lp, Unary::FeatLe(f, Feat::Identity));
+                    }
+                    IdxRef::Frame(p) => push_atom(
+                        &mut atoms,
+                        Atom {
+                            ac: lp,
+                            af: f,
+                            bc: p,
+                            bf: Feat::Identity,
+                        },
+                    ),
+                    IdxRef::Exist(e) => lo_feats[e].push((lp, f)),
+                }
+            }
+            PerpCond::Rf { load, term } => {
+                let l = load.frame_pos;
+                let dec = Feat::Dec {
+                    k: term.k,
+                    a: term.a,
+                    rpi: load.reads_per_iter,
+                    slot: load.slot,
+                };
+                // A decode failure falsifies the whole frame regardless of
+                // the writer side.
+                push_unary(
+                    &mut unaries,
+                    l,
+                    Unary::DecodeOk {
+                        k: term.k,
+                        a: term.a,
+                        rpi: load.reads_per_iter,
+                        slot: load.slot,
+                    },
+                );
+                match term.writer {
+                    IdxRef::Frame(p) if p == l => {
+                        push_unary(&mut unaries, l, Unary::FeatLe(Feat::Identity, dec));
+                    }
+                    IdxRef::Frame(p) => push_atom(
+                        &mut atoms,
+                        Atom {
+                            ac: p,
+                            af: Feat::Identity,
+                            bc: l,
+                            bf: dec,
+                        },
+                    ),
+                    IdxRef::Exist(e) => hi_feats[e].push((l, dec)),
+                }
+            }
+            PerpCond::Fr { load, terms } => {
+                let l = load.frame_pos;
+                for term in terms {
+                    let frlb = Feat::FrLb {
+                        k: term.k,
+                        a: term.a,
+                        rpi: load.reads_per_iter,
+                        slot: load.slot,
+                    };
+                    match term.writer {
+                        IdxRef::Frame(p) if p == l => {
+                            push_unary(&mut unaries, l, Unary::FeatLe(frlb, Feat::Identity));
+                        }
+                        IdxRef::Frame(p) => push_atom(
+                            &mut atoms,
+                            Atom {
+                                ac: l,
+                                af: frlb,
+                                bc: p,
+                                bf: Feat::Identity,
+                            },
+                        ),
+                        IdxRef::Exist(e) => lo_feats[e].push((l, frlb)),
+                    }
+                }
+            }
+        }
+    }
+
+    // Eliminate each existential variable pairwise:
+    // `max(0, lo...) <= min(m-1, hi...)` holds iff every individual
+    // `lo <= hi` pair holds (including the default window edges). Default
+    // lower 0 is vacuous against any upper; each explicit lower needs a
+    // check against the default upper `m - 1` plus one per explicit upper
+    // — a unary when both live on the same coordinate, an atom otherwise.
+    for e in 0..ne {
+        for &(c, lo) in &lo_feats[e] {
+            push_unary(&mut unaries, c, Unary::FeatLeMax(lo));
+            for &(c2, hi) in &hi_feats[e] {
+                if c == c2 {
+                    push_unary(&mut unaries, c, Unary::FeatLe(lo, hi));
+                } else {
+                    push_atom(
+                        &mut atoms,
+                        Atom {
+                            ac: c,
+                            af: lo,
+                            bc: c2,
+                            bf: hi,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    Plan {
+        infeasible: o.is_infeasible(),
+        unaries,
+        atoms,
+    }
+}
+
+/// A counting strategy for one connected component of coordinates.
+#[derive(Debug, Clone)]
+enum Strategy {
+    /// An isolated coordinate: count its valid positions.
+    Single { c: usize },
+    /// A coordinate pair counted by one Fenwick sweep over the positions
+    /// of coordinate `s`: atoms whose `o`-side feature is compared against
+    /// the raw `s` position fold into an *activity interval* of `o` over
+    /// the sweep, and every remaining atom reads the **same** `o`-side
+    /// attribute (`key`: the raw position, or one data feature), bounded
+    /// per `s` position by the atom's `s`-side value. Subsumes the
+    /// pure-identity-sided shape (key = position) and mixed
+    /// identity/reads-from shapes (key = a decode or fr-bound feature).
+    PairSweep {
+        s: usize,
+        o: usize,
+        /// `(is_lower, feat)`: `feat(o) <= s_pos` when lower, else
+        /// `s_pos <= feat(o)` — the activity window of `o`.
+        activity: Vec<(bool, Feat)>,
+        /// The shared `o`-side attribute the Fenwick indexes.
+        key: Feat,
+        /// `(is_lower, feat)`: `feat(s) <= key(o)` when lower, else
+        /// `key(o) <= feat(s)` — folded into a per-`s` query interval.
+        bounds: Vec<(bool, Feat)>,
+    },
+    /// A coordinate pair coupled only through eliminated existentials
+    /// (no identity side, two distinct keys), at most one atom per
+    /// orientation: value-Fenwick dominance sweep.
+    PairDominance {
+        x: usize,
+        y: usize,
+        /// `lx(x) <= hy(y)`, if present.
+        lx_hy: Option<(Feat, Feat)>,
+        /// `ly(y) <= hx(x)`, if present.
+        ly_hx: Option<(Feat, Feat)>,
+    },
+    /// Three coordinates, all atoms identity-sided: outer sweep over `x`
+    /// replaying the pair sweep on `(y, z)`.
+    Triple {
+        x: usize,
+        y: usize,
+        z: usize,
+        atoms: Vec<Atom>,
+    },
+}
+
+/// Tries to express a pair component's atoms as one [`Strategy::PairSweep`]
+/// with sweep coordinate `s`. Fails (`None`) when the non-activity atoms
+/// would need more than one `o`-side key attribute.
+fn classify_pair_sweep(atoms: &[Atom], s: usize, o: usize) -> Option<Strategy> {
+    let mut activity = Vec::new();
+    let mut key: Option<Feat> = None;
+    let mut bounds = Vec::new();
+    for a in atoms {
+        // Orient the atom as (s-side feat, o-side feat, is s the lower side).
+        let (sf, of, s_lower) = if a.ac == s {
+            (a.af, a.bf, true)
+        } else {
+            (a.bf, a.af, false)
+        };
+        if sf == Feat::Identity {
+            // A raw s position against an o-side feature: an activity
+            // window of o over the sweep (covers identity-identity too).
+            activity.push((!s_lower, of));
+        } else {
+            // The o side is the Fenwick key; every such atom must agree.
+            if *key.get_or_insert(of) != of {
+                return None;
+            }
+            bounds.push((s_lower, sf));
+        }
+    }
+    Some(Strategy::PairSweep {
+        s,
+        o,
+        activity,
+        // A component has at least one atom, but an all-activity set
+        // leaves the key free: position works (no bounds restrict it).
+        key: key.unwrap_or(Feat::Identity),
+        bounds,
+    })
+}
+
+/// Groups coordinates into atom-connected components and selects a
+/// polynomial strategy per component; `None` means some component's shape
+/// is outside the fragment and the caller must fall back to exhaustive.
+fn strategies(plan: &Plan, tl: usize) -> Option<Vec<Strategy>> {
+    let mut parent: Vec<usize> = (0..tl).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for a in &plan.atoms {
+        let (ra, rb) = (find(&mut parent, a.ac), find(&mut parent, a.bc));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for c in 0..tl {
+        groups.entry(find(&mut parent, c)).or_default().push(c);
+    }
+
+    let mut out = Vec::new();
+    for coords in groups.into_values() {
+        let atoms: Vec<Atom> = plan
+            .atoms
+            .iter()
+            .filter(|a| coords.contains(&a.ac))
+            .copied()
+            .collect();
+        match coords[..] {
+            [c] => out.push(Strategy::Single { c }),
+            [x, y] => {
+                if let Some(s) =
+                    classify_pair_sweep(&atoms, x, y).or_else(|| classify_pair_sweep(&atoms, y, x))
+                {
+                    out.push(s);
+                } else if atoms.iter().any(Atom::identity_sided) {
+                    // Two-key shapes mixing identity and data sides:
+                    // outside the fragment.
+                    return None;
+                } else {
+                    let (mut lx_hy, mut ly_hx) = (None, None);
+                    for a in &atoms {
+                        let slot = if a.ac == x { &mut lx_hy } else { &mut ly_hx };
+                        if slot.is_some() {
+                            return None; // two atoms in one orientation
+                        }
+                        *slot = Some((a.af, a.bf));
+                    }
+                    out.push(Strategy::PairDominance { x, y, lx_hy, ly_hx });
+                }
+            }
+            [x, y, z] if atoms.iter().all(Atom::identity_sided) => {
+                out.push(Strategy::Triple { x, y, z, atoms });
+            }
+            _ => return None, // four or more coupled coordinates
+        }
+    }
+    Some(out)
+}
+
+/// Evaluates a coordinate's unary checks into its validity bitmap.
+fn coord_valid(unaries: &[Unary], buf: &[u64], m: u64) -> Vec<bool> {
+    (0..m)
+        .map(|f| {
+            unaries.iter().all(|u| match *u {
+                Unary::DecodeOk { k, a, rpi, slot } => {
+                    KMap::decode(k, a, buf[rpi * f as usize + slot]).is_some()
+                }
+                Unary::FeatLe(l, r) => l.eval(buf, f, m) <= r.eval(buf, f, m),
+                Unary::FeatLeMax(l) => l.eval(buf, f, m) < m,
+            })
+        })
+        .collect()
+}
+
+/// A Fenwick (binary indexed) tree over `0..len` with signed updates so
+/// sweep deactivations can subtract.
+struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    fn new(len: usize) -> Self {
+        Self {
+            tree: vec![0; len + 1],
+        }
+    }
+
+    fn add(&mut self, i: usize, v: i64) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] += v;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum over `0..=i`.
+    fn prefix(&self, i: usize) -> i64 {
+        let mut i = i + 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum over `lo..=hi` (0 when empty).
+    fn range(&self, lo: u64, hi: u64) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        let s = self.prefix(hi as usize)
+            - if lo == 0 {
+                0
+            } else {
+                self.prefix(lo as usize - 1)
+            };
+        debug_assert!(s >= 0, "negative interval count");
+        s as u64
+    }
+
+    fn clear(&mut self) {
+        self.tree.fill(0);
+    }
+}
+
+/// Counts valid `(s, o)` pairs with one Fenwick sweep over `s` positions:
+/// each `o` is inserted at its shared key attribute value while its
+/// activity window covers the sweep position, and each valid `s` position
+/// queries the interval its bound atoms impose on that key.
+#[allow(clippy::too_many_arguments)]
+fn count_pair_sweep(
+    activity: &[(bool, Feat)],
+    key: Feat,
+    bounds: &[(bool, Feat)],
+    s: usize,
+    o: usize,
+    bufs: &[&[u64]],
+    valid_s: &[bool],
+    valid_o: &[bool],
+    m: u64,
+) -> u64 {
+    let (bs, bo) = (bufs[s], bufs[o]);
+    // Activity interval [c, d] over the sweep per o position, plus the
+    // key value each active o contributes.
+    let mut act: Vec<(u64, u64)> = Vec::new(); // (first active s, key(o))
+    let mut deact: Vec<(u64, u64)> = Vec::new(); // (first inactive s, key(o))
+    for ov in 0..m {
+        if !valid_o[ov as usize] {
+            continue;
+        }
+        let (mut c, mut d) = (0u64, m - 1);
+        for &(is_lower, f) in activity {
+            let v = f.eval(bo, ov, m);
+            if is_lower {
+                c = c.max(v); // feat(o) <= s_pos
+            } else {
+                d = d.min(v); // s_pos <= feat(o)
+            }
+        }
+        if c <= d {
+            let kv = key.eval(bo, ov, m);
+            act.push((c, kv));
+            deact.push((d + 1, kv));
+        }
+    }
+    act.sort_unstable();
+    deact.sort_unstable();
+
+    // Key values live in 0..=m (lower-bound features clamp to m).
+    let mut fen = Fenwick::new(m as usize + 1);
+    let (mut ai, mut di) = (0usize, 0usize);
+    let mut total = 0u64;
+    for sv in 0..m {
+        while ai < act.len() && act[ai].0 <= sv {
+            fen.add(act[ai].1 as usize, 1);
+            ai += 1;
+        }
+        while di < deact.len() && deact[di].0 <= sv {
+            fen.add(deact[di].1 as usize, -1);
+            di += 1;
+        }
+        if !valid_s[sv as usize] {
+            continue;
+        }
+        let (mut lo, mut hi) = (0u64, m);
+        for &(is_lower, f) in bounds {
+            let v = f.eval(bs, sv, m);
+            if is_lower {
+                lo = lo.max(v); // feat(s) <= key(o)
+            } else {
+                hi = hi.min(v); // key(o) <= feat(s)
+            }
+        }
+        total += fen.range(lo, hi);
+    }
+    total
+}
+
+/// Counts valid `(x, y)` pairs under value dominance: at most one
+/// `lx(x) <= hy(y)` atom and one `ly(y) <= hx(x)` atom. With both, a
+/// merge sweep over `x` sorted by `hx` inserts `y`s sorted by `ly` into a
+/// value-Fenwick keyed by `hy`; with one, a sorted-threshold count.
+fn count_pair_dominance(
+    lx_hy: Option<(Feat, Feat)>,
+    ly_hx: Option<(Feat, Feat)>,
+    (bx, by): (&[u64], &[u64]),
+    valid_x: &[bool],
+    valid_y: &[bool],
+    m: u64,
+) -> u64 {
+    fn valid_positions(valid: &[bool], m: u64) -> impl Iterator<Item = u64> + '_ {
+        (0..m).filter(move |&v| valid[v as usize])
+    }
+    match (lx_hy, ly_hx) {
+        (Some((lxf, hyf)), Some((lyf, hxf))) => {
+            // (hx, lx) per valid x, ascending by hx.
+            let mut xs: Vec<(u64, u64)> = valid_positions(valid_x, m)
+                .map(|xv| (hxf.eval(bx, xv, m), lxf.eval(bx, xv, m)))
+                .collect();
+            xs.sort_unstable();
+            // (ly, hy) per valid y, ascending by ly.
+            let mut ys: Vec<(u64, u64)> = valid_positions(valid_y, m)
+                .map(|yv| (lyf.eval(by, yv, m), hyf.eval(by, yv, m)))
+                .collect();
+            ys.sort_unstable();
+            // Feature values live in 0..=m (lower bounds clamp to m).
+            let mut fen = Fenwick::new(m as usize + 1);
+            let mut yi = 0usize;
+            let mut total = 0u64;
+            for &(hx, lx) in &xs {
+                while yi < ys.len() && ys[yi].0 <= hx {
+                    fen.add(ys[yi].1 as usize, 1);
+                    yi += 1;
+                }
+                total += fen.range(lx, m); // inserted ys with hy >= lx
+            }
+            total
+        }
+        (Some((lxf, hyf)), None) => {
+            let mut hys: Vec<u64> = valid_positions(valid_y, m)
+                .map(|yv| hyf.eval(by, yv, m))
+                .collect();
+            hys.sort_unstable();
+            valid_positions(valid_x, m)
+                .map(|xv| {
+                    let lx = lxf.eval(bx, xv, m);
+                    (hys.len() - hys.partition_point(|&hy| hy < lx)) as u64
+                })
+                .sum()
+        }
+        (None, Some((lyf, hxf))) => {
+            let mut lys: Vec<u64> = valid_positions(valid_y, m)
+                .map(|yv| lyf.eval(by, yv, m))
+                .collect();
+            lys.sort_unstable();
+            valid_positions(valid_x, m)
+                .map(|xv| {
+                    let hx = hxf.eval(bx, xv, m);
+                    lys.partition_point(|&ly| ly <= hx) as u64
+                })
+                .sum()
+        }
+        // A component has at least one atom by construction; kept total
+        // for safety: unconstrained pairs are a plain product.
+        (None, None) => {
+            valid_positions(valid_x, m).count() as u64 * valid_positions(valid_y, m).count() as u64
+        }
+    }
+}
+
+/// Counts valid `(x, y, z)` triples for an all-identity-sided component
+/// over `x` positions `x0 .. x0 + xlen` (the shardable axis: each `x`
+/// pass is independent). Per `x`: intervals on `y` and `z` from atoms
+/// with features on `x`; then a `(y, z)` pair sweep with the
+/// `y`-activity/`z`-interval split of the yz atoms, gating `y`s and `z`s
+/// on their per-`x` activity windows.
+#[allow(clippy::too_many_arguments)]
+fn count_triple(
+    atoms: &[Atom],
+    x: usize,
+    y: usize,
+    z: usize,
+    bufs: &[&[u64]],
+    valids: [&[bool]; 3],
+    m: u64,
+    x0: u64,
+    xlen: u64,
+) -> u64 {
+    let (bx, by, bz) = (bufs[x], bufs[y], bufs[z]);
+    let [valid_x, valid_y, valid_z] = valids;
+
+    // Partition atoms by coordinate pair and role (feature side).
+    let mut xy_x: Vec<(bool, Feat)> = Vec::new(); // feature on x, ident y
+    let mut xz_x: Vec<(bool, Feat)> = Vec::new(); // feature on x, ident z
+    let mut yz_y: Vec<(bool, Feat)> = Vec::new(); // feature on y, ident z
+
+    // Per-position activity intervals, filled below.
+    let mut cyx = vec![0u64; m as usize]; // y active for x >= cyx[y]
+    let mut dyx = vec![m - 1; m as usize]; // ... and x <= dyx[y]
+    let mut czx = vec![0u64; m as usize];
+    let mut dzx = vec![m - 1; m as usize];
+    let mut gy = vec![0u64; m as usize]; // z active for y >= gy[z]
+    let mut hy = vec![m - 1; m as usize]; // ... and y <= hy[z]
+
+    for a in atoms {
+        let (is_lower, fc, f) = a.role();
+        let ident = if a.bf == Feat::Identity { a.bc } else { a.ac };
+        if fc == x {
+            if ident == y {
+                xy_x.push((is_lower, f));
+            } else {
+                xz_x.push((is_lower, f));
+            }
+        } else if fc == y {
+            if ident == x {
+                for (yv, (c, d)) in cyx.iter_mut().zip(dyx.iter_mut()).enumerate() {
+                    let v = f.eval(by, yv as u64, m);
+                    if is_lower {
+                        *c = (*c).max(v);
+                    } else {
+                        *d = (*d).min(v);
+                    }
+                }
+            } else {
+                yz_y.push((is_lower, f));
+            }
+        } else if ident == x {
+            for (zv, (c, d)) in czx.iter_mut().zip(dzx.iter_mut()).enumerate() {
+                let v = f.eval(bz, zv as u64, m);
+                if is_lower {
+                    *c = (*c).max(v);
+                } else {
+                    *d = (*d).min(v);
+                }
+            }
+        } else {
+            for (zv, (g, h)) in gy.iter_mut().zip(hy.iter_mut()).enumerate() {
+                let v = f.eval(bz, zv as u64, m);
+                if is_lower {
+                    *g = (*g).max(v);
+                } else {
+                    *h = (*h).min(v);
+                }
+            }
+        }
+    }
+
+    // Per-y z interval from yz atoms with features on y.
+    let mut ez = vec![0u64; m as usize];
+    let mut fz = vec![m - 1; m as usize];
+    for yv in 0..m as usize {
+        for &(is_lower, f) in &yz_y {
+            let v = f.eval(by, yv as u64, m);
+            if is_lower {
+                ez[yv] = ez[yv].max(v);
+            } else {
+                fz[yv] = fz[yv].min(v);
+            }
+        }
+    }
+
+    // z event lists over y, restricted to globally plausible zs.
+    let mut zs_by_g: Vec<u64> = (0..m)
+        .filter(|&zv| valid_z[zv as usize] && gy[zv as usize] <= hy[zv as usize])
+        .collect();
+    let mut zs_by_h = zs_by_g.clone();
+    zs_by_g.sort_unstable_by_key(|&zv| gy[zv as usize]);
+    zs_by_h.sort_unstable_by_key(|&zv| hy[zv as usize]);
+
+    let mut fen = Fenwick::new(m as usize);
+    let mut added = vec![false; m as usize];
+    let mut total = 0u64;
+    for xv in x0..x0 + xlen {
+        if !valid_x[xv as usize] {
+            continue;
+        }
+        // Per-x query windows on y and z.
+        let (mut ay, mut by_) = (0u64, m - 1);
+        for &(is_lower, f) in &xy_x {
+            let v = f.eval(bx, xv, m);
+            if is_lower {
+                ay = ay.max(v);
+            } else {
+                by_ = by_.min(v);
+            }
+        }
+        let (mut az, mut bz_) = (0u64, m - 1);
+        for &(is_lower, f) in &xz_x {
+            let v = f.eval(bx, xv, m);
+            if is_lower {
+                az = az.max(v);
+            } else {
+                bz_ = bz_.min(v);
+            }
+        }
+        if ay > by_ || az > bz_ {
+            continue;
+        }
+        fen.clear();
+        added.fill(false);
+        let (mut gi, mut hi) = (0usize, 0usize);
+        for yv in 0..m {
+            while gi < zs_by_g.len() && gy[zs_by_g[gi] as usize] <= yv {
+                let zv = zs_by_g[gi] as usize;
+                gi += 1;
+                if czx[zv] <= xv && xv <= dzx[zv] {
+                    fen.add(zv, 1);
+                    added[zv] = true;
+                }
+            }
+            while hi < zs_by_h.len() && hy[zs_by_h[hi] as usize] < yv {
+                let zv = zs_by_h[hi] as usize;
+                hi += 1;
+                if added[zv] {
+                    fen.add(zv, -1);
+                    added[zv] = false;
+                }
+            }
+            if !valid_y[yv as usize]
+                || cyx[yv as usize] > xv
+                || xv > dyx[yv as usize]
+                || yv < ay
+                || yv > by_
+            {
+                continue;
+            }
+            let lo = az.max(ez[yv as usize]);
+            let hi_z = bz_.min(fz[yv as usize]);
+            total += fen.range(lo, hi_z);
+        }
+    }
+    total
+}
+
+/// One shard of rf counting work: a component of one outcome, restricted
+/// to an `x` range for the (shardable) triple strategy.
+struct Unit<'p> {
+    out: usize,
+    comp: usize,
+    plan: &'p Plan,
+    strat: &'p Strategy,
+    x0: u64,
+    xlen: u64,
+}
+
+fn run_unit(u: &Unit<'_>, bufs: &[&[u64]], m: u64) -> u64 {
+    match u.strat {
+        Strategy::Single { c } => coord_valid(&u.plan.unaries[*c], bufs[*c], m)
+            .iter()
+            .filter(|&&v| v)
+            .count() as u64,
+        Strategy::PairSweep {
+            s,
+            o,
+            activity,
+            key,
+            bounds,
+        } => {
+            let vs = coord_valid(&u.plan.unaries[*s], bufs[*s], m);
+            let vo = coord_valid(&u.plan.unaries[*o], bufs[*o], m);
+            count_pair_sweep(activity, *key, bounds, *s, *o, bufs, &vs, &vo, m)
+        }
+        Strategy::PairDominance { x, y, lx_hy, ly_hx } => {
+            let vx = coord_valid(&u.plan.unaries[*x], bufs[*x], m);
+            let vy = coord_valid(&u.plan.unaries[*y], bufs[*y], m);
+            count_pair_dominance(*lx_hy, *ly_hx, (bufs[*x], bufs[*y]), &vx, &vy, m)
+        }
+        Strategy::Triple { x, y, z, atoms } => {
+            let vx = coord_valid(&u.plan.unaries[*x], bufs[*x], m);
+            let vy = coord_valid(&u.plan.unaries[*y], bufs[*y], m);
+            let vz = coord_valid(&u.plan.unaries[*z], bufs[*z], m);
+            count_triple(atoms, *x, *y, *z, bufs, [&vx, &vy, &vz], m, u.x0, u.xlen)
+        }
+    }
+}
+
+/// Deterministic work model per component (the rf analogue of "frames
+/// examined"): one position sweep for singletons, one per side for pairs,
+/// and the outer sweep plus the `m`-wide inner sweep per outer position
+/// for triples. Worker-count independent by construction.
+fn component_cost(s: &Strategy, m: u64) -> u64 {
+    match s {
+        Strategy::Single { .. } => m,
+        Strategy::PairSweep { .. } | Strategy::PairDominance { .. } => m.saturating_mul(2),
+        Strategy::Triple { .. } => m.saturating_add(m.saturating_mul(m)),
+    }
+}
+
+/// Reads-from edges walked per component: each atom's feature array is
+/// scanned once per admitted iteration.
+fn component_edges(s: &Strategy, m: u64) -> u64 {
+    let atoms = match s {
+        Strategy::Single { .. } => 0,
+        Strategy::PairSweep {
+            activity, bounds, ..
+        } => activity.len() + bounds.len(),
+        Strategy::Triple { atoms, .. } => atoms.len(),
+        Strategy::PairDominance { lx_hy, ly_hx, .. } => {
+            usize::from(lx_hy.is_some()) + usize::from(ly_hx.is_some())
+        }
+    };
+    (atoms as u64).saturating_mul(m)
+}
+
+/// Sizes the admitted iteration prefix under a budget: iterations are
+/// admitted in [`RF_POLL_INTERVAL`] blocks while the budget lasts. With a
+/// poll-limit budget the prefix is exactly `min(n, polls * 1024)` on
+/// every machine; the subsequent (cheap, polynomial) closure runs
+/// unbudgeted over the prefix.
+fn admitted_prefix(n: u64, budget: &Budget) -> (u64, bool) {
+    let mut m = 0u64;
+    while m < n {
+        if budget.expired() {
+            return (m, true);
+        }
+        m = (m + RF_POLL_INTERVAL).min(n);
+    }
+    (m, false)
+}
+
+/// [`Counter`] implementing the polynomial reads-from closure count; see
+/// the module docs for the algorithm, the fallback rules, and the policy
+/// fields' semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct RfCounter<'a> {
+    outcomes: &'a [PerpetualOutcome],
+}
+
+impl<'a> RfCounter<'a> {
+    /// A counter over `outcomes`. Only single-outcome requests take the
+    /// polynomial path; a batch of two or more preserves the exhaustive
+    /// else-if chain via the recorded fallback (see module docs).
+    pub fn new(outcomes: &'a [PerpetualOutcome]) -> Self {
+        Self { outcomes }
+    }
+
+    /// The common single-target case — the shape the polynomial closure
+    /// actually accelerates.
+    pub fn single(outcome: &'a PerpetualOutcome) -> Self {
+        Self::new(std::slice::from_ref(outcome))
+    }
+}
+
+impl Counter for RfCounter<'_> {
+    fn name(&self) -> &'static str {
+        "rf"
+    }
+
+    fn scan(&self, req: &CountRequest<'_>) -> CountResult {
+        let tl = req.bufs.len();
+        // The polynomial path serves single-outcome requests — the
+        // production target-counting path. Multi-outcome batches carry the
+        // exhaustive scan's else-if chain semantics (a frame goes to the
+        // FIRST matching outcome, and outcomes with existential stores can
+        // genuinely double-match), which do not decompose per outcome.
+        let compiled: Option<Vec<(Plan, Vec<Strategy>)>> = if self.outcomes.len() <= 1 {
+            self.outcomes
+                .iter()
+                .map(|o| {
+                    let plan = compile(o, tl);
+                    strategies(&plan, tl).map(|s| (plan, s))
+                })
+                .collect()
+        } else {
+            None
+        };
+        let Some(compiled) = compiled else {
+            // Outside the polynomial fragment (or a multi-outcome chain):
+            // run the exhaustive scan — the exact same dispatch
+            // ExhaustiveCounter uses, frame cap and budget included — and
+            // record the downgrade.
+            obs_metrics::add(Metric::CountRfFallbacks, 1);
+            let mut r = match req.budget {
+                Some(budget) => count_exhaustive_impl(
+                    self.outcomes,
+                    req.bufs,
+                    req.n,
+                    req.frame_cap,
+                    Some(budget),
+                ),
+                None => {
+                    exhaustive_sharded(self.outcomes, req.bufs, req.n, req.frame_cap, req.workers)
+                }
+            };
+            r.downgraded = true;
+            return r;
+        };
+
+        let start = Instant::now();
+        let (m, budget_expired) = match req.budget {
+            Some(budget) => admitted_prefix(req.n, budget),
+            None => (req.n, false),
+        };
+
+        let mut counts = vec![0u64; self.outcomes.len()];
+        let mut frames: u64 = 0;
+        let mut edges: u64 = 0;
+        if m > 0 {
+            let mut units: Vec<Unit<'_>> = Vec::new();
+            for (oi, (plan, strats)) in compiled.iter().enumerate() {
+                if plan.infeasible {
+                    continue;
+                }
+                for (ci, s) in strats.iter().enumerate() {
+                    frames = frames.saturating_add(component_cost(s, m));
+                    edges = edges.saturating_add(component_edges(s, m));
+                    let shards = match s {
+                        Strategy::Triple { .. } if req.workers > 1 => partition(m, req.workers),
+                        _ => vec![(0, m)],
+                    };
+                    for (x0, xlen) in shards {
+                        units.push(Unit {
+                            out: oi,
+                            comp: ci,
+                            plan,
+                            strat: s,
+                            x0,
+                            xlen,
+                        });
+                    }
+                }
+            }
+
+            let results: Vec<u64> = if req.workers <= 1 || units.len() <= 1 {
+                units.iter().map(|u| run_unit(u, req.bufs, m)).collect()
+            } else {
+                let chunks = partition(units.len() as u64, req.workers);
+                std::thread::scope(|scope| {
+                    let units = &units;
+                    let handles: Vec<_> = chunks
+                        .iter()
+                        .map(|&(s0, len)| {
+                            scope.spawn(move || {
+                                units[s0 as usize..(s0 + len) as usize]
+                                    .iter()
+                                    .map(|u| run_unit(u, req.bufs, m))
+                                    .collect::<Vec<u64>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        // Invariant assertion, not error handling: the
+                        // sweeps are pure reads over shared slices; a join
+                        // failure is a harness bug worth crashing on.
+                        .flat_map(|h| h.join().expect("rf counter worker panicked"))
+                        .collect()
+                })
+            };
+
+            // Sum shard results per component, multiply components per
+            // outcome (components are independent by construction). Both
+            // operations are exact sums/products of the same per-shard
+            // values in any worker count, so results are bit-identical
+            // regardless of sharding.
+            let mut comp_sums: Vec<Vec<u64>> = compiled
+                .iter()
+                .map(|(_, strats)| vec![0u64; strats.len()])
+                .collect();
+            for (u, r) in units.iter().zip(&results) {
+                comp_sums[u.out][u.comp] += r;
+            }
+            for (oi, (plan, strats)) in compiled.iter().enumerate() {
+                if plan.infeasible {
+                    continue;
+                }
+                let mut t = 1u64;
+                for &s in &comp_sums[oi][..strats.len()] {
+                    t = t.saturating_mul(s);
+                }
+                counts[oi] = t;
+            }
+        }
+
+        obs_metrics::add(Metric::CountRfEdgesWalked, edges);
+        obs_metrics::add(Metric::CountRfClosureSteps, frames);
+
+        // NOT built through merge_partials: rf counts can exceed its work
+        // model (one pair sweep can count up to m^2 pairs), so the
+        // else-if `counts <= frames_examined` invariant does not apply.
+        CountResult {
+            counts,
+            frames_examined: frames,
+            evals: frames,
+            wall: start.elapsed(),
+            truncated: false,
+            budget_expired,
+            downgraded: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::ExhaustiveCounter;
+    use perple_convert::Conversion;
+    use perple_model::suite;
+
+    /// Deterministic garbage buffers with the run layout (`rpi * n`
+    /// values per load thread): arbitrary values exercising decode
+    /// successes, decode failures, and stale/fresh fr thresholds. Sound
+    /// for single-outcome differentials on both sides (no else-if chain).
+    fn synthetic_bufs(conv: &Conversion, n: u64, salt: u64) -> Vec<Vec<u64>> {
+        let perp = &conv.perpetual;
+        perp.load_threads()
+            .iter()
+            .enumerate()
+            .map(|(pos, t)| {
+                let rpi = perp.reads_per_thread()[t.index()] as u64;
+                (0..n * rpi)
+                    .map(|i| {
+                        let mut h = i
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(salt ^ (pos as u64).wrapping_mul(0xABCD));
+                        h ^= h >> 33;
+                        h % (3 * n + 7)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The corpus-coverage proof for the production counting path: every
+    /// convertible test's *target* outcome compiles into the polynomial
+    /// fragment (no fallback), and the counts match the exhaustive scan
+    /// exactly on adversarial synthetic buffers.
+    #[test]
+    fn no_target_outcome_needs_the_fallback() {
+        let n = 24u64;
+        for test in suite::convertible() {
+            let conv = Conversion::convert(&test).unwrap();
+            let owned = synthetic_bufs(&conv, n, 0xBEEF);
+            let bufs: Vec<&[u64]> = owned.iter().map(Vec::as_slice).collect();
+            let req = CountRequest::new(&bufs, n);
+            let rf = RfCounter::single(&conv.target_exhaustive).count(&req);
+            assert!(!rf.downgraded, "{} fell back to exhaustive", test.name());
+            let exh = ExhaustiveCounter::single(&conv.target_exhaustive).count(&req);
+            assert_eq!(rf.counts, exh.counts, "{} counts differ", test.name());
+        }
+    }
+
+    /// Every outcome of every convertible test, counted *individually*
+    /// (single-outcome requests are chain-free on both sides, so pure
+    /// garbage buffers are a sound oracle): bit-equal counts corpus-wide,
+    /// with the fallback set pinned — exactly the five tests whose
+    /// multi-variable existential outcomes yield two independent
+    /// data-data constraints in one orientation (a 3-D dominance problem
+    /// the fragment deliberately excludes). Growing this set is a
+    /// regression; shrinking it means the fragment widened — update the
+    /// module docs too.
+    #[test]
+    fn every_outcome_counted_individually_matches_exhaustive() {
+        let n = 16u64;
+        let mut fell_back: Vec<String> = Vec::new();
+        for test in suite::convertible() {
+            let conv = Conversion::convert(&test).unwrap();
+            let all = conv.all_outcomes(&test).unwrap();
+            let owned = synthetic_bufs(&conv, n, 0xBEEF);
+            let bufs: Vec<&[u64]> = owned.iter().map(Vec::as_slice).collect();
+            let req = CountRequest::new(&bufs, n);
+            let mut test_fell_back = false;
+            for (o, _) in &all {
+                let rf = RfCounter::single(o).count(&req);
+                let exh = ExhaustiveCounter::single(o).count(&req);
+                assert_eq!(
+                    rf.counts,
+                    exh.counts,
+                    "{} outcome {:?} counts differ",
+                    test.name(),
+                    o.label()
+                );
+                test_fell_back |= rf.downgraded;
+            }
+            if test_fell_back {
+                fell_back.push(test.name().to_string());
+            }
+        }
+        fell_back.sort_unstable();
+        assert_eq!(
+            fell_back,
+            ["co-iriw", "iriw", "rfi015", "safe012", "safe027"],
+            "the out-of-fragment set changed"
+        );
+    }
+
+    /// Multi-outcome batches carry the exhaustive else-if chain (a frame
+    /// goes to the first matching outcome; outcomes can double-match), so
+    /// the rf counter serves them through the recorded fallback — and the
+    /// result is bit-identical to the exhaustive counter even on garbage
+    /// buffers where outcomes genuinely overlap.
+    #[test]
+    fn multi_outcome_batches_preserve_the_chain_via_fallback() {
+        for name in ["sb", "n1", "wrc"] {
+            let test = suite::by_name(name).unwrap();
+            let conv = Conversion::convert(&test).unwrap();
+            let all = conv.all_outcomes(&test).unwrap();
+            let outcomes: Vec<PerpetualOutcome> = all.into_iter().map(|(o, _)| o).collect();
+            let n = 20u64;
+            let owned = synthetic_bufs(&conv, n, 0xABAD);
+            let bufs: Vec<&[u64]> = owned.iter().map(Vec::as_slice).collect();
+            let req = CountRequest::new(&bufs, n);
+            let rf = RfCounter::new(&outcomes).count(&req);
+            assert!(rf.downgraded, "{name}: batch must record the downgrade");
+            let exh = ExhaustiveCounter::new(&outcomes).count(&req);
+            assert_eq!(rf.counts, exh.counts, "{name} chain counts differ");
+        }
+    }
+
+    #[test]
+    fn rf_matches_exhaustive_per_outcome_across_salts() {
+        for (name, n) in [("sb", 40u64), ("wrc", 24), ("podwr001", 14), ("mp", 48)] {
+            let test = suite::by_name(name).unwrap();
+            let conv = Conversion::convert(&test).unwrap();
+            let all = conv.all_outcomes(&test).unwrap();
+            for salt in 0..6u64 {
+                let owned = synthetic_bufs(&conv, n, salt);
+                let bufs: Vec<&[u64]> = owned.iter().map(Vec::as_slice).collect();
+                let req = CountRequest::new(&bufs, n);
+                for (o, _) in &all {
+                    let rf = RfCounter::single(o).count(&req);
+                    let exh = ExhaustiveCounter::single(o).count(&req);
+                    assert_eq!(rf.counts, exh.counts, "{name} salt {salt} {:?}", o.label());
+                    assert!(!rf.downgraded, "{name} {:?}", o.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_any_field() {
+        for name in ["sb", "iriw", "podwr001"] {
+            let test = suite::by_name(name).unwrap();
+            let conv = Conversion::convert(&test).unwrap();
+            let n = 20u64;
+            let owned = synthetic_bufs(&conv, n, 7);
+            let bufs: Vec<&[u64]> = owned.iter().map(Vec::as_slice).collect();
+            let counter = RfCounter::single(&conv.target_exhaustive);
+            let serial = counter.count(&CountRequest::new(&bufs, n));
+            assert!(!serial.downgraded);
+            for w in [2usize, 3, 7, 64] {
+                let par = counter.count(&CountRequest::new(&bufs, n).with_workers(w));
+                assert_eq!(serial.counts, par.counts, "{name} workers {w}");
+                assert_eq!(serial.frames_examined, par.frames_examined);
+                assert_eq!(serial.evals, par.evals);
+            }
+        }
+    }
+
+    #[test]
+    fn triple_work_model_beats_the_cubic_frame_space() {
+        // The acceptance criterion's shape: a T_L = 3 test at N >= 100
+        // must examine >= 10x fewer frames than the exhaustive scan.
+        let test = suite::by_name("podwr001").unwrap();
+        let conv = Conversion::convert(&test).unwrap();
+        let n = 100u64;
+        let owned = synthetic_bufs(&conv, n, 3);
+        let bufs: Vec<&[u64]> = owned.iter().map(Vec::as_slice).collect();
+        let req = CountRequest::new(&bufs, n);
+        let rf = RfCounter::single(&conv.target_exhaustive).count(&req);
+        let exh = ExhaustiveCounter::single(&conv.target_exhaustive).count(&req);
+        assert_eq!(rf.counts, exh.counts);
+        assert_eq!(exh.frames_examined, n * n * n);
+        assert!(
+            rf.frames_examined * 10 <= exh.frames_examined,
+            "rf {} vs exhaustive {}",
+            rf.frames_examined,
+            exh.frames_examined
+        );
+    }
+
+    #[test]
+    fn budget_admits_a_provable_iteration_prefix() {
+        let test = suite::sb();
+        let conv = Conversion::convert(&test).unwrap();
+        let n = 3000u64;
+        let owned = synthetic_bufs(&conv, n, 9);
+        let bufs: Vec<&[u64]> = owned.iter().map(Vec::as_slice).collect();
+        let budget = Budget::with_poll_limit(1);
+        let part = RfCounter::single(&conv.target_exhaustive)
+            .count(&CountRequest::new(&bufs, n).with_budget(&budget));
+        assert!(part.budget_expired);
+        // The truncated result equals the full count at n = 1024: same
+        // buffers, iteration window shrunk to the admitted prefix.
+        let prefix = RfCounter::single(&conv.target_exhaustive)
+            .count(&CountRequest::new(&bufs, RF_POLL_INTERVAL));
+        assert!(!prefix.budget_expired);
+        assert_eq!(part.counts, prefix.counts);
+        assert_eq!(part.frames_examined, prefix.frames_examined);
+        // And an exhausted budget admits nothing.
+        let dead = Budget::with_poll_limit(0);
+        let zero = RfCounter::single(&conv.target_exhaustive)
+            .count(&CountRequest::new(&bufs, n).with_budget(&dead));
+        assert!(zero.budget_expired);
+        assert_eq!(zero.total(), 0);
+        assert_eq!(zero.frames_examined, 0);
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing() {
+        let test = suite::sb();
+        let conv = Conversion::convert(&test).unwrap();
+        let n = 64u64;
+        let owned = synthetic_bufs(&conv, n, 4);
+        let bufs: Vec<&[u64]> = owned.iter().map(Vec::as_slice).collect();
+        let plain = RfCounter::single(&conv.target_exhaustive).count(&CountRequest::new(&bufs, n));
+        let budget = Budget::unlimited();
+        let budgeted = RfCounter::single(&conv.target_exhaustive)
+            .count(&CountRequest::new(&bufs, n).with_budget(&budget));
+        assert_eq!(plain.counts, budgeted.counts);
+        assert!(!budgeted.budget_expired);
+    }
+
+    #[test]
+    fn zero_iterations_and_empty_outcomes_are_degenerate() {
+        let test = suite::sb();
+        let conv = Conversion::convert(&test).unwrap();
+        let bufs: Vec<&[u64]> = vec![&[], &[]];
+        let r = RfCounter::single(&conv.target_exhaustive).count(&CountRequest::new(&bufs, 0));
+        assert_eq!(r.total(), 0);
+        assert_eq!(r.frames_examined, 0);
+        let none = RfCounter::new(&[]).count(&CountRequest::new(&bufs, 5));
+        assert!(none.counts.is_empty());
+        assert_eq!(none.frames_examined, 0);
+    }
+
+    #[test]
+    fn counting_feeds_the_rf_metrics() {
+        let test = suite::by_name("podwr001").unwrap();
+        let conv = Conversion::convert(&test).unwrap();
+        let n = 16u64;
+        let owned = synthetic_bufs(&conv, n, 1);
+        let bufs: Vec<&[u64]> = owned.iter().map(Vec::as_slice).collect();
+        let before = perple_obs::metrics::snapshot();
+        let r = RfCounter::single(&conv.target_exhaustive).count(&CountRequest::new(&bufs, n));
+        let delta = perple_obs::metrics::snapshot().delta_from(&before);
+        assert!(delta.get("count_rf_closure_steps") >= r.frames_examined);
+        assert!(delta.get("count_rf_edges_walked") > 0);
+        assert_eq!(delta.get("count_rf_fallbacks"), 0);
+    }
+
+    #[test]
+    fn the_fenwick_tree_counts_interval_sums() {
+        let mut f = Fenwick::new(8);
+        f.add(0, 1);
+        f.add(3, 2);
+        f.add(7, 1);
+        assert_eq!(f.range(0, 7), 4);
+        assert_eq!(f.range(1, 3), 2);
+        assert_eq!(f.range(4, 6), 0);
+        assert_eq!(f.range(5, 2), 0, "empty interval");
+        f.add(3, -2);
+        assert_eq!(f.range(0, 7), 2);
+        f.clear();
+        assert_eq!(f.range(0, 7), 0);
+    }
+}

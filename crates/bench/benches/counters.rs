@@ -1,9 +1,14 @@
 //! Micro-benchmarks of the outcome counters: the heuristic's linear
-//! scaling vs the exhaustive counter's `N^{T_L}` blow-up (Figure 10's
-//! counting component).
+//! scaling, the exhaustive counter's `N^{T_L}` blow-up (Figure 10's
+//! counting component), and the rf closure counter that removes it.
+//!
+//! The rf counter made the old iteration counts trivial, so the default
+//! sizes are 10× what the exhaustive-only version of this bench used; the
+//! exhaustive cases keep their historical sizes (they are the slow ones).
 
 use perple::{
-    Conversion, CountRequest, Counter, ExhaustiveCounter, HeuristicCounter, PerpleRunner, SimConfig,
+    Conversion, CountRequest, Counter, ExhaustiveCounter, HeuristicCounter, PerpleRunner,
+    RfCounter, SimConfig,
 };
 use perple_bench::micro::Bench;
 use perple_model::suite;
@@ -14,32 +19,43 @@ fn main() {
     let conv = Conversion::convert(&test).expect("sb converts");
     let mut runner = PerpleRunner::new(SimConfig::default().with_seed(0xBE));
 
-    for &n in &[1_000u64, 4_000, 16_000] {
+    for &n in &[10_000u64, 40_000, 160_000] {
         let run = runner.run(&conv.perpetual, n);
         let bufs = run.bufs();
         let req = CountRequest::new(&bufs, n);
         bench.run(&format!("counters/sb/heuristic/{n}"), || {
             HeuristicCounter::single(&conv.target_heuristic).count(std::hint::black_box(&req))
         });
+        bench.run(&format!("counters/sb/rf/{n}"), || {
+            RfCounter::single(&conv.target_exhaustive).count(std::hint::black_box(&req))
+        });
         // The exhaustive counter is quadratic for sb; keep N modest.
-        if n <= 4_000 {
+        if n <= 10_000 {
             bench.run(&format!("counters/sb/exhaustive/{n}"), || {
                 ExhaustiveCounter::single(&conv.target_exhaustive).count(std::hint::black_box(&req))
             });
         }
     }
 
-    // T_L = 3: the cubic case the paper calls "a dramatic slowdown".
+    // T_L = 3: the cubic case the paper calls "a dramatic slowdown". The rf
+    // counter runs it at 10× the N the exhaustive scan could afford.
     let test3 = suite::podwr001();
     let conv3 = Conversion::convert(&test3).expect("podwr001 converts");
-    let n = 200u64;
-    let run = runner.run(&conv3.perpetual, n);
-    let bufs = run.bufs();
-    let req = CountRequest::new(&bufs, n);
-    bench.run("counters/podwr001/heuristic/200", || {
-        HeuristicCounter::single(&conv3.target_heuristic).count(std::hint::black_box(&req))
-    });
-    bench.run("counters/podwr001/exhaustive/200", || {
-        ExhaustiveCounter::single(&conv3.target_exhaustive).count(std::hint::black_box(&req))
-    });
+    for &n in &[200u64, 2_000] {
+        let run = runner.run(&conv3.perpetual, n);
+        let bufs = run.bufs();
+        let req = CountRequest::new(&bufs, n);
+        bench.run(&format!("counters/podwr001/heuristic/{n}"), || {
+            HeuristicCounter::single(&conv3.target_heuristic).count(std::hint::black_box(&req))
+        });
+        bench.run(&format!("counters/podwr001/rf/{n}"), || {
+            RfCounter::single(&conv3.target_exhaustive).count(std::hint::black_box(&req))
+        });
+        if n <= 200 {
+            bench.run(&format!("counters/podwr001/exhaustive/{n}"), || {
+                ExhaustiveCounter::single(&conv3.target_exhaustive)
+                    .count(std::hint::black_box(&req))
+            });
+        }
+    }
 }

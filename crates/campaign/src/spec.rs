@@ -14,6 +14,7 @@
 //! timeout_ms = 0              # 0 = no watchdog
 //! frame_cap = 1000000         # 0 = unlimited exhaustive scan
 //! inject = corrupt@t0:0..100  # optional fault plan (omit for none)
+//! counter = rf                # optional exact-counter backend
 //! ```
 //!
 //! `key = value` lines, `#` comments, unknown keys rejected. [`CampaignSpec::render`]
@@ -45,6 +46,9 @@ pub struct CampaignSpec {
     /// Machine fault-injection plan in its CLI grammar (validated by the
     /// execution layer, which owns the parser).
     pub inject: Option<String>,
+    /// Exact-counter backend (`exhaustive`, `heuristic`, or `rf`); `None`
+    /// leaves the execution layer's default (`rf`) in charge.
+    pub counter: Option<String>,
 }
 
 impl CampaignSpec {
@@ -60,6 +64,7 @@ impl CampaignSpec {
             timeout_ms: None,
             frame_cap: Some(1_000_000),
             inject: None,
+            counter: None,
         }
     }
 
@@ -133,6 +138,12 @@ impl CampaignSpec {
                 "inject" => {
                     spec.inject = (!value.is_empty()).then(|| value.to_owned());
                 }
+                "counter" => {
+                    if !["exhaustive", "heuristic", "rf", ""].contains(&value) {
+                        return Err(bad("counter (exhaustive, heuristic, or rf)"));
+                    }
+                    spec.counter = (!value.is_empty()).then(|| value.to_owned());
+                }
                 other => {
                     return Err(CampaignError::Parse(format!(
                         "line {}: unknown key {other:?}",
@@ -176,6 +187,9 @@ impl CampaignSpec {
         if let Some(inject) = &self.inject {
             s.push_str(&format!("inject = {inject}\n"));
         }
+        if let Some(counter) = &self.counter {
+            s.push_str(&format!("counter = {counter}\n"));
+        }
         s
     }
 
@@ -218,6 +232,7 @@ retries = 1
 timeout_ms = 0
 frame_cap = 1000000
 inject = corrupt@t0:0..100
+counter = rf
 ";
 
     #[test]
@@ -232,6 +247,7 @@ inject = corrupt@t0:0..100
         assert_eq!(spec.timeout_ms, None, "0 means unbudgeted");
         assert_eq!(spec.frame_cap, Some(1_000_000));
         assert_eq!(spec.inject.as_deref(), Some("corrupt@t0:0..100"));
+        assert_eq!(spec.counter.as_deref(), Some("rf"));
         assert_eq!(spec.nominal_items(), 6);
     }
 
@@ -263,6 +279,7 @@ inject = corrupt@t0:0..100
             ("tests = sb\nseeds = 1\nfrobnicate = 9\n", "unknown key"),
             ("tests = sb\nseeds = 1\nworkers nine\n", "missing ="),
             ("name = bad name!\ntests = sb\nseeds = 1\n", "bad name"),
+            ("tests = sb\nseeds = 1\ncounter = turbo\n", "bad counter"),
         ] {
             assert!(CampaignSpec::parse(bad).is_err(), "{why}: {bad:?}");
         }
@@ -278,5 +295,6 @@ inject = corrupt@t0:0..100
         assert_eq!(spec.timeout_ms, None);
         assert_eq!(spec.frame_cap, Some(1_000_000));
         assert_eq!(spec.inject, None);
+        assert_eq!(spec.counter, None);
     }
 }

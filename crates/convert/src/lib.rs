@@ -52,7 +52,9 @@ mod perpetual;
 
 pub use heuristic::{Derivation, DeriveRule, HeuristicOutcome};
 pub use kmap::{KMap, SeqAssignment};
-pub use outcomes::{convert_all_outcomes, IdxRef, LoadRef, PerpCond, PerpetualOutcome, StoreTerm};
+pub use outcomes::{
+    convert_all_outcomes, fr_lower_bound, IdxRef, LoadRef, PerpCond, PerpetualOutcome, StoreTerm,
+};
 pub use perpetual::{PerpInstr, PerpetualTest};
 
 use std::fmt;

@@ -398,8 +398,12 @@ impl PerpetualOutcome {
 }
 
 /// Smallest `idx` with `val < k*idx + a` (the fr feasibility bound).
+///
+/// Public because the reads-from counter (`perple-analysis`) compiles fr
+/// and ws conditions into threshold features using exactly this bound; the
+/// two implementations must agree bit for bit.
 #[inline]
-pub(crate) fn fr_lower_bound(k: u64, a: u64, val: u64) -> u64 {
+pub fn fr_lower_bound(k: u64, a: u64, val: u64) -> u64 {
     if val < a {
         0
     } else {

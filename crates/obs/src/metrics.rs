@@ -44,6 +44,15 @@ pub enum Metric {
     CountPartnerMisses,
     /// Counter invocations truncated by an expired budget.
     CountBudgetExpiries,
+    /// Reads-from partner edges walked by the rf counter (one per atom per
+    /// admitted iteration: each compiled constraint scans its feature once).
+    CountRfEdgesWalked,
+    /// Closure sweep steps performed by the rf counter (positions visited
+    /// by the per-component interval sweeps).
+    CountRfClosureSteps,
+    /// Rf counter invocations that fell back to the exhaustive scan because
+    /// an outcome's constraint shape was outside the polynomial fragment.
+    CountRfFallbacks,
     /// Attempt retries performed by the resilient executor.
     ExecRetries,
     /// Suite items quarantined after exhausting retries.
@@ -53,7 +62,7 @@ pub enum Metric {
 }
 
 /// Number of distinct [`Metric`] variants (shard array size).
-pub const METRIC_COUNT: usize = 15;
+pub const METRIC_COUNT: usize = 18;
 
 impl Metric {
     /// Every metric, in stable declaration order.
@@ -70,6 +79,9 @@ impl Metric {
         Metric::CountPartnerHits,
         Metric::CountPartnerMisses,
         Metric::CountBudgetExpiries,
+        Metric::CountRfEdgesWalked,
+        Metric::CountRfClosureSteps,
+        Metric::CountRfFallbacks,
         Metric::ExecRetries,
         Metric::ExecQuarantines,
         Metric::ExecBudgetExpiries,
@@ -90,6 +102,9 @@ impl Metric {
             Metric::CountPartnerHits => "count_partner_hits",
             Metric::CountPartnerMisses => "count_partner_misses",
             Metric::CountBudgetExpiries => "count_budget_expiries",
+            Metric::CountRfEdgesWalked => "count_rf_edges_walked",
+            Metric::CountRfClosureSteps => "count_rf_closure_steps",
+            Metric::CountRfFallbacks => "count_rf_fallbacks",
             Metric::ExecRetries => "exec_retries",
             Metric::ExecQuarantines => "exec_quarantines",
             Metric::ExecBudgetExpiries => "exec_budget_expiries",

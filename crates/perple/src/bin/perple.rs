@@ -4,15 +4,16 @@
 //! perple classify <test-name | file.litmus>   SC/TSO/PSO classification
 //! perple convert  <test-name | file.litmus>   emit perpetual asm + counters
 //! perple run      <test-name> [-n N] [--seed S] [--weak] [--workers W]
-//!                 [--timeout-ms T] [--inject PLAN] [--trace FILE]
+//!                 [--timeout-ms T] [--inject PLAN] [--counter C] [--trace FILE]
 //! perple audit    [-n N] [--workers W] [--timeout-ms T] [--retries R]
-//!                 [--inject PLAN] [--json]    whole-suite consistency audit
+//!                 [--inject PLAN] [--counter C] [--json]
+//!                                             whole-suite consistency audit
 //! perple trace    <test-name> [-n N]          event log of a short run
 //! perple infer    [-n N] [--weak]             infer the machine's relaxations
 //! perple list                                 list the built-in suite
 //! perple lint [--json] [--deny warnings] [--iterations N] [--value-bits B]
 //!             <test-name | file.litmus>...    static analysis of litmus tests
-//! perple campaign run <spec-file> [--store DIR] [--allow-lints]
+//! perple campaign run <spec-file> [--store DIR] [--allow-lints] [--counter C]
 //! perple campaign ls [--store DIR]
 //! perple campaign show <run|latest> [--store DIR] [--json]
 //! perple campaign compare <base> <new> [--store DIR] [--json]
@@ -23,6 +24,10 @@
 //! re-runs failed audit tests with deterministically perturbed seeds.
 //! `--inject` takes a machine fault plan, e.g.
 //! `drop@t0:100..200:p0.5,stuck@*:0..50:c30` (see `FaultPlan::parse`).
+//! `--counter` picks the counting backend: `heuristic` (linear, one frame
+//! per iteration), `exhaustive` (all `N^{T_L}` frames), or `rf` (exact
+//! polynomial reads-from closure — the default everywhere the exact count
+//! matters: `audit` and campaigns).
 //! `--trace FILE` records a hierarchical span trace of the pipeline
 //! (convert → simulate → count) as Chrome `trace_event` JSON — load it at
 //! `chrome://tracing` or <https://ui.perfetto.dev> — and prints a flame
@@ -33,7 +38,8 @@ use std::process::ExitCode;
 use perple::experiments::resilient::{audit_json, render_audit_text, resilient_audit};
 use perple::experiments::ExperimentConfig;
 use perple::{
-    classify, enumerate, Conversion, FaultPlan, MemoryModel, Perple, PerpleRunner, SimConfig,
+    classify, enumerate, Conversion, CounterKind, FaultPlan, MemoryModel, Perple, PerpleRunner,
+    SimConfig,
 };
 use perple_model::{parser, suite, LitmusTest};
 
@@ -56,15 +62,17 @@ fn main() -> ExitCode {
                  classify <test|file>        classification under SC/TSO/PSO\n\
                  convert  <test|file>        emit perpetual artifacts\n\
                  run      <test> [-n N] [--seed S] [--weak] [--workers W]\n\
-                 \x20                [--timeout-ms T] [--inject PLAN] [--trace FILE]\n\
+                 \x20                [--timeout-ms T] [--inject PLAN] [--counter C]\n\
+                 \x20                [--trace FILE]\n\
                  audit    [-n N] [--workers W] [--timeout-ms T] [--retries R]\n\
-                 \x20                [--inject PLAN] [--json]  run the Table II suite\n\
+                 \x20                [--inject PLAN] [--counter C] [--json]\n\
+                 \x20                            run the Table II suite\n\
                  trace    <test> [-n N]      event log of a short run\n\
                  infer    [-n N] [--weak]    infer the machine's relaxations\n\
                  list                        list built-in tests\n\
                  lint     [--json] [--deny warnings] <test|file>...\n\
                  \x20                            static analysis (exit 1 on errors)\n\
-                 campaign run <spec> [--store DIR] [--allow-lints]\n\
+                 campaign run <spec> [--store DIR] [--allow-lints] [--counter C]\n\
                  \x20                                          run a campaign spec\n\
                  campaign ls [--store DIR]                  list stored runs\n\
                  campaign show <run|latest> [--json]        inspect one run\n\
@@ -73,6 +81,7 @@ fn main() -> ExitCode {
                  --timeout-ms T   per-stage watchdog budget (partial results flagged)\n\
                  --retries R      retry failed audit tests with perturbed seeds\n\
                  --inject PLAN    machine fault plan, e.g. drop@t0:100..200:p0.5\n\
+                 --counter C      counting backend: exhaustive, heuristic, or rf\n\
                  --trace FILE     write a Chrome trace_event JSON span trace"
             );
             return ExitCode::from(2);
@@ -161,6 +170,10 @@ struct RunFlags {
     retries: u32,
     /// Machine fault-injection plan (`--inject PLAN`).
     inject: Option<FaultPlan>,
+    /// Counter backend (`--counter {exhaustive,heuristic,rf}`); `None`
+    /// keeps each subcommand's default (heuristic for `run`, rf for
+    /// `audit`).
+    counter: Option<CounterKind>,
     /// Emit JSON instead of the text report (`--json`, audit only).
     json: bool,
     /// Write a Chrome `trace_event` span trace here (`--trace FILE`).
@@ -171,16 +184,18 @@ impl RunFlags {
     /// The experiment configuration these flags describe, validated
     /// through [`ExperimentConfig::builder`].
     fn experiment_config(&self) -> Result<ExperimentConfig, String> {
-        ExperimentConfig::builder()
+        let mut builder = ExperimentConfig::builder()
             .iterations(self.n)
             .seed(self.seed)
             .workers(self.workers)
             .timeout_ms(self.timeout_ms)
             .retries(self.retries)
             .fault_plan(self.inject.clone().unwrap_or_else(FaultPlan::none))
-            .weak_machine(self.weak)
-            .build()
-            .map_err(|e| e.to_string())
+            .weak_machine(self.weak);
+        if let Some(counter) = self.counter {
+            builder = builder.counter(counter);
+        }
+        builder.build().map_err(|e| e.to_string())
     }
 }
 
@@ -193,6 +208,7 @@ fn parse_flags(args: &[String]) -> Result<RunFlags, String> {
         timeout_ms: None,
         retries: 0,
         inject: None,
+        counter: None,
         json: false,
         trace: None,
     };
@@ -245,6 +261,12 @@ fn parse_flags(args: &[String]) -> Result<RunFlags, String> {
                 let plan = it.next().ok_or("missing value for --inject")?;
                 flags.inject = Some(perple::parse_fault_plan(plan).map_err(|e| e.to_string())?);
             }
+            "--counter" => {
+                let name = it.next().ok_or("missing value for --counter")?;
+                flags.counter = Some(CounterKind::parse(name).ok_or_else(|| {
+                    format!("bad counter {name:?} (expected exhaustive, heuristic, or rf)")
+                })?);
+            }
             "--json" => flags.json = true,
             "--weak" => flags.weak = true,
             "--trace" => {
@@ -277,9 +299,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(b) = budget.as_ref() {
         req = req.with_budget(b);
     }
+    let kind = flags.counter.unwrap_or(CounterKind::Heuristic);
     let count = {
         use perple::Counter as _;
-        perple::HeuristicCounter::single(&conv.target_heuristic).count(&req)
+        match kind {
+            CounterKind::Heuristic => {
+                perple::HeuristicCounter::single(&conv.target_heuristic).count(&req)
+            }
+            CounterKind::Exhaustive => perple::ExhaustiveCounter::single(&conv.target_exhaustive)
+                .count(&req.with_frame_cap(cfg.exhaustive_frame_cap)),
+            CounterKind::Rf => perple::RfCounter::single(&conv.target_exhaustive)
+                .count(&req.with_frame_cap(cfg.exhaustive_frame_cap)),
+        }
     };
     if let Some(path) = &flags.trace {
         let trace = perple::obs::trace::finish();
@@ -314,13 +345,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!("machine faults injected: {}", run.faults);
     }
     println!(
-        "target outcome occurrences (heuristic counter): {}",
+        "target outcome occurrences ({} counter): {}",
+        kind.name(),
         count.counts[0]
     );
+    if count.downgraded {
+        println!("(outcome outside the rf fragment; exhaustive fallback counted it)");
+    }
     if count.budget_expired {
         println!(
-            "(counting truncated by --timeout-ms: {} of {} frames examined)",
-            count.frames_examined, n
+            "(counting truncated by --timeout-ms: {} frames examined)",
+            count.frames_examined
         );
     }
     let c = classify(&test);
@@ -407,18 +442,21 @@ struct CampaignFlags {
     json: bool,
     trace: Option<String>,
     allow_lints: bool,
+    /// `--counter C`: overrides the spec's `counter =` line for this run.
+    counter: Option<String>,
     rest: Vec<String>,
 }
 
 /// Splits `--store DIR` (default `results/store`), `--json`,
-/// `--trace FILE` and `--allow-lints` out of a campaign subcommand's
-/// arguments, returning the positional rest.
+/// `--trace FILE`, `--allow-lints` and `--counter C` out of a campaign
+/// subcommand's arguments, returning the positional rest.
 fn campaign_flags(args: &[String]) -> Result<CampaignFlags, String> {
     let mut flags = CampaignFlags {
         store: perple::campaign::RunStore::default_root(),
         json: false,
         trace: None,
         allow_lints: false,
+        counter: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -432,6 +470,15 @@ fn campaign_flags(args: &[String]) -> Result<CampaignFlags, String> {
                 flags.trace = Some(it.next().ok_or("missing value for --trace")?.to_owned());
             }
             "--allow-lints" => flags.allow_lints = true,
+            "--counter" => {
+                let name = it.next().ok_or("missing value for --counter")?;
+                if CounterKind::parse(name).is_none() {
+                    return Err(format!(
+                        "bad counter {name:?} (expected exhaustive, heuristic, or rf)"
+                    ));
+                }
+                flags.counter = Some(name.to_owned());
+            }
             other => flags.rest.push(other.to_owned()),
         }
     }
@@ -510,6 +557,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         json,
         trace: trace_path,
         allow_lints,
+        counter,
         rest,
     } = campaign_flags(&args[1..])?;
     match sub {
@@ -517,7 +565,11 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             let path = rest.first().ok_or("campaign run needs a spec file")?;
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read spec {path}: {e}"))?;
-            let spec = perple::campaign::CampaignSpec::parse(&text).map_err(|e| e.to_string())?;
+            let mut spec =
+                perple::campaign::CampaignSpec::parse(&text).map_err(|e| e.to_string())?;
+            if counter.is_some() {
+                spec.counter = counter;
+            }
             if trace_path.is_some() {
                 perple::obs::trace::start();
             }

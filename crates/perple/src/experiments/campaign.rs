@@ -72,12 +72,18 @@ pub fn campaign_config(spec: &CampaignSpec) -> Result<ExperimentConfig, PerpleEr
         Some(s) => parse_fault_plan(s)?,
         None => perple_sim::FaultPlan::none(),
     };
+    let counter = match &spec.counter {
+        Some(s) => perple_analysis::count::CounterKind::parse(s)
+            .ok_or_else(|| PerpleError::Config(format!("unknown counter backend {s:?}")))?,
+        None => perple_analysis::count::CounterKind::Rf,
+    };
     let mut builder = ExperimentConfig::builder()
         .iterations(spec.iterations)
         .seed(CAMPAIGN_BASE_SEED)
         .timeout_ms(spec.timeout_ms)
         .retries(spec.retries)
         .fault_plan(plan)
+        .counter(counter)
         .exhaustive_frame_cap(spec.frame_cap);
     if spec.workers > 0 {
         builder = builder.workers(spec.workers);
@@ -124,6 +130,7 @@ pub fn item_fingerprint(test: &LitmusTest, cfg: &ExperimentConfig, seed: u64) ->
     h.field("litmus", &printer::print(test))
         .field("pipeline", CONVERSION_VERSION)
         .field("sim", &cfg.sim_config(runner_seed).cache_descriptor())
+        .field("counter", cfg.counter.name())
         .field_u64("iterations", cfg.iterations)
         .field_opt_u64("frame-cap", cfg.exhaustive_frame_cap)
         .field_opt_u64("timeout-ms", cfg.timeout_ms)
@@ -393,6 +400,13 @@ mod tests {
             a[0].1.fingerprint, d[0].1.fingerprint,
             "fault plans are behavioural"
         );
+        let mut exact = tiny_spec("fp");
+        exact.counter = Some("exhaustive".to_owned());
+        let (_, f) = expand_items(&exact).unwrap();
+        assert_ne!(
+            a[0].1.fingerprint, f[0].1.fingerprint,
+            "the counter backend partitions the cache"
+        );
         // Workers are NOT behavioural: counts are bit-identical per seed.
         let mut wide = tiny_spec("fp");
         wide.workers = 8;
@@ -419,6 +433,14 @@ mod tests {
         let tests = expand_tests(&spec).unwrap();
         assert_eq!(tests.len(), suite::convertible().len());
         assert_eq!(tests[0].name(), "sb", "explicit order wins");
+    }
+
+    #[test]
+    fn unknown_counter_backend_is_a_config_error() {
+        let mut spec = tiny_spec("ctr");
+        spec.counter = Some("turbo".to_owned());
+        let err = campaign_config(&spec).unwrap_err();
+        assert!(matches!(err, PerpleError::Config(_)), "{err}");
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod table2;
 use std::time::Instant;
 
 use perple_analysis::count::{
-    default_workers, CountRequest, Counter, ExhaustiveCounter, HeuristicCounter,
+    default_workers, CountRequest, Counter, CounterKind, ExhaustiveCounter, HeuristicCounter,
 };
 use perple_analysis::metrics::{Detection, ModelTime, StageTimings};
 use perple_harness::baseline::{BaselineRunner, SyncMode};
@@ -111,6 +111,14 @@ pub struct ExperimentConfig {
     /// Run the deliberately TSO-violating weak-store-order machine
     /// (conformance-audit drivers hunt violations on it).
     pub weak_machine: bool,
+    /// Which backend produces the exact (non-heuristic) target counts in
+    /// audit-style drivers (`--counter`). [`CounterKind::Rf`] — the default
+    /// — walks observed reads-from partners in polynomial time and is
+    /// bit-identical to [`CounterKind::Exhaustive`]; outside the rf
+    /// fragment it falls back to the exhaustive scan with the downgrade
+    /// recorded. [`CounterKind::Heuristic`] skips the exact pass entirely
+    /// and lets the linear heuristic stand in.
+    pub counter: CounterKind,
 }
 
 impl Default for ExperimentConfig {
@@ -124,6 +132,7 @@ impl Default for ExperimentConfig {
             retries: 0,
             fault_plan: FaultPlan::none(),
             weak_machine: false,
+            counter: CounterKind::Rf,
         }
     }
 }
@@ -182,6 +191,12 @@ impl ExperimentConfig {
     /// Returns the config targeting the weak-store-order machine.
     pub fn with_weak_machine(mut self, weak: bool) -> Self {
         self.weak_machine = weak;
+        self
+    }
+
+    /// Returns the config with a different exact-counter backend.
+    pub fn with_counter(mut self, counter: CounterKind) -> Self {
+        self.counter = counter;
         self
     }
 
@@ -266,6 +281,12 @@ impl ExperimentConfigBuilder {
     /// Target the weak-store-order (deliberately TSO-violating) machine.
     pub fn weak_machine(mut self, weak: bool) -> Self {
         self.cfg.weak_machine = weak;
+        self
+    }
+
+    /// Exact-counter backend for audit-style drivers.
+    pub fn counter(mut self, counter: CounterKind) -> Self {
+        self.cfg.counter = counter;
         self
     }
 
@@ -473,6 +494,7 @@ mod tests {
             .timeout_ms(Some(250))
             .retries(2)
             .weak_machine(true)
+            .counter(CounterKind::Exhaustive)
             .exhaustive_frame_cap(None)
             .build()
             .unwrap();
@@ -482,6 +504,7 @@ mod tests {
         assert_eq!(c.timeout_ms, Some(250));
         assert_eq!(c.retries, 2);
         assert!(c.weak_machine);
+        assert_eq!(c.counter, CounterKind::Exhaustive);
         assert_eq!(c.exhaustive_frame_cap, None);
     }
 
@@ -496,6 +519,7 @@ mod tests {
         assert_eq!(built.timeout_ms, default.timeout_ms);
         assert_eq!(built.retries, default.retries);
         assert_eq!(built.weak_machine, default.weak_machine);
+        assert_eq!(built.counter, CounterKind::Rf);
     }
 
     #[test]

@@ -21,9 +21,12 @@ use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use perple_analysis::count::{CountRequest, Counter, ExhaustiveCounter, HeuristicCounter};
+use perple_analysis::count::{
+    CountRequest, Counter, CounterKind, ExhaustiveCounter, HeuristicCounter,
+};
 use perple_analysis::jsonout::Json;
 use perple_analysis::metrics::StageTimings;
+use perple_analysis::rf::RfCounter;
 use perple_model::{suite, LitmusTest};
 use perple_obs::metrics::{self as obs_metrics, Hist, Metric};
 
@@ -345,9 +348,16 @@ pub struct AuditRow {
     /// Target occurrences from the exhaustive counter — or, when
     /// `degraded`, the heuristic counts standing in for it.
     pub exhaustive: u64,
-    /// True iff the exhaustive counter's budget expired and the row
-    /// degraded to heuristic counts (recorded in the results JSON).
+    /// True iff the exact counter's budget expired and the row degraded to
+    /// heuristic counts (recorded in the results JSON).
     pub degraded: bool,
+    /// Name of the backend that produced the `exhaustive` column
+    /// ([`ExperimentConfig::counter`]).
+    pub counter: &'static str,
+    /// True iff the rf backend fell outside its polynomial fragment and
+    /// took its recorded exhaustive fallback (always false for the other
+    /// backends).
+    pub rf_fallback: bool,
     /// Whole iterations actually executed (may be below the configured
     /// count if the run stage's budget expired).
     pub iterations: u64,
@@ -365,9 +375,12 @@ pub struct AuditRow {
 
 /// Audits one convertible test under the config's budgets and fault plan.
 ///
-/// Stages: convert → run (budgeted) → heuristic count (budgeted) →
-/// exhaustive count (budgeted, degrading to the heuristic counts on
-/// expiry). A run that completes zero whole iterations is a
+/// Stages: convert → run (budgeted) → heuristic count (budgeted) → exact
+/// count (budgeted, degrading to the heuristic counts on expiry). The
+/// exact pass uses the configured [`ExperimentConfig::counter`] backend:
+/// `rf` (the default) walks reads-from partners in polynomial time,
+/// `exhaustive` scans every frame, and `heuristic` skips the pass so the
+/// linear counts stand in. A run that completes zero whole iterations is a
 /// [`PerpleError::StageTimeout`] — there is nothing to count.
 pub fn audit_one(
     test: &LitmusTest,
@@ -397,22 +410,32 @@ pub fn audit_one(
     }
 
     let exh_budget = cfg.stage_budget();
-    let exh = ExhaustiveCounter::single(&conv.target_exhaustive).count(
-        &CountRequest::new(&bufs, n)
-            .with_frame_cap(cfg.exhaustive_frame_cap)
-            .with_budget(&exh_budget),
-    );
-    let degraded = exh.budget_expired;
+    let exh_req = CountRequest::new(&bufs, n)
+        .with_frame_cap(cfg.exhaustive_frame_cap)
+        .with_budget(&exh_budget);
+    let exact = match cfg.counter {
+        // The heuristic counts stand in for the exact column by choice,
+        // not degradation — there is no second counting pass at all.
+        CounterKind::Heuristic => None,
+        CounterKind::Exhaustive => {
+            Some(ExhaustiveCounter::single(&conv.target_exhaustive).count(&exh_req))
+        }
+        CounterKind::Rf => Some(RfCounter::single(&conv.target_exhaustive).count(&exh_req)),
+    };
+    let degraded = exact.as_ref().is_some_and(|e| e.budget_expired);
+    let rf_fallback = exact.as_ref().is_some_and(|e| e.downgraded);
+    let exact_wall = exact.as_ref().map(|e| e.wall);
 
     Ok(AuditRow {
         name: test.name().to_owned(),
         heuristic: heur.counts[0],
-        exhaustive: if degraded {
-            heur.counts[0]
-        } else {
-            exh.counts[0]
+        exhaustive: match &exact {
+            Some(e) if !degraded => e.counts[0],
+            _ => heur.counts[0],
         },
         degraded,
+        counter: cfg.counter.name(),
+        rf_fallback,
         iterations: n,
         run_complete: run.complete,
         faults: run.faults,
@@ -425,7 +448,9 @@ pub fn audit_one(
             t.add_convert(convert_wall);
             t.add_run(run_wall);
             t.add_count(heur.wall);
-            t.add_count(exh.wall);
+            if let Some(w) = exact_wall {
+                t.add_count(w);
+            }
             t
         },
     })
@@ -459,6 +484,9 @@ pub fn render_audit_text(report: &SuiteReport<AuditRow>) -> String {
                 let mut flags = Vec::new();
                 if r.degraded {
                     flags.push("degraded");
+                }
+                if r.rf_fallback {
+                    flags.push("rf-fallback");
                 }
                 if !r.run_complete {
                     flags.push("partial-run");
@@ -516,6 +544,8 @@ pub fn audit_json(report: &SuiteReport<AuditRow>) -> String {
                 ("heuristic", Json::from(row.heuristic)),
                 ("exhaustive", Json::from(row.exhaustive)),
                 ("degraded", Json::from(row.degraded)),
+                ("counter", Json::from(row.counter)),
+                ("rf_fallback", Json::from(row.rf_fallback)),
                 ("iterations", Json::from(row.iterations)),
                 ("run_complete", Json::from(row.run_complete)),
                 ("faults", Json::from(row.faults)),

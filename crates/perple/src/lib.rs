@@ -50,8 +50,9 @@ pub mod experiments;
 pub use error::{parse_fault_plan, PerpleError};
 pub use perple_analysis::count::{
     default_workers, frame_at, frame_index, frame_space, CountRequest, CountResult, Counter,
-    ExhaustiveCounter, HeuristicCounter,
+    CounterKind, ExhaustiveCounter, HeuristicCounter,
 };
+pub use perple_analysis::rf::RfCounter;
 pub use perple_analysis::{jsonout, metrics, modelmine, skew, stats, variety};
 pub use perple_campaign as campaign;
 pub use perple_convert::{

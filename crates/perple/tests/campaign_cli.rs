@@ -150,6 +150,82 @@ fn injected_fault_run_fails_the_compare_gate_with_nonzero_exit() {
 }
 
 #[test]
+fn rf_campaign_gates_clean_against_an_exhaustive_baseline() {
+    // The counter backend partitions the cache (different fingerprints)
+    // but must NOT change a single recorded count: a spec run under
+    // `--counter rf` compared against its `--counter exhaustive` baseline
+    // gates on nothing, across real process boundaries.
+    let dir = sandbox("rfgate");
+    std::fs::write(dir.join("ci.campaign"), SPEC).unwrap();
+
+    let base = perple(
+        &dir,
+        &[
+            "campaign",
+            "run",
+            "ci.campaign",
+            "--store",
+            "store",
+            "--counter",
+            "exhaustive",
+        ],
+    );
+    assert!(base.status.success(), "{}", stderr(&base));
+    assert!(stdout(&base).contains("hits: 0/4"), "{}", stdout(&base));
+
+    let rf = perple(
+        &dir,
+        &[
+            "campaign",
+            "run",
+            "ci.campaign",
+            "--store",
+            "store",
+            "--counter",
+            "rf",
+        ],
+    );
+    assert!(rf.status.success(), "{}", stderr(&rf));
+    assert!(
+        stdout(&rf).contains("hits: 0/4"),
+        "backends must not share cache entries: {}",
+        stdout(&rf)
+    );
+
+    let cmp = perple(
+        &dir,
+        &[
+            "campaign", "compare", "ci-0001", "ci-0002", "--store", "store",
+        ],
+    );
+    assert!(
+        cmp.status.success(),
+        "rf vs exhaustive must gate clean: {}{}",
+        stdout(&cmp),
+        stderr(&cmp)
+    );
+    assert!(stdout(&cmp).contains("0 regression(s)"), "{}", stdout(&cmp));
+
+    // And the bad backend name fails before touching the store.
+    let bad = perple(
+        &dir,
+        &[
+            "campaign",
+            "run",
+            "ci.campaign",
+            "--store",
+            "store",
+            "--counter",
+            "turbo",
+        ],
+    );
+    assert!(!bad.status.success());
+    assert!(stderr(&bad).contains("bad counter"), "{}", stderr(&bad));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn ls_and_show_surface_stored_runs() {
     let dir = sandbox("lsshow");
     std::fs::write(dir.join("ci.campaign"), SPEC).unwrap();

@@ -58,6 +58,68 @@ fn weak_machine_run_reports_the_violation() {
 }
 
 #[test]
+fn run_counter_flag_switches_backends_and_counts_agree() {
+    // The same run under every backend: rf and exhaustive report the same
+    // exact count; the heuristic may undercount but never overcount.
+    let count_under = |backend: &str| -> u64 {
+        let out = perple(&[
+            "run",
+            "sb",
+            "-n",
+            "2000",
+            "--seed",
+            "5",
+            "--counter",
+            backend,
+        ]);
+        assert!(out.status.success(), "{backend}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        text.lines()
+            .find_map(|l| {
+                l.strip_prefix(&format!("target outcome occurrences ({backend} counter): "))
+            })
+            .unwrap_or_else(|| panic!("{backend} count line missing in {text}"))
+            .parse()
+            .expect("count parses")
+    };
+    let rf = count_under("rf");
+    let exhaustive = count_under("exhaustive");
+    let heuristic = count_under("heuristic");
+    assert_eq!(rf, exhaustive, "rf must be bit-identical to exhaustive");
+    assert!(heuristic <= rf);
+    assert!(rf > 0, "sb target must be observed");
+
+    let bad = perple(&["run", "sb", "--counter", "turbo"]);
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("bad counter"),
+        "{}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+}
+
+#[test]
+fn audit_json_records_the_counter_backend() {
+    let out = perple(&["audit", "-n", "80", "--json"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("\"counter\":\"rf\""),
+        "rf is the audit default"
+    );
+    assert!(text.contains("\"rf_fallback\":false"), "{text}");
+
+    let out = perple(&["audit", "-n", "80", "--json", "--counter", "exhaustive"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"counter\":\"exhaustive\""), "{text}");
+}
+
+#[test]
 fn trace_produces_an_event_log() {
     let out = perple(&["trace", "sb", "-n", "2"]);
     assert!(out.status.success());
