@@ -22,27 +22,40 @@ use std::path::{Path, PathBuf};
 use perple_analysis::jsonout::{self, Json};
 
 use crate::fingerprint::Fingerprint;
-use crate::store::{write_atomic, OutcomeRecord};
+use crate::io::StoreIo;
+use crate::store::OutcomeRecord;
 use crate::CampaignError;
 
 /// Handle on one cache root (`<store-root>/cas`).
 #[derive(Debug, Clone)]
 pub struct ArtifactCache {
     root: PathBuf,
+    io: StoreIo,
 }
 
 impl ArtifactCache {
-    /// Opens (creating if needed) the cache under a store root.
+    /// Opens (creating if needed) the cache under a store root with a
+    /// production (injection-free) IO shim.
     ///
     /// # Errors
     /// [`CampaignError::Io`] if the namespace directories cannot be created.
     pub fn open(store_root: impl AsRef<Path>) -> Result<Self, CampaignError> {
+        Self::open_with(store_root, StoreIo::unplanned())
+    }
+
+    /// Opens the cache with writes routed through the given shim — pass
+    /// the owning store's shim so one boundary counter numbers every
+    /// write of a campaign.
+    ///
+    /// # Errors
+    /// [`CampaignError::Io`] if the namespace directories cannot be created.
+    pub fn open_with(store_root: impl AsRef<Path>, io: StoreIo) -> Result<Self, CampaignError> {
         let root = store_root.as_ref().join("cas");
         for ns in ["result", "conv"] {
             let dir = root.join(ns);
             fs::create_dir_all(&dir).map_err(|e| CampaignError::io(&dir, e))?;
         }
-        Ok(Self { root })
+        Ok(Self { root, io })
     }
 
     fn entry_path(&self, namespace: &str, fp: Fingerprint) -> PathBuf {
@@ -110,8 +123,60 @@ impl ArtifactCache {
             return Ok(());
         }
         let dir = path.parent().expect("entry paths always have a shard dir");
-        fs::create_dir_all(dir).map_err(|e| CampaignError::io(dir, e))?;
-        write_atomic(&path, content)
+        self.io.create_dir_all(dir)?;
+        self.io.write_atomic(&path, content)
+    }
+
+    /// Every entry file of a namespace, for `fsck`'s checksum sweep.
+    pub fn entry_paths(&self, namespace: &str) -> Vec<PathBuf> {
+        let Ok(shards) = fs::read_dir(self.root.join(namespace)) else {
+            return Vec::new();
+        };
+        let mut paths: Vec<PathBuf> = shards
+            .flatten()
+            .filter(|s| s.path().is_dir())
+            .filter_map(|shard| fs::read_dir(shard.path()).ok())
+            .flat_map(|entries| entries.flatten().map(|e| e.path()))
+            .collect();
+        paths.sort();
+        paths
+    }
+
+    /// Checks one entry file against the content-address contract (both
+    /// namespaces embed a `fingerprint` field): `Some(reason)` if it must
+    /// not be served — unreadable, unparseable, or its embedded
+    /// fingerprint disagrees with its file name.
+    pub fn verify_entry(path: &Path) -> Option<String> {
+        let name = path.file_stem()?.to_string_lossy().into_owned();
+        let Ok(text) = fs::read_to_string(path) else {
+            return Some("unreadable".to_owned());
+        };
+        let Ok(doc) = jsonout::parse(&text) else {
+            return Some("unparseable JSON".to_owned());
+        };
+        match doc.get("fingerprint").and_then(Json::as_str) {
+            Some(fp) if fp == name => None,
+            Some(fp) => Some(format!("embedded fingerprint {fp} != name {name}")),
+            None => Some("no embedded fingerprint".to_owned()),
+        }
+    }
+
+    /// Moves a corrupt entry to `cas/quarantine/` so it can never be
+    /// served as a hit again (its bytes are preserved for diagnosis).
+    ///
+    /// # Errors
+    /// [`CampaignError::Storage`] on IO failure.
+    pub fn quarantine(&self, path: &Path) -> Result<PathBuf, CampaignError> {
+        let dir = self.root.join("quarantine");
+        self.io.create_dir_all(&dir)?;
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "entry".to_owned());
+        let dest = dir.join(name);
+        self.io.rename(path, &dest)?;
+        perple_obs::metrics::add(perple_obs::metrics::Metric::StoreCacheQuarantines, 1);
+        Ok(dest)
     }
 
     /// Entry counts per namespace, `(result, conv)` — for `campaign ls`.
@@ -222,6 +287,43 @@ mod tests {
         altered.heuristic = 999;
         cache.store_result(key, &altered).unwrap();
         assert_eq!(fs::read(&path).unwrap(), before, "first writer wins");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn verify_and_quarantine_handle_corrupt_entries() {
+        let (dir, cache) = tmp_cache("fsck");
+        let good = fp("good");
+        cache.store_result(good, &record_for(good)).unwrap();
+        let good_path = cache.entry_path("result", good);
+        assert_eq!(ArtifactCache::verify_entry(&good_path), None);
+
+        // A truncated entry and a wrong-name entry both fail verification.
+        let junk = fp("junk");
+        let junk_path = cache.entry_path("result", junk);
+        fs::create_dir_all(junk_path.parent().unwrap()).unwrap();
+        fs::write(&junk_path, "{truncated").unwrap();
+        assert!(ArtifactCache::verify_entry(&junk_path).is_some());
+        let moved = fp("moved");
+        let moved_path = cache.entry_path("result", moved);
+        fs::create_dir_all(moved_path.parent().unwrap()).unwrap();
+        fs::write(&moved_path, record_for(good).to_json().render()).unwrap();
+        assert!(ArtifactCache::verify_entry(&moved_path)
+            .unwrap()
+            .contains("!= name"));
+
+        // Quarantine moves the entry out of serving position.
+        let dest = cache.quarantine(&junk_path).unwrap();
+        assert!(!junk_path.exists());
+        assert!(dest.exists());
+        assert!(dest.starts_with(cache.root.join("quarantine")));
+        assert_eq!(cache.load_result(junk), None);
+
+        // entry_paths sweeps what's left, sorted.
+        let listed = cache.entry_paths("result");
+        assert_eq!(listed.len(), 2, "{listed:?}");
+        assert!(listed.contains(&good_path));
+        assert!(listed.contains(&moved_path));
         let _ = fs::remove_dir_all(dir);
     }
 

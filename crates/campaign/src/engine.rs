@@ -2,31 +2,49 @@
 //!
 //! [`run_campaign`] takes an expanded item list (tests × seeds with
 //! precomputed [`Fingerprint`]s), partitions it into cache **hits** and
-//! **misses**, hands only the misses to a caller-supplied executor, caches
-//! the fresh clean outcomes, and writes the whole run — hits and misses in
-//! the original item order — to the [`RunStore`].
+//! **misses**, hands the misses to a caller-supplied executor in
+//! journal-sized chunks, caches the fresh clean outcomes, and writes the
+//! whole run — hits and misses in the original item order — to the
+//! [`RunStore`].
 //!
-//! The executor is a callback (`FnOnce(&[CampaignItem]) -> Vec<Option<ExecOutcome>>`)
+//! The executor is a callback (`FnMut(&[CampaignItem]) -> Vec<Option<ExecOutcome>>`)
 //! rather than a trait object into the simulator: this crate stays
 //! engine-agnostic and the `perple` facade plugs its resilient suite pool
-//! in without a dependency cycle. The contract: the returned vector is
-//! parallel to the input slice; `None` marks an item the executor could
+//! in without a dependency cycle. The contract: each returned vector is
+//! parallel to its input chunk; `None` marks an item the executor could
 //! not produce any record for (those are dropped from the stored run and
 //! reported in [`RunSummary::lost`]).
+//!
+//! ## Durability
+//!
+//! A run begins by atomically reserving its id ([`RunStore::begin_run`]),
+//! writing a `pending.json` marker (everything resume needs), and opening
+//! a write-ahead [`Journal`]. Misses execute in chunks of
+//! [`DurabilityPolicy::chunk`]; every completed record is journaled before
+//! the next chunk starts, so a crash loses at most one chunk of work.
+//! [`resume_campaign`] replays the journal (amputating a torn trailing
+//! frame), serves journaled items from the replay and unchanged items from
+//! the cache, executes only the true remainder, and finalizes — producing
+//! `items.json` **bit-identical** to an uninterrupted run.
 //!
 //! Cache policy: only **clean** outcomes are cached — not quarantined, all
 //! attempts on the nominal seed (degraded or fault-bearing runs are still
 //! *valid* observations and are stored in the run, but recovered items ran
 //! under perturbed retry seeds, so their counts are not a pure function of
-//! the fingerprint and must be re-executed next time).
+//! the fingerprint and must be re-executed next time). A *failed* cache
+//! write is graceful degradation, not a campaign abort: the item simply
+//! stays uncached (`store_cache_write_drops` counts it) — unless the
+//! failure is an injected crash, which kills the run like the real thing.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use perple_analysis::jsonout::Json;
-use perple_obs::metrics::MetricsSnapshot;
+use perple_obs::metrics::{self, Metric, MetricsSnapshot};
 
 use crate::cache::ArtifactCache;
 use crate::fingerprint::Fingerprint;
+use crate::journal::{FsyncPolicy, Journal, JournalHeader};
 use crate::spec::CampaignSpec;
 use crate::store::{OutcomeRecord, RunStore};
 use crate::CampaignError;
@@ -112,6 +130,78 @@ pub struct RunMeta {
     pub lint: Option<LintSummary>,
 }
 
+impl RunMeta {
+    /// The `pending.json` marker document: the spec text plus this
+    /// metadata, so `campaign resume` can rebuild the run without the
+    /// original invocation.
+    fn to_pending_json(&self, id: &str, spec: &CampaignSpec) -> Json {
+        let mut fields = vec![
+            ("schema", Json::from(1u64)),
+            ("id", Json::from(id)),
+            ("created_unix_ms", Json::from(self.created_unix_ms)),
+            ("git", Json::from(self.git.as_str())),
+            ("spec", Json::from(spec.render())),
+        ];
+        if let Some(lint) = &self.lint {
+            fields.push((
+                "lint",
+                Json::obj(vec![
+                    ("errors", Json::from(lint.errors)),
+                    ("warnings", Json::from(lint.warnings)),
+                    ("notes", Json::from(lint.notes)),
+                ]),
+            ));
+        }
+        Json::obj(fields)
+    }
+
+    /// Rebuilds the metadata recorded in a `pending.json` marker.
+    ///
+    /// # Errors
+    /// [`CampaignError::Corrupt`] when required fields are missing.
+    pub fn from_pending_json(pending: &Json) -> Result<Self, CampaignError> {
+        let need = |field: &'static str| {
+            move || CampaignError::Corrupt(format!("pending marker is missing {field:?}"))
+        };
+        Ok(Self {
+            created_unix_ms: pending
+                .get("created_unix_ms")
+                .and_then(Json::as_u64)
+                .ok_or_else(need("created_unix_ms"))?,
+            git: pending
+                .get("git")
+                .and_then(Json::as_str)
+                .ok_or_else(need("git"))?
+                .to_owned(),
+            lint: pending.get("lint").map(|l| LintSummary {
+                errors: l.get("errors").and_then(Json::as_u64).unwrap_or(0),
+                warnings: l.get("warnings").and_then(Json::as_u64).unwrap_or(0),
+                notes: l.get("notes").and_then(Json::as_u64).unwrap_or(0),
+            }),
+        })
+    }
+}
+
+/// How aggressively a run journals: executor chunk size (items per
+/// invocation, the unit of crash data loss) and fsync policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityPolicy {
+    /// Items per executor chunk; completed chunks are journaled before
+    /// the next starts. 0 behaves as 1.
+    pub chunk: usize,
+    /// When journal frames reach stable storage.
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> Self {
+        Self {
+            chunk: 16,
+            fsync: FsyncPolicy::Batch,
+        }
+    }
+}
+
 /// The manifest's `metrics` object: the run's observability snapshot
 /// delta (counters plus histogram buckets) over the executed portion.
 /// Cache hits never reach the executor, so a fully warm run embeds an
@@ -164,10 +254,11 @@ pub struct RunSummary {
     /// Stored records with a forbidden target and a nonzero count
     /// (consistency violations).
     pub violations: usize,
+    /// Items replayed from the write-ahead journal (0 except on resume).
+    pub recovered: usize,
 }
 
-/// Runs one campaign: cache partition → execute misses → cache clean
-/// outcomes → persist the run.
+/// Runs one campaign with the default [`DurabilityPolicy`].
 ///
 /// # Errors
 /// [`CampaignError`] on store or cache I/O failure.
@@ -177,11 +268,50 @@ pub fn run_campaign(
     spec: &CampaignSpec,
     items: &[CampaignItem],
     meta: &RunMeta,
-    exec: impl FnOnce(&[CampaignItem]) -> Vec<Option<ExecOutcome>>,
+    exec: impl FnMut(&[CampaignItem]) -> Vec<Option<ExecOutcome>>,
+) -> Result<RunSummary, CampaignError> {
+    run_campaign_with(
+        store,
+        cache,
+        spec,
+        items,
+        meta,
+        DurabilityPolicy::default(),
+        exec,
+    )
+}
+
+/// Runs one campaign: reserve id → journal open → cache partition →
+/// execute misses in chunks (journaling each) → cache clean outcomes →
+/// finalize the run.
+///
+/// # Errors
+/// [`CampaignError`] on store or cache I/O failure or injected crash.
+pub fn run_campaign_with(
+    store: &RunStore,
+    cache: &ArtifactCache,
+    spec: &CampaignSpec,
+    items: &[CampaignItem],
+    meta: &RunMeta,
+    policy: DurabilityPolicy,
+    mut exec: impl FnMut(&[CampaignItem]) -> Vec<Option<ExecOutcome>>,
 ) -> Result<RunSummary, CampaignError> {
     let t0 = Instant::now();
     let _span = perple_obs::trace::span("campaign");
     let metrics_before = perple_obs::metrics::snapshot();
+
+    let id = store.begin_run(&spec.name)?;
+    store.write_pending(&id, &meta.to_pending_json(&id, spec))?;
+    let mut journal = Journal::create(
+        store.io().clone(),
+        store.journal_path(&id),
+        policy.fsync,
+        &JournalHeader {
+            id: id.clone(),
+            name: spec.name.clone(),
+            items: items.len() as u64,
+        },
+    )?;
 
     // Partition against the result cache, remembering each item's slot so
     // the stored run keeps the expansion order regardless of hit pattern.
@@ -195,31 +325,220 @@ pub fn run_campaign(
     }
     let hits = items.len() - misses.len();
 
-    // Execute the misses (if any) in one batch.
+    let (lost, stage_wall) = execute_chunks(
+        cache,
+        &mut journal,
+        policy,
+        &misses,
+        &mut records,
+        &mut exec,
+    )?;
+    drop(journal);
+
+    finish(
+        store,
+        spec,
+        &id,
+        meta,
+        records,
+        Totals {
+            items: items.len(),
+            hits,
+            executed: misses.len(),
+            lost,
+            recovered: 0,
+        },
+        stage_wall,
+        t0,
+        &metrics_before,
+    )
+}
+
+/// Resumes an interrupted run: replay the journal (amputating a torn
+/// trailing frame), serve journaled items from the replay and unchanged
+/// items from the cache, execute only the remainder, finalize. The
+/// resulting `items.json` is bit-identical to an uninterrupted run's.
+///
+/// # Errors
+/// [`CampaignError::NotFound`] if the run has no pending marker (it
+/// completed, or never started); [`CampaignError::Storage`] for journal
+/// corruption beyond a torn tail; other [`CampaignError`]s as for
+/// [`run_campaign_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn resume_campaign(
+    store: &RunStore,
+    cache: &ArtifactCache,
+    id: &str,
+    spec: &CampaignSpec,
+    items: &[CampaignItem],
+    meta: &RunMeta,
+    policy: DurabilityPolicy,
+    mut exec: impl FnMut(&[CampaignItem]) -> Vec<Option<ExecOutcome>>,
+) -> Result<RunSummary, CampaignError> {
+    let t0 = Instant::now();
+    let _span = perple_obs::trace::span("campaign");
+    let metrics_before = perple_obs::metrics::snapshot();
+
+    // Only a reserved-but-unfinalized run is resumable.
+    store.load_pending(id)?;
+
+    let journal_path = store.journal_path(id);
+    let replay = Journal::replay(&journal_path)?;
+    if replay.torn_tail {
+        store.io().truncate(&journal_path, replay.valid_len)?;
+    }
+    if let Some(header) = &replay.header {
+        if header.id != id {
+            return Err(CampaignError::Corrupt(format!(
+                "journal of run {id:?} claims to belong to {:?}",
+                header.id
+            )));
+        }
+        if header.items != items.len() as u64 {
+            return Err(CampaignError::Corrupt(format!(
+                "journal of run {id:?} covers {} items but the spec expands to {} \
+                 (spec changed between run and resume?)",
+                header.items,
+                items.len()
+            )));
+        }
+    }
+    let mut journaled: HashMap<(String, u64), OutcomeRecord> = replay
+        .records
+        .into_iter()
+        .map(|r| ((r.test.clone(), r.seed), r))
+        .collect();
+
+    // Three-way partition: journal replay beats cache beats execution.
+    let mut records: Vec<Option<OutcomeRecord>> = vec![None; items.len()];
+    let mut misses: Vec<(usize, CampaignItem)> = Vec::new();
+    let mut recovered = 0usize;
+    let mut hits = 0usize;
+    for (slot, item) in items.iter().enumerate() {
+        if let Some(done) = journaled.remove(&(item.test.clone(), item.seed)) {
+            records[slot] = Some(done);
+            recovered += 1;
+        } else if let Some(hit) = cache.load_result(item.fingerprint) {
+            records[slot] = Some(hit);
+            hits += 1;
+        } else {
+            misses.push((slot, item.clone()));
+        }
+    }
+    metrics::add(Metric::StoreRecoveredItems, recovered as u64);
+
+    let mut journal = if replay.header.is_some() {
+        Journal::open_append(store.io().clone(), &journal_path, policy.fsync)?
+    } else {
+        // Empty or headerless-torn journal: nothing was durably started;
+        // begin it properly now.
+        Journal::create(
+            store.io().clone(),
+            &journal_path,
+            policy.fsync,
+            &JournalHeader {
+                id: id.to_owned(),
+                name: spec.name.clone(),
+                items: items.len() as u64,
+            },
+        )?
+    };
+    let (lost, stage_wall) = execute_chunks(
+        cache,
+        &mut journal,
+        policy,
+        &misses,
+        &mut records,
+        &mut exec,
+    )?;
+    drop(journal);
+
+    finish(
+        store,
+        spec,
+        id,
+        meta,
+        records,
+        Totals {
+            items: items.len(),
+            hits,
+            executed: misses.len(),
+            lost,
+            recovered,
+        },
+        stage_wall,
+        t0,
+        &metrics_before,
+    )
+}
+
+/// Executes the misses in journal-sized chunks: every returned record is
+/// journaled (and, if clean, cached) before the next chunk starts.
+fn execute_chunks(
+    cache: &ArtifactCache,
+    journal: &mut Journal,
+    policy: DurabilityPolicy,
+    misses: &[(usize, CampaignItem)],
+    records: &mut [Option<OutcomeRecord>],
+    exec: &mut impl FnMut(&[CampaignItem]) -> Vec<Option<ExecOutcome>>,
+) -> Result<(usize, StageWallMs), CampaignError> {
     let mut lost = 0usize;
     let mut stage_wall = StageWallMs::default();
-    if !misses.is_empty() {
-        let batch: Vec<CampaignItem> = misses.iter().map(|(_, i)| i.clone()).collect();
+    for chunk in misses.chunks(policy.chunk.max(1)) {
+        let batch: Vec<CampaignItem> = chunk.iter().map(|(_, i)| i.clone()).collect();
         let outcomes = exec(&batch);
         assert_eq!(
             outcomes.len(),
             batch.len(),
             "executor must return one slot per input item"
         );
-        for ((slot, item), outcome) in misses.iter().zip(outcomes) {
+        for ((slot, item), outcome) in chunk.iter().zip(outcomes) {
             match outcome {
                 Some(out) => {
                     if out.cacheable {
-                        cache.store_result(item.fingerprint, &out.record)?;
+                        // A failed cache write degrades to uncached
+                        // execution — the result is still good; only an
+                        // injected crash (simulated process death) may
+                        // abort the run here.
+                        match cache.store_result(item.fingerprint, &out.record) {
+                            Ok(()) => {}
+                            Err(e) if e.is_crash() => return Err(e),
+                            Err(_) => metrics::add(Metric::StoreCacheWriteDrops, 1),
+                        }
                     }
+                    journal.append_record(&out.record)?;
                     stage_wall.add(out.wall);
                     records[*slot] = Some(out.record);
                 }
                 None => lost += 1,
             }
         }
+        journal.sync_batch()?;
     }
+    Ok((lost, stage_wall))
+}
 
+struct Totals {
+    items: usize,
+    hits: usize,
+    executed: usize,
+    lost: usize,
+    recovered: usize,
+}
+
+/// Assembles the manifest and finalizes the run.
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    store: &RunStore,
+    spec: &CampaignSpec,
+    id: &str,
+    meta: &RunMeta,
+    records: Vec<Option<OutcomeRecord>>,
+    totals: Totals,
+    stage_wall: StageWallMs,
+    t0: Instant,
+    metrics_before: &MetricsSnapshot,
+) -> Result<RunSummary, CampaignError> {
     let stored: Vec<OutcomeRecord> = records.into_iter().flatten().collect();
     let quarantined = stored.iter().filter(|r| r.quarantined).count();
     let violations = stored
@@ -227,10 +546,9 @@ pub fn run_campaign(
         .filter(|r| r.forbidden && r.heuristic > 0)
         .count();
 
-    let id = store.next_run_id(&spec.name);
     let mut fields = vec![
         ("schema", Json::from(1u64)),
-        ("id", Json::from(id.as_str())),
+        ("id", Json::from(id)),
         ("name", Json::from(spec.name.as_str())),
         ("created_unix_ms", Json::from(meta.created_unix_ms)),
         ("git", Json::from(meta.git.as_str())),
@@ -238,12 +556,13 @@ pub fn run_campaign(
         (
             "counts",
             Json::obj(vec![
-                ("items", Json::from(items.len())),
-                ("hits", Json::from(hits)),
-                ("executed", Json::from(misses.len())),
-                ("lost", Json::from(lost)),
+                ("items", Json::from(totals.items)),
+                ("hits", Json::from(totals.hits)),
+                ("executed", Json::from(totals.executed)),
+                ("lost", Json::from(totals.lost)),
                 ("quarantined", Json::from(quarantined)),
                 ("violations", Json::from(violations)),
+                ("recovered", Json::from(totals.recovered)),
             ]),
         ),
     ];
@@ -262,20 +581,21 @@ pub fn run_campaign(
         ("stage_wall_ms", stage_wall.to_json()),
         (
             "metrics",
-            metrics_json(&perple_obs::metrics::snapshot().delta_from(&metrics_before)),
+            metrics_json(&perple_obs::metrics::snapshot().delta_from(metrics_before)),
         ),
     ]);
     let manifest = Json::obj(fields);
-    store.write_run(&id, &manifest, &stored)?;
+    store.finalize_run(id, &manifest, &stored)?;
 
     Ok(RunSummary {
-        id,
-        items: items.len(),
-        hits,
-        executed: misses.len(),
-        lost,
+        id: id.to_owned(),
+        items: totals.items,
+        hits: totals.hits,
+        executed: totals.executed,
+        lost: totals.lost,
         quarantined,
         violations,
+        recovered: totals.recovered,
     })
 }
 
@@ -283,6 +603,7 @@ pub fn run_campaign(
 mod tests {
     use super::*;
     use crate::fingerprint::Hasher;
+    use crate::io::{CrashPlan, StoreIo};
     use std::fs;
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -535,6 +856,214 @@ mod tests {
         let counts = manifest.get("counts").unwrap();
         assert_eq!(counts.get("violations").and_then(Json::as_u64), Some(1));
         assert_eq!(counts.get("quarantined").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            counts.get("recovered").and_then(Json::as_u64),
+            Some(0),
+            "fresh runs recover nothing"
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn chunked_execution_journals_between_chunks() {
+        let root = tmp_root("chunks");
+        let store = RunStore::open(&root).unwrap();
+        let cache = ArtifactCache::open(&root).unwrap();
+        let spec = CampaignSpec::named("ck");
+        let items: Vec<CampaignItem> = (1..=5).map(|s| item("sb", s)).collect();
+        let batches = std::sync::Mutex::new(Vec::new());
+        let policy = DurabilityPolicy {
+            chunk: 2,
+            fsync: FsyncPolicy::Never,
+        };
+        let summary = run_campaign_with(&store, &cache, &spec, &items, &meta(), policy, |batch| {
+            batches.lock().unwrap().push(batch.len());
+            batch.iter().map(|i| Some(outcome(i, 1, true))).collect()
+        })
+        .unwrap();
+        assert_eq!(summary.executed, 5);
+        assert_eq!(*batches.lock().unwrap(), vec![2, 2, 1], "chunked 2+2+1");
+        // The journal holds every record behind the finalized run.
+        let replay = Journal::replay(&store.journal_path(&summary.id)).unwrap();
+        assert_eq!(replay.records.len(), 5);
+        assert!(!replay.torn_tail);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn interrupted_run_resumes_bit_identically_without_reexecution() {
+        let base = tmp_root("resume");
+        // Reference: uninterrupted run in its own store.
+        let ref_root = base.join("ref");
+        let ref_store = RunStore::open(&ref_root).unwrap();
+        let ref_cache = ArtifactCache::open(&ref_root).unwrap();
+        let spec = CampaignSpec::named("r");
+        let items: Vec<CampaignItem> = (1..=6).map(|s| item("mp", s)).collect();
+        let policy = DurabilityPolicy {
+            chunk: 2,
+            fsync: FsyncPolicy::Batch,
+        };
+        run_campaign_with(
+            &ref_store,
+            &ref_cache,
+            &spec,
+            &items,
+            &meta(),
+            policy,
+            |b| b.iter().map(|i| Some(outcome(i, i.seed, true))).collect(),
+        )
+        .unwrap();
+        let reference = fs::read(ref_store.run_dir("r-0001").join("items.json")).unwrap();
+
+        // Crashed run: die on the journal append of the 3rd record, then
+        // resume with a fresh (new-process) store handle.
+        let crash_root = base.join("crash");
+        let exec_counts: std::sync::Mutex<HashMap<u64, usize>> =
+            std::sync::Mutex::new(HashMap::new());
+        let count_exec = |b: &[CampaignItem]| {
+            let mut counts = exec_counts.lock().unwrap();
+            for i in b {
+                *counts.entry(i.seed).or_insert(0) += 1;
+            }
+            b.iter()
+                .map(|i| Some(outcome(i, i.seed, true)))
+                .collect::<Vec<_>>()
+        };
+        // Probe: run uninterrupted with a counting shim to learn the
+        // boundary total, then crash a real run mid-way through it.
+        let probe_io = StoreIo::unplanned();
+        {
+            let store = RunStore::open_with(&crash_root, probe_io.clone()).unwrap();
+            let cache = ArtifactCache::open_with(&crash_root, probe_io.clone()).unwrap();
+            run_campaign_with(&store, &cache, &spec, &items, &meta(), policy, |b| {
+                b.iter().map(|i| Some(outcome(i, i.seed, true))).collect()
+            })
+            .unwrap();
+        }
+        let total = probe_io.boundaries();
+        let _ = fs::remove_dir_all(&crash_root);
+
+        // Crash roughly mid-run.
+        let io = StoreIo::new(CrashPlan::abort_at(total / 2));
+        let store = RunStore::open_with(&crash_root, io.clone()).unwrap();
+        let cache = ArtifactCache::open_with(&crash_root, io.clone()).unwrap();
+        let err = run_campaign_with(&store, &cache, &spec, &items, &meta(), policy, count_exec)
+            .unwrap_err();
+        assert!(err.is_crash(), "{err}");
+
+        // New process: fresh handles, no plan.
+        let store = RunStore::open(&crash_root).unwrap();
+        let cache = ArtifactCache::open(&crash_root).unwrap();
+        let pending = store.pending_runs();
+        assert_eq!(pending, vec!["r-0001".to_owned()]);
+        let replayed_before = Journal::replay(&store.journal_path("r-0001"))
+            .unwrap()
+            .records
+            .len();
+        let summary = resume_campaign(
+            &store,
+            &cache,
+            "r-0001",
+            &spec,
+            &items,
+            &meta(),
+            policy,
+            count_exec,
+        )
+        .unwrap();
+        assert_eq!(summary.id, "r-0001");
+        assert_eq!(summary.recovered, replayed_before);
+        assert_eq!(summary.items, 6);
+
+        // Bit-identity with the uninterrupted reference.
+        let recovered_items = fs::read(store.run_dir("r-0001").join("items.json")).unwrap();
+        assert_eq!(
+            recovered_items, reference,
+            "items.json must be bit-identical"
+        );
+
+        // Zero re-execution of journaled items: journaled seeds executed
+        // exactly once across crash + resume. (Cache hits may also absorb
+        // items the crash lost between cache write and journal append.)
+        let counts = exec_counts.lock().unwrap();
+        for record in Journal::replay(&store.journal_path("r-0001"))
+            .unwrap()
+            .records
+            .iter()
+            .take(replayed_before)
+        {
+            assert_eq!(
+                counts.get(&record.seed),
+                Some(&1),
+                "journaled seed {} re-executed",
+                record.seed
+            );
+        }
+        assert!(store.pending_runs().is_empty(), "run finalized");
+        let _ = fs::remove_dir_all(base);
+    }
+
+    #[test]
+    fn resume_refuses_completed_and_unknown_runs() {
+        let root = tmp_root("nonresume");
+        let store = RunStore::open(&root).unwrap();
+        let cache = ArtifactCache::open(&root).unwrap();
+        let spec = CampaignSpec::named("n");
+        let items = vec![item("sb", 1)];
+        let done = run_campaign(&store, &cache, &spec, &items, &meta(), |b| {
+            b.iter().map(|i| Some(outcome(i, 1, true))).collect()
+        })
+        .unwrap();
+        for id in [done.id.as_str(), "n-9999"] {
+            let err = resume_campaign(
+                &store,
+                &cache,
+                id,
+                &spec,
+                &items,
+                &meta(),
+                DurabilityPolicy::default(),
+                |b: &[CampaignItem]| b.iter().map(|i| Some(outcome(i, 1, true))).collect(),
+            )
+            .unwrap_err();
+            assert!(matches!(err, CampaignError::NotFound(_)), "{id}: {err}");
+        }
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn resume_rejects_a_spec_whose_item_count_changed() {
+        let root = tmp_root("specchange");
+        let io = StoreIo::new(CrashPlan::abort_at(8));
+        let store = RunStore::open_with(&root, io.clone()).unwrap();
+        let cache = ArtifactCache::open_with(&root, io).unwrap();
+        let spec = CampaignSpec::named("sc");
+        let items = vec![item("sb", 1), item("sb", 2)];
+        let _ = run_campaign(&store, &cache, &spec, &items, &meta(), |b| {
+            b.iter()
+                .map(|i| Some(outcome(i, 1, true)))
+                .collect::<Vec<_>>()
+        });
+        let store = RunStore::open(&root).unwrap();
+        let cache = ArtifactCache::open(&root).unwrap();
+        if store.pending_runs().is_empty() {
+            // The crash landed before the pending marker; nothing to test.
+            let _ = fs::remove_dir_all(root);
+            return;
+        }
+        let grown = vec![item("sb", 1), item("sb", 2), item("sb", 3)];
+        let err = resume_campaign(
+            &store,
+            &cache,
+            "sc-0001",
+            &spec,
+            &grown,
+            &meta(),
+            DurabilityPolicy::default(),
+            |b: &[CampaignItem]| b.iter().map(|i| Some(outcome(i, 1, true))).collect(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("spec changed"), "{err}");
         let _ = fs::remove_dir_all(root);
     }
 }

@@ -1,0 +1,515 @@
+//! The write-ahead item journal of one campaign run.
+//!
+//! Before a run's items land in `items.json`, every completed
+//! [`OutcomeRecord`] is appended to `journal.bin` as a checksummed frame —
+//! so a campaign killed at *any* byte boundary has a provable prefix of
+//! durable results that `campaign resume` replays instead of re-executing.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! [u32 payload length, LE] [u64 FNV-1a-64 of payload, LE] [payload bytes]
+//! ```
+//!
+//! Frame 0 is the **header** (`{"schema":1,"id":...,"name":...,"items":N}`);
+//! every later frame is one outcome record in the store's stable-key JSON
+//! form. Appends go through the [`StoreIo`] shim (so the crash matrix can
+//! tear them), and the [`FsyncPolicy`] decides when the file is pushed to
+//! stable storage.
+//!
+//! ## Replay and torn tails
+//!
+//! [`Journal::replay`] walks the frames front to back. A final frame that
+//! is incomplete — fewer than 12 header bytes left, a declared length
+//! running past EOF, or a checksum mismatch on the *last* frame — is a
+//! **torn tail**: the prefix before it is valid, the tail is amputated by
+//! truncating to [`Replay::valid_len`]. A checksum mismatch with more
+//! frames *after* it is not a torn write (appends only tear at the end);
+//! that is real corruption and replay refuses it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use perple_analysis::jsonout::{self, Json};
+use perple_obs::metrics::{self, Metric};
+
+use crate::io::StoreIo;
+use crate::store::OutcomeRecord;
+use crate::{CampaignError, StorageKind};
+
+/// Frame header: u32 length + u64 checksum.
+const FRAME_HEADER: usize = 12;
+/// Largest payload replay accepts; a longer declared length is corruption
+/// (or garbage read as a length), never a real frame.
+const FRAME_CAP: u32 = 16 * 1024 * 1024;
+
+/// When journal bytes are pushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended frame: at most one item lost to a
+    /// crash, at OS-call cost per item.
+    Always,
+    /// `fsync` once per executor chunk (the default): at most one chunk
+    /// lost, one sync per `journal_chunk` items.
+    #[default]
+    Batch,
+    /// Never explicitly sync; durability is whatever the OS flushes.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the spec/CLI form.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "always" => Some(Self::Always),
+            "batch" => Some(Self::Batch),
+            "never" => Some(Self::Never),
+            _ => None,
+        }
+    }
+
+    /// The canonical spec/CLI form.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Always => "always",
+            Self::Batch => "batch",
+            Self::Never => "never",
+        }
+    }
+}
+
+/// Frame 0: which run this journal belongs to and how many items the
+/// expanded campaign has — replay sanity-checks both before trusting a
+/// single record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// The run id the journal belongs to.
+    pub id: String,
+    /// The campaign name.
+    pub name: String,
+    /// Total items in the expanded campaign.
+    pub items: u64,
+}
+
+impl JournalHeader {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::from(1u64)),
+            ("id", Json::from(self.id.as_str())),
+            ("name", Json::from(self.name.as_str())),
+            ("items", Json::from(self.items)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, CampaignError> {
+        let need = |field: &'static str| {
+            move || CampaignError::Corrupt(format!("journal header is missing {field:?}"))
+        };
+        Ok(Self {
+            id: v
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(need("id"))?
+                .to_owned(),
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(need("name"))?
+                .to_owned(),
+            items: v
+                .get("items")
+                .and_then(Json::as_u64)
+                .ok_or_else(need("items"))?,
+        })
+    }
+}
+
+/// What [`Journal::replay`] recovered from an interrupted run's journal.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// The header frame, if one was durably written (`None` for an empty
+    /// or headerless-torn journal — resume starts over from nothing).
+    pub header: Option<JournalHeader>,
+    /// Every durably journaled outcome record, append order.
+    pub records: Vec<OutcomeRecord>,
+    /// Byte offset just past the last valid frame; bytes beyond it are a
+    /// torn tail the caller truncates away.
+    pub valid_len: u64,
+    /// True iff a torn trailing frame was found (and counted in the
+    /// `store_torn_frames` metric).
+    pub torn_tail: bool,
+}
+
+/// An open, appendable write-ahead journal.
+#[derive(Debug)]
+pub struct Journal {
+    io: StoreIo,
+    path: PathBuf,
+    file: fs::File,
+    policy: FsyncPolicy,
+}
+
+impl Journal {
+    /// Creates a fresh journal and durably writes its header frame.
+    ///
+    /// # Errors
+    /// [`CampaignError::Storage`] on IO failure or injected crash.
+    pub fn create(
+        io: StoreIo,
+        path: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        header: &JournalHeader,
+    ) -> Result<Self, CampaignError> {
+        let path = path.into();
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| CampaignError::io(&path, e))?;
+        let mut journal = Self {
+            io,
+            path,
+            file,
+            policy,
+        };
+        journal.append_frame(&header.to_json().render())?;
+        // The header is always synced: a journal whose identity frame can
+        // vanish is not worth replaying.
+        journal.io.sync(&journal.path, &journal.file)?;
+        Ok(journal)
+    }
+
+    /// Reopens an existing journal (whose valid prefix was already
+    /// replayed and whose torn tail, if any, was already truncated) for
+    /// further appends.
+    ///
+    /// # Errors
+    /// [`CampaignError::Io`] if the file cannot be opened.
+    pub fn open_append(
+        io: StoreIo,
+        path: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+    ) -> Result<Self, CampaignError> {
+        let path = path.into();
+        let file = fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| CampaignError::io(&path, e))?;
+        Ok(Self {
+            io,
+            path,
+            file,
+            policy,
+        })
+    }
+
+    /// Appends one completed item's record; under `FsyncPolicy::Always`
+    /// the frame is synced before this returns.
+    ///
+    /// # Errors
+    /// [`CampaignError::Storage`] on IO failure or injected crash.
+    pub fn append_record(&mut self, record: &OutcomeRecord) -> Result<(), CampaignError> {
+        self.append_frame(&record.to_json().render())?;
+        metrics::add(Metric::StoreJournalAppends, 1);
+        if self.policy == FsyncPolicy::Always {
+            self.io.sync(&self.path, &self.file)?;
+        }
+        Ok(())
+    }
+
+    /// Chunk-boundary sync point: under `FsyncPolicy::Batch` the frames
+    /// appended since the last sync are pushed to stable storage.
+    ///
+    /// # Errors
+    /// [`CampaignError::Storage`] on IO failure or injected crash.
+    pub fn sync_batch(&mut self) -> Result<(), CampaignError> {
+        if self.policy == FsyncPolicy::Batch {
+            self.io.sync(&self.path, &self.file)?;
+        }
+        Ok(())
+    }
+
+    fn append_frame(&mut self, payload: &str) -> Result<(), CampaignError> {
+        let bytes = payload.as_bytes();
+        let len = u32::try_from(bytes.len()).map_err(|_| {
+            CampaignError::storage(
+                StorageKind::Io,
+                format!("{}: frame too large", self.path.display()),
+            )
+        })?;
+        let mut frame = Vec::with_capacity(FRAME_HEADER + bytes.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&fnv64(bytes).to_le_bytes());
+        frame.extend_from_slice(bytes);
+        self.io.append(&self.path, &mut self.file, &frame)
+    }
+
+    /// Replays a journal file: the valid frame prefix, the torn-tail
+    /// verdict, and where to truncate. A missing file replays as empty.
+    ///
+    /// # Errors
+    /// [`CampaignError::Storage`] with [`StorageKind::ChecksumMismatch`]
+    /// for mid-file corruption (a bad frame with valid frames after it),
+    /// [`CampaignError::Corrupt`] for frames whose JSON does not parse.
+    pub fn replay(path: &Path) -> Result<Replay, CampaignError> {
+        let data = match fs::read(path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Replay {
+                    header: None,
+                    records: Vec::new(),
+                    valid_len: 0,
+                    torn_tail: false,
+                });
+            }
+            Err(e) => return Err(CampaignError::io(path, e)),
+        };
+
+        let mut offset = 0usize;
+        let mut payloads: Vec<&[u8]> = Vec::new();
+        let mut torn_tail = false;
+        while offset < data.len() {
+            let Some((payload, next)) = frame_at(&data, offset) else {
+                // Incomplete or checksum-failing frame. Only the *last*
+                // frame may legitimately be torn: scan forward — if any
+                // complete valid frame starts after this point the file is
+                // corrupt mid-stream, not torn.
+                if has_valid_frame_after(&data, offset) {
+                    return Err(CampaignError::storage(
+                        StorageKind::ChecksumMismatch,
+                        format!(
+                            "{}: bad frame at offset {offset} with valid frames after it",
+                            path.display()
+                        ),
+                    ));
+                }
+                torn_tail = true;
+                break;
+            };
+            payloads.push(payload);
+            offset = next;
+        }
+        if torn_tail {
+            metrics::add(Metric::StoreTornFrames, 1);
+        }
+
+        let mut header = None;
+        let mut records = Vec::with_capacity(payloads.len().saturating_sub(1));
+        for (i, payload) in payloads.iter().enumerate() {
+            let text = std::str::from_utf8(payload).map_err(|_| {
+                CampaignError::Corrupt(format!("{}: frame {i} is not UTF-8", path.display()))
+            })?;
+            let doc = jsonout::parse(text).map_err(|e| {
+                CampaignError::Corrupt(format!("{}: frame {i}: {e}", path.display()))
+            })?;
+            if i == 0 {
+                header = Some(JournalHeader::from_json(&doc)?);
+            } else {
+                records.push(OutcomeRecord::from_json(&doc)?);
+            }
+        }
+        Ok(Replay {
+            header,
+            records,
+            valid_len: offset as u64,
+            torn_tail,
+        })
+    }
+}
+
+/// Parses the frame at `offset`: `Some((payload, next_offset))` iff the
+/// frame is complete, within the cap, and checksum-valid.
+fn frame_at(data: &[u8], offset: usize) -> Option<(&[u8], usize)> {
+    let rest = &data[offset..];
+    if rest.len() < FRAME_HEADER {
+        return None;
+    }
+    let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+    if len > FRAME_CAP as usize {
+        return None;
+    }
+    let sum = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+    let payload = rest.get(FRAME_HEADER..FRAME_HEADER + len)?;
+    (fnv64(payload) == sum).then_some((payload, offset + FRAME_HEADER + len))
+}
+
+/// True iff a complete, checksum-valid frame starts anywhere after a bad
+/// one — the mid-file-corruption discriminator.
+fn has_valid_frame_after(data: &[u8], bad_offset: usize) -> bool {
+    (bad_offset + 1..data.len()).any(|start| frame_at(data, start).is_some())
+}
+
+/// FNV-1a 64-bit — the frame checksum (the cache fingerprint's 128-bit
+/// sibling lives in [`crate::fingerprint`]).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::CrashPlan;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("perple-campaign-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn header(items: u64) -> JournalHeader {
+        JournalHeader {
+            id: "t-0001".to_owned(),
+            name: "t".to_owned(),
+            items,
+        }
+    }
+
+    fn record(test: &str, seed: u64) -> OutcomeRecord {
+        OutcomeRecord {
+            test: test.to_owned(),
+            seed,
+            fingerprint: format!("{:032x}", seed),
+            forbidden: false,
+            heuristic: seed * 3,
+            exhaustive: seed * 3,
+            degraded: false,
+            iterations: 100,
+            run_complete: true,
+            faults: 0,
+            digest: seed ^ 0xAB,
+            quarantined: false,
+            fault_kind: None,
+        }
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = tmp("roundtrip");
+        let path = dir.join("journal.bin");
+        let mut j =
+            Journal::create(StoreIo::unplanned(), &path, FsyncPolicy::Always, &header(2)).unwrap();
+        j.append_record(&record("sb", 1)).unwrap();
+        j.append_record(&record("mp", 2)).unwrap();
+        drop(j);
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.header, Some(header(2)));
+        assert_eq!(replay.records, vec![record("sb", 1), record("mp", 2)]);
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.valid_len, fs::metadata(&path).unwrap().len());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_journal_replays_as_empty() {
+        let dir = tmp("missing");
+        let replay = Journal::replay(&dir.join("journal.bin")).unwrap();
+        assert_eq!(replay.header, None);
+        assert!(replay.records.is_empty());
+        assert!(!replay.torn_tail);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_prefix_survives() {
+        let dir = tmp("torn");
+        let path = dir.join("journal.bin");
+        let mut j =
+            Journal::create(StoreIo::unplanned(), &path, FsyncPolicy::Never, &header(3)).unwrap();
+        j.append_record(&record("sb", 1)).unwrap();
+        j.append_record(&record("mp", 2)).unwrap();
+        drop(j);
+        let whole = fs::metadata(&path).unwrap().len();
+
+        // Tear the final frame at every byte boundary inside it: the two
+        // preceding frames must always survive, and valid_len must point
+        // at the prefix end.
+        let full = fs::read(&path).unwrap();
+        assert_eq!(Journal::replay(&path).unwrap().valid_len, whole);
+        let second_frame_end = {
+            // Recompute where frame 2 (the "mp" record) starts by replaying
+            // truncations until only two records remain.
+            let mut end = 0;
+            for cut in (0..full.len()).rev() {
+                fs::write(&path, &full[..cut]).unwrap();
+                let r = Journal::replay(&path).unwrap();
+                if r.records.len() == 1 {
+                    end = r.valid_len;
+                    break;
+                }
+            }
+            end
+        };
+        for cut in (second_frame_end as usize + 1)..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let r = Journal::replay(&path).unwrap();
+            assert!(r.torn_tail, "cut at {cut} must be torn");
+            assert_eq!(r.records.len(), 1, "cut at {cut}");
+            assert_eq!(r.valid_len, second_frame_end, "cut at {cut}");
+        }
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn injected_torn_append_is_a_torn_tail() {
+        let dir = tmp("injtorn");
+        let path = dir.join("journal.bin");
+        // Boundaries: 0 = header append, 1 = header sync, 2 = first
+        // record append (torn).
+        let io = StoreIo::new(CrashPlan::abort_at(2));
+        let mut j = Journal::create(io, &path, FsyncPolicy::Never, &header(1)).unwrap();
+        let err = j.append_record(&record("sb", 1)).unwrap_err();
+        assert!(err.is_crash(), "{err}");
+        drop(j);
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.header, Some(header(1)));
+        assert!(replay.records.is_empty());
+        assert!(replay.torn_tail);
+        assert!(replay.valid_len < fs::metadata(&path).unwrap().len());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_refused() {
+        let dir = tmp("midcorrupt");
+        let path = dir.join("journal.bin");
+        let mut j =
+            Journal::create(StoreIo::unplanned(), &path, FsyncPolicy::Never, &header(2)).unwrap();
+        j.append_record(&record("sb", 1)).unwrap();
+        j.append_record(&record("mp", 2)).unwrap();
+        drop(j);
+        // Flip one payload byte inside the *first* record frame.
+        let mut bytes = fs::read(&path).unwrap();
+        let hdr = frame_at(&bytes, 0).unwrap().1;
+        bytes[hdr + FRAME_HEADER + 3] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let err = Journal::replay(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CampaignError::Storage {
+                    kind: StorageKind::ChecksumMismatch,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_renders() {
+        for p in [FsyncPolicy::Always, FsyncPolicy::Batch, FsyncPolicy::Never] {
+            assert_eq!(FsyncPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+        assert_eq!(FsyncPolicy::default(), FsyncPolicy::Batch);
+    }
+}

@@ -36,6 +36,9 @@ pub mod cache;
 pub mod compare;
 pub mod engine;
 pub mod fingerprint;
+pub mod fsck;
+pub mod io;
+pub mod journal;
 pub mod spec;
 pub mod store;
 
@@ -45,13 +48,71 @@ pub use compare::{
     RegressionKind,
 };
 pub use engine::{
-    run_campaign, CampaignItem, ExecOutcome, LintSummary, RunMeta, RunSummary, StageWallMs,
+    resume_campaign, run_campaign, run_campaign_with, CampaignItem, DurabilityPolicy, ExecOutcome,
+    LintSummary, RunMeta, RunSummary, StageWallMs,
 };
 pub use fingerprint::{Fingerprint, Hasher, CACHE_FORMAT_VERSION};
+pub use fsck::{fsck, Finding, FsckReport};
+pub use io::{CrashKind, CrashPlan, StoreIo};
+pub use journal::{FsyncPolicy, Journal, JournalHeader, Replay};
 pub use spec::CampaignSpec;
 pub use store::{git_describe, OutcomeRecord, RunStore};
 
 use std::fmt;
+
+/// What kind of storage damage (or storage-level failure) was detected.
+/// The closed taxonomy `campaign fsck` classifies findings under and the
+/// `PerpleError::Storage` wrapper surfaces to the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageKind {
+    /// An interrupted write left a truncated artifact behind: a torn
+    /// trailing journal frame, an unterminated `runs.jsonl` line, a
+    /// leftover `*.tmp` file.
+    TornWrite,
+    /// Stored bytes exist but fail their checksum or schema: a mid-file
+    /// journal checksum mismatch, an unparseable manifest, a cache entry
+    /// whose content disagrees with its content-addressed name.
+    ChecksumMismatch,
+    /// A run directory that belongs to no completed or resumable run.
+    OrphanRun,
+    /// The `runs.jsonl` index and the run directories disagree: an index
+    /// line pointing at a missing run, or a finalized run missing its
+    /// index line.
+    StaleIndex,
+    /// Two writers raced for the same run id and the atomic directory
+    /// reservation could not be won.
+    Contention,
+    /// A `CrashPlan` injection point fired (simulated process death); all
+    /// subsequent IO through the same shim fails with this kind too.
+    CrashInjected,
+    /// A transient IO failure persisted through every bounded-backoff
+    /// retry.
+    Transient,
+    /// Any other filesystem-level failure.
+    Io,
+}
+
+impl StorageKind {
+    /// Stable kebab-case tag (used in fsck reports and JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageKind::TornWrite => "torn-write",
+            StorageKind::ChecksumMismatch => "checksum-mismatch",
+            StorageKind::OrphanRun => "orphan-run",
+            StorageKind::StaleIndex => "stale-index",
+            StorageKind::Contention => "contention",
+            StorageKind::CrashInjected => "crash-injected",
+            StorageKind::Transient => "transient",
+            StorageKind::Io => "io",
+        }
+    }
+}
+
+impl fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Errors of the campaign layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +126,13 @@ pub enum CampaignError {
     /// A stored document exists but its content is not what the schema
     /// requires.
     Corrupt(String),
+    /// Classified storage damage or storage-level failure.
+    Storage {
+        /// The damage class.
+        kind: StorageKind,
+        /// What and where.
+        message: String,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -74,6 +142,9 @@ impl fmt::Display for CampaignError {
             CampaignError::Parse(m) => write!(f, "parse error: {m}"),
             CampaignError::NotFound(m) => write!(f, "run not found: {m}"),
             CampaignError::Corrupt(m) => write!(f, "corrupt store document: {m}"),
+            CampaignError::Storage { kind, message } => {
+                write!(f, "storage failure ({kind}): {message}")
+            }
         }
     }
 }
@@ -84,5 +155,27 @@ impl CampaignError {
     /// Wraps an `io::Error` with the path it happened on.
     pub fn io(path: &std::path::Path, e: std::io::Error) -> Self {
         CampaignError::Io(format!("{}: {e}", path.display()))
+    }
+
+    /// A classified storage error.
+    pub fn storage(kind: StorageKind, message: impl Into<String>) -> Self {
+        CampaignError::Storage {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// True iff the error is an injected (or propagated) simulated crash:
+    /// the IO shim died at a `CrashPlan` point and nothing may be written
+    /// through it again. Callers must treat this as process death — no
+    /// degradation, no cleanup, propagate.
+    pub fn is_crash(&self) -> bool {
+        matches!(
+            self,
+            CampaignError::Storage {
+                kind: StorageKind::CrashInjected,
+                ..
+            }
+        )
     }
 }

@@ -15,6 +15,8 @@
 //! frame_cap = 1000000         # 0 = unlimited exhaustive scan
 //! inject = corrupt@t0:0..100  # optional fault plan (omit for none)
 //! counter = rf                # optional exact-counter backend
+//! journal_chunk = 16          # items per write-ahead journal chunk
+//! fsync = batch               # journal sync policy: always, batch, never
 //! ```
 //!
 //! `key = value` lines, `#` comments, unknown keys rejected. [`CampaignSpec::render`]
@@ -49,6 +51,12 @@ pub struct CampaignSpec {
     /// Exact-counter backend (`exhaustive`, `heuristic`, or `rf`); `None`
     /// leaves the execution layer's default (`rf`) in charge.
     pub counter: Option<String>,
+    /// Items per executor chunk between write-ahead journal sync points —
+    /// the unit of crash data loss (0 behaves as 1).
+    pub journal_chunk: u64,
+    /// Journal fsync policy (`always`, `batch`, or `never`); `None` leaves
+    /// the engine default (`batch`) in charge.
+    pub fsync: Option<String>,
 }
 
 impl CampaignSpec {
@@ -65,6 +73,20 @@ impl CampaignSpec {
             frame_cap: Some(1_000_000),
             inject: None,
             counter: None,
+            journal_chunk: 16,
+            fsync: None,
+        }
+    }
+
+    /// The durability policy the spec's journal keys describe.
+    pub fn durability(&self) -> crate::engine::DurabilityPolicy {
+        crate::engine::DurabilityPolicy {
+            chunk: self.journal_chunk.min(usize::MAX as u64) as usize,
+            fsync: self
+                .fsync
+                .as_deref()
+                .and_then(crate::journal::FsyncPolicy::parse)
+                .unwrap_or_default(),
         }
     }
 
@@ -144,6 +166,15 @@ impl CampaignSpec {
                     }
                     spec.counter = (!value.is_empty()).then(|| value.to_owned());
                 }
+                "journal_chunk" => {
+                    spec.journal_chunk = parse_u64(value).ok_or_else(|| bad("journal chunk"))?;
+                }
+                "fsync" => {
+                    if !value.is_empty() && crate::journal::FsyncPolicy::parse(value).is_none() {
+                        return Err(bad("fsync policy (always, batch, or never)"));
+                    }
+                    spec.fsync = (!value.is_empty()).then(|| value.to_owned());
+                }
                 other => {
                     return Err(CampaignError::Parse(format!(
                         "line {}: unknown key {other:?}",
@@ -189,6 +220,12 @@ impl CampaignSpec {
         }
         if let Some(counter) = &self.counter {
             s.push_str(&format!("counter = {counter}\n"));
+        }
+        if self.journal_chunk != 16 {
+            s.push_str(&format!("journal_chunk = {}\n", self.journal_chunk));
+        }
+        if let Some(fsync) = &self.fsync {
+            s.push_str(&format!("fsync = {fsync}\n"));
         }
         s
     }
@@ -280,6 +317,8 @@ counter = rf
             ("tests = sb\nseeds = 1\nworkers nine\n", "missing ="),
             ("name = bad name!\ntests = sb\nseeds = 1\n", "bad name"),
             ("tests = sb\nseeds = 1\ncounter = turbo\n", "bad counter"),
+            ("tests = sb\nseeds = 1\nfsync = maybe\n", "bad fsync"),
+            ("tests = sb\nseeds = 1\njournal_chunk = x\n", "junk chunk"),
         ] {
             assert!(CampaignSpec::parse(bad).is_err(), "{why}: {bad:?}");
         }
@@ -296,5 +335,33 @@ counter = rf
         assert_eq!(spec.frame_cap, Some(1_000_000));
         assert_eq!(spec.inject, None);
         assert_eq!(spec.counter, None);
+        assert_eq!(spec.journal_chunk, 16);
+        assert_eq!(spec.fsync, None);
+    }
+
+    #[test]
+    fn durability_keys_parse_render_and_map_to_the_policy() {
+        use crate::engine::DurabilityPolicy;
+        use crate::journal::FsyncPolicy;
+        let spec =
+            CampaignSpec::parse("tests = sb\nseeds = 1\njournal_chunk = 4\nfsync = always\n")
+                .unwrap();
+        assert_eq!(spec.journal_chunk, 4);
+        assert_eq!(spec.fsync.as_deref(), Some("always"));
+        assert_eq!(
+            spec.durability(),
+            DurabilityPolicy {
+                chunk: 4,
+                fsync: FsyncPolicy::Always
+            }
+        );
+        let reparsed = CampaignSpec::parse(&spec.render()).unwrap();
+        assert_eq!(spec, reparsed, "new keys round-trip");
+        // Defaults map to the default policy and stay out of the canonical
+        // rendering (existing spec files keep their byte-exact form).
+        let plain = CampaignSpec::parse("tests = sb\nseeds = 1\n").unwrap();
+        assert_eq!(plain.durability(), DurabilityPolicy::default());
+        assert!(!plain.render().contains("journal_chunk"));
+        assert!(!plain.render().contains("fsync"));
     }
 }

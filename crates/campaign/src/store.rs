@@ -19,12 +19,15 @@
 //! All wall-clock data (created-at, stage walls) lives in the manifest.
 
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use perple_analysis::jsonout::{self, Json};
 
-use crate::CampaignError;
+use crate::io::StoreIo;
+use crate::{CampaignError, StorageKind};
+
+/// Attempts to win a run-id reservation before declaring contention.
+const RESERVE_ATTEMPTS: u32 = 32;
 
 /// One item's deterministic outcome: what the counters saw, never when.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,6 +176,7 @@ impl OutcomeRecord {
 #[derive(Debug, Clone)]
 pub struct RunStore {
     root: PathBuf,
+    io: StoreIo,
 }
 
 impl RunStore {
@@ -181,19 +185,34 @@ impl RunStore {
         PathBuf::from("results/store")
     }
 
-    /// Opens (creating if needed) a store at `root`.
+    /// Opens (creating if needed) a store at `root` with a production
+    /// (injection-free) IO shim.
     ///
     /// # Errors
     /// [`CampaignError::Io`] if the directories cannot be created.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, CampaignError> {
+        Self::open_with(root, StoreIo::unplanned())
+    }
+
+    /// Opens a store whose every write crosses the given shim — the entry
+    /// point of the crash matrix.
+    ///
+    /// # Errors
+    /// [`CampaignError::Io`] if the directories cannot be created.
+    pub fn open_with(root: impl Into<PathBuf>, io: StoreIo) -> Result<Self, CampaignError> {
         let root = root.into();
         fs::create_dir_all(root.join("runs")).map_err(|e| CampaignError::io(&root, e))?;
-        Ok(Self { root })
+        Ok(Self { root, io })
     }
 
     /// The store root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The store's IO shim (shared with its cache and journals).
+    pub fn io(&self) -> &StoreIo {
+        &self.io
     }
 
     /// The directory of one run.
@@ -224,6 +243,84 @@ impl RunStore {
         format!("{name}-{:04}", max + 1)
     }
 
+    /// Atomically reserves the next run id for `name`: the run directory
+    /// itself is the lock (`create_dir` either wins or loses, never
+    /// both), so two concurrent campaigns against one store can never
+    /// claim the same id.
+    ///
+    /// # Errors
+    /// [`CampaignError::Storage`] with [`StorageKind::Contention`] if the
+    /// reservation loses the race [`RESERVE_ATTEMPTS`] times in a row.
+    pub fn begin_run(&self, name: &str) -> Result<String, CampaignError> {
+        for _ in 0..RESERVE_ATTEMPTS {
+            let id = self.next_run_id(name);
+            if self.io.create_dir(&self.run_dir(&id))? {
+                return Ok(id);
+            }
+        }
+        Err(CampaignError::storage(
+            StorageKind::Contention,
+            format!(
+                "could not reserve a {name:?} run id in {RESERVE_ATTEMPTS} attempts \
+                 (another campaign is racing this store)"
+            ),
+        ))
+    }
+
+    /// The pending marker of a reserved-but-unfinalized run; its presence
+    /// (without a manifest) is what makes a run **resumable**.
+    pub fn pending_path(&self, id: &str) -> PathBuf {
+        self.run_dir(id).join("pending.json")
+    }
+
+    /// The write-ahead journal of a run.
+    pub fn journal_path(&self, id: &str) -> PathBuf {
+        self.run_dir(id).join("journal.bin")
+    }
+
+    /// Writes the pending marker: everything resume needs to rebuild the
+    /// run (the spec text and the original run metadata).
+    ///
+    /// # Errors
+    /// [`CampaignError::Storage`] on IO failure or injected crash.
+    pub fn write_pending(&self, id: &str, pending: &Json) -> Result<(), CampaignError> {
+        self.io
+            .write_atomic(&self.pending_path(id), &pending.render())
+    }
+
+    /// Loads the pending marker of an interrupted run.
+    ///
+    /// # Errors
+    /// [`CampaignError::NotFound`] if the run has no pending marker (it
+    /// finished, or never started), [`CampaignError::Corrupt`] if the
+    /// marker does not parse.
+    pub fn load_pending(&self, id: &str) -> Result<Json, CampaignError> {
+        let path = self.pending_path(id);
+        let text = fs::read_to_string(&path)
+            .map_err(|_| CampaignError::NotFound(format!("run {id:?} is not resumable")))?;
+        jsonout::parse(&text)
+            .map_err(|e| CampaignError::Corrupt(format!("{}: {e}", path.display())))
+    }
+
+    /// Run ids that were reserved but never finalized (pending marker
+    /// present, manifest absent) — the resumable set, oldest id first.
+    pub fn pending_runs(&self) -> Vec<String> {
+        let Ok(entries) = fs::read_dir(self.root.join("runs")) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<String> = entries
+            .flatten()
+            .filter_map(|e| {
+                let id = e.file_name().to_string_lossy().into_owned();
+                let dir = e.path();
+                (dir.join("pending.json").exists() && !dir.join("manifest.json").exists())
+                    .then_some(id)
+            })
+            .collect();
+        ids.sort();
+        ids
+    }
+
     /// Writes one complete run: `manifest.json`, `items.json`, and the
     /// index line — append-only, atomically per file.
     ///
@@ -243,8 +340,32 @@ impl RunStore {
                 dir.display()
             )));
         }
-        fs::create_dir_all(&dir).map_err(|e| CampaignError::io(&dir, e))?;
-        write_atomic(&dir.join("manifest.json"), &manifest.render())?;
+        self.io.create_dir_all(&dir)?;
+        self.persist_run(id, manifest, items)
+    }
+
+    /// Finalizes a run whose directory was reserved by [`RunStore::begin_run`]:
+    /// writes the files, clears the pending marker, appends the index
+    /// line. After this the run is complete and immutable.
+    ///
+    /// # Errors
+    /// [`CampaignError::Storage`] on IO failure or injected crash.
+    pub fn finalize_run(
+        &self,
+        id: &str,
+        manifest: &Json,
+        items: &[OutcomeRecord],
+    ) -> Result<(), CampaignError> {
+        self.persist_run(id, manifest, items)
+    }
+
+    fn persist_run(
+        &self,
+        id: &str,
+        manifest: &Json,
+        items: &[OutcomeRecord],
+    ) -> Result<(), CampaignError> {
+        let dir = self.run_dir(id);
         let items_doc = Json::obj(vec![
             ("schema", Json::from(1u64)),
             (
@@ -252,13 +373,22 @@ impl RunStore {
                 Json::Arr(items.iter().map(OutcomeRecord::to_json).collect()),
             ),
         ]);
-        write_atomic(&dir.join("items.json"), &items_doc.render())?;
+        self.io
+            .write_atomic(&dir.join("items.json"), &items_doc.render())?;
+        self.io
+            .write_atomic(&dir.join("manifest.json"), &manifest.render())?;
+        // Manifest down, marker up: from here the run is complete even if
+        // the index append below is lost (fsck re-derives the line).
+        if self.pending_path(id).exists() {
+            self.io.remove_file(&self.pending_path(id))?;
+        }
         self.append_index(manifest)
     }
 
-    /// Appends one line to the `runs.jsonl` index.
-    fn append_index(&self, manifest: &Json) -> Result<(), CampaignError> {
-        let line = Json::obj(vec![
+    /// The index line of one manifest (also how `fsck --repair` rebuilds
+    /// the index from surviving manifests).
+    pub(crate) fn index_line(manifest: &Json) -> Json {
+        Json::obj(vec![
             ("id", manifest.get("id").cloned().unwrap_or(Json::Null)),
             ("name", manifest.get("name").cloned().unwrap_or(Json::Null)),
             (
@@ -272,28 +402,66 @@ impl RunStore {
                 "counts",
                 manifest.get("counts").cloned().unwrap_or(Json::Null),
             ),
-        ]);
-        let path = self.root.join("runs.jsonl");
-        let mut f = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .map_err(|e| CampaignError::io(&path, e))?;
-        writeln!(f, "{}", line.render()).map_err(|e| CampaignError::io(&path, e))
+        ])
     }
 
-    /// Every index line, oldest first.
+    /// The index file path.
+    pub fn index_path(&self) -> PathBuf {
+        self.root.join("runs.jsonl")
+    }
+
+    /// Appends one line to the `runs.jsonl` index. A torn trailing
+    /// partial line from an earlier crash is amputated first, so a clean
+    /// append also repairs the index's framing.
+    fn append_index(&self, manifest: &Json) -> Result<(), CampaignError> {
+        let path = self.index_path();
+        if let Ok(existing) = fs::read(&path) {
+            if !existing.is_empty() && existing.last() != Some(&b'\n') {
+                let keep = existing
+                    .iter()
+                    .rposition(|&b| b == b'\n')
+                    .map_or(0, |p| p + 1);
+                self.io.truncate(&path, keep as u64)?;
+            }
+        }
+        self.io
+            .append_line(&path, &Self::index_line(manifest).render())
+    }
+
+    /// Every index line, oldest first. A torn trailing line (an append
+    /// that died mid-write) is skipped — the listing must survive a
+    /// crash; `fsck` reports and repairs the damage.
     ///
     /// # Errors
-    /// [`CampaignError::Corrupt`] if the index has unparseable lines.
+    /// [`CampaignError::Corrupt`] if a line **before** the final one is
+    /// unparseable (that is corruption, not a torn append).
     pub fn list(&self) -> Result<Vec<Json>, CampaignError> {
-        let path = self.root.join("runs.jsonl");
-        if !path.exists() {
-            return Ok(Vec::new());
+        let path = self.index_path();
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(CampaignError::io(&path, e)),
+        };
+        let lines: Vec<&str> = text
+            .split('\n')
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect();
+        let mut parsed = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            match jsonout::parse(line) {
+                Ok(v) => parsed.push(v),
+                Err(_) if i + 1 == lines.len() => break, // torn trailing line
+                Err(e) => {
+                    return Err(CampaignError::Corrupt(format!(
+                        "{}: line {}: {e}",
+                        path.display(),
+                        i + 1
+                    )));
+                }
+            }
         }
-        let text = fs::read_to_string(&path).map_err(|e| CampaignError::io(&path, e))?;
-        jsonout::parse_lines(&text)
-            .map_err(|e| CampaignError::Corrupt(format!("{}: {e}", path.display())))
+        Ok(parsed)
     }
 
     /// Resolves a run reference to an exact id: an exact id, a unique id
@@ -362,14 +530,6 @@ impl RunStore {
             .map(OutcomeRecord::from_json)
             .collect()
     }
-}
-
-/// Writes `content` to `path` atomically (temp file + rename), so readers
-/// never observe a half-written document.
-pub(crate) fn write_atomic(path: &Path, content: &str) -> Result<(), CampaignError> {
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, content).map_err(|e| CampaignError::io(&tmp, e))?;
-    fs::rename(&tmp, path).map_err(|e| CampaignError::io(path, e))
 }
 
 /// `git describe --always --dirty` of the working tree, or `"unknown"`
@@ -530,5 +690,123 @@ mod tests {
     fn git_describe_never_panics() {
         let d = git_describe();
         assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn begin_run_reserves_ids_atomically() {
+        let (dir, store) = tmp_store("reserve");
+        let a = store.begin_run("x").unwrap();
+        let b = store.begin_run("x").unwrap();
+        assert_eq!(a, "x-0001");
+        assert_eq!(b, "x-0002", "reserved dir blocks id reuse");
+        assert!(store.run_dir(&a).exists());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn concurrent_begin_runs_never_collide() {
+        let (dir, store) = tmp_store("race");
+        let ids: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let store = store.clone();
+                    s.spawn(move || store.begin_run("race").unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut unique = ids.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len(), "duplicate ids handed out: {ids:?}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn pending_marker_tracks_resumability() {
+        let (dir, store) = tmp_store("pending");
+        let id = store.begin_run("p").unwrap();
+        assert!(store.pending_runs().is_empty(), "no marker yet");
+        store
+            .write_pending(&id, &Json::obj(vec![("spec", Json::from("tests = sb\n"))]))
+            .unwrap();
+        assert_eq!(store.pending_runs(), vec![id.clone()]);
+        let pending = store.load_pending(&id).unwrap();
+        assert_eq!(
+            pending.get("spec").and_then(Json::as_str),
+            Some("tests = sb\n")
+        );
+        store.finalize_run(&id, &manifest(&id), &[]).unwrap();
+        assert!(
+            store.pending_runs().is_empty(),
+            "finalize clears the marker"
+        );
+        assert!(!store.pending_path(&id).exists());
+        assert!(matches!(
+            store.load_pending(&id),
+            Err(CampaignError::NotFound(_))
+        ));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_index_line_is_tolerated_and_repaired_by_the_next_append() {
+        let (dir, store) = tmp_store("tornidx");
+        store.write_run("t-0001", &manifest("t-0001"), &[]).unwrap();
+        // Tear the index: a half-written second line with no newline.
+        let path = store.index_path();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"id\":\"t-00");
+        fs::write(&path, &bytes).unwrap();
+        // Listing survives, serving the valid prefix.
+        let listed = store.list().unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].get("id").and_then(Json::as_str), Some("t-0001"));
+        assert_eq!(store.resolve("latest").unwrap(), "t-0001");
+        // A clean append amputates the torn tail and restores framing.
+        store.write_run("t-0002", &manifest("t-0002"), &[]).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(
+            !text.contains("t-00\""),
+            "torn fragment amputated: {text:?}"
+        );
+        let ids: Vec<_> = store
+            .list()
+            .unwrap()
+            .iter()
+            .filter_map(|l| l.get("id").and_then(Json::as_str).map(str::to_owned))
+            .collect();
+        assert_eq!(ids, ["t-0001", "t-0002"]);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn mid_file_index_corruption_is_still_an_error() {
+        let (dir, store) = tmp_store("mididx");
+        store.write_run("m-0001", &manifest("m-0001"), &[]).unwrap();
+        store.write_run("m-0002", &manifest("m-0002"), &[]).unwrap();
+        let path = store.index_path();
+        let text = fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("{\"id\":\"m-0001\"", "{garbage", 1);
+        fs::write(&path, corrupted).unwrap();
+        assert!(matches!(store.list(), Err(CampaignError::Corrupt(_))));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn resolve_reports_missing_and_ambiguous_references_distinctly() {
+        let (dir, store) = tmp_store("resolve2");
+        assert!(
+            matches!(store.resolve("latest"), Err(CampaignError::NotFound(_))),
+            "empty store has no latest"
+        );
+        store.write_run("q-0001", &manifest("q-0001"), &[]).unwrap();
+        store.write_run("q-0002", &manifest("q-0002"), &[]).unwrap();
+        let ambiguous = store.resolve("q-").unwrap_err();
+        assert!(ambiguous.to_string().contains("ambiguous"), "{ambiguous}");
+        assert!(ambiguous.to_string().contains("2 matches"), "{ambiguous}");
+        let missing = store.resolve("zz").unwrap_err();
+        assert!(missing.to_string().contains("no run matches"), "{missing}");
+        let _ = fs::remove_dir_all(dir);
     }
 }

@@ -59,10 +59,29 @@ pub enum Metric {
     ExecQuarantines,
     /// Audit rows degraded because a stage budget expired.
     ExecBudgetExpiries,
+    /// Write/sync boundaries crossed by the campaign-store IO shim (one
+    /// per file write, rename, append, sync, truncate, or dir creation).
+    StoreIoBoundaries,
+    /// Outcome frames appended to a campaign write-ahead journal.
+    StoreJournalAppends,
+    /// fsync (`sync_data`) calls issued by the campaign-store IO shim.
+    StoreFsyncs,
+    /// Torn (incomplete) trailing journal frames dropped during replay.
+    StoreTornFrames,
+    /// Items recovered from a write-ahead journal by `campaign resume`
+    /// (journaled outcomes that skipped re-execution entirely).
+    StoreRecoveredItems,
+    /// Bounded-backoff retries of transient campaign-store IO errors.
+    StoreTransientRetries,
+    /// Cache writes dropped after exhausting retries: the item degraded
+    /// to uncached execution instead of failing the campaign.
+    StoreCacheWriteDrops,
+    /// Corrupt cache entries moved to quarantine by `campaign fsck`.
+    StoreCacheQuarantines,
 }
 
 /// Number of distinct [`Metric`] variants (shard array size).
-pub const METRIC_COUNT: usize = 18;
+pub const METRIC_COUNT: usize = 26;
 
 impl Metric {
     /// Every metric, in stable declaration order.
@@ -85,6 +104,14 @@ impl Metric {
         Metric::ExecRetries,
         Metric::ExecQuarantines,
         Metric::ExecBudgetExpiries,
+        Metric::StoreIoBoundaries,
+        Metric::StoreJournalAppends,
+        Metric::StoreFsyncs,
+        Metric::StoreTornFrames,
+        Metric::StoreRecoveredItems,
+        Metric::StoreTransientRetries,
+        Metric::StoreCacheWriteDrops,
+        Metric::StoreCacheQuarantines,
     ];
 
     /// Stable snake_case name (used in manifests and `campaign compare`).
@@ -108,6 +135,14 @@ impl Metric {
             Metric::ExecRetries => "exec_retries",
             Metric::ExecQuarantines => "exec_quarantines",
             Metric::ExecBudgetExpiries => "exec_budget_expiries",
+            Metric::StoreIoBoundaries => "store_io_boundaries",
+            Metric::StoreJournalAppends => "store_journal_appends",
+            Metric::StoreFsyncs => "store_fsyncs",
+            Metric::StoreTornFrames => "store_torn_frames",
+            Metric::StoreRecoveredItems => "store_recovered_items",
+            Metric::StoreTransientRetries => "store_transient_retries",
+            Metric::StoreCacheWriteDrops => "store_cache_write_drops",
+            Metric::StoreCacheQuarantines => "store_cache_quarantines",
         }
     }
 

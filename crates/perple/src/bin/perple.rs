@@ -14,6 +14,9 @@
 //! perple lint [--json] [--deny warnings] [--iterations N] [--value-bits B]
 //!             <test-name | file.litmus>...    static analysis of litmus tests
 //! perple campaign run <spec-file> [--store DIR] [--allow-lints] [--counter C]
+//!                 [--crash PLAN]
+//! perple campaign resume [run-id] [--store DIR]
+//! perple campaign fsck [--store DIR] [--repair] [--json]
 //! perple campaign ls [--store DIR]
 //! perple campaign show <run|latest> [--store DIR] [--json]
 //! perple campaign compare <base> <new> [--store DIR] [--json]
@@ -74,6 +77,8 @@ fn main() -> ExitCode {
                  \x20                            static analysis (exit 1 on errors)\n\
                  campaign run <spec> [--store DIR] [--allow-lints] [--counter C]\n\
                  \x20                                          run a campaign spec\n\
+                 campaign resume [run-id] [--store DIR]     finish an interrupted run\n\
+                 campaign fsck [--store DIR] [--repair]     check/repair the store\n\
                  campaign ls [--store DIR]                  list stored runs\n\
                  campaign show <run|latest> [--json]        inspect one run\n\
                  campaign compare <base> <new> [--json]     regression gate (exit 1)\n\
@@ -444,12 +449,19 @@ struct CampaignFlags {
     allow_lints: bool,
     /// `--counter C`: overrides the spec's `counter =` line for this run.
     counter: Option<String>,
+    /// `--crash PLAN`: a store-write crash-injection plan (`abort@K`,
+    /// `transient@K[:N]`, comma-separated) — the CLI face of the crash
+    /// matrix.
+    crash: Option<perple::campaign::CrashPlan>,
+    /// `--repair`: let `campaign fsck` apply its safe repairs.
+    repair: bool,
     rest: Vec<String>,
 }
 
 /// Splits `--store DIR` (default `results/store`), `--json`,
-/// `--trace FILE`, `--allow-lints` and `--counter C` out of a campaign
-/// subcommand's arguments, returning the positional rest.
+/// `--trace FILE`, `--allow-lints`, `--counter C`, `--crash PLAN` and
+/// `--repair` out of a campaign subcommand's arguments, returning the
+/// positional rest.
 fn campaign_flags(args: &[String]) -> Result<CampaignFlags, String> {
     let mut flags = CampaignFlags {
         store: perple::campaign::RunStore::default_root(),
@@ -457,6 +469,8 @@ fn campaign_flags(args: &[String]) -> Result<CampaignFlags, String> {
         trace: None,
         allow_lints: false,
         counter: None,
+        crash: None,
+        repair: false,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -479,6 +493,14 @@ fn campaign_flags(args: &[String]) -> Result<CampaignFlags, String> {
                 }
                 flags.counter = Some(name.to_owned());
             }
+            "--crash" => {
+                let plan = it.next().ok_or("missing value for --crash")?;
+                flags.crash = Some(
+                    perple::campaign::CrashPlan::parse(plan)
+                        .map_err(|e| format!("bad --crash plan: {e}"))?,
+                );
+            }
+            "--repair" => flags.repair = true,
             other => flags.rest.push(other.to_owned()),
         }
     }
@@ -549,8 +571,22 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints one campaign run summary (shared by `run` and `resume`).
+fn print_summary(summary: &perple::campaign::RunSummary) {
+    println!("run: {}", summary.id);
+    println!("hits: {}/{}", summary.hits, summary.items);
+    println!(
+        "executed: {}, lost: {}, quarantined: {}, violations: {}",
+        summary.executed, summary.lost, summary.quarantined, summary.violations
+    );
+    if summary.recovered > 0 {
+        println!("recovered: {} (journal replay)", summary.recovered);
+    }
+}
+
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
-    let usage = "usage: perple campaign <run|ls|show|compare> [args] [--store DIR] [--json]";
+    let usage =
+        "usage: perple campaign <run|resume|fsck|ls|show|compare> [args] [--store DIR] [--json]";
     let sub = args.first().map(String::as_str).ok_or(usage)?;
     let CampaignFlags {
         store: store_root,
@@ -558,6 +594,8 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         trace: trace_path,
         allow_lints,
         counter,
+        crash,
+        repair,
         rest,
     } = campaign_flags(&args[1..])?;
     match sub {
@@ -573,7 +611,13 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             if trace_path.is_some() {
                 perple::obs::trace::start();
             }
-            let summary = perple::experiments::campaign::run_spec(&spec, &store_root, allow_lints)?;
+            let io = perple::campaign::StoreIo::new(crash.unwrap_or_default());
+            let summary = perple::experiments::campaign::run_spec_with_io(
+                &spec,
+                &store_root,
+                allow_lints,
+                io,
+            )?;
             if let Some(out) = &trace_path {
                 let trace = perple::obs::trace::finish();
                 std::fs::write(out, trace.chrome_json())
@@ -581,14 +625,60 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
                 print!("{}", trace.flame_summary());
                 println!("trace written to {out}");
             }
-            println!("run: {}", summary.id);
-            println!("hits: {}/{}", summary.hits, summary.items);
-            println!(
-                "executed: {}, lost: {}, quarantined: {}, violations: {}",
-                summary.executed, summary.lost, summary.quarantined, summary.violations
-            );
+            print_summary(&summary);
             if summary.violations > 0 {
                 return Err("the machine under test violates x86-TSO".into());
+            }
+            Ok(())
+        }
+        "resume" => {
+            let store = perple::campaign::RunStore::open(&store_root).map_err(|e| e.to_string())?;
+            let id = match rest.first() {
+                Some(id) => id.clone(),
+                None => {
+                    // No id: resume the single interrupted run, if exactly
+                    // one exists.
+                    let pending = store.pending_runs();
+                    match pending.as_slice() {
+                        [one] => one.clone(),
+                        [] => return Err("no interrupted runs to resume".into()),
+                        many => {
+                            return Err(format!(
+                                "multiple interrupted runs ({}) — name one",
+                                many.join(", ")
+                            ));
+                        }
+                    }
+                }
+            };
+            let summary = perple::experiments::campaign::resume_spec(&store_root, &id)?;
+            print_summary(&summary);
+            if summary.violations > 0 {
+                return Err("the machine under test violates x86-TSO".into());
+            }
+            Ok(())
+        }
+        "fsck" => {
+            let store = perple::campaign::RunStore::open(&store_root).map_err(|e| e.to_string())?;
+            let cache =
+                perple::campaign::ArtifactCache::open(&store_root).map_err(|e| e.to_string())?;
+            let report =
+                perple::campaign::fsck(&store, &cache, repair).map_err(|e| e.to_string())?;
+            if json {
+                println!("{}", report.to_json().render());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if !report.is_healthy() {
+                return Err(format!(
+                    "{} unrepaired finding(s){}",
+                    report.findings.iter().filter(|f| !f.repaired).count(),
+                    if repair {
+                        ""
+                    } else {
+                        " (pass --repair to fix)"
+                    }
+                ));
             }
             Ok(())
         }

@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use perple_campaign::{CampaignError, StorageKind};
 use perple_convert::ConvertError;
 
 /// Why one suite item (one test's experiment task) failed.
@@ -29,6 +30,15 @@ pub enum PerpleError {
     Convert(ConvertError),
     /// Invalid experiment configuration (bad CLI flag values and such).
     Config(String),
+    /// Classified campaign-store damage or storage-level failure
+    /// ([`StorageKind`] is the closed taxonomy `campaign fsck` reports
+    /// findings under).
+    Storage {
+        /// The damage class.
+        kind: StorageKind,
+        /// What and where.
+        message: String,
+    },
 }
 
 impl PerpleError {
@@ -39,16 +49,23 @@ impl PerpleError {
             PerpleError::StageTimeout { .. } => "timeout",
             PerpleError::Convert(_) => "convert",
             PerpleError::Config(_) => "config",
+            PerpleError::Storage { .. } => "storage",
         }
     }
 
-    /// True for errors that a retry with a perturbed seed may resolve
-    /// (panics and timeouts; conversion and configuration errors are
-    /// deterministic in the input and never retried).
+    /// True for errors that a retry may resolve: panics and timeouts
+    /// (perturbed-seed retry), and transient storage failures (bounded
+    /// backoff). Conversion and configuration errors are deterministic in
+    /// the input; non-transient storage damage needs `fsck`, not a retry.
     pub fn retryable(&self) -> bool {
         matches!(
             self,
-            PerpleError::WorkerPanic { .. } | PerpleError::StageTimeout { .. }
+            PerpleError::WorkerPanic { .. }
+                | PerpleError::StageTimeout { .. }
+                | PerpleError::Storage {
+                    kind: StorageKind::Transient,
+                    ..
+                }
         )
     }
 }
@@ -62,6 +79,9 @@ impl fmt::Display for PerpleError {
             }
             PerpleError::Convert(e) => write!(f, "conversion failed: {e}"),
             PerpleError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            PerpleError::Storage { kind, message } => {
+                write!(f, "storage failure ({kind}): {message}")
+            }
         }
     }
 }
@@ -77,6 +97,27 @@ impl From<ConvertError> for PerpleError {
 impl From<perple_sim::ConfigError> for PerpleError {
     fn from(e: perple_sim::ConfigError) -> Self {
         PerpleError::Config(e.to_string())
+    }
+}
+
+impl From<CampaignError> for PerpleError {
+    fn from(e: CampaignError) -> Self {
+        match e {
+            CampaignError::Storage { kind, message } => PerpleError::Storage { kind, message },
+            CampaignError::Io(m) => PerpleError::Storage {
+                kind: StorageKind::Io,
+                message: m,
+            },
+            CampaignError::Corrupt(m) => PerpleError::Storage {
+                kind: StorageKind::ChecksumMismatch,
+                message: m,
+            },
+            CampaignError::NotFound(m) => PerpleError::Storage {
+                kind: StorageKind::Io,
+                message: format!("not found: {m}"),
+            },
+            CampaignError::Parse(m) => PerpleError::Config(m),
+        }
     }
 }
 
@@ -149,6 +190,41 @@ mod tests {
         .retryable());
         assert!(PerpleError::StageTimeout { stage: "count" }.retryable());
         assert!(!PerpleError::Config(String::new()).retryable());
+        assert!(PerpleError::Storage {
+            kind: StorageKind::Transient,
+            message: String::new()
+        }
+        .retryable());
+        assert!(!PerpleError::Storage {
+            kind: StorageKind::TornWrite,
+            message: String::new()
+        }
+        .retryable());
+    }
+
+    #[test]
+    fn campaign_errors_map_into_the_storage_taxonomy() {
+        let e: PerpleError = CampaignError::storage(StorageKind::TornWrite, "frame 3").into();
+        assert_eq!(e.kind(), "storage");
+        assert!(e.to_string().contains("torn-write"), "{e}");
+        let e: PerpleError = CampaignError::Io("disk".into()).into();
+        assert!(matches!(
+            e,
+            PerpleError::Storage {
+                kind: StorageKind::Io,
+                ..
+            }
+        ));
+        let e: PerpleError = CampaignError::Corrupt("bad manifest".into()).into();
+        assert!(matches!(
+            e,
+            PerpleError::Storage {
+                kind: StorageKind::ChecksumMismatch,
+                ..
+            }
+        ));
+        let e: PerpleError = CampaignError::Parse("key".into()).into();
+        assert_eq!(e.kind(), "config");
     }
 
     #[test]

@@ -31,9 +31,11 @@ use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use perple_analysis::jsonout::Json;
 use perple_campaign::{
-    git_describe, run_campaign, ArtifactCache, CampaignItem, CampaignSpec, ExecOutcome,
-    Fingerprint, Hasher, LintSummary, OutcomeRecord, RunMeta, RunStore, RunSummary, StageWallMs,
+    git_describe, resume_campaign, run_campaign_with, ArtifactCache, CampaignItem, CampaignSpec,
+    ExecOutcome, Fingerprint, Hasher, LintSummary, OutcomeRecord, RunMeta, RunStore, RunSummary,
+    StageWallMs, StoreIo,
 };
 use perple_convert::artifact::ArtifactBundle;
 use perple_lint::{lint_test, LintConfig, LintReport, Severity};
@@ -205,6 +207,21 @@ pub fn run_spec(
     store_root: &Path,
     allow_lints: bool,
 ) -> Result<RunSummary, String> {
+    run_spec_with_io(spec, store_root, allow_lints, StoreIo::unplanned())
+}
+
+/// [`run_spec`] with every store/cache/journal write routed through the
+/// given IO shim — how `--crash PLAN` and the kill-and-resume CI step
+/// exercise the durability layer against the real pipeline.
+///
+/// # Errors
+/// As for [`run_spec`], plus injected crashes from the shim's plan.
+pub fn run_spec_with_io(
+    spec: &CampaignSpec,
+    store_root: &Path,
+    allow_lints: bool,
+    io: StoreIo,
+) -> Result<RunSummary, String> {
     let (cfg, expanded) = expand_items(spec).map_err(|e| e.to_string())?;
     let tests_by_name: HashMap<String, LitmusTest> = expanded
         .iter()
@@ -223,8 +240,8 @@ pub fn run_spec(
         return Err(msg);
     }
 
-    let store = RunStore::open(store_root).map_err(|e| e.to_string())?;
-    let cache = ArtifactCache::open(store_root).map_err(|e| e.to_string())?;
+    let store = RunStore::open_with(store_root, io.clone()).map_err(|e| e.to_string())?;
+    let cache = ArtifactCache::open_with(store_root, io).map_err(|e| e.to_string())?;
     let items: Vec<CampaignItem> = expanded.into_iter().map(|(_, i)| i).collect();
 
     let meta = RunMeta {
@@ -236,9 +253,56 @@ pub fn run_spec(
         lint: Some(lint_summary),
     };
 
-    run_campaign(&store, &cache, spec, &items, &meta, |batch| {
-        execute_batch(batch, &tests_by_name, &cfg, &cache)
-    })
+    run_campaign_with(
+        &store,
+        &cache,
+        spec,
+        &items,
+        &meta,
+        spec.durability(),
+        |batch| execute_batch(batch, &tests_by_name, &cfg, &cache),
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Resumes the interrupted run `id`: rebuilds the spec, items, and
+/// metadata from the run's own `pending.json` marker (no original
+/// invocation needed), replays the journal, and executes only the
+/// remainder. The finished `items.json` is bit-identical to what an
+/// uninterrupted run would have produced.
+///
+/// # Errors
+/// Not-resumable / corrupt-marker errors from the store, spec re-parse
+/// errors, or anything [`run_spec`] can fail with (as strings, ready for
+/// the CLI).
+pub fn resume_spec(store_root: &Path, id: &str) -> Result<RunSummary, String> {
+    let store = RunStore::open(store_root).map_err(|e| e.to_string())?;
+    let cache = ArtifactCache::open(store_root).map_err(|e| e.to_string())?;
+    let pending = store.load_pending(id).map_err(|e| e.to_string())?;
+    let spec_text = pending
+        .get("spec")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("run {id:?}: pending marker has no spec"))?;
+    let spec = CampaignSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let meta = RunMeta::from_pending_json(&pending).map_err(|e| e.to_string())?;
+
+    let (cfg, expanded) = expand_items(&spec).map_err(|e| e.to_string())?;
+    let tests_by_name: HashMap<String, LitmusTest> = expanded
+        .iter()
+        .map(|(t, _)| (t.name().to_owned(), t.clone()))
+        .collect();
+    let items: Vec<CampaignItem> = expanded.into_iter().map(|(_, i)| i).collect();
+
+    resume_campaign(
+        &store,
+        &cache,
+        id,
+        &spec,
+        &items,
+        &meta,
+        spec.durability(),
+        |batch| execute_batch(batch, &tests_by_name, &cfg, &cache),
+    )
     .map_err(|e| e.to_string())
 }
 

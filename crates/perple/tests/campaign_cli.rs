@@ -277,6 +277,110 @@ fn ls_and_show_surface_stored_runs() {
 }
 
 #[test]
+fn crashed_run_is_fscked_and_resumed_bit_identically() {
+    let dir = sandbox("crash");
+    std::fs::write(dir.join("ci.campaign"), SPEC).unwrap();
+
+    // Reference: the same spec, uninterrupted, in its own store.
+    let reference = perple(
+        &dir,
+        &["campaign", "run", "ci.campaign", "--store", "refstore"],
+    );
+    assert!(reference.status.success(), "{}", stderr(&reference));
+    let ref_items = std::fs::read(dir.join("refstore/runs/ci-0001/items.json")).unwrap();
+
+    // Crash mid-campaign: boundary 20 lands inside the per-item
+    // cache-store/journal-append region, after the pending marker and at
+    // least one journaled record.
+    let crashed = perple(
+        &dir,
+        &[
+            "campaign",
+            "run",
+            "ci.campaign",
+            "--store",
+            "store",
+            "--crash",
+            "abort@20",
+        ],
+    );
+    assert!(
+        !crashed.status.success(),
+        "injected crash must kill the run"
+    );
+    assert!(
+        stderr(&crashed).contains("injected crash"),
+        "{}",
+        stderr(&crashed)
+    );
+
+    // fsck (new process) sees the interrupted run; --repair leaves the
+    // store healthy and still resumable.
+    let fsck = perple(&dir, &["campaign", "fsck", "--store", "store", "--repair"]);
+    assert!(
+        fsck.status.success(),
+        "fsck --repair must succeed: {}{}",
+        stdout(&fsck),
+        stderr(&fsck)
+    );
+    assert!(
+        stdout(&fsck).contains("resumable ci-0001"),
+        "{}",
+        stdout(&fsck)
+    );
+
+    // Resume (new process, id inferred from the single pending run).
+    let resume = perple(&dir, &["campaign", "resume", "--store", "store"]);
+    assert!(resume.status.success(), "{}", stderr(&resume));
+    let resume_out = stdout(&resume);
+    assert!(resume_out.contains("run: ci-0001"), "{resume_out}");
+    assert!(resume_out.contains("recovered:"), "{resume_out}");
+
+    // The recovered run's item records are bit-identical to the
+    // uninterrupted reference.
+    let items = std::fs::read(dir.join("store/runs/ci-0001/items.json")).unwrap();
+    assert_eq!(
+        items, ref_items,
+        "crash + fsck + resume must reproduce items.json byte-for-byte"
+    );
+
+    // The store is clean afterwards, and there is nothing left to resume.
+    let clean = perple(&dir, &["campaign", "fsck", "--store", "store"]);
+    assert!(clean.status.success(), "{}", stdout(&clean));
+    assert!(stdout(&clean).contains("clean"), "{}", stdout(&clean));
+    let nothing = perple(&dir, &["campaign", "resume", "--store", "store"]);
+    assert!(!nothing.status.success());
+    assert!(
+        stderr(&nothing).contains("no interrupted runs"),
+        "{}",
+        stderr(&nothing)
+    );
+
+    // A malformed crash plan is rejected before the store is touched.
+    let bad = perple(
+        &dir,
+        &[
+            "campaign",
+            "run",
+            "ci.campaign",
+            "--store",
+            "other",
+            "--crash",
+            "explode@3",
+        ],
+    );
+    assert!(!bad.status.success());
+    assert!(
+        stderr(&bad).contains("bad --crash plan"),
+        "{}",
+        stderr(&bad)
+    );
+    assert!(!dir.join("other").exists());
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn malformed_specs_and_unknown_runs_fail_cleanly() {
     let dir = sandbox("errors");
 
