@@ -294,7 +294,32 @@ pub fn run_campaign_with(
     items: &[CampaignItem],
     meta: &RunMeta,
     policy: DurabilityPolicy,
+    exec: impl FnMut(&[CampaignItem]) -> Vec<Option<ExecOutcome>>,
+) -> Result<RunSummary, CampaignError> {
+    run_campaign_observed(store, cache, spec, items, meta, policy, exec, |_, _| {})
+}
+
+/// [`run_campaign_with`] with an item observer: `on_item(slot, record)` is
+/// called exactly once per expanded item, as soon as that item's outcome
+/// is final — for cache hits during the partition (in slot order), for
+/// misses as each journaled chunk completes. `None` marks a lost item
+/// (the executor produced no record; nothing will be stored for that
+/// slot). This is how `perple serve` streams records while a campaign is
+/// still running — every observed record is already durable (journaled or
+/// cached) when the callback fires.
+///
+/// # Errors
+/// As for [`run_campaign_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_observed(
+    store: &RunStore,
+    cache: &ArtifactCache,
+    spec: &CampaignSpec,
+    items: &[CampaignItem],
+    meta: &RunMeta,
+    policy: DurabilityPolicy,
     mut exec: impl FnMut(&[CampaignItem]) -> Vec<Option<ExecOutcome>>,
+    mut on_item: impl FnMut(usize, Option<&OutcomeRecord>),
 ) -> Result<RunSummary, CampaignError> {
     let t0 = Instant::now();
     let _span = perple_obs::trace::span("campaign");
@@ -319,7 +344,10 @@ pub fn run_campaign_with(
     let mut misses: Vec<(usize, CampaignItem)> = Vec::new();
     for (slot, item) in items.iter().enumerate() {
         match cache.load_result(item.fingerprint) {
-            Some(hit) => records[slot] = Some(hit),
+            Some(hit) => {
+                on_item(slot, Some(&hit));
+                records[slot] = Some(hit);
+            }
             None => misses.push((slot, item.clone())),
         }
     }
@@ -332,6 +360,7 @@ pub fn run_campaign_with(
         &misses,
         &mut records,
         &mut exec,
+        &mut on_item,
     )?;
     drop(journal);
 
@@ -373,7 +402,29 @@ pub fn resume_campaign(
     items: &[CampaignItem],
     meta: &RunMeta,
     policy: DurabilityPolicy,
+    exec: impl FnMut(&[CampaignItem]) -> Vec<Option<ExecOutcome>>,
+) -> Result<RunSummary, CampaignError> {
+    resume_campaign_observed(store, cache, id, spec, items, meta, policy, exec, |_, _| {})
+}
+
+/// [`resume_campaign`] with the item observer of
+/// [`run_campaign_observed`]: journal-replayed and cache-served items are
+/// observed during the partition (in slot order), executed remainders as
+/// their chunks complete.
+///
+/// # Errors
+/// As for [`resume_campaign`].
+#[allow(clippy::too_many_arguments)]
+pub fn resume_campaign_observed(
+    store: &RunStore,
+    cache: &ArtifactCache,
+    id: &str,
+    spec: &CampaignSpec,
+    items: &[CampaignItem],
+    meta: &RunMeta,
+    policy: DurabilityPolicy,
     mut exec: impl FnMut(&[CampaignItem]) -> Vec<Option<ExecOutcome>>,
+    mut on_item: impl FnMut(usize, Option<&OutcomeRecord>),
 ) -> Result<RunSummary, CampaignError> {
     let t0 = Instant::now();
     let _span = perple_obs::trace::span("campaign");
@@ -416,9 +467,11 @@ pub fn resume_campaign(
     let mut hits = 0usize;
     for (slot, item) in items.iter().enumerate() {
         if let Some(done) = journaled.remove(&(item.test.clone(), item.seed)) {
+            on_item(slot, Some(&done));
             records[slot] = Some(done);
             recovered += 1;
         } else if let Some(hit) = cache.load_result(item.fingerprint) {
+            on_item(slot, Some(&hit));
             records[slot] = Some(hit);
             hits += 1;
         } else {
@@ -450,6 +503,7 @@ pub fn resume_campaign(
         &misses,
         &mut records,
         &mut exec,
+        &mut on_item,
     )?;
     drop(journal);
 
@@ -474,6 +528,7 @@ pub fn resume_campaign(
 
 /// Executes the misses in journal-sized chunks: every returned record is
 /// journaled (and, if clean, cached) before the next chunk starts.
+#[allow(clippy::too_many_arguments)]
 fn execute_chunks(
     cache: &ArtifactCache,
     journal: &mut Journal,
@@ -481,6 +536,7 @@ fn execute_chunks(
     misses: &[(usize, CampaignItem)],
     records: &mut [Option<OutcomeRecord>],
     exec: &mut impl FnMut(&[CampaignItem]) -> Vec<Option<ExecOutcome>>,
+    on_item: &mut impl FnMut(usize, Option<&OutcomeRecord>),
 ) -> Result<(usize, StageWallMs), CampaignError> {
     let mut lost = 0usize;
     let mut stage_wall = StageWallMs::default();
@@ -508,9 +564,13 @@ fn execute_chunks(
                     }
                     journal.append_record(&out.record)?;
                     stage_wall.add(out.wall);
+                    on_item(*slot, Some(&out.record));
                     records[*slot] = Some(out.record);
                 }
-                None => lost += 1,
+                None => {
+                    on_item(*slot, None);
+                    lost += 1;
+                }
             }
         }
         journal.sync_batch()?;
@@ -1001,6 +1061,67 @@ mod tests {
         }
         assert!(store.pending_runs().is_empty(), "run finalized");
         let _ = fs::remove_dir_all(base);
+    }
+
+    #[test]
+    fn observer_sees_every_slot_exactly_once_and_matches_the_stored_run() {
+        let root = tmp_root("observe");
+        let store = RunStore::open(&root).unwrap();
+        let cache = ArtifactCache::open(&root).unwrap();
+        let spec = CampaignSpec::named("ob");
+        let items: Vec<CampaignItem> = (1..=5).map(|s| item("sb", s)).collect();
+        let policy = DurabilityPolicy {
+            chunk: 2,
+            fsync: FsyncPolicy::Never,
+        };
+
+        // Warm seeds 2 and 4 so the cold run mixes hits and misses; the
+        // "mp" executor below loses seed 3 entirely.
+        for it in [&items[1], &items[3]] {
+            cache
+                .store_result(it.fingerprint, &outcome(it, 9, true).record)
+                .unwrap();
+        }
+        let mut seen: Vec<(usize, Option<OutcomeRecord>)> = Vec::new();
+        let summary = run_campaign_observed(
+            &store,
+            &cache,
+            &spec,
+            &items,
+            &meta(),
+            policy,
+            |b| {
+                b.iter()
+                    .map(|i| (i.seed != 3).then(|| outcome(i, i.seed, true)))
+                    .collect()
+            },
+            |slot, rec| seen.push((slot, rec.cloned())),
+        )
+        .unwrap();
+        assert_eq!((summary.hits, summary.executed, summary.lost), (2, 3, 1));
+
+        // Exactly one observation per slot; hits observed first, in slot
+        // order; the observed records equal the stored run plus a None
+        // for the lost slot.
+        let mut slots: Vec<usize> = seen.iter().map(|(s, _)| *s).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            seen.iter().map(|(s, _)| *s).take(2).collect::<Vec<_>>(),
+            vec![1, 3],
+            "cache hits stream first, in slot order"
+        );
+        assert!(seen[..2].iter().all(|(_, r)| r.is_some()));
+        let stored = store.load_items(&summary.id).unwrap();
+        let mut observed: Vec<OutcomeRecord> = seen.iter().filter_map(|(_, r)| r.clone()).collect();
+        observed.sort_by_key(|r| r.seed);
+        assert_eq!(observed, stored, "observed records are the stored run");
+        let lost_slot = seen.iter().find(|(_, r)| r.is_none()).unwrap().0;
+        assert_eq!(
+            items[lost_slot].seed, 3,
+            "the lost item is observed as None"
+        );
+        let _ = fs::remove_dir_all(root);
     }
 
     #[test]

@@ -271,8 +271,20 @@ impl StoreIo {
     /// Atomic document write: temp file + rename, each its own boundary.
     /// An abort at the write boundary leaves a torn `.tmp`; an abort at
     /// the rename boundary leaves a complete `.tmp` that never landed.
+    ///
+    /// The temp name is unique per writer (pid + a process-wide counter),
+    /// so two threads — or two processes — racing to write the *same*
+    /// final path (e.g. concurrent campaigns caching one fingerprint)
+    /// each stage their own complete bytes and the landed entry is always
+    /// one writer's whole document, never an interleaving. The name still
+    /// ends in `.tmp`, which is what `fsck` sweeps for stray temp files.
     pub fn write_atomic(&self, path: &Path, content: &str) -> Result<(), CampaignError> {
-        let tmp = path.with_extension("tmp");
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         self.op(
             &tmp,
             || fs::write(&tmp, content),
@@ -392,6 +404,23 @@ mod tests {
         dir
     }
 
+    /// The single stranded `*.tmp` file in `dir` (temp names carry a
+    /// unique pid+sequence infix, so tests locate them by extension).
+    fn stranded_tmp(dir: &Path) -> PathBuf {
+        let temps: Vec<PathBuf> = fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert_eq!(
+            temps.len(),
+            1,
+            "expected exactly one stranded tmp: {temps:?}"
+        );
+        temps.into_iter().next().unwrap()
+    }
+
     #[test]
     fn plan_grammar_round_trips_terms() {
         let plan = CrashPlan::parse("abort@5").unwrap();
@@ -414,7 +443,7 @@ mod tests {
         let err = io.write_atomic(&path, "0123456789").unwrap_err();
         assert!(err.is_crash(), "{err}");
         assert!(!path.exists(), "rename never happened");
-        let torn = fs::read(path.with_extension("tmp")).unwrap();
+        let torn = fs::read(stranded_tmp(&dir)).unwrap();
         assert_eq!(torn, b"01234", "half the bytes landed");
         // The shim is dead: every further op fails without touching disk.
         assert!(io.is_dead());
@@ -432,7 +461,7 @@ mod tests {
         assert!(io.write_atomic(&path, "full content").is_err());
         assert!(!path.exists());
         assert_eq!(
-            fs::read_to_string(path.with_extension("tmp")).unwrap(),
+            fs::read_to_string(stranded_tmp(&dir)).unwrap(),
             "full content",
             "write boundary completed; rename boundary crashed"
         );
@@ -487,6 +516,42 @@ mod tests {
         io.append_line(&dir.join("idx.jsonl"), "{}").unwrap(); // append
         io.create_dir(&dir.join("d")).unwrap(); // mkdir
         assert_eq!(io.boundaries(), 4);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_path_never_land_a_torn_document() {
+        let dir = tmp("racewrite");
+        let path = dir.join("entry.json");
+        for round in 0..4 {
+            std::thread::scope(|s| {
+                for writer in 0..8u8 {
+                    let path = path.clone();
+                    s.spawn(move || {
+                        let io = StoreIo::unplanned();
+                        // Each writer's whole document is one repeated
+                        // letter, so any interleaving is detectable.
+                        let letter = (b'a' + writer) as char;
+                        let content = letter.to_string().repeat(64 * 1024);
+                        io.write_atomic(&path, &content).unwrap();
+                    });
+                }
+            });
+            let landed = fs::read_to_string(&path).unwrap();
+            assert_eq!(landed.len(), 64 * 1024, "round {round}: torn length");
+            let first = landed.chars().next().unwrap();
+            assert!(
+                landed.chars().all(|c| c == first),
+                "round {round}: interleaved writers"
+            );
+        }
+        // Unique temp names mean no .tmp strays survive a clean race.
+        let strays = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .count();
+        assert_eq!(strays, 0);
         let _ = fs::remove_dir_all(dir);
     }
 

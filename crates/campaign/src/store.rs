@@ -180,9 +180,14 @@ pub struct RunStore {
 }
 
 impl RunStore {
-    /// The conventional store location.
+    /// The conventional store location: the `PERPLE_STORE` environment
+    /// variable when set and non-empty, `results/store` (relative to the
+    /// working directory) otherwise. `--store DIR` overrides both.
     pub fn default_root() -> PathBuf {
-        PathBuf::from("results/store")
+        match std::env::var_os("PERPLE_STORE") {
+            Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+            _ => PathBuf::from("results/store"),
+        }
     }
 
     /// Opens (creating if needed) a store at `root` with a production

@@ -78,10 +78,20 @@ pub enum Metric {
     StoreCacheWriteDrops,
     /// Corrupt cache entries moved to quarantine by `campaign fsck`.
     StoreCacheQuarantines,
+    /// Campaign specs accepted onto the serve job queue.
+    ServeSubmissions,
+    /// Submissions rejected with backpressure (queue full or per-client
+    /// quota exceeded).
+    ServeRejections,
+    /// Jobs that ran to completion on the serve worker pool (including
+    /// jobs whose campaign failed — the job itself finished).
+    ServeJobsDone,
+    /// Item records streamed to serve clients as chunked JSONL lines.
+    ServeItemsStreamed,
 }
 
 /// Number of distinct [`Metric`] variants (shard array size).
-pub const METRIC_COUNT: usize = 26;
+pub const METRIC_COUNT: usize = 30;
 
 impl Metric {
     /// Every metric, in stable declaration order.
@@ -112,6 +122,10 @@ impl Metric {
         Metric::StoreTransientRetries,
         Metric::StoreCacheWriteDrops,
         Metric::StoreCacheQuarantines,
+        Metric::ServeSubmissions,
+        Metric::ServeRejections,
+        Metric::ServeJobsDone,
+        Metric::ServeItemsStreamed,
     ];
 
     /// Stable snake_case name (used in manifests and `campaign compare`).
@@ -143,6 +157,10 @@ impl Metric {
             Metric::StoreTransientRetries => "store_transient_retries",
             Metric::StoreCacheWriteDrops => "store_cache_write_drops",
             Metric::StoreCacheQuarantines => "store_cache_quarantines",
+            Metric::ServeSubmissions => "serve_submissions",
+            Metric::ServeRejections => "serve_rejections",
+            Metric::ServeJobsDone => "serve_jobs_done",
+            Metric::ServeItemsStreamed => "serve_items_streamed",
         }
     }
 
@@ -160,10 +178,16 @@ pub enum Hist {
     CountFramesPerCall,
     /// Wall microseconds per resilient-executor attempt.
     ExecAttemptMicros,
+    /// Wall microseconds between consecutive item records of one serve
+    /// job (the first record measures from job start) — the per-item
+    /// latency a streaming client observes.
+    ServeItemMicros,
+    /// Wall microseconds per serve job, submission claim to completion.
+    ServeJobMicros,
 }
 
 /// Number of distinct [`Hist`] variants.
-pub const HIST_COUNT: usize = 3;
+pub const HIST_COUNT: usize = 5;
 
 /// Buckets per histogram: bucket 0 holds zero, bucket `i` holds values
 /// with bit-length `i` (`[2^(i-1), 2^i)`), the last bucket saturates.
@@ -175,6 +199,8 @@ impl Hist {
         Hist::SimRunCycles,
         Hist::CountFramesPerCall,
         Hist::ExecAttemptMicros,
+        Hist::ServeItemMicros,
+        Hist::ServeJobMicros,
     ];
 
     /// Stable snake_case name.
@@ -183,6 +209,8 @@ impl Hist {
             Hist::SimRunCycles => "sim_run_cycles",
             Hist::CountFramesPerCall => "count_frames_per_call",
             Hist::ExecAttemptMicros => "exec_attempt_micros",
+            Hist::ServeItemMicros => "serve_item_micros",
+            Hist::ServeJobMicros => "serve_job_micros",
         }
     }
 
@@ -344,6 +372,60 @@ impl MetricsSnapshot {
             .iter()
             .find(|(n, _)| *n == name)
             .map_or(0, |(_, b)| b.iter().sum())
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of a histogram from its
+    /// power-of-two buckets: the lower bound of the bucket the ranked
+    /// observation falls in (a deterministic underestimate, never off by
+    /// more than one bucket width). `None` for unknown or empty
+    /// histograms.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<u64> {
+        let (_, buckets) = self.hists.iter().find(|(n, _)| *n == name)?;
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, &c) in buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return bucket_lower_bound(i);
+            }
+        }
+        None
+    }
+
+    /// The snapshot as a stable JSON document:
+    /// `{"counters":{...},"hists":{...}}` with every counter and bucket
+    /// present (zeros included) in declaration order. Rendered by hand so
+    /// this crate stays dependency-free; names are static snake_case
+    /// identifiers, so no escaping is needed.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("{\"counters\":{");
+        for (i, &(name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{v}");
+        }
+        s.push_str("},\"hists\":{");
+        for (i, (name, buckets)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":[");
+            for (b, &c) in buckets.iter().enumerate() {
+                if b > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}");
+            }
+            s.push(']');
+        }
+        s.push_str("}}");
+        s
     }
 
     /// Human-readable listing of non-zero counters and histograms.
@@ -512,6 +594,47 @@ mod tests {
         });
         let delta = snapshot().delta_from(&before);
         assert!(delta.get("sim_fault_injections") >= 400);
+    }
+
+    #[test]
+    fn quantile_estimates_from_buckets() {
+        let mut snap = MetricsSnapshot::zero();
+        // 100 observations: 50 in bucket 3 ([4,8)), 49 in bucket 5
+        // ([16,32)), 1 in bucket 10 ([512,1024)).
+        let hist = snap
+            .hists
+            .iter_mut()
+            .find(|(n, _)| *n == "serve_item_micros")
+            .map(|(_, b)| b)
+            .unwrap();
+        hist[3] = 50;
+        hist[5] = 49;
+        hist[10] = 1;
+        assert_eq!(snap.quantile("serve_item_micros", 0.5), Some(4));
+        assert_eq!(snap.quantile("serve_item_micros", 0.99), Some(16));
+        assert_eq!(snap.quantile("serve_item_micros", 1.0), Some(512));
+        assert_eq!(snap.quantile("serve_item_micros", 0.0), Some(4));
+        assert_eq!(snap.quantile("serve_job_micros", 0.5), None, "empty");
+        assert_eq!(snap.quantile("no_such_hist", 0.5), None);
+    }
+
+    #[test]
+    fn render_json_is_complete_and_stable() {
+        let snap = MetricsSnapshot::zero();
+        let a = snap.render_json();
+        let b = snap.render_json();
+        assert_eq!(a, b, "byte-stable across calls");
+        assert!(a.starts_with("{\"counters\":{"));
+        for m in Metric::ALL {
+            assert!(a.contains(&format!("\"{}\":", m.name())), "{}", m.name());
+        }
+        for h in Hist::ALL {
+            assert!(a.contains(&format!("\"{}\":[", h.name())), "{}", h.name());
+        }
+        // Every histogram renders all of its buckets: 1 leading zero after
+        // each '[' plus HIST_BUCKETS - 1 comma-separated zeros.
+        assert_eq!(a.matches("[0").count(), HIST_COUNT);
+        assert_eq!(a.matches(",0").count(), HIST_COUNT * (HIST_BUCKETS - 1));
     }
 
     #[test]

@@ -17,10 +17,19 @@
 //!                 [--crash PLAN]
 //! perple campaign resume [run-id] [--store DIR]
 //! perple campaign fsck [--store DIR] [--repair] [--json]
-//! perple campaign ls [--store DIR]
+//! perple campaign ls [--store DIR] [--json]
 //! perple campaign show <run|latest> [--store DIR] [--json]
 //! perple campaign compare <base> <new> [--store DIR] [--json]
+//! perple serve [--addr HOST:PORT | --socket PATH] [--workers N]
+//!              [--store DIR] [--queue N] [--quota N]
+//! perple client <submit <spec-file> [--client NAME] [--no-wait]
+//!               | status <job-id> | stats | metrics>
+//!               [--addr HOST:PORT | --socket PATH]
 //! ```
+//!
+//! Every campaign subcommand (and `serve`) reads the store root from
+//! `--store DIR`, falling back to the `PERPLE_STORE` environment
+//! variable, then `results/store`.
 //!
 //! `--timeout-ms` arms a per-stage watchdog (run and count stages each get
 //! their own budget; expiry yields a partial, flagged result). `--retries`
@@ -58,6 +67,8 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(),
         Some("lint") => cmd_lint(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         _ => {
             eprintln!(
                 "usage: perple <classify|convert|run|audit|list> [args]\n\
@@ -79,9 +90,13 @@ fn main() -> ExitCode {
                  \x20                                          run a campaign spec\n\
                  campaign resume [run-id] [--store DIR]     finish an interrupted run\n\
                  campaign fsck [--store DIR] [--repair]     check/repair the store\n\
-                 campaign ls [--store DIR]                  list stored runs\n\
+                 campaign ls [--store DIR] [--json]         list stored runs\n\
                  campaign show <run|latest> [--json]        inspect one run\n\
                  campaign compare <base> <new> [--json]     regression gate (exit 1)\n\
+                 serve  [--addr H:P | --socket PATH] [--workers N] [--store DIR]\n\
+                 \x20                            campaign submission server (JSONL streams)\n\
+                 client <submit <spec>|status <id>|stats|metrics>\n\
+                 \x20                            talk to a running perple serve\n\
                  \n\
                  --timeout-ms T   per-stage watchdog budget (partial results flagged)\n\
                  --retries R      retry failed audit tests with perturbed seeds\n\
@@ -598,6 +613,10 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         repair,
         rest,
     } = campaign_flags(&args[1..])?;
+    // Store-root mistakes (a file where the directory should be, an
+    // unreadable directory) are configuration errors, caught before any
+    // subcommand touches the store.
+    perple::validate_store_root(&store_root).map_err(|e| e.to_string())?;
     match sub {
         "run" => {
             let path = rest.first().ok_or("campaign run needs a spec file")?;
@@ -685,6 +704,25 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         "ls" => {
             let store = perple::campaign::RunStore::open(&store_root).map_err(|e| e.to_string())?;
             let runs = store.list().map_err(|e| e.to_string())?;
+            if json {
+                use perple::jsonout::Json;
+                let cache = perple::campaign::ArtifactCache::open(&store_root)
+                    .map_err(|e| e.to_string())?;
+                let (results, convs) = cache.stats();
+                let body = Json::obj(vec![
+                    ("schema", Json::from(1u64)),
+                    ("runs", Json::Arr(runs)),
+                    (
+                        "cache",
+                        Json::obj(vec![
+                            ("results", Json::from(results)),
+                            ("convs", Json::from(convs)),
+                        ]),
+                    ),
+                ]);
+                println!("{}", body.render());
+                return Ok(());
+            }
             if runs.is_empty() {
                 println!("(no stored runs under {})", store_root.display());
                 return Ok(());
@@ -717,7 +755,16 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             let manifest = store.load_manifest(&id).map_err(|e| e.to_string())?;
             let items = store.load_items(&id).map_err(|e| e.to_string())?;
             if json {
-                println!("{}", manifest.render());
+                use perple::jsonout::Json;
+                let body = Json::obj(vec![
+                    ("schema", Json::from(1u64)),
+                    ("manifest", manifest),
+                    (
+                        "items",
+                        Json::Arr(items.iter().map(|r| r.to_json()).collect()),
+                    ),
+                ]);
+                println!("{}", body.render());
                 return Ok(());
             }
             println!("{id}");
@@ -796,6 +843,163 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown campaign subcommand {other:?}\n{usage}")),
     }
+}
+
+/// Default TCP address for `serve` and `client` when neither `--addr`
+/// nor `--socket` is given.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7878";
+
+/// `perple serve`: the long-lived campaign submission server. Accepts
+/// specs over TCP or a Unix socket, streams outcome records back as
+/// chunked JSONL, and shares one store/cache across every job. SIGTERM
+/// (or SIGINT) drains gracefully: admitted jobs finish or journal, the
+/// store is left fsck-clean.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use perple::serve::server::{Bind, Server, ServerConfig};
+    let mut addr: Option<String> = None;
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut workers = perple::default_workers();
+    let mut store = perple::campaign::RunStore::default_root();
+    let mut queue = 64usize;
+    let mut quota = 8usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("missing value for --addr")?.to_owned()),
+            "--socket" => socket = Some(it.next().ok_or("missing value for --socket")?.into()),
+            "--workers" | "-w" => {
+                workers = it
+                    .next()
+                    .ok_or("missing value for --workers")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--store" => store = it.next().ok_or("missing value for --store")?.into(),
+            "--queue" => {
+                queue = it
+                    .next()
+                    .ok_or("missing value for --queue")?
+                    .parse()
+                    .map_err(|e| format!("bad queue capacity: {e}"))?;
+            }
+            "--quota" => {
+                quota = it
+                    .next()
+                    .ok_or("missing value for --quota")?
+                    .parse()
+                    .map_err(|e| format!("bad per-client quota: {e}"))?;
+            }
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+    if addr.is_some() && socket.is_some() {
+        return Err("--addr and --socket are mutually exclusive".into());
+    }
+    perple::validate_store_root(&store).map_err(|e| e.to_string())?;
+    let bind = match socket {
+        Some(path) => Bind::Unix(path),
+        None => Bind::Tcp(addr.unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_owned())),
+    };
+    perple::serve::signal::install();
+    let mut config = ServerConfig::new(bind, workers, store);
+    config.queue_capacity = queue;
+    config.per_client_quota = quota;
+    let server = Server::bind(config, std::sync::Arc::new(perple::CampaignRunner))
+        .map_err(|e| e.to_string())?;
+    // Boot-time auto-resume: interrupted runs left by a SIGKILL'd
+    // predecessor finish (journal replay first) before we accept work.
+    server
+        .resume_pending(|id, summary| {
+            use perple::jsonout::Json;
+            let recovered = perple::jsonout::parse(summary)
+                .ok()
+                .and_then(|v| v.get("recovered").and_then(Json::as_u64))
+                .unwrap_or(0);
+            println!("resumed {id}: recovered={recovered}");
+        })
+        .map_err(|e| e.to_string())?;
+    println!("listening on {}", server.local_addr());
+    // Subprocess drivers (tests, CI) read that line to find the port.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.serve().map_err(|e| e.to_string())?;
+    println!("drained cleanly");
+    Ok(())
+}
+
+/// `perple client`: submit to / query a running `perple serve` without
+/// curl. `submit` streams record lines to stdout as they arrive.
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    use perple::serve::client::{self, Target};
+    let usage = "usage: perple client <submit <spec-file> [--client NAME] [--no-wait]\n\
+                 \x20       | status <job-id> | stats | metrics>\n\
+                 \x20       [--addr HOST:PORT | --socket PATH]";
+    let sub = args.first().map(String::as_str).ok_or(usage)?;
+    let mut addr: Option<String> = None;
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut client_name = "cli".to_owned();
+    let mut wait = true;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("missing value for --addr")?.to_owned()),
+            "--socket" => socket = Some(it.next().ok_or("missing value for --socket")?.into()),
+            "--client" => client_name = it.next().ok_or("missing value for --client")?.to_owned(),
+            "--no-wait" => wait = false,
+            other => rest.push(other.to_owned()),
+        }
+    }
+    if addr.is_some() && socket.is_some() {
+        return Err("--addr and --socket are mutually exclusive".into());
+    }
+    let target = match socket {
+        Some(path) => Target::Unix(path),
+        None => Target::Tcp(addr.unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_owned())),
+    };
+    let print_stream = |line: &str| {
+        println!("{line}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    };
+    let out = match sub {
+        "submit" => {
+            let path = rest.first().ok_or("client submit needs a spec file")?;
+            let spec = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read spec {path}: {e}"))?;
+            let mut on_line = print_stream;
+            client::submit(&target, &spec, &client_name, wait, Some(&mut on_line))
+                .map_err(|e| e.to_string())?
+        }
+        "status" => {
+            let id = rest.first().ok_or("client status needs a job id")?;
+            let out = client::get(&target, &format!("/jobs/{id}")).map_err(|e| e.to_string())?;
+            out.lines.iter().for_each(|l| print_stream(l));
+            out
+        }
+        "stats" => {
+            let out = client::get(&target, "/stats").map_err(|e| e.to_string())?;
+            out.lines.iter().for_each(|l| print_stream(l));
+            out
+        }
+        "metrics" => {
+            let out = client::get(&target, "/metrics").map_err(|e| e.to_string())?;
+            out.lines.iter().for_each(|l| print_stream(l));
+            out
+        }
+        other => return Err(format!("unknown client subcommand {other:?}\n{usage}")),
+    };
+    if out.status >= 400 {
+        let retry = out
+            .retry_after
+            .map(|s| format!(" (retry after {s}s)"))
+            .unwrap_or_default();
+        return Err(format!("server answered {}{retry}", out.status));
+    }
+    Ok(())
 }
 
 fn cmd_list() -> Result<(), String> {

@@ -33,9 +33,9 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 use perple_analysis::jsonout::Json;
 use perple_campaign::{
-    git_describe, resume_campaign, run_campaign_with, ArtifactCache, CampaignItem, CampaignSpec,
-    ExecOutcome, Fingerprint, Hasher, LintSummary, OutcomeRecord, RunMeta, RunStore, RunSummary,
-    StageWallMs, StoreIo,
+    git_describe, resume_campaign_observed, run_campaign_observed, ArtifactCache, CampaignItem,
+    CampaignSpec, ExecOutcome, Fingerprint, Hasher, LintSummary, OutcomeRecord, RunMeta, RunStore,
+    RunSummary, StageWallMs, StoreIo,
 };
 use perple_convert::artifact::ArtifactBundle;
 use perple_lint::{lint_test, LintConfig, LintReport, Severity};
@@ -222,6 +222,24 @@ pub fn run_spec_with_io(
     allow_lints: bool,
     io: StoreIo,
 ) -> Result<RunSummary, String> {
+    run_spec_observed(spec, store_root, allow_lints, io, |_, _| {})
+}
+
+/// [`run_spec_with_io`] with the engine's item observer: `on_item(slot,
+/// record)` fires exactly once per expanded item as soon as its outcome
+/// is final (hits in slot order during the partition, executed items as
+/// their journal frames land, `None` for lost items) — the hook
+/// `perple serve` streams records through.
+///
+/// # Errors
+/// As for [`run_spec_with_io`].
+pub fn run_spec_observed(
+    spec: &CampaignSpec,
+    store_root: &Path,
+    allow_lints: bool,
+    io: StoreIo,
+    on_item: impl FnMut(usize, Option<&OutcomeRecord>),
+) -> Result<RunSummary, String> {
     let (cfg, expanded) = expand_items(spec).map_err(|e| e.to_string())?;
     let tests_by_name: HashMap<String, LitmusTest> = expanded
         .iter()
@@ -253,7 +271,7 @@ pub fn run_spec_with_io(
         lint: Some(lint_summary),
     };
 
-    run_campaign_with(
+    run_campaign_observed(
         &store,
         &cache,
         spec,
@@ -261,6 +279,7 @@ pub fn run_spec_with_io(
         &meta,
         spec.durability(),
         |batch| execute_batch(batch, &tests_by_name, &cfg, &cache),
+        on_item,
     )
     .map_err(|e| e.to_string())
 }
@@ -276,6 +295,20 @@ pub fn run_spec_with_io(
 /// errors, or anything [`run_spec`] can fail with (as strings, ready for
 /// the CLI).
 pub fn resume_spec(store_root: &Path, id: &str) -> Result<RunSummary, String> {
+    resume_spec_observed(store_root, id, |_, _| {})
+}
+
+/// [`resume_spec`] with the item observer of [`run_spec_observed`]
+/// (journal-replayed and cache-served items are observed during the
+/// partition, executed ones as they complete).
+///
+/// # Errors
+/// As for [`resume_spec`].
+pub fn resume_spec_observed(
+    store_root: &Path,
+    id: &str,
+    on_item: impl FnMut(usize, Option<&OutcomeRecord>),
+) -> Result<RunSummary, String> {
     let store = RunStore::open(store_root).map_err(|e| e.to_string())?;
     let cache = ArtifactCache::open(store_root).map_err(|e| e.to_string())?;
     let pending = store.load_pending(id).map_err(|e| e.to_string())?;
@@ -293,7 +326,7 @@ pub fn resume_spec(store_root: &Path, id: &str) -> Result<RunSummary, String> {
         .collect();
     let items: Vec<CampaignItem> = expanded.into_iter().map(|(_, i)| i).collect();
 
-    resume_campaign(
+    resume_campaign_observed(
         &store,
         &cache,
         id,
@@ -302,6 +335,7 @@ pub fn resume_spec(store_root: &Path, id: &str) -> Result<RunSummary, String> {
         &meta,
         spec.durability(),
         |batch| execute_batch(batch, &tests_by_name, &cfg, &cache),
+        on_item,
     )
     .map_err(|e| e.to_string())
 }

@@ -46,6 +46,7 @@
 
 pub mod error;
 pub mod experiments;
+pub mod servehost;
 
 pub use error::{parse_fault_plan, PerpleError};
 pub use perple_analysis::count::{
@@ -65,7 +66,9 @@ pub use perple_harness::perpetual::{PerpleRun, PerpleRunner};
 pub use perple_lint as lint;
 pub use perple_model::{suite, LitmusTest, ModelError, Outcome};
 pub use perple_obs as obs;
+pub use perple_serve as serve;
 pub use perple_sim::{Budget, FaultKind, FaultPlan, FaultSpec, SimConfig};
+pub use servehost::{summary_json, validate_store_root, CampaignRunner};
 
 pub use experiments::Parallelism;
 pub use perple_analysis::metrics::StageTimings;

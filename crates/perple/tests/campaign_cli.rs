@@ -261,16 +261,41 @@ fn ls_and_show_surface_stored_runs() {
     assert!(show_out.contains("sb#1"), "{show_out}");
     assert!(show_out.contains("mp#2"), "{show_out}");
 
-    // `show --json` emits the manifest, parseable by the shared reader.
+    // `show --json` wraps manifest + per-item records, parseable by the
+    // shared reader.
     let json = perple(
         &dir,
         &["campaign", "show", "latest", "--store", "store", "--json"],
     );
     assert!(json.status.success());
-    let doc = perple::jsonout::parse(stdout(&json).trim()).expect("manifest parses");
+    let doc = perple::jsonout::parse(stdout(&json).trim()).expect("show --json parses");
     assert_eq!(
-        doc.get("id").and_then(perple::jsonout::Json::as_str),
+        doc.get("manifest")
+            .and_then(|m| m.get("id"))
+            .and_then(perple::jsonout::Json::as_str),
         Some("ci-0001")
+    );
+    assert_eq!(
+        doc.get("items")
+            .and_then(perple::jsonout::Json::as_arr)
+            .map(<[_]>::len),
+        Some(4)
+    );
+
+    // `ls --json` carries the run list and cache stats in one document.
+    let ls_json = perple(&dir, &["campaign", "ls", "--store", "store", "--json"]);
+    assert!(ls_json.status.success());
+    let doc = perple::jsonout::parse(stdout(&ls_json).trim()).expect("ls --json parses");
+    let runs = doc
+        .get("runs")
+        .and_then(perple::jsonout::Json::as_arr)
+        .expect("runs array");
+    assert_eq!(runs.len(), 1);
+    assert_eq!(
+        doc.get("cache")
+            .and_then(|c| c.get("results"))
+            .and_then(perple::jsonout::Json::as_u64),
+        Some(4)
     );
 
     let _ = std::fs::remove_dir_all(dir);

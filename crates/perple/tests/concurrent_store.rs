@@ -1,0 +1,109 @@
+//! Concurrent cache sharing: two campaign engines running **overlapping**
+//! specs against one store at the same time. This is the serve worker
+//! pool's steady state — multiple jobs racing to convert, execute, and
+//! cache the same items — so the store must come out with no torn cache
+//! entries, coherent hit accounting, and nothing for fsck to repair.
+
+use perple::campaign::spec::CampaignSpec;
+use perple::campaign::{fsck, ArtifactCache, RunStore};
+use perple::experiments::campaign::run_spec;
+use std::path::PathBuf;
+
+fn sandbox(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "perple-concurrent-store-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec(name: &str, seeds: &str) -> CampaignSpec {
+    let text =
+        format!("name = {name}\ntests = sb, mp\nseeds = {seeds}\niterations = 150\nworkers = 2\n");
+    CampaignSpec::parse(&text).unwrap()
+}
+
+#[test]
+fn overlapping_engines_share_one_store_without_tearing_it() {
+    let dir = sandbox("overlap");
+    let root = dir.clone();
+
+    // Specs A and B overlap on seed 2: four items each, two contested.
+    let spec_a = spec("alpha", "1, 2");
+    let spec_b = spec("beta", "2, 3");
+
+    let (summary_a, summary_b) = std::thread::scope(|s| {
+        let ra = {
+            let root = root.clone();
+            let spec_a = &spec_a;
+            s.spawn(move || run_spec(spec_a, &root, false).unwrap())
+        };
+        let rb = {
+            let root = root.clone();
+            let spec_b = &spec_b;
+            s.spawn(move || run_spec(spec_b, &root, false).unwrap())
+        };
+        (ra.join().unwrap(), rb.join().unwrap())
+    });
+
+    // Per-run ledgers balance: every item is either a hit or executed,
+    // none lost, regardless of how the race interleaved.
+    for (tag, sm) in [("alpha", &summary_a), ("beta", &summary_b)] {
+        assert_eq!(sm.items, 4, "{tag}");
+        assert_eq!(sm.hits + sm.executed, sm.items, "{tag}");
+        assert_eq!(sm.lost, 0, "{tag}");
+        assert_eq!(sm.violations, 0, "{tag}");
+    }
+
+    // The two contested items (sb#2, mp#2) land exactly once each in the
+    // cache — concurrent writers must not duplicate or tear entries.
+    // Total distinct items across both runs: sb/mp × seeds {1,2,3} = 6.
+    let cache = ArtifactCache::open(&root).unwrap();
+    let (results, convs) = cache.stats();
+    assert_eq!(results, 6, "result entries duplicated or lost");
+    assert_eq!(convs, 2, "one conversion artifact per test expected");
+
+    // Every cache entry on disk verifies: named fingerprint matches the
+    // stored document, nothing torn mid-write.
+    for ns in ["result", "conv"] {
+        for path in cache.entry_paths(ns) {
+            assert_eq!(
+                ArtifactCache::verify_entry(&path),
+                None,
+                "torn cache entry {}",
+                path.display()
+            );
+        }
+    }
+
+    // fsck agrees the store is clean, and both runs' stored items parse.
+    let store = RunStore::open(&root).unwrap();
+    let report = fsck(&store, &cache, false).unwrap();
+    assert!(report.is_clean(), "{}", report.render_text());
+    for id in ["alpha-0001", "beta-0001"] {
+        assert_eq!(store.load_items(id).unwrap().len(), 4, "{id}");
+    }
+
+    // A second round of both specs, again concurrently, is pure cache
+    // hits: the contested entries written during the race are readable
+    // and keyed correctly.
+    let (warm_a, warm_b) = std::thread::scope(|s| {
+        let ra = {
+            let root = root.clone();
+            let spec_a = &spec_a;
+            s.spawn(move || run_spec(spec_a, &root, false).unwrap())
+        };
+        let rb = {
+            let root = root.clone();
+            let spec_b = &spec_b;
+            s.spawn(move || run_spec(spec_b, &root, false).unwrap())
+        };
+        (ra.join().unwrap(), rb.join().unwrap())
+    });
+    assert_eq!((warm_a.hits, warm_a.executed), (4, 0), "alpha warm");
+    assert_eq!((warm_b.hits, warm_b.executed), (4, 0), "beta warm");
+
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -184,7 +184,8 @@ fn campaign_run_refuses_linted_specs_unless_allowed() {
         &dir,
         &["campaign", "show", "latest", "--store", "store", "--json"],
     );
-    let manifest = jsonout::parse(stdout(&show).trim()).expect("manifest parses");
+    let doc = jsonout::parse(stdout(&show).trim()).expect("show --json parses");
+    let manifest = doc.get("manifest").expect("manifest envelope");
     let lint = manifest.get("lint").expect("manifest lint summary");
     assert_eq!(lint.get("errors").and_then(Json::as_u64), Some(0));
     let _ = std::fs::remove_dir_all(dir);

@@ -1,0 +1,137 @@
+//! Load measurement for `perple serve` — ignored by default; run it to
+//! reproduce the EXPERIMENTS.md throughput table:
+//!
+//! ```text
+//! cargo test --release -p perple --test serve_load -- --ignored --nocapture
+//! ```
+//!
+//! For each worker count it boots the real binary, primes the cache with
+//! one cold submission, then drives 1000 warm `wait=1` submissions from
+//! 8 concurrent clients and reports sustained submissions/sec plus the
+//! server's own latency histogram quantiles from `/metrics`.
+
+use perple::jsonout::Json;
+use perple::serve::client::{self, Target};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+const CLIENTS: usize = 8;
+const SUBMISSIONS: usize = 1000;
+
+fn sandbox(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("perple-serve-load-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn smoke_spec() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/smoke.campaign");
+    std::fs::read_to_string(path).expect("examples/smoke.campaign")
+}
+
+fn metric(m: &Json, section: &str, key: &str) -> u64 {
+    m.get(section)
+        .and_then(|s| s.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing {section}.{key}: {}", m.render()))
+}
+
+#[test]
+#[ignore = "load measurement, run manually for EXPERIMENTS.md"]
+fn sustained_throughput_by_worker_count() {
+    let spec = smoke_spec();
+    println!("workers | submissions/s | item p50 us | item p99 us | job p99 us | warm hit-rate");
+    for workers in [1usize, 4, 8] {
+        let dir = sandbox(&format!("w{workers}"));
+        let mut child = Command::new(env!("CARGO_BIN_EXE_perple"))
+            .current_dir(&dir)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--store",
+                "store",
+                "--workers",
+                &workers.to_string(),
+                "--queue",
+                "64",
+                "--quota",
+                "16",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn perple serve");
+        let mut reader = BufReader::new(child.stdout.take().unwrap());
+        let addr = loop {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "serve died");
+            if let Some(rest) = line.trim().strip_prefix("listening on ") {
+                break rest.to_string();
+            }
+        };
+        let target = Target::Tcp(addr);
+
+        // Prime: one cold submission executes and fills the cache.
+        let cold = client::submit(&target, &spec, "prime", true, None).unwrap();
+        assert_eq!(cold.status, 200, "{:?}", cold.lines);
+
+        // Warm storm: CLIENTS threads, SUBMISSIONS total, backpressure
+        // respected by retrying 429s after the advertised delay.
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..CLIENTS {
+                let target = target.clone();
+                let spec = &spec;
+                s.spawn(move || {
+                    for _ in 0..SUBMISSIONS / CLIENTS {
+                        loop {
+                            let out =
+                                client::submit(&target, spec, &format!("load-{c}"), true, None)
+                                    .unwrap();
+                            if out.status == 200 {
+                                break;
+                            }
+                            assert_eq!(out.status, 429, "{:?}", out.lines);
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                        }
+                    }
+                });
+            }
+        });
+        let wall = t0.elapsed();
+
+        let m = perple::jsonout::parse(
+            client::get(&target, "/metrics")
+                .unwrap()
+                .lines
+                .join("")
+                .as_str(),
+        )
+        .unwrap();
+        let finished = metric(&m, "queue", "finished");
+        assert!(
+            finished >= (SUBMISSIONS + 1) as u64,
+            "only {finished} jobs finished"
+        );
+        let rate = SUBMISSIONS as f64 / wall.as_secs_f64();
+        println!(
+            "{workers:7} | {rate:13.0} | {:11} | {:11} | {:10} | {:4} permille",
+            metric(&m, "latency_us", "item_p50"),
+            metric(&m, "latency_us", "item_p99"),
+            metric(&m, "latency_us", "job_p99"),
+            metric(&m, "cache", "hit_rate_permille"),
+        );
+
+        let pid = child.id().to_string();
+        assert!(Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .unwrap()
+            .success());
+        assert!(child.wait().unwrap().success(), "drain failed");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

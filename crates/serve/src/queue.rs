@@ -1,0 +1,484 @@
+//! The bounded job queue between the accept loop and the worker pool.
+//!
+//! Admission control happens at submit time: a full queue or an
+//! exhausted per-client quota rejects immediately (the server maps these
+//! to 429 with `Retry-After`) instead of letting memory grow with
+//! arrival rate. Queued jobs are sharded by submitting client and
+//! claimed round-robin across shards, so one chatty client cannot starve
+//! the others no matter how it interleaves its submissions.
+//!
+//! Accounting is exactly-once by construction: [`JobQueue::finish`]
+//! flips the job's `accounted` flag atomically and only the winner
+//! decrements the in-flight counters. This is what keeps the quota
+//! ledger correct even on the degraded path where an item falls back to
+//! uncached execution after a cache write failure — however many times
+//! the worker's error handling converges on `finish`, the decrement
+//! happens once.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the summary JSON is available.
+    Done,
+    /// The runner reported an error (message attached).
+    Failed(String),
+}
+
+impl JobState {
+    /// Stable lowercase tag for JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Progress a job accumulates while running: the contiguous prefix of
+/// emitted record lines plus the terminal state.
+#[derive(Debug)]
+struct Progress {
+    state: JobState,
+    records: Vec<String>,
+    summary: Option<String>,
+}
+
+/// What a streaming reader gets from [`Job::wait_next`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Next {
+    /// The next record line (reader advances its cursor by one).
+    Record(String),
+    /// No more records; the job completed with this summary JSON.
+    Done(String),
+    /// No more records; the job failed with this message.
+    Failed(String),
+}
+
+/// One submitted campaign job. Shared between the queue, the worker
+/// executing it, and any connections streaming its records.
+#[derive(Debug)]
+pub struct Job {
+    /// Server-assigned id (`job-<n>`).
+    pub id: String,
+    /// Submitting client (from the `client` query key; defaults applied
+    /// by the server).
+    pub client: String,
+    /// The raw campaign spec text to run.
+    pub spec: String,
+    accounted: AtomicBool,
+    progress: Mutex<Progress>,
+    cv: Condvar,
+}
+
+impl Job {
+    fn new(id: String, client: String, spec: String) -> Arc<Job> {
+        Arc::new(Job {
+            id,
+            client,
+            spec,
+            accounted: AtomicBool::new(false),
+            progress: Mutex::new(Progress {
+                state: JobState::Queued,
+                records: Vec::new(),
+                summary: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Marks the job running (worker picked it up).
+    pub fn set_running(&self) {
+        let mut p = self.progress.lock().unwrap();
+        p.state = JobState::Running;
+        self.cv.notify_all();
+    }
+
+    /// Appends one emitted record line and wakes streaming readers.
+    pub fn push_record(&self, line: String) {
+        let mut p = self.progress.lock().unwrap();
+        p.records.push(line);
+        self.cv.notify_all();
+    }
+
+    /// Terminal success: store the summary JSON.
+    pub fn complete(&self, summary: String) {
+        let mut p = self.progress.lock().unwrap();
+        p.state = JobState::Done;
+        p.summary = Some(summary);
+        self.cv.notify_all();
+    }
+
+    /// Terminal failure: store the error message.
+    pub fn fail(&self, message: String) {
+        let mut p = self.progress.lock().unwrap();
+        p.state = JobState::Failed(message);
+        self.cv.notify_all();
+    }
+
+    /// Current `(state, records emitted so far, summary)` without
+    /// blocking.
+    pub fn snapshot(&self) -> (JobState, usize, Option<String>) {
+        let p = self.progress.lock().unwrap();
+        (p.state.clone(), p.records.len(), p.summary.clone())
+    }
+
+    /// Blocks until there is a record at index `cursor` or the job
+    /// reaches a terminal state with no further records.
+    pub fn wait_next(&self, cursor: usize) -> Next {
+        let mut p = self.progress.lock().unwrap();
+        loop {
+            if cursor < p.records.len() {
+                return Next::Record(p.records[cursor].clone());
+            }
+            match &p.state {
+                JobState::Done => {
+                    return Next::Done(p.summary.clone().unwrap_or_else(|| "{}".into()))
+                }
+                JobState::Failed(m) => return Next::Failed(m.clone()),
+                _ => p = self.cv.wait(p).unwrap(),
+            }
+        }
+    }
+}
+
+/// Why a submission was turned away at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity: back off and retry.
+    QueueFull,
+    /// This client already has its quota of jobs queued or running.
+    QuotaExceeded,
+    /// The server is draining after SIGTERM; no new work is accepted.
+    Draining,
+}
+
+impl SubmitError {
+    /// Stable lowercase tag for JSON error bodies.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubmitError::QueueFull => "queue-full",
+            SubmitError::QuotaExceeded => "quota-exceeded",
+            SubmitError::Draining => "draining",
+        }
+    }
+}
+
+/// Point-in-time queue counters for the stats/metrics endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs accepted and waiting for a worker.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Configured queue capacity.
+    pub capacity: usize,
+    /// Configured per-client in-flight quota.
+    pub per_client_quota: usize,
+    /// Distinct clients with work queued or running.
+    pub clients: usize,
+    /// True once drain has begun.
+    pub draining: bool,
+    /// Lifetime accepted submissions.
+    pub submitted: u64,
+    /// Lifetime rejected submissions (full/quota/draining).
+    pub rejected: u64,
+    /// Lifetime completed jobs (success or failure).
+    pub finished: u64,
+}
+
+const SHARDS: usize = 8;
+
+struct Inner {
+    shards: [VecDeque<Arc<Job>>; SHARDS],
+    cursor: usize,
+    queued: usize,
+    running: usize,
+    in_flight: HashMap<String, usize>,
+    draining: bool,
+    next_id: u64,
+    submitted: u64,
+    rejected: u64,
+    finished: u64,
+}
+
+/// The bounded, client-sharded job queue.
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    capacity: usize,
+    per_client_quota: usize,
+}
+
+fn shard_of(client: &str) -> usize {
+    // FNV-1a; any stable spread over SHARDS will do.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in client.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` queued jobs, with at most
+    /// `per_client_quota` jobs queued-or-running per client.
+    pub fn new(capacity: usize, per_client_quota: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                shards: Default::default(),
+                cursor: 0,
+                queued: 0,
+                running: 0,
+                in_flight: HashMap::new(),
+                draining: false,
+                next_id: 1,
+                submitted: 0,
+                rejected: 0,
+                finished: 0,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+            per_client_quota: per_client_quota.max(1),
+        }
+    }
+
+    /// Admission-controlled submit. On success the job is owned by the
+    /// queue (and by the returned handle for status/streaming).
+    pub fn submit(&self, client: &str, spec: String) -> Result<Arc<Job>, SubmitError> {
+        let mut g = self.inner.lock().unwrap();
+        if g.draining {
+            g.rejected += 1;
+            return Err(SubmitError::Draining);
+        }
+        // Quota first: a client over its own limit hears about that
+        // even when the shared queue also happens to be full.
+        let flying = g.in_flight.get(client).copied().unwrap_or(0);
+        if flying >= self.per_client_quota {
+            g.rejected += 1;
+            return Err(SubmitError::QuotaExceeded);
+        }
+        if g.queued >= self.capacity {
+            g.rejected += 1;
+            return Err(SubmitError::QueueFull);
+        }
+        let id = format!("job-{}", g.next_id);
+        g.next_id += 1;
+        let job = Job::new(id, client.to_string(), spec);
+        g.shards[shard_of(client)].push_back(Arc::clone(&job));
+        g.queued += 1;
+        *g.in_flight.entry(client.to_string()).or_insert(0) += 1;
+        g.submitted += 1;
+        self.cv.notify_one();
+        Ok(job)
+    }
+
+    /// Worker side: blocks for the next job, round-robin across client
+    /// shards. Returns `None` exactly when the queue is draining and
+    /// empty — the worker's signal to exit.
+    pub fn claim(&self) -> Option<Arc<Job>> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.queued > 0 {
+                for step in 0..SHARDS {
+                    let idx = (g.cursor + step) % SHARDS;
+                    if let Some(job) = g.shards[idx].pop_front() {
+                        g.cursor = (idx + 1) % SHARDS;
+                        g.queued -= 1;
+                        g.running += 1;
+                        job.set_running();
+                        return Some(job);
+                    }
+                }
+                unreachable!("queued count disagrees with shards");
+            }
+            if g.draining {
+                return None;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// Settles a claimed job's accounting. Exactly-once: the first call
+    /// per job decrements the in-flight ledgers and returns `true`;
+    /// every later call is a no-op returning `false`. Call it from every
+    /// exit path of the worker — success, failure, and the degraded
+    /// cache-write-drop path alike — without worrying about overlap.
+    pub fn finish(&self, job: &Job) -> bool {
+        if job.accounted.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        let mut g = self.inner.lock().unwrap();
+        g.running = g.running.saturating_sub(1);
+        if let Some(n) = g.in_flight.get_mut(&job.client) {
+            *n -= 1;
+            if *n == 0 {
+                g.in_flight.remove(&job.client);
+            }
+        }
+        g.finished += 1;
+        self.cv.notify_all();
+        true
+    }
+
+    /// Begins drain: no new submissions, workers exit once the queue is
+    /// empty.
+    pub fn drain(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.draining = true;
+        self.cv.notify_all();
+    }
+
+    /// True once [`JobQueue::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.inner.lock().unwrap().draining
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> QueueStats {
+        let g = self.inner.lock().unwrap();
+        QueueStats {
+            queued: g.queued,
+            running: g.running,
+            capacity: self.capacity,
+            per_client_quota: self.per_client_quota,
+            clients: g.in_flight.len(),
+            draining: g.draining,
+            submitted: g.submitted,
+            rejected: g.rejected,
+            finished: g.finished,
+        }
+    }
+
+    /// Blocks until every queued and running job has finished. Only
+    /// meaningful after [`JobQueue::drain`].
+    pub fn wait_idle(&self) {
+        let mut g = self.inner.lock().unwrap();
+        while g.queued > 0 || g.running > 0 {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_and_quota_reject_at_the_door() {
+        let q = JobQueue::new(2, 8);
+        q.submit("a", "s1".into()).unwrap();
+        q.submit("b", "s2".into()).unwrap();
+        assert_eq!(
+            q.submit("c", "s3".into()).unwrap_err(),
+            SubmitError::QueueFull
+        );
+
+        let q = JobQueue::new(16, 1);
+        q.submit("a", "s1".into()).unwrap();
+        assert_eq!(
+            q.submit("a", "s2".into()).unwrap_err(),
+            SubmitError::QuotaExceeded
+        );
+        // A different client is unaffected by a's quota.
+        q.submit("b", "s3".into()).unwrap();
+        let s = q.stats();
+        assert_eq!((s.submitted, s.rejected, s.queued), (2, 1, 2));
+    }
+
+    #[test]
+    fn quota_frees_only_after_finish_and_exactly_once() {
+        let q = JobQueue::new(16, 1);
+        let job = q.submit("a", "s1".into()).unwrap();
+        let claimed = q.claim().unwrap();
+        assert_eq!(claimed.id, job.id);
+        // Running still counts against the quota.
+        assert_eq!(
+            q.submit("a", "s2".into()).unwrap_err(),
+            SubmitError::QuotaExceeded
+        );
+        assert!(q.finish(&claimed));
+        // Double-finish must not double-decrement.
+        assert!(!q.finish(&claimed));
+        let s = q.stats();
+        assert_eq!((s.queued, s.running, s.clients), (0, 0, 0));
+        q.submit("a", "s3".into()).unwrap();
+    }
+
+    #[test]
+    fn claim_is_round_robin_across_clients() {
+        let q = JobQueue::new(64, 64);
+        // Client "a" floods first; "b" submits one job afterwards.
+        for i in 0..5 {
+            q.submit("a", format!("a{i}")).unwrap();
+        }
+        q.submit("b", "b0".into()).unwrap();
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            let j = q.claim().unwrap();
+            order.push(j.client.clone());
+            q.finish(&j);
+        }
+        // "b" must be served before "a" drains completely.
+        let b_pos = order.iter().position(|c| c == "b").unwrap();
+        assert!(b_pos < 5, "round-robin starved client b: {order:?}");
+    }
+
+    #[test]
+    fn drain_rejects_new_work_and_releases_workers() {
+        let q = Arc::new(JobQueue::new(8, 8));
+        q.submit("a", "s1".into()).unwrap();
+        q.drain();
+        assert_eq!(
+            q.submit("a", "s2".into()).unwrap_err(),
+            SubmitError::Draining
+        );
+        // The already-queued job is still claimable; after it, claim
+        // returns None.
+        let j = q.claim().unwrap();
+        q.finish(&j);
+        assert!(q.claim().is_none());
+        q.wait_idle();
+    }
+
+    #[test]
+    fn streaming_readers_see_records_then_summary() {
+        let q = JobQueue::new(8, 8);
+        let job = q.submit("a", "s".into()).unwrap();
+        let reader = {
+            let job = Arc::clone(&job);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                let mut cursor = 0usize;
+                loop {
+                    match job.wait_next(cursor) {
+                        Next::Record(r) => {
+                            got.push(r);
+                            cursor += 1;
+                        }
+                        Next::Done(s) => return (got, s),
+                        Next::Failed(m) => panic!("unexpected failure: {m}"),
+                    }
+                }
+            })
+        };
+        let worker = q.claim().unwrap();
+        worker.push_record("{\"r\":1}".into());
+        worker.push_record("{\"r\":2}".into());
+        worker.complete("{\"summary\":true}".into());
+        q.finish(&worker);
+        let (got, summary) = reader.join().unwrap();
+        assert_eq!(got, vec!["{\"r\":1}", "{\"r\":2}"]);
+        assert_eq!(summary, "{\"summary\":true}");
+    }
+}

@@ -1,0 +1,51 @@
+//! SIGTERM/SIGINT → atomic drain flag.
+//!
+//! This module carries the only `unsafe` in the workspace: registering
+//! an `extern "C"` handler through libc's `signal(2)` (already linked by
+//! `std`, so no new dependency). The handler itself does the one thing
+//! that is async-signal-safe in Rust — a relaxed atomic store — and the
+//! accept loop polls [`shutdown_requested`] between accepts to begin a
+//! graceful drain.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// `SIGINT` (ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` (polite kill; what CI and process supervisors send).
+pub const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+extern "C" {
+    // libc signal(2); std links libc on every supported unix target.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Installs the drain handler for SIGTERM and SIGINT. Idempotent.
+pub fn install() {
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+/// True once a drain signal has arrived (or [`request_shutdown`] ran).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Programmatic drain trigger — what the handler does, callable from
+/// tests and from in-process embedders without raising a real signal.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Clears the flag (tests only; a real server exits after drain).
+pub fn reset_for_test() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
